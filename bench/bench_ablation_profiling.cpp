@@ -1,0 +1,182 @@
+// Ablation bench: the design choices DESIGN.md calls out, plus the paper's
+// own planned sensitivity analysis (§V: "conduct a sensitivity analysis on
+// coefficient choice").
+//
+//   1. Severity-schedule sensitivity — does Table II survive when the
+//      exponential Table-I coefficients are replaced with exponential
+//      base 4, linear, or uniform schedules?
+//   2. Clustering-choice sensitivity — linkage (single/complete/average/
+//      Ward) x distance (Euclidean/DTW).
+//
+// Each variant reports whether it reproduces the baseline clusters
+// ({A_5, B_1, B_2} less vulnerable in the shipped configuration).
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "cluster/distance.hpp"
+#include "risk/online.hpp"
+#include "risk/schedule.hpp"
+
+namespace {
+
+using namespace goodones;
+
+/// Clusters the cohort's risk profiles (re-derived from the profiling
+/// campaign under `schedule`) with the given linkage/distance; returns the
+/// sorted less-vulnerable patient indices.
+std::vector<std::size_t> cluster_variant(core::RiskProfilingFramework& framework,
+                                         const risk::SeveritySchedule& schedule,
+                                         cluster::Linkage linkage,
+                                         cluster::ProfileDistance distance) {
+  const auto& cohort = framework.cohort();
+  std::vector<risk::RiskProfile> profiles;
+  profiles.reserve(cohort.size());
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    profiles.push_back(risk::build_profile(cohort[i].params.id,
+                                           framework.profiling_outcomes(i), schedule));
+  }
+
+  std::vector<std::size_t> less;
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{6}}) {
+    std::vector<risk::RiskProfile> subset(profiles.begin() + static_cast<std::ptrdiff_t>(offset),
+                                          profiles.begin() + static_cast<std::ptrdiff_t>(offset) + 6);
+    subset = risk::align_profiles(std::move(subset));
+    std::vector<std::vector<double>> series;
+    for (const auto& p : subset) series.push_back(p.log_scaled());
+    const auto distances = cluster::distance_matrix(series, distance);
+    const auto dendrogram = cluster::agglomerate(distances, linkage);
+    const auto labels = dendrogram.cut(2);
+
+    // Label by attack success, as the framework does.
+    double rate[2] = {0.0, 0.0};
+    std::size_t count[2] = {0, 0};
+    const auto& profiling = framework.profiling();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      rate[labels[i]] += profiling.train_attack_rates[offset + i].overall_rate();
+      ++count[labels[i]];
+    }
+    for (int g = 0; g < 2; ++g) {
+      if (count[g] > 0) rate[g] /= static_cast<double>(count[g]);
+    }
+    const std::size_t less_label = rate[0] <= rate[1] ? 0 : 1;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == less_label) less.push_back(offset + i);
+    }
+  }
+  std::sort(less.begin(), less.end());
+  return less;
+}
+
+std::string patient_list(core::RiskProfilingFramework& framework,
+                         const std::vector<std::size_t>& patients) {
+  std::string out;
+  for (const auto p : patients) {
+    if (!out.empty()) out += " ";
+    out += sim::to_string(framework.cohort()[p].params.id);
+  }
+  return out;
+}
+
+void run_ablations(core::RiskProfilingFramework& framework) {
+  const auto baseline = cluster_variant(framework, risk::SeveritySchedule::paper_default(),
+                                        framework.config().linkage,
+                                        framework.config().profile_distance);
+
+  // --- 1. Severity-schedule sensitivity (paper §V future work) ---
+  common::AsciiTable severity_table("Ablation — severity-schedule sensitivity (paper §V)",
+                                    {"Schedule", "Less-vulnerable cluster", "Matches baseline"});
+  common::CsvTable csv({"kind", "variant", "less_vulnerable", "matches_baseline"});
+  const std::vector<risk::SeveritySchedule> schedules = {
+      risk::SeveritySchedule::paper_default(), risk::SeveritySchedule::exponential(4.0),
+      risk::SeveritySchedule::linear(), risk::SeveritySchedule::uniform()};
+  for (const auto& schedule : schedules) {
+    const auto less = cluster_variant(framework, schedule, framework.config().linkage,
+                                      framework.config().profile_distance);
+    const bool matches = less == baseline;
+    severity_table.add_row({schedule.name(), patient_list(framework, less),
+                            matches ? "yes" : "NO"});
+    csv.add_row({"severity", schedule.name(), patient_list(framework, less),
+                 matches ? "1" : "0"});
+  }
+  severity_table.print();
+
+  // --- 2. Clustering choices ---
+  common::AsciiTable cluster_table("Ablation — clustering linkage x distance",
+                                   {"Linkage", "Distance", "Less-vulnerable cluster",
+                                    "Matches baseline"});
+  const struct {
+    cluster::Linkage linkage;
+    const char* name;
+  } linkages[] = {{cluster::Linkage::kSingle, "single"},
+                  {cluster::Linkage::kComplete, "complete"},
+                  {cluster::Linkage::kAverage, "average"},
+                  {cluster::Linkage::kWard, "ward"}};
+  const struct {
+    cluster::ProfileDistance distance;
+    const char* name;
+  } distances[] = {{cluster::ProfileDistance::kEuclidean, "euclidean"},
+                   {cluster::ProfileDistance::kDtw, "dtw"}};
+  for (const auto& [linkage, linkage_name] : linkages) {
+    for (const auto& [distance, distance_name] : distances) {
+      const auto less = cluster_variant(framework, risk::SeveritySchedule::paper_default(),
+                                        linkage, distance);
+      const bool matches = less == baseline;
+      cluster_table.add_row({linkage_name, distance_name, patient_list(framework, less),
+                             matches ? "yes" : "NO"});
+      csv.add_row({"clustering", std::string(linkage_name) + "+" + distance_name,
+                   patient_list(framework, less), matches ? "1" : "0"});
+    }
+  }
+  cluster_table.print();
+  bench::save_artifact(csv, "ablation_profiling.csv");
+
+  // --- 3. Online profiler (paper Appendix D) fed by the same campaigns ---
+  std::vector<sim::PatientId> victims;
+  for (const auto& trace : framework.cohort()) victims.push_back(trace.params.id);
+  risk::OnlineRiskProfiler online(victims, {});
+  // Stream each patient's profiling campaign in four chronological batches.
+  for (std::size_t p = 0; p < victims.size(); ++p) {
+    const auto& outcomes = framework.profiling_outcomes(p);
+    const std::size_t batch = std::max<std::size_t>(1, outcomes.size() / 4);
+    for (std::size_t start = 0; start < outcomes.size(); start += batch) {
+      const std::size_t end = std::min(outcomes.size(), start + batch);
+      online.observe(p, {outcomes.begin() + static_cast<std::ptrdiff_t>(start),
+                         outcomes.begin() + static_cast<std::ptrdiff_t>(end)});
+    }
+  }
+  auto partition = online.reassess();
+  std::sort(partition.less_vulnerable.begin(), partition.less_vulnerable.end());
+  std::cout << "\nOnline profiler (Appendix-D adaptive reassessment), streaming the same "
+               "campaigns:\n  less vulnerable: "
+            << patient_list(framework, partition.less_vulnerable)
+            << (partition.less_vulnerable == baseline ? "  (matches offline baseline)"
+                                                      : "  (differs from offline baseline)")
+            << "\n";
+}
+
+void BM_OnlineObserve(benchmark::State& state) {
+  risk::OnlineRiskProfiler profiler({{sim::Subset::kA, 0}}, {});
+  std::vector<attack::WindowOutcome> batch(64);
+  for (auto& outcome : batch) {
+    outcome.attack.benign_prediction = 100.0;
+    outcome.attack.adversarial_prediction = 380.0;
+    outcome.benign_predicted_state = data::GlycemicState::kNormal;
+    outcome.adversarial_predicted_state = data::GlycemicState::kHyper;
+  }
+  for (auto _ : state) {
+    profiler.observe(0, batch);
+    benchmark::DoNotOptimize(profiler.level(0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_OnlineObserve);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = goodones::bench::announce_config();
+  goodones::core::RiskProfilingFramework framework(config);
+  run_ablations(framework);
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

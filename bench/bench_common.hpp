@@ -1,0 +1,49 @@
+// Shared bench scaffolding.
+//
+// Every bench binary follows the same contract:
+//   1. reproduce its paper table/figure (print an ASCII table, persist the
+//      same rows as CSV under the artifacts directory), then
+//   2. run google-benchmark timings for the kernels that produced it.
+// Bench binaries run with no arguments; GOODONES_FULL=1 switches the
+// experiment scale from the calibrated fast preset to the paper's settings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/cache.hpp"
+#include "core/config.hpp"
+#include "core/framework.hpp"
+
+namespace goodones::bench {
+
+/// Writes a reproduction CSV next to the console output.
+inline void save_artifact(const common::CsvTable& table, const std::string& name) {
+  const auto path = core::artifacts_dir() / name;
+  table.write(path);
+  std::cout << "[artifact] " << path.string() << "\n";
+}
+
+/// Announces which preset the run uses.
+inline core::FrameworkConfig announce_config() {
+  core::FrameworkConfig config = core::FrameworkConfig::from_env();
+  const bool full = config.cohort.train_steps == core::FrameworkConfig::full().cohort.train_steps;
+  std::cout << "goodones reproduction bench — preset: " << (full ? "FULL (paper scale)" : "fast")
+            << " (set GOODONES_FULL=1 for paper-scale settings)\n";
+  return config;
+}
+
+/// Runs the registered google-benchmark microbenchmarks.
+inline int run_microbenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace goodones::bench

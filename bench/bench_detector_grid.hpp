@@ -1,0 +1,82 @@
+// Shared implementation for the Fig. 7 (recall) / Fig. 8 (precision) /
+// Fig. 11 (F1) benches: all three render columns of the same detector x
+// strategy grid, which is computed once and shared via the artifact cache.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace goodones::bench {
+
+struct MetricSpec {
+  std::string figure;       ///< e.g. "Fig. 7"
+  std::string metric_name;  ///< e.g. "Recall"
+  std::string artifact;     ///< CSV file name
+  std::function<double(const core::ConfusionMatrix&)> value;
+};
+
+/// Runs (or loads) the full experiment grid and renders one metric of it.
+inline void render_metric_grid(core::RiskProfilingFramework& framework,
+                               const MetricSpec& spec) {
+  const std::vector<detect::DetectorKind> kinds = {detect::DetectorKind::kKnn,
+                                                   detect::DetectorKind::kOcsvm,
+                                                   detect::DetectorKind::kMadGan};
+  const core::ExperimentResults results = core::experiments_with_cache(framework, kinds);
+
+  common::AsciiTable table(
+      spec.figure + " — " + spec.metric_name + " by detector and training strategy",
+      {"Detector", "Less Vulnerable", "More Vulnerable", "Random Samples", "All Patients"});
+  common::CsvTable csv({"detector", "strategy", spec.metric_name, "tp", "fp", "fn", "tn",
+                        "train_benign", "train_malicious"});
+
+  for (const auto kind : kinds) {
+    std::vector<std::string> row{detect::to_string(kind)};
+    for (const core::Strategy strategy : core::all_strategies()) {
+      const auto& entry = results.entry(kind, strategy);
+      row.push_back(common::fixed(spec.value(entry.pooled), 3));
+      csv.add_row({detect::to_string(kind), core::to_string(strategy),
+                   common::format_double(spec.value(entry.pooled)),
+                   std::to_string(entry.pooled.tp), std::to_string(entry.pooled.fp),
+                   std::to_string(entry.pooled.fn), std::to_string(entry.pooled.tn),
+                   std::to_string(entry.train_benign),
+                   std::to_string(entry.train_malicious)});
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  save_artifact(csv, spec.artifact);
+
+  // Headline deltas the paper quotes: selective (Less Vulnerable) vs
+  // indiscriminate (All Patients) training.
+  std::cout << spec.metric_name << " change, Less Vulnerable vs All Patients:\n";
+  for (const auto kind : kinds) {
+    const double selective =
+        spec.value(results.entry(kind, core::Strategy::kLessVulnerable).pooled);
+    const double indiscriminate =
+        spec.value(results.entry(kind, core::Strategy::kAllPatients).pooled);
+    const double delta =
+        indiscriminate > 0.0 ? (selective - indiscriminate) / indiscriminate : 0.0;
+    std::cout << "  " << detect::to_string(kind) << ": " << common::fixed(selective, 3)
+              << " vs " << common::fixed(indiscriminate, 3) << " ("
+              << common::signed_percent(delta, 1) << ")\n";
+  }
+
+  // Training-set-size note for the MAD-GAN headline (recall 1.0 at a 75%
+  // smaller training set in the paper).
+  const auto& less = results.entry(detect::DetectorKind::kMadGan,
+                                   core::Strategy::kLessVulnerable);
+  const auto& all = results.entry(detect::DetectorKind::kMadGan,
+                                  core::Strategy::kAllPatients);
+  if (all.train_benign > 0) {
+    const double reduction = 1.0 - static_cast<double>(less.train_benign) /
+                                       static_cast<double>(all.train_benign);
+    std::cout << "MAD-GAN training-set size: " << less.train_benign << " vs "
+              << all.train_benign << " windows ("
+              << common::fixed(100.0 * reduction, 0) << "% reduction; paper: 75%)\n";
+  }
+}
+
+}  // namespace goodones::bench

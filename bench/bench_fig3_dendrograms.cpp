@@ -1,0 +1,117 @@
+// Reproduces paper Fig. 3: per-victim time-series risk profiles and the
+// dendrograms from hierarchically clustering them, for Subset A and
+// Subset B. Microbenchmarks time the clustering kernels.
+#include "bench_common.hpp"
+
+#include "cluster/distance.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace goodones;
+
+void reproduce_fig3(core::RiskProfilingFramework& framework) {
+  const auto& profiling = framework.profiling();
+  const auto& cohort = framework.cohort();
+
+  // Risk-profile summary (the paper plots the series; we print summary
+  // statistics and persist the full series as CSV).
+  common::AsciiTable profiles("Fig. 3 — Risk profiles (summary of R_t per patient)",
+                              {"Patient", "Samples", "Mean risk", "Peak risk",
+                               "Mean log1p(risk)"});
+  common::CsvTable series_csv({"patient", "index", "risk"});
+  for (std::size_t i = 0; i < profiling.profiles.size(); ++i) {
+    const auto& profile = profiling.profiles[i];
+    const auto log_scaled = profile.log_scaled();
+    profiles.add_row({sim::to_string(cohort[i].params.id),
+                      std::to_string(profile.values.size()),
+                      common::fixed(profile.mean(), 1), common::fixed(profile.peak(), 1),
+                      common::fixed(common::mean(log_scaled), 3)});
+    for (std::size_t k = 0; k < profile.values.size(); ++k) {
+      series_csv.add_row({sim::to_string(cohort[i].params.id), std::to_string(k),
+                          common::format_double(profile.values[k])});
+    }
+  }
+  profiles.print();
+  bench::save_artifact(series_csv, "fig3_risk_profiles.csv");
+
+  // Dendrograms, one per subset, exactly as the paper's figure lays out.
+  const auto render = [&](const cluster::Dendrogram& dendrogram, std::size_t offset,
+                          const char* title) {
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < 6; ++i) {
+      names.push_back(sim::to_string(cohort[offset + i].params.id));
+    }
+    std::cout << "\n== Fig. 3 — dendrogram, " << title << " ==\n"
+              << dendrogram.render_ascii(names);
+    std::cout << "merge heights:";
+    for (const auto& merge : dendrogram.merges()) {
+      std::cout << " " << common::fixed(merge.height, 2);
+    }
+    std::cout << "\nsuggested clusters (max-gap cut): "
+              << dendrogram.suggest_cluster_count() << "\n";
+  };
+  render(*profiling.dendrogram_a, 0, "Subset A");
+  render(*profiling.dendrogram_b, 6, "Subset B");
+
+  common::CsvTable merges_csv({"subset", "left", "right", "height", "size"});
+  const auto dump = [&](const cluster::Dendrogram& dendrogram, const char* subset) {
+    for (const auto& merge : dendrogram.merges()) {
+      merges_csv.add_row({subset, std::to_string(merge.left), std::to_string(merge.right),
+                          common::format_double(merge.height), std::to_string(merge.size)});
+    }
+  };
+  dump(*profiling.dendrogram_a, "A");
+  dump(*profiling.dendrogram_b, "B");
+  bench::save_artifact(merges_csv, "fig3_dendrogram_merges.csv");
+}
+
+// --- microbenchmarks -------------------------------------------------------
+
+std::vector<std::vector<double>> synthetic_profiles(std::size_t count, std::size_t length) {
+  common::Rng rng(17);
+  std::vector<std::vector<double>> profiles(count);
+  for (auto& p : profiles) {
+    p.resize(length);
+    const double level = rng.uniform(0.0, 10.0);
+    for (double& v : p) v = level + rng.normal(0.0, 1.0);
+  }
+  return profiles;
+}
+
+void BM_EuclideanDistanceMatrix(benchmark::State& state) {
+  const auto profiles = synthetic_profiles(12, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::distance_matrix(profiles, cluster::ProfileDistance::kEuclidean));
+  }
+}
+BENCHMARK(BM_EuclideanDistanceMatrix)->Arg(256)->Arg(1024);
+
+void BM_DtwDistance(benchmark::State& state) {
+  const auto profiles = synthetic_profiles(2, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::dtw(profiles[0], profiles[1], 16));
+  }
+}
+BENCHMARK(BM_DtwDistance)->Arg(128)->Arg(512);
+
+void BM_AgglomerativeClustering(benchmark::State& state) {
+  const auto profiles = synthetic_profiles(static_cast<std::size_t>(state.range(0)), 64);
+  const auto distances =
+      cluster::distance_matrix(profiles, cluster::ProfileDistance::kEuclidean);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::agglomerate(distances, cluster::Linkage::kAverage));
+  }
+}
+BENCHMARK(BM_AgglomerativeClustering)->Arg(12)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = goodones::bench::announce_config();
+  goodones::core::RiskProfilingFramework framework(config);
+  reproduce_fig3(framework);
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 4: ratio of normal to abnormal data instances in
+// each patient's benign trace. Less vulnerable patients (A_5, B_1, B_2)
+// should show the highest ratios; the most vulnerable (A_2) the lowest.
+#include "bench_common.hpp"
+
+#include "data/timeseries.hpp"
+
+namespace {
+
+using namespace goodones;
+
+void reproduce_fig4(core::RiskProfilingFramework& framework) {
+  const auto& profiling = framework.profiling();
+  const auto& cohort = framework.cohort();
+
+  common::AsciiTable table("Fig. 4 — Normal-to-abnormal ratio of benign traces",
+                           {"Patient", "Ratio", "Bar"});
+  common::CsvTable csv({"patient", "ratio"});
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const double ratio = profiling.benign_normal_ratio[i];
+    const auto bar_len = static_cast<std::size_t>(ratio * 40.0);
+    table.add_row({sim::to_string(cohort[i].params.id), common::fixed(ratio, 3),
+                   std::string(bar_len, '#')});
+    csv.add_row({sim::to_string(cohort[i].params.id), common::format_double(ratio)});
+  }
+  table.print();
+  bench::save_artifact(csv, "fig4_normal_ratio.csv");
+
+  std::cout << "Paper shape check: A_5 and B_2 highest, A_2 lowest.\n"
+            << "Measured: A_5=" << common::fixed(profiling.benign_normal_ratio[5], 3)
+            << " B_2=" << common::fixed(profiling.benign_normal_ratio[8], 3)
+            << " A_2=" << common::fixed(profiling.benign_normal_ratio[2], 3) << "\n";
+}
+
+void BM_NormalRatioComputation(benchmark::State& state) {
+  sim::CohortConfig config;
+  config.train_steps = static_cast<std::size_t>(state.range(0));
+  config.test_steps = 16;
+  const auto trace = sim::generate_patient({sim::Subset::kA, 0}, config);
+  const auto series = data::to_series(trace.train);
+  const auto cgm = series.channel(data::kCgm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::normal_to_abnormal_ratio(cgm, series.context));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NormalRatioComputation)->Arg(1000)->Arg(10000);
+
+void BM_MealContextDerivation(benchmark::State& state) {
+  sim::CohortConfig config;
+  config.train_steps = static_cast<std::size_t>(state.range(0));
+  config.test_steps = 16;
+  const auto trace = sim::generate_patient({sim::Subset::kB, 3}, config);
+  const auto series = data::to_series(trace.train);
+  const auto carbs = series.channel(data::kCarbs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::derive_meal_context(carbs));
+  }
+}
+BENCHMARK(BM_MealContextDerivation)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = goodones::bench::announce_config();
+  goodones::core::RiskProfilingFramework framework(config);
+  reproduce_fig4(framework);
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

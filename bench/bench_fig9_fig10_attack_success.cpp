@@ -1,0 +1,139 @@
+// Reproduces paper Appendix A (Fig. 9 and Fig. 10): percentage of
+// originally-normal (Fig. 9) and originally-hypoglycemic (Fig. 10) glucose
+// instances misdiagnosed as hyperglycemic under the URET-style attack, per
+// personalized model, for the aggregate model, and averaged — fasting and
+// postprandial scenarios. Microbenchmarks time the attack search kernels.
+#include "bench_common.hpp"
+
+#include "attack/evasion.hpp"
+#include "data/timeseries.hpp"
+
+namespace {
+
+using namespace goodones;
+
+void reproduce_appendix_a(core::RiskProfilingFramework& framework) {
+  auto& models = framework.models();
+  const auto& cohort = framework.cohort();
+
+  common::AsciiTable fig9("Fig. 9 — Normal -> Hyper attack success (%), test split",
+                          {"Model", "Fasting", "Postprandial"});
+  common::AsciiTable fig10("Fig. 10 — Hypo -> Hyper attack success (%), test split",
+                           {"Model", "Fasting", "Postprandial"});
+  common::CsvTable csv({"model", "origin", "fasting_pct", "postprandial_pct",
+                        "fasting_attempts", "postprandial_attempts"});
+
+  attack::CampaignConfig campaign = framework.config().evaluation_campaign;
+  double avg9_fast = 0.0;
+  double avg9_post = 0.0;
+  double avg10_fast = 0.0;
+  double avg10_post = 0.0;
+  std::size_t model_count = 0;
+
+  const auto add_model = [&](const std::string& name,
+                             const predict::GlucoseForecaster& model,
+                             const std::vector<data::Window>& windows) {
+    const auto outcomes = attack::run_campaign(model, windows, campaign, framework.pool());
+    const auto rates = attack::summarize(outcomes);
+    fig9.add_row({name, common::fixed(100.0 * rates.normal_fasting_rate(), 1),
+                  common::fixed(100.0 * rates.normal_postprandial_rate(), 1)});
+    fig10.add_row({name, common::fixed(100.0 * rates.hypo_fasting_rate(), 1),
+                   common::fixed(100.0 * rates.hypo_postprandial_rate(), 1)});
+    csv.add_row({name, "normal", common::format_double(100.0 * rates.normal_fasting_rate()),
+                 common::format_double(100.0 * rates.normal_postprandial_rate()),
+                 std::to_string(rates.normal_fasting_attempts),
+                 std::to_string(rates.normal_postprandial_attempts)});
+    csv.add_row({name, "hypo", common::format_double(100.0 * rates.hypo_fasting_rate()),
+                 common::format_double(100.0 * rates.hypo_postprandial_rate()),
+                 std::to_string(rates.hypo_fasting_attempts),
+                 std::to_string(rates.hypo_postprandial_attempts)});
+    avg9_fast += rates.normal_fasting_rate();
+    avg9_post += rates.normal_postprandial_rate();
+    avg10_fast += rates.hypo_fasting_rate();
+    avg10_post += rates.hypo_postprandial_rate();
+    ++model_count;
+  };
+
+  // Personalized models on their own patient's held-out test windows, then
+  // the aggregate model pooled over every patient's test windows.
+  data::WindowConfig window = framework.config().window;
+  window.step = 1;
+  std::vector<data::Window> pooled;
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const auto series = data::to_series(cohort[i].test);
+    auto windows = data::make_windows(series, window);
+    add_model("Patient " + sim::to_string(cohort[i].params.id), models.personalized(i),
+              windows);
+    // Pool a slice into the aggregate-model evaluation set.
+    for (std::size_t k = 0; k < windows.size(); k += cohort.size()) {
+      pooled.push_back(windows[k]);
+    }
+  }
+  add_model("All patients (aggregate)", models.aggregate(), pooled);
+
+  const auto n = static_cast<double>(model_count);
+  fig9.add_row({"Average", common::fixed(100.0 * avg9_fast / n, 1),
+                common::fixed(100.0 * avg9_post / n, 1)});
+  fig10.add_row({"Average", common::fixed(100.0 * avg10_fast / n, 1),
+                 common::fixed(100.0 * avg10_post / n, 1)});
+
+  fig9.print();
+  fig10.print();
+  bench::save_artifact(csv, "fig9_fig10_attack_success.csv");
+  std::cout << "Paper shape check: success rates should differ strongly across patients\n"
+               "(resilient patients like A_5/B_1/B_2 low, dysregulated patients high).\n";
+}
+
+// --- microbenchmarks -------------------------------------------------------
+
+/// Analytic model so the benchmark times the search, not LSTM inference.
+class FixedModel final : public predict::GlucoseForecaster {
+ public:
+  double predict(const nn::Matrix& x) const override {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < x.rows(); ++t) sum += x(t, data::kCgm);
+    return 0.6 * sum / static_cast<double>(x.rows());
+  }
+  nn::Matrix input_gradient(const nn::Matrix& x) const override {
+    nn::Matrix g(x.rows(), x.cols());
+    for (std::size_t t = 0; t < x.rows(); ++t) {
+      g(t, data::kCgm) = 0.6 / static_cast<double>(x.rows());
+    }
+    return g;
+  }
+};
+
+data::Window bench_window() {
+  data::Window w;
+  w.features = nn::Matrix(12, data::kNumChannels);
+  for (std::size_t t = 0; t < 12; ++t) w.features(t, data::kCgm) = 100.0;
+  w.context = data::MealContext::kFasting;
+  w.target_glucose = 100.0;
+  return w;
+}
+
+void BM_AttackSearch(benchmark::State& state) {
+  const FixedModel model;
+  attack::AttackConfig config;
+  config.search = static_cast<attack::SearchKind>(state.range(0));
+  config.beam_width = 4;
+  const attack::EvasionAttack attack(config);
+  const auto window = bench_window();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack.attack_window(model, window));
+  }
+}
+BENCHMARK(BM_AttackSearch)
+    ->Arg(static_cast<int>(attack::SearchKind::kOrderedGreedy))
+    ->Arg(static_cast<int>(attack::SearchKind::kGreedy))
+    ->Arg(static_cast<int>(attack::SearchKind::kBeam))
+    ->Arg(static_cast<int>(attack::SearchKind::kGradientGuided));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = goodones::bench::announce_config();
+  goodones::core::RiskProfilingFramework framework(config);
+  reproduce_appendix_a(framework);
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,136 @@
+// Kernel microbenchmarks across the substrate: LSTM forward/backward,
+// BiLSTM forecaster inference, glucose simulation, window extraction,
+// scaling and matrix multiplication. One place to watch for performance
+// regressions in the primitives every experiment depends on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "data/scaler.hpp"
+#include "data/timeseries.hpp"
+#include "data/window.hpp"
+#include "nn/lstm.hpp"
+#include "predict/bilstm_forecaster.hpp"
+#include "sim/cohort.hpp"
+
+namespace {
+
+using namespace goodones;
+
+nn::Matrix random_matrix(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  nn::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (double& x : m.row(r)) x = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  common::Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const nn::Matrix a = random_matrix(n, n, rng);
+  const nn::Matrix b = random_matrix(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128);
+
+void BM_LstmForward(benchmark::State& state) {
+  common::Rng rng(5);
+  const nn::Lstm lstm(4, static_cast<std::size_t>(state.range(0)), rng);
+  const nn::Matrix x = random_matrix(12, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.forward(x));
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(24)->Arg(64);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  common::Rng rng(7);
+  nn::Lstm lstm(4, static_cast<std::size_t>(state.range(0)), rng);
+  const nn::Matrix x = random_matrix(12, 4, rng);
+  const nn::Matrix grad = random_matrix(12, static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    nn::Lstm::Cache cache;
+    lstm.forward_cached(x, cache);
+    benchmark::DoNotOptimize(lstm.backward(grad, cache));
+    nn::zero_all_grads(lstm.parameters());
+  }
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(24)->Arg(64);
+
+void BM_ForecasterPredict(benchmark::State& state) {
+  sim::CohortConfig cohort_config;
+  cohort_config.train_steps = 600;
+  cohort_config.test_steps = 60;
+  const auto trace = sim::generate_patient({sim::Subset::kA, 0}, cohort_config);
+  const auto series = data::to_series(trace.train);
+
+  predict::ForecasterConfig config;
+  config.hidden = static_cast<std::size_t>(state.range(0));
+  config.epochs = 1;
+  predict::BiLstmForecaster model(config, predict::fit_forecaster_scaler(series.values));
+  const auto windows = data::make_windows(series, {});
+  model.train({windows.begin(), windows.begin() + 50});
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(windows.front().features));
+  }
+}
+BENCHMARK(BM_ForecasterPredict)->Arg(24)->Arg(32);
+
+void BM_ForecasterInputGradient(benchmark::State& state) {
+  sim::CohortConfig cohort_config;
+  cohort_config.train_steps = 600;
+  cohort_config.test_steps = 60;
+  const auto trace = sim::generate_patient({sim::Subset::kB, 1}, cohort_config);
+  const auto series = data::to_series(trace.train);
+  predict::ForecasterConfig config;
+  config.hidden = 24;
+  config.epochs = 1;
+  predict::BiLstmForecaster model(config, predict::fit_forecaster_scaler(series.values));
+  const auto windows = data::make_windows(series, {});
+  model.train({windows.begin(), windows.begin() + 50});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.input_gradient(windows.front().features));
+  }
+}
+BENCHMARK(BM_ForecasterInputGradient);
+
+void BM_GlucoseSimulation(benchmark::State& state) {
+  const auto params = sim::patient_parameters({sim::Subset::kA, 3});
+  for (auto _ : state) {
+    sim::GlucoseSimulator simulator(params, 42);
+    benchmark::DoNotOptimize(simulator.run(static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GlucoseSimulation)->Arg(1000)->Arg(10000);
+
+void BM_WindowExtraction(benchmark::State& state) {
+  sim::CohortConfig config;
+  config.train_steps = static_cast<std::size_t>(state.range(0));
+  config.test_steps = 20;
+  const auto trace = sim::generate_patient({sim::Subset::kB, 0}, config);
+  const auto series = data::to_series(trace.train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::make_windows(series, {}));
+  }
+}
+BENCHMARK(BM_WindowExtraction)->Arg(2000)->Arg(10000);
+
+void BM_ScalerTransform(benchmark::State& state) {
+  common::Rng rng(13);
+  const nn::Matrix data = random_matrix(static_cast<std::size_t>(state.range(0)), 4, rng);
+  data::MinMaxScaler scaler;
+  scaler.fit(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scaler.transform(data));
+  }
+}
+BENCHMARK(BM_ScalerTransform)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

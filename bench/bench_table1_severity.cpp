@@ -1,0 +1,72 @@
+// Reproduces paper Table I: severity coefficients for glycemic state
+// transitions, plus microbenchmarks of the risk-formula kernels.
+#include "bench_common.hpp"
+
+#include "data/glucose_state.hpp"
+#include "risk/profile.hpp"
+#include "risk/severity.hpp"
+
+namespace {
+
+using namespace goodones;
+
+void reproduce_table1() {
+  common::AsciiTable table("Table I — Severity coefficients for state transitions",
+                           {"Benign", "Adversarial", "Severity Coefficient (S)"});
+  common::CsvTable csv({"benign", "adversarial", "severity"});
+  for (const auto& entry : risk::severity_table()) {
+    table.add_row({data::to_string(entry.benign), data::to_string(entry.adversarial),
+                   common::fixed(entry.coefficient, 0)});
+    csv.add_row({data::to_string(entry.benign), data::to_string(entry.adversarial),
+                 common::format_double(entry.coefficient)});
+  }
+  table.print();
+  bench::save_artifact(csv, "table1_severity.csv");
+}
+
+void BM_SeverityLookup(benchmark::State& state) {
+  const auto states = {data::GlycemicState::kHypo, data::GlycemicState::kNormal,
+                       data::GlycemicState::kHyper};
+  for (auto _ : state) {
+    for (const auto from : states) {
+      for (const auto to : states) {
+        benchmark::DoNotOptimize(risk::severity_coefficient(from, to));
+      }
+    }
+  }
+}
+BENCHMARK(BM_SeverityLookup);
+
+void BM_InstantaneousRisk(benchmark::State& state) {
+  attack::WindowOutcome outcome;
+  outcome.attack.benign_prediction = 95.0;
+  outcome.attack.adversarial_prediction = 240.0;
+  outcome.benign_predicted_state = data::GlycemicState::kNormal;
+  outcome.adversarial_predicted_state = data::GlycemicState::kHyper;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(risk::instantaneous_risk(outcome));
+  }
+}
+BENCHMARK(BM_InstantaneousRisk);
+
+void BM_RiskProfileConstruction(benchmark::State& state) {
+  std::vector<attack::WindowOutcome> outcomes(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    outcomes[i].attack.benign_prediction = 90.0 + static_cast<double>(i % 40);
+    outcomes[i].attack.adversarial_prediction = 200.0 + static_cast<double>(i % 100);
+    outcomes[i].benign_predicted_state = data::GlycemicState::kNormal;
+    outcomes[i].adversarial_predicted_state = data::GlycemicState::kHyper;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(risk::build_profile({sim::Subset::kA, 0}, outcomes));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RiskProfileConstruction)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_table1();
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

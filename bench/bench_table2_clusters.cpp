@@ -1,0 +1,93 @@
+// Reproduces paper Table II: the patient vulnerability clusters produced by
+// cutting the Fig. 3 dendrograms, cross-checked against attack success.
+// Paper result: less vulnerable = {A_5, B_1, B_2}, more vulnerable = rest.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/distance.hpp"
+
+namespace {
+
+using namespace goodones;
+
+void reproduce_table2(core::RiskProfilingFramework& framework) {
+  const auto& profiling = framework.profiling();
+  const auto& cohort = framework.cohort();
+
+  const auto join = [&](const std::vector<std::size_t>& patients, sim::Subset subset) {
+    std::ostringstream out;
+    bool first = true;
+    for (const auto p : patients) {
+      if (cohort[p].params.id.subset != subset) continue;
+      if (!first) out << " ";
+      out << sim::to_string(cohort[p].params.id);
+      first = false;
+    }
+    return out.str();
+  };
+
+  common::AsciiTable table("Table II — Clusters of patient vulnerability to the attack",
+                           {"Cluster", "Subset A", "Subset B"});
+  table.add_row({"Less Vulnerable", join(profiling.clusters.less_vulnerable, sim::Subset::kA),
+                 join(profiling.clusters.less_vulnerable, sim::Subset::kB)});
+  table.add_row({"More Vulnerable", join(profiling.clusters.more_vulnerable, sim::Subset::kA),
+                 join(profiling.clusters.more_vulnerable, sim::Subset::kB)});
+  table.print();
+
+  // Cross-check the paper uses: per-patient attack success (profiling
+  // campaign) alongside the assigned cluster.
+  common::AsciiTable check("Cluster cross-check — attack success per patient",
+                           {"Patient", "Attack success %", "Cluster"});
+  common::CsvTable csv({"patient", "attack_success_pct", "cluster"});
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const bool less =
+        std::find(profiling.clusters.less_vulnerable.begin(),
+                  profiling.clusters.less_vulnerable.end(),
+                  i) != profiling.clusters.less_vulnerable.end();
+    const double rate = 100.0 * profiling.train_attack_rates[i].overall_rate();
+    check.add_row({sim::to_string(cohort[i].params.id), common::fixed(rate, 1),
+                   less ? "Less Vulnerable" : "More Vulnerable"});
+    csv.add_row({sim::to_string(cohort[i].params.id), common::format_double(rate),
+                 less ? "less" : "more"});
+  }
+  check.print();
+  bench::save_artifact(csv, "table2_clusters.csv");
+
+  std::cout << "Paper Table II reference: Less Vulnerable = {A_5, B_1, B_2}; "
+               "More Vulnerable = rest.\n";
+}
+
+void BM_FullProfilingPipeline(benchmark::State& state) {
+  // Times steps 2-4 (risk profiles -> clustering) on precomputed campaign
+  // outcomes; attack simulation and model training are excluded.
+  core::FrameworkConfig config = core::FrameworkConfig::from_env();
+  core::RiskProfilingFramework framework(config);
+  const auto& profiling = framework.profiling();
+  std::vector<std::vector<double>> series;
+  for (const auto& p : profiling.profiles) series.push_back(p.log_scaled());
+  const std::size_t min_len = [&] {
+    std::size_t len = series.front().size();
+    for (const auto& s : series) len = std::min(len, s.size());
+    return len;
+  }();
+  for (auto& s : series) s.resize(min_len);
+
+  for (auto _ : state) {
+    const auto distances =
+        cluster::distance_matrix(series, cluster::ProfileDistance::kEuclidean);
+    auto dendrogram = cluster::agglomerate(distances, cluster::Linkage::kAverage);
+    benchmark::DoNotOptimize(dendrogram.cut(2));
+  }
+}
+BENCHMARK(BM_FullProfilingPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = goodones::bench::announce_config();
+  goodones::core::RiskProfilingFramework framework(config);
+  reproduce_table2(framework);
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

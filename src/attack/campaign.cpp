@@ -1,0 +1,93 @@
+#include "attack/campaign.hpp"
+
+#include "common/error.hpp"
+
+namespace goodones::attack {
+
+namespace {
+
+double rate(std::size_t successes, std::size_t attempts) noexcept {
+  return attempts == 0 ? 0.0
+                       : static_cast<double>(successes) / static_cast<double>(attempts);
+}
+
+}  // namespace
+
+std::vector<WindowOutcome> run_campaign(const predict::GlucoseForecaster& model,
+                                        const std::vector<data::Window>& windows,
+                                        const CampaignConfig& config,
+                                        common::ThreadPool& pool) {
+  GO_EXPECTS(config.window_step > 0);
+
+  // Eligible: the adversary targets instances whose true state is normal or
+  // hypoglycemic (already-hyper instances give the attacker nothing).
+  std::vector<const data::Window*> eligible;
+  for (std::size_t i = 0; i < windows.size(); i += config.window_step) {
+    const data::Window& w = windows[i];
+    const auto state = data::classify(w.target_glucose, w.context);
+    if (state != data::GlycemicState::kHyper) eligible.push_back(&w);
+  }
+
+  const EvasionAttack attack(config.attack);
+  std::vector<WindowOutcome> outcomes(eligible.size());
+  common::parallel_for(pool, eligible.size(), [&](std::size_t i) {
+    const data::Window& w = *eligible[i];
+    WindowOutcome& outcome = outcomes[i];
+    outcome.benign = w;
+    outcome.attack = attack.attack_window(model, w);
+    outcome.true_state = data::classify(w.target_glucose, w.context);
+    outcome.benign_predicted_state =
+        data::classify(outcome.attack.benign_prediction, w.context);
+    outcome.adversarial_predicted_state =
+        config.attack.induced_state(outcome.attack.adversarial_prediction, w.context);
+  });
+  return outcomes;
+}
+
+double SuccessRates::normal_fasting_rate() const noexcept {
+  return rate(normal_fasting_successes, normal_fasting_attempts);
+}
+double SuccessRates::normal_postprandial_rate() const noexcept {
+  return rate(normal_postprandial_successes, normal_postprandial_attempts);
+}
+double SuccessRates::hypo_fasting_rate() const noexcept {
+  return rate(hypo_fasting_successes, hypo_fasting_attempts);
+}
+double SuccessRates::hypo_postprandial_rate() const noexcept {
+  return rate(hypo_postprandial_successes, hypo_postprandial_attempts);
+}
+double SuccessRates::overall_rate() const noexcept {
+  const std::size_t attempts = normal_fasting_attempts + normal_postprandial_attempts +
+                               hypo_fasting_attempts + hypo_postprandial_attempts;
+  const std::size_t successes = normal_fasting_successes + normal_postprandial_successes +
+                                hypo_fasting_successes + hypo_postprandial_successes;
+  return rate(successes, attempts);
+}
+
+SuccessRates summarize(const std::vector<WindowOutcome>& outcomes) {
+  SuccessRates rates;
+  for (const auto& outcome : outcomes) {
+    const bool fasting = outcome.benign.context == data::MealContext::kFasting;
+    const bool success = outcome.attack.success;
+    if (outcome.true_state == data::GlycemicState::kNormal) {
+      if (fasting) {
+        ++rates.normal_fasting_attempts;
+        rates.normal_fasting_successes += success ? 1 : 0;
+      } else {
+        ++rates.normal_postprandial_attempts;
+        rates.normal_postprandial_successes += success ? 1 : 0;
+      }
+    } else if (outcome.true_state == data::GlycemicState::kHypo) {
+      if (fasting) {
+        ++rates.hypo_fasting_attempts;
+        rates.hypo_fasting_successes += success ? 1 : 0;
+      } else {
+        ++rates.hypo_postprandial_attempts;
+        rates.hypo_postprandial_successes += success ? 1 : 0;
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace goodones::attack

@@ -1,0 +1,62 @@
+// Attack campaigns: run the evasion attack over a patient's telemetry and
+// aggregate per-scenario success rates (the paper's Appendix-A figures),
+// keeping per-window outcomes for the risk profiler and the detectors.
+#pragma once
+
+#include <vector>
+
+#include "attack/evasion.hpp"
+#include "common/thread_pool.hpp"
+#include "data/window.hpp"
+#include "predict/forecaster.hpp"
+#include "sim/patient.hpp"
+
+namespace goodones::attack {
+
+/// Everything recorded about one attacked window.
+struct WindowOutcome {
+  data::Window benign;               ///< the clean window (raw units)
+  AttackResult attack;               ///< adversarial features + predictions
+  data::GlycemicState true_state;    ///< state of the true future glucose
+  data::GlycemicState benign_predicted_state;
+  data::GlycemicState adversarial_predicted_state;
+};
+
+struct CampaignConfig {
+  AttackConfig attack;
+  /// Stride over the eligible windows (campaigns attack every n-th window;
+  /// 1 attacks everything).
+  std::size_t window_step = 4;
+};
+
+/// Attacks every `window_step`-th eligible window (true state normal or
+/// hypoglycemic — the states the adversary wants misdiagnosed as hyper).
+/// Outcomes stay in time order. Parallel across windows via `pool`.
+std::vector<WindowOutcome> run_campaign(const predict::GlucoseForecaster& model,
+                                        const std::vector<data::Window>& windows,
+                                        const CampaignConfig& config,
+                                        common::ThreadPool& pool);
+
+/// Success-rate summary per (origin state x meal context) cell, matching
+/// the paper's Fig. 9 (normal -> hyper) and Fig. 10 (hypo -> hyper).
+struct SuccessRates {
+  std::size_t normal_fasting_attempts = 0;
+  std::size_t normal_fasting_successes = 0;
+  std::size_t normal_postprandial_attempts = 0;
+  std::size_t normal_postprandial_successes = 0;
+  std::size_t hypo_fasting_attempts = 0;
+  std::size_t hypo_fasting_successes = 0;
+  std::size_t hypo_postprandial_attempts = 0;
+  std::size_t hypo_postprandial_successes = 0;
+
+  double normal_fasting_rate() const noexcept;
+  double normal_postprandial_rate() const noexcept;
+  double hypo_fasting_rate() const noexcept;
+  double hypo_postprandial_rate() const noexcept;
+  /// Success rate over all attempts.
+  double overall_rate() const noexcept;
+};
+
+SuccessRates summarize(const std::vector<WindowOutcome>& outcomes);
+
+}  // namespace goodones::attack

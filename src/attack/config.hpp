@@ -1,0 +1,99 @@
+// Evasion-attack configuration mirroring the paper's URET setup.
+//
+// Threat model: the adversary can rewrite only the CGM channel (compromised
+// Bluetooth link) and must keep manipulated values physiologically plausible:
+// within [125, 499] mg/dL for fasting scenarios and [180, 499] mg/dL for
+// postprandial scenarios (499 is the highest value in OhioT1DM). The goal is
+// to push the DNN's glucose forecast across the hyperglycemia threshold while
+// the patient's true state is normal or hypoglycemic.
+#pragma once
+
+#include <cstdint>
+
+#include "data/glucose_state.hpp"
+
+namespace goodones::attack {
+
+/// Search strategy over candidate CGM edits.
+enum class SearchKind : std::uint8_t {
+  /// Edits timesteps from the most recent backwards, keeping the best
+  /// candidate value at each step; stops at first success. This is the
+  /// cheap default used for large campaigns.
+  kOrderedGreedy,
+  /// Full greedy: every iteration evaluates all (timestep, value) edits and
+  /// applies the single best one. Stronger, quadratically more expensive.
+  kGreedy,
+  /// Beam search over edit sequences (width configurable). Strongest.
+  kBeam,
+  /// Orders timesteps by |d prediction / d CGM_t| from the model's input
+  /// gradient, then proceeds like ordered greedy. Extension beyond URET.
+  kGradientGuided,
+};
+
+struct AttackConfig {
+  SearchKind search = SearchKind::kOrderedGreedy;
+  /// Edit budget. URET-style attacks minimize perturbation: a stealthy
+  /// adversary rewrites only a few recent CGM readings, because wholesale
+  /// window rewrites are trivially detectable. With a bounded budget the
+  /// remaining benign readings anchor the forecast, which is exactly where
+  /// patient-to-patient resilience differences (paper Fig. 9/10) come from.
+  std::size_t max_edits = 4;
+  /// Grid resolution inside the constraint box. The stealth-first search
+  /// picks the smallest succeeding value, so a finer grid lets successful
+  /// manipulations sit just above what the model needs — overlapping the
+  /// victim's benign abnormal range (the paper's Fig. 6 quadrants).
+  std::size_t value_candidates = 6;
+
+  /// Escalation stealth for the ordered-greedy searches. When an edit cannot
+  /// yet cross the success threshold, the attacker escalates: with
+  /// stealth_fraction <= 0 it takes the candidate with the largest forecast
+  /// gain (worst-case/aggressive attacker — what the defender's risk
+  /// profiling should measure); with a positive fraction it takes the
+  /// smallest candidate covering that fraction of the remaining distance to
+  /// the threshold (a detector-evading attacker whose manipulations blend
+  /// into benign excursions).
+  double stealth_fraction = 0.6;
+  std::size_t beam_width = 4;         ///< only for kBeam
+
+  // Constraint boxes (mg/dL) per scenario, straight from the paper.
+  double fasting_min = data::kFastingHyperThreshold;        // 125
+  double postprandial_min = data::kPostprandialHyperThreshold;  // 180
+  double value_max = 499.0;
+
+  /// Overdose-danger level (mg/dL): the attack counts as successful only
+  /// when the induced prediction exceeds this level. The paper's attacker
+  /// goal is an *excessively high* insulin dose that "could lead the
+  /// patient into a coma or even death" — a prediction a hair over the
+  /// diagnostic threshold triggers a negligible correction bolus, so the
+  /// faithful reading of the threat model is a prediction high enough to
+  /// provoke a harmful dose. This is also where patient resilience becomes
+  /// measurable: tightly-controlled patients' personalized models damp
+  /// manipulated inputs and cannot be pushed this high, while dysregulated
+  /// patients' models follow the manipulated CGM all the way up.
+  double overdose_threshold = 370.0;
+
+  /// Lower bound of the box for a given meal context.
+  double box_min(data::MealContext context) const noexcept {
+    return context == data::MealContext::kFasting ? fasting_min : postprandial_min;
+  }
+
+  /// Prediction level that counts as a successful attack for this context
+  /// (never below the scenario's diagnostic hyperglycemia threshold).
+  double success_threshold(data::MealContext context) const noexcept {
+    const double diagnostic = data::hyper_threshold(context);
+    return overdose_threshold > diagnostic ? overdose_threshold : diagnostic;
+  }
+
+  /// Treatment-relevant state induced by an adversarial prediction: the
+  /// BGMS only administers a harmful correction when the prediction crosses
+  /// the overdose level, so risk quantification counts the Hyper transition
+  /// only then (elevated-but-subcritical predictions remain "Normal").
+  data::GlycemicState induced_state(double prediction,
+                                    data::MealContext context) const noexcept {
+    if (prediction > success_threshold(context)) return data::GlycemicState::kHyper;
+    if (prediction < data::kHypoThreshold) return data::GlycemicState::kHypo;
+    return data::GlycemicState::kNormal;
+  }
+};
+
+}  // namespace goodones::attack

@@ -1,0 +1,264 @@
+#include "attack/evasion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace goodones::attack {
+
+bool prediction_is_hyper(double predicted_glucose, data::MealContext context) noexcept {
+  return data::classify(predicted_glucose, context) == data::GlycemicState::kHyper;
+}
+
+EvasionAttack::EvasionAttack(AttackConfig config) : config_(config) {
+  GO_EXPECTS(config_.max_edits > 0);
+  GO_EXPECTS(config_.overdose_threshold > 0.0);
+  GO_EXPECTS(config_.value_candidates >= 2);
+  GO_EXPECTS(config_.beam_width >= 1);
+  GO_EXPECTS(config_.fasting_min < config_.value_max);
+  GO_EXPECTS(config_.postprandial_min < config_.value_max);
+}
+
+double EvasionAttack::window_jitter(const data::Window& window) noexcept {
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t t = 0; t < window.features.rows(); ++t) {
+    for (const double v : window.features.row(t)) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      state ^= bits;
+      (void)common::splitmix64_next(state);
+    }
+  }
+  return static_cast<double>(common::splitmix64_next(state) >> 11) * 0x1.0p-53;
+}
+
+std::vector<double> EvasionAttack::candidate_values(data::MealContext context,
+                                                    double jitter) const {
+  const double lo = config_.box_min(context);
+  const double hi = config_.value_max;
+  std::vector<double> values(config_.value_candidates);
+  // Jittered interior grid, but the box maximum is always available: the
+  // escalating attacker's strongest move must not depend on the jitter.
+  const double spacing = (hi - lo) / static_cast<double>(values.size());
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    values[i] = lo + spacing * (static_cast<double>(i) + jitter);
+  }
+  values.back() = hi;
+  return values;
+}
+
+AttackResult EvasionAttack::attack_window(const predict::GlucoseForecaster& model,
+                                          const data::Window& window) const {
+  GO_EXPECTS(window.features.cols() == data::kNumChannels);
+  GO_EXPECTS(window.features.rows() > 0);
+
+  switch (config_.search) {
+    case SearchKind::kOrderedGreedy: {
+      // Most recent samples influence the forecast most: edit back-to-front.
+      std::vector<std::size_t> order(window.features.rows());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = window.features.rows() - 1 - i;
+      }
+      return run_ordered_greedy(model, window, order);
+    }
+    case SearchKind::kGradientGuided: {
+      const nn::Matrix grad = model.input_gradient(window.features);
+      std::vector<std::size_t> order(window.features.rows());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return std::abs(grad(a, data::kCgm)) > std::abs(grad(b, data::kCgm));
+      });
+      return run_ordered_greedy(model, window, order);
+    }
+    case SearchKind::kGreedy:
+      return run_greedy(model, window);
+    case SearchKind::kBeam:
+      return run_beam(model, window);
+  }
+  GO_ENSURES(false);  // unreachable
+  return {};
+}
+
+AttackResult EvasionAttack::run_ordered_greedy(const predict::GlucoseForecaster& model,
+                                               const data::Window& window,
+                                               const std::vector<std::size_t>& step_order) const {
+  AttackResult result;
+  result.benign_prediction = model.predict(window.features);
+  result.adversarial_features = window.features;
+  result.adversarial_prediction = result.benign_prediction;
+
+  const double threshold = config_.success_threshold(window.context);
+  if (result.benign_prediction > threshold) {
+    result.success = true;  // the model already predicts past the harm level
+    return result;
+  }
+
+  const auto values = candidate_values(window.context, window_jitter(window));
+  const std::size_t budget = std::min<std::size_t>(config_.max_edits, step_order.size());
+
+  for (std::size_t k = 0; k < budget; ++k) {
+    const std::size_t t = step_order[k];
+    // Stealth-first, as URET's minimal-perturbation search: if any candidate
+    // value at this timestep achieves the attacker's goal, take the
+    // *smallest* such value (it blends into the victim's benign abnormal
+    // range). Otherwise escalate — but stealthily: among the candidates
+    // that improve the forecast, take the smallest one that captures most
+    // of the achievable gain rather than always slamming the box maximum.
+    const double base_pred = result.adversarial_prediction;
+    double best_pred = base_pred;
+    double best_value = result.adversarial_features(t, data::kCgm);
+    std::vector<double> candidate_preds(values.size());
+    nn::Matrix probe = result.adversarial_features;
+    for (std::size_t vi = 0; vi < values.size(); ++vi) {  // ascending
+      probe(t, data::kCgm) = values[vi];
+      const double pred = model.predict(probe);
+      candidate_preds[vi] = pred;
+      if (pred > threshold) {
+        result.adversarial_features(t, data::kCgm) = values[vi];
+        result.adversarial_prediction = pred;
+        ++result.edits;
+        result.success = true;
+        return result;
+      }
+      if (pred > best_pred) {
+        best_pred = pred;
+        best_value = values[vi];
+      }
+    }
+    if (best_pred > base_pred) {
+      // Goal-adaptive stealth (see AttackConfig::stealth_fraction): when a
+      // single edit can cover a substantial fraction of the remaining
+      // distance to the threshold, take the smallest candidate that does;
+      // otherwise escalate with the full best candidate.
+      double chosen_value = best_value;
+      double chosen_pred = best_pred;
+      if (config_.stealth_fraction > 0.0) {
+        const double required =
+            base_pred + config_.stealth_fraction * (threshold - base_pred);
+        if (best_pred >= required) {
+          for (std::size_t vi = 0; vi < values.size(); ++vi) {
+            if (candidate_preds[vi] >= required) {
+              chosen_value = values[vi];
+              chosen_pred = candidate_preds[vi];
+              break;
+            }
+          }
+        }
+      }
+      result.adversarial_features(t, data::kCgm) = chosen_value;
+      result.adversarial_prediction = chosen_pred;
+      ++result.edits;
+    }
+  }
+  result.success = result.adversarial_prediction > threshold;
+  return result;
+}
+
+AttackResult EvasionAttack::run_greedy(const predict::GlucoseForecaster& model,
+                                       const data::Window& window) const {
+  AttackResult result;
+  result.benign_prediction = model.predict(window.features);
+  result.adversarial_features = window.features;
+  result.adversarial_prediction = result.benign_prediction;
+
+  const auto values = candidate_values(window.context, window_jitter(window));
+  const std::size_t steps = window.features.rows();
+  std::vector<bool> edited(steps, false);
+
+  for (std::size_t iter = 0; iter < config_.max_edits; ++iter) {
+    double best_pred = result.adversarial_prediction;
+    std::size_t best_t = steps;
+    double best_value = 0.0;
+    nn::Matrix probe = result.adversarial_features;
+    for (std::size_t t = 0; t < steps; ++t) {
+      if (edited[t]) continue;
+      const double original = probe(t, data::kCgm);
+      for (const double v : values) {
+        probe(t, data::kCgm) = v;
+        const double pred = model.predict(probe);
+        if (pred > best_pred) {
+          best_pred = pred;
+          best_t = t;
+          best_value = v;
+        }
+      }
+      probe(t, data::kCgm) = original;
+    }
+    if (best_t == steps) break;  // no edit improves the objective
+    edited[best_t] = true;
+    result.adversarial_features(best_t, data::kCgm) = best_value;
+    result.adversarial_prediction = best_pred;
+    ++result.edits;
+    if (best_pred > config_.success_threshold(window.context)) {
+      result.success = true;
+      return result;
+    }
+  }
+  result.success = result.adversarial_prediction > config_.success_threshold(window.context);
+  return result;
+}
+
+AttackResult EvasionAttack::run_beam(const predict::GlucoseForecaster& model,
+                                     const data::Window& window) const {
+  struct Beam {
+    nn::Matrix features;
+    double prediction;
+    std::size_t edits;
+    std::size_t next_step;  // timesteps are consumed back-to-front
+  };
+
+  AttackResult result;
+  result.benign_prediction = model.predict(window.features);
+  result.adversarial_features = window.features;
+  result.adversarial_prediction = result.benign_prediction;
+
+  const auto values = candidate_values(window.context, window_jitter(window));
+  const std::size_t steps = window.features.rows();
+  const std::size_t budget = std::min<std::size_t>(config_.max_edits, steps);
+
+  std::vector<Beam> frontier{{window.features, result.benign_prediction, 0, 0}};
+  for (std::size_t depth = 0; depth < budget; ++depth) {
+    std::vector<Beam> expanded;
+    for (const Beam& beam : frontier) {
+      if (beam.next_step >= steps) continue;
+      const std::size_t t = steps - 1 - beam.next_step;
+      // "Keep unchanged" branch preserves stealthy prefixes.
+      Beam unchanged = beam;
+      unchanged.next_step++;
+      expanded.push_back(std::move(unchanged));
+      for (const double v : values) {
+        Beam child = beam;
+        child.features(t, data::kCgm) = v;
+        child.prediction = model.predict(child.features);
+        child.edits++;
+        child.next_step++;
+        expanded.push_back(std::move(child));
+      }
+    }
+    if (expanded.empty()) break;
+    std::sort(expanded.begin(), expanded.end(), [](const Beam& a, const Beam& b) {
+      if (a.prediction != b.prediction) return a.prediction > b.prediction;
+      return a.edits < b.edits;  // stealthier first among equals
+    });
+    if (expanded.size() > config_.beam_width) expanded.resize(config_.beam_width);
+    frontier = std::move(expanded);
+
+    const Beam& best = frontier.front();
+    if (best.prediction > result.adversarial_prediction) {
+      result.adversarial_features = best.features;
+      result.adversarial_prediction = best.prediction;
+      result.edits = best.edits;
+    }
+    if (result.adversarial_prediction > config_.success_threshold(window.context)) {
+      result.success = true;
+      return result;
+    }
+  }
+  result.success = result.adversarial_prediction > config_.success_threshold(window.context);
+  return result;
+}
+
+}  // namespace goodones::attack

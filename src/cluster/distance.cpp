@@ -1,0 +1,75 @@
+#include "cluster/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace goodones::cluster {
+
+double euclidean(std::span<const double> a, std::span<const double> b) {
+  GO_EXPECTS(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double dtw(std::span<const double> a, std::span<const double> b, std::size_t band) {
+  GO_EXPECTS(!a.empty() && !b.empty());
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Two-row DP over the alignment matrix with |cost| = |a_i - b_j|.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    std::size_t j_lo = 1;
+    std::size_t j_hi = m;
+    if (band > 0) {
+      // Sakoe-Chiba: |i - j| <= band after rescaling unequal lengths.
+      const double scale = static_cast<double>(m) / static_cast<double>(n);
+      const auto center = static_cast<std::ptrdiff_t>(std::llround(scale * static_cast<double>(i)));
+      j_lo = static_cast<std::size_t>(
+          std::max<std::ptrdiff_t>(1, center - static_cast<std::ptrdiff_t>(band)));
+      j_hi = static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(m),
+                                   center + static_cast<std::ptrdiff_t>(band)));
+      if (j_lo > j_hi) continue;
+    }
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = std::abs(a[i - 1] - b[j - 1]);
+      const double best = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  GO_ENSURES(std::isfinite(prev[m]));
+  return prev[m];
+}
+
+nn::Matrix distance_matrix(const std::vector<std::vector<double>>& series,
+                           ProfileDistance metric, std::size_t dtw_band) {
+  GO_EXPECTS(!series.empty());
+  const std::size_t n = series.size();
+  nn::Matrix distances(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = metric == ProfileDistance::kEuclidean
+                           ? euclidean(series[i], series[j])
+                           : dtw(series[i], series[j], dtw_band);
+      distances(i, j) = d;
+      distances(j, i) = d;
+    }
+  }
+  return distances;
+}
+
+}  // namespace goodones::cluster

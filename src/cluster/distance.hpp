@@ -1,0 +1,25 @@
+// Time-series distance functions for risk-profile clustering.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace goodones::cluster {
+
+/// Euclidean (L2) distance; requires equal lengths.
+double euclidean(std::span<const double> a, std::span<const double> b);
+
+/// Dynamic time warping with an optional Sakoe-Chiba band (`band` = maximum
+/// index offset; 0 means unconstrained). Handles unequal lengths.
+double dtw(std::span<const double> a, std::span<const double> b, std::size_t band = 0);
+
+enum class ProfileDistance { kEuclidean, kDtw };
+
+/// Pairwise symmetric distance matrix over a set of series.
+/// For kEuclidean all series must have equal length.
+nn::Matrix distance_matrix(const std::vector<std::vector<double>>& series,
+                           ProfileDistance metric, std::size_t dtw_band = 0);
+
+}  // namespace goodones::cluster

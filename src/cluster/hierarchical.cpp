@@ -1,0 +1,191 @@
+#include "cluster/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace goodones::cluster {
+
+Dendrogram::Dendrogram(std::size_t num_leaves, std::vector<Merge> merges)
+    : num_leaves_(num_leaves), merges_(std::move(merges)) {
+  GO_EXPECTS(num_leaves_ >= 1);
+  GO_EXPECTS(merges_.size() == num_leaves_ - 1);
+}
+
+std::vector<std::size_t> Dendrogram::cut(std::size_t k) const {
+  GO_EXPECTS(k >= 1 && k <= num_leaves_);
+  // Apply the first (n - k) merges; remaining roots are the clusters.
+  const std::size_t applied = num_leaves_ - k;
+  std::vector<std::size_t> parent(num_leaves_ + merges_.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  for (std::size_t m = 0; m < applied; ++m) {
+    parent[merges_[m].left] = num_leaves_ + m;
+    parent[merges_[m].right] = num_leaves_ + m;
+  }
+  const auto find_root = [&](std::size_t node) {
+    while (parent[node] != node) node = parent[node];
+    return node;
+  };
+
+  std::vector<std::size_t> labels(num_leaves_);
+  std::vector<std::size_t> root_to_label;
+  for (std::size_t leaf = 0; leaf < num_leaves_; ++leaf) {
+    const std::size_t root = find_root(leaf);
+    auto it = std::find(root_to_label.begin(), root_to_label.end(), root);
+    if (it == root_to_label.end()) {
+      root_to_label.push_back(root);
+      labels[leaf] = root_to_label.size() - 1;
+    } else {
+      labels[leaf] = static_cast<std::size_t>(it - root_to_label.begin());
+    }
+  }
+  GO_ENSURES(root_to_label.size() == k);
+  return labels;
+}
+
+std::size_t Dendrogram::suggest_cluster_count() const {
+  if (merges_.size() < 2) return std::min<std::size_t>(2, num_leaves_);
+  // Largest gap between consecutive merge heights; cutting inside that gap
+  // leaves n - (i + 1) clusters.
+  std::size_t best_index = merges_.size() - 2;
+  double best_gap = -1.0;
+  for (std::size_t i = 0; i + 1 < merges_.size(); ++i) {
+    const double gap = merges_[i + 1].height - merges_[i].height;
+    if (gap >= best_gap) {  // >= prefers later (coarser) cuts on ties
+      best_gap = gap;
+      best_index = i;
+    }
+  }
+  const std::size_t k = num_leaves_ - (best_index + 1);
+  return std::max<std::size_t>(2, k);
+}
+
+namespace {
+
+struct RenderContext {
+  const std::vector<Merge>* merges;
+  std::size_t num_leaves;
+  const std::vector<std::string>* names;
+  std::ostringstream out;
+
+  void render(std::size_t node, const std::string& prefix, bool is_last) {
+    const std::string branch = prefix.empty() ? "" : (is_last ? "`-- " : "|-- ");
+    const std::string child_prefix = prefix + (prefix.empty() ? "" : (is_last ? "    " : "|   "));
+    if (node < num_leaves) {
+      out << prefix << branch << (*names)[node] << "\n";
+      return;
+    }
+    const Merge& merge = (*merges)[node - num_leaves];
+    out << prefix << branch << "[h=" << common::fixed(merge.height, 2) << "]\n";
+    render(merge.left, child_prefix, false);
+    render(merge.right, child_prefix, true);
+  }
+};
+
+}  // namespace
+
+std::string Dendrogram::render_ascii(const std::vector<std::string>& leaf_names) const {
+  GO_EXPECTS(leaf_names.size() == num_leaves_);
+  if (merges_.empty()) return leaf_names.empty() ? "" : leaf_names.front() + "\n";
+  RenderContext ctx;
+  ctx.merges = &merges_;
+  ctx.num_leaves = num_leaves_;
+  ctx.names = &leaf_names;
+  ctx.render(num_leaves_ + merges_.size() - 1, "", true);
+  return ctx.out.str();
+}
+
+Dendrogram agglomerate(const nn::Matrix& distances, Linkage linkage) {
+  GO_EXPECTS(distances.rows() == distances.cols());
+  const std::size_t n = distances.rows();
+  GO_EXPECTS(n >= 1);
+
+  // Work on a copy; Ward's recurrence operates on squared distances.
+  nn::Matrix d = distances;
+  if (linkage == Linkage::kWard) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) d(i, j) = d(i, j) * d(i, j);
+    }
+  }
+
+  std::vector<std::size_t> active;       // currently-live matrix rows
+  std::vector<std::size_t> node_id(n);   // dendrogram node each row represents
+  std::vector<std::size_t> sizes(n, 1);  // leaves under each row
+  for (std::size_t i = 0; i < n; ++i) {
+    active.push_back(i);
+    node_id[i] = i;
+  }
+
+  std::vector<Merge> merges;
+  merges.reserve(n - 1);
+
+  while (active.size() > 1) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      for (std::size_t b = a + 1; b < active.size(); ++b) {
+        const double dist = d(active[a], active[b]);
+        if (dist < best) {
+          best = dist;
+          bi = a;
+          bj = b;
+        }
+      }
+    }
+    const std::size_t i = active[bi];
+    const std::size_t j = active[bj];
+    const std::size_t ni = sizes[i];
+    const std::size_t nj = sizes[j];
+
+    // Lance-Williams update of distances from every other cluster k to i∪j.
+    for (const std::size_t k : active) {
+      if (k == i || k == j) continue;
+      const double dki = d(k, i);
+      const double dkj = d(k, j);
+      const double dij = d(i, j);
+      double updated = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          updated = std::min(dki, dkj);
+          break;
+        case Linkage::kComplete:
+          updated = std::max(dki, dkj);
+          break;
+        case Linkage::kAverage: {
+          const double wi = static_cast<double>(ni) / static_cast<double>(ni + nj);
+          const double wj = static_cast<double>(nj) / static_cast<double>(ni + nj);
+          updated = wi * dki + wj * dkj;
+          break;
+        }
+        case Linkage::kWard: {
+          const double nk = static_cast<double>(sizes[k]);
+          const double total = static_cast<double>(ni + nj) + nk;
+          updated = ((static_cast<double>(ni) + nk) * dki +
+                     (static_cast<double>(nj) + nk) * dkj - nk * dij) /
+                    total;
+          break;
+        }
+      }
+      d(k, i) = updated;
+      d(i, k) = updated;
+    }
+
+    const double height = linkage == Linkage::kWard ? std::sqrt(best) : best;
+    merges.push_back({node_id[i], node_id[j], height, ni + nj});
+
+    // Row i now represents the merged cluster; row j dies.
+    node_id[i] = n + merges.size() - 1;
+    sizes[i] = ni + nj;
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  return Dendrogram(n, std::move(merges));
+}
+
+}  // namespace goodones::cluster

@@ -1,0 +1,56 @@
+// Agglomerative hierarchical clustering (framework step 4).
+//
+// The paper clusters victim risk profiles hierarchically because the number
+// of vulnerability groups is unknown a priori; the dendrogram is then cut at
+// the largest inter-merge gap (the paper splits its 12 patients into two
+// groups that way). All four classic linkages are implemented through the
+// Lance-Williams recurrence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace goodones::cluster {
+
+enum class Linkage : std::uint8_t { kSingle, kComplete, kAverage, kWard };
+
+/// One agglomeration step. Nodes 0..n-1 are leaves; merge k creates node
+/// n+k. `height` is the linkage distance at which the merge happened.
+struct Merge {
+  std::size_t left;
+  std::size_t right;
+  double height;
+  std::size_t size;  ///< leaves under the new node
+};
+
+class Dendrogram {
+ public:
+  Dendrogram(std::size_t num_leaves, std::vector<Merge> merges);
+
+  std::size_t num_leaves() const noexcept { return num_leaves_; }
+  const std::vector<Merge>& merges() const noexcept { return merges_; }
+
+  /// Cluster labels (0..k-1) from cutting the tree into k clusters.
+  /// Labels are ordered by first-leaf appearance for stability.
+  std::vector<std::size_t> cut(std::size_t k) const;
+
+  /// Chooses the cluster count with the largest gap between consecutive
+  /// merge heights (minimum 2 clusters; n-1 merges must exist).
+  std::size_t suggest_cluster_count() const;
+
+  /// Text dendrogram (rotated: one leaf per line, merge brackets to the
+  /// right) with merge heights annotated. For bench/figure output.
+  std::string render_ascii(const std::vector<std::string>& leaf_names) const;
+
+ private:
+  std::size_t num_leaves_;
+  std::vector<Merge> merges_;
+};
+
+/// Clusters from a symmetric pairwise distance matrix.
+Dendrogram agglomerate(const nn::Matrix& distances, Linkage linkage);
+
+}  // namespace goodones::cluster

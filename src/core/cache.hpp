@@ -1,0 +1,35 @@
+// On-disk cache for detector experiment results.
+//
+// The Fig. 7 / Fig. 8 / Fig. 11 benches render different columns of the
+// same expensive detector x strategy grid. The first bench to run persists
+// the grid as CSV keyed by the config fingerprint; the others load it.
+// Delete the artifacts directory (default ./goodones_artifacts, override
+// with GOODONES_ARTIFACTS) to force recomputation.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/framework.hpp"
+
+namespace goodones::core {
+
+/// Artifact directory (created on demand).
+std::filesystem::path artifacts_dir();
+
+/// Cache file path for a given config.
+std::filesystem::path experiments_cache_path(const FrameworkConfig& config);
+
+/// Serializes results (entries + random-run detail) to CSV.
+void save_experiments(const ExperimentResults& results, const FrameworkConfig& config);
+
+/// Loads previously saved results; std::nullopt when absent or unreadable.
+std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config);
+
+/// Returns cached results when present, otherwise computes them through
+/// `framework` (which must have been built with the same config) and saves.
+ExperimentResults experiments_with_cache(RiskProfilingFramework& framework,
+                                         const std::vector<detect::DetectorKind>& kinds);
+
+}  // namespace goodones::core

@@ -1,0 +1,53 @@
+// Top-level experiment configuration for the risk-profiling framework.
+//
+// Two presets: `fast()` is calibrated for CI and interactive bench runs
+// (minutes on a laptop-class CPU); `full()` uses the paper's settings
+// (MAD-GAN 100 epochs, 10 random-strategy repetitions, denser window
+// strides). `from_env()` picks `full()` when GOODONES_FULL=1.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/campaign.hpp"
+#include "cluster/distance.hpp"
+#include "cluster/hierarchical.hpp"
+#include "data/window.hpp"
+#include "detect/factory.hpp"
+#include "predict/registry.hpp"
+#include "sim/cohort.hpp"
+
+namespace goodones::core {
+
+struct FrameworkConfig {
+  sim::CohortConfig cohort;
+  predict::RegistryConfig registry;
+  data::WindowConfig window;  ///< seq_len=12, horizon=6 (paper geometry)
+
+  attack::CampaignConfig profiling_campaign;   ///< step-1 attack on train data
+  attack::CampaignConfig evaluation_campaign;  ///< attack on held-out test data
+
+  detect::DetectorSuiteConfig detectors;
+  /// Stride over benign windows when assembling detector train/test sets.
+  std::size_t detector_benign_stride = 4;
+
+  // Step-4 clustering choices.
+  cluster::Linkage linkage = cluster::Linkage::kAverage;
+  cluster::ProfileDistance profile_distance = cluster::ProfileDistance::kEuclidean;
+
+  // Step-5 strategy settings.
+  std::size_t random_runs = 10;     ///< paper: 10 repetitions
+  std::size_t random_patients = 3;  ///< paper: 3 random patients per run
+
+  std::uint64_t seed = 2025;
+
+  static FrameworkConfig fast();
+  static FrameworkConfig full();
+  /// fast() unless the environment variable GOODONES_FULL=1.
+  static FrameworkConfig from_env();
+};
+
+/// Deterministic fingerprint over every field that affects results; keys
+/// the on-disk artifact cache.
+std::uint64_t config_fingerprint(const FrameworkConfig& config) noexcept;
+
+}  // namespace goodones::core

@@ -1,0 +1,494 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "cluster/distance.hpp"
+#include "data/timeseries.hpp"
+
+namespace goodones::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const StrategyEvaluation& ExperimentResults::entry(detect::DetectorKind detector,
+                                                   Strategy strategy) const {
+  for (const auto& e : entries) {
+    if (e.detector == detector && e.strategy == strategy) return e;
+  }
+  throw common::PreconditionError("no experiment entry for requested detector/strategy");
+}
+
+RiskProfilingFramework::RiskProfilingFramework(FrameworkConfig config)
+    : config_(config), pool_(std::make_unique<common::ThreadPool>()) {}
+
+RiskProfilingFramework::~RiskProfilingFramework() = default;
+
+void RiskProfilingFramework::ensure_cohort() {
+  if (!cohort_.empty()) return;
+  cohort_ = sim::generate_cohort(config_.cohort);
+  train_series_.reserve(cohort_.size());
+  test_series_.reserve(cohort_.size());
+  for (const auto& trace : cohort_) {
+    train_series_.push_back(data::to_series(trace.train));
+    test_series_.push_back(data::to_series(trace.test));
+  }
+}
+
+const std::vector<sim::PatientTrace>& RiskProfilingFramework::cohort() {
+  ensure_cohort();
+  return cohort_;
+}
+
+void RiskProfilingFramework::ensure_models() {
+  if (models_.has_value()) return;
+  ensure_cohort();
+  common::log_info("training forecaster fleet (", cohort_.size(), " personalized + aggregate)");
+  predict::RegistryConfig registry_config = config_.registry;
+  registry_config.window = config_.window;
+  models_ = predict::ModelRegistry::train(cohort_, registry_config, *pool_);
+}
+
+const predict::ModelRegistry& RiskProfilingFramework::models() {
+  ensure_models();
+  return *models_;
+}
+
+void RiskProfilingFramework::ensure_scaler() {
+  if (scaler_.has_value()) return;
+  ensure_cohort();
+  data::MinMaxScaler scaler;
+  for (const auto& series : train_series_) scaler.partial_fit(series.values);
+  scaler.set_column_range(data::kCgm, sim::kMinGlucose, sim::kMaxGlucose);
+  scaler_ = std::move(scaler);
+}
+
+const data::MinMaxScaler& RiskProfilingFramework::detector_scaler() {
+  ensure_scaler();
+  return *scaler_;
+}
+
+void RiskProfilingFramework::ensure_windows() {
+  if (!train_windows_.empty()) return;
+  ensure_cohort();
+  train_windows_.resize(cohort_.size());
+  test_windows_.resize(cohort_.size());
+  data::WindowConfig window = config_.window;
+  window.step = 1;  // full resolution; consumers stride as needed
+  common::parallel_for(*pool_, cohort_.size(), [&](std::size_t i) {
+    train_windows_[i] = data::make_windows(train_series_[i], window);
+    test_windows_[i] = data::make_windows(test_series_[i], window);
+  });
+}
+
+void RiskProfilingFramework::ensure_profiling() {
+  if (profiling_.has_value()) return;
+  ensure_models();
+  ensure_windows();
+
+  ProfilingOutputs out;
+  out.train_attack_rates.resize(cohort_.size());
+  out.profiles.resize(cohort_.size());
+  out.benign_normal_ratio.resize(cohort_.size());
+
+  // Step 1: the defender simulates the attack on each victim's own history
+  // against the victim's deployed (personalized) model.
+  common::log_info("step 1: simulating profiling attack campaigns");
+  std::vector<std::vector<attack::WindowOutcome>> train_outcomes(cohort_.size());
+  for (std::size_t i = 0; i < cohort_.size(); ++i) {
+    train_outcomes[i] = attack::run_campaign(models_->personalized(i), train_windows_[i],
+                                             config_.profiling_campaign, *pool_);
+    out.train_attack_rates[i] = attack::summarize(train_outcomes[i]);
+  }
+
+  // Steps 2-3: instantaneous risk and per-victim profiles.
+  for (std::size_t i = 0; i < cohort_.size(); ++i) {
+    out.profiles[i] = risk::build_profile(cohort_[i].params.id, train_outcomes[i]);
+  }
+
+  // Fig. 4 statistic on the benign traces (train + test).
+  for (std::size_t i = 0; i < cohort_.size(); ++i) {
+    std::vector<double> cgm = train_series_[i].channel(data::kCgm);
+    const auto test_cgm = test_series_[i].channel(data::kCgm);
+    cgm.insert(cgm.end(), test_cgm.begin(), test_cgm.end());
+    std::vector<data::MealContext> context = train_series_[i].context;
+    context.insert(context.end(), test_series_[i].context.begin(),
+                   test_series_[i].context.end());
+    out.benign_normal_ratio[i] = data::normal_to_abnormal_ratio(cgm, context);
+  }
+
+  // Step 4: hierarchical clustering per subset, as the paper presents it.
+  common::log_info("step 4: clustering risk profiles");
+  const auto cluster_subset = [&](std::size_t offset) {
+    std::vector<risk::RiskProfile> subset(out.profiles.begin() + static_cast<std::ptrdiff_t>(offset),
+                                          out.profiles.begin() + static_cast<std::ptrdiff_t>(offset) + 6);
+    subset = risk::align_profiles(std::move(subset));
+    std::vector<std::vector<double>> series;
+    series.reserve(subset.size());
+    for (const auto& p : subset) series.push_back(p.log_scaled());
+    const nn::Matrix distances =
+        cluster::distance_matrix(series, config_.profile_distance);
+    return cluster::agglomerate(distances, config_.linkage);
+  };
+  out.dendrogram_a = cluster_subset(0);
+  out.dendrogram_b = cluster_subset(6);
+
+  // Cut each subset into two groups and label by attack success: the group
+  // whose members were easier to attack is "more vulnerable" (the paper
+  // cross-checks clusters against misclassification percentages).
+  const auto assign = [&](const cluster::Dendrogram& dendrogram, std::size_t offset) {
+    const auto labels = dendrogram.cut(2);
+    double rate[2] = {0.0, 0.0};
+    std::size_t count[2] = {0, 0};
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      rate[labels[i]] += out.train_attack_rates[offset + i].overall_rate();
+      ++count[labels[i]];
+    }
+    for (int g = 0; g < 2; ++g) {
+      if (count[g] > 0) rate[g] /= static_cast<double>(count[g]);
+    }
+    const std::size_t less_label = rate[0] <= rate[1] ? 0 : 1;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == less_label) {
+        out.clusters.less_vulnerable.push_back(offset + i);
+      } else {
+        out.clusters.more_vulnerable.push_back(offset + i);
+      }
+    }
+  };
+  assign(*out.dendrogram_a, 0);
+  assign(*out.dendrogram_b, 6);
+
+  // Keep the raw campaign outcomes for detector training (the defender's
+  // simulated malicious samples come from this very campaign).
+  profiling_ = std::move(out);
+  train_profiling_outcomes_ = std::move(train_outcomes);
+}
+
+const ProfilingOutputs& RiskProfilingFramework::profiling() {
+  ensure_profiling();
+  return *profiling_;
+}
+
+void RiskProfilingFramework::ensure_test_outcomes() {
+  if (test_outcomes_ready_) return;
+  ensure_models();
+  ensure_windows();
+  common::log_info("attacking held-out test data (evaluation campaign)");
+  test_outcomes_.resize(cohort_.size());
+  for (std::size_t i = 0; i < cohort_.size(); ++i) {
+    test_outcomes_[i] = attack::run_campaign(models_->personalized(i), test_windows_[i],
+                                             config_.evaluation_campaign, *pool_);
+  }
+  test_outcomes_ready_ = true;
+}
+
+const std::vector<attack::WindowOutcome>& RiskProfilingFramework::test_outcomes(
+    std::size_t patient) {
+  ensure_test_outcomes();
+  GO_EXPECTS(patient < test_outcomes_.size());
+  return test_outcomes_[patient];
+}
+
+const std::vector<attack::WindowOutcome>& RiskProfilingFramework::profiling_outcomes(
+    std::size_t patient) {
+  ensure_profiling();
+  GO_EXPECTS(patient < train_profiling_outcomes_.size());
+  return train_profiling_outcomes_[patient];
+}
+
+std::vector<nn::Matrix> RiskProfilingFramework::benign_train_windows(std::size_t patient) {
+  ensure_windows();
+  ensure_scaler();
+  GO_EXPECTS(patient < train_windows_.size());
+  std::vector<nn::Matrix> out;
+  const auto& windows = train_windows_[patient];
+  for (std::size_t i = 0; i < windows.size(); i += config_.detector_benign_stride) {
+    out.push_back(scaler_->transform(windows[i].features));
+  }
+  return out;
+}
+
+std::vector<nn::Matrix> RiskProfilingFramework::benign_test_windows(std::size_t patient) {
+  ensure_windows();
+  ensure_scaler();
+  GO_EXPECTS(patient < test_windows_.size());
+  std::vector<nn::Matrix> out;
+  const auto& windows = test_windows_[patient];
+  for (std::size_t i = 0; i < windows.size(); i += config_.detector_benign_stride) {
+    out.push_back(scaler_->transform(windows[i].features));
+  }
+  return out;
+}
+
+std::vector<nn::Matrix> RiskProfilingFramework::malicious_windows(
+    const std::vector<attack::WindowOutcome>& outcomes) {
+  ensure_scaler();
+  std::vector<nn::Matrix> out;
+  for (const auto& outcome : outcomes) {
+    if (outcome.attack.success) {
+      out.push_back(scaler_->transform(outcome.attack.adversarial_features));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Feature layout of a sample-level detector input: the four scaled raw
+/// channels plus one hour of ingestion/dosing context. Context is what lets
+/// a detector tell a benign postprandial excursion (carbs present) from a
+/// manipulated reading (elevated glucose with nothing explaining it).
+constexpr std::size_t kSampleFeatures = data::kNumChannels + 2;
+constexpr std::size_t kContextSteps = 12;  // one hour at 5-minute cadence
+
+/// Builds one sample-feature row from scaled channel values plus raw
+/// one-hour carb/bolus sums.
+nn::Matrix make_sample(const data::MinMaxScaler& scaler, double cgm, double basal,
+                       double bolus, double carbs, double carbs_1h, double bolus_1h) {
+  nn::Matrix sample(1, kSampleFeatures);
+  sample(0, data::kCgm) = scaler.transform_value(cgm, data::kCgm);
+  sample(0, data::kBasal) = scaler.transform_value(basal, data::kBasal);
+  sample(0, data::kBolus) = scaler.transform_value(bolus, data::kBolus);
+  sample(0, data::kCarbs) = scaler.transform_value(carbs, data::kCarbs);
+  sample(0, data::kNumChannels) = scaler.transform_value(carbs_1h, data::kCarbs);
+  sample(0, data::kNumChannels + 1) = scaler.transform_value(bolus_1h, data::kBolus);
+  return sample;
+}
+
+/// Extracts one sample-feature row per series step, strided.
+std::vector<nn::Matrix> series_samples(const data::TelemetrySeries& series,
+                                       const data::MinMaxScaler& scaler,
+                                       std::size_t stride) {
+  // Prefix sums for O(1) one-hour rolling context.
+  const std::size_t steps = series.steps();
+  std::vector<double> carb_prefix(steps + 1, 0.0);
+  std::vector<double> bolus_prefix(steps + 1, 0.0);
+  for (std::size_t t = 0; t < steps; ++t) {
+    carb_prefix[t + 1] = carb_prefix[t] + series.values(t, data::kCarbs);
+    bolus_prefix[t + 1] = bolus_prefix[t] + series.values(t, data::kBolus);
+  }
+  const auto rolling = [&](const std::vector<double>& prefix, std::size_t t) {
+    const std::size_t lo = t + 1 >= kContextSteps ? t + 1 - kContextSteps : 0;
+    return prefix[t + 1] - prefix[lo];
+  };
+
+  std::vector<nn::Matrix> out;
+  out.reserve(steps / stride + 1);
+  for (std::size_t t = 0; t < steps; t += stride) {
+    out.push_back(make_sample(scaler, series.values(t, data::kCgm),
+                              series.values(t, data::kBasal),
+                              series.values(t, data::kBolus),
+                              series.values(t, data::kCarbs),
+                              rolling(carb_prefix, t), rolling(bolus_prefix, t)));
+  }
+  return out;
+}
+
+/// Extracts the edited rows of an adversarial window as sample-feature rows.
+/// Context sums come from the window's (unmanipulated) carb/bolus channels.
+void append_edited_samples(const attack::WindowOutcome& outcome,
+                           const data::MinMaxScaler& scaler,
+                           std::vector<nn::Matrix>& out) {
+  const nn::Matrix& adv = outcome.attack.adversarial_features;
+  double carbs_1h = 0.0;
+  double bolus_1h = 0.0;
+  for (std::size_t t = 0; t < adv.rows(); ++t) {
+    carbs_1h += adv(t, data::kCarbs);
+    bolus_1h += adv(t, data::kBolus);
+  }
+  for (std::size_t t = 0; t < adv.rows(); ++t) {
+    if (adv(t, data::kCgm) == outcome.benign.features(t, data::kCgm)) continue;
+    out.push_back(make_sample(scaler, adv(t, data::kCgm), adv(t, data::kBasal),
+                              adv(t, data::kBolus), adv(t, data::kCarbs), carbs_1h,
+                              bolus_1h));
+  }
+}
+
+}  // namespace
+
+std::vector<nn::Matrix> RiskProfilingFramework::benign_train_samples(std::size_t patient) {
+  ensure_cohort();
+  ensure_scaler();
+  GO_EXPECTS(patient < train_series_.size());
+  return series_samples(train_series_[patient], *scaler_, config_.detector_benign_stride);
+}
+
+std::vector<nn::Matrix> RiskProfilingFramework::benign_test_samples(std::size_t patient) {
+  ensure_cohort();
+  ensure_scaler();
+  GO_EXPECTS(patient < test_series_.size());
+  return series_samples(test_series_[patient], *scaler_, config_.detector_benign_stride);
+}
+
+std::vector<nn::Matrix> RiskProfilingFramework::malicious_samples(
+    const std::vector<attack::WindowOutcome>& outcomes) {
+  ensure_scaler();
+  std::vector<nn::Matrix> out;
+  for (const auto& outcome : outcomes) {
+    if (outcome.attack.success) append_edited_samples(outcome, *scaler_, out);
+  }
+  return out;
+}
+
+StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
+    detect::DetectorKind kind, const std::vector<std::size_t>& train_patients) {
+  GO_EXPECTS(!train_patients.empty());
+  ensure_profiling();
+  ensure_test_outcomes();
+
+  StrategyEvaluation eval;
+  eval.detector = kind;
+
+  auto detector = detect::make_detector(kind, config_.detectors);
+  const bool sample_level =
+      detector->granularity() == detect::InputGranularity::kSample;
+
+  // Assemble the strategy's training material at the detector's granularity:
+  // individual telemetry samples for kNN/OneClassSVM (the paper flags single
+  // glucose measurements), whole windows for MAD-GAN.
+  std::vector<nn::Matrix> benign;
+  std::vector<nn::Matrix> malicious;
+  for (const std::size_t p : train_patients) {
+    GO_EXPECTS(p < cohort_.size());
+    auto b = sample_level ? benign_train_samples(p) : benign_train_windows(p);
+    benign.insert(benign.end(), std::make_move_iterator(b.begin()),
+                  std::make_move_iterator(b.end()));
+    auto m = sample_level ? malicious_samples(train_profiling_outcomes_[p])
+                          : malicious_windows(train_profiling_outcomes_[p]);
+    malicious.insert(malicious.end(), std::make_move_iterator(m.begin()),
+                     std::make_move_iterator(m.end()));
+  }
+  if (sample_level) {
+    // Defender-side augmentation: the threat model pins manipulated CGM
+    // values inside a known constraint box (125-499 mg/dL fasting, 180-499
+    // postprandial), so the defender's simulation covers the whole box, not
+    // only the manipulations that happened to break the forecaster. Without
+    // this, a detector trained on resilient patients would only ever see the
+    // attacker's escalated (high-value) probes.
+    const double box_lo = config_.profiling_campaign.attack.fasting_min;
+    const double box_hi = config_.profiling_campaign.attack.value_max;
+    std::uint64_t selection_hash = config_.seed;
+    for (const std::size_t p : train_patients) selection_hash = selection_hash * 31 + p;
+    common::Rng rng(selection_hash ^ 0xFEEDFACECAFEBEEFULL);
+    const std::size_t n_synthetic = std::max<std::size_t>(benign.size() / 4, 256);
+    for (std::size_t i = 0; i < n_synthetic && !benign.empty(); ++i) {
+      const auto base = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(benign.size()) - 1));
+      nn::Matrix sample = benign[base];
+      sample(0, data::kCgm) =
+          scaler_->transform_value(rng.uniform(box_lo, box_hi), data::kCgm);
+      malicious.push_back(std::move(sample));
+    }
+  } else if (malicious.empty()) {
+    // Window-granularity fallback: the simulated attack never fully
+    // succeeded on the selected patients. Supervised window detectors still
+    // need a malicious class: use the strongest manipulated windows.
+    common::log_warn("no successful simulated attacks on selected patients; "
+                     "training on strongest manipulated windows instead");
+    for (const std::size_t p : train_patients) {
+      for (const auto& outcome : train_profiling_outcomes_[p]) {
+        if (outcome.attack.edits > 0) {
+          malicious.push_back(scaler_->transform(outcome.attack.adversarial_features));
+        }
+      }
+    }
+  }
+  eval.train_benign = benign.size();
+  eval.train_malicious = malicious.size();
+
+  const auto fit_start = Clock::now();
+  detector->fit(benign, malicious);
+  eval.fit_seconds = seconds_since(fit_start);
+
+  // Test on every patient: their benign test data plus the successful
+  // adversarial inputs from the evaluation campaign.
+  const auto score_start = Clock::now();
+  eval.per_patient.resize(cohort_.size());
+  for (std::size_t p = 0; p < cohort_.size(); ++p) {
+    const auto benign_eval = sample_level ? benign_test_samples(p) : benign_test_windows(p);
+    const auto malicious_eval = sample_level ? malicious_samples(test_outcomes_[p])
+                                             : malicious_windows(test_outcomes_[p]);
+
+    std::vector<nn::Matrix> all;
+    all.reserve(benign_eval.size() + malicious_eval.size());
+    all.insert(all.end(), benign_eval.begin(), benign_eval.end());
+    all.insert(all.end(), malicious_eval.begin(), malicious_eval.end());
+    std::vector<char> flagged(all.size(), 0);
+
+    common::parallel_for(*pool_, all.size(), [&](std::size_t i) {
+      flagged[i] = detector->flags(all[i]) ? 1 : 0;
+    });
+
+    ConfusionMatrix& cm = eval.per_patient[p];
+    for (std::size_t i = 0; i < benign_eval.size(); ++i) {
+      cm.add(/*actual_malicious=*/false, flagged[i] != 0);
+    }
+    for (std::size_t i = 0; i < malicious_eval.size(); ++i) {
+      cm.add(/*actual_malicious=*/true, flagged[benign_eval.size() + i] != 0);
+    }
+    eval.pooled.merge(cm);
+  }
+  eval.score_seconds = seconds_since(score_start);
+  return eval;
+}
+
+ExperimentResults RiskProfilingFramework::run_detector_experiments(
+    const std::vector<detect::DetectorKind>& kinds) {
+  ensure_profiling();
+  ensure_test_outcomes();
+
+  ExperimentResults results;
+  for (const auto kind : kinds) {
+    for (const Strategy strategy : all_strategies()) {
+      if (strategy == Strategy::kRandomSamples) {
+        StrategyEvaluation aggregate;
+        aggregate.detector = kind;
+        aggregate.strategy = strategy;
+        aggregate.per_patient.resize(cohort_.size());
+        for (std::size_t run = 0; run < config_.random_runs; ++run) {
+          const auto patients =
+              select_patients(strategy, profiling_->clusters, cohort_.size(),
+                              config_.random_patients, config_.seed ^ (0x5170ULL + run));
+          StrategyEvaluation eval = evaluate_strategy(kind, patients);
+          eval.strategy = strategy;
+          eval.run = run;
+          aggregate.pooled.merge(eval.pooled);
+          for (std::size_t p = 0; p < cohort_.size(); ++p) {
+            aggregate.per_patient[p].merge(eval.per_patient[p]);
+          }
+          aggregate.train_benign += eval.train_benign;
+          aggregate.train_malicious += eval.train_malicious;
+          aggregate.fit_seconds += eval.fit_seconds;
+          aggregate.score_seconds += eval.score_seconds;
+          results.random_runs.push_back(std::move(eval));
+        }
+        aggregate.train_benign /= config_.random_runs;
+        aggregate.train_malicious /= config_.random_runs;
+        results.entries.push_back(std::move(aggregate));
+      } else {
+        const auto patients = select_patients(strategy, profiling_->clusters,
+                                              cohort_.size(), config_.random_patients,
+                                              config_.seed);
+        StrategyEvaluation eval = evaluate_strategy(kind, patients);
+        eval.strategy = strategy;
+        results.entries.push_back(std::move(eval));
+      }
+      common::log_info(detect::to_string(kind), " x ", to_string(strategy), " done");
+    }
+  }
+  return results;
+}
+
+}  // namespace goodones::core

@@ -1,0 +1,161 @@
+// The five-step risk-profiling framework (the paper's core contribution),
+// end to end:
+//
+//   1. Simulate the evasion attack against each victim's deployed model.
+//   2. Quantify instantaneous risk R_t = S * Z_t at every attacked step.
+//   3. Assemble per-victim time-series risk profiles.
+//   4. Hierarchically cluster the profiles into vulnerability groups
+//      (per subset, as the paper does), labeling the group with the lower
+//      mean risk "less vulnerable".
+//   5. Selectively train anomaly detectors on a strategy's patients and
+//      evaluate them on the held-out test data of *all* patients.
+//
+// Heavy stages are computed lazily and reused: benches for different
+// figures share one framework instance (or the on-disk cache, see
+// core/cache.hpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "attack/campaign.hpp"
+#include "cluster/hierarchical.hpp"
+#include "common/thread_pool.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "detect/factory.hpp"
+#include "predict/registry.hpp"
+#include "risk/profile.hpp"
+
+namespace goodones::core {
+
+/// Steps 1-4 outputs, everything the paper's Figs. 3/4/9/10 and Table II need.
+struct ProfilingOutputs {
+  /// Per-patient attack campaigns on the *training* split (the defender's
+  /// own simulation), cohort order.
+  std::vector<attack::SuccessRates> train_attack_rates;
+  std::vector<risk::RiskProfile> profiles;
+  std::optional<cluster::Dendrogram> dendrogram_a;  ///< Subset A (leaves A_0..A_5)
+  std::optional<cluster::Dendrogram> dendrogram_b;  ///< Subset B
+  VulnerabilityClusters clusters;
+  /// Fig. 4: fraction of benign samples in the normal state, per patient.
+  std::vector<double> benign_normal_ratio;
+};
+
+/// One detector-x-strategy evaluation (step 5).
+struct StrategyEvaluation {
+  detect::DetectorKind detector = detect::DetectorKind::kKnn;
+  Strategy strategy = Strategy::kAllPatients;
+  std::size_t run = 0;  ///< random-strategy repetition index (0 otherwise)
+  ConfusionMatrix pooled;                    ///< over all test patients
+  std::vector<ConfusionMatrix> per_patient;  ///< cohort order
+  std::size_t train_benign = 0;
+  std::size_t train_malicious = 0;
+  double fit_seconds = 0.0;
+  double score_seconds = 0.0;
+};
+
+struct ExperimentResults {
+  /// One aggregated entry per detector x strategy (random runs pooled).
+  std::vector<StrategyEvaluation> entries;
+  /// Individual random-strategy runs, for dispersion reporting.
+  std::vector<StrategyEvaluation> random_runs;
+
+  /// Lookup; throws PreconditionError if absent.
+  const StrategyEvaluation& entry(detect::DetectorKind detector, Strategy strategy) const;
+};
+
+class RiskProfilingFramework {
+ public:
+  explicit RiskProfilingFramework(FrameworkConfig config);
+  ~RiskProfilingFramework();
+
+  RiskProfilingFramework(const RiskProfilingFramework&) = delete;
+  RiskProfilingFramework& operator=(const RiskProfilingFramework&) = delete;
+
+  const FrameworkConfig& config() const noexcept { return config_; }
+
+  // --- lazily computed stages ---
+
+  /// The simulated 12-patient cohort.
+  const std::vector<sim::PatientTrace>& cohort();
+
+  /// Personalized + aggregate forecasters.
+  const predict::ModelRegistry& models();
+
+  /// Steps 1-4.
+  const ProfilingOutputs& profiling();
+
+  /// Evaluation campaign (attack on the held-out test split) per patient.
+  const std::vector<attack::WindowOutcome>& test_outcomes(std::size_t patient);
+
+  /// Step-1 profiling campaign (attack on the training split) per patient.
+  /// Ablation benches re-derive risk profiles from these under alternative
+  /// severity schedules and clustering choices.
+  const std::vector<attack::WindowOutcome>& profiling_outcomes(std::size_t patient);
+
+  /// Step 5 for the given detectors across all four strategies.
+  ExperimentResults run_detector_experiments(
+      const std::vector<detect::DetectorKind>& kinds);
+
+  /// Step 5 for a single detector x patient subset (building block used by
+  /// run_detector_experiments and directly by ablation benches).
+  StrategyEvaluation evaluate_strategy(detect::DetectorKind kind,
+                                       const std::vector<std::size_t>& train_patients);
+
+  // --- helpers shared with benches/examples ---
+
+  /// The global detector feature scaler (fit across all patients' train data).
+  const data::MinMaxScaler& detector_scaler();
+
+  /// Benign train/test windows of one patient, scaled, at the configured
+  /// detector stride (window-granularity detectors, i.e. MAD-GAN).
+  std::vector<nn::Matrix> benign_train_windows(std::size_t patient);
+  std::vector<nn::Matrix> benign_test_windows(std::size_t patient);
+
+  /// Successful adversarial windows (scaled) from the given campaign.
+  std::vector<nn::Matrix> malicious_windows(
+      const std::vector<attack::WindowOutcome>& outcomes);
+
+  /// Benign train/test telemetry *samples* of one patient — (1 x 4) scaled
+  /// matrices at the configured stride (sample-granularity detectors, i.e.
+  /// kNN and OneClassSVM, matching the paper's per-measurement Fig. 5).
+  std::vector<nn::Matrix> benign_train_samples(std::size_t patient);
+  std::vector<nn::Matrix> benign_test_samples(std::size_t patient);
+
+  /// The individual manipulated CGM samples from successful attacks in the
+  /// given campaign: one (1 x 4) matrix per edited timestep, scaled.
+  std::vector<nn::Matrix> malicious_samples(
+      const std::vector<attack::WindowOutcome>& outcomes);
+
+  common::ThreadPool& pool() noexcept { return *pool_; }
+
+ private:
+  void ensure_cohort();
+  void ensure_models();
+  void ensure_scaler();
+  void ensure_windows();
+  void ensure_profiling();
+  void ensure_test_outcomes();
+
+  FrameworkConfig config_;
+  std::unique_ptr<common::ThreadPool> pool_;
+
+  std::vector<sim::PatientTrace> cohort_;
+  std::vector<data::TelemetrySeries> train_series_;
+  std::vector<data::TelemetrySeries> test_series_;
+  std::optional<predict::ModelRegistry> models_;
+  std::optional<data::MinMaxScaler> scaler_;
+  std::vector<std::vector<data::Window>> train_windows_;  // full stride-1 windows
+  std::vector<std::vector<data::Window>> test_windows_;
+  std::optional<ProfilingOutputs> profiling_;
+  /// Step-1 campaigns on the training split, kept because the defender's
+  /// simulated malicious samples double as kNN training data.
+  std::vector<std::vector<attack::WindowOutcome>> train_profiling_outcomes_;
+  std::vector<std::vector<attack::WindowOutcome>> test_outcomes_;
+  bool test_outcomes_ready_ = false;
+};
+
+}  // namespace goodones::core

@@ -1,0 +1,55 @@
+#include "core/metrics.hpp"
+
+namespace goodones::core {
+
+void ConfusionMatrix::add(bool actual_malicious, bool flagged) noexcept {
+  if (actual_malicious) {
+    if (flagged) ++tp;
+    else ++fn;
+  } else {
+    if (flagged) ++fp;
+    else ++tn;
+  }
+}
+
+ConfusionMatrix& ConfusionMatrix::merge(const ConfusionMatrix& other) noexcept {
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  tn += other.tn;
+  return *this;
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  const std::size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  const std::size_t denom = tp + fp;
+  if (denom == 0) return positives() == 0 ? 1.0 : 0.0;
+  return static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const noexcept {
+  const double r = recall();
+  const double p = precision();
+  return (r + p) == 0.0 ? 0.0 : 2.0 * r * p / (r + p);
+}
+
+double ConfusionMatrix::false_negative_rate() const noexcept {
+  const std::size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::false_positive_rate() const noexcept {
+  const std::size_t denom = fp + tn;
+  return denom == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const std::size_t denom = total();
+  return denom == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(denom);
+}
+
+}  // namespace goodones::core

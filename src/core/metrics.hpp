@@ -1,0 +1,37 @@
+// Detection metrics. The paper's evaluation reports recall (its priority:
+// false negatives are lethal in safety-critical systems), precision (false
+// positives cost availability) and their harmonic mean (F1, Appendix C).
+#pragma once
+
+#include <cstddef>
+
+namespace goodones::core {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;  ///< malicious, flagged
+  std::size_t fp = 0;  ///< benign, flagged
+  std::size_t fn = 0;  ///< malicious, missed
+  std::size_t tn = 0;  ///< benign, passed
+
+  void add(bool actual_malicious, bool flagged) noexcept;
+  ConfusionMatrix& merge(const ConfusionMatrix& other) noexcept;
+
+  std::size_t total() const noexcept { return tp + fp + fn + tn; }
+  std::size_t positives() const noexcept { return tp + fn; }
+
+  /// tp / (tp + fn); 0 when there are no positives.
+  double recall() const noexcept;
+  /// tp / (tp + fp); degenerate cases: 1 when nothing was flagged and no
+  /// positives existed (vacuously precise), 0 when positives existed but
+  /// nothing was flagged.
+  double precision() const noexcept;
+  /// Harmonic mean of recall and precision; 0 when both are 0.
+  double f1() const noexcept;
+  /// fn / (tp + fn); the paper's headline safety number.
+  double false_negative_rate() const noexcept;
+  /// fp / (fp + tn).
+  double false_positive_rate() const noexcept;
+  double accuracy() const noexcept;
+};
+
+}  // namespace goodones::core

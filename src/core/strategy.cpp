@@ -1,0 +1,53 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace goodones::core {
+
+std::array<Strategy, 4> all_strategies() noexcept {
+  return {Strategy::kLessVulnerable, Strategy::kMoreVulnerable, Strategy::kRandomSamples,
+          Strategy::kAllPatients};
+}
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kLessVulnerable: return "Less Vulnerable";
+    case Strategy::kMoreVulnerable: return "More Vulnerable";
+    case Strategy::kRandomSamples: return "Random Samples";
+    case Strategy::kAllPatients: return "All Patients";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> select_patients(Strategy strategy,
+                                         const VulnerabilityClusters& clusters,
+                                         std::size_t cohort_size,
+                                         std::size_t random_patients,
+                                         std::uint64_t run_seed) {
+  switch (strategy) {
+    case Strategy::kLessVulnerable:
+      GO_EXPECTS(!clusters.less_vulnerable.empty());
+      return clusters.less_vulnerable;
+    case Strategy::kMoreVulnerable:
+      GO_EXPECTS(!clusters.more_vulnerable.empty());
+      return clusters.more_vulnerable;
+    case Strategy::kRandomSamples: {
+      GO_EXPECTS(random_patients > 0 && random_patients <= cohort_size);
+      common::Rng rng(run_seed);
+      auto picks = rng.sample_without_replacement(cohort_size, random_patients);
+      std::sort(picks.begin(), picks.end());
+      return picks;
+    }
+    case Strategy::kAllPatients: {
+      std::vector<std::size_t> all(cohort_size);
+      for (std::size_t i = 0; i < cohort_size; ++i) all[i] = i;
+      return all;
+    }
+  }
+  return {};
+}
+
+}  // namespace goodones::core

@@ -1,0 +1,57 @@
+#include "data/glucose_state.hpp"
+
+#include "common/error.hpp"
+
+namespace goodones::data {
+
+double hyper_threshold(MealContext context) noexcept {
+  return context == MealContext::kFasting ? kFastingHyperThreshold
+                                          : kPostprandialHyperThreshold;
+}
+
+GlycemicState classify(double glucose_mgdl, MealContext context) noexcept {
+  if (glucose_mgdl < kHypoThreshold) return GlycemicState::kHypo;
+  if (glucose_mgdl > hyper_threshold(context)) return GlycemicState::kHyper;
+  return GlycemicState::kNormal;
+}
+
+bool is_abnormal(GlycemicState state) noexcept {
+  return state != GlycemicState::kNormal;
+}
+
+std::vector<MealContext> derive_meal_context(std::span<const double> carbs) {
+  std::vector<MealContext> context(carbs.size(), MealContext::kFasting);
+  std::size_t steps_since_meal = kPostprandialSteps + 1;
+  for (std::size_t t = 0; t < carbs.size(); ++t) {
+    if (carbs[t] > 0.0) steps_since_meal = 0;
+    else ++steps_since_meal;
+    if (steps_since_meal <= kPostprandialSteps) context[t] = MealContext::kPostprandial;
+  }
+  return context;
+}
+
+double normal_to_abnormal_ratio(std::span<const double> glucose,
+                                std::span<const MealContext> context) {
+  GO_EXPECTS(glucose.size() == context.size());
+  if (glucose.empty()) return 0.0;
+  std::size_t normal = 0;
+  for (std::size_t t = 0; t < glucose.size(); ++t) {
+    if (classify(glucose[t], context[t]) == GlycemicState::kNormal) ++normal;
+  }
+  return static_cast<double>(normal) / static_cast<double>(glucose.size());
+}
+
+const char* to_string(GlycemicState state) noexcept {
+  switch (state) {
+    case GlycemicState::kHypo: return "Hypo";
+    case GlycemicState::kNormal: return "Normal";
+    case GlycemicState::kHyper: return "Hyper";
+  }
+  return "?";
+}
+
+const char* to_string(MealContext context) noexcept {
+  return context == MealContext::kFasting ? "Fasting" : "Postprandial";
+}
+
+}  // namespace goodones::data

@@ -1,0 +1,47 @@
+// Glycemic state classification with fasting/postprandial context.
+//
+// The paper's thresholds: hypoglycemia below 70 mg/dL; hyperglycemia above
+// 125 mg/dL in a fasting state and above 180 mg/dL within two hours after a
+// meal (postprandial). Everything between is "normal".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace goodones::data {
+
+enum class GlycemicState : std::uint8_t { kHypo, kNormal, kHyper };
+
+/// Meal context at a sample: fasting vs within two hours postprandial.
+enum class MealContext : std::uint8_t { kFasting, kPostprandial };
+
+inline constexpr double kHypoThreshold = 70.0;             ///< mg/dL
+inline constexpr double kFastingHyperThreshold = 125.0;    ///< mg/dL
+inline constexpr double kPostprandialHyperThreshold = 180.0;  ///< mg/dL
+/// Two hours at the 5-minute cadence.
+inline constexpr std::size_t kPostprandialSteps = 24;
+
+/// Hyperglycemia threshold for the given context.
+double hyper_threshold(MealContext context) noexcept;
+
+/// Classifies a glucose value under the given meal context.
+GlycemicState classify(double glucose_mgdl, MealContext context) noexcept;
+
+/// True if the state counts as "abnormal" (hypo or hyper).
+bool is_abnormal(GlycemicState state) noexcept;
+
+/// Derives the meal context of every step from the carbs channel: a step is
+/// postprandial if any carbs were ingested within the previous two hours
+/// (inclusive of the current step).
+std::vector<MealContext> derive_meal_context(std::span<const double> carbs);
+
+/// The paper's Fig. 4 statistic: fraction of benign samples in the normal
+/// state. Requires equal lengths; empty input returns 0.
+double normal_to_abnormal_ratio(std::span<const double> glucose,
+                                std::span<const MealContext> context);
+
+const char* to_string(GlycemicState state) noexcept;
+const char* to_string(MealContext context) noexcept;
+
+}  // namespace goodones::data

@@ -1,0 +1,119 @@
+#include "data/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace goodones::data {
+
+void MinMaxScaler::fit(const nn::Matrix& data) {
+  mins_.clear();
+  maxs_.clear();
+  partial_fit(data);
+}
+
+void MinMaxScaler::partial_fit(const nn::Matrix& data) {
+  GO_EXPECTS(data.rows() > 0);
+  if (mins_.empty()) {
+    mins_.assign(data.cols(), std::numeric_limits<double>::infinity());
+    maxs_.assign(data.cols(), -std::numeric_limits<double>::infinity());
+  }
+  GO_EXPECTS(data.cols() == mins_.size());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      mins_[c] = std::min(mins_[c], data(r, c));
+      maxs_[c] = std::max(maxs_[c], data(r, c));
+    }
+  }
+}
+
+nn::Matrix MinMaxScaler::transform(const nn::Matrix& data) const {
+  GO_EXPECTS(fitted());
+  GO_EXPECTS(data.cols() == mins_.size());
+  nn::Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      out(r, c) = transform_value(data(r, c), c);
+    }
+  }
+  return out;
+}
+
+nn::Matrix MinMaxScaler::inverse_transform(const nn::Matrix& data) const {
+  GO_EXPECTS(fitted());
+  GO_EXPECTS(data.cols() == mins_.size());
+  nn::Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      out(r, c) = inverse_transform_value(data(r, c), c);
+    }
+  }
+  return out;
+}
+
+double MinMaxScaler::transform_value(double value, std::size_t column) const {
+  GO_EXPECTS(column < mins_.size());
+  const double range = maxs_[column] - mins_[column];
+  if (range <= 0.0) return 0.5;
+  return (value - mins_[column]) / range;
+}
+
+double MinMaxScaler::inverse_transform_value(double value, std::size_t column) const {
+  GO_EXPECTS(column < mins_.size());
+  const double range = maxs_[column] - mins_[column];
+  if (range <= 0.0) return mins_[column];
+  return mins_[column] + value * range;
+}
+
+double MinMaxScaler::column_min(std::size_t column) const {
+  GO_EXPECTS(column < mins_.size());
+  return mins_[column];
+}
+
+double MinMaxScaler::column_max(std::size_t column) const {
+  GO_EXPECTS(column < maxs_.size());
+  return maxs_[column];
+}
+
+void MinMaxScaler::set_column_range(std::size_t column, double min_value, double max_value) {
+  GO_EXPECTS(fitted());
+  GO_EXPECTS(column < mins_.size());
+  GO_EXPECTS(min_value < max_value);
+  mins_[column] = min_value;
+  maxs_[column] = max_value;
+}
+
+void StandardScaler::fit(const nn::Matrix& data) {
+  GO_EXPECTS(data.rows() > 1);
+  means_.assign(data.cols(), 0.0);
+  stds_.assign(data.cols(), 0.0);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) means_[c] += data(r, c);
+  }
+  for (double& m : means_) m /= static_cast<double>(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      const double d = data(r, c) - means_[c];
+      stds_[c] += d * d;
+    }
+  }
+  for (double& s : stds_) {
+    s = std::sqrt(s / static_cast<double>(data.rows() - 1));
+    if (s < 1e-12) s = 1.0;  // constant column: pass through centered
+  }
+}
+
+nn::Matrix StandardScaler::transform(const nn::Matrix& data) const {
+  GO_EXPECTS(fitted());
+  GO_EXPECTS(data.cols() == means_.size());
+  nn::Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      out(r, c) = (data(r, c) - means_[c]) / stds_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace goodones::data

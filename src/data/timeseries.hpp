@@ -1,0 +1,38 @@
+// Multivariate telemetry series and conversion from simulator output.
+//
+// Channel layout is fixed library-wide: [CGM, basal, bolus, carbs] — the
+// four signals the paper's MAD-GAN configuration uses (Appendix B:
+// "number of signals = 4").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/glucose_state.hpp"
+#include "nn/matrix.hpp"
+#include "sim/glucose_model.hpp"
+
+namespace goodones::data {
+
+/// Fixed channel indices within a telemetry matrix.
+enum Channel : std::size_t { kCgm = 0, kBasal = 1, kBolus = 2, kCarbs = 3 };
+inline constexpr std::size_t kNumChannels = 4;
+
+/// A patient telemetry segment: (steps x kNumChannels) values plus the
+/// derived per-step meal context and the ground-truth glucose used only for
+/// forecaster supervision.
+struct TelemetrySeries {
+  nn::Matrix values;                  // steps x 4
+  std::vector<MealContext> context;   // per step
+  std::vector<double> true_glucose;   // per step
+
+  std::size_t steps() const noexcept { return values.rows(); }
+
+  /// Column view of one channel (copies into a vector).
+  std::vector<double> channel(Channel c) const;
+};
+
+/// Converts raw simulator samples to a series (derives meal context).
+TelemetrySeries to_series(std::span<const sim::TelemetrySample> samples);
+
+}  // namespace goodones::data

@@ -1,0 +1,49 @@
+// Anomaly-detector interface shared by kNN, OneClassSVM and MAD-GAN.
+//
+// Detectors consume telemetry windows (seq_len x 4) in *scaled* units — the
+// framework fits one global scaler so all training strategies compare
+// fairly. Supervised detectors (kNN) also receive malicious windows from
+// the defender's own attack simulation (framework step 1); unsupervised
+// detectors ignore them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace goodones::detect {
+
+/// What one detector input represents. The paper's kNN and OneClassSVM
+/// inspect individual glucose samples (Fig. 5 marks single measurements as
+/// TP/FN); MAD-GAN consumes whole multivariate windows (seq_len x signals).
+/// The framework assembles training and evaluation sets accordingly.
+enum class InputGranularity : std::uint8_t { kSample, kWindow };
+
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Granularity of the matrices this detector expects. Sample-level
+  /// detectors receive (1 x channels) matrices; window-level detectors
+  /// receive (seq_len x channels).
+  virtual InputGranularity granularity() const = 0;
+
+  /// Trains the detector. `benign` must be non-empty; `malicious` may be
+  /// empty (unsupervised detectors never read it).
+  virtual void fit(const std::vector<nn::Matrix>& benign,
+                   const std::vector<nn::Matrix>& malicious) = 0;
+
+  /// Anomaly score, higher = more anomalous. Scale is detector-specific;
+  /// only the induced ranking and `flags` are comparable across detectors.
+  virtual double anomaly_score(const nn::Matrix& window) const = 0;
+
+  /// Final decision: true = flagged as malicious. Requires a prior fit.
+  virtual bool flags(const nn::Matrix& window) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace goodones::detect

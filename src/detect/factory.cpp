@@ -1,0 +1,24 @@
+#include "detect/factory.hpp"
+
+namespace goodones::detect {
+
+std::unique_ptr<AnomalyDetector> make_detector(DetectorKind kind,
+                                               const DetectorSuiteConfig& config) {
+  switch (kind) {
+    case DetectorKind::kKnn: return std::make_unique<KnnDetector>(config.knn);
+    case DetectorKind::kOcsvm: return std::make_unique<OneClassSvm>(config.ocsvm);
+    case DetectorKind::kMadGan: return std::make_unique<MadGan>(config.madgan);
+  }
+  return nullptr;
+}
+
+const char* to_string(DetectorKind kind) noexcept {
+  switch (kind) {
+    case DetectorKind::kKnn: return "kNN";
+    case DetectorKind::kOcsvm: return "OneClassSVM";
+    case DetectorKind::kMadGan: return "MAD-GAN";
+  }
+  return "?";
+}
+
+}  // namespace goodones::detect

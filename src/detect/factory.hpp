@@ -1,0 +1,30 @@
+// Detector factory: the framework iterates over detector kinds when
+// reproducing the paper's figures; user code can also register the three
+// built-ins by name.
+#pragma once
+
+#include <memory>
+
+#include "detect/detector.hpp"
+#include "detect/knn.hpp"
+#include "detect/madgan.hpp"
+#include "detect/ocsvm.hpp"
+
+namespace goodones::detect {
+
+enum class DetectorKind : std::uint8_t { kKnn, kOcsvm, kMadGan };
+
+/// All detector configurations in one bundle (per-experiment settings).
+struct DetectorSuiteConfig {
+  KnnConfig knn;
+  OcsvmConfig ocsvm;
+  MadGanConfig madgan;
+};
+
+/// Builds a fresh, unfitted detector of the requested kind.
+std::unique_ptr<AnomalyDetector> make_detector(DetectorKind kind,
+                                               const DetectorSuiteConfig& config);
+
+const char* to_string(DetectorKind kind) noexcept;
+
+}  // namespace goodones::detect

@@ -1,0 +1,112 @@
+#include "detect/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "data/window.hpp"
+
+namespace goodones::detect {
+
+namespace {
+
+/// Minkowski distance of order p between a query and a training row.
+double minkowski(const std::vector<double>& a, std::span<const double> b, double p) {
+  double sum = 0.0;
+  if (p == 2.0) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::pow(std::abs(a[i] - b[i]), p);
+  return std::pow(sum, 1.0 / p);
+}
+
+/// Deterministic stride subsample of `windows` down to at most `cap` rows.
+std::vector<const nn::Matrix*> subsample(const std::vector<nn::Matrix>& windows,
+                                         std::size_t cap) {
+  std::vector<const nn::Matrix*> out;
+  if (cap == 0 || windows.size() <= cap) {
+    out.reserve(windows.size());
+    for (const auto& w : windows) out.push_back(&w);
+    return out;
+  }
+  out.reserve(cap);
+  const double stride = static_cast<double>(windows.size()) / static_cast<double>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    out.push_back(&windows[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+KnnDetector::KnnDetector(KnnConfig config) : config_(config) {
+  GO_EXPECTS(config_.k >= 1);
+  GO_EXPECTS(config_.minkowski_p > 0.0);
+}
+
+void KnnDetector::fit(const std::vector<nn::Matrix>& benign,
+                      const std::vector<nn::Matrix>& malicious) {
+  GO_EXPECTS(!benign.empty());
+  GO_EXPECTS(!malicious.empty());  // kNN is supervised: needs both classes
+
+  const auto benign_sample = subsample(benign, config_.max_points_per_class);
+  const auto malicious_sample = subsample(malicious, config_.max_points_per_class);
+
+  const std::size_t dim = benign_sample.front()->size();
+  points_ = nn::Matrix(benign_sample.size() + malicious_sample.size(), dim);
+  labels_.assign(points_.rows(), 0);
+
+  std::size_t row = 0;
+  for (const auto* w : benign_sample) {
+    const auto flat = data::flatten(*w);
+    GO_EXPECTS(flat.size() == dim);
+    std::copy(flat.begin(), flat.end(), points_.row(row).begin());
+    labels_[row] = 0;
+    ++row;
+  }
+  for (const auto* w : malicious_sample) {
+    const auto flat = data::flatten(*w);
+    GO_EXPECTS(flat.size() == dim);
+    std::copy(flat.begin(), flat.end(), points_.row(row).begin());
+    labels_[row] = 1;
+    ++row;
+  }
+}
+
+double KnnDetector::malicious_neighbor_fraction(const std::vector<double>& query) const {
+  GO_EXPECTS(points_.rows() > 0);
+  GO_EXPECTS(query.size() == points_.cols());
+  const std::size_t k = std::min(config_.k, points_.rows());
+
+  // Max-heap of (distance, label) over the best k seen so far.
+  std::vector<std::pair<double, std::uint8_t>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t r = 0; r < points_.rows(); ++r) {
+    const double dist = minkowski(query, points_.row(r), config_.minkowski_p);
+    if (heap.size() < k) {
+      heap.emplace_back(dist, labels_[r]);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist, labels_[r]};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::size_t malicious = 0;
+  for (const auto& [dist, label] : heap) malicious += label;
+  return static_cast<double>(malicious) / static_cast<double>(heap.size());
+}
+
+double KnnDetector::anomaly_score(const nn::Matrix& window) const {
+  return malicious_neighbor_fraction(data::flatten(window));
+}
+
+bool KnnDetector::flags(const nn::Matrix& window) const {
+  return anomaly_score(window) > 0.5;
+}
+
+}  // namespace goodones::detect

@@ -1,0 +1,52 @@
+// k-nearest-neighbors anomaly classifier.
+//
+// Mirrors the paper's scikit-learn KNeighborsClassifier configuration
+// (Appendix B): 7 neighbors, uniform weights, Minkowski metric with p = 2.
+// Supervised: trained on benign windows plus malicious windows from the
+// simulated attack; a window is flagged when the majority of its k nearest
+// training points are malicious.
+#pragma once
+
+#include <cstdint>
+
+#include "detect/detector.hpp"
+
+namespace goodones::detect {
+
+struct KnnConfig {
+  std::size_t k = 7;
+  double minkowski_p = 2.0;
+  /// Caps per-class training points (deterministic stride subsampling);
+  /// 0 = unlimited. Brute-force queries are O(train size).
+  std::size_t max_points_per_class = 6000;
+};
+
+class KnnDetector final : public AnomalyDetector {
+ public:
+  explicit KnnDetector(KnnConfig config = {});
+
+  void fit(const std::vector<nn::Matrix>& benign,
+           const std::vector<nn::Matrix>& malicious) override;
+
+  /// Fraction of the k nearest neighbors that are malicious.
+  double anomaly_score(const nn::Matrix& window) const override;
+
+  /// Majority vote of the k nearest neighbors.
+  bool flags(const nn::Matrix& window) const override;
+
+  std::string name() const override { return "kNN"; }
+
+  /// Per-sample classification, as in the paper's Fig. 5.
+  InputGranularity granularity() const override { return InputGranularity::kSample; }
+
+  std::size_t train_size() const noexcept { return points_.rows(); }
+
+ private:
+  double malicious_neighbor_fraction(const std::vector<double>& query) const;
+
+  KnnConfig config_;
+  nn::Matrix points_;           // train points, one flattened window per row
+  std::vector<std::uint8_t> labels_;  // 1 = malicious
+};
+
+}  // namespace goodones::detect

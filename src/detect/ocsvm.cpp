@@ -1,0 +1,204 @@
+#include "detect/ocsvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "data/window.hpp"
+
+namespace goodones::detect {
+
+namespace {
+
+constexpr double kTau = 1e-12;  // curvature floor for non-PSD kernels (libsvm)
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+OneClassSvm::OneClassSvm(OcsvmConfig config) : config_(config) {
+  GO_EXPECTS(config_.nu > 0.0 && config_.nu <= 1.0);
+  GO_EXPECTS(config_.tolerance > 0.0);
+  GO_EXPECTS(config_.max_train_points >= 2);
+}
+
+double OneClassSvm::kernel_value(std::span<const double> a, std::span<const double> b) const {
+  switch (config_.kernel) {
+    case Kernel::kRbf:
+      return std::exp(-gamma_value_ * squared_distance(a, b));
+    case Kernel::kSigmoid:
+      return std::tanh(gamma_value_ * dot(a, b) + config_.coef0);
+    case Kernel::kLinear:
+      return dot(a, b);
+    case Kernel::kPoly:
+      return std::pow(gamma_value_ * dot(a, b) + config_.coef0, config_.degree);
+  }
+  return 0.0;
+}
+
+void OneClassSvm::fit(const std::vector<nn::Matrix>& benign,
+                      const std::vector<nn::Matrix>& /*malicious*/) {
+  GO_EXPECTS(benign.size() >= 2);
+
+  // Stride-subsample and flatten the benign windows.
+  std::size_t n = std::min(benign.size(), config_.max_train_points);
+  const double stride = static_cast<double>(benign.size()) / static_cast<double>(n);
+  const std::size_t dim = benign.front().size();
+  nn::Matrix raw(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& w = benign[static_cast<std::size_t>(static_cast<double>(i) * stride)];
+    const auto flat = data::flatten(w);
+    GO_EXPECTS(flat.size() == dim);
+    std::copy(flat.begin(), flat.end(), raw.row(i).begin());
+  }
+
+  standardizer_.fit(raw);
+  const nn::Matrix x = standardizer_.transform(raw);
+
+  // Gamma: sklearn's "auto" = 1/d; "scale" = 1/(d * var). Variance of the
+  // standardized features is 1 by construction, so both coincide here, but
+  // the mode is kept for configs that skip standardization in the future.
+  gamma_value_ = 1.0 / static_cast<double>(dim);
+
+  // --- SMO over the nu-one-class dual ---
+  const double upper = 1.0 / (config_.nu * static_cast<double>(n));
+
+  // libsvm's initialization: the first floor(nu*l) points at the upper
+  // bound, one fractional point, rest zero. Satisfies sum(alpha) = 1.
+  std::vector<double> alpha(n, 0.0);
+  {
+    const auto full = static_cast<std::size_t>(config_.nu * static_cast<double>(n));
+    for (std::size_t i = 0; i < full && i < n; ++i) alpha[i] = upper;
+    if (full < n) alpha[full] = 1.0 - static_cast<double>(full) * upper;
+  }
+
+  // Dense kernel matrix (bounded by max_train_points^2).
+  nn::Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = kernel_value(x.row(i), x.row(j));
+      q(i, j) = k;
+      q(j, i) = k;
+    }
+  }
+
+  // Gradient of the dual objective: G = Q * alpha.
+  std::vector<double> grad(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += q(i, j) * alpha[j];
+    grad[i] = sum;
+  }
+
+  const std::size_t max_iter =
+      config_.max_iterations == 0 ? 10'000'000 : config_.max_iterations;
+  std::size_t iter = 0;
+  for (; iter < max_iter; ++iter) {
+    // Maximal-violating-pair selection: i minimizes G among alpha_i < C,
+    // j maximizes G among alpha_j > 0.
+    std::size_t i_sel = n;
+    std::size_t j_sel = n;
+    double g_min = std::numeric_limits<double>::infinity();
+    double g_max = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (alpha[t] < upper - 1e-15 && grad[t] < g_min) {
+        g_min = grad[t];
+        i_sel = t;
+      }
+      if (alpha[t] > 1e-15 && grad[t] > g_max) {
+        g_max = grad[t];
+        j_sel = t;
+      }
+    }
+    if (i_sel == n || j_sel == n || g_max - g_min < config_.tolerance) break;
+
+    // Move mass from j to i along the equality constraint.
+    double curvature = q(i_sel, i_sel) + q(j_sel, j_sel) - 2.0 * q(i_sel, j_sel);
+    if (curvature <= 0.0) curvature = kTau;  // non-PSD kernel guard
+    double delta = (g_max - g_min) / curvature;
+    delta = std::min(delta, upper - alpha[i_sel]);
+    delta = std::min(delta, alpha[j_sel]);
+    if (delta <= 0.0) break;
+
+    alpha[i_sel] += delta;
+    alpha[j_sel] -= delta;
+    for (std::size_t t = 0; t < n; ++t) {
+      grad[t] += delta * (q(t, i_sel) - q(t, j_sel));
+    }
+  }
+  iterations_used_ = iter;
+
+  // rho: mean gradient over free support vectors; fall back to the bound
+  // midpoint when none are free.
+  double rho_sum = 0.0;
+  std::size_t rho_count = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-12 && alpha[t] < upper - 1e-12) {
+      rho_sum += grad[t];
+      ++rho_count;
+    }
+  }
+  if (rho_count > 0) {
+    rho_ = rho_sum / static_cast<double>(rho_count);
+  } else {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (alpha[t] <= 1e-12) lo = std::max(lo, grad[t]);
+      else hi = std::min(hi, grad[t]);
+    }
+    rho_ = (lo + hi) / 2.0;
+  }
+
+  // Keep only support vectors.
+  std::vector<std::size_t> sv_index;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-12) sv_index.push_back(t);
+  }
+  GO_ENSURES(!sv_index.empty());
+  support_vectors_ = nn::Matrix(sv_index.size(), dim);
+  coefficients_.resize(sv_index.size());
+  for (std::size_t s = 0; s < sv_index.size(); ++s) {
+    const auto src = x.row(sv_index[s]);
+    std::copy(src.begin(), src.end(), support_vectors_.row(s).begin());
+    coefficients_[s] = alpha[sv_index[s]];
+  }
+}
+
+double OneClassSvm::decision_function(const std::vector<double>& standardized) const {
+  GO_EXPECTS(support_vectors_.rows() > 0);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < support_vectors_.rows(); ++s) {
+    sum += coefficients_[s] * kernel_value(standardized, support_vectors_.row(s));
+  }
+  return sum - rho_;
+}
+
+double OneClassSvm::anomaly_score(const nn::Matrix& window) const {
+  const auto flat = data::flatten(window);
+  nn::Matrix row(1, flat.size());
+  std::copy(flat.begin(), flat.end(), row.row(0).begin());
+  const nn::Matrix standardized = standardizer_.transform(row);
+  std::vector<double> features(standardized.row(0).begin(), standardized.row(0).end());
+  return -decision_function(features);
+}
+
+bool OneClassSvm::flags(const nn::Matrix& window) const {
+  return anomaly_score(window) > 0.0;
+}
+
+}  // namespace goodones::detect

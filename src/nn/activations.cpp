@@ -1,0 +1,26 @@
+#include "nn/activations.hpp"
+
+namespace goodones::nn {
+
+Matrix tanh_matrix(Matrix m) noexcept {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (double& x : m.row(r)) x = tanh_act(x);
+  }
+  return m;
+}
+
+Matrix sigmoid_matrix(Matrix m) noexcept {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (double& x : m.row(r)) x = sigmoid(x);
+  }
+  return m;
+}
+
+Matrix relu_matrix(Matrix m) noexcept {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (double& x : m.row(r)) x = relu(x);
+  }
+  return m;
+}
+
+}  // namespace goodones::nn

@@ -1,0 +1,223 @@
+#include "nn/lstm.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+
+namespace goodones::nn {
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_x_(input_dim, 4 * hidden_dim),
+      w_h_(hidden_dim, 4 * hidden_dim),
+      b_(1, 4 * hidden_dim) {
+  GO_EXPECTS(input_dim > 0 && hidden_dim > 0);
+  w_x_.init_xavier(rng, input_dim, hidden_dim);
+  w_h_.init_xavier(rng, hidden_dim, hidden_dim);
+  // Forget-gate bias = 1 so cells retain state early in training.
+  for (std::size_t j = 0; j < hidden_dim_; ++j) b_.value(0, hidden_dim_ + j) = 1.0;
+}
+
+Matrix Lstm::forward(const Matrix& x) const {
+  Cache scratch;
+  return forward_cached(x, scratch);
+}
+
+Matrix Lstm::forward_cached(const Matrix& x, Cache& cache) const {
+  GO_EXPECTS(x.cols() == input_dim_);
+  GO_EXPECTS(x.rows() > 0);
+  const std::size_t steps = x.rows();
+  const std::size_t h = hidden_dim_;
+
+  cache.input = x;
+  cache.gate_i = Matrix(steps, h);
+  cache.gate_f = Matrix(steps, h);
+  cache.gate_g = Matrix(steps, h);
+  cache.gate_o = Matrix(steps, h);
+  cache.cell = Matrix(steps, h);
+  cache.cell_tanh = Matrix(steps, h);
+  cache.hidden = Matrix(steps, h);
+
+  // Precompute x * Wx for all timesteps at once (the big matmul).
+  const Matrix x_proj = matmul(x, w_x_.value);
+
+  std::vector<double> h_prev(h, 0.0);
+  std::vector<double> c_prev(h, 0.0);
+  std::vector<double> pre(4 * h);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // pre = x_proj[t] + h_prev * Wh + b
+    const auto xp = x_proj.row(t);
+    for (std::size_t j = 0; j < 4 * h; ++j) pre[j] = xp[j] + b_.value(0, j);
+    for (std::size_t k = 0; k < h; ++k) {
+      const double hk = h_prev[k];
+      if (hk == 0.0) continue;
+      const double* wh_row = w_h_.value.data() + k * 4 * h;
+      for (std::size_t j = 0; j < 4 * h; ++j) pre[j] += hk * wh_row[j];
+    }
+
+    auto gi = cache.gate_i.row(t);
+    auto gf = cache.gate_f.row(t);
+    auto gg = cache.gate_g.row(t);
+    auto go = cache.gate_o.row(t);
+    auto ct = cache.cell.row(t);
+    auto ctt = cache.cell_tanh.row(t);
+    auto ht = cache.hidden.row(t);
+
+    for (std::size_t j = 0; j < h; ++j) {
+      gi[j] = sigmoid(pre[j]);
+      gf[j] = sigmoid(pre[h + j]);
+      gg[j] = tanh_act(pre[2 * h + j]);
+      go[j] = sigmoid(pre[3 * h + j]);
+      ct[j] = gf[j] * c_prev[j] + gi[j] * gg[j];
+      ctt[j] = tanh_act(ct[j]);
+      ht[j] = go[j] * ctt[j];
+      c_prev[j] = ct[j];
+      h_prev[j] = ht[j];
+    }
+  }
+  return cache.hidden;
+}
+
+Matrix Lstm::backward(const Matrix& grad_hidden, const Cache& cache) {
+  const std::size_t steps = cache.input.rows();
+  const std::size_t h = hidden_dim_;
+  GO_EXPECTS(grad_hidden.rows() == steps && grad_hidden.cols() == h);
+
+  Matrix grad_pre_all(steps, 4 * h);  // dLoss/d(pre-activations), all steps
+  std::vector<double> dh_next(h, 0.0);
+  std::vector<double> dc_next(h, 0.0);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const auto gi = cache.gate_i.row(t);
+    const auto gf = cache.gate_f.row(t);
+    const auto gg = cache.gate_g.row(t);
+    const auto go = cache.gate_o.row(t);
+    const auto ctt = cache.cell_tanh.row(t);
+    const auto gh = grad_hidden.row(t);
+    auto dpre = grad_pre_all.row(t);
+
+    for (std::size_t j = 0; j < h; ++j) {
+      const double dh = gh[j] + dh_next[j];
+      const double dct = dh * go[j] * tanh_grad_from_output(ctt[j]) + dc_next[j];
+      const double c_prev = t > 0 ? cache.cell(t - 1, j) : 0.0;
+
+      const double di = dct * gg[j];
+      const double df = dct * c_prev;
+      const double dg = dct * gi[j];
+      const double do_ = dh * ctt[j];
+
+      dpre[j] = di * sigmoid_grad_from_output(gi[j]);
+      dpre[h + j] = df * sigmoid_grad_from_output(gf[j]);
+      dpre[2 * h + j] = dg * tanh_grad_from_output(gg[j]);
+      dpre[3 * h + j] = do_ * sigmoid_grad_from_output(go[j]);
+
+      dc_next[j] = dct * gf[j];
+    }
+
+    // dh_next = dpre * Wh^T (contribution to the previous hidden state).
+    for (std::size_t k = 0; k < h; ++k) {
+      const double* wh_row = w_h_.value.data() + k * 4 * h;
+      double sum = 0.0;
+      for (std::size_t j = 0; j < 4 * h; ++j) sum += dpre[j] * wh_row[j];
+      dh_next[k] = sum;
+    }
+  }
+
+  // Parameter gradients, batched over time:
+  //   dWx += x^T * dpre ; db += column sums of dpre ;
+  //   dWh += h_{t-1}^T * dpre (shift hidden by one step).
+  matmul_trans_a_accumulate(cache.input, grad_pre_all, w_x_.grad);
+  for (std::size_t t = 0; t < steps; ++t) {
+    axpy(1.0, grad_pre_all.row(t), b_.grad.row(0));
+  }
+  for (std::size_t t = 1; t < steps; ++t) {
+    const auto h_prev = cache.hidden.row(t - 1);
+    const auto dpre = grad_pre_all.row(t);
+    for (std::size_t k = 0; k < h; ++k) {
+      const double hk = h_prev[k];
+      if (hk == 0.0) continue;
+      double* wh_grad_row = w_h_.grad.data() + k * 4 * h;
+      for (std::size_t j = 0; j < 4 * h; ++j) wh_grad_row[j] += hk * dpre[j];
+    }
+  }
+
+  // dX = dpre * Wx^T.
+  return matmul_trans_b(grad_pre_all, w_x_.value);
+}
+
+BiLstm::BiLstm(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng)
+    : fwd_(input_dim, hidden_dim, rng), bwd_(input_dim, hidden_dim, rng) {}
+
+Matrix reverse_time(const Matrix& x) {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    const auto src = x.row(x.rows() - 1 - t);
+    auto dst = out.row(t);
+    for (std::size_t c = 0; c < x.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix BiLstm::forward(const Matrix& x) const {
+  Cache scratch;
+  return forward_cached(x, scratch);
+}
+
+Matrix BiLstm::forward_cached(const Matrix& x, Cache& cache) const {
+  const Matrix h_fwd = fwd_.forward_cached(x, cache.fwd);
+  const Matrix h_bwd_rev = bwd_.forward_cached(reverse_time(x), cache.bwd);
+  const Matrix h_bwd = reverse_time(h_bwd_rev);  // re-align to forward time
+
+  Matrix out(x.rows(), output_dim());
+  const std::size_t h = hidden_dim();
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    auto dst = out.row(t);
+    const auto f = h_fwd.row(t);
+    const auto b = h_bwd.row(t);
+    for (std::size_t j = 0; j < h; ++j) {
+      dst[j] = f[j];
+      dst[h + j] = b[j];
+    }
+  }
+  return out;
+}
+
+Matrix BiLstm::backward(const Matrix& grad_output, const Cache& cache) {
+  const std::size_t steps = cache.fwd.input.rows();
+  const std::size_t h = hidden_dim();
+  GO_EXPECTS(grad_output.rows() == steps && grad_output.cols() == 2 * h);
+
+  Matrix grad_fwd(steps, h);
+  Matrix grad_bwd_aligned(steps, h);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const auto g = grad_output.row(t);
+    auto gf = grad_fwd.row(t);
+    auto gb = grad_bwd_aligned.row(t);
+    for (std::size_t j = 0; j < h; ++j) {
+      gf[j] = g[j];
+      gb[j] = g[h + j];
+    }
+  }
+
+  const Matrix dx_fwd = fwd_.backward(grad_fwd, cache.fwd);
+  // The backward cell ran on reversed input, so its hidden-grad must be
+  // reversed into its own time order, and its dX reversed back.
+  const Matrix dx_bwd_rev = bwd_.backward(reverse_time(grad_bwd_aligned), cache.bwd);
+  const Matrix dx_bwd = reverse_time(dx_bwd_rev);
+
+  Matrix dx = dx_fwd;
+  dx += dx_bwd;
+  return dx;
+}
+
+ParamRefs BiLstm::parameters() {
+  ParamRefs params = fwd_.parameters();
+  const ParamRefs bwd_params = bwd_.parameters();
+  params.insert(params.end(), bwd_params.begin(), bwd_params.end());
+  return params;
+}
+
+}  // namespace goodones::nn

@@ -1,0 +1,107 @@
+// Single-direction LSTM over a full sequence, with exact backpropagation
+// through time that also yields gradients with respect to the *inputs*.
+//
+// Input gradients are load-bearing twice in this library: (1) MAD-GAN's
+// DR-score inverts the generator by gradient descent in latent space, and
+// (2) gradient-guided variants of the evasion attack need dPrediction/dInput.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+#include "nn/param.hpp"
+
+namespace goodones::nn {
+
+class Lstm {
+ public:
+  /// Weights Xavier-initialized from `rng`; forget-gate bias starts at 1
+  /// (the standard initialization that keeps early gradients flowing).
+  Lstm(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng);
+
+  std::size_t input_dim() const noexcept { return input_dim_; }
+  std::size_t hidden_dim() const noexcept { return hidden_dim_; }
+
+  /// Runs the sequence x (T x input_dim) from zero initial state and
+  /// returns all hidden states (T x hidden_dim).
+  Matrix forward(const Matrix& x) const;
+
+  /// Per-sequence activation cache captured by forward_cached.
+  struct Cache {
+    Matrix input;      // T x D
+    Matrix gate_i;     // T x H, post-sigmoid
+    Matrix gate_f;     // T x H, post-sigmoid
+    Matrix gate_g;     // T x H, post-tanh
+    Matrix gate_o;     // T x H, post-sigmoid
+    Matrix cell;       // T x H, c_t
+    Matrix cell_tanh;  // T x H, tanh(c_t)
+    Matrix hidden;     // T x H, h_t
+  };
+
+  Matrix forward_cached(const Matrix& x, Cache& cache) const;
+
+  /// Backpropagation through time. `grad_hidden` holds dLoss/dh_t for every
+  /// timestep (T x hidden_dim; rows may be zero when only some steps feed
+  /// the loss). Accumulates parameter gradients and returns dLoss/dx.
+  Matrix backward(const Matrix& grad_hidden, const Cache& cache);
+
+  ParamRefs parameters() noexcept { return {&w_x_, &w_h_, &b_}; }
+
+  ParamBuffer& weight_input() noexcept { return w_x_; }
+  ParamBuffer& weight_hidden() noexcept { return w_h_; }
+  ParamBuffer& bias() noexcept { return b_; }
+  const ParamBuffer& weight_input() const noexcept { return w_x_; }
+  const ParamBuffer& weight_hidden() const noexcept { return w_h_; }
+  const ParamBuffer& bias() const noexcept { return b_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  // Gate order within the fused 4H dimension: [input, forget, cell, output].
+  ParamBuffer w_x_;  // D x 4H
+  ParamBuffer w_h_;  // H x 4H
+  ParamBuffer b_;    // 1 x 4H
+};
+
+/// Bidirectional LSTM: forward and backward passes over the sequence with
+/// independent parameters; outputs are concatenated per timestep to
+/// (T x 2*hidden_dim), matching the target model of Rubin-Falcone et al.
+class BiLstm {
+ public:
+  BiLstm(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng);
+
+  std::size_t input_dim() const noexcept { return fwd_.input_dim(); }
+  std::size_t hidden_dim() const noexcept { return fwd_.hidden_dim(); }
+  /// Output feature width (2 * hidden_dim).
+  std::size_t output_dim() const noexcept { return 2 * fwd_.hidden_dim(); }
+
+  Matrix forward(const Matrix& x) const;
+
+  struct Cache {
+    Lstm::Cache fwd;
+    Lstm::Cache bwd;  // computed on the time-reversed input
+  };
+
+  Matrix forward_cached(const Matrix& x, Cache& cache) const;
+
+  /// `grad_output` is (T x 2H) w.r.t. the concatenated outputs.
+  /// Returns dLoss/dx (T x input_dim).
+  Matrix backward(const Matrix& grad_output, const Cache& cache);
+
+  ParamRefs parameters();
+
+  Lstm& forward_cell() noexcept { return fwd_; }
+  Lstm& backward_cell() noexcept { return bwd_; }
+  const Lstm& forward_cell() const noexcept { return fwd_; }
+  const Lstm& backward_cell() const noexcept { return bwd_; }
+
+ private:
+  Lstm fwd_;
+  Lstm bwd_;
+};
+
+/// Reverses the row (time) order of a sequence matrix.
+Matrix reverse_time(const Matrix& x);
+
+}  // namespace goodones::nn

@@ -1,0 +1,156 @@
+#include "nn/matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace goodones::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    GO_EXPECTS(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+std::span<double> Matrix::row(std::size_t r) noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::fill(double value) noexcept {
+  for (double& x : data_) x = value;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  GO_EXPECTS(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  GO_EXPECTS(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::hadamard_inplace(const Matrix& other) {
+  GO_EXPECTS(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::squared_norm() const noexcept {
+  double sum = 0.0;
+  for (const double x : data_) sum += x * x;
+  return sum;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  matmul_accumulate(a, b, out);
+  return out;
+}
+
+Matrix matmul_trans_a(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  matmul_trans_a_accumulate(a, b, out);
+  return out;
+}
+
+Matrix matmul_trans_b(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  matmul_trans_b_accumulate(a, b, out);
+  return out;
+}
+
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  GO_EXPECTS(a.cols() == b.rows());
+  GO_EXPECTS(out.rows() == a.rows() && out.cols() == b.cols());
+  // i-k-j order: streams through b and out rows contiguously.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.data() + i * out.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* b_row = b.data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void matmul_trans_a_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  GO_EXPECTS(a.rows() == b.rows());
+  GO_EXPECTS(out.rows() == a.cols() && out.cols() == b.cols());
+  // out(i,j) += sum_k a(k,i) * b(k,j); loop k outermost for contiguous rows.
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.data() + k * a.cols();
+    const double* b_row = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.data() + i * out.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void matmul_trans_b_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  GO_EXPECTS(a.cols() == b.cols());
+  GO_EXPECTS(out.rows() == a.rows() && out.cols() == b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.data() + i * a.cols();
+    double* out_row = out.data() + i * out.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.data() + j * b.cols();
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += a_row[k] * b_row[k];
+      out_row[j] += sum;
+    }
+  }
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix a, double scalar) {
+  a *= scalar;
+  return a;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  GO_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+}  // namespace goodones::nn

@@ -1,0 +1,79 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace goodones::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x474F4E4E;  // "GONN"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("model file truncated");
+  return v;
+}
+
+}  // namespace
+
+void write_matrix(std::ostream& out, const Matrix& m) {
+  write_u32(out, static_cast<std::uint32_t>(m.rows()));
+  write_u32(out, static_cast<std::uint32_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+Matrix read_matrix(std::istream& in) {
+  const std::uint32_t rows = read_u32(in);
+  const std::uint32_t cols = read_u32(in);
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("model file truncated in matrix body");
+  return m;
+}
+
+void save_parameters(const ParamRefs& params, const std::filesystem::path& path) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open model file for writing: " + path.string());
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto* p : params) write_matrix(out, p->value);
+  if (!out) throw std::runtime_error("model write failed: " + path.string());
+}
+
+bool load_parameters(const ParamRefs& params, const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  if (read_u32(in) != kMagic) throw std::runtime_error("bad model magic: " + path.string());
+  if (read_u32(in) != kVersion) throw std::runtime_error("bad model version: " + path.string());
+  const std::uint32_t count = read_u32(in);
+  if (count != params.size()) {
+    throw std::runtime_error("model parameter count mismatch: " + path.string());
+  }
+  // Read everything first so a mid-file failure leaves buffers untouched.
+  std::vector<Matrix> loaded;
+  loaded.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) loaded.push_back(read_matrix(in));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!loaded[i].same_shape(params[i]->value)) {
+      throw std::runtime_error("model parameter shape mismatch: " + path.string());
+    }
+  }
+  for (std::uint32_t i = 0; i < count; ++i) params[i]->value = std::move(loaded[i]);
+  return true;
+}
+
+}  // namespace goodones::nn

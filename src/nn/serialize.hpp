@@ -1,0 +1,28 @@
+// Binary serialization for matrices and parameter sets. Used to persist
+// trained models into the artifact cache so repeated bench runs skip
+// retraining. Format: magic, version, then length-prefixed matrices.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "nn/matrix.hpp"
+#include "nn/param.hpp"
+
+namespace goodones::nn {
+
+/// Writes one matrix (dims + row-major doubles, little-endian host order).
+void write_matrix(std::ostream& out, const Matrix& m);
+
+/// Reads one matrix; throws std::runtime_error on malformed input.
+Matrix read_matrix(std::istream& in);
+
+/// Saves all parameter values (not gradients) to a file.
+void save_parameters(const ParamRefs& params, const std::filesystem::path& path);
+
+/// Loads values into existing buffers; shapes must match exactly.
+/// Returns false (without modifying anything) if the file does not exist.
+/// Throws std::runtime_error on shape or format mismatch.
+bool load_parameters(const ParamRefs& params, const std::filesystem::path& path);
+
+}  // namespace goodones::nn

@@ -1,0 +1,188 @@
+#include "predict/bilstm_forecaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "sim/patient.hpp"
+
+namespace goodones::predict {
+
+namespace {
+
+/// RNG used only for weight initialization, derived from the config seed.
+common::Rng init_rng(const ForecasterConfig& config) {
+  return common::Rng(config.seed * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL);
+}
+
+}  // namespace
+
+data::MinMaxScaler fit_forecaster_scaler(const nn::Matrix& train_values) {
+  data::MinMaxScaler scaler;
+  scaler.fit(train_values);
+  scaler.set_column_range(data::kCgm, sim::kMinGlucose, sim::kMaxGlucose);
+  return scaler;
+}
+
+BiLstmForecaster::BiLstmForecaster(const ForecasterConfig& config, data::MinMaxScaler scaler)
+    : config_(config),
+      scaler_(std::move(scaler)),
+      init_rng_(init_rng(config)),
+      lstm_(data::kNumChannels, config.hidden, init_rng_),
+      head1_(2 * config.hidden, config.head_hidden, nn::Activation::kTanh, init_rng_),
+      head2_(config.head_hidden, 1, nn::Activation::kLinear, init_rng_) {
+  GO_EXPECTS(scaler_.fitted());
+  GO_EXPECTS(scaler_.num_features() == data::kNumChannels);
+}
+
+nn::ParamRefs BiLstmForecaster::parameters() {
+  nn::ParamRefs params = lstm_.parameters();
+  for (auto* p : head1_.parameters()) params.push_back(p);
+  for (auto* p : head2_.parameters()) params.push_back(p);
+  return params;
+}
+
+double BiLstmForecaster::forward_normalized(const nn::Matrix& scaled,
+                                            nn::BiLstm::Cache& lstm_cache,
+                                            nn::Dense::Cache& head1_cache,
+                                            nn::Dense::Cache& head2_cache) const {
+  const nn::Matrix hidden = lstm_.forward_cached(scaled, lstm_cache);
+  // Dense head consumes only the final timestep's concatenated state.
+  nn::Matrix last(1, hidden.cols());
+  const auto src = hidden.row(hidden.rows() - 1);
+  std::copy(src.begin(), src.end(), last.row(0).begin());
+  const nn::Matrix h1 = head1_.forward_cached(last, head1_cache);
+  const nn::Matrix out = head2_.forward_cached(h1, head2_cache);
+  return out(0, 0);
+}
+
+double BiLstmForecaster::predict(const nn::Matrix& raw_features) const {
+  GO_EXPECTS(raw_features.cols() == data::kNumChannels);
+  nn::BiLstm::Cache lstm_cache;
+  nn::Dense::Cache c1;
+  nn::Dense::Cache c2;
+  const double normalized =
+      forward_normalized(scaler_.transform(raw_features), lstm_cache, c1, c2);
+  return scaler_.inverse_transform_value(normalized, data::kCgm);
+}
+
+nn::Matrix BiLstmForecaster::input_gradient(const nn::Matrix& raw_features) const {
+  GO_EXPECTS(raw_features.cols() == data::kNumChannels);
+  // The backward pass accumulates parameter gradients; run it on a scratch
+  // copy of the model so this method stays const and thread-safe.
+  BiLstmForecaster scratch(*this);
+
+  nn::BiLstm::Cache lstm_cache;
+  nn::Dense::Cache c1;
+  nn::Dense::Cache c2;
+  const nn::Matrix scaled = scaler_.transform(raw_features);
+  scratch.forward_normalized(scaled, lstm_cache, c1, c2);
+
+  nn::Matrix grad_out(1, 1);
+  grad_out(0, 0) = 1.0;  // d(normalized prediction)/d(normalized prediction)
+  const nn::Matrix g1 = scratch.head2_.backward(grad_out, c2);
+  const nn::Matrix g_last = scratch.head1_.backward(g1, c1);
+
+  nn::Matrix grad_hidden(scaled.rows(), 2 * config_.hidden);
+  std::copy(g_last.row(0).begin(), g_last.row(0).end(),
+            grad_hidden.row(scaled.rows() - 1).begin());
+  nn::Matrix dx_scaled = scratch.lstm_.backward(grad_hidden, lstm_cache);
+
+  // Chain through the scalers: prediction is inverse-scaled by the glucose
+  // range; inputs were forward-scaled by each channel's range.
+  const double glucose_range =
+      scaler_.column_max(data::kCgm) - scaler_.column_min(data::kCgm);
+  nn::Matrix dx_raw(dx_scaled.rows(), dx_scaled.cols());
+  for (std::size_t c = 0; c < data::kNumChannels; ++c) {
+    const double channel_range = scaler_.column_max(c) - scaler_.column_min(c);
+    const double factor = channel_range > 0.0 ? glucose_range / channel_range : 0.0;
+    for (std::size_t t = 0; t < dx_scaled.rows(); ++t) {
+      dx_raw(t, c) = dx_scaled(t, c) * factor;
+    }
+  }
+  return dx_raw;
+}
+
+double BiLstmForecaster::train(const std::vector<data::Window>& windows) {
+  GO_EXPECTS(!windows.empty());
+  GO_EXPECTS(config_.epochs > 0 && config_.batch_size > 0);
+
+  // Pre-scale features and targets once.
+  std::vector<nn::Matrix> scaled;
+  std::vector<double> targets;
+  scaled.reserve(windows.size());
+  targets.reserve(windows.size());
+  for (const auto& w : windows) {
+    scaled.push_back(scaler_.transform(w.features));
+    targets.push_back(scaler_.transform_value(w.target_glucose, data::kCgm));
+  }
+
+  const nn::ParamRefs params = parameters();
+  nn::Adam optimizer(config_.learning_rate);
+  common::Rng shuffle_rng(config_.seed ^ 0xA5A5A5A5DEADBEEFULL);
+
+  std::vector<std::size_t> order(windows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double final_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::size_t i = order[pos];
+      nn::BiLstm::Cache lstm_cache;
+      nn::Dense::Cache c1;
+      nn::Dense::Cache c2;
+      const double pred = forward_normalized(scaled[i], lstm_cache, c1, c2);
+
+      const double diff = pred - targets[i];
+      epoch_loss += diff * diff;
+
+      nn::Matrix grad_out(1, 1);
+      grad_out(0, 0) = 2.0 * diff;  // d(squared error)/d(pred)
+      const nn::Matrix g1 = head2_.backward(grad_out, c2);
+      const nn::Matrix g_last = head1_.backward(g1, c1);
+      nn::Matrix grad_hidden(scaled[i].rows(), 2 * config_.hidden);
+      std::copy(g_last.row(0).begin(), g_last.row(0).end(),
+                grad_hidden.row(scaled[i].rows() - 1).begin());
+      lstm_.backward(grad_hidden, lstm_cache);
+
+      if (++in_batch == config_.batch_size || pos + 1 == order.size()) {
+        // Average the accumulated gradients over the batch, clip, step.
+        const double inv = 1.0 / static_cast<double>(in_batch);
+        for (auto* p : params) p->grad *= inv;
+        nn::clip_global_grad_norm(params, config_.grad_clip);
+        optimizer.step_and_zero(params);
+        in_batch = 0;
+      }
+    }
+    final_epoch_loss = epoch_loss / static_cast<double>(order.size());
+  }
+  return final_epoch_loss;
+}
+
+double BiLstmForecaster::evaluate_rmse(const std::vector<data::Window>& windows) const {
+  GO_EXPECTS(!windows.empty());
+  double sum = 0.0;
+  for (const auto& w : windows) {
+    const double diff = predict(w.features) - w.target_glucose;
+    sum += diff * diff;
+  }
+  return std::sqrt(sum / static_cast<double>(windows.size()));
+}
+
+void BiLstmForecaster::save(const std::filesystem::path& path) const {
+  BiLstmForecaster& self = const_cast<BiLstmForecaster&>(*this);
+  nn::save_parameters(self.parameters(), path);
+}
+
+bool BiLstmForecaster::load(const std::filesystem::path& path) {
+  return nn::load_parameters(parameters(), path);
+}
+
+}  // namespace goodones::predict

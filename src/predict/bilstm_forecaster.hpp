@@ -1,0 +1,78 @@
+// Bidirectional-LSTM glucose forecaster (target model of the case study).
+//
+// Architecture: BiLSTM over the (12 x 4) telemetry window, last-timestep
+// concatenated state -> tanh dense -> linear dense -> normalized glucose,
+// inverse-scaled to mg/dL. Mirrors the personalized/aggregate BiLSTM models
+// of Rubin-Falcone et al. that the paper attacks.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "data/scaler.hpp"
+#include "data/window.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "predict/forecaster.hpp"
+
+namespace goodones::predict {
+
+struct ForecasterConfig {
+  std::size_t hidden = 24;        ///< LSTM units per direction
+  std::size_t head_hidden = 16;   ///< width of the dense head
+  std::size_t epochs = 6;
+  std::size_t batch_size = 32;
+  double learning_rate = 3e-3;
+  double grad_clip = 1.0;         ///< global-norm gradient clipping
+  std::uint64_t seed = 7;
+};
+
+class BiLstmForecaster final : public GlucoseForecaster {
+ public:
+  /// Builds an untrained model; `scaler` must already be fitted on the
+  /// intended training distribution (4 telemetry channels).
+  BiLstmForecaster(const ForecasterConfig& config, data::MinMaxScaler scaler);
+
+  /// Trains on forecasting windows (raw units). Returns the final-epoch
+  /// mean training MSE in *normalized* units.
+  double train(const std::vector<data::Window>& windows);
+
+  double predict(const nn::Matrix& raw_features) const override;
+  nn::Matrix input_gradient(const nn::Matrix& raw_features) const override;
+
+  /// RMSE in mg/dL over a window set (evaluation helper).
+  double evaluate_rmse(const std::vector<data::Window>& windows) const;
+
+  const data::MinMaxScaler& scaler() const noexcept { return scaler_; }
+  const ForecasterConfig& config() const noexcept { return config_; }
+
+  /// Model persistence for the artifact cache. Shapes must match on load.
+  void save(const std::filesystem::path& path) const;
+  /// Returns false if no file exists (leaves weights untouched).
+  bool load(const std::filesystem::path& path);
+
+ private:
+  nn::ParamRefs parameters();
+
+  /// Forward in normalized space; fills caches and returns the scalar.
+  double forward_normalized(const nn::Matrix& scaled, nn::BiLstm::Cache& lstm_cache,
+                            nn::Dense::Cache& head1_cache,
+                            nn::Dense::Cache& head2_cache) const;
+
+  ForecasterConfig config_;
+  data::MinMaxScaler scaler_;
+  // Declared before the layers so member-initialization order guarantees a
+  // deterministic weight-init stream derived from the config seed.
+  common::Rng init_rng_;
+  nn::BiLstm lstm_;
+  nn::Dense head1_;
+  nn::Dense head2_;
+};
+
+/// Fits the forecaster feature scaler on a training series, pinning the CGM
+/// channel to the physiological range [40, 499] mg/dL so all models share
+/// one glucose scale (required for cross-patient risk comparison).
+data::MinMaxScaler fit_forecaster_scaler(const nn::Matrix& train_values);
+
+}  // namespace goodones::predict

@@ -1,0 +1,73 @@
+#include "predict/registry.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "data/timeseries.hpp"
+
+namespace goodones::predict {
+
+const BiLstmForecaster& ModelRegistry::personalized(std::size_t cohort_index) const {
+  GO_EXPECTS(cohort_index < personalized_.size());
+  return *personalized_[cohort_index];
+}
+
+const BiLstmForecaster& ModelRegistry::aggregate() const {
+  GO_EXPECTS(aggregate_ != nullptr);
+  return *aggregate_;
+}
+
+ModelRegistry ModelRegistry::train(const std::vector<sim::PatientTrace>& cohort,
+                                   const RegistryConfig& config, common::ThreadPool& pool) {
+  GO_EXPECTS(!cohort.empty());
+  ModelRegistry registry;
+  registry.personalized_.resize(cohort.size());
+
+  // Per-patient training windows (subsampled), shared by both model kinds.
+  data::WindowConfig train_window = config.window;
+  train_window.step = config.train_window_step;
+
+  std::vector<std::vector<data::Window>> patient_windows(cohort.size());
+  std::vector<data::TelemetrySeries> train_series;
+  train_series.reserve(cohort.size());
+  for (const auto& trace : cohort) train_series.push_back(data::to_series(trace.train));
+
+  common::parallel_for(pool, cohort.size(), [&](std::size_t i) {
+    patient_windows[i] = data::make_windows(train_series[i], train_window);
+  });
+
+  // Personalized models in parallel; each derives its own seed so results
+  // do not depend on scheduling.
+  common::parallel_for(pool, cohort.size(), [&](std::size_t i) {
+    ForecasterConfig fc = config.forecaster;
+    fc.seed = config.forecaster.seed * 1000 + i;
+    auto model = std::make_unique<BiLstmForecaster>(
+        fc, fit_forecaster_scaler(train_series[i].values));
+    const double loss = model->train(patient_windows[i]);
+    common::log_info("personalized model ", sim::to_string(cohort[i].params.id),
+                     " trained, final MSE(norm)=", loss);
+    registry.personalized_[i] = std::move(model);
+  });
+
+  // Aggregate model: pool windows across all patients with a larger stride.
+  data::WindowConfig agg_window = config.window;
+  agg_window.step = config.aggregate_window_step;
+  std::vector<data::Window> pooled;
+  data::MinMaxScaler agg_scaler;
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    auto windows = data::make_windows(train_series[i], agg_window);
+    pooled.insert(pooled.end(), std::make_move_iterator(windows.begin()),
+                  std::make_move_iterator(windows.end()));
+    agg_scaler.partial_fit(train_series[i].values);
+  }
+  agg_scaler.set_column_range(data::kCgm, sim::kMinGlucose, sim::kMaxGlucose);
+
+  ForecasterConfig agg_config = config.forecaster;
+  agg_config.seed = config.forecaster.seed * 1000 + 999;
+  registry.aggregate_ = std::make_unique<BiLstmForecaster>(agg_config, agg_scaler);
+  const double agg_loss = registry.aggregate_->train(pooled);
+  common::log_info("aggregate model trained on ", pooled.size(),
+                   " windows, final MSE(norm)=", agg_loss);
+  return registry;
+}
+
+}  // namespace goodones::predict

@@ -1,0 +1,43 @@
+// Training and lookup of the case study's model fleet: one personalized
+// forecaster per patient plus one aggregate model trained on data pooled
+// across all patients (the two model types of Rubin-Falcone et al. that
+// the paper attacks).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "predict/bilstm_forecaster.hpp"
+#include "sim/cohort.hpp"
+
+namespace goodones::predict {
+
+struct RegistryConfig {
+  ForecasterConfig forecaster;
+  data::WindowConfig window;
+  std::size_t train_window_step = 2;      ///< subsampling stride for training
+  std::size_t aggregate_window_step = 12; ///< heavier stride for the pooled model
+};
+
+/// The trained fleet. Personalized models are indexed in cohort order
+/// (A_0..A_5 then B_0..B_5).
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  const BiLstmForecaster& personalized(std::size_t cohort_index) const;
+  const BiLstmForecaster& aggregate() const;
+  std::size_t num_personalized() const noexcept { return personalized_.size(); }
+
+  /// Trains every model; personalized models run in parallel on `pool`.
+  /// Determinism holds regardless of thread scheduling (per-model seeds).
+  static ModelRegistry train(const std::vector<sim::PatientTrace>& cohort,
+                             const RegistryConfig& config, common::ThreadPool& pool);
+
+ private:
+  std::vector<std::unique_ptr<BiLstmForecaster>> personalized_;
+  std::unique_ptr<BiLstmForecaster> aggregate_;
+};
+
+}  // namespace goodones::predict

@@ -1,0 +1,105 @@
+#include "risk/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace goodones::risk {
+
+OnlineRiskProfiler::OnlineRiskProfiler(std::vector<sim::PatientId> victims,
+                                       OnlineProfilerConfig config)
+    : config_(config),
+      victims_(std::move(victims)),
+      levels_(victims_.size(), 0.0),
+      batch_counts_(victims_.size(), 0),
+      currently_less_(victims_.size(), false) {
+  GO_EXPECTS(!victims_.empty());
+  GO_EXPECTS(config_.decay > 0.0 && config_.decay <= 1.0);
+  GO_EXPECTS(config_.hysteresis >= 0.0 && config_.hysteresis < 1.0);
+}
+
+void OnlineRiskProfiler::observe(std::size_t index,
+                                 const std::vector<attack::WindowOutcome>& outcomes) {
+  GO_EXPECTS(index < levels_.size());
+  if (outcomes.empty()) return;
+
+  double batch_mean = 0.0;
+  for (const auto& outcome : outcomes) {
+    batch_mean += std::log1p(instantaneous_risk(outcome, config_.schedule));
+  }
+  batch_mean /= static_cast<double>(outcomes.size());
+
+  if (batch_counts_[index] == 0) {
+    levels_[index] = batch_mean;
+  } else {
+    // Exponentially-weighted update: decay-fraction of the old level plus
+    // the complementary weight of the fresh evidence.
+    levels_[index] = config_.decay * levels_[index] + (1.0 - config_.decay) * batch_mean;
+  }
+  ++batch_counts_[index];
+}
+
+double OnlineRiskProfiler::level(std::size_t index) const {
+  GO_EXPECTS(index < levels_.size());
+  return levels_[index];
+}
+
+std::size_t OnlineRiskProfiler::batches(std::size_t index) const {
+  GO_EXPECTS(index < batch_counts_.size());
+  return batch_counts_[index];
+}
+
+const sim::PatientId& OnlineRiskProfiler::victim(std::size_t index) const {
+  GO_EXPECTS(index < victims_.size());
+  return victims_[index];
+}
+
+const OnlineRiskProfiler::Partition& OnlineRiskProfiler::reassess() {
+  for (const std::size_t count : batch_counts_) {
+    GO_EXPECTS(count > 0);
+  }
+
+  // 1-D max-gap split of the sorted levels (degenerate spread -> everyone
+  // is equally vulnerable; put all victims in the less-vulnerable group).
+  std::vector<std::size_t> order(levels_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return levels_[a] < levels_[b]; });
+
+  double best_gap = 0.0;
+  std::size_t split_after = order.size();  // index into the sorted order
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const double gap = levels_[order[i + 1]] - levels_[order[i]];
+    if (gap > best_gap) {
+      best_gap = gap;
+      split_after = i;
+    }
+  }
+
+  partition_ = Partition{};
+  if (split_after == order.size() || best_gap <= 0.0) {
+    partition_.less_vulnerable = order;
+    std::fill(currently_less_.begin(), currently_less_.end(), true);
+    return partition_;
+  }
+
+  // Boundary with hysteresis: after the first assessment, victims keep
+  // their previous side unless they cross the boundary by the configured
+  // relative margin.
+  const double boundary =
+      (levels_[order[split_after]] + levels_[order[split_after + 1]]) / 2.0;
+  const double margin =
+      first_assessment_ ? 0.0 : config_.hysteresis * std::abs(boundary);
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const bool less = levels_[i] < boundary - margin
+                          ? true
+                          : (levels_[i] > boundary + margin ? false : currently_less_[i]);
+    currently_less_[i] = less;
+    (less ? partition_.less_vulnerable : partition_.more_vulnerable).push_back(i);
+  }
+  first_assessment_ = false;
+  return partition_;
+}
+
+}  // namespace goodones::risk

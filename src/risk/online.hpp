@@ -1,0 +1,79 @@
+// Online risk profiling — the adaptive extension the paper sketches in
+// Appendix D and §V: "an iterative process that regularly reassesses
+// patient risk profiles and continuously updates them as new data become
+// available ... patients showing increased resilience are incorporated
+// into the retraining process, while those becoming more vulnerable are
+// excluded."
+//
+// The profiler maintains an exponentially-weighted risk level per victim;
+// observe() folds in new attacked-window outcomes as they arrive, and
+// reassess() re-derives the vulnerability partition. A hysteresis margin
+// prevents victims near the boundary from oscillating between clusters on
+// every batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/campaign.hpp"
+#include "risk/schedule.hpp"
+#include "sim/patient.hpp"
+
+namespace goodones::risk {
+
+struct OnlineProfilerConfig {
+  /// Exponential forgetting factor per observation batch: 1 = never forget
+  /// (cumulative mean), smaller = faster adaptation to regime changes.
+  double decay = 0.9;
+  /// Relative hysteresis around the cluster boundary: a victim switches
+  /// groups only when its level crosses the boundary by this fraction.
+  double hysteresis = 0.1;
+  SeveritySchedule schedule = SeveritySchedule::paper_default();
+};
+
+class OnlineRiskProfiler {
+ public:
+  /// The current vulnerability partition (victim indices).
+  struct Partition {
+    std::vector<std::size_t> less_vulnerable;
+    std::vector<std::size_t> more_vulnerable;
+  };
+
+  /// `victims` fixes the tracked population and its order.
+  OnlineRiskProfiler(std::vector<sim::PatientId> victims, OnlineProfilerConfig config);
+
+  std::size_t num_victims() const noexcept { return levels_.size(); }
+
+  /// Folds one batch of attacked-window outcomes for victim `index` into
+  /// its exponentially-weighted risk level (log1p-compressed, matching the
+  /// offline pipeline's clustering space). Empty batches are ignored.
+  void observe(std::size_t index, const std::vector<attack::WindowOutcome>& outcomes);
+
+  /// Current smoothed risk level of a victim (log1p space).
+  double level(std::size_t index) const;
+
+  /// Number of observation batches folded in for a victim.
+  std::size_t batches(std::size_t index) const;
+
+  /// Recomputes the vulnerability partition from current levels: the split
+  /// point is the largest gap in sorted levels (the 1-D analogue of the
+  /// offline dendrogram's max-gap cut), with hysteresis against the
+  /// previous assignment. Requires at least one observed batch per victim.
+  const Partition& reassess();
+
+  /// Latest partition (empty before the first reassess()).
+  const Partition& partition() const noexcept { return partition_; }
+
+  const sim::PatientId& victim(std::size_t index) const;
+
+ private:
+  OnlineProfilerConfig config_;
+  std::vector<sim::PatientId> victims_;
+  std::vector<double> levels_;
+  std::vector<std::size_t> batch_counts_;
+  std::vector<bool> currently_less_;  // hysteresis memory
+  bool first_assessment_ = true;
+  Partition partition_;
+};
+
+}  // namespace goodones::risk

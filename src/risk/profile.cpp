@@ -1,0 +1,60 @@
+#include "risk/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "risk/severity.hpp"
+
+namespace goodones::risk {
+
+double deviation_magnitude(double benign_prediction, double adversarial_prediction) noexcept {
+  const double diff = benign_prediction - adversarial_prediction;
+  return diff * diff;
+}
+
+double instantaneous_risk(const attack::WindowOutcome& outcome) noexcept {
+  const double severity = severity_coefficient(outcome.benign_predicted_state,
+                                               outcome.adversarial_predicted_state);
+  const double z = deviation_magnitude(outcome.attack.benign_prediction,
+                                       outcome.attack.adversarial_prediction);
+  return severity * z;
+}
+
+double RiskProfile::mean() const noexcept {
+  return common::mean(values);
+}
+
+double RiskProfile::peak() const noexcept {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::vector<double> RiskProfile::log_scaled() const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = std::log1p(values[i]);
+  return out;
+}
+
+RiskProfile build_profile(const sim::PatientId& id,
+                          const std::vector<attack::WindowOutcome>& outcomes) {
+  RiskProfile profile;
+  profile.id = id;
+  profile.values.reserve(outcomes.size());
+  for (const auto& outcome : outcomes) {
+    profile.values.push_back(instantaneous_risk(outcome));
+  }
+  return profile;
+}
+
+std::vector<RiskProfile> align_profiles(std::vector<RiskProfile> profiles) {
+  GO_EXPECTS(!profiles.empty());
+  std::size_t min_len = profiles.front().values.size();
+  for (const auto& p : profiles) min_len = std::min(min_len, p.values.size());
+  GO_EXPECTS(min_len > 0);
+  for (auto& p : profiles) p.values.resize(min_len);
+  return profiles;
+}
+
+}  // namespace goodones::risk

@@ -1,0 +1,47 @@
+// Instantaneous risk (paper Eq. 1-2) and per-victim time-series risk
+// profiles (framework steps 2 and 3).
+//
+//   Z_t = (y_t - f(x_t))^2          deviation magnitude between benign and
+//                                   adversarial model predictions (Eq. 2)
+//   R_t = S * Z_t                   severity-weighted instantaneous risk (Eq. 1)
+#pragma once
+
+#include <vector>
+
+#include "attack/campaign.hpp"
+#include "sim/patient.hpp"
+
+namespace goodones::risk {
+
+/// Eq. 2: squared deviation between benign and adversarial predictions.
+double deviation_magnitude(double benign_prediction,
+                           double adversarial_prediction) noexcept;
+
+/// Eq. 1 applied to one attacked window: severity of the induced
+/// prediction-state transition times the squared deviation.
+double instantaneous_risk(const attack::WindowOutcome& outcome) noexcept;
+
+/// A victim's continuous risk profile: R_t at every attacked timestamp,
+/// in time order (framework step 3).
+struct RiskProfile {
+  sim::PatientId id;
+  std::vector<double> values;
+
+  double mean() const noexcept;
+  double peak() const noexcept;
+
+  /// log1p-compressed copy. Risk spans orders of magnitude (severity 64 x
+  /// squared mg/dL deviations); log scaling keeps profile distances from
+  /// being dominated by single spikes when clustering.
+  std::vector<double> log_scaled() const;
+};
+
+/// Builds the profile of one victim from their campaign outcomes.
+RiskProfile build_profile(const sim::PatientId& id,
+                          const std::vector<attack::WindowOutcome>& outcomes);
+
+/// Truncates all profiles to the shortest length so they form an aligned
+/// matrix for distance computation. Requires non-empty, non-degenerate input.
+std::vector<RiskProfile> align_profiles(std::vector<RiskProfile> profiles);
+
+}  // namespace goodones::risk

@@ -1,0 +1,90 @@
+#include "risk/schedule.hpp"
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "risk/severity.hpp"
+
+namespace goodones::risk {
+
+using data::GlycemicState;
+
+std::size_t SeveritySchedule::index(GlycemicState state) noexcept {
+  return static_cast<std::size_t>(state);
+}
+
+SeveritySchedule::SeveritySchedule() {
+  table_.fill(1.0);
+}
+
+double SeveritySchedule::coefficient(GlycemicState benign,
+                                     GlycemicState adversarial) const noexcept {
+  return table_[index(benign) * 3 + index(adversarial)];
+}
+
+void SeveritySchedule::set(GlycemicState benign, GlycemicState adversarial,
+                           double coefficient) noexcept {
+  table_[index(benign) * 3 + index(adversarial)] = coefficient;
+}
+
+SeveritySchedule SeveritySchedule::paper_default() {
+  SeveritySchedule schedule = exponential(2.0);
+  schedule.name_ = "paper (exp base 2)";
+  return schedule;
+}
+
+SeveritySchedule SeveritySchedule::exponential(double base) {
+  GO_EXPECTS(base > 1.0);
+  // Table I's severity order, most to least severe; coefficient base^k with
+  // k = 6..1 so base 2 yields 64/32/16/8/4/2.
+  const auto& order = severity_table();
+  double k = static_cast<double>(order.size());
+  SeveritySchedule out;
+  for (const auto& entry : order) {
+    double c = 1.0;
+    for (double i = 0; i < k; ++i) c *= base;
+    out.set(entry.benign, entry.adversarial, c);
+    k -= 1.0;
+  }
+  out.name_ = "exp base " + common::format_double(base);
+  return out;
+}
+
+SeveritySchedule SeveritySchedule::linear() {
+  SeveritySchedule out;
+  const auto& order = severity_table();
+  double c = static_cast<double>(order.size());
+  for (const auto& entry : order) {
+    out.set(entry.benign, entry.adversarial, c);
+    c -= 1.0;
+  }
+  out.name_ = "linear";
+  return out;
+}
+
+SeveritySchedule SeveritySchedule::uniform() {
+  SeveritySchedule out;
+  out.name_ = "uniform";
+  return out;
+}
+
+double instantaneous_risk(const attack::WindowOutcome& outcome,
+                          const SeveritySchedule& schedule) noexcept {
+  const double severity = schedule.coefficient(outcome.benign_predicted_state,
+                                               outcome.adversarial_predicted_state);
+  return severity * deviation_magnitude(outcome.attack.benign_prediction,
+                                        outcome.attack.adversarial_prediction);
+}
+
+RiskProfile build_profile(const sim::PatientId& id,
+                          const std::vector<attack::WindowOutcome>& outcomes,
+                          const SeveritySchedule& schedule) {
+  RiskProfile profile;
+  profile.id = id;
+  profile.values.reserve(outcomes.size());
+  for (const auto& outcome : outcomes) {
+    profile.values.push_back(instantaneous_risk(outcome, schedule));
+  }
+  return profile;
+}
+
+}  // namespace goodones::risk

@@ -1,0 +1,66 @@
+// Configurable severity schedules, supporting the sensitivity analysis the
+// paper lists as future work ("our choice of severity coefficients is a
+// direct threat to validity ... we plan to conduct a sensitivity analysis").
+//
+// A schedule assigns a coefficient to every (benign -> adversarial) state
+// transition; Table I's exponential schedule is the default. The ablation
+// bench sweeps alternative schedules and checks whether the vulnerability
+// clusters (Table II) survive the choice.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "attack/campaign.hpp"
+#include "data/glucose_state.hpp"
+#include "risk/profile.hpp"
+
+namespace goodones::risk {
+
+class SeveritySchedule {
+ public:
+  /// Uniform weight 1 for every transition (ablation baseline).
+  SeveritySchedule();
+
+  /// Coefficient for a transition; identity transitions are configurable
+  /// too (the paper's Table I leaves them implicit; we default them to 1).
+  double coefficient(data::GlycemicState benign,
+                     data::GlycemicState adversarial) const noexcept;
+
+  void set(data::GlycemicState benign, data::GlycemicState adversarial,
+           double coefficient) noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+  // --- canned schedules for the sensitivity analysis ---
+
+  /// The paper's Table I: exponential with base 2 (64/32/16/8/4/2).
+  static SeveritySchedule paper_default();
+
+  /// Exponential with an arbitrary base: coefficients base^k in Table I's
+  /// severity order (base 2 reproduces the paper).
+  static SeveritySchedule exponential(double base);
+
+  /// Linear severity: 6/5/4/3/2/1 in Table I's order.
+  static SeveritySchedule linear();
+
+  /// All transitions weighted equally (severity disabled).
+  static SeveritySchedule uniform();
+
+ private:
+  static std::size_t index(data::GlycemicState state) noexcept;
+
+  std::array<double, 9> table_;  // [benign * 3 + adversarial]
+  std::string name_ = "uniform";
+};
+
+/// Eq. 1 under an explicit schedule.
+double instantaneous_risk(const attack::WindowOutcome& outcome,
+                          const SeveritySchedule& schedule) noexcept;
+
+/// Step-3 profile construction under an explicit schedule.
+RiskProfile build_profile(const sim::PatientId& id,
+                          const std::vector<attack::WindowOutcome>& outcomes,
+                          const SeveritySchedule& schedule);
+
+}  // namespace goodones::risk

@@ -1,0 +1,28 @@
+#include "risk/severity.hpp"
+
+namespace goodones::risk {
+
+using data::GlycemicState;
+
+const std::vector<SeverityEntry>& severity_table() {
+  static const std::vector<SeverityEntry> table = {
+      {GlycemicState::kHypo, GlycemicState::kHyper, 64.0},
+      {GlycemicState::kNormal, GlycemicState::kHyper, 32.0},
+      {GlycemicState::kHypo, GlycemicState::kNormal, 16.0},
+      {GlycemicState::kHyper, GlycemicState::kHypo, 8.0},
+      {GlycemicState::kHyper, GlycemicState::kNormal, 4.0},
+      {GlycemicState::kNormal, GlycemicState::kHypo, 2.0},
+  };
+  return table;
+}
+
+double severity_coefficient(GlycemicState benign, GlycemicState adversarial) noexcept {
+  for (const auto& entry : severity_table()) {
+    if (entry.benign == benign && entry.adversarial == adversarial) {
+      return entry.coefficient;
+    }
+  }
+  return 1.0;  // identity transition: deviation-proportional residual risk
+}
+
+}  // namespace goodones::risk

@@ -1,0 +1,32 @@
+// Severity coefficients for glycemic state transitions (paper Table I).
+//
+// Exponential coefficients encode the non-linear clinical impact of
+// misdiagnoses: mispredicting a hypoglycemic patient as hyperglycemic
+// triggers an insulin overdose on an already-low patient (the worst case,
+// S = 64), while mispredicting normal as hypoglycemic merely withholds a
+// dose (S = 2).
+#pragma once
+
+#include <vector>
+
+#include "data/glucose_state.hpp"
+
+namespace goodones::risk {
+
+/// One row of Table I.
+struct SeverityEntry {
+  data::GlycemicState benign;
+  data::GlycemicState adversarial;
+  double coefficient;
+};
+
+/// The paper's Table I, in its printed order (most to least severe).
+const std::vector<SeverityEntry>& severity_table();
+
+/// Coefficient for a (benign-prediction -> adversarial-prediction) state
+/// transition. Identity transitions return 1: a failed attack still shifted
+/// the prediction, and the residual deviation carries proportional risk.
+double severity_coefficient(data::GlycemicState benign,
+                            data::GlycemicState adversarial) noexcept;
+
+}  // namespace goodones::risk

@@ -1,0 +1,45 @@
+// The 12-patient OhioT1DM-like cohort (Subset A = "2018", Subset B = "2020").
+//
+// Parameters are fixed per patient (not sampled) so the cohort is stable
+// across seeds; the *traces* are stochastic per seed. Heterogeneity follows
+// the structure the paper measured: A_5, B_1 and B_2 are tightly controlled
+// patients (high normal-to-abnormal ratio -> less vulnerable); A_2 is the
+// most dysregulated (lowest ratio -> most vulnerable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/glucose_model.hpp"
+#include "sim/patient.hpp"
+
+namespace goodones::sim {
+
+/// A patient's generated telemetry, split chronologically like OhioT1DM
+/// (the first `train_steps` samples train models; the rest test them).
+struct PatientTrace {
+  PatientParams params;
+  std::vector<TelemetrySample> train;
+  std::vector<TelemetrySample> test;
+};
+
+struct CohortConfig {
+  std::size_t train_steps = 10000;  ///< per patient (paper: ~10000)
+  std::size_t test_steps = 2500;    ///< per patient (paper: ~2500)
+  std::uint64_t seed = 2025;        ///< global seed; per-patient streams derive from it
+};
+
+/// The fixed parameter set of all 12 patients, Subset A first (A_0..A_5)
+/// then Subset B (B_0..B_5).
+std::vector<PatientParams> cohort_parameters();
+
+/// Parameters of a single patient; throws PreconditionError for index > 5.
+PatientParams patient_parameters(const PatientId& id);
+
+/// Simulates the full cohort: 12 traces, each split into train/test.
+std::vector<PatientTrace> generate_cohort(const CohortConfig& config);
+
+/// Simulates one patient under the given config.
+PatientTrace generate_patient(const PatientId& id, const CohortConfig& config);
+
+}  // namespace goodones::sim

@@ -1,0 +1,138 @@
+#include "sim/glucose_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace goodones::sim {
+
+namespace {
+
+// Compartment rate constants (per 5-minute step). Shared across patients;
+// patient individuality enters through PatientParams.
+constexpr double kCarbAbsorption = 0.035;   // gut -> plasma carb absorption
+constexpr double kInsulinDecay = 0.045;     // plasma insulin clearance
+constexpr double kBolusPerCarb = 0.095;     // U of bolus per gram of carbs
+constexpr double kBasalRate = 0.9;          // U/h baseline basal
+
+}  // namespace
+
+GlucoseSimulator::GlucoseSimulator(const PatientParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed ^ (params.seed_offset * 0x9E3779B97F4A7C15ULL)) {}
+
+std::vector<GlucoseSimulator::MealEvent> GlucoseSimulator::plan_day(std::size_t day_start) {
+  std::vector<MealEvent> events;
+  // Canonical meal anchors: 07:30, 12:30, 18:30 with per-day jitter.
+  const double anchors_min[] = {450.0, 750.0, 1110.0};
+  const int meals = static_cast<int>(std::round(params_.meals_per_day));
+  for (int m = 0; m < meals && m < 3; ++m) {
+    const double jitter = rng_.normal(0.0, 25.0);  // minutes
+    const double at_min = std::clamp(anchors_min[m] + jitter, 0.0, 1435.0);
+    const auto step = day_start + static_cast<std::size_t>(at_min / kMinutesPerStep);
+    const double spread = params_.mean_meal_carbs * params_.meal_carb_spread;
+    const double carbs = std::max(8.0, rng_.normal(params_.mean_meal_carbs, spread));
+    events.push_back({step, carbs});
+  }
+  if (rng_.bernoulli(params_.snack_probability)) {
+    const double at_min = rng_.uniform(840.0, 1320.0);  // afternoon/evening snack
+    const auto step = day_start + static_cast<std::size_t>(at_min / kMinutesPerStep);
+    events.push_back({step, std::max(5.0, rng_.normal(15.0, 6.0))});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const MealEvent& a, const MealEvent& b) { return a.step < b.step; });
+  return events;
+}
+
+double GlucoseSimulator::circadian(std::size_t step) const noexcept {
+  // Dawn phenomenon: set point rises a few mg/dL in the early morning.
+  const double day_fraction =
+      static_cast<double>(step % kStepsPerDay) / static_cast<double>(kStepsPerDay);
+  return 6.0 * std::sin(2.0 * std::numbers::pi * (day_fraction - 0.15));
+}
+
+std::vector<TelemetrySample> GlucoseSimulator::run(std::size_t steps) {
+  GO_EXPECTS(steps > 0);
+  std::vector<TelemetrySample> trace(steps);
+
+  double glucose = params_.basal_glucose + rng_.normal(0.0, 8.0);
+  double gut_carbs = 0.0;       // grams awaiting absorption
+  double active_insulin = 0.0;  // units on board
+
+  // Sustained disturbances currently in effect (hypo dips / hyper drifts).
+  double disturbance = 0.0;        // mg/dL per step, decays
+  double disturbance_decay = 0.9;
+
+  std::vector<MealEvent> todays_meals;
+  std::size_t meal_cursor = 0;
+  double last_cgm = glucose;
+
+  const double per_step_hypo = params_.hypo_event_rate / kStepsPerDay;
+  const double per_step_hyper = params_.hyper_drift_rate / kStepsPerDay;
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (t % kStepsPerDay == 0) {
+      todays_meals = plan_day(t);
+      meal_cursor = 0;
+    }
+
+    TelemetrySample& sample = trace[t];
+    sample.basal = kBasalRate;
+
+    // Meals: carbs hit the gut; an adherent patient boluses with error.
+    while (meal_cursor < todays_meals.size() && todays_meals[meal_cursor].step == t) {
+      const double carbs = todays_meals[meal_cursor].carbs;
+      gut_carbs += carbs;
+      sample.carbs += carbs;
+      if (rng_.bernoulli(params_.bolus_adherence)) {
+        const double ideal = carbs * kBolusPerCarb;
+        const double dose = std::max(0.0, ideal * (1.0 + rng_.normal(0.0, params_.bolus_error)));
+        active_insulin += dose;
+        sample.bolus += dose;
+      }
+      ++meal_cursor;
+    }
+
+    // Occasional adverse events: hypo dips pull glucose down sharply for a
+    // while; hyper drifts push it up (missed bolus, stress, sensor site).
+    if (rng_.bernoulli(per_step_hypo)) {
+      disturbance -= rng_.uniform(2.5, 5.0);
+      disturbance_decay = 0.93;
+    }
+    if (rng_.bernoulli(per_step_hyper)) {
+      disturbance += rng_.uniform(2.0, 4.5);
+      disturbance_decay = 0.95;
+    }
+
+    // Compartment updates.
+    const double absorbed = gut_carbs * kCarbAbsorption;
+    gut_carbs -= absorbed;
+    const double insulin_used = active_insulin * kInsulinDecay;
+    active_insulin -= insulin_used;
+    active_insulin += sample.basal / 60.0 * kMinutesPerStep * 0.2;  // basal trickle
+
+    const double set_point = params_.basal_glucose + circadian(t);
+    glucose += -params_.return_rate * (glucose - set_point);
+    glucose += params_.carb_sensitivity * absorbed;
+    glucose -= params_.insulin_sensitivity * insulin_used * 10.0;
+    glucose += disturbance;
+    glucose += rng_.normal(0.0, params_.process_noise);
+    disturbance *= disturbance_decay;
+
+    glucose = std::clamp(glucose, kMinGlucose, kMaxGlucose);
+    sample.true_glucose = glucose;
+
+    // CGM sensor: additive noise plus occasional held readings.
+    if (rng_.bernoulli(params_.cgm_dropout) && t > 0) {
+      sample.cgm = last_cgm;
+    } else {
+      sample.cgm = std::clamp(glucose + rng_.normal(0.0, params_.cgm_noise),
+                              kMinGlucose, kMaxGlucose);
+    }
+    last_cgm = sample.cgm;
+  }
+  return trace;
+}
+
+}  // namespace goodones::sim

@@ -1,0 +1,62 @@
+// Discrete-time glucose-insulin dynamics at the 5-minute CGM cadence.
+//
+// A three-compartment minimal model in the spirit of Bergman's: a gut
+// compartment absorbs carbohydrates, a plasma-insulin compartment decays
+// administered insulin, and glucose integrates absorption, insulin action,
+// mean reversion toward the patient's set point, circadian modulation and
+// process noise. This is intentionally *not* a clinical-grade simulator;
+// it is calibrated to reproduce the statistical structure the paper's
+// experiments depend on (time-in-range heterogeneity across patients).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/patient.hpp"
+
+namespace goodones::sim {
+
+/// One 5-minute telemetry step as transmitted by the BGMS.
+struct TelemetrySample {
+  double cgm = 0.0;    ///< measured glucose (mg/dL), with sensor noise
+  double basal = 0.0;  ///< basal insulin rate (U/h)
+  double bolus = 0.0;  ///< bolus insulin delivered this step (U)
+  double carbs = 0.0;  ///< carbohydrates ingested this step (g)
+
+  /// True blood glucose before sensor noise (used as ground truth for the
+  /// forecaster's training target; never shown to the detectors).
+  double true_glucose = 0.0;
+};
+
+/// Minutes simulated per step (CGM cadence).
+inline constexpr int kMinutesPerStep = 5;
+/// Steps per simulated day.
+inline constexpr int kStepsPerDay = 24 * 60 / kMinutesPerStep;
+
+/// Generates a complete telemetry trace for one patient.
+class GlucoseSimulator {
+ public:
+  /// `seed` controls all stochastic elements; identical inputs produce
+  /// identical traces on every platform.
+  GlucoseSimulator(const PatientParams& params, std::uint64_t seed);
+
+  /// Simulates `steps` consecutive 5-minute samples.
+  std::vector<TelemetrySample> run(std::size_t steps);
+
+ private:
+  struct MealEvent {
+    std::size_t step;
+    double carbs;
+  };
+
+  /// Draws the meal plan (meals + snacks) for one day starting at `day_start`.
+  std::vector<MealEvent> plan_day(std::size_t day_start);
+
+  /// Circadian modulation of the set point (dawn phenomenon).
+  double circadian(std::size_t step) const noexcept;
+
+  PatientParams params_;
+  common::Rng rng_;
+};
+
+}  // namespace goodones::sim

@@ -1,0 +1,68 @@
+// Synthetic Type-1-diabetes patient parameterization.
+//
+// The OhioT1DM dataset is distributed under a data-use agreement and cannot
+// ship with this repository, so the cohort is simulated. The parameters
+// below control exactly the properties the paper's result depends on:
+// glycemic set point, variability of meal excursions, hypoglycemia
+// tendency and sensor noise. Together they determine each patient's ratio
+// of normal-to-abnormal benign samples (paper Fig. 4), which in turn drives
+// vulnerability to the evasion attack (paper Table II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace goodones::sim {
+
+/// Which half of the cohort a patient belongs to. The paper calls the six
+/// 2018 patients "Subset A" and the six 2020 patients "Subset B".
+enum class Subset : std::uint8_t { kA, kB };
+
+/// Stable identifier, e.g. {kA, 5} is the paper's patient "A_5".
+struct PatientId {
+  Subset subset = Subset::kA;
+  std::uint8_t index = 0;
+
+  friend bool operator==(const PatientId&, const PatientId&) = default;
+};
+
+/// Renders "A_3" / "B_1" as the paper writes them.
+std::string to_string(const PatientId& id);
+
+/// Physiological and behavioral parameters of one simulated patient.
+struct PatientParams {
+  PatientId id;
+
+  // Glucose dynamics (mg/dL and per-5-minute-step rates).
+  double basal_glucose = 120.0;      ///< homeostatic set point
+  double return_rate = 0.035;        ///< mean-reversion rate toward set point
+  double carb_sensitivity = 3.2;     ///< mg/dL rise per gram of absorbed carbs
+  double insulin_sensitivity = 1.9;  ///< mg/dL drop per unit of active insulin
+  double process_noise = 1.2;        ///< per-step stochastic glucose drift (std)
+
+  // Meals and dosing behavior.
+  double meals_per_day = 3.0;
+  double mean_meal_carbs = 45.0;     ///< grams
+  double meal_carb_spread = 0.35;    ///< relative spread of meal size
+  double bolus_adherence = 0.9;      ///< probability a meal is covered by a bolus
+  double bolus_error = 0.15;         ///< relative dosing error (drives excursions)
+  double snack_probability = 0.25;   ///< chance of an extra small snack per day
+
+  // Adverse-event tendencies.
+  double hypo_event_rate = 0.15;     ///< expected hypoglycemic dips per day
+  double hyper_drift_rate = 0.2;     ///< expected sustained hyper drifts per day
+
+  // Sensor model.
+  double cgm_noise = 2.0;            ///< CGM measurement noise std (mg/dL)
+  double cgm_dropout = 0.002;        ///< probability a reading repeats (sensor hold)
+
+  // Seed offset: the cohort combines this with the global seed so each
+  // patient's trace is independent yet reproducible.
+  std::uint64_t seed_offset = 0;
+};
+
+/// Physiological display bounds used throughout the paper's case study.
+inline constexpr double kMinGlucose = 40.0;   ///< mg/dL, sensor floor
+inline constexpr double kMaxGlucose = 499.0;  ///< mg/dL, highest value in OhioT1DM
+
+}  // namespace goodones::sim

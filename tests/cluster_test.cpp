@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/distance.hpp"
+#include "cluster/hierarchical.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace goodones::cluster {
+namespace {
+
+TEST(Euclidean, KnownValue) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+}
+
+TEST(Euclidean, IdentityAndSymmetry) {
+  const std::vector<double> a{1.0, -2.0, 3.0};
+  const std::vector<double> b{4.0, 0.0, -1.0};
+  EXPECT_DOUBLE_EQ(euclidean(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), euclidean(b, a));
+}
+
+TEST(Euclidean, LengthMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)euclidean(a, b), common::PreconditionError);
+}
+
+TEST(Dtw, IdenticalSeriesIsZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(dtw(a, a), 0.0);
+}
+
+TEST(Dtw, HandlesUnequalLengths) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 1.5, 2.0, 2.5, 3.0};
+  EXPECT_GE(dtw(a, b), 0.0);
+  EXPECT_TRUE(std::isfinite(dtw(a, b)));
+}
+
+TEST(Dtw, AlignsShiftedSeriesBetterThanEuclidean) {
+  // A sharp pulse shifted by two steps: DTW warps it back, L2 cannot.
+  std::vector<double> a(20, 0.0);
+  std::vector<double> b(20, 0.0);
+  a[5] = 10.0;
+  b[7] = 10.0;
+  EXPECT_LT(dtw(a, b), euclidean(a, b));
+}
+
+TEST(Dtw, SymmetricForEqualLengths) {
+  const std::vector<double> a{1.0, 3.0, 2.0, 5.0};
+  const std::vector<double> b{2.0, 2.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(dtw(a, b), dtw(b, a));
+}
+
+TEST(Dtw, BandConstraintIncreasesOrKeepsCost) {
+  std::vector<double> a(30, 0.0);
+  std::vector<double> b(30, 0.0);
+  a[5] = 10.0;
+  b[14] = 10.0;
+  // A narrow band cannot reach the optimal warp -> cost at least as large.
+  EXPECT_GE(dtw(a, b, 2), dtw(a, b, 0));
+}
+
+TEST(Dtw, RejectsEmpty) {
+  const std::vector<double> a;
+  const std::vector<double> b{1.0};
+  EXPECT_THROW((void)dtw(a, b), common::PreconditionError);
+}
+
+TEST(DistanceMatrix, SymmetricWithZeroDiagonal) {
+  const std::vector<std::vector<double>> series{
+      {1.0, 2.0, 3.0}, {1.5, 2.5, 3.5}, {10.0, 10.0, 10.0}};
+  for (const auto metric : {ProfileDistance::kEuclidean, ProfileDistance::kDtw}) {
+    const nn::Matrix d = distance_matrix(series, metric);
+    ASSERT_EQ(d.rows(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+      for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+    // The far-away series must be far from both near ones.
+    EXPECT_GT(d(0, 2), d(0, 1));
+  }
+}
+
+/// Builds a distance matrix with two well-separated blobs of sizes na, nb.
+nn::Matrix two_blob_distances(std::size_t na, std::size_t nb, common::Rng& rng) {
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < na; ++i) {
+    points.push_back({rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)});
+  }
+  for (std::size_t i = 0; i < nb; ++i) {
+    points.push_back({rng.normal(10.0, 0.3), rng.normal(10.0, 0.3)});
+  }
+  return distance_matrix(points, ProfileDistance::kEuclidean);
+}
+
+class LinkageSweep : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageSweep, RecoversTwoBlobs) {
+  common::Rng rng(11);
+  const nn::Matrix d = two_blob_distances(4, 5, rng);
+  const Dendrogram dendrogram = agglomerate(d, GetParam());
+  EXPECT_EQ(dendrogram.num_leaves(), 9u);
+  EXPECT_EQ(dendrogram.merges().size(), 8u);
+
+  const auto labels = dendrogram.cut(2);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (std::size_t i = 5; i < 9; ++i) EXPECT_EQ(labels[i], labels[4]);
+  EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST_P(LinkageSweep, SuggestsTwoClustersForTwoBlobs) {
+  common::Rng rng(13);
+  const nn::Matrix d = two_blob_distances(6, 6, rng);
+  const Dendrogram dendrogram = agglomerate(d, GetParam());
+  EXPECT_EQ(dendrogram.suggest_cluster_count(), 2u);
+}
+
+TEST_P(LinkageSweep, MergeSizesAccumulateToAllLeaves) {
+  common::Rng rng(17);
+  const nn::Matrix d = two_blob_distances(3, 4, rng);
+  const Dendrogram dendrogram = agglomerate(d, GetParam());
+  EXPECT_EQ(dendrogram.merges().back().size, 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, LinkageSweep,
+                         ::testing::Values(Linkage::kSingle, Linkage::kComplete,
+                                           Linkage::kAverage, Linkage::kWard));
+
+TEST(Dendrogram, CutIntoOneClusterIsUniform) {
+  common::Rng rng(19);
+  const Dendrogram dendrogram = agglomerate(two_blob_distances(3, 3, rng), Linkage::kAverage);
+  const auto labels = dendrogram.cut(1);
+  for (const auto l : labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(Dendrogram, CutIntoNClustersIsAllSingletons) {
+  common::Rng rng(23);
+  const Dendrogram dendrogram = agglomerate(two_blob_distances(3, 2, rng), Linkage::kComplete);
+  const auto labels = dendrogram.cut(5);
+  std::vector<bool> seen(5, false);
+  for (const auto l : labels) seen[l] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Dendrogram, CutRejectsOutOfRangeK) {
+  common::Rng rng(29);
+  const Dendrogram dendrogram = agglomerate(two_blob_distances(2, 2, rng), Linkage::kAverage);
+  EXPECT_THROW((void)dendrogram.cut(0), common::PreconditionError);
+  EXPECT_THROW((void)dendrogram.cut(5), common::PreconditionError);
+}
+
+TEST(Dendrogram, HeightsAreMonotoneForAverageLinkage) {
+  common::Rng rng(31);
+  const Dendrogram dendrogram = agglomerate(two_blob_distances(5, 5, rng), Linkage::kAverage);
+  for (std::size_t i = 1; i < dendrogram.merges().size(); ++i) {
+    EXPECT_GE(dendrogram.merges()[i].height, dendrogram.merges()[i - 1].height - 1e-12);
+  }
+}
+
+TEST(Dendrogram, AsciiRenderContainsAllLeafNames) {
+  common::Rng rng(37);
+  const Dendrogram dendrogram = agglomerate(two_blob_distances(2, 2, rng), Linkage::kAverage);
+  const auto text = dendrogram.render_ascii({"p0", "p1", "p2", "p3"});
+  for (const auto* name : {"p0", "p1", "p2", "p3"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("[h="), std::string::npos);
+}
+
+TEST(Dendrogram, AsciiRenderRejectsWrongNameCount) {
+  common::Rng rng(41);
+  const Dendrogram dendrogram = agglomerate(two_blob_distances(2, 2, rng), Linkage::kAverage);
+  EXPECT_THROW((void)dendrogram.render_ascii({"only-one"}), common::PreconditionError);
+}
+
+TEST(Dendrogram, SingleLeafDegenerate) {
+  const nn::Matrix d(1, 1);
+  const Dendrogram dendrogram = agglomerate(d, Linkage::kAverage);
+  EXPECT_EQ(dendrogram.num_leaves(), 1u);
+  EXPECT_TRUE(dendrogram.merges().empty());
+  EXPECT_EQ(dendrogram.cut(1).size(), 1u);
+}
+
+TEST(Agglomerate, RejectsNonSquare) {
+  EXPECT_THROW((void)agglomerate(nn::Matrix(2, 3), Linkage::kAverage),
+               common::PreconditionError);
+}
+
+TEST(Agglomerate, WardSeparatesUnequalVarianceBlobs) {
+  common::Rng rng(43);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 6; ++i) points.push_back({rng.normal(0.0, 1.0)});
+  for (int i = 0; i < 6; ++i) points.push_back({rng.normal(50.0, 1.0)});
+  const Dendrogram dendrogram =
+      agglomerate(distance_matrix(points, ProfileDistance::kEuclidean), Linkage::kWard);
+  const auto labels = dendrogram.cut(2);
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (int i = 7; i < 12; ++i) EXPECT_EQ(labels[i], labels[6]);
+}
+
+}  // namespace
+}  // namespace goodones::cluster

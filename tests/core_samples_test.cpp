@@ -1,0 +1,140 @@
+// Tests for the framework's sample-granularity data assembly: benign
+// telemetry samples with one-hour context, manipulated-sample extraction,
+// and the detector-granularity dispatch in evaluate_strategy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hpp"
+#include "detect/factory.hpp"
+
+namespace goodones::core {
+namespace {
+
+FrameworkConfig sample_test_config() {
+  FrameworkConfig config = FrameworkConfig::fast();
+  config.cohort.train_steps = 1200;
+  config.cohort.test_steps = 400;
+  config.registry.forecaster.hidden = 10;
+  config.registry.forecaster.head_hidden = 8;
+  config.registry.forecaster.epochs = 3;
+  config.registry.train_window_step = 6;
+  config.registry.aggregate_window_step = 40;
+  config.profiling_campaign.window_step = 10;
+  config.evaluation_campaign.window_step = 10;
+  config.profiling_campaign.attack.overdose_threshold = 220.0;
+  config.evaluation_campaign.attack.overdose_threshold = 220.0;
+  config.detector_benign_stride = 10;
+  config.detectors.ocsvm.max_train_points = 300;
+  config.seed = 777;
+  return config;
+}
+
+RiskProfilingFramework& sample_framework() {
+  static RiskProfilingFramework framework(sample_test_config());
+  return framework;
+}
+
+TEST(Samples, BenignSamplesHaveContextColumns) {
+  auto& framework = sample_framework();
+  const auto samples = framework.benign_train_samples(0);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.rows(), 1u);
+    EXPECT_EQ(s.cols(), data::kNumChannels + 2);
+    for (const double v : s.row(0)) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Samples, StrideControlsCount) {
+  auto& framework = sample_framework();
+  const auto samples = framework.benign_test_samples(3);
+  // test series has 400 steps at stride 10.
+  EXPECT_EQ(samples.size(), 40u);
+}
+
+TEST(Samples, ContextSumsAreNonNegativeAndBoundedByMeals) {
+  auto& framework = sample_framework();
+  for (const auto& s : framework.benign_train_samples(2)) {
+    // Columns 4 and 5 are scaled 1-hour carb and bolus sums; the scaler maps
+    // zero to >= 0 and sums are never negative.
+    EXPECT_GE(s(0, 4), -1e-12);
+    EXPECT_GE(s(0, 5), -1e-12);
+  }
+}
+
+TEST(Samples, MaliciousSamplesOnlyFromSuccessfulAttacks) {
+  auto& framework = sample_framework();
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < framework.cohort().size(); ++p) {
+    const auto& outcomes = framework.test_outcomes(p);
+    std::size_t expected = 0;
+    for (const auto& o : outcomes) {
+      if (!o.attack.success) continue;
+      for (std::size_t t = 0; t < o.attack.adversarial_features.rows(); ++t) {
+        expected += o.attack.adversarial_features(t, data::kCgm) !=
+                            o.benign.features(t, data::kCgm)
+                        ? 1
+                        : 0;
+      }
+    }
+    const auto samples = framework.malicious_samples(outcomes);
+    EXPECT_EQ(samples.size(), expected) << "patient " << p;
+    total += samples.size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Samples, MaliciousCgmIsInsideConstraintBox) {
+  auto& framework = sample_framework();
+  const auto& scaler = framework.detector_scaler();
+  const double lo = scaler.transform_value(125.0, data::kCgm);
+  const double hi = scaler.transform_value(499.0, data::kCgm);
+  for (std::size_t p = 0; p < framework.cohort().size(); ++p) {
+    for (const auto& s : framework.malicious_samples(framework.test_outcomes(p))) {
+      EXPECT_GE(s(0, data::kCgm), lo - 1e-9);
+      EXPECT_LE(s(0, data::kCgm), hi + 1e-9);
+    }
+  }
+}
+
+TEST(Samples, SampleLevelStrategyUsesSampleCounts) {
+  auto& framework = sample_framework();
+  const auto eval = framework.evaluate_strategy(detect::DetectorKind::kOcsvm, {0, 1, 2});
+  // Three patients x (1200/10) samples each.
+  EXPECT_EQ(eval.train_benign, 3u * 120u);
+  EXPECT_GT(eval.pooled.total(), 0u);
+}
+
+TEST(Samples, WindowLevelStrategyUsesWindowCounts) {
+  auto& framework = sample_framework();
+  auto config = sample_test_config();
+  // MAD-GAN on this miniature set: just verify the data paths and counting.
+  FrameworkConfig tiny = config;
+  (void)tiny;
+  const auto windows = framework.benign_train_windows(0);
+  EXPECT_FALSE(windows.empty());
+  EXPECT_EQ(windows.front().rows(), config.window.seq_len);
+  EXPECT_EQ(windows.front().cols(), data::kNumChannels);
+}
+
+TEST(Samples, GranularityReportedByDetectors) {
+  const detect::DetectorSuiteConfig config;
+  EXPECT_EQ(detect::make_detector(detect::DetectorKind::kKnn, config)->granularity(),
+            detect::InputGranularity::kSample);
+  EXPECT_EQ(detect::make_detector(detect::DetectorKind::kOcsvm, config)->granularity(),
+            detect::InputGranularity::kSample);
+  EXPECT_EQ(detect::make_detector(detect::DetectorKind::kMadGan, config)->granularity(),
+            detect::InputGranularity::kWindow);
+}
+
+TEST(Samples, SupervisedTrainingIncludesAugmentation) {
+  auto& framework = sample_framework();
+  const auto eval = framework.evaluate_strategy(detect::DetectorKind::kKnn, {5});
+  // Even when patient 5 (most resilient) yields no successful attacks, the
+  // defender-side box augmentation populates the malicious class.
+  EXPECT_GT(eval.train_malicious, 0u);
+}
+
+}  // namespace
+}  // namespace goodones::core

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/glucose_state.hpp"
+#include "data/scaler.hpp"
+#include "data/timeseries.hpp"
+#include "data/window.hpp"
+#include "sim/cohort.hpp"
+
+namespace goodones::data {
+namespace {
+
+TEST(GlycemicState, FastingThresholds) {
+  EXPECT_EQ(classify(69.9, MealContext::kFasting), GlycemicState::kHypo);
+  EXPECT_EQ(classify(70.0, MealContext::kFasting), GlycemicState::kNormal);
+  EXPECT_EQ(classify(125.0, MealContext::kFasting), GlycemicState::kNormal);
+  EXPECT_EQ(classify(125.1, MealContext::kFasting), GlycemicState::kHyper);
+}
+
+TEST(GlycemicState, PostprandialThresholds) {
+  EXPECT_EQ(classify(150.0, MealContext::kPostprandial), GlycemicState::kNormal);
+  EXPECT_EQ(classify(180.0, MealContext::kPostprandial), GlycemicState::kNormal);
+  EXPECT_EQ(classify(180.1, MealContext::kPostprandial), GlycemicState::kHyper);
+  EXPECT_EQ(classify(60.0, MealContext::kPostprandial), GlycemicState::kHypo);
+}
+
+TEST(GlycemicState, HyperThresholdByContext) {
+  EXPECT_DOUBLE_EQ(hyper_threshold(MealContext::kFasting), 125.0);
+  EXPECT_DOUBLE_EQ(hyper_threshold(MealContext::kPostprandial), 180.0);
+}
+
+TEST(GlycemicState, AbnormalPredicate) {
+  EXPECT_TRUE(is_abnormal(GlycemicState::kHypo));
+  EXPECT_TRUE(is_abnormal(GlycemicState::kHyper));
+  EXPECT_FALSE(is_abnormal(GlycemicState::kNormal));
+}
+
+TEST(GlycemicState, Names) {
+  EXPECT_STREQ(to_string(GlycemicState::kHypo), "Hypo");
+  EXPECT_STREQ(to_string(MealContext::kPostprandial), "Postprandial");
+}
+
+TEST(MealContext, DerivationWindowIsTwoHours) {
+  std::vector<double> carbs(60, 0.0);
+  carbs[10] = 45.0;
+  const auto context = derive_meal_context(carbs);
+  for (std::size_t t = 0; t < 10; ++t) EXPECT_EQ(context[t], MealContext::kFasting);
+  // Postprandial from the meal step through kPostprandialSteps after it.
+  for (std::size_t t = 10; t <= 10 + kPostprandialSteps; ++t) {
+    EXPECT_EQ(context[t], MealContext::kPostprandial) << "t=" << t;
+  }
+  EXPECT_EQ(context[10 + kPostprandialSteps + 1], MealContext::kFasting);
+}
+
+TEST(MealContext, BackToBackMealsExtendWindow) {
+  std::vector<double> carbs(80, 0.0);
+  carbs[5] = 30.0;
+  carbs[25] = 20.0;  // second meal within the first's window
+  const auto context = derive_meal_context(carbs);
+  for (std::size_t t = 5; t <= 25 + kPostprandialSteps; ++t) {
+    EXPECT_EQ(context[t], MealContext::kPostprandial);
+  }
+}
+
+TEST(MealContext, NoMealsAllFasting) {
+  const std::vector<double> carbs(30, 0.0);
+  for (const auto c : derive_meal_context(carbs)) EXPECT_EQ(c, MealContext::kFasting);
+}
+
+TEST(NormalRatio, CountsNormalFraction) {
+  const std::vector<double> glucose{100.0, 60.0, 130.0, 100.0};
+  const std::vector<MealContext> context(4, MealContext::kFasting);
+  // 100 normal, 60 hypo, 130 fasting-hyper, 100 normal -> 2/4.
+  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio(glucose, context), 0.5);
+}
+
+TEST(NormalRatio, ContextChangesClassification) {
+  const std::vector<double> glucose{150.0};
+  const std::vector<MealContext> fasting{MealContext::kFasting};
+  const std::vector<MealContext> post{MealContext::kPostprandial};
+  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio(glucose, fasting), 0.0);   // 150 > 125
+  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio(glucose, post), 1.0);     // 150 < 180
+}
+
+TEST(NormalRatio, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio({}, {}), 0.0);
+}
+
+TEST(Series, ConversionPreservesChannels) {
+  sim::CohortConfig config;
+  config.train_steps = 100;
+  config.test_steps = 10;
+  const auto trace = sim::generate_patient({sim::Subset::kA, 0}, config);
+  const TelemetrySeries series = to_series(trace.train);
+  ASSERT_EQ(series.steps(), 100u);
+  ASSERT_EQ(series.values.cols(), kNumChannels);
+  for (std::size_t t = 0; t < 100; ++t) {
+    ASSERT_DOUBLE_EQ(series.values(t, kCgm), trace.train[t].cgm);
+    ASSERT_DOUBLE_EQ(series.values(t, kCarbs), trace.train[t].carbs);
+    ASSERT_DOUBLE_EQ(series.true_glucose[t], trace.train[t].true_glucose);
+  }
+  EXPECT_EQ(series.context.size(), 100u);
+}
+
+TEST(Windows, CountAndGeometry) {
+  TelemetrySeries series;
+  series.values = nn::Matrix(100, kNumChannels);
+  series.true_glucose.assign(100, 110.0);
+  series.context.assign(100, MealContext::kFasting);
+  WindowConfig config;
+  config.seq_len = 12;
+  config.step = 1;
+  config.horizon = 6;
+  const auto windows = make_windows(series, config);
+  // Starts 0..(100-12-6) inclusive.
+  EXPECT_EQ(windows.size(), 83u);
+  EXPECT_EQ(windows.front().features.rows(), 12u);
+  EXPECT_EQ(windows.front().end_index, 11u);
+  EXPECT_EQ(windows.back().end_index, 93u);
+}
+
+TEST(Windows, TargetComesFromHorizon) {
+  TelemetrySeries series;
+  series.values = nn::Matrix(30, kNumChannels);
+  series.true_glucose.resize(30);
+  for (std::size_t t = 0; t < 30; ++t) series.true_glucose[t] = static_cast<double>(t);
+  series.context.assign(30, MealContext::kFasting);
+  series.context[17] = MealContext::kPostprandial;
+
+  WindowConfig config;
+  config.seq_len = 10;
+  config.step = 1;
+  config.horizon = 8;
+  const auto windows = make_windows(series, config);
+  ASSERT_FALSE(windows.empty());
+  // First window covers steps 0..9; target at index 9 + 8 = 17.
+  EXPECT_DOUBLE_EQ(windows.front().target_glucose, 17.0);
+  EXPECT_EQ(windows.front().context, MealContext::kPostprandial);
+}
+
+TEST(Windows, StrideSkipsStarts) {
+  TelemetrySeries series;
+  series.values = nn::Matrix(50, kNumChannels);
+  series.true_glucose.assign(50, 100.0);
+  series.context.assign(50, MealContext::kFasting);
+  WindowConfig config;
+  config.seq_len = 5;
+  config.step = 4;
+  config.horizon = 2;
+  const auto windows = make_windows(series, config);
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].end_index - windows[i - 1].end_index, 4u);
+  }
+}
+
+TEST(Windows, TooShortSeriesYieldsNothing) {
+  TelemetrySeries series;
+  series.values = nn::Matrix(10, kNumChannels);
+  series.true_glucose.assign(10, 100.0);
+  series.context.assign(10, MealContext::kFasting);
+  WindowConfig config;
+  config.seq_len = 12;
+  config.horizon = 6;
+  EXPECT_TRUE(make_windows(series, config).empty());
+}
+
+TEST(Flatten, RowMajorOrder) {
+  nn::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const auto flat = flatten(m);
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[1], 2.0);
+  EXPECT_DOUBLE_EQ(flat[2], 3.0);
+  EXPECT_DOUBLE_EQ(flat[3], 4.0);
+}
+
+TEST(MinMaxScaler, TransformRoundTrip) {
+  nn::Matrix data{{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}};
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  const nn::Matrix scaled = scaler.transform(data);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 1), 0.5);
+  const nn::Matrix restored = scaler.inverse_transform(scaled);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) ASSERT_NEAR(restored(r, c), data(r, c), 1e-12);
+  }
+}
+
+TEST(MinMaxScaler, OutOfRangeMapsOutsideUnit) {
+  nn::Matrix data{{0.0}, {10.0}};
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  nn::Matrix extreme{{20.0}};
+  EXPECT_DOUBLE_EQ(scaler.transform(extreme)(0, 0), 2.0);  // deliberately unclamped
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToHalf) {
+  nn::Matrix data{{5.0}, {5.0}};
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  EXPECT_DOUBLE_EQ(scaler.transform(data)(0, 0), 0.5);
+}
+
+TEST(MinMaxScaler, PartialFitWidensRange) {
+  MinMaxScaler scaler;
+  nn::Matrix first{{0.0}, {10.0}};
+  nn::Matrix second{{-10.0}, {5.0}};
+  scaler.partial_fit(first);
+  scaler.partial_fit(second);
+  EXPECT_DOUBLE_EQ(scaler.column_min(0), -10.0);
+  EXPECT_DOUBLE_EQ(scaler.column_max(0), 10.0);
+}
+
+TEST(MinMaxScaler, SetColumnRangePins) {
+  MinMaxScaler scaler;
+  nn::Matrix data{{100.0}, {200.0}};
+  scaler.fit(data);
+  scaler.set_column_range(0, 40.0, 499.0);
+  EXPECT_DOUBLE_EQ(scaler.column_min(0), 40.0);
+  EXPECT_NEAR(scaler.transform_value(40.0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(scaler.transform_value(499.0, 0), 1.0, 1e-12);
+}
+
+TEST(MinMaxScaler, UnfittedUseThrows) {
+  MinMaxScaler scaler;
+  EXPECT_THROW((void)scaler.transform(nn::Matrix(1, 1)), common::PreconditionError);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  nn::Matrix data(100, 2);
+  common::Rng rng(5);
+  for (std::size_t r = 0; r < 100; ++r) {
+    data(r, 0) = rng.normal(50.0, 10.0);
+    data(r, 1) = rng.normal(-3.0, 0.5);
+  }
+  StandardScaler scaler;
+  scaler.fit(data);
+  const nn::Matrix z = scaler.transform(data);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t r = 0; r < 100; ++r) {
+      sum += z(r, c);
+      sum_sq += z(r, c) * z(r, c);
+    }
+    EXPECT_NEAR(sum / 100.0, 0.0, 1e-10);
+    EXPECT_NEAR(sum_sq / 99.0, 1.0, 0.05);
+  }
+}
+
+TEST(StandardScaler, ConstantColumnPassesThroughCentered) {
+  nn::Matrix data{{5.0}, {5.0}, {5.0}};
+  StandardScaler scaler;
+  scaler.fit(data);
+  EXPECT_DOUBLE_EQ(scaler.transform(data)(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace goodones::data

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace goodones::nn {
+namespace {
+
+TEST(MseLoss, KnownValueAndGradient) {
+  const Matrix pred{{1.0, 2.0}};
+  const Matrix target{{0.0, 4.0}};
+  const LossResult result = mse_loss(pred, target);
+  EXPECT_NEAR(result.value, (1.0 + 4.0) / 2.0, 1e-12);
+  EXPECT_NEAR(result.grad(0, 0), 2.0 * 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(result.grad(0, 1), 2.0 * -2.0 / 2.0, 1e-12);
+}
+
+TEST(MseLoss, ZeroAtPerfectPrediction) {
+  const Matrix pred{{3.0, -1.0}};
+  const LossResult result = mse_loss(pred, pred);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_DOUBLE_EQ(result.grad(0, 0), 0.0);
+}
+
+TEST(MseLoss, GradientMatchesFiniteDifference) {
+  common::Rng rng(3);
+  Matrix pred(2, 3);
+  Matrix target(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      pred(r, c) = rng.uniform(-1, 1);
+      target(r, c) = rng.uniform(-1, 1);
+    }
+  }
+  const LossResult result = mse_loss(pred, target);
+  const double eps = 1e-6;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      Matrix plus = pred;
+      Matrix minus = pred;
+      plus(r, c) += eps;
+      minus(r, c) -= eps;
+      const double numeric =
+          (mse_loss(plus, target).value - mse_loss(minus, target).value) / (2 * eps);
+      ASSERT_NEAR(result.grad(r, c), numeric, 1e-7);
+    }
+  }
+}
+
+TEST(MseLoss, ShapeMismatchThrows) {
+  EXPECT_THROW((void)mse_loss(Matrix(1, 2), Matrix(2, 1)), common::PreconditionError);
+}
+
+TEST(BceLoss, KnownValue) {
+  const Matrix pred{{0.9}};
+  const Matrix target{{1.0}};
+  const LossResult result = bce_loss(pred, target);
+  EXPECT_NEAR(result.value, -std::log(0.9), 1e-9);
+}
+
+TEST(BceLoss, SymmetricCase) {
+  const Matrix pred{{0.5}};
+  for (const double y : {0.0, 1.0}) {
+    const Matrix target{{y}};
+    EXPECT_NEAR(bce_loss(pred, target).value, -std::log(0.5), 1e-9);
+  }
+}
+
+TEST(BceLoss, ClampsExtremePredictions) {
+  const Matrix pred{{0.0}};
+  const Matrix target{{1.0}};
+  const LossResult result = bce_loss(pred, target);
+  EXPECT_TRUE(std::isfinite(result.value));
+  EXPECT_TRUE(std::isfinite(result.grad(0, 0)));
+}
+
+TEST(BceLoss, GradientMatchesFiniteDifference) {
+  const Matrix pred{{0.3, 0.8}};
+  const Matrix target{{1.0, 0.0}};
+  const LossResult result = bce_loss(pred, target);
+  const double eps = 1e-6;
+  for (std::size_t c = 0; c < 2; ++c) {
+    Matrix plus = pred;
+    Matrix minus = pred;
+    plus(0, c) += eps;
+    minus(0, c) -= eps;
+    const double numeric =
+        (bce_loss(plus, target).value - bce_loss(minus, target).value) / (2 * eps);
+    ASSERT_NEAR(result.grad(0, c), numeric, 1e-6);
+  }
+}
+
+/// Minimizing f(w) = sum((w - target)^2) must converge for both optimizers.
+template <typename Opt>
+double optimize_quadratic(Opt&& optimizer, int steps) {
+  ParamBuffer w(2, 2);
+  const Matrix target{{1.0, -2.0}, {3.0, 0.5}};
+  ParamRefs params{&w};
+  for (int i = 0; i < steps; ++i) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        w.grad(r, c) = 2.0 * (w.value(r, c) - target(r, c));
+      }
+    }
+    optimizer.step_and_zero(params);
+  }
+  double err = 0.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) err += std::abs(w.value(r, c) - target(r, c));
+  }
+  return err;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  EXPECT_LT(optimize_quadratic(Sgd(0.1), 200), 1e-6);
+}
+
+TEST(Sgd, MomentumConverges) {
+  EXPECT_LT(optimize_quadratic(Sgd(0.05, 0.9), 300), 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  EXPECT_LT(optimize_quadratic(Adam(0.1), 500), 1e-4);
+}
+
+TEST(Adam, StepCountAdvances) {
+  Adam adam(0.01);
+  ParamBuffer w(1, 1);
+  ParamRefs params{&w};
+  adam.step(params);
+  adam.step(params);
+  EXPECT_EQ(adam.step_count(), 2u);
+}
+
+TEST(Optimizer, RejectsBadHyperparameters) {
+  EXPECT_THROW(Sgd(0.0), common::PreconditionError);
+  EXPECT_THROW(Sgd(0.1, 1.0), common::PreconditionError);
+  EXPECT_THROW(Adam(-1.0), common::PreconditionError);
+  EXPECT_THROW(Adam(0.1, 1.0), common::PreconditionError);
+}
+
+TEST(GradClip, ScalesDownLargeGradients) {
+  ParamBuffer p(1, 2);
+  p.grad(0, 0) = 3.0;
+  p.grad(0, 1) = 4.0;  // norm 5
+  ParamRefs params{&p};
+  clip_global_grad_norm(params, 1.0);
+  EXPECT_NEAR(global_grad_norm(params), 1.0, 1e-12);
+  EXPECT_NEAR(p.grad(0, 0), 0.6, 1e-12);
+}
+
+TEST(GradClip, LeavesSmallGradientsAlone) {
+  ParamBuffer p(1, 2);
+  p.grad(0, 0) = 0.3;
+  ParamRefs params{&p};
+  clip_global_grad_norm(params, 1.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.3);
+}
+
+TEST(Param, CountAndZero) {
+  ParamBuffer a(2, 3);
+  ParamBuffer b(1, 4);
+  ParamRefs params{&a, &b};
+  EXPECT_EQ(parameter_count(params), 10u);
+  a.grad(0, 0) = 5.0;
+  zero_all_grads(params);
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 0.0);
+}
+
+TEST(Param, XavierInitWithinBound) {
+  common::Rng rng(5);
+  ParamBuffer p(10, 10);
+  p.init_xavier(rng, 10, 10);
+  const double bound = std::sqrt(6.0 / 20.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (const double v : p.value.row(r)) {
+      ASSERT_LE(std::abs(v), bound);
+    }
+  }
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "goodones_mat_test.bin";
+  ParamBuffer a(3, 4);
+  common::Rng rng(9);
+  a.init_uniform(rng, 1.0);
+  ParamBuffer b(3, 4);
+  save_parameters({&a}, path);
+  EXPECT_TRUE(load_parameters({&b}, path));
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) ASSERT_DOUBLE_EQ(b.value(r, c), a.value(r, c));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  ParamBuffer a(1, 1);
+  EXPECT_FALSE(load_parameters({&a}, "/nonexistent/model.bin"));
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  const auto path = std::filesystem::temp_directory_path() / "goodones_mat_shape.bin";
+  ParamBuffer a(2, 2);
+  save_parameters({&a}, path);
+  ParamBuffer wrong(3, 2);
+  EXPECT_THROW((void)load_parameters({&wrong}, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, CountMismatchThrows) {
+  const auto path = std::filesystem::temp_directory_path() / "goodones_mat_count.bin";
+  ParamBuffer a(2, 2);
+  save_parameters({&a}, path);
+  ParamBuffer b(2, 2);
+  ParamBuffer c(2, 2);
+  EXPECT_THROW((void)load_parameters({&b, &c}, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, TruncatedFileThrows) {
+  const auto path = std::filesystem::temp_directory_path() / "goodones_mat_trunc.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char garbage[] = {0x4E, 0x4E};
+    out.write(garbage, sizeof(garbage));
+  }
+  ParamBuffer a(1, 1);
+  EXPECT_THROW((void)load_parameters({&a}, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace goodones::nn

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "data/timeseries.hpp"
+#include "data/window.hpp"
+#include "predict/bilstm_forecaster.hpp"
+#include "predict/registry.hpp"
+#include "sim/cohort.hpp"
+
+namespace goodones::predict {
+namespace {
+
+sim::CohortConfig tiny_cohort_config() {
+  sim::CohortConfig config;
+  config.train_steps = 900;
+  config.test_steps = 200;
+  config.seed = 11;
+  return config;
+}
+
+ForecasterConfig tiny_forecaster_config() {
+  ForecasterConfig config;
+  config.hidden = 10;
+  config.head_hidden = 8;
+  config.epochs = 4;
+  config.seed = 21;
+  return config;
+}
+
+struct Fixture {
+  sim::PatientTrace trace;
+  data::TelemetrySeries train_series;
+  data::TelemetrySeries test_series;
+  std::vector<data::Window> train_windows;
+  std::vector<data::Window> test_windows;
+
+  Fixture() {
+    trace = sim::generate_patient({sim::Subset::kA, 0}, tiny_cohort_config());
+    train_series = data::to_series(trace.train);
+    test_series = data::to_series(trace.test);
+    data::WindowConfig window;
+    window.step = 2;
+    train_windows = data::make_windows(train_series, window);
+    test_windows = data::make_windows(test_series, window);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(ForecasterScaler, PinsGlucoseRange) {
+  const auto scaler = fit_forecaster_scaler(fixture().train_series.values);
+  EXPECT_DOUBLE_EQ(scaler.column_min(data::kCgm), sim::kMinGlucose);
+  EXPECT_DOUBLE_EQ(scaler.column_max(data::kCgm), sim::kMaxGlucose);
+}
+
+TEST(Forecaster, PredictsWithinPhysiologicalRange) {
+  const auto& f = fixture();
+  BiLstmForecaster model(tiny_forecaster_config(),
+                         fit_forecaster_scaler(f.train_series.values));
+  model.train(f.train_windows);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double pred = model.predict(f.test_windows[i].features);
+    EXPECT_GT(pred, 0.0);
+    EXPECT_LT(pred, 600.0);
+  }
+}
+
+TEST(Forecaster, TrainingBeatsUntrainedModel) {
+  const auto& f = fixture();
+  const auto scaler = fit_forecaster_scaler(f.train_series.values);
+  BiLstmForecaster untrained(tiny_forecaster_config(), scaler);
+  BiLstmForecaster trained(tiny_forecaster_config(), scaler);
+  trained.train(f.train_windows);
+  EXPECT_LT(trained.evaluate_rmse(f.test_windows),
+            untrained.evaluate_rmse(f.test_windows));
+}
+
+TEST(Forecaster, BeatsGlobalMeanBaseline) {
+  const auto& f = fixture();
+  BiLstmForecaster model(tiny_forecaster_config(),
+                         fit_forecaster_scaler(f.train_series.values));
+  model.train(f.train_windows);
+
+  double mean_target = 0.0;
+  for (const auto& w : f.train_windows) mean_target += w.target_glucose;
+  mean_target /= static_cast<double>(f.train_windows.size());
+  double baseline_sq = 0.0;
+  for (const auto& w : f.test_windows) {
+    baseline_sq += (mean_target - w.target_glucose) * (mean_target - w.target_glucose);
+  }
+  const double baseline_rmse =
+      std::sqrt(baseline_sq / static_cast<double>(f.test_windows.size()));
+  EXPECT_LT(model.evaluate_rmse(f.test_windows), baseline_rmse);
+}
+
+TEST(Forecaster, DeterministicAcrossInstances) {
+  const auto& f = fixture();
+  const auto scaler = fit_forecaster_scaler(f.train_series.values);
+  BiLstmForecaster a(tiny_forecaster_config(), scaler);
+  BiLstmForecaster b(tiny_forecaster_config(), scaler);
+  a.train(f.train_windows);
+  b.train(f.train_windows);
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_DOUBLE_EQ(a.predict(f.test_windows[i].features),
+                     b.predict(f.test_windows[i].features));
+  }
+}
+
+TEST(Forecaster, InputGradientMatchesFiniteDifferences) {
+  const auto& f = fixture();
+  BiLstmForecaster model(tiny_forecaster_config(),
+                         fit_forecaster_scaler(f.train_series.values));
+  model.train(f.train_windows);
+
+  const nn::Matrix& x = f.test_windows[3].features;
+  const nn::Matrix grad = model.input_gradient(x);
+  const double eps = 1e-3;  // raw units (mg/dL, grams)
+  for (const auto [t, c] : {std::pair<std::size_t, std::size_t>{11, 0}, {5, 0}, {11, 3}}) {
+    nn::Matrix plus = x;
+    nn::Matrix minus = x;
+    plus(t, c) += eps;
+    minus(t, c) -= eps;
+    const double numeric = (model.predict(plus) - model.predict(minus)) / (2 * eps);
+    ASSERT_NEAR(grad(t, c), numeric, std::max(1e-4, std::abs(numeric) * 1e-3))
+        << "t=" << t << " c=" << c;
+  }
+}
+
+TEST(Forecaster, RecentCgmDominatesGradient) {
+  // The forecast should respond more to the latest CGM reading than to the
+  // oldest one (temporal locality of glucose dynamics).
+  const auto& f = fixture();
+  BiLstmForecaster model(tiny_forecaster_config(),
+                         fit_forecaster_scaler(f.train_series.values));
+  model.train(f.train_windows);
+  double newest = 0.0;
+  double oldest = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const nn::Matrix grad = model.input_gradient(f.test_windows[i].features);
+    newest += std::abs(grad(grad.rows() - 1, data::kCgm));
+    oldest += std::abs(grad(0, data::kCgm));
+  }
+  EXPECT_GT(newest, oldest);
+}
+
+TEST(Forecaster, SaveLoadRoundTrip) {
+  const auto& f = fixture();
+  const auto scaler = fit_forecaster_scaler(f.train_series.values);
+  BiLstmForecaster trained(tiny_forecaster_config(), scaler);
+  trained.train(f.train_windows);
+  const auto path = std::filesystem::temp_directory_path() / "goodones_forecaster.bin";
+  trained.save(path);
+
+  BiLstmForecaster restored(tiny_forecaster_config(), scaler);
+  ASSERT_TRUE(restored.load(path));
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_DOUBLE_EQ(restored.predict(f.test_windows[i].features),
+                     trained.predict(f.test_windows[i].features));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Registry, TrainsPersonalizedAndAggregate) {
+  sim::CohortConfig cohort_config = tiny_cohort_config();
+  const auto cohort = sim::generate_cohort(cohort_config);
+
+  RegistryConfig config;
+  config.forecaster = tiny_forecaster_config();
+  config.forecaster.epochs = 2;
+  config.train_window_step = 6;
+  config.aggregate_window_step = 30;
+
+  common::ThreadPool pool(8);
+  const ModelRegistry registry = ModelRegistry::train(cohort, config, pool);
+  EXPECT_EQ(registry.num_personalized(), 12u);
+
+  data::WindowConfig window;
+  window.step = 40;
+  const auto series = data::to_series(cohort[0].test);
+  const auto windows = data::make_windows(series, window);
+  ASSERT_FALSE(windows.empty());
+  // Both model kinds produce finite, plausible outputs.
+  for (const auto& w : windows) {
+    EXPECT_TRUE(std::isfinite(registry.personalized(0).predict(w.features)));
+    EXPECT_TRUE(std::isfinite(registry.aggregate().predict(w.features)));
+  }
+}
+
+TEST(Registry, OutOfRangeIndexThrows) {
+  ModelRegistry registry;
+  EXPECT_THROW((void)registry.personalized(0), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace goodones::predict

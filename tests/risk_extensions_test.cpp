@@ -1,0 +1,227 @@
+// Tests for the risk extensions: configurable severity schedules (the
+// paper's planned sensitivity analysis) and the online risk profiler
+// (the paper's Appendix-D adaptive reassessment).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "risk/online.hpp"
+#include "risk/severity.hpp"
+#include "risk/schedule.hpp"
+
+namespace goodones::risk {
+namespace {
+
+using data::GlycemicState;
+using data::MealContext;
+
+attack::WindowOutcome make_outcome(double benign_pred, double adv_pred,
+                                   GlycemicState benign_state, GlycemicState adv_state) {
+  attack::WindowOutcome outcome;
+  outcome.attack.benign_prediction = benign_pred;
+  outcome.attack.adversarial_prediction = adv_pred;
+  outcome.benign_predicted_state = benign_state;
+  outcome.adversarial_predicted_state = adv_state;
+  return outcome;
+}
+
+TEST(SeveritySchedule, PaperDefaultMatchesTableI) {
+  const auto schedule = SeveritySchedule::paper_default();
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 64.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHyper), 32.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kNormal), 16.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHyper, GlycemicState::kHypo), 8.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHyper, GlycemicState::kNormal), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHypo), 2.0);
+}
+
+TEST(SeveritySchedule, PaperDefaultAgreesWithFixedFunction) {
+  const auto schedule = SeveritySchedule::paper_default();
+  for (const auto benign :
+       {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+    for (const auto adv :
+         {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+      EXPECT_DOUBLE_EQ(schedule.coefficient(benign, adv), severity_coefficient(benign, adv));
+    }
+  }
+}
+
+TEST(SeveritySchedule, LinearIsOrderPreserving) {
+  const auto linear = SeveritySchedule::linear();
+  EXPECT_DOUBLE_EQ(linear.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 6.0);
+  EXPECT_DOUBLE_EQ(linear.coefficient(GlycemicState::kNormal, GlycemicState::kHypo), 1.0);
+  // Same severity ordering as the paper's table, different magnitudes.
+  const auto& table = severity_table();
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    EXPECT_GT(linear.coefficient(table[i].benign, table[i].adversarial),
+              linear.coefficient(table[i + 1].benign, table[i + 1].adversarial));
+  }
+}
+
+TEST(SeveritySchedule, UniformWeighsEverythingEqually) {
+  const auto uniform = SeveritySchedule::uniform();
+  for (const auto benign :
+       {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+    for (const auto adv :
+         {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+      EXPECT_DOUBLE_EQ(uniform.coefficient(benign, adv), 1.0);
+    }
+  }
+}
+
+TEST(SeveritySchedule, ExponentialBaseThree) {
+  const auto schedule = SeveritySchedule::exponential(3.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 729.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHypo), 3.0);
+  EXPECT_THROW((void)SeveritySchedule::exponential(1.0), common::PreconditionError);
+}
+
+TEST(SeveritySchedule, SetOverridesSingleCell) {
+  auto schedule = SeveritySchedule::paper_default();
+  schedule.set(GlycemicState::kNormal, GlycemicState::kHyper, 100.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHyper), 100.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 64.0);
+}
+
+TEST(SeveritySchedule, RiskUnderScheduleMatchesDefinition) {
+  const auto outcome =
+      make_outcome(100.0, 400.0, GlycemicState::kNormal, GlycemicState::kHyper);
+  EXPECT_DOUBLE_EQ(instantaneous_risk(outcome, SeveritySchedule::paper_default()),
+                   32.0 * 300.0 * 300.0);
+  EXPECT_DOUBLE_EQ(instantaneous_risk(outcome, SeveritySchedule::uniform()),
+                   300.0 * 300.0);
+}
+
+TEST(SeveritySchedule, ProfileUnderScheduleScalesValues) {
+  std::vector<attack::WindowOutcome> outcomes{
+      make_outcome(100.0, 400.0, GlycemicState::kNormal, GlycemicState::kHyper)};
+  const auto paper = build_profile({sim::Subset::kA, 0}, outcomes,
+                                   SeveritySchedule::paper_default());
+  const auto uniform =
+      build_profile({sim::Subset::kA, 0}, outcomes, SeveritySchedule::uniform());
+  ASSERT_EQ(paper.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(paper.values[0], 32.0 * uniform.values[0]);
+}
+
+std::vector<sim::PatientId> two_victims() {
+  return {{sim::Subset::kA, 0}, {sim::Subset::kA, 1}};
+}
+
+TEST(OnlineProfiler, TracksLevelsAndBatches) {
+  OnlineRiskProfiler profiler(two_victims(), {});
+  EXPECT_EQ(profiler.num_victims(), 2u);
+  EXPECT_EQ(profiler.batches(0), 0u);
+
+  profiler.observe(0, {make_outcome(100.0, 105.0, GlycemicState::kNormal,
+                                    GlycemicState::kNormal)});
+  EXPECT_EQ(profiler.batches(0), 1u);
+  EXPECT_NEAR(profiler.level(0), std::log1p(25.0), 1e-12);
+}
+
+TEST(OnlineProfiler, EmptyBatchIgnored) {
+  OnlineRiskProfiler profiler(two_victims(), {});
+  profiler.observe(0, {});
+  EXPECT_EQ(profiler.batches(0), 0u);
+}
+
+TEST(OnlineProfiler, PartitionSeparatesHighAndLowRisk) {
+  OnlineRiskProfiler profiler(two_victims(), {});
+  // Victim 0: failed attacks, tiny deviations. Victim 1: severe hits.
+  profiler.observe(0, {make_outcome(100.0, 104.0, GlycemicState::kNormal,
+                                    GlycemicState::kNormal)});
+  profiler.observe(1, {make_outcome(100.0, 430.0, GlycemicState::kNormal,
+                                    GlycemicState::kHyper)});
+  const auto& partition = profiler.reassess();
+  ASSERT_EQ(partition.less_vulnerable.size(), 1u);
+  ASSERT_EQ(partition.more_vulnerable.size(), 1u);
+  EXPECT_EQ(partition.less_vulnerable[0], 0u);
+  EXPECT_EQ(partition.more_vulnerable[0], 1u);
+}
+
+TEST(OnlineProfiler, AdaptsWhenAVictimRecovers) {
+  OnlineProfilerConfig config;
+  config.decay = 0.5;  // fast adaptation
+  OnlineRiskProfiler profiler(two_victims(), config);
+  const auto severe =
+      make_outcome(100.0, 430.0, GlycemicState::kNormal, GlycemicState::kHyper);
+  const auto mild =
+      make_outcome(100.0, 103.0, GlycemicState::kNormal, GlycemicState::kNormal);
+
+  profiler.observe(0, {severe});
+  profiler.observe(1, {mild});
+  profiler.reassess();
+  EXPECT_EQ(profiler.partition().more_vulnerable[0], 0u);
+
+  // Victim 0 recovers: repeated mild batches pull its level down.
+  for (int i = 0; i < 8; ++i) {
+    profiler.observe(0, {mild});
+    profiler.observe(1, {mild});
+  }
+  // Victim 1 deteriorates.
+  for (int i = 0; i < 4; ++i) profiler.observe(1, {severe});
+  profiler.reassess();
+  ASSERT_EQ(profiler.partition().more_vulnerable.size(), 1u);
+  EXPECT_EQ(profiler.partition().more_vulnerable[0], 1u);  // roles swapped
+}
+
+TEST(OnlineProfiler, HysteresisPreventsBoundaryFlapping) {
+  OnlineProfilerConfig config;
+  config.decay = 0.5;
+  config.hysteresis = 0.3;
+  std::vector<sim::PatientId> victims = {{sim::Subset::kA, 0}, {sim::Subset::kA, 1},
+                                         {sim::Subset::kA, 2}};
+  OnlineRiskProfiler profiler(victims, config);
+  const auto low =
+      make_outcome(100.0, 102.0, GlycemicState::kNormal, GlycemicState::kNormal);
+  const auto high =
+      make_outcome(100.0, 430.0, GlycemicState::kNormal, GlycemicState::kHyper);
+  const auto middling =
+      make_outcome(100.0, 180.0, GlycemicState::kNormal, GlycemicState::kNormal);
+
+  profiler.observe(0, {low});
+  profiler.observe(1, {middling});
+  profiler.observe(2, {high});
+  profiler.reassess();
+  const bool victim1_was_less =
+      std::find(profiler.partition().less_vulnerable.begin(),
+                profiler.partition().less_vulnerable.end(),
+                1u) != profiler.partition().less_vulnerable.end();
+
+  // A tiny perturbation of the middling victim must not flip its side.
+  profiler.observe(0, {low});
+  profiler.observe(1, {middling});
+  profiler.observe(2, {high});
+  profiler.reassess();
+  const bool victim1_still_less =
+      std::find(profiler.partition().less_vulnerable.begin(),
+                profiler.partition().less_vulnerable.end(),
+                1u) != profiler.partition().less_vulnerable.end();
+  EXPECT_EQ(victim1_was_less, victim1_still_less);
+}
+
+TEST(OnlineProfiler, ReassessRequiresObservations) {
+  OnlineRiskProfiler profiler(two_victims(), {});
+  profiler.observe(0, {make_outcome(100.0, 105.0, GlycemicState::kNormal,
+                                    GlycemicState::kNormal)});
+  EXPECT_THROW((void)profiler.reassess(), common::PreconditionError);
+}
+
+TEST(OnlineProfiler, RejectsBadConfig) {
+  OnlineProfilerConfig config;
+  config.decay = 0.0;
+  EXPECT_THROW(OnlineRiskProfiler(two_victims(), config), common::PreconditionError);
+  config = {};
+  config.hysteresis = 1.0;
+  EXPECT_THROW(OnlineRiskProfiler(two_victims(), config), common::PreconditionError);
+  EXPECT_THROW(OnlineRiskProfiler({}, {}), common::PreconditionError);
+}
+
+TEST(OnlineProfiler, VictimLookup) {
+  OnlineRiskProfiler profiler(two_victims(), {});
+  EXPECT_EQ(sim::to_string(profiler.victim(1)), "A_1");
+  EXPECT_THROW((void)profiler.victim(2), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace goodones::risk
