@@ -29,11 +29,11 @@ std::vector<std::size_t> cluster_variant(core::RiskProfilingFramework& framework
                                          const risk::SeveritySchedule& schedule,
                                          cluster::Linkage linkage,
                                          cluster::ProfileDistance distance) {
-  const auto& cohort = framework.cohort();
+  const auto& entities = framework.entities();
   std::vector<risk::RiskProfile> profiles;
-  profiles.reserve(cohort.size());
-  for (std::size_t i = 0; i < cohort.size(); ++i) {
-    profiles.push_back(risk::build_profile(cohort[i].params.id,
+  profiles.reserve(entities.size());
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    profiles.push_back(risk::build_profile(entities[i].name,
                                            framework.profiling_outcomes(i), schedule));
   }
 
@@ -68,12 +68,12 @@ std::vector<std::size_t> cluster_variant(core::RiskProfilingFramework& framework
   return less;
 }
 
-std::string patient_list(core::RiskProfilingFramework& framework,
-                         const std::vector<std::size_t>& patients) {
+std::string victim_list(core::RiskProfilingFramework& framework,
+                        const std::vector<std::size_t>& victims) {
   std::string out;
-  for (const auto p : patients) {
+  for (const auto p : victims) {
     if (!out.empty()) out += " ";
-    out += sim::to_string(framework.cohort()[p].params.id);
+    out += framework.entities()[p].name;
   }
   return out;
 }
@@ -94,9 +94,9 @@ void run_ablations(core::RiskProfilingFramework& framework) {
     const auto less = cluster_variant(framework, schedule, framework.config().linkage,
                                       framework.config().profile_distance);
     const bool matches = less == baseline;
-    severity_table.add_row({schedule.name(), patient_list(framework, less),
+    severity_table.add_row({schedule.name(), victim_list(framework, less),
                             matches ? "yes" : "NO"});
-    csv.add_row({"severity", schedule.name(), patient_list(framework, less),
+    csv.add_row({"severity", schedule.name(), victim_list(framework, less),
                  matches ? "1" : "0"});
   }
   severity_table.print();
@@ -122,18 +122,18 @@ void run_ablations(core::RiskProfilingFramework& framework) {
       const auto less = cluster_variant(framework, risk::SeveritySchedule::paper_default(),
                                         linkage, distance);
       const bool matches = less == baseline;
-      cluster_table.add_row({linkage_name, distance_name, patient_list(framework, less),
+      cluster_table.add_row({linkage_name, distance_name, victim_list(framework, less),
                              matches ? "yes" : "NO"});
       csv.add_row({"clustering", std::string(linkage_name) + "+" + distance_name,
-                   patient_list(framework, less), matches ? "1" : "0"});
+                   victim_list(framework, less), matches ? "1" : "0"});
     }
   }
   cluster_table.print();
   bench::save_artifact(csv, "ablation_profiling.csv");
 
   // --- 3. Online profiler (paper Appendix D) fed by the same campaigns ---
-  std::vector<sim::PatientId> victims;
-  for (const auto& trace : framework.cohort()) victims.push_back(trace.params.id);
+  std::vector<std::string> victims;
+  for (const auto& entity : framework.entities()) victims.push_back(entity.name);
   risk::OnlineRiskProfiler online(victims, {});
   // Stream each patient's profiling campaign in four chronological batches.
   for (std::size_t p = 0; p < victims.size(); ++p) {
@@ -149,20 +149,20 @@ void run_ablations(core::RiskProfilingFramework& framework) {
   std::sort(partition.less_vulnerable.begin(), partition.less_vulnerable.end());
   std::cout << "\nOnline profiler (Appendix-D adaptive reassessment), streaming the same "
                "campaigns:\n  less vulnerable: "
-            << patient_list(framework, partition.less_vulnerable)
+            << victim_list(framework, partition.less_vulnerable)
             << (partition.less_vulnerable == baseline ? "  (matches offline baseline)"
                                                       : "  (differs from offline baseline)")
             << "\n";
 }
 
 void BM_OnlineObserve(benchmark::State& state) {
-  risk::OnlineRiskProfiler profiler({{sim::Subset::kA, 0}}, {});
+  risk::OnlineRiskProfiler profiler({"A_0"}, {});
   std::vector<attack::WindowOutcome> batch(64);
   for (auto& outcome : batch) {
     outcome.attack.benign_prediction = 100.0;
     outcome.attack.adversarial_prediction = 380.0;
-    outcome.benign_predicted_state = data::GlycemicState::kNormal;
-    outcome.adversarial_predicted_state = data::GlycemicState::kHyper;
+    outcome.benign_predicted_state = data::StateLabel::kNormal;
+    outcome.adversarial_predicted_state = data::StateLabel::kHigh;
   }
   for (auto _ : state) {
     profiler.observe(0, batch);
@@ -176,7 +176,7 @@ BENCHMARK(BM_OnlineObserve);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   run_ablations(framework);
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

@@ -6,11 +6,15 @@
 //   2. run google-benchmark timings for the kernels that produced it.
 // Bench binaries run with no arguments; GOODONES_FULL=1 switches the
 // experiment scale from the calibrated fast preset to the paper's settings.
+//
+// The reproduction benches target the paper's BGMS case study, so they all
+// run on the BGMS DomainAdapter; the engine underneath is domain-agnostic.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/csv.hpp"
@@ -18,6 +22,7 @@
 #include "core/cache.hpp"
 #include "core/config.hpp"
 #include "core/framework.hpp"
+#include "domains/bgms/adapter.hpp"
 
 namespace goodones::bench {
 
@@ -28,10 +33,17 @@ inline void save_artifact(const common::CsvTable& table, const std::string& name
   std::cout << "[artifact] " << path.string() << "\n";
 }
 
-/// Announces which preset the run uses.
+/// The shared BGMS adapter all reproduction benches run on.
+inline std::shared_ptr<const core::DomainAdapter> bgms_domain() {
+  static const auto domain = std::make_shared<bgms::BgmsDomain>();
+  return domain;
+}
+
+/// Announces which preset the run uses; returns the BGMS-prepared config.
 inline core::FrameworkConfig announce_config() {
-  core::FrameworkConfig config = core::FrameworkConfig::from_env();
-  const bool full = config.cohort.train_steps == core::FrameworkConfig::full().cohort.train_steps;
+  core::FrameworkConfig config = bgms_domain()->prepare(core::FrameworkConfig::from_env());
+  const bool full =
+      config.population.train_steps == core::FrameworkConfig::full().population.train_steps;
   std::cout << "goodones reproduction bench — preset: " << (full ? "FULL (paper scale)" : "fast")
             << " (set GOODONES_FULL=1 for paper-scale settings)\n";
   return config;

@@ -56,7 +56,7 @@ inline void render_metric_grid(core::RiskProfilingFramework& framework,
     const double selective =
         spec.value(results.entry(kind, core::Strategy::kLessVulnerable).pooled);
     const double indiscriminate =
-        spec.value(results.entry(kind, core::Strategy::kAllPatients).pooled);
+        spec.value(results.entry(kind, core::Strategy::kAllVictims).pooled);
     const double delta =
         indiscriminate > 0.0 ? (selective - indiscriminate) / indiscriminate : 0.0;
     std::cout << "  " << detect::to_string(kind) << ": " << common::fixed(selective, 3)
@@ -69,7 +69,7 @@ inline void render_metric_grid(core::RiskProfilingFramework& framework,
   const auto& less = results.entry(detect::DetectorKind::kMadGan,
                                    core::Strategy::kLessVulnerable);
   const auto& all = results.entry(detect::DetectorKind::kMadGan,
-                                  core::Strategy::kAllPatients);
+                                  core::Strategy::kAllVictims);
   if (all.train_benign > 0) {
     const double reduction = 1.0 - static_cast<double>(less.train_benign) /
                                        static_cast<double>(all.train_benign);

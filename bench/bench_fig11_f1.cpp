@@ -26,7 +26,7 @@ BENCHMARK(BM_ConfusionMetrics);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   goodones::bench::render_metric_grid(
       framework, {"Fig. 11", "F1-score", "fig11_f1.csv",
                   [](const goodones::core::ConfusionMatrix& cm) { return cm.f1(); }});

@@ -13,7 +13,7 @@ using namespace goodones;
 
 void reproduce_fig3(core::RiskProfilingFramework& framework) {
   const auto& profiling = framework.profiling();
-  const auto& cohort = framework.cohort();
+  const auto& entities = framework.entities();
 
   // Risk-profile summary (the paper plots the series; we print summary
   // statistics and persist the full series as CSV).
@@ -24,12 +24,12 @@ void reproduce_fig3(core::RiskProfilingFramework& framework) {
   for (std::size_t i = 0; i < profiling.profiles.size(); ++i) {
     const auto& profile = profiling.profiles[i];
     const auto log_scaled = profile.log_scaled();
-    profiles.add_row({sim::to_string(cohort[i].params.id),
+    profiles.add_row({entities[i].name,
                       std::to_string(profile.values.size()),
                       common::fixed(profile.mean(), 1), common::fixed(profile.peak(), 1),
                       common::fixed(common::mean(log_scaled), 3)});
     for (std::size_t k = 0; k < profile.values.size(); ++k) {
-      series_csv.add_row({sim::to_string(cohort[i].params.id), std::to_string(k),
+      series_csv.add_row({entities[i].name, std::to_string(k),
                           common::format_double(profile.values[k])});
     }
   }
@@ -41,7 +41,7 @@ void reproduce_fig3(core::RiskProfilingFramework& framework) {
                           const char* title) {
     std::vector<std::string> names;
     for (std::size_t i = 0; i < 6; ++i) {
-      names.push_back(sim::to_string(cohort[offset + i].params.id));
+      names.push_back(entities[offset + i].name);
     }
     std::cout << "\n== Fig. 3 — dendrogram, " << title << " ==\n"
               << dendrogram.render_ascii(names);
@@ -52,8 +52,8 @@ void reproduce_fig3(core::RiskProfilingFramework& framework) {
     std::cout << "\nsuggested clusters (max-gap cut): "
               << dendrogram.suggest_cluster_count() << "\n";
   };
-  render(*profiling.dendrogram_a, 0, "Subset A");
-  render(*profiling.dendrogram_b, 6, "Subset B");
+  render(profiling.dendrograms[0], 0, "Subset A");
+  render(profiling.dendrograms[1], 6, "Subset B");
 
   common::CsvTable merges_csv({"subset", "left", "right", "height", "size"});
   const auto dump = [&](const cluster::Dendrogram& dendrogram, const char* subset) {
@@ -62,8 +62,8 @@ void reproduce_fig3(core::RiskProfilingFramework& framework) {
                           common::format_double(merge.height), std::to_string(merge.size)});
     }
   };
-  dump(*profiling.dendrogram_a, "A");
-  dump(*profiling.dendrogram_b, "B");
+  dump(profiling.dendrograms[0], "A");
+  dump(profiling.dendrograms[1], "B");
   bench::save_artifact(merges_csv, "fig3_dendrogram_merges.csv");
 }
 
@@ -111,7 +111,7 @@ BENCHMARK(BM_AgglomerativeClustering)->Arg(12)->Arg(64);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   reproduce_fig3(framework);
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

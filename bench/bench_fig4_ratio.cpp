@@ -3,7 +3,9 @@
 // should show the highest ratios; the most vulnerable (A_2) the lowest.
 #include "bench_common.hpp"
 
+#include "data/labels.hpp"
 #include "data/timeseries.hpp"
+#include "domains/bgms/glucose_state.hpp"
 
 namespace {
 
@@ -11,17 +13,17 @@ using namespace goodones;
 
 void reproduce_fig4(core::RiskProfilingFramework& framework) {
   const auto& profiling = framework.profiling();
-  const auto& cohort = framework.cohort();
+  const auto& entities = framework.entities();
 
   common::AsciiTable table("Fig. 4 — Normal-to-abnormal ratio of benign traces",
                            {"Patient", "Ratio", "Bar"});
   common::CsvTable csv({"patient", "ratio"});
-  for (std::size_t i = 0; i < cohort.size(); ++i) {
+  for (std::size_t i = 0; i < entities.size(); ++i) {
     const double ratio = profiling.benign_normal_ratio[i];
     const auto bar_len = static_cast<std::size_t>(ratio * 40.0);
-    table.add_row({sim::to_string(cohort[i].params.id), common::fixed(ratio, 3),
+    table.add_row({entities[i].name, common::fixed(ratio, 3),
                    std::string(bar_len, '#')});
-    csv.add_row({sim::to_string(cohort[i].params.id), common::format_double(ratio)});
+    csv.add_row({entities[i].name, common::format_double(ratio)});
   }
   table.print();
   bench::save_artifact(csv, "fig4_normal_ratio.csv");
@@ -33,28 +35,29 @@ void reproduce_fig4(core::RiskProfilingFramework& framework) {
 }
 
 void BM_NormalRatioComputation(benchmark::State& state) {
-  sim::CohortConfig config;
+  bgms::CohortConfig config;
   config.train_steps = static_cast<std::size_t>(state.range(0));
   config.test_steps = 16;
-  const auto trace = sim::generate_patient({sim::Subset::kA, 0}, config);
-  const auto series = data::to_series(trace.train);
-  const auto cgm = series.channel(data::kCgm);
+  const auto trace = bgms::generate_patient({bgms::Subset::kA, 0}, config);
+  const auto series = bgms::to_series(trace.train);
+  const auto cgm = series.channel(bgms::kCgm);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(data::normal_to_abnormal_ratio(cgm, series.context));
+    benchmark::DoNotOptimize(
+        data::normal_ratio(cgm, series.regimes, bgms::glycemic_thresholds()));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_NormalRatioComputation)->Arg(1000)->Arg(10000);
 
 void BM_MealContextDerivation(benchmark::State& state) {
-  sim::CohortConfig config;
+  bgms::CohortConfig config;
   config.train_steps = static_cast<std::size_t>(state.range(0));
   config.test_steps = 16;
-  const auto trace = sim::generate_patient({sim::Subset::kB, 3}, config);
-  const auto series = data::to_series(trace.train);
-  const auto carbs = series.channel(data::kCarbs);
+  const auto trace = bgms::generate_patient({bgms::Subset::kB, 3}, config);
+  const auto series = bgms::to_series(trace.train);
+  const auto carbs = series.channel(bgms::kCarbs);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(data::derive_meal_context(carbs));
+    benchmark::DoNotOptimize(bgms::derive_meal_context(carbs));
   }
 }
 BENCHMARK(BM_MealContextDerivation)->Arg(10000);
@@ -63,7 +66,7 @@ BENCHMARK(BM_MealContextDerivation)->Arg(10000);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   reproduce_fig4(framework);
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

@@ -14,17 +14,17 @@ using namespace goodones;
 
 void reproduce_fig5(core::RiskProfilingFramework& framework) {
   // Indiscriminate training = the "All Patients" strategy.
-  std::vector<std::size_t> all_patients(framework.cohort().size());
-  for (std::size_t i = 0; i < all_patients.size(); ++i) all_patients[i] = i;
-  const auto eval = framework.evaluate_strategy(detect::DetectorKind::kKnn, all_patients);
+  std::vector<std::size_t> all_victims(framework.entities().size());
+  for (std::size_t i = 0; i < all_victims.size(); ++i) all_victims[i] = i;
+  const auto eval = framework.evaluate_strategy(detect::DetectorKind::kKnn, all_victims);
 
   common::AsciiTable table(
       "Fig. 5 — kNN on sample traces, indiscriminate (All Patients) training",
       {"Patient", "Malicious windows", "Flagged (TP)", "Missed (FN)", "FN rate"});
   common::CsvTable csv({"patient", "malicious", "tp", "fn", "fn_rate"});
   const auto add_patient = [&](std::size_t index) {
-    const auto& cm = eval.per_patient[index];
-    const auto id = sim::to_string(framework.cohort()[index].params.id);
+    const auto& cm = eval.per_victim[index];
+    const auto id = framework.entities()[index].name;
     table.add_row({id, std::to_string(cm.tp + cm.fn), std::to_string(cm.tp),
                    std::to_string(cm.fn), common::fixed(cm.false_negative_rate(), 3)});
     csv.add_row({id, std::to_string(cm.tp + cm.fn), std::to_string(cm.tp),
@@ -39,12 +39,12 @@ void reproduce_fig5(core::RiskProfilingFramework& framework) {
   // is the TP:FN proportion along each trace; render it as a marker strip.
   const auto render_markers = [&](std::size_t patient) {
     std::string line;
-    const auto& per_patient = eval.per_patient[patient];
-    const std::size_t malicious_total = per_patient.tp + per_patient.fn;
+    const auto& per_victim = eval.per_victim[patient];
+    const std::size_t malicious_total = per_victim.tp + per_victim.fn;
     if (malicious_total == 0) return line;
     const std::size_t total = std::min<std::size_t>(malicious_total, 60);
     const double tp_fraction =
-        static_cast<double>(per_patient.tp) / static_cast<double>(malicious_total);
+        static_cast<double>(per_victim.tp) / static_cast<double>(malicious_total);
     for (std::size_t i = 0; i < total; ++i) {
       const double position = static_cast<double>(i) / static_cast<double>(total);
       line += position < tp_fraction ? 'o' : 'x';
@@ -85,7 +85,7 @@ BENCHMARK(BM_KnnQuery)->Arg(500)->Arg(2000);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   reproduce_fig5(framework);
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

@@ -36,7 +36,7 @@ BENCHMARK(BM_MadGanInversion)->Arg(5)->Arg(25);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   goodones::bench::render_metric_grid(
       framework, {"Fig. 7", "Recall", "fig7_recall.csv",
                   [](const goodones::core::ConfusionMatrix& cm) { return cm.recall(); }});

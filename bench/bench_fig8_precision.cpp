@@ -50,7 +50,7 @@ BENCHMARK(BM_OcsvmScore);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   goodones::bench::render_metric_grid(
       framework, {"Fig. 8", "Precision", "fig8_precision.csv",
                   [](const goodones::core::ConfusionMatrix& cm) { return cm.precision(); }});

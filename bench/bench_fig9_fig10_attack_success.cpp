@@ -7,6 +7,7 @@
 
 #include "attack/evasion.hpp"
 #include "data/timeseries.hpp"
+#include "domains/bgms/cohort.hpp"
 
 namespace {
 
@@ -14,7 +15,7 @@ using namespace goodones;
 
 void reproduce_appendix_a(core::RiskProfilingFramework& framework) {
   auto& models = framework.models();
-  const auto& cohort = framework.cohort();
+  const auto& entities = framework.entities();
 
   common::AsciiTable fig9("Fig. 9 — Normal -> Hyper attack success (%), test split",
                           {"Model", "Fasting", "Postprandial"});
@@ -31,26 +32,26 @@ void reproduce_appendix_a(core::RiskProfilingFramework& framework) {
   std::size_t model_count = 0;
 
   const auto add_model = [&](const std::string& name,
-                             const predict::GlucoseForecaster& model,
+                             const predict::Forecaster& model,
                              const std::vector<data::Window>& windows) {
     const auto outcomes = attack::run_campaign(model, windows, campaign, framework.pool());
     const auto rates = attack::summarize(outcomes);
-    fig9.add_row({name, common::fixed(100.0 * rates.normal_fasting_rate(), 1),
-                  common::fixed(100.0 * rates.normal_postprandial_rate(), 1)});
-    fig10.add_row({name, common::fixed(100.0 * rates.hypo_fasting_rate(), 1),
-                   common::fixed(100.0 * rates.hypo_postprandial_rate(), 1)});
-    csv.add_row({name, "normal", common::format_double(100.0 * rates.normal_fasting_rate()),
-                 common::format_double(100.0 * rates.normal_postprandial_rate()),
-                 std::to_string(rates.normal_fasting_attempts),
-                 std::to_string(rates.normal_postprandial_attempts)});
-    csv.add_row({name, "hypo", common::format_double(100.0 * rates.hypo_fasting_rate()),
-                 common::format_double(100.0 * rates.hypo_postprandial_rate()),
-                 std::to_string(rates.hypo_fasting_attempts),
-                 std::to_string(rates.hypo_postprandial_attempts)});
-    avg9_fast += rates.normal_fasting_rate();
-    avg9_post += rates.normal_postprandial_rate();
-    avg10_fast += rates.hypo_fasting_rate();
-    avg10_post += rates.hypo_postprandial_rate();
+    fig9.add_row({name, common::fixed(100.0 * rates.normal_baseline_rate(), 1),
+                  common::fixed(100.0 * rates.normal_active_rate(), 1)});
+    fig10.add_row({name, common::fixed(100.0 * rates.low_baseline_rate(), 1),
+                   common::fixed(100.0 * rates.low_active_rate(), 1)});
+    csv.add_row({name, "normal", common::format_double(100.0 * rates.normal_baseline_rate()),
+                 common::format_double(100.0 * rates.normal_active_rate()),
+                 std::to_string(rates.normal_baseline_attempts),
+                 std::to_string(rates.normal_active_attempts)});
+    csv.add_row({name, "hypo", common::format_double(100.0 * rates.low_baseline_rate()),
+                 common::format_double(100.0 * rates.low_active_rate()),
+                 std::to_string(rates.low_baseline_attempts),
+                 std::to_string(rates.low_active_attempts)});
+    avg9_fast += rates.normal_baseline_rate();
+    avg9_post += rates.normal_active_rate();
+    avg10_fast += rates.low_baseline_rate();
+    avg10_post += rates.low_active_rate();
     ++model_count;
   };
 
@@ -59,13 +60,13 @@ void reproduce_appendix_a(core::RiskProfilingFramework& framework) {
   data::WindowConfig window = framework.config().window;
   window.step = 1;
   std::vector<data::Window> pooled;
-  for (std::size_t i = 0; i < cohort.size(); ++i) {
-    const auto series = data::to_series(cohort[i].test);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    const auto& series = entities[i].test;
     auto windows = data::make_windows(series, window);
-    add_model("Patient " + sim::to_string(cohort[i].params.id), models.personalized(i),
+    add_model("Patient " + entities[i].name, models.personalized(i),
               windows);
     // Pool a slice into the aggregate-model evaluation set.
-    for (std::size_t k = 0; k < windows.size(); k += cohort.size()) {
+    for (std::size_t k = 0; k < windows.size(); k += entities.size()) {
       pooled.push_back(windows[k]);
     }
   }
@@ -87,17 +88,17 @@ void reproduce_appendix_a(core::RiskProfilingFramework& framework) {
 // --- microbenchmarks -------------------------------------------------------
 
 /// Analytic model so the benchmark times the search, not LSTM inference.
-class FixedModel final : public predict::GlucoseForecaster {
+class FixedModel final : public predict::Forecaster {
  public:
   double predict(const nn::Matrix& x) const override {
     double sum = 0.0;
-    for (std::size_t t = 0; t < x.rows(); ++t) sum += x(t, data::kCgm);
+    for (std::size_t t = 0; t < x.rows(); ++t) sum += x(t, bgms::kCgm);
     return 0.6 * sum / static_cast<double>(x.rows());
   }
   nn::Matrix input_gradient(const nn::Matrix& x) const override {
     nn::Matrix g(x.rows(), x.cols());
     for (std::size_t t = 0; t < x.rows(); ++t) {
-      g(t, data::kCgm) = 0.6 / static_cast<double>(x.rows());
+      g(t, bgms::kCgm) = 0.6 / static_cast<double>(x.rows());
     }
     return g;
   }
@@ -105,10 +106,10 @@ class FixedModel final : public predict::GlucoseForecaster {
 
 data::Window bench_window() {
   data::Window w;
-  w.features = nn::Matrix(12, data::kNumChannels);
-  for (std::size_t t = 0; t < 12; ++t) w.features(t, data::kCgm) = 100.0;
-  w.context = data::MealContext::kFasting;
-  w.target_glucose = 100.0;
+  w.features = nn::Matrix(12, bgms::kNumChannels);
+  for (std::size_t t = 0; t < 12; ++t) w.features(t, bgms::kCgm) = 100.0;
+  w.regime = data::Regime::kBaseline;
+  w.target_value = 100.0;
   return w;
 }
 
@@ -133,7 +134,7 @@ BENCHMARK(BM_AttackSearch)
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   reproduce_appendix_a(framework);
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

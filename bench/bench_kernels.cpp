@@ -10,7 +10,8 @@
 #include "data/window.hpp"
 #include "nn/lstm.hpp"
 #include "predict/bilstm_forecaster.hpp"
-#include "sim/cohort.hpp"
+#include "domains/bgms/cohort.hpp"
+#include "domains/bgms/patient.hpp"
 
 namespace {
 
@@ -61,16 +62,17 @@ void BM_LstmForwardBackward(benchmark::State& state) {
 BENCHMARK(BM_LstmForwardBackward)->Arg(24)->Arg(64);
 
 void BM_ForecasterPredict(benchmark::State& state) {
-  sim::CohortConfig cohort_config;
+  bgms::CohortConfig cohort_config;
   cohort_config.train_steps = 600;
   cohort_config.test_steps = 60;
-  const auto trace = sim::generate_patient({sim::Subset::kA, 0}, cohort_config);
-  const auto series = data::to_series(trace.train);
+  const auto trace = bgms::generate_patient({bgms::Subset::kA, 0}, cohort_config);
+  const auto series = bgms::to_series(trace.train);
 
   predict::ForecasterConfig config;
   config.hidden = static_cast<std::size_t>(state.range(0));
   config.epochs = 1;
-  predict::BiLstmForecaster model(config, predict::fit_forecaster_scaler(series.values));
+  predict::BiLstmForecaster model(config, predict::fit_forecaster_scaler(series.values, bgms::kCgm,
+                                                           bgms::kMinGlucose, bgms::kMaxGlucose));
   const auto windows = data::make_windows(series, {});
   model.train({windows.begin(), windows.begin() + 50});
 
@@ -81,15 +83,16 @@ void BM_ForecasterPredict(benchmark::State& state) {
 BENCHMARK(BM_ForecasterPredict)->Arg(24)->Arg(32);
 
 void BM_ForecasterInputGradient(benchmark::State& state) {
-  sim::CohortConfig cohort_config;
+  bgms::CohortConfig cohort_config;
   cohort_config.train_steps = 600;
   cohort_config.test_steps = 60;
-  const auto trace = sim::generate_patient({sim::Subset::kB, 1}, cohort_config);
-  const auto series = data::to_series(trace.train);
+  const auto trace = bgms::generate_patient({bgms::Subset::kB, 1}, cohort_config);
+  const auto series = bgms::to_series(trace.train);
   predict::ForecasterConfig config;
   config.hidden = 24;
   config.epochs = 1;
-  predict::BiLstmForecaster model(config, predict::fit_forecaster_scaler(series.values));
+  predict::BiLstmForecaster model(config, predict::fit_forecaster_scaler(series.values, bgms::kCgm,
+                                                           bgms::kMinGlucose, bgms::kMaxGlucose));
   const auto windows = data::make_windows(series, {});
   model.train({windows.begin(), windows.begin() + 50});
   for (auto _ : state) {
@@ -99,9 +102,9 @@ void BM_ForecasterInputGradient(benchmark::State& state) {
 BENCHMARK(BM_ForecasterInputGradient);
 
 void BM_GlucoseSimulation(benchmark::State& state) {
-  const auto params = sim::patient_parameters({sim::Subset::kA, 3});
+  const auto params = bgms::patient_parameters({bgms::Subset::kA, 3});
   for (auto _ : state) {
-    sim::GlucoseSimulator simulator(params, 42);
+    bgms::GlucoseSimulator simulator(params, 42);
     benchmark::DoNotOptimize(simulator.run(static_cast<std::size_t>(state.range(0))));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -109,11 +112,11 @@ void BM_GlucoseSimulation(benchmark::State& state) {
 BENCHMARK(BM_GlucoseSimulation)->Arg(1000)->Arg(10000);
 
 void BM_WindowExtraction(benchmark::State& state) {
-  sim::CohortConfig config;
+  bgms::CohortConfig config;
   config.train_steps = static_cast<std::size_t>(state.range(0));
   config.test_steps = 20;
-  const auto trace = sim::generate_patient({sim::Subset::kB, 0}, config);
-  const auto series = data::to_series(trace.train);
+  const auto trace = bgms::generate_patient({bgms::Subset::kB, 0}, config);
+  const auto series = bgms::to_series(trace.train);
   for (auto _ : state) {
     benchmark::DoNotOptimize(data::make_windows(series, {}));
   }

@@ -2,7 +2,7 @@
 // transitions, plus microbenchmarks of the risk-formula kernels.
 #include "bench_common.hpp"
 
-#include "data/glucose_state.hpp"
+#include "data/labels.hpp"
 #include "risk/profile.hpp"
 #include "risk/severity.hpp"
 
@@ -25,8 +25,8 @@ void reproduce_table1() {
 }
 
 void BM_SeverityLookup(benchmark::State& state) {
-  const auto states = {data::GlycemicState::kHypo, data::GlycemicState::kNormal,
-                       data::GlycemicState::kHyper};
+  const auto states = {data::StateLabel::kLow, data::StateLabel::kNormal,
+                       data::StateLabel::kHigh};
   for (auto _ : state) {
     for (const auto from : states) {
       for (const auto to : states) {
@@ -41,8 +41,8 @@ void BM_InstantaneousRisk(benchmark::State& state) {
   attack::WindowOutcome outcome;
   outcome.attack.benign_prediction = 95.0;
   outcome.attack.adversarial_prediction = 240.0;
-  outcome.benign_predicted_state = data::GlycemicState::kNormal;
-  outcome.adversarial_predicted_state = data::GlycemicState::kHyper;
+  outcome.benign_predicted_state = data::StateLabel::kNormal;
+  outcome.adversarial_predicted_state = data::StateLabel::kHigh;
   for (auto _ : state) {
     benchmark::DoNotOptimize(risk::instantaneous_risk(outcome));
   }
@@ -54,11 +54,11 @@ void BM_RiskProfileConstruction(benchmark::State& state) {
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     outcomes[i].attack.benign_prediction = 90.0 + static_cast<double>(i % 40);
     outcomes[i].attack.adversarial_prediction = 200.0 + static_cast<double>(i % 100);
-    outcomes[i].benign_predicted_state = data::GlycemicState::kNormal;
-    outcomes[i].adversarial_predicted_state = data::GlycemicState::kHyper;
+    outcomes[i].benign_predicted_state = data::StateLabel::kNormal;
+    outcomes[i].adversarial_predicted_state = data::StateLabel::kHigh;
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(risk::build_profile({sim::Subset::kA, 0}, outcomes));
+    benchmark::DoNotOptimize(risk::build_profile("A_0", outcomes));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }

@@ -14,15 +14,15 @@ using namespace goodones;
 
 void reproduce_table2(core::RiskProfilingFramework& framework) {
   const auto& profiling = framework.profiling();
-  const auto& cohort = framework.cohort();
+  const auto& entities = framework.entities();
 
-  const auto join = [&](const std::vector<std::size_t>& patients, sim::Subset subset) {
+  const auto join = [&](const std::vector<std::size_t>& victims, std::size_t subset) {
     std::ostringstream out;
     bool first = true;
-    for (const auto p : patients) {
-      if (cohort[p].params.id.subset != subset) continue;
+    for (const auto p : victims) {
+      if (entities[p].subset != subset) continue;
       if (!first) out << " ";
-      out << sim::to_string(cohort[p].params.id);
+      out << entities[p].name;
       first = false;
     }
     return out.str();
@@ -30,10 +30,10 @@ void reproduce_table2(core::RiskProfilingFramework& framework) {
 
   common::AsciiTable table("Table II — Clusters of patient vulnerability to the attack",
                            {"Cluster", "Subset A", "Subset B"});
-  table.add_row({"Less Vulnerable", join(profiling.clusters.less_vulnerable, sim::Subset::kA),
-                 join(profiling.clusters.less_vulnerable, sim::Subset::kB)});
-  table.add_row({"More Vulnerable", join(profiling.clusters.more_vulnerable, sim::Subset::kA),
-                 join(profiling.clusters.more_vulnerable, sim::Subset::kB)});
+  table.add_row({"Less Vulnerable", join(profiling.clusters.less_vulnerable, 0),
+                 join(profiling.clusters.less_vulnerable, 1)});
+  table.add_row({"More Vulnerable", join(profiling.clusters.more_vulnerable, 0),
+                 join(profiling.clusters.more_vulnerable, 1)});
   table.print();
 
   // Cross-check the paper uses: per-patient attack success (profiling
@@ -41,15 +41,15 @@ void reproduce_table2(core::RiskProfilingFramework& framework) {
   common::AsciiTable check("Cluster cross-check — attack success per patient",
                            {"Patient", "Attack success %", "Cluster"});
   common::CsvTable csv({"patient", "attack_success_pct", "cluster"});
-  for (std::size_t i = 0; i < cohort.size(); ++i) {
+  for (std::size_t i = 0; i < entities.size(); ++i) {
     const bool less =
         std::find(profiling.clusters.less_vulnerable.begin(),
                   profiling.clusters.less_vulnerable.end(),
                   i) != profiling.clusters.less_vulnerable.end();
     const double rate = 100.0 * profiling.train_attack_rates[i].overall_rate();
-    check.add_row({sim::to_string(cohort[i].params.id), common::fixed(rate, 1),
+    check.add_row({entities[i].name, common::fixed(rate, 1),
                    less ? "Less Vulnerable" : "More Vulnerable"});
-    csv.add_row({sim::to_string(cohort[i].params.id), common::format_double(rate),
+    csv.add_row({entities[i].name, common::format_double(rate),
                  less ? "less" : "more"});
   }
   check.print();
@@ -62,8 +62,9 @@ void reproduce_table2(core::RiskProfilingFramework& framework) {
 void BM_FullProfilingPipeline(benchmark::State& state) {
   // Times steps 2-4 (risk profiles -> clustering) on precomputed campaign
   // outcomes; attack simulation and model training are excluded.
-  core::FrameworkConfig config = core::FrameworkConfig::from_env();
-  core::RiskProfilingFramework framework(config);
+  const core::FrameworkConfig config =
+      bench::bgms_domain()->prepare(core::FrameworkConfig::from_env());
+  core::RiskProfilingFramework framework(bench::bgms_domain(), config);
   const auto& profiling = framework.profiling();
   std::vector<std::vector<double>> series;
   for (const auto& p : profiling.profiles) series.push_back(p.log_scaled());
@@ -87,7 +88,7 @@ BENCHMARK(BM_FullProfilingPipeline)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   auto config = goodones::bench::announce_config();
-  goodones::core::RiskProfilingFramework framework(config);
+  goodones::core::RiskProfilingFramework framework(goodones::bench::bgms_domain(), config);
   reproduce_table2(framework);
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

@@ -18,7 +18,9 @@
 #include "data/window.hpp"
 #include "detect/madgan.hpp"
 #include "predict/bilstm_forecaster.hpp"
-#include "sim/cohort.hpp"
+#include "domains/bgms/cohort.hpp"
+#include "domains/bgms/glucose_state.hpp"
+#include "domains/bgms/patient.hpp"
 
 namespace {
 
@@ -36,12 +38,12 @@ double recommended_bolus(double predicted_glucose) {
 
 int main() {
   // --- 1. Patient telemetry -----------------------------------------------
-  sim::CohortConfig cohort_config;
+  bgms::CohortConfig cohort_config;
   cohort_config.train_steps = 4000;
   cohort_config.test_steps = 800;
-  const auto patient = sim::generate_patient({sim::Subset::kA, 2}, cohort_config);
-  const auto train_series = data::to_series(patient.train);
-  const auto test_series = data::to_series(patient.test);
+  const auto patient = bgms::generate_patient({bgms::Subset::kA, 2}, cohort_config);
+  const auto train_series = bgms::to_series(patient.train);
+  const auto test_series = bgms::to_series(patient.test);
   std::cout << "Simulated patient A_2: " << patient.train.size() << " training and "
             << patient.test.size() << " test samples at 5-minute cadence\n";
 
@@ -49,7 +51,8 @@ int main() {
   predict::ForecasterConfig forecaster_config;
   forecaster_config.epochs = 5;
   predict::BiLstmForecaster forecaster(
-      forecaster_config, predict::fit_forecaster_scaler(train_series.values));
+      forecaster_config, predict::fit_forecaster_scaler(train_series.values, bgms::kCgm,
+                                     bgms::kMinGlucose, bgms::kMaxGlucose));
   data::WindowConfig window_config;
   window_config.step = 2;
   const auto train_windows = data::make_windows(train_series, window_config);
@@ -62,7 +65,7 @@ int main() {
   // Pick a benign window whose true state is normal.
   const data::Window* victim = nullptr;
   for (const auto& w : test_windows) {
-    if (data::classify(w.target_glucose, w.context) == data::GlycemicState::kNormal) {
+    if (bgms::classify(w.target_value, w.regime) == data::StateLabel::kNormal) {
       victim = &w;
       break;
     }
@@ -76,7 +79,8 @@ int main() {
   const auto result = attack.attack_window(forecaster, *victim);
 
   std::cout << "Evasion attack on a normal-state window ("
-            << data::to_string(victim->context) << " scenario):\n";
+            << (victim->regime == data::Regime::kBaseline ? "fasting" : "postprandial")
+            << " scenario):\n";
   std::cout << "  benign prediction:      " << result.benign_prediction << " mg/dL\n";
   std::cout << "  adversarial prediction: " << result.adversarial_prediction
             << " mg/dL after " << result.edits << " CGM edits\n";
@@ -87,11 +91,12 @@ int main() {
             << recommended_bolus(result.benign_prediction) << " U\n";
   std::cout << "  recommended bolus (adversarial): "
             << recommended_bolus(result.adversarial_prediction)
-            << " U  <- delivered while true glucose is " << victim->target_glucose
+            << " U  <- delivered while true glucose is " << victim->target_value
             << " mg/dL\n\n";
 
   // --- 5. The defense -------------------------------------------------------
-  data::MinMaxScaler scaler = predict::fit_forecaster_scaler(train_series.values);
+  data::MinMaxScaler scaler = predict::fit_forecaster_scaler(train_series.values, bgms::kCgm,
+                                     bgms::kMinGlucose, bgms::kMaxGlucose);
   detect::MadGanConfig gan_config;
   gan_config.epochs = 10;
   gan_config.max_train_windows = 800;

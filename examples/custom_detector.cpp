@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/framework.hpp"
+#include "domains/bgms/adapter.hpp"
 #include "data/window.hpp"
 #include "detect/detector.hpp"
 
@@ -77,17 +78,17 @@ class RobustZScoreDetector final : public detect::AnomalyDetector {
 /// Trains and evaluates the custom detector on a patient subset, reusing
 /// the framework's data plumbing (scaled samples, attack campaigns).
 core::ConfusionMatrix evaluate_custom(core::RiskProfilingFramework& framework,
-                                      const std::vector<std::size_t>& train_patients) {
+                                      const std::vector<std::size_t>& train_victims) {
   RobustZScoreDetector detector;
   std::vector<nn::Matrix> benign;
-  for (const auto p : train_patients) {
+  for (const auto p : train_victims) {
     auto samples = framework.benign_train_samples(p);
     benign.insert(benign.end(), samples.begin(), samples.end());
   }
   detector.fit(benign, {});
 
   core::ConfusionMatrix cm;
-  for (std::size_t p = 0; p < framework.cohort().size(); ++p) {
+  for (std::size_t p = 0; p < framework.entities().size(); ++p) {
     for (const auto& sample : framework.benign_test_samples(p)) {
       cm.add(false, detector.flags(sample));
     }
@@ -101,16 +102,17 @@ core::ConfusionMatrix evaluate_custom(core::RiskProfilingFramework& framework,
 }  // namespace
 
 int main() {
-  core::FrameworkConfig config = core::FrameworkConfig::fast();
-  config.cohort.train_steps = 3000;
-  config.cohort.test_steps = 900;
+  const auto domain = std::make_shared<bgms::BgmsDomain>();
+  core::FrameworkConfig config = domain->prepare(core::FrameworkConfig::fast());
+  config.population.train_steps = 3000;
+  config.population.test_steps = 900;
   config.registry.forecaster.epochs = 4;
-  config.profiling_campaign.attack.overdose_threshold = 250.0;
-  config.evaluation_campaign.attack.overdose_threshold = 250.0;
-  core::RiskProfilingFramework framework(config);
+  config.profiling_campaign.attack.harm_threshold = 250.0;
+  config.evaluation_campaign.attack.harm_threshold = 250.0;
+  core::RiskProfilingFramework framework(domain, config);
 
   const auto& clusters = framework.profiling().clusters;
-  std::vector<std::size_t> everyone(framework.cohort().size());
+  std::vector<std::size_t> everyone(framework.entities().size());
   for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
 
   const auto selective = evaluate_custom(framework, clusters.less_vulnerable);

@@ -1,48 +1,55 @@
-// Quickstart: run the five-step risk-profiling framework end to end and
-// print which patients it recommends training the defenses on.
+// Quickstart: run the five-step risk-profiling engine end to end on the
+// BGMS domain (the paper's case study) and print which victims it
+// recommends training the defenses on.
 //
-//   build/examples/quickstart
+//   build/quickstart
 //
 // Uses a small configuration so it finishes in about a minute on a laptop.
+// The engine itself is domain-agnostic: swap the adapter for
+// domains::make_domain("synthtel") — or your own DomainAdapter — and the
+// same five steps run on a different scenario (see examples/synthetic_domain).
 #include <iostream>
 
 #include "core/framework.hpp"
+#include "domains/registry.hpp"
 
 int main() {
   using namespace goodones;
 
-  // 1. Configure. fast() is a calibrated small preset; FrameworkConfig
-  //    exposes every knob (cohort size, attack search, detector settings).
-  const core::FrameworkConfig config = core::FrameworkConfig::fast();
+  // 1. Pick a domain and prepare a config. fast() is a calibrated small
+  //    preset; prepare() stamps the domain's semantics (channel layout,
+  //    thresholds, attack boxes, severity) onto it.
+  const auto domain = domains::make_domain("bgms");
+  const core::FrameworkConfig config = domain->prepare(core::FrameworkConfig::fast());
 
-  // 2. The framework computes lazily: cohort -> forecaster fleet ->
+  // 2. The framework computes lazily: entities -> forecaster fleet ->
   //    attack simulation -> risk profiles -> vulnerability clusters.
-  core::RiskProfilingFramework framework(config);
+  core::RiskProfilingFramework framework(domain, config);
   const core::ProfilingOutputs& profiling = framework.profiling();
 
   std::cout << "Risk profiling of the simulated 12-patient cohort:\n\n";
-  const auto& cohort = framework.cohort();
-  for (std::size_t i = 0; i < cohort.size(); ++i) {
-    std::cout << "  " << sim::to_string(cohort[i].params.id)
+  const auto& entities = framework.entities();
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    std::cout << "  " << entities[i].name
               << "  attack success " << 100.0 * profiling.train_attack_rates[i].overall_rate()
               << "%  mean risk " << profiling.profiles[i].mean() << "\n";
   }
 
   std::cout << "\nLess vulnerable (train your static defenses on these):\n  ";
   for (const auto p : profiling.clusters.less_vulnerable) {
-    std::cout << sim::to_string(cohort[p].params.id) << " ";
+    std::cout << entities[p].name << " ";
   }
   std::cout << "\nMore vulnerable:\n  ";
   for (const auto p : profiling.clusters.more_vulnerable) {
-    std::cout << sim::to_string(cohort[p].params.id) << " ";
+    std::cout << entities[p].name << " ";
   }
   std::cout << "\n\n";
 
   // 3. Step 5: selectively train a kNN detector on the less-vulnerable
-  //    cluster and evaluate it on every patient's held-out test data.
+  //    cluster and evaluate it on every victim's held-out test data.
   const auto selective = framework.evaluate_strategy(detect::DetectorKind::kKnn,
                                                      profiling.clusters.less_vulnerable);
-  std::vector<std::size_t> everyone(cohort.size());
+  std::vector<std::size_t> everyone(entities.size());
   for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
   const auto indiscriminate =
       framework.evaluate_strategy(detect::DetectorKind::kKnn, everyone);

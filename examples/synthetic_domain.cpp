@@ -1,0 +1,38 @@
+// The same five-step engine on a different scenario: the synthetic
+// sensor fleet. Nothing below names glucose — the DomainAdapter carries
+// all the scenario knowledge.
+//
+//   build/synthetic_domain
+#include <iostream>
+
+#include "core/framework.hpp"
+#include "domains/registry.hpp"
+
+int main() {
+  using namespace goodones;
+
+  const auto domain = domains::make_domain("synthtel");
+  core::FrameworkConfig config = domain->prepare(core::FrameworkConfig::fast());
+  config.population.train_steps = 3000;  // the fleet is cheap to simulate
+  config.population.test_steps = 900;
+
+  core::RiskProfilingFramework framework(domain, config);
+  const auto& profiling = framework.profiling();
+  const auto& entities = framework.entities();
+
+  std::cout << "Sensor-fleet risk profiles (" << domain->spec().name << "):\n";
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    std::cout << "  " << entities[i].name << "  attack success "
+              << 100.0 * profiling.train_attack_rates[i].overall_rate()
+              << "%  mean risk " << profiling.profiles[i].mean() << "\n";
+  }
+  std::cout << "Less vulnerable nodes:";
+  for (const auto n : profiling.clusters.less_vulnerable) {
+    std::cout << " " << entities[n].name;
+  }
+  const auto eval = framework.evaluate_strategy(detect::DetectorKind::kKnn,
+                                                profiling.clusters.less_vulnerable);
+  std::cout << "\nkNN trained on them: recall " << eval.pooled.recall()
+            << ", precision " << eval.pooled.precision() << "\n";
+  return 0;
+}

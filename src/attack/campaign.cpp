@@ -13,19 +13,20 @@ double rate(std::size_t successes, std::size_t attempts) noexcept {
 
 }  // namespace
 
-std::vector<WindowOutcome> run_campaign(const predict::GlucoseForecaster& model,
+std::vector<WindowOutcome> run_campaign(const predict::Forecaster& model,
                                         const std::vector<data::Window>& windows,
                                         const CampaignConfig& config,
                                         common::ThreadPool& pool) {
   GO_EXPECTS(config.window_step > 0);
 
   // Eligible: the adversary targets instances whose true state is normal or
-  // hypoglycemic (already-hyper instances give the attacker nothing).
+  // low (already-high instances give the attacker nothing).
+  const data::StateThresholds& thresholds = config.attack.thresholds;
   std::vector<const data::Window*> eligible;
   for (std::size_t i = 0; i < windows.size(); i += config.window_step) {
     const data::Window& w = windows[i];
-    const auto state = data::classify(w.target_glucose, w.context);
-    if (state != data::GlycemicState::kHyper) eligible.push_back(&w);
+    const auto state = thresholds.classify(w.target_value, w.regime);
+    if (state != data::StateLabel::kHigh) eligible.push_back(&w);
   }
 
   const EvasionAttack attack(config.attack);
@@ -35,55 +36,55 @@ std::vector<WindowOutcome> run_campaign(const predict::GlucoseForecaster& model,
     WindowOutcome& outcome = outcomes[i];
     outcome.benign = w;
     outcome.attack = attack.attack_window(model, w);
-    outcome.true_state = data::classify(w.target_glucose, w.context);
+    outcome.true_state = thresholds.classify(w.target_value, w.regime);
     outcome.benign_predicted_state =
-        data::classify(outcome.attack.benign_prediction, w.context);
+        thresholds.classify(outcome.attack.benign_prediction, w.regime);
     outcome.adversarial_predicted_state =
-        config.attack.induced_state(outcome.attack.adversarial_prediction, w.context);
+        config.attack.induced_state(outcome.attack.adversarial_prediction, w.regime);
   });
   return outcomes;
 }
 
-double SuccessRates::normal_fasting_rate() const noexcept {
-  return rate(normal_fasting_successes, normal_fasting_attempts);
+double SuccessRates::normal_baseline_rate() const noexcept {
+  return rate(normal_baseline_successes, normal_baseline_attempts);
 }
-double SuccessRates::normal_postprandial_rate() const noexcept {
-  return rate(normal_postprandial_successes, normal_postprandial_attempts);
+double SuccessRates::normal_active_rate() const noexcept {
+  return rate(normal_active_successes, normal_active_attempts);
 }
-double SuccessRates::hypo_fasting_rate() const noexcept {
-  return rate(hypo_fasting_successes, hypo_fasting_attempts);
+double SuccessRates::low_baseline_rate() const noexcept {
+  return rate(low_baseline_successes, low_baseline_attempts);
 }
-double SuccessRates::hypo_postprandial_rate() const noexcept {
-  return rate(hypo_postprandial_successes, hypo_postprandial_attempts);
+double SuccessRates::low_active_rate() const noexcept {
+  return rate(low_active_successes, low_active_attempts);
 }
 double SuccessRates::overall_rate() const noexcept {
-  const std::size_t attempts = normal_fasting_attempts + normal_postprandial_attempts +
-                               hypo_fasting_attempts + hypo_postprandial_attempts;
-  const std::size_t successes = normal_fasting_successes + normal_postprandial_successes +
-                                hypo_fasting_successes + hypo_postprandial_successes;
+  const std::size_t attempts = normal_baseline_attempts + normal_active_attempts +
+                               low_baseline_attempts + low_active_attempts;
+  const std::size_t successes = normal_baseline_successes + normal_active_successes +
+                                low_baseline_successes + low_active_successes;
   return rate(successes, attempts);
 }
 
 SuccessRates summarize(const std::vector<WindowOutcome>& outcomes) {
   SuccessRates rates;
   for (const auto& outcome : outcomes) {
-    const bool fasting = outcome.benign.context == data::MealContext::kFasting;
+    const bool baseline = outcome.benign.regime == data::Regime::kBaseline;
     const bool success = outcome.attack.success;
-    if (outcome.true_state == data::GlycemicState::kNormal) {
-      if (fasting) {
-        ++rates.normal_fasting_attempts;
-        rates.normal_fasting_successes += success ? 1 : 0;
+    if (outcome.true_state == data::StateLabel::kNormal) {
+      if (baseline) {
+        ++rates.normal_baseline_attempts;
+        rates.normal_baseline_successes += success ? 1 : 0;
       } else {
-        ++rates.normal_postprandial_attempts;
-        rates.normal_postprandial_successes += success ? 1 : 0;
+        ++rates.normal_active_attempts;
+        rates.normal_active_successes += success ? 1 : 0;
       }
-    } else if (outcome.true_state == data::GlycemicState::kHypo) {
-      if (fasting) {
-        ++rates.hypo_fasting_attempts;
-        rates.hypo_fasting_successes += success ? 1 : 0;
+    } else if (outcome.true_state == data::StateLabel::kLow) {
+      if (baseline) {
+        ++rates.low_baseline_attempts;
+        rates.low_baseline_successes += success ? 1 : 0;
       } else {
-        ++rates.hypo_postprandial_attempts;
-        rates.hypo_postprandial_successes += success ? 1 : 0;
+        ++rates.low_active_attempts;
+        rates.low_active_successes += success ? 1 : 0;
       }
     }
   }

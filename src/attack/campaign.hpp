@@ -1,4 +1,4 @@
-// Attack campaigns: run the evasion attack over a patient's telemetry and
+// Attack campaigns: run the evasion attack over an entity's telemetry and
 // aggregate per-scenario success rates (the paper's Appendix-A figures),
 // keeping per-window outcomes for the risk profiler and the detectors.
 #pragma once
@@ -9,7 +9,6 @@
 #include "common/thread_pool.hpp"
 #include "data/window.hpp"
 #include "predict/forecaster.hpp"
-#include "sim/patient.hpp"
 
 namespace goodones::attack {
 
@@ -17,9 +16,9 @@ namespace goodones::attack {
 struct WindowOutcome {
   data::Window benign;               ///< the clean window (raw units)
   AttackResult attack;               ///< adversarial features + predictions
-  data::GlycemicState true_state;    ///< state of the true future glucose
-  data::GlycemicState benign_predicted_state;
-  data::GlycemicState adversarial_predicted_state;
+  data::StateLabel true_state = data::StateLabel::kNormal;  ///< state of the true future target
+  data::StateLabel benign_predicted_state = data::StateLabel::kNormal;
+  data::StateLabel adversarial_predicted_state = data::StateLabel::kNormal;
 };
 
 struct CampaignConfig {
@@ -30,29 +29,30 @@ struct CampaignConfig {
 };
 
 /// Attacks every `window_step`-th eligible window (true state normal or
-/// hypoglycemic — the states the adversary wants misdiagnosed as hyper).
-/// Outcomes stay in time order. Parallel across windows via `pool`.
-std::vector<WindowOutcome> run_campaign(const predict::GlucoseForecaster& model,
+/// low — the states the adversary wants misdiagnosed as high). Outcomes
+/// stay in time order. Parallel across windows via `pool`.
+std::vector<WindowOutcome> run_campaign(const predict::Forecaster& model,
                                         const std::vector<data::Window>& windows,
                                         const CampaignConfig& config,
                                         common::ThreadPool& pool);
 
-/// Success-rate summary per (origin state x meal context) cell, matching
-/// the paper's Fig. 9 (normal -> hyper) and Fig. 10 (hypo -> hyper).
+/// Success-rate summary per (origin state x regime) cell, matching the
+/// paper's Fig. 9 (normal -> high) and Fig. 10 (low -> high). For the BGMS
+/// domain: baseline = fasting, active = postprandial.
 struct SuccessRates {
-  std::size_t normal_fasting_attempts = 0;
-  std::size_t normal_fasting_successes = 0;
-  std::size_t normal_postprandial_attempts = 0;
-  std::size_t normal_postprandial_successes = 0;
-  std::size_t hypo_fasting_attempts = 0;
-  std::size_t hypo_fasting_successes = 0;
-  std::size_t hypo_postprandial_attempts = 0;
-  std::size_t hypo_postprandial_successes = 0;
+  std::size_t normal_baseline_attempts = 0;
+  std::size_t normal_baseline_successes = 0;
+  std::size_t normal_active_attempts = 0;
+  std::size_t normal_active_successes = 0;
+  std::size_t low_baseline_attempts = 0;
+  std::size_t low_baseline_successes = 0;
+  std::size_t low_active_attempts = 0;
+  std::size_t low_active_successes = 0;
 
-  double normal_fasting_rate() const noexcept;
-  double normal_postprandial_rate() const noexcept;
-  double hypo_fasting_rate() const noexcept;
-  double hypo_postprandial_rate() const noexcept;
+  double normal_baseline_rate() const noexcept;
+  double normal_active_rate() const noexcept;
+  double low_baseline_rate() const noexcept;
+  double low_active_rate() const noexcept;
   /// Success rate over all attempts.
   double overall_rate() const noexcept;
 };

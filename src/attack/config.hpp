@@ -1,20 +1,24 @@
-// Evasion-attack configuration mirroring the paper's URET setup.
+// Evasion-attack configuration mirroring the paper's URET setup,
+// generalized over the engine's domain vocabulary.
 //
-// Threat model: the adversary can rewrite only the CGM channel (compromised
-// Bluetooth link) and must keep manipulated values physiologically plausible:
-// within [125, 499] mg/dL for fasting scenarios and [180, 499] mg/dL for
-// postprandial scenarios (499 is the highest value in OhioT1DM). The goal is
-// to push the DNN's glucose forecast across the hyperglycemia threshold while
-// the patient's true state is normal or hypoglycemic.
+// Threat model: the adversary can rewrite only the target channel of the
+// telemetry window (e.g. a compromised sensor link) and must keep
+// manipulated values inside a per-regime plausibility box. The goal is to
+// push the DNN's forecast across the domain's high-state threshold while
+// the victim's true state is normal or low.
+//
+// The numeric defaults below are the BGMS case study's calibration
+// (mg/dL boxes from OhioT1DM, overdose harm level); every DomainAdapter
+// stamps its own semantics via DomainAdapter::prepare().
 #pragma once
 
 #include <cstdint>
 
-#include "data/glucose_state.hpp"
+#include "data/labels.hpp"
 
 namespace goodones::attack {
 
-/// Search strategy over candidate CGM edits.
+/// Search strategy over candidate target-channel edits.
 enum class SearchKind : std::uint8_t {
   /// Edits timesteps from the most recent backwards, keeping the best
   /// candidate value at each step; stops at first success. This is the
@@ -25,7 +29,7 @@ enum class SearchKind : std::uint8_t {
   kGreedy,
   /// Beam search over edit sequences (width configurable). Strongest.
   kBeam,
-  /// Orders timesteps by |d prediction / d CGM_t| from the model's input
+  /// Orders timesteps by |d prediction / d target_t| from the model's input
   /// gradient, then proceeds like ordered greedy. Extension beyond URET.
   kGradientGuided,
 };
@@ -33,10 +37,10 @@ enum class SearchKind : std::uint8_t {
 struct AttackConfig {
   SearchKind search = SearchKind::kOrderedGreedy;
   /// Edit budget. URET-style attacks minimize perturbation: a stealthy
-  /// adversary rewrites only a few recent CGM readings, because wholesale
+  /// adversary rewrites only a few recent readings, because wholesale
   /// window rewrites are trivially detectable. With a bounded budget the
   /// remaining benign readings anchor the forecast, which is exactly where
-  /// patient-to-patient resilience differences (paper Fig. 9/10) come from.
+  /// entity-to-entity resilience differences (paper Fig. 9/10) come from.
   std::size_t max_edits = 4;
   /// Grid resolution inside the constraint box. The stealth-first search
   /// picks the smallest succeeding value, so a finer grid lets successful
@@ -55,44 +59,53 @@ struct AttackConfig {
   double stealth_fraction = 0.6;
   std::size_t beam_width = 4;         ///< only for kBeam
 
-  // Constraint boxes (mg/dL) per scenario, straight from the paper.
-  double fasting_min = data::kFastingHyperThreshold;        // 125
-  double postprandial_min = data::kPostprandialHyperThreshold;  // 180
-  double value_max = 499.0;
+  /// Channel of the telemetry window the adversary can rewrite (the
+  /// forecast target channel; stamped by the domain adapter).
+  std::size_t target_channel = 0;
 
-  /// Overdose-danger level (mg/dL): the attack counts as successful only
-  /// when the induced prediction exceeds this level. The paper's attacker
-  /// goal is an *excessively high* insulin dose that "could lead the
-  /// patient into a coma or even death" — a prediction a hair over the
-  /// diagnostic threshold triggers a negligible correction bolus, so the
-  /// faithful reading of the threat model is a prediction high enough to
-  /// provoke a harmful dose. This is also where patient resilience becomes
-  /// measurable: tightly-controlled patients' personalized models damp
-  /// manipulated inputs and cannot be pushed this high, while dysregulated
-  /// patients' models follow the manipulated CGM all the way up.
-  double overdose_threshold = 370.0;
+  /// Diagnostic thresholds of the domain (state classification of benign
+  /// and induced predictions). Defaults: the BGMS glycemic table.
+  data::StateThresholds thresholds{/*low=*/70.0, /*high_baseline=*/125.0,
+                                   /*high_active=*/180.0};
 
-  /// Lower bound of the box for a given meal context.
-  double box_min(data::MealContext context) const noexcept {
-    return context == data::MealContext::kFasting ? fasting_min : postprandial_min;
+  // Constraint box per regime (raw units). Defaults: the paper's
+  // [125, 499] mg/dL fasting and [180, 499] mg/dL postprandial boxes.
+  double baseline_box_min = 125.0;
+  double active_box_min = 180.0;
+  double box_max = 499.0;
+
+  /// Harm level (raw units): the attack counts as successful only when the
+  /// induced prediction exceeds this level. A prediction a hair over the
+  /// diagnostic threshold triggers a negligible correction, so the faithful
+  /// reading of the threat model is a prediction high enough to provoke a
+  /// harmful response (the BGMS paper's "excessively high insulin dose").
+  /// This is also where entity resilience becomes measurable: stable
+  /// entities' personalized models damp manipulated inputs and cannot be
+  /// pushed this high, while volatile entities' models follow the
+  /// manipulated channel all the way up.
+  double harm_threshold = 370.0;
+
+  /// Lower bound of the box for a given regime.
+  double box_min(data::Regime regime) const noexcept {
+    return regime == data::Regime::kBaseline ? baseline_box_min : active_box_min;
   }
 
-  /// Prediction level that counts as a successful attack for this context
-  /// (never below the scenario's diagnostic hyperglycemia threshold).
-  double success_threshold(data::MealContext context) const noexcept {
-    const double diagnostic = data::hyper_threshold(context);
-    return overdose_threshold > diagnostic ? overdose_threshold : diagnostic;
+  /// Prediction level that counts as a successful attack for this regime
+  /// (never below the regime's diagnostic high threshold).
+  double success_threshold(data::Regime regime) const noexcept {
+    const double diagnostic = thresholds.high(regime);
+    return harm_threshold > diagnostic ? harm_threshold : diagnostic;
   }
 
   /// Treatment-relevant state induced by an adversarial prediction: the
-  /// BGMS only administers a harmful correction when the prediction crosses
-  /// the overdose level, so risk quantification counts the Hyper transition
-  /// only then (elevated-but-subcritical predictions remain "Normal").
-  data::GlycemicState induced_state(double prediction,
-                                    data::MealContext context) const noexcept {
-    if (prediction > success_threshold(context)) return data::GlycemicState::kHyper;
-    if (prediction < data::kHypoThreshold) return data::GlycemicState::kHypo;
-    return data::GlycemicState::kNormal;
+  /// victim system only takes a harmful action when the prediction crosses
+  /// the harm level, so risk quantification counts the High transition only
+  /// then (elevated-but-subcritical predictions remain "Normal").
+  data::StateLabel induced_state(double prediction,
+                                 data::Regime regime) const noexcept {
+    if (prediction > success_threshold(regime)) return data::StateLabel::kHigh;
+    if (prediction < thresholds.low) return data::StateLabel::kLow;
+    return data::StateLabel::kNormal;
   }
 };
 

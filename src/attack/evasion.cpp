@@ -9,17 +9,18 @@
 
 namespace goodones::attack {
 
-bool prediction_is_hyper(double predicted_glucose, data::MealContext context) noexcept {
-  return data::classify(predicted_glucose, context) == data::GlycemicState::kHyper;
+bool prediction_is_high(double prediction, data::Regime regime,
+                        const data::StateThresholds& thresholds) noexcept {
+  return thresholds.classify(prediction, regime) == data::StateLabel::kHigh;
 }
 
 EvasionAttack::EvasionAttack(AttackConfig config) : config_(config) {
   GO_EXPECTS(config_.max_edits > 0);
-  GO_EXPECTS(config_.overdose_threshold > 0.0);
+  GO_EXPECTS(config_.harm_threshold > 0.0);
   GO_EXPECTS(config_.value_candidates >= 2);
   GO_EXPECTS(config_.beam_width >= 1);
-  GO_EXPECTS(config_.fasting_min < config_.value_max);
-  GO_EXPECTS(config_.postprandial_min < config_.value_max);
+  GO_EXPECTS(config_.baseline_box_min < config_.box_max);
+  GO_EXPECTS(config_.active_box_min < config_.box_max);
 }
 
 double EvasionAttack::window_jitter(const data::Window& window) noexcept {
@@ -35,10 +36,10 @@ double EvasionAttack::window_jitter(const data::Window& window) noexcept {
   return static_cast<double>(common::splitmix64_next(state) >> 11) * 0x1.0p-53;
 }
 
-std::vector<double> EvasionAttack::candidate_values(data::MealContext context,
+std::vector<double> EvasionAttack::candidate_values(data::Regime regime,
                                                     double jitter) const {
-  const double lo = config_.box_min(context);
-  const double hi = config_.value_max;
+  const double lo = config_.box_min(regime);
+  const double hi = config_.box_max;
   std::vector<double> values(config_.value_candidates);
   // Jittered interior grid, but the box maximum is always available: the
   // escalating attacker's strongest move must not depend on the jitter.
@@ -50,9 +51,9 @@ std::vector<double> EvasionAttack::candidate_values(data::MealContext context,
   return values;
 }
 
-AttackResult EvasionAttack::attack_window(const predict::GlucoseForecaster& model,
+AttackResult EvasionAttack::attack_window(const predict::Forecaster& model,
                                           const data::Window& window) const {
-  GO_EXPECTS(window.features.cols() == data::kNumChannels);
+  GO_EXPECTS(config_.target_channel < window.features.cols());
   GO_EXPECTS(window.features.rows() > 0);
 
   switch (config_.search) {
@@ -69,7 +70,7 @@ AttackResult EvasionAttack::attack_window(const predict::GlucoseForecaster& mode
       std::vector<std::size_t> order(window.features.rows());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return std::abs(grad(a, data::kCgm)) > std::abs(grad(b, data::kCgm));
+        return std::abs(grad(a, config_.target_channel)) > std::abs(grad(b, config_.target_channel));
       });
       return run_ordered_greedy(model, window, order);
     }
@@ -82,7 +83,7 @@ AttackResult EvasionAttack::attack_window(const predict::GlucoseForecaster& mode
   return {};
 }
 
-AttackResult EvasionAttack::run_ordered_greedy(const predict::GlucoseForecaster& model,
+AttackResult EvasionAttack::run_ordered_greedy(const predict::Forecaster& model,
                                                const data::Window& window,
                                                const std::vector<std::size_t>& step_order) const {
   AttackResult result;
@@ -90,13 +91,13 @@ AttackResult EvasionAttack::run_ordered_greedy(const predict::GlucoseForecaster&
   result.adversarial_features = window.features;
   result.adversarial_prediction = result.benign_prediction;
 
-  const double threshold = config_.success_threshold(window.context);
+  const double threshold = config_.success_threshold(window.regime);
   if (result.benign_prediction > threshold) {
     result.success = true;  // the model already predicts past the harm level
     return result;
   }
 
-  const auto values = candidate_values(window.context, window_jitter(window));
+  const auto values = candidate_values(window.regime, window_jitter(window));
   const std::size_t budget = std::min<std::size_t>(config_.max_edits, step_order.size());
 
   for (std::size_t k = 0; k < budget; ++k) {
@@ -109,15 +110,15 @@ AttackResult EvasionAttack::run_ordered_greedy(const predict::GlucoseForecaster&
     // of the achievable gain rather than always slamming the box maximum.
     const double base_pred = result.adversarial_prediction;
     double best_pred = base_pred;
-    double best_value = result.adversarial_features(t, data::kCgm);
+    double best_value = result.adversarial_features(t, config_.target_channel);
     std::vector<double> candidate_preds(values.size());
     nn::Matrix probe = result.adversarial_features;
     for (std::size_t vi = 0; vi < values.size(); ++vi) {  // ascending
-      probe(t, data::kCgm) = values[vi];
+      probe(t, config_.target_channel) = values[vi];
       const double pred = model.predict(probe);
       candidate_preds[vi] = pred;
       if (pred > threshold) {
-        result.adversarial_features(t, data::kCgm) = values[vi];
+        result.adversarial_features(t, config_.target_channel) = values[vi];
         result.adversarial_prediction = pred;
         ++result.edits;
         result.success = true;
@@ -148,7 +149,7 @@ AttackResult EvasionAttack::run_ordered_greedy(const predict::GlucoseForecaster&
           }
         }
       }
-      result.adversarial_features(t, data::kCgm) = chosen_value;
+      result.adversarial_features(t, config_.target_channel) = chosen_value;
       result.adversarial_prediction = chosen_pred;
       ++result.edits;
     }
@@ -157,14 +158,14 @@ AttackResult EvasionAttack::run_ordered_greedy(const predict::GlucoseForecaster&
   return result;
 }
 
-AttackResult EvasionAttack::run_greedy(const predict::GlucoseForecaster& model,
+AttackResult EvasionAttack::run_greedy(const predict::Forecaster& model,
                                        const data::Window& window) const {
   AttackResult result;
   result.benign_prediction = model.predict(window.features);
   result.adversarial_features = window.features;
   result.adversarial_prediction = result.benign_prediction;
 
-  const auto values = candidate_values(window.context, window_jitter(window));
+  const auto values = candidate_values(window.regime, window_jitter(window));
   const std::size_t steps = window.features.rows();
   std::vector<bool> edited(steps, false);
 
@@ -175,9 +176,9 @@ AttackResult EvasionAttack::run_greedy(const predict::GlucoseForecaster& model,
     nn::Matrix probe = result.adversarial_features;
     for (std::size_t t = 0; t < steps; ++t) {
       if (edited[t]) continue;
-      const double original = probe(t, data::kCgm);
+      const double original = probe(t, config_.target_channel);
       for (const double v : values) {
-        probe(t, data::kCgm) = v;
+        probe(t, config_.target_channel) = v;
         const double pred = model.predict(probe);
         if (pred > best_pred) {
           best_pred = pred;
@@ -185,23 +186,23 @@ AttackResult EvasionAttack::run_greedy(const predict::GlucoseForecaster& model,
           best_value = v;
         }
       }
-      probe(t, data::kCgm) = original;
+      probe(t, config_.target_channel) = original;
     }
     if (best_t == steps) break;  // no edit improves the objective
     edited[best_t] = true;
-    result.adversarial_features(best_t, data::kCgm) = best_value;
+    result.adversarial_features(best_t, config_.target_channel) = best_value;
     result.adversarial_prediction = best_pred;
     ++result.edits;
-    if (best_pred > config_.success_threshold(window.context)) {
+    if (best_pred > config_.success_threshold(window.regime)) {
       result.success = true;
       return result;
     }
   }
-  result.success = result.adversarial_prediction > config_.success_threshold(window.context);
+  result.success = result.adversarial_prediction > config_.success_threshold(window.regime);
   return result;
 }
 
-AttackResult EvasionAttack::run_beam(const predict::GlucoseForecaster& model,
+AttackResult EvasionAttack::run_beam(const predict::Forecaster& model,
                                      const data::Window& window) const {
   struct Beam {
     nn::Matrix features;
@@ -215,7 +216,7 @@ AttackResult EvasionAttack::run_beam(const predict::GlucoseForecaster& model,
   result.adversarial_features = window.features;
   result.adversarial_prediction = result.benign_prediction;
 
-  const auto values = candidate_values(window.context, window_jitter(window));
+  const auto values = candidate_values(window.regime, window_jitter(window));
   const std::size_t steps = window.features.rows();
   const std::size_t budget = std::min<std::size_t>(config_.max_edits, steps);
 
@@ -231,7 +232,7 @@ AttackResult EvasionAttack::run_beam(const predict::GlucoseForecaster& model,
       expanded.push_back(std::move(unchanged));
       for (const double v : values) {
         Beam child = beam;
-        child.features(t, data::kCgm) = v;
+        child.features(t, config_.target_channel) = v;
         child.prediction = model.predict(child.features);
         child.edits++;
         child.next_step++;
@@ -252,12 +253,12 @@ AttackResult EvasionAttack::run_beam(const predict::GlucoseForecaster& model,
       result.adversarial_prediction = best.prediction;
       result.edits = best.edits;
     }
-    if (result.adversarial_prediction > config_.success_threshold(window.context)) {
+    if (result.adversarial_prediction > config_.success_threshold(window.regime)) {
       result.success = true;
       return result;
     }
   }
-  result.success = result.adversarial_prediction > config_.success_threshold(window.context);
+  result.success = result.adversarial_prediction > config_.success_threshold(window.regime);
   return result;
 }
 

@@ -1,6 +1,6 @@
-// The evasion attack itself: manipulate a telemetry window's CGM channel so
-// the forecaster predicts hyperglycemia. Standalone substitute for the URET
-// toolkit's greedy/beam input-transformation search.
+// The evasion attack itself: manipulate a telemetry window's target channel
+// so the forecaster predicts a harmful high state. Standalone substitute for
+// the URET toolkit's greedy/beam input-transformation search.
 #pragma once
 
 #include <vector>
@@ -14,7 +14,7 @@ namespace goodones::attack {
 
 struct AttackResult {
   bool success = false;
-  std::size_t edits = 0;              ///< number of CGM values rewritten
+  std::size_t edits = 0;              ///< number of target-channel values rewritten
   double benign_prediction = 0.0;     ///< model output on the clean window
   double adversarial_prediction = 0.0;///< model output on the final window
   nn::Matrix adversarial_features;    ///< the manipulated window (raw units)
@@ -26,35 +26,36 @@ class EvasionAttack {
 
   const AttackConfig& config() const noexcept { return config_; }
 
-  /// Attacks one window against `model`. The window's meal context selects
-  /// the constraint box and the success threshold. Thread-safe.
-  AttackResult attack_window(const predict::GlucoseForecaster& model,
+  /// Attacks one window against `model`. The window's regime selects the
+  /// constraint box and the success threshold. Thread-safe.
+  AttackResult attack_window(const predict::Forecaster& model,
                              const data::Window& window) const;
 
  private:
-  /// Candidate CGM values inside the box for the given context. `jitter`
+  /// Candidate target values inside the box for the given regime. `jitter`
   /// in [0, 1) shifts the whole grid by a fraction of its spacing: derived
   /// deterministically per window, it prevents manipulated values from
   /// collapsing onto a handful of exact grid points across windows (which
   /// would hand detectors unrealistic exact-match evidence).
-  std::vector<double> candidate_values(data::MealContext context, double jitter) const;
+  std::vector<double> candidate_values(data::Regime regime, double jitter) const;
 
   /// Deterministic per-window jitter in [0, 1) from the feature bytes.
   static double window_jitter(const data::Window& window) noexcept;
 
-  AttackResult run_ordered_greedy(const predict::GlucoseForecaster& model,
+  AttackResult run_ordered_greedy(const predict::Forecaster& model,
                                   const data::Window& window,
                                   const std::vector<std::size_t>& step_order) const;
-  AttackResult run_greedy(const predict::GlucoseForecaster& model,
+  AttackResult run_greedy(const predict::Forecaster& model,
                           const data::Window& window) const;
-  AttackResult run_beam(const predict::GlucoseForecaster& model,
+  AttackResult run_beam(const predict::Forecaster& model,
                         const data::Window& window) const;
 
   AttackConfig config_;
 };
 
-/// Convenience: true if the prediction crosses the scenario's hyperglycemia
-/// threshold (the attacker's success criterion).
-bool prediction_is_hyper(double predicted_glucose, data::MealContext context) noexcept;
+/// Convenience: true if the prediction crosses the regime's diagnostic high
+/// threshold under the given threshold table.
+bool prediction_is_high(double prediction, data::Regime regime,
+                        const data::StateThresholds& thresholds) noexcept;
 
 }  // namespace goodones::attack

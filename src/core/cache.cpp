@@ -11,8 +11,6 @@ namespace goodones::core {
 
 namespace {
 
-constexpr std::size_t kCohortSize = 12;
-
 const char* detector_token(detect::DetectorKind kind) {
   switch (kind) {
     case detect::DetectorKind::kKnn: return "knn";
@@ -34,7 +32,7 @@ const char* strategy_token(Strategy strategy) {
     case Strategy::kLessVulnerable: return "less";
     case Strategy::kMoreVulnerable: return "more";
     case Strategy::kRandomSamples: return "random";
-    case Strategy::kAllPatients: return "all";
+    case Strategy::kAllVictims: return "all";
   }
   return "?";
 }
@@ -43,7 +41,7 @@ std::optional<Strategy> parse_strategy(const std::string& token) {
   if (token == "less") return Strategy::kLessVulnerable;
   if (token == "more") return Strategy::kMoreVulnerable;
   if (token == "random") return Strategy::kRandomSamples;
-  if (token == "all") return Strategy::kAllPatients;
+  if (token == "all") return Strategy::kAllVictims;
   return std::nullopt;
 }
 
@@ -58,8 +56,8 @@ void append_evaluation_rows(common::CsvTable& table, const StrategyEvaluation& e
                    common::format_double(eval.score_seconds)});
   };
   row("pooled", eval.pooled);
-  for (std::size_t p = 0; p < eval.per_patient.size(); ++p) {
-    row("patient_" + std::to_string(p), eval.per_patient[p]);
+  for (std::size_t p = 0; p < eval.per_victim.size(); ++p) {
+    row("victim_" + std::to_string(p), eval.per_victim[p]);
   }
 }
 
@@ -72,23 +70,37 @@ std::filesystem::path artifacts_dir() {
   return dir;
 }
 
-std::filesystem::path experiments_cache_path(const FrameworkConfig& config) {
+std::filesystem::path experiments_cache_path(const FrameworkConfig& config,
+                                             std::string_view domain_name) {
   std::ostringstream name;
-  name << "experiments_" << std::hex << config_fingerprint(config) << ".csv";
+  name << "experiments_" << domain_name << "_" << std::hex << config_fingerprint(config)
+       << ".csv";
   return artifacts_dir() / name.str();
 }
 
-void save_experiments(const ExperimentResults& results, const FrameworkConfig& config) {
+namespace {
+
+/// Cache key: domain name plus its variant (differently-parameterized
+/// adapter instances must not collide on one cache file).
+std::string domain_cache_key(const DomainSpec& spec) {
+  return spec.variant.empty() ? spec.name : spec.name + "-" + spec.variant;
+}
+
+}  // namespace
+
+void save_experiments(const ExperimentResults& results, const FrameworkConfig& config,
+                      std::string_view domain_name) {
   common::CsvTable table({"scope", "detector", "strategy", "run", "target", "tp", "fp",
                           "fn", "tn", "train_benign", "train_malicious", "fit_seconds",
                           "score_seconds"});
   for (const auto& entry : results.entries) append_evaluation_rows(table, entry, "entry");
   for (const auto& run : results.random_runs) append_evaluation_rows(table, run, "run");
-  table.write(experiments_cache_path(config));
+  table.write(experiments_cache_path(config, domain_name));
 }
 
-std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config) {
-  const auto path = experiments_cache_path(config);
+std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config,
+                                                  std::string_view domain_name) {
+  const auto path = experiments_cache_path(config, domain_name);
   if (!std::filesystem::exists(path)) return std::nullopt;
   common::CsvTable table;
   try {
@@ -100,6 +112,7 @@ std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config)
 
   ExperimentResults results;
   StrategyEvaluation* current = nullptr;
+  try {
   for (const auto& row : table.rows()) {
     if (row.size() != table.num_cols()) return std::nullopt;
     const std::string& scope = row[0];
@@ -122,19 +135,22 @@ std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config)
       current->strategy = *strategy;
       current->run = static_cast<std::size_t>(std::stoull(row[3]));
       current->pooled = cm;
-      current->per_patient.resize(kCohortSize);
       current->train_benign = std::stoull(row[9]);
       current->train_malicious = std::stoull(row[10]);
       current->fit_seconds = std::stod(row[11]);
       current->score_seconds = std::stod(row[12]);
     } else {
       if (current == nullptr) return std::nullopt;
-      const auto prefix = std::string("patient_");
+      const auto prefix = std::string("victim_");
       if (target.rfind(prefix, 0) != 0) return std::nullopt;
       const auto index = static_cast<std::size_t>(std::stoull(target.substr(prefix.size())));
-      if (index >= current->per_patient.size()) return std::nullopt;
-      current->per_patient[index] = cm;
+      if (index >= current->per_victim.size()) current->per_victim.resize(index + 1);
+      current->per_victim[index] = cm;
     }
+  }
+  } catch (const std::exception& e) {
+    common::log_warn("ignoring corrupt experiment cache: ", e.what());
+    return std::nullopt;
   }
   if (results.entries.empty()) return std::nullopt;
   return results;
@@ -142,7 +158,9 @@ std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config)
 
 ExperimentResults experiments_with_cache(RiskProfilingFramework& framework,
                                          const std::vector<detect::DetectorKind>& kinds) {
-  if (auto cached = load_experiments(framework.config())) {
+  const std::string domain_key = domain_cache_key(framework.domain().spec());
+  const std::string_view domain_name = domain_key;
+  if (auto cached = load_experiments(framework.config(), domain_name)) {
     // Only reuse the cache when it covers every requested detector.
     bool covers_all = true;
     for (const auto kind : kinds) {
@@ -161,7 +179,7 @@ ExperimentResults experiments_with_cache(RiskProfilingFramework& framework,
     }
   }
   ExperimentResults results = framework.run_detector_experiments(kinds);
-  save_experiments(results, framework.config());
+  save_experiments(results, framework.config(), domain_name);
   return results;
 }
 

@@ -2,13 +2,15 @@
 //
 // The Fig. 7 / Fig. 8 / Fig. 11 benches render different columns of the
 // same expensive detector x strategy grid. The first bench to run persists
-// the grid as CSV keyed by the config fingerprint; the others load it.
-// Delete the artifacts directory (default ./goodones_artifacts, override
-// with GOODONES_ARTIFACTS) to force recomputation.
+// the grid as CSV keyed by the domain name plus the config fingerprint; the
+// others load it. Delete the artifacts directory (default
+// ./goodones_artifacts, override with GOODONES_ARTIFACTS) to force
+// recomputation.
 #pragma once
 
 #include <filesystem>
 #include <optional>
+#include <string_view>
 
 #include "core/config.hpp"
 #include "core/framework.hpp"
@@ -18,14 +20,17 @@ namespace goodones::core {
 /// Artifact directory (created on demand).
 std::filesystem::path artifacts_dir();
 
-/// Cache file path for a given config.
-std::filesystem::path experiments_cache_path(const FrameworkConfig& config);
+/// Cache file path for a given domain + config.
+std::filesystem::path experiments_cache_path(const FrameworkConfig& config,
+                                             std::string_view domain_name);
 
 /// Serializes results (entries + random-run detail) to CSV.
-void save_experiments(const ExperimentResults& results, const FrameworkConfig& config);
+void save_experiments(const ExperimentResults& results, const FrameworkConfig& config,
+                      std::string_view domain_name);
 
 /// Loads previously saved results; std::nullopt when absent or unreadable.
-std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config);
+std::optional<ExperimentResults> load_experiments(const FrameworkConfig& config,
+                                                  std::string_view domain_name);
 
 /// Returns cached results when present, otherwise computes them through
 /// `framework` (which must have been built with the same config) and saves.

@@ -7,8 +7,8 @@ namespace goodones::core {
 
 FrameworkConfig FrameworkConfig::fast() {
   FrameworkConfig config;
-  config.cohort.train_steps = 6000;
-  config.cohort.test_steps = 1800;
+  config.population.train_steps = 6000;
+  config.population.test_steps = 1800;
 
   config.registry.forecaster.hidden = 24;
   config.registry.forecaster.head_hidden = 16;
@@ -40,14 +40,14 @@ FrameworkConfig FrameworkConfig::fast() {
 
   config.detector_benign_stride = 6;
   config.random_runs = 3;
-  config.random_patients = 3;
+  config.random_victims = 3;
   return config;
 }
 
 FrameworkConfig FrameworkConfig::full() {
   FrameworkConfig config;
-  config.cohort.train_steps = 10000;  // paper: ~10000 train samples/patient
-  config.cohort.test_steps = 2500;    // paper: ~2500 test samples/patient
+  config.population.train_steps = 10000;  // paper: ~10000 train samples/patient
+  config.population.test_steps = 2500;    // paper: ~2500 test samples/patient
 
   config.registry.forecaster.hidden = 32;
   config.registry.forecaster.head_hidden = 24;
@@ -71,7 +71,7 @@ FrameworkConfig FrameworkConfig::full() {
 
   config.detector_benign_stride = 4;
   config.random_runs = 10;  // paper: 10 repetitions
-  config.random_patients = 3;
+  config.random_victims = 3;
   return config;
 }
 
@@ -98,9 +98,9 @@ void mix_double(std::uint64_t& h, double v) noexcept {
 
 std::uint64_t config_fingerprint(const FrameworkConfig& c) noexcept {
   std::uint64_t h = 0xC0FFEE0DDF00DULL;
-  mix(h, c.cohort.train_steps);
-  mix(h, c.cohort.test_steps);
-  mix(h, c.cohort.seed);
+  mix(h, c.population.train_steps);
+  mix(h, c.population.test_steps);
+  mix(h, c.population.seed);
 
   mix(h, c.registry.forecaster.hidden);
   mix(h, c.registry.forecaster.head_hidden);
@@ -110,6 +110,9 @@ std::uint64_t config_fingerprint(const FrameworkConfig& c) noexcept {
   mix(h, c.registry.forecaster.seed);
   mix(h, c.registry.train_window_step);
   mix(h, c.registry.aggregate_window_step);
+  mix(h, c.registry.target_channel);
+  mix_double(h, c.registry.target_min);
+  mix_double(h, c.registry.target_max);
 
   mix(h, c.window.seq_len);
   mix(h, c.window.step);
@@ -120,10 +123,14 @@ std::uint64_t config_fingerprint(const FrameworkConfig& c) noexcept {
     mix(h, campaign->attack.max_edits);
     mix(h, campaign->attack.value_candidates);
     mix(h, campaign->attack.beam_width);
-    mix_double(h, campaign->attack.fasting_min);
-    mix_double(h, campaign->attack.postprandial_min);
-    mix_double(h, campaign->attack.value_max);
-    mix_double(h, campaign->attack.overdose_threshold);
+    mix(h, campaign->attack.target_channel);
+    mix_double(h, campaign->attack.thresholds.low);
+    mix_double(h, campaign->attack.thresholds.high_baseline);
+    mix_double(h, campaign->attack.thresholds.high_active);
+    mix_double(h, campaign->attack.baseline_box_min);
+    mix_double(h, campaign->attack.active_box_min);
+    mix_double(h, campaign->attack.box_max);
+    mix_double(h, campaign->attack.harm_threshold);
     mix_double(h, campaign->attack.stealth_fraction);
     mix(h, campaign->window_step);
   }
@@ -156,7 +163,7 @@ std::uint64_t config_fingerprint(const FrameworkConfig& c) noexcept {
   mix(h, static_cast<std::uint64_t>(c.linkage));
   mix(h, static_cast<std::uint64_t>(c.profile_distance));
   mix(h, c.random_runs);
-  mix(h, c.random_patients);
+  mix(h, c.random_victims);
   mix(h, c.seed);
   return h;
 }

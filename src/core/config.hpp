@@ -1,4 +1,9 @@
-// Top-level experiment configuration for the risk-profiling framework.
+// Top-level experiment configuration for the risk-profiling engine.
+//
+// The config is domain-agnostic: it carries experiment *tuning* (cohort
+// size, forecaster capacity, campaign strides, detector settings), while
+// domain *semantics* (channel layout, thresholds, attack boxes, severity)
+// are stamped onto it by DomainAdapter::prepare() — see core/domain.hpp.
 //
 // Two presets: `fast()` is calibrated for CI and interactive bench runs
 // (minutes on a laptop-class CPU); `full()` uses the paper's settings
@@ -14,12 +19,18 @@
 #include "data/window.hpp"
 #include "detect/factory.hpp"
 #include "predict/registry.hpp"
-#include "sim/cohort.hpp"
 
 namespace goodones::core {
 
+/// How much telemetry the domain generates per monitored entity.
+struct PopulationConfig {
+  std::size_t train_steps = 10000;  ///< per entity (paper: ~10000)
+  std::size_t test_steps = 2500;    ///< per entity (paper: ~2500)
+  std::uint64_t seed = 2025;        ///< global seed; per-entity streams derive from it
+};
+
 struct FrameworkConfig {
-  sim::CohortConfig cohort;
+  PopulationConfig population;
   predict::RegistryConfig registry;
   data::WindowConfig window;  ///< seq_len=12, horizon=6 (paper geometry)
 
@@ -35,8 +46,8 @@ struct FrameworkConfig {
   cluster::ProfileDistance profile_distance = cluster::ProfileDistance::kEuclidean;
 
   // Step-5 strategy settings.
-  std::size_t random_runs = 10;     ///< paper: 10 repetitions
-  std::size_t random_patients = 3;  ///< paper: 3 random patients per run
+  std::size_t random_runs = 10;    ///< paper: 10 repetitions
+  std::size_t random_victims = 3;  ///< paper: 3 random patients per run
 
   std::uint64_t seed = 2025;
 

@@ -1,0 +1,22 @@
+#include "core/domain.hpp"
+
+namespace goodones::core {
+
+FrameworkConfig DomainAdapter::prepare(FrameworkConfig base) const {
+  const DomainSpec& s = spec();
+  for (attack::CampaignConfig* campaign :
+       {&base.profiling_campaign, &base.evaluation_campaign}) {
+    campaign->attack.target_channel = s.target_channel;
+    campaign->attack.thresholds = s.thresholds;
+    campaign->attack.baseline_box_min = s.attack_box_min_baseline;
+    campaign->attack.active_box_min = s.attack_box_min_active;
+    campaign->attack.box_max = s.attack_box_max;
+    campaign->attack.harm_threshold = s.attack_harm_threshold;
+  }
+  base.registry.target_channel = s.target_channel;
+  base.registry.target_min = s.target_min;
+  base.registry.target_max = s.target_max;
+  return base;
+}
+
+}  // namespace goodones::core

@@ -1,0 +1,103 @@
+// The engine/domain seam: everything scenario-specific the five-step
+// risk-profiling framework needs, behind one interface.
+//
+// The paper presents risk profiling as a *general* defense framework and
+// evaluates it on one medical case study; evasion attacks themselves are
+// cross-domain (PDF malware in Biggio et al., image classifiers in
+// region-based defenses). A DomainAdapter owns the scenario knowledge —
+// who the monitored entities are, what their telemetry looks like, which
+// channel the adversary can rewrite, what counts as a harmful induced
+// state, and how severe each state transition is — while
+// core::RiskProfilingFramework owns the five steps and stays ignorant of
+// any particular scenario. Adding a new workload means writing one adapter
+// (see domains/bgms and domains/synthtel), not forking the framework.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "data/labels.hpp"
+#include "data/timeseries.hpp"
+#include "risk/schedule.hpp"
+
+namespace goodones::core {
+
+/// One monitored entity (a patient, a sensor node, a vehicle, ...) as the
+/// engine sees it: a display name, a clustering subset, and its telemetry
+/// split chronologically into train and held-out test segments.
+struct EntityData {
+  std::string name;       ///< display label, e.g. "A_3" or "S_07"
+  std::size_t subset = 0; ///< dendrograms are built per subset (paper: A and B)
+  data::TelemetrySeries train;
+  data::TelemetrySeries test;
+};
+
+/// Static description of a domain: telemetry schema, target semantics,
+/// attack constraint boxes and severity weighting.
+struct DomainSpec {
+  std::string name;  ///< registry key, e.g. "bgms"
+  /// Distinguishes differently-parameterized instances of the same adapter
+  /// (e.g. fleet size) in cache keys; empty for adapters with no knobs.
+  std::string variant;
+
+  // Telemetry schema.
+  std::size_t num_channels = 1;
+  std::size_t target_channel = 0;  ///< forecast target = attack surface
+  std::vector<std::string> channel_names;  ///< size num_channels (display)
+
+  /// Target-channel display/scaling bounds (raw units). All forecaster and
+  /// detector scalers pin the target channel to this range so risk is
+  /// comparable across entities.
+  double target_min = 0.0;
+  double target_max = 1.0;
+
+  /// Diagnostic thresholds on the target signal.
+  data::StateThresholds thresholds;
+
+  /// Severity weighting of (benign -> adversarial) prediction-state
+  /// transitions (framework step 2).
+  risk::SeveritySchedule severity;
+
+  // Attack target semantics: the per-regime plausibility box the adversary
+  // must stay inside, and the harm level a prediction must cross for the
+  // attack to count as successful.
+  double attack_box_min_baseline = 0.0;
+  double attack_box_min_active = 0.0;
+  double attack_box_max = 1.0;
+  double attack_harm_threshold = 1.0;
+
+  /// Channels whose rolling context sums are appended to sample-granularity
+  /// detector inputs (BGMS: carbs and bolus — the context that lets a
+  /// detector excuse a benign excursion). May be empty.
+  std::vector<std::size_t> context_channels;
+  /// Length of the rolling context window, in steps.
+  std::size_t context_window_steps = 12;
+
+  /// Number of clustering subsets; entities carry a subset index in
+  /// [0, num_subsets).
+  std::size_t num_subsets = 1;
+};
+
+class DomainAdapter {
+ public:
+  virtual ~DomainAdapter() = default;
+
+  /// The domain's static description. Must be stable for the adapter's
+  /// lifetime (the framework keeps a reference).
+  virtual const DomainSpec& spec() const noexcept = 0;
+
+  /// Generates (or loads) the domain's entity population. Deterministic in
+  /// `population.seed`. Every returned series must have spec().num_channels
+  /// channels and subset < spec().num_subsets.
+  virtual std::vector<EntityData> make_entities(const PopulationConfig& population) const = 0;
+
+  /// Stamps the domain's semantics (target channel, thresholds, attack
+  /// boxes, scaler pinning) onto a generic tuning preset such as
+  /// FrameworkConfig::fast(). Call this before constructing the framework;
+  /// override only when a domain needs more than the spec-driven defaults.
+  virtual FrameworkConfig prepare(FrameworkConfig base) const;
+};
+
+}  // namespace goodones::core

@@ -8,7 +8,6 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "cluster/distance.hpp"
-#include "data/timeseries.hpp"
 
 namespace goodones::core {
 
@@ -30,34 +29,54 @@ const StrategyEvaluation& ExperimentResults::entry(detect::DetectorKind detector
   throw common::PreconditionError("no experiment entry for requested detector/strategy");
 }
 
-RiskProfilingFramework::RiskProfilingFramework(FrameworkConfig config)
-    : config_(config), pool_(std::make_unique<common::ThreadPool>()) {}
+RiskProfilingFramework::RiskProfilingFramework(std::shared_ptr<const DomainAdapter> domain,
+                                               FrameworkConfig config)
+    : domain_(std::move(domain)),
+      config_(config),
+      pool_(std::make_unique<common::ThreadPool>()) {
+  GO_EXPECTS(domain_ != nullptr);
+  const DomainSpec& spec = domain_->spec();
+  // Catch configs that skipped DomainAdapter::prepare(): the registry's
+  // target scaling must agree with the domain spec or cross-entity risk
+  // comparison silently breaks.
+  GO_EXPECTS(config_.registry.target_channel == spec.target_channel);
+  GO_EXPECTS(config_.registry.target_min == spec.target_min);
+  GO_EXPECTS(config_.registry.target_max == spec.target_max);
+}
 
 RiskProfilingFramework::~RiskProfilingFramework() = default;
 
-void RiskProfilingFramework::ensure_cohort() {
-  if (!cohort_.empty()) return;
-  cohort_ = sim::generate_cohort(config_.cohort);
-  train_series_.reserve(cohort_.size());
-  test_series_.reserve(cohort_.size());
-  for (const auto& trace : cohort_) {
-    train_series_.push_back(data::to_series(trace.train));
-    test_series_.push_back(data::to_series(trace.test));
+void RiskProfilingFramework::ensure_entities() {
+  if (!entities_.empty()) return;
+  entities_ = domain_->make_entities(config_.population);
+  GO_ENSURES(!entities_.empty());
+  for (const auto& entity : entities_) {
+    GO_ENSURES(entity.train.num_channels() == domain_->spec().num_channels);
+    GO_ENSURES(entity.subset < domain_->spec().num_subsets);
   }
 }
 
-const std::vector<sim::PatientTrace>& RiskProfilingFramework::cohort() {
-  ensure_cohort();
-  return cohort_;
+const std::vector<EntityData>& RiskProfilingFramework::entities() {
+  ensure_entities();
+  return entities_;
 }
 
 void RiskProfilingFramework::ensure_models() {
   if (models_.has_value()) return;
-  ensure_cohort();
-  common::log_info("training forecaster fleet (", cohort_.size(), " personalized + aggregate)");
+  ensure_entities();
+  common::log_info("training forecaster fleet (", entities_.size(),
+                   " personalized + aggregate)");
   predict::RegistryConfig registry_config = config_.registry;
   registry_config.window = config_.window;
-  models_ = predict::ModelRegistry::train(cohort_, registry_config, *pool_);
+  std::vector<const data::TelemetrySeries*> train_series;
+  std::vector<std::string> names;
+  train_series.reserve(entities_.size());
+  names.reserve(entities_.size());
+  for (const auto& entity : entities_) {
+    train_series.push_back(&entity.train);
+    names.push_back(entity.name);
+  }
+  models_ = predict::ModelRegistry::train(train_series, names, registry_config, *pool_);
 }
 
 const predict::ModelRegistry& RiskProfilingFramework::models() {
@@ -67,10 +86,11 @@ const predict::ModelRegistry& RiskProfilingFramework::models() {
 
 void RiskProfilingFramework::ensure_scaler() {
   if (scaler_.has_value()) return;
-  ensure_cohort();
+  ensure_entities();
+  const DomainSpec& spec = domain_->spec();
   data::MinMaxScaler scaler;
-  for (const auto& series : train_series_) scaler.partial_fit(series.values);
-  scaler.set_column_range(data::kCgm, sim::kMinGlucose, sim::kMaxGlucose);
+  for (const auto& entity : entities_) scaler.partial_fit(entity.train.values);
+  scaler.set_column_range(spec.target_channel, spec.target_min, spec.target_max);
   scaler_ = std::move(scaler);
 }
 
@@ -81,14 +101,14 @@ const data::MinMaxScaler& RiskProfilingFramework::detector_scaler() {
 
 void RiskProfilingFramework::ensure_windows() {
   if (!train_windows_.empty()) return;
-  ensure_cohort();
-  train_windows_.resize(cohort_.size());
-  test_windows_.resize(cohort_.size());
+  ensure_entities();
+  train_windows_.resize(entities_.size());
+  test_windows_.resize(entities_.size());
   data::WindowConfig window = config_.window;
   window.step = 1;  // full resolution; consumers stride as needed
-  common::parallel_for(*pool_, cohort_.size(), [&](std::size_t i) {
-    train_windows_[i] = data::make_windows(train_series_[i], window);
-    test_windows_[i] = data::make_windows(test_series_[i], window);
+  common::parallel_for(*pool_, entities_.size(), [&](std::size_t i) {
+    train_windows_[i] = data::make_windows(entities_[i].train, window);
+    test_windows_[i] = data::make_windows(entities_[i].test, window);
   });
 }
 
@@ -96,63 +116,74 @@ void RiskProfilingFramework::ensure_profiling() {
   if (profiling_.has_value()) return;
   ensure_models();
   ensure_windows();
+  const DomainSpec& spec = domain_->spec();
 
   ProfilingOutputs out;
-  out.train_attack_rates.resize(cohort_.size());
-  out.profiles.resize(cohort_.size());
-  out.benign_normal_ratio.resize(cohort_.size());
+  out.train_attack_rates.resize(entities_.size());
+  out.profiles.resize(entities_.size());
+  out.benign_normal_ratio.resize(entities_.size());
 
   // Step 1: the defender simulates the attack on each victim's own history
   // against the victim's deployed (personalized) model.
   common::log_info("step 1: simulating profiling attack campaigns");
-  std::vector<std::vector<attack::WindowOutcome>> train_outcomes(cohort_.size());
-  for (std::size_t i = 0; i < cohort_.size(); ++i) {
+  std::vector<std::vector<attack::WindowOutcome>> train_outcomes(entities_.size());
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
     train_outcomes[i] = attack::run_campaign(models_->personalized(i), train_windows_[i],
                                              config_.profiling_campaign, *pool_);
     out.train_attack_rates[i] = attack::summarize(train_outcomes[i]);
   }
 
-  // Steps 2-3: instantaneous risk and per-victim profiles.
-  for (std::size_t i = 0; i < cohort_.size(); ++i) {
-    out.profiles[i] = risk::build_profile(cohort_[i].params.id, train_outcomes[i]);
+  // Steps 2-3: instantaneous risk and per-victim profiles, under the
+  // domain's severity schedule.
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    out.profiles[i] = risk::build_profile(entities_[i].name, train_outcomes[i],
+                                          spec.severity);
   }
 
   // Fig. 4 statistic on the benign traces (train + test).
-  for (std::size_t i = 0; i < cohort_.size(); ++i) {
-    std::vector<double> cgm = train_series_[i].channel(data::kCgm);
-    const auto test_cgm = test_series_[i].channel(data::kCgm);
-    cgm.insert(cgm.end(), test_cgm.begin(), test_cgm.end());
-    std::vector<data::MealContext> context = train_series_[i].context;
-    context.insert(context.end(), test_series_[i].context.begin(),
-                   test_series_[i].context.end());
-    out.benign_normal_ratio[i] = data::normal_to_abnormal_ratio(cgm, context);
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    std::vector<double> target = entities_[i].train.channel(spec.target_channel);
+    const auto test_target = entities_[i].test.channel(spec.target_channel);
+    target.insert(target.end(), test_target.begin(), test_target.end());
+    std::vector<data::Regime> regimes = entities_[i].train.regimes;
+    regimes.insert(regimes.end(), entities_[i].test.regimes.begin(),
+                   entities_[i].test.regimes.end());
+    out.benign_normal_ratio[i] = data::normal_ratio(target, regimes, spec.thresholds);
   }
 
   // Step 4: hierarchical clustering per subset, as the paper presents it.
   common::log_info("step 4: clustering risk profiles");
-  const auto cluster_subset = [&](std::size_t offset) {
-    std::vector<risk::RiskProfile> subset(out.profiles.begin() + static_cast<std::ptrdiff_t>(offset),
-                                          out.profiles.begin() + static_cast<std::ptrdiff_t>(offset) + 6);
+  out.subset_members.resize(spec.num_subsets);
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    out.subset_members[entities_[i].subset].push_back(i);
+  }
+  for (const auto& members : out.subset_members) {
+    GO_ENSURES(members.size() >= 2);  // a dendrogram needs at least two leaves
+  }
+  out.dendrograms.reserve(spec.num_subsets);
+  for (std::size_t s = 0; s < spec.num_subsets; ++s) {
+    std::vector<risk::RiskProfile> subset;
+    subset.reserve(out.subset_members[s].size());
+    for (const std::size_t i : out.subset_members[s]) subset.push_back(out.profiles[i]);
     subset = risk::align_profiles(std::move(subset));
     std::vector<std::vector<double>> series;
     series.reserve(subset.size());
     for (const auto& p : subset) series.push_back(p.log_scaled());
     const nn::Matrix distances =
         cluster::distance_matrix(series, config_.profile_distance);
-    return cluster::agglomerate(distances, config_.linkage);
-  };
-  out.dendrogram_a = cluster_subset(0);
-  out.dendrogram_b = cluster_subset(6);
+    out.dendrograms.push_back(cluster::agglomerate(distances, config_.linkage));
+  }
 
   // Cut each subset into two groups and label by attack success: the group
   // whose members were easier to attack is "more vulnerable" (the paper
   // cross-checks clusters against misclassification percentages).
-  const auto assign = [&](const cluster::Dendrogram& dendrogram, std::size_t offset) {
-    const auto labels = dendrogram.cut(2);
+  for (std::size_t s = 0; s < spec.num_subsets; ++s) {
+    const auto& members = out.subset_members[s];
+    const auto labels = out.dendrograms[s].cut(2);
     double rate[2] = {0.0, 0.0};
     std::size_t count[2] = {0, 0};
     for (std::size_t i = 0; i < labels.size(); ++i) {
-      rate[labels[i]] += out.train_attack_rates[offset + i].overall_rate();
+      rate[labels[i]] += out.train_attack_rates[members[i]].overall_rate();
       ++count[labels[i]];
     }
     for (int g = 0; g < 2; ++g) {
@@ -161,14 +192,12 @@ void RiskProfilingFramework::ensure_profiling() {
     const std::size_t less_label = rate[0] <= rate[1] ? 0 : 1;
     for (std::size_t i = 0; i < labels.size(); ++i) {
       if (labels[i] == less_label) {
-        out.clusters.less_vulnerable.push_back(offset + i);
+        out.clusters.less_vulnerable.push_back(members[i]);
       } else {
-        out.clusters.more_vulnerable.push_back(offset + i);
+        out.clusters.more_vulnerable.push_back(members[i]);
       }
     }
-  };
-  assign(*out.dendrogram_a, 0);
-  assign(*out.dendrogram_b, 6);
+  }
 
   // Keep the raw campaign outcomes for detector training (the defender's
   // simulated malicious samples come from this very campaign).
@@ -186,8 +215,8 @@ void RiskProfilingFramework::ensure_test_outcomes() {
   ensure_models();
   ensure_windows();
   common::log_info("attacking held-out test data (evaluation campaign)");
-  test_outcomes_.resize(cohort_.size());
-  for (std::size_t i = 0; i < cohort_.size(); ++i) {
+  test_outcomes_.resize(entities_.size());
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
     test_outcomes_[i] = attack::run_campaign(models_->personalized(i), test_windows_[i],
                                              config_.evaluation_campaign, *pool_);
   }
@@ -195,37 +224,37 @@ void RiskProfilingFramework::ensure_test_outcomes() {
 }
 
 const std::vector<attack::WindowOutcome>& RiskProfilingFramework::test_outcomes(
-    std::size_t patient) {
+    std::size_t entity) {
   ensure_test_outcomes();
-  GO_EXPECTS(patient < test_outcomes_.size());
-  return test_outcomes_[patient];
+  GO_EXPECTS(entity < test_outcomes_.size());
+  return test_outcomes_[entity];
 }
 
 const std::vector<attack::WindowOutcome>& RiskProfilingFramework::profiling_outcomes(
-    std::size_t patient) {
+    std::size_t entity) {
   ensure_profiling();
-  GO_EXPECTS(patient < train_profiling_outcomes_.size());
-  return train_profiling_outcomes_[patient];
+  GO_EXPECTS(entity < train_profiling_outcomes_.size());
+  return train_profiling_outcomes_[entity];
 }
 
-std::vector<nn::Matrix> RiskProfilingFramework::benign_train_windows(std::size_t patient) {
+std::vector<nn::Matrix> RiskProfilingFramework::benign_train_windows(std::size_t entity) {
   ensure_windows();
   ensure_scaler();
-  GO_EXPECTS(patient < train_windows_.size());
+  GO_EXPECTS(entity < train_windows_.size());
   std::vector<nn::Matrix> out;
-  const auto& windows = train_windows_[patient];
+  const auto& windows = train_windows_[entity];
   for (std::size_t i = 0; i < windows.size(); i += config_.detector_benign_stride) {
     out.push_back(scaler_->transform(windows[i].features));
   }
   return out;
 }
 
-std::vector<nn::Matrix> RiskProfilingFramework::benign_test_windows(std::size_t patient) {
+std::vector<nn::Matrix> RiskProfilingFramework::benign_test_windows(std::size_t entity) {
   ensure_windows();
   ensure_scaler();
-  GO_EXPECTS(patient < test_windows_.size());
+  GO_EXPECTS(entity < test_windows_.size());
   std::vector<nn::Matrix> out;
-  const auto& windows = test_windows_[patient];
+  const auto& windows = test_windows_[entity];
   for (std::size_t i = 0; i < windows.size(); i += config_.detector_benign_stride) {
     out.push_back(scaler_->transform(windows[i].features));
   }
@@ -246,107 +275,125 @@ std::vector<nn::Matrix> RiskProfilingFramework::malicious_windows(
 
 namespace {
 
-/// Feature layout of a sample-level detector input: the four scaled raw
-/// channels plus one hour of ingestion/dosing context. Context is what lets
-/// a detector tell a benign postprandial excursion (carbs present) from a
-/// manipulated reading (elevated glucose with nothing explaining it).
-constexpr std::size_t kSampleFeatures = data::kNumChannels + 2;
-constexpr std::size_t kContextSteps = 12;  // one hour at 5-minute cadence
+/// Feature layout of a sample-level detector input: the scaled raw channels
+/// plus one rolling context sum per spec().context_channels entry. Context
+/// is what lets a detector tell a benign excursion (explained by recent
+/// events) from a manipulated reading (elevated target with nothing
+/// explaining it).
+std::size_t sample_feature_count(const DomainSpec& spec) noexcept {
+  return spec.num_channels + spec.context_channels.size();
+}
 
-/// Builds one sample-feature row from scaled channel values plus raw
-/// one-hour carb/bolus sums.
-nn::Matrix make_sample(const data::MinMaxScaler& scaler, double cgm, double basal,
-                       double bolus, double carbs, double carbs_1h, double bolus_1h) {
-  nn::Matrix sample(1, kSampleFeatures);
-  sample(0, data::kCgm) = scaler.transform_value(cgm, data::kCgm);
-  sample(0, data::kBasal) = scaler.transform_value(basal, data::kBasal);
-  sample(0, data::kBolus) = scaler.transform_value(bolus, data::kBolus);
-  sample(0, data::kCarbs) = scaler.transform_value(carbs, data::kCarbs);
-  sample(0, data::kNumChannels) = scaler.transform_value(carbs_1h, data::kCarbs);
-  sample(0, data::kNumChannels + 1) = scaler.transform_value(bolus_1h, data::kBolus);
+/// Builds one sample-feature row from raw channel values plus raw rolling
+/// context sums (one per context channel, scaled by that channel's scale).
+nn::Matrix make_sample(const DomainSpec& spec, const data::MinMaxScaler& scaler,
+                       const std::vector<double>& channels,
+                       const std::vector<double>& context_sums) {
+  nn::Matrix sample(1, sample_feature_count(spec));
+  for (std::size_t c = 0; c < spec.num_channels; ++c) {
+    sample(0, c) = scaler.transform_value(channels[c], c);
+  }
+  for (std::size_t k = 0; k < spec.context_channels.size(); ++k) {
+    sample(0, spec.num_channels + k) =
+        scaler.transform_value(context_sums[k], spec.context_channels[k]);
+  }
   return sample;
 }
 
 /// Extracts one sample-feature row per series step, strided.
-std::vector<nn::Matrix> series_samples(const data::TelemetrySeries& series,
+std::vector<nn::Matrix> series_samples(const DomainSpec& spec,
+                                       const data::TelemetrySeries& series,
                                        const data::MinMaxScaler& scaler,
                                        std::size_t stride) {
-  // Prefix sums for O(1) one-hour rolling context.
+  // Prefix sums for O(1) rolling context per context channel.
   const std::size_t steps = series.steps();
-  std::vector<double> carb_prefix(steps + 1, 0.0);
-  std::vector<double> bolus_prefix(steps + 1, 0.0);
-  for (std::size_t t = 0; t < steps; ++t) {
-    carb_prefix[t + 1] = carb_prefix[t] + series.values(t, data::kCarbs);
-    bolus_prefix[t + 1] = bolus_prefix[t] + series.values(t, data::kBolus);
+  const std::size_t n_context = spec.context_channels.size();
+  std::vector<std::vector<double>> prefixes(n_context,
+                                            std::vector<double>(steps + 1, 0.0));
+  for (std::size_t k = 0; k < n_context; ++k) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      prefixes[k][t + 1] = prefixes[k][t] + series.values(t, spec.context_channels[k]);
+    }
   }
   const auto rolling = [&](const std::vector<double>& prefix, std::size_t t) {
-    const std::size_t lo = t + 1 >= kContextSteps ? t + 1 - kContextSteps : 0;
+    const std::size_t lo =
+        t + 1 >= spec.context_window_steps ? t + 1 - spec.context_window_steps : 0;
     return prefix[t + 1] - prefix[lo];
   };
 
   std::vector<nn::Matrix> out;
   out.reserve(steps / stride + 1);
+  std::vector<double> channels(spec.num_channels);
+  std::vector<double> context_sums(n_context);
   for (std::size_t t = 0; t < steps; t += stride) {
-    out.push_back(make_sample(scaler, series.values(t, data::kCgm),
-                              series.values(t, data::kBasal),
-                              series.values(t, data::kBolus),
-                              series.values(t, data::kCarbs),
-                              rolling(carb_prefix, t), rolling(bolus_prefix, t)));
+    for (std::size_t c = 0; c < spec.num_channels; ++c) channels[c] = series.values(t, c);
+    for (std::size_t k = 0; k < n_context; ++k) context_sums[k] = rolling(prefixes[k], t);
+    out.push_back(make_sample(spec, scaler, channels, context_sums));
   }
   return out;
 }
 
 /// Extracts the edited rows of an adversarial window as sample-feature rows.
-/// Context sums come from the window's (unmanipulated) carb/bolus channels.
-void append_edited_samples(const attack::WindowOutcome& outcome,
+/// Context sums come from the window's (unmanipulated) context channels and
+/// are therefore bounded by the window length: a window carries at most
+/// seq_len steps of history, even when spec.context_window_steps is larger
+/// (benign samples, extracted from the full series, see the full horizon).
+void append_edited_samples(const DomainSpec& spec,
+                           const attack::WindowOutcome& outcome,
                            const data::MinMaxScaler& scaler,
                            std::vector<nn::Matrix>& out) {
   const nn::Matrix& adv = outcome.attack.adversarial_features;
-  double carbs_1h = 0.0;
-  double bolus_1h = 0.0;
-  for (std::size_t t = 0; t < adv.rows(); ++t) {
-    carbs_1h += adv(t, data::kCarbs);
-    bolus_1h += adv(t, data::kBolus);
+  const std::size_t target_channel = spec.target_channel;
+  const std::size_t n_context = spec.context_channels.size();
+  std::vector<double> context_sums(n_context, 0.0);
+  for (std::size_t k = 0; k < n_context; ++k) {
+    for (std::size_t t = 0; t < adv.rows(); ++t) {
+      context_sums[k] += adv(t, spec.context_channels[k]);
+    }
   }
+  std::vector<double> channels(spec.num_channels);
   for (std::size_t t = 0; t < adv.rows(); ++t) {
-    if (adv(t, data::kCgm) == outcome.benign.features(t, data::kCgm)) continue;
-    out.push_back(make_sample(scaler, adv(t, data::kCgm), adv(t, data::kBasal),
-                              adv(t, data::kBolus), adv(t, data::kCarbs), carbs_1h,
-                              bolus_1h));
+    if (adv(t, target_channel) == outcome.benign.features(t, target_channel)) continue;
+    for (std::size_t c = 0; c < spec.num_channels; ++c) channels[c] = adv(t, c);
+    out.push_back(make_sample(spec, scaler, channels, context_sums));
   }
 }
 
 }  // namespace
 
-std::vector<nn::Matrix> RiskProfilingFramework::benign_train_samples(std::size_t patient) {
-  ensure_cohort();
+std::vector<nn::Matrix> RiskProfilingFramework::benign_train_samples(std::size_t entity) {
+  ensure_entities();
   ensure_scaler();
-  GO_EXPECTS(patient < train_series_.size());
-  return series_samples(train_series_[patient], *scaler_, config_.detector_benign_stride);
+  GO_EXPECTS(entity < entities_.size());
+  return series_samples(domain_->spec(), entities_[entity].train, *scaler_,
+                        config_.detector_benign_stride);
 }
 
-std::vector<nn::Matrix> RiskProfilingFramework::benign_test_samples(std::size_t patient) {
-  ensure_cohort();
+std::vector<nn::Matrix> RiskProfilingFramework::benign_test_samples(std::size_t entity) {
+  ensure_entities();
   ensure_scaler();
-  GO_EXPECTS(patient < test_series_.size());
-  return series_samples(test_series_[patient], *scaler_, config_.detector_benign_stride);
+  GO_EXPECTS(entity < entities_.size());
+  return series_samples(domain_->spec(), entities_[entity].test, *scaler_,
+                        config_.detector_benign_stride);
 }
 
 std::vector<nn::Matrix> RiskProfilingFramework::malicious_samples(
     const std::vector<attack::WindowOutcome>& outcomes) {
   ensure_scaler();
+  const DomainSpec& spec = domain_->spec();
   std::vector<nn::Matrix> out;
   for (const auto& outcome : outcomes) {
-    if (outcome.attack.success) append_edited_samples(outcome, *scaler_, out);
+    if (outcome.attack.success) append_edited_samples(spec, outcome, *scaler_, out);
   }
   return out;
 }
 
 StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
-    detect::DetectorKind kind, const std::vector<std::size_t>& train_patients) {
-  GO_EXPECTS(!train_patients.empty());
+    detect::DetectorKind kind, const std::vector<std::size_t>& train_victims) {
+  GO_EXPECTS(!train_victims.empty());
   ensure_profiling();
   ensure_test_outcomes();
+  const DomainSpec& spec = domain_->spec();
 
   StrategyEvaluation eval;
   eval.detector = kind;
@@ -357,11 +404,11 @@ StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
 
   // Assemble the strategy's training material at the detector's granularity:
   // individual telemetry samples for kNN/OneClassSVM (the paper flags single
-  // glucose measurements), whole windows for MAD-GAN.
+  // measurements), whole windows for MAD-GAN.
   std::vector<nn::Matrix> benign;
   std::vector<nn::Matrix> malicious;
-  for (const std::size_t p : train_patients) {
-    GO_EXPECTS(p < cohort_.size());
+  for (const std::size_t p : train_victims) {
+    GO_EXPECTS(p < entities_.size());
     auto b = sample_level ? benign_train_samples(p) : benign_train_windows(p);
     benign.insert(benign.end(), std::make_move_iterator(b.begin()),
                   std::make_move_iterator(b.end()));
@@ -371,33 +418,32 @@ StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
                      std::make_move_iterator(m.end()));
   }
   if (sample_level) {
-    // Defender-side augmentation: the threat model pins manipulated CGM
-    // values inside a known constraint box (125-499 mg/dL fasting, 180-499
-    // postprandial), so the defender's simulation covers the whole box, not
-    // only the manipulations that happened to break the forecaster. Without
-    // this, a detector trained on resilient patients would only ever see the
-    // attacker's escalated (high-value) probes.
-    const double box_lo = config_.profiling_campaign.attack.fasting_min;
-    const double box_hi = config_.profiling_campaign.attack.value_max;
+    // Defender-side augmentation: the threat model pins manipulated target
+    // values inside a known constraint box, so the defender's simulation
+    // covers the whole box, not only the manipulations that happened to
+    // break the forecaster. Without this, a detector trained on resilient
+    // victims would only ever see the attacker's escalated probes.
+    const double box_lo = config_.profiling_campaign.attack.baseline_box_min;
+    const double box_hi = config_.profiling_campaign.attack.box_max;
     std::uint64_t selection_hash = config_.seed;
-    for (const std::size_t p : train_patients) selection_hash = selection_hash * 31 + p;
+    for (const std::size_t p : train_victims) selection_hash = selection_hash * 31 + p;
     common::Rng rng(selection_hash ^ 0xFEEDFACECAFEBEEFULL);
     const std::size_t n_synthetic = std::max<std::size_t>(benign.size() / 4, 256);
     for (std::size_t i = 0; i < n_synthetic && !benign.empty(); ++i) {
       const auto base = static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(benign.size()) - 1));
       nn::Matrix sample = benign[base];
-      sample(0, data::kCgm) =
-          scaler_->transform_value(rng.uniform(box_lo, box_hi), data::kCgm);
+      sample(0, spec.target_channel) =
+          scaler_->transform_value(rng.uniform(box_lo, box_hi), spec.target_channel);
       malicious.push_back(std::move(sample));
     }
   } else if (malicious.empty()) {
     // Window-granularity fallback: the simulated attack never fully
-    // succeeded on the selected patients. Supervised window detectors still
+    // succeeded on the selected victims. Supervised window detectors still
     // need a malicious class: use the strongest manipulated windows.
-    common::log_warn("no successful simulated attacks on selected patients; "
+    common::log_warn("no successful simulated attacks on selected victims; "
                      "training on strongest manipulated windows instead");
-    for (const std::size_t p : train_patients) {
+    for (const std::size_t p : train_victims) {
       for (const auto& outcome : train_profiling_outcomes_[p]) {
         if (outcome.attack.edits > 0) {
           malicious.push_back(scaler_->transform(outcome.attack.adversarial_features));
@@ -412,11 +458,11 @@ StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
   detector->fit(benign, malicious);
   eval.fit_seconds = seconds_since(fit_start);
 
-  // Test on every patient: their benign test data plus the successful
+  // Test on every victim: their benign test data plus the successful
   // adversarial inputs from the evaluation campaign.
   const auto score_start = Clock::now();
-  eval.per_patient.resize(cohort_.size());
-  for (std::size_t p = 0; p < cohort_.size(); ++p) {
+  eval.per_victim.resize(entities_.size());
+  for (std::size_t p = 0; p < entities_.size(); ++p) {
     const auto benign_eval = sample_level ? benign_test_samples(p) : benign_test_windows(p);
     const auto malicious_eval = sample_level ? malicious_samples(test_outcomes_[p])
                                              : malicious_windows(test_outcomes_[p]);
@@ -431,7 +477,7 @@ StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
       flagged[i] = detector->flags(all[i]) ? 1 : 0;
     });
 
-    ConfusionMatrix& cm = eval.per_patient[p];
+    ConfusionMatrix& cm = eval.per_victim[p];
     for (std::size_t i = 0; i < benign_eval.size(); ++i) {
       cm.add(/*actual_malicious=*/false, flagged[i] != 0);
     }
@@ -456,17 +502,17 @@ ExperimentResults RiskProfilingFramework::run_detector_experiments(
         StrategyEvaluation aggregate;
         aggregate.detector = kind;
         aggregate.strategy = strategy;
-        aggregate.per_patient.resize(cohort_.size());
+        aggregate.per_victim.resize(entities_.size());
         for (std::size_t run = 0; run < config_.random_runs; ++run) {
-          const auto patients =
-              select_patients(strategy, profiling_->clusters, cohort_.size(),
-                              config_.random_patients, config_.seed ^ (0x5170ULL + run));
-          StrategyEvaluation eval = evaluate_strategy(kind, patients);
+          const auto victims =
+              select_victims(strategy, profiling_->clusters, entities_.size(),
+                             config_.random_victims, config_.seed ^ (0x5170ULL + run));
+          StrategyEvaluation eval = evaluate_strategy(kind, victims);
           eval.strategy = strategy;
           eval.run = run;
           aggregate.pooled.merge(eval.pooled);
-          for (std::size_t p = 0; p < cohort_.size(); ++p) {
-            aggregate.per_patient[p].merge(eval.per_patient[p]);
+          for (std::size_t p = 0; p < entities_.size(); ++p) {
+            aggregate.per_victim[p].merge(eval.per_victim[p]);
           }
           aggregate.train_benign += eval.train_benign;
           aggregate.train_malicious += eval.train_malicious;
@@ -478,10 +524,10 @@ ExperimentResults RiskProfilingFramework::run_detector_experiments(
         aggregate.train_malicious /= config_.random_runs;
         results.entries.push_back(std::move(aggregate));
       } else {
-        const auto patients = select_patients(strategy, profiling_->clusters,
-                                              cohort_.size(), config_.random_patients,
-                                              config_.seed);
-        StrategyEvaluation eval = evaluate_strategy(kind, patients);
+        const auto victims = select_victims(strategy, profiling_->clusters,
+                                            entities_.size(), config_.random_victims,
+                                            config_.seed);
+        StrategyEvaluation eval = evaluate_strategy(kind, victims);
         eval.strategy = strategy;
         results.entries.push_back(std::move(eval));
       }

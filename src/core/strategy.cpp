@@ -9,7 +9,7 @@ namespace goodones::core {
 
 std::array<Strategy, 4> all_strategies() noexcept {
   return {Strategy::kLessVulnerable, Strategy::kMoreVulnerable, Strategy::kRandomSamples,
-          Strategy::kAllPatients};
+          Strategy::kAllVictims};
 }
 
 const char* to_string(Strategy strategy) noexcept {
@@ -17,16 +17,16 @@ const char* to_string(Strategy strategy) noexcept {
     case Strategy::kLessVulnerable: return "Less Vulnerable";
     case Strategy::kMoreVulnerable: return "More Vulnerable";
     case Strategy::kRandomSamples: return "Random Samples";
-    case Strategy::kAllPatients: return "All Patients";
+    case Strategy::kAllVictims: return "All Victims";
   }
   return "?";
 }
 
-std::vector<std::size_t> select_patients(Strategy strategy,
-                                         const VulnerabilityClusters& clusters,
-                                         std::size_t cohort_size,
-                                         std::size_t random_patients,
-                                         std::uint64_t run_seed) {
+std::vector<std::size_t> select_victims(Strategy strategy,
+                                        const VulnerabilityClusters& clusters,
+                                        std::size_t population_size,
+                                        std::size_t random_victims,
+                                        std::uint64_t run_seed) {
   switch (strategy) {
     case Strategy::kLessVulnerable:
       GO_EXPECTS(!clusters.less_vulnerable.empty());
@@ -35,15 +35,15 @@ std::vector<std::size_t> select_patients(Strategy strategy,
       GO_EXPECTS(!clusters.more_vulnerable.empty());
       return clusters.more_vulnerable;
     case Strategy::kRandomSamples: {
-      GO_EXPECTS(random_patients > 0 && random_patients <= cohort_size);
+      GO_EXPECTS(random_victims > 0 && random_victims <= population_size);
       common::Rng rng(run_seed);
-      auto picks = rng.sample_without_replacement(cohort_size, random_patients);
+      auto picks = rng.sample_without_replacement(population_size, random_victims);
       std::sort(picks.begin(), picks.end());
       return picks;
     }
-    case Strategy::kAllPatients: {
-      std::vector<std::size_t> all(cohort_size);
-      for (std::size_t i = 0; i < cohort_size; ++i) all[i] = i;
+    case Strategy::kAllVictims: {
+      std::vector<std::size_t> all(population_size);
+      for (std::size_t i = 0; i < population_size; ++i) all[i] = i;
       return all;
     }
   }

@@ -2,8 +2,8 @@
 //
 // The paper compares four: selective training on the less-vulnerable
 // cluster (the proposed strategy), on the more-vulnerable cluster, on
-// random patient subsets (10 runs x 3 patients, averaged), and
-// indiscriminate training on all patients. "All Patients" and "Random
+// random victim subsets (10 runs x 3 victims, averaged), and
+// indiscriminate training on all victims. "All Victims" and "Random
 // Samples" are the baselines that lack risk-profiling insight.
 #pragma once
 
@@ -17,7 +17,7 @@ enum class Strategy : std::uint8_t {
   kLessVulnerable,
   kMoreVulnerable,
   kRandomSamples,
-  kAllPatients,
+  kAllVictims,
 };
 
 /// The four strategies in the paper's presentation order.
@@ -25,18 +25,18 @@ std::array<Strategy, 4> all_strategies() noexcept;
 
 const char* to_string(Strategy strategy) noexcept;
 
-/// Step-4 output: cohort indices grouped by vulnerability to the attack.
+/// Step-4 output: entity indices grouped by vulnerability to the attack.
 struct VulnerabilityClusters {
   std::vector<std::size_t> less_vulnerable;
   std::vector<std::size_t> more_vulnerable;
 };
 
-/// Patients a strategy trains on. For kRandomSamples, `run_seed` selects
-/// `random_patients` distinct patients deterministically per run.
-std::vector<std::size_t> select_patients(Strategy strategy,
-                                         const VulnerabilityClusters& clusters,
-                                         std::size_t cohort_size,
-                                         std::size_t random_patients,
-                                         std::uint64_t run_seed);
+/// Victims a strategy trains on. For kRandomSamples, `run_seed` selects
+/// `random_victims` distinct victims deterministically per run.
+std::vector<std::size_t> select_victims(Strategy strategy,
+                                        const VulnerabilityClusters& clusters,
+                                        std::size_t population_size,
+                                        std::size_t random_victims,
+                                        std::uint64_t run_seed);
 
 }  // namespace goodones::core

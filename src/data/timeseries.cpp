@@ -4,28 +4,11 @@
 
 namespace goodones::data {
 
-std::vector<double> TelemetrySeries::channel(Channel c) const {
+std::vector<double> TelemetrySeries::channel(std::size_t c) const {
+  GO_EXPECTS(c < values.cols());
   std::vector<double> out(values.rows());
   for (std::size_t t = 0; t < values.rows(); ++t) out[t] = values(t, c);
   return out;
-}
-
-TelemetrySeries to_series(std::span<const sim::TelemetrySample> samples) {
-  GO_EXPECTS(!samples.empty());
-  TelemetrySeries series;
-  series.values = nn::Matrix(samples.size(), kNumChannels);
-  series.true_glucose.resize(samples.size());
-  std::vector<double> carbs(samples.size());
-  for (std::size_t t = 0; t < samples.size(); ++t) {
-    series.values(t, kCgm) = samples[t].cgm;
-    series.values(t, kBasal) = samples[t].basal;
-    series.values(t, kBolus) = samples[t].bolus;
-    series.values(t, kCarbs) = samples[t].carbs;
-    series.true_glucose[t] = samples[t].true_glucose;
-    carbs[t] = samples[t].carbs;
-  }
-  series.context = derive_meal_context(carbs);
-  return series;
 }
 
 }  // namespace goodones::data

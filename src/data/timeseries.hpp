@@ -1,38 +1,31 @@
-// Multivariate telemetry series and conversion from simulator output.
+// Multivariate telemetry series — the engine's domain-agnostic data unit.
 //
-// Channel layout is fixed library-wide: [CGM, basal, bolus, carbs] — the
-// four signals the paper's MAD-GAN configuration uses (Appendix B:
-// "number of signals = 4").
+// A DomainAdapter decides the channel layout (how many signals, which one
+// is the forecast/attack target) and builds these series from its own
+// simulator or dataset; everything downstream (windowing, forecasting,
+// attack campaigns, detectors) only sees the matrix plus per-step regimes.
 #pragma once
 
-#include <span>
 #include <vector>
 
-#include "data/glucose_state.hpp"
+#include "data/labels.hpp"
 #include "nn/matrix.hpp"
-#include "sim/glucose_model.hpp"
 
 namespace goodones::data {
 
-/// Fixed channel indices within a telemetry matrix.
-enum Channel : std::size_t { kCgm = 0, kBasal = 1, kBolus = 2, kCarbs = 3 };
-inline constexpr std::size_t kNumChannels = 4;
-
-/// A patient telemetry segment: (steps x kNumChannels) values plus the
-/// derived per-step meal context and the ground-truth glucose used only for
-/// forecaster supervision.
+/// One monitored entity's telemetry segment: (steps x channels) raw values
+/// plus the per-step operating regime and the ground-truth target signal
+/// used only for forecaster supervision (never shown to detectors).
 struct TelemetrySeries {
-  nn::Matrix values;                  // steps x 4
-  std::vector<MealContext> context;   // per step
-  std::vector<double> true_glucose;   // per step
+  nn::Matrix values;                // steps x channels
+  std::vector<Regime> regimes;      // per step
+  std::vector<double> true_target;  // per step, raw units
 
   std::size_t steps() const noexcept { return values.rows(); }
+  std::size_t num_channels() const noexcept { return values.cols(); }
 
   /// Column view of one channel (copies into a vector).
-  std::vector<double> channel(Channel c) const;
+  std::vector<double> channel(std::size_t c) const;
 };
-
-/// Converts raw simulator samples to a series (derives meal context).
-TelemetrySeries to_series(std::span<const sim::TelemetrySample> samples);
 
 }  // namespace goodones::data

@@ -8,6 +8,7 @@ std::vector<Window> make_windows(const TelemetrySeries& series, const WindowConf
   GO_EXPECTS(config.seq_len > 0);
   GO_EXPECTS(config.step > 0);
   const std::size_t steps = series.steps();
+  const std::size_t channels = series.num_channels();
   std::vector<Window> windows;
   if (steps < config.seq_len + config.horizon) return windows;
 
@@ -15,16 +16,16 @@ std::vector<Window> make_windows(const TelemetrySeries& series, const WindowConf
   windows.reserve(last_start / config.step + 1);
   for (std::size_t start = 0; start <= last_start; start += config.step) {
     Window w;
-    w.features = nn::Matrix(config.seq_len, kNumChannels);
+    w.features = nn::Matrix(config.seq_len, channels);
     for (std::size_t t = 0; t < config.seq_len; ++t) {
-      for (std::size_t c = 0; c < kNumChannels; ++c) {
+      for (std::size_t c = 0; c < channels; ++c) {
         w.features(t, c) = series.values(start + t, c);
       }
     }
     w.end_index = start + config.seq_len - 1;
     const std::size_t target_index = w.end_index + config.horizon;
-    w.target_glucose = series.true_glucose[target_index];
-    w.context = series.context[target_index];
+    w.target_value = series.true_target[target_index];
+    w.regime = series.regimes[target_index];
     windows.push_back(std::move(w));
   }
   return windows;

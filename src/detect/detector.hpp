@@ -1,6 +1,6 @@
 // Anomaly-detector interface shared by kNN, OneClassSVM and MAD-GAN.
 //
-// Detectors consume telemetry windows (seq_len x 4) in *scaled* units — the
+// Detectors consume telemetry windows (seq_len x channels) in *scaled* units — the
 // framework fits one global scaler so all training strategies compare
 // fairly. Supervised detectors (kNN) also receive malicious windows from
 // the defender's own attack simulation (framework step 1); unsupervised
@@ -17,9 +17,10 @@
 namespace goodones::detect {
 
 /// What one detector input represents. The paper's kNN and OneClassSVM
-/// inspect individual glucose samples (Fig. 5 marks single measurements as
-/// TP/FN); MAD-GAN consumes whole multivariate windows (seq_len x signals).
-/// The framework assembles training and evaluation sets accordingly.
+/// inspect individual telemetry samples (Fig. 5 marks single measurements
+/// as TP/FN); MAD-GAN consumes whole multivariate windows (seq_len x
+/// signals). The framework assembles training and evaluation sets
+/// accordingly.
 enum class InputGranularity : std::uint8_t { kSample, kWindow };
 
 class AnomalyDetector {

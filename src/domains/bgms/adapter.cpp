@@ -1,0 +1,48 @@
+#include "domains/bgms/adapter.hpp"
+
+#include "domains/bgms/glucose_state.hpp"
+
+namespace goodones::bgms {
+
+BgmsDomain::BgmsDomain() {
+  spec_.name = "bgms";
+  spec_.num_channels = kNumChannels;
+  spec_.target_channel = kCgm;
+  spec_.channel_names = {"cgm", "basal", "bolus", "carbs"};
+  spec_.target_min = kMinGlucose;   // 40 mg/dL sensor floor
+  spec_.target_max = kMaxGlucose;   // 499 mg/dL, highest value in OhioT1DM
+  spec_.thresholds = glycemic_thresholds();
+  spec_.severity = risk::SeveritySchedule::paper_default();  // Table I
+  // The paper's constraint boxes and overdose harm level.
+  spec_.attack_box_min_baseline = kFastingHyperThreshold;
+  spec_.attack_box_min_active = kPostprandialHyperThreshold;
+  spec_.attack_box_max = kMaxGlucose;
+  spec_.attack_harm_threshold = 370.0;
+  // Sample-level detector context: one hour of carb ingestion and bolus
+  // dosing — what lets a detector excuse a benign postprandial excursion.
+  spec_.context_channels = {kCarbs, kBolus};
+  spec_.context_window_steps = 12;  // one hour at 5-minute cadence
+  spec_.num_subsets = 2;  // Subset A and Subset B
+}
+
+std::vector<core::EntityData> BgmsDomain::make_entities(
+    const core::PopulationConfig& population) const {
+  CohortConfig cohort_config;
+  cohort_config.train_steps = population.train_steps;
+  cohort_config.test_steps = population.test_steps;
+  cohort_config.seed = population.seed;
+
+  std::vector<core::EntityData> entities;
+  entities.reserve(12);
+  for (const PatientTrace& trace : generate_cohort(cohort_config)) {
+    core::EntityData entity;
+    entity.name = to_string(trace.params.id);
+    entity.subset = trace.params.id.subset == Subset::kA ? 0 : 1;
+    entity.train = to_series(trace.train);
+    entity.test = to_series(trace.test);
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+}  // namespace goodones::bgms

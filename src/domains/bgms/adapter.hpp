@@ -1,0 +1,30 @@
+// The blood-glucose-management-system (BGMS) DomainAdapter — the paper's
+// case study, expressed as the first of many scenarios the risk-profiling
+// engine can run.
+//
+// Entities are the 12 simulated OhioT1DM-like patients (Subset A = "2018",
+// Subset B = "2020"); telemetry is [CGM, basal, bolus, carbs] at 5-minute
+// cadence; the adversary rewrites the CGM channel inside the paper's
+// [125, 499] / [180, 499] mg/dL boxes; severity follows Table I.
+#pragma once
+
+#include "core/domain.hpp"
+#include "domains/bgms/cohort.hpp"
+
+namespace goodones::bgms {
+
+class BgmsDomain final : public core::DomainAdapter {
+ public:
+  BgmsDomain();
+
+  const core::DomainSpec& spec() const noexcept override { return spec_; }
+
+  /// The 12-patient cohort, Subset A first (A_0..A_5) then Subset B.
+  std::vector<core::EntityData> make_entities(
+      const core::PopulationConfig& population) const override;
+
+ private:
+  core::DomainSpec spec_;
+};
+
+}  // namespace goodones::bgms

@@ -1,8 +1,27 @@
-#include "sim/cohort.hpp"
+#include "domains/bgms/cohort.hpp"
 
 #include "common/error.hpp"
+#include "domains/bgms/glucose_state.hpp"
 
-namespace goodones::sim {
+namespace goodones::bgms {
+
+data::TelemetrySeries to_series(std::span<const TelemetrySample> samples) {
+  GO_EXPECTS(!samples.empty());
+  data::TelemetrySeries series;
+  series.values = nn::Matrix(samples.size(), kNumChannels);
+  series.true_target.resize(samples.size());
+  std::vector<double> carbs(samples.size());
+  for (std::size_t t = 0; t < samples.size(); ++t) {
+    series.values(t, kCgm) = samples[t].cgm;
+    series.values(t, kBasal) = samples[t].basal;
+    series.values(t, kBolus) = samples[t].bolus;
+    series.values(t, kCarbs) = samples[t].carbs;
+    series.true_target[t] = samples[t].true_glucose;
+    carbs[t] = samples[t].carbs;
+  }
+  series.regimes = derive_meal_context(carbs);
+  return series;
+}
 
 namespace {
 
@@ -98,4 +117,4 @@ std::vector<PatientTrace> generate_cohort(const CohortConfig& config) {
   return cohort;
 }
 
-}  // namespace goodones::sim
+}  // namespace goodones::bgms

@@ -8,12 +8,20 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "sim/glucose_model.hpp"
-#include "sim/patient.hpp"
+#include "data/timeseries.hpp"
+#include "domains/bgms/glucose_model.hpp"
+#include "domains/bgms/patient.hpp"
 
-namespace goodones::sim {
+namespace goodones::bgms {
+
+/// Fixed BGMS channel layout within a telemetry matrix: the four signals
+/// the paper's MAD-GAN configuration uses (Appendix B: "number of
+/// signals = 4").
+enum Channel : std::size_t { kCgm = 0, kBasal = 1, kBolus = 2, kCarbs = 3 };
+inline constexpr std::size_t kNumChannels = 4;
 
 /// A patient's generated telemetry, split chronologically like OhioT1DM
 /// (the first `train_steps` samples train models; the rest test them).
@@ -42,4 +50,8 @@ std::vector<PatientTrace> generate_cohort(const CohortConfig& config);
 /// Simulates one patient under the given config.
 PatientTrace generate_patient(const PatientId& id, const CohortConfig& config);
 
-}  // namespace goodones::sim
+/// Converts raw simulator samples to a generic telemetry series (derives
+/// the meal regime from the carbs channel).
+data::TelemetrySeries to_series(std::span<const TelemetrySample> samples);
+
+}  // namespace goodones::bgms

@@ -1,4 +1,4 @@
-#include "sim/glucose_model.hpp"
+#include "domains/bgms/glucose_model.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -6,7 +6,7 @@
 
 #include "common/error.hpp"
 
-namespace goodones::sim {
+namespace goodones::bgms {
 
 namespace {
 
@@ -135,4 +135,4 @@ std::vector<TelemetrySample> GlucoseSimulator::run(std::size_t steps) {
   return trace;
 }
 
-}  // namespace goodones::sim
+}  // namespace goodones::bgms

@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "sim/patient.hpp"
+#include "domains/bgms/patient.hpp"
 
-namespace goodones::sim {
+namespace goodones::bgms {
 
 /// One 5-minute telemetry step as transmitted by the BGMS.
 struct TelemetrySample {
@@ -59,4 +59,4 @@ class GlucoseSimulator {
   common::Rng rng_;
 };
 
-}  // namespace goodones::sim
+}  // namespace goodones::bgms

@@ -1,10 +1,10 @@
-#include "sim/patient.hpp"
+#include "domains/bgms/patient.hpp"
 
-namespace goodones::sim {
+namespace goodones::bgms {
 
 std::string to_string(const PatientId& id) {
   const char prefix = id.subset == Subset::kA ? 'A' : 'B';
   return std::string(1, prefix) + "_" + std::to_string(static_cast<int>(id.index));
 }
 
-}  // namespace goodones::sim
+}  // namespace goodones::bgms

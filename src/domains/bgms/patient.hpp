@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <string>
 
-namespace goodones::sim {
+namespace goodones::bgms {
 
 /// Which half of the cohort a patient belongs to. The paper calls the six
 /// 2018 patients "Subset A" and the six 2020 patients "Subset B".
@@ -65,4 +65,4 @@ struct PatientParams {
 inline constexpr double kMinGlucose = 40.0;   ///< mg/dL, sensor floor
 inline constexpr double kMaxGlucose = 499.0;  ///< mg/dL, highest value in OhioT1DM
 
-}  // namespace goodones::sim
+}  // namespace goodones::bgms

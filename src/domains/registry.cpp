@@ -1,0 +1,19 @@
+#include "domains/registry.hpp"
+
+#include "common/error.hpp"
+#include "domains/bgms/adapter.hpp"
+#include "domains/synthtel/adapter.hpp"
+
+namespace goodones::domains {
+
+std::shared_ptr<core::DomainAdapter> make_domain(std::string_view name) {
+  if (name == "bgms") return std::make_shared<bgms::BgmsDomain>();
+  if (name == "synthtel") return std::make_shared<synthtel::SynthtelDomain>();
+  throw common::PreconditionError("unknown domain: " + std::string(name));
+}
+
+std::vector<std::string> available_domains() {
+  return {"bgms", "synthtel"};
+}
+
+}  // namespace goodones::domains

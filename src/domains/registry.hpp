@@ -1,0 +1,25 @@
+// Name-based registry over the built-in DomainAdapters.
+//
+// Deliberately explicit (no static-initializer self-registration): a
+// static-library build drops unreferenced translation units, which silently
+// empties magic registries. New domains add one line to make_domain().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/domain.hpp"
+
+namespace goodones::domains {
+
+/// Builds the named domain adapter. Known names: "bgms" (the paper's
+/// blood-glucose case study) and "synthtel" (the synthetic sensor fleet).
+/// Throws common::PreconditionError for unknown names.
+std::shared_ptr<core::DomainAdapter> make_domain(std::string_view name);
+
+/// Registered domain names, in registration order.
+std::vector<std::string> available_domains();
+
+}  // namespace goodones::domains

@@ -1,0 +1,77 @@
+#include "domains/synthtel/adapter.hpp"
+
+namespace goodones::synthtel {
+
+SynthtelDomain::SynthtelDomain(std::size_t nodes_per_subset)
+    : nodes_per_subset_(nodes_per_subset) {
+  spec_.name = "synthtel";
+  spec_.variant = std::to_string(nodes_per_subset) + "x2";
+  spec_.num_channels = kNumChannels;
+  spec_.target_channel = kReading;
+  spec_.channel_names = {"reading", "load", "event"};
+  spec_.target_min = kMinReading;
+  spec_.target_max = kMaxReading;
+  // Threshold-crossing state semantics: under-range below 25, over-range
+  // above 95 in the baseline regime and above 120 while a burst is being
+  // absorbed (the active regime tolerates higher readings, like the
+  // postprandial window tolerates higher glucose).
+  spec_.thresholds.low = 25.0;
+  spec_.thresholds.high_baseline = 95.0;
+  spec_.thresholds.high_active = 120.0;
+  // Linear severity: this fleet's mis-responses degrade service rather than
+  // people, so transitions are weighted 6..1 instead of exponentially —
+  // and the engine must not care (the schedule is the domain's choice).
+  spec_.severity = risk::SeveritySchedule::linear();
+  // The adversary must stay above the regime's over-range threshold (a
+  // plausible "overloaded" reading) and below the sensor ceiling; harm
+  // means a prediction high enough to trigger an automated failover.
+  spec_.attack_box_min_baseline = spec_.thresholds.high_baseline;
+  spec_.attack_box_min_active = spec_.thresholds.high_active;
+  spec_.attack_box_max = kMaxReading;
+  spec_.attack_harm_threshold = 112.0;
+  // Sample-level context: recent burst activity explains benign highs.
+  spec_.context_channels = {kEvent};
+  spec_.context_window_steps = kEventHoldSteps;
+  spec_.num_subsets = 2;
+}
+
+std::vector<core::EntityData> SynthtelDomain::make_entities(
+    const core::PopulationConfig& population) const {
+  std::vector<core::EntityData> entities;
+  const auto fleet = fleet_parameters(nodes_per_subset_);
+  entities.reserve(fleet.size());
+  for (const NodeParams& node : fleet) {
+    const std::size_t total = population.train_steps + population.test_steps;
+    data::TelemetrySeries full = simulate_node(node, total, population.seed);
+
+    core::EntityData entity;
+    entity.name = node.name;
+    entity.subset = node.subset;
+    // Chronological split, like the BGMS cohort.
+    entity.train.values = nn::Matrix(population.train_steps, kNumChannels);
+    entity.test.values = nn::Matrix(population.test_steps, kNumChannels);
+    for (std::size_t t = 0; t < total; ++t) {
+      auto& part = t < population.train_steps ? entity.train : entity.test;
+      const std::size_t local = t < population.train_steps ? t : t - population.train_steps;
+      for (std::size_t c = 0; c < kNumChannels; ++c) {
+        part.values(local, c) = full.values(t, c);
+      }
+    }
+    entity.train.true_target.assign(full.true_target.begin(),
+                                    full.true_target.begin() +
+                                        static_cast<std::ptrdiff_t>(population.train_steps));
+    entity.test.true_target.assign(full.true_target.begin() +
+                                       static_cast<std::ptrdiff_t>(population.train_steps),
+                                   full.true_target.end());
+    entity.train.regimes.assign(full.regimes.begin(),
+                                full.regimes.begin() +
+                                    static_cast<std::ptrdiff_t>(population.train_steps));
+    entity.test.regimes.assign(full.regimes.begin() +
+                                   static_cast<std::ptrdiff_t>(population.train_steps),
+                               full.regimes.end());
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+}  // namespace goodones::synthtel

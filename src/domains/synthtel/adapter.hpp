@@ -1,0 +1,32 @@
+// The synthetic sensor-fleet DomainAdapter — living proof that the
+// risk-profiling engine's domain seam is real.
+//
+// Runs the full five-step pipeline on a configurable AR(1)+seasonality
+// fleet at a fraction of the BGMS simulation cost: threshold-crossing
+// state semantics, burst-driven regimes, and an adversary who rewrites the
+// reading channel to provoke a harmful automated shutdown/failover.
+#pragma once
+
+#include <cstddef>
+
+#include "core/domain.hpp"
+#include "domains/synthtel/fleet.hpp"
+
+namespace goodones::synthtel {
+
+class SynthtelDomain final : public core::DomainAdapter {
+ public:
+  /// `nodes_per_subset` sizes the fleet (two subsets; default 4 + 4 nodes).
+  explicit SynthtelDomain(std::size_t nodes_per_subset = 4);
+
+  const core::DomainSpec& spec() const noexcept override { return spec_; }
+
+  std::vector<core::EntityData> make_entities(
+      const core::PopulationConfig& population) const override;
+
+ private:
+  core::DomainSpec spec_;
+  std::size_t nodes_per_subset_;
+};
+
+}  // namespace goodones::synthtel

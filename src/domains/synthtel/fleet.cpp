@@ -1,0 +1,90 @@
+#include "domains/synthtel/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace goodones::synthtel {
+
+std::vector<NodeParams> fleet_parameters(std::size_t nodes_per_subset) {
+  GO_EXPECTS(nodes_per_subset >= 2);
+  std::vector<NodeParams> fleet;
+  fleet.reserve(2 * nodes_per_subset);
+  for (std::size_t subset = 0; subset < 2; ++subset) {
+    for (std::size_t i = 0; i < nodes_per_subset; ++i) {
+      NodeParams node;
+      node.name = std::string(subset == 0 ? "SA_" : "SB_") + std::to_string(i);
+      node.subset = subset;
+      // Spread each subset from volatile to stable so the per-subset
+      // dendrograms have structure to find; the two subsets are offset
+      // slightly so the fleets are not mirror images.
+      const double t = static_cast<double>(i) / static_cast<double>(nodes_per_subset - 1);
+      node.stability = std::clamp(0.08 + 0.84 * t + (subset == 0 ? 0.0 : 0.05), 0.0, 1.0);
+      node.base_level = 66.0 - 10.0 * node.stability + (subset == 0 ? 0.0 : -1.5);
+      node.seed_offset = (subset + 1) * 1000 + i;
+      fleet.push_back(std::move(node));
+    }
+  }
+  return fleet;
+}
+
+data::TelemetrySeries simulate_node(const NodeParams& params, std::size_t steps,
+                                    std::uint64_t seed) {
+  GO_EXPECTS(steps > 0);
+  common::Rng rng(seed * 0x9E3779B97F4A7C15ULL + params.seed_offset);
+
+  // Volatile nodes revert slowly, burst often and overshoot harder.
+  const double stability = params.stability;
+  const double return_rate = 0.04 + 0.10 * stability;
+  const double burst_probability = (1.8 - 1.5 * stability) / static_cast<double>(kStepsPerDay);
+  const double burst_gain = 46.0 - 22.0 * stability;   // event impulse height
+  const double burst_decay = 0.88 - 0.10 * stability;  // per-step burst carryover
+  const double seasonal_amp = 7.0 - 3.0 * stability;
+  const double load_coupling = 0.35 - 0.15 * stability;
+  const double process_noise = 1.8 - 1.2 * stability;
+  const double sensor_noise = 1.6 - 1.0 * stability;
+
+  data::TelemetrySeries series;
+  series.values = nn::Matrix(steps, kNumChannels);
+  series.true_target.resize(steps);
+  std::vector<double> events(steps, 0.0);
+
+  double level = params.base_level;
+  double burst = 0.0;  // decaying burst compartment
+  double load = 0.0;   // smoothed exogenous load
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(t % kStepsPerDay) /
+                         static_cast<double>(kStepsPerDay);
+    const double seasonal = seasonal_amp * std::sin(phase);
+
+    // Exogenous load: slow AR(1) noise the reading partially follows.
+    load = 0.97 * load + rng.normal(0.0, 1.0);
+
+    // Burst events: impulse into the decaying burst compartment.
+    double event_marker = 0.0;
+    if (rng.bernoulli(burst_probability)) {
+      event_marker = burst_gain * rng.uniform(0.6, 1.3);
+      burst += event_marker;
+    }
+    burst *= burst_decay;
+
+    const double target = params.base_level + seasonal + load_coupling * load;
+    level += return_rate * (target - level) + rng.normal(0.0, process_noise);
+    const double true_reading =
+        std::clamp(level + burst, kMinReading, kMaxReading);
+
+    series.true_target[t] = true_reading;
+    series.values(t, kReading) =
+        std::clamp(true_reading + rng.normal(0.0, sensor_noise), kMinReading, kMaxReading);
+    series.values(t, kLoad) = load;
+    series.values(t, kEvent) = event_marker;
+    events[t] = event_marker;
+  }
+  series.regimes = data::derive_regimes(events, kEventHoldSteps);
+  return series;
+}
+
+}  // namespace goodones::synthtel

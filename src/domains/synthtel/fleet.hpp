@@ -1,0 +1,58 @@
+// Synthetic sensor-fleet telemetry — the engine's second, cheap domain.
+//
+// Each node monitors a scalar utilization-style signal (percent of rated
+// capacity) that follows AR(1) mean reversion around a set point with daily
+// seasonality, exogenous load coupling, stochastic burst events and sensor
+// noise. Stable nodes revert fast and burst rarely; volatile nodes drift
+// and burst often — the same graded normal-to-abnormal heterogeneity that
+// drives vulnerability differences in the BGMS cohort, at a fraction of
+// the simulation cost.
+//
+// Channels: [reading (target), load, event]. The event channel marks burst
+// onsets and drives the active regime (like carbs mark meals in BGMS).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/timeseries.hpp"
+
+namespace goodones::synthtel {
+
+/// Fixed channel layout of a fleet telemetry matrix.
+enum Channel : std::size_t { kReading = 0, kLoad = 1, kEvent = 2 };
+inline constexpr std::size_t kNumChannels = 3;
+
+/// Display/scaling bounds of the reading channel (percent of rated capacity;
+/// bursts may overshoot 100).
+inline constexpr double kMinReading = 0.0;
+inline constexpr double kMaxReading = 160.0;
+
+/// Steps per simulated day (5-minute cadence, matching the BGMS domain so
+/// window geometry transfers unchanged).
+inline constexpr std::size_t kStepsPerDay = 288;
+
+/// Steps a node stays in the active regime after a burst onset.
+inline constexpr std::size_t kEventHoldSteps = 18;  // 90 minutes
+
+/// Behavioral parameters of one sensor node. `stability` in [0, 1]:
+/// 1 = tight regulation, 0 = volatile.
+struct NodeParams {
+  std::string name;
+  std::size_t subset = 0;
+  double stability = 0.5;
+  double base_level = 60.0;   ///< set point, percent of rated capacity
+  std::uint64_t seed_offset = 0;
+};
+
+/// The fixed parameter set of a fleet: `nodes_per_subset` nodes in each of
+/// two subsets, spanning stable-to-volatile within each subset.
+std::vector<NodeParams> fleet_parameters(std::size_t nodes_per_subset);
+
+/// Simulates one node: returns a 3-channel telemetry series of `steps`
+/// samples. Deterministic in (params, seed).
+data::TelemetrySeries simulate_node(const NodeParams& params, std::size_t steps,
+                                    std::uint64_t seed);
+
+}  // namespace goodones::synthtel

@@ -7,7 +7,6 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
-#include "sim/patient.hpp"
 
 namespace goodones::predict {
 
@@ -20,10 +19,12 @@ common::Rng init_rng(const ForecasterConfig& config) {
 
 }  // namespace
 
-data::MinMaxScaler fit_forecaster_scaler(const nn::Matrix& train_values) {
+data::MinMaxScaler fit_forecaster_scaler(const nn::Matrix& train_values,
+                                         std::size_t target_channel,
+                                         double target_min, double target_max) {
   data::MinMaxScaler scaler;
   scaler.fit(train_values);
-  scaler.set_column_range(data::kCgm, sim::kMinGlucose, sim::kMaxGlucose);
+  scaler.set_column_range(target_channel, target_min, target_max);
   return scaler;
 }
 
@@ -31,11 +32,11 @@ BiLstmForecaster::BiLstmForecaster(const ForecasterConfig& config, data::MinMaxS
     : config_(config),
       scaler_(std::move(scaler)),
       init_rng_(init_rng(config)),
-      lstm_(data::kNumChannels, config.hidden, init_rng_),
+      lstm_(scaler_.num_features(), config.hidden, init_rng_),
       head1_(2 * config.hidden, config.head_hidden, nn::Activation::kTanh, init_rng_),
       head2_(config.head_hidden, 1, nn::Activation::kLinear, init_rng_) {
   GO_EXPECTS(scaler_.fitted());
-  GO_EXPECTS(scaler_.num_features() == data::kNumChannels);
+  GO_EXPECTS(config_.target_channel < scaler_.num_features());
 }
 
 nn::ParamRefs BiLstmForecaster::parameters() {
@@ -60,17 +61,17 @@ double BiLstmForecaster::forward_normalized(const nn::Matrix& scaled,
 }
 
 double BiLstmForecaster::predict(const nn::Matrix& raw_features) const {
-  GO_EXPECTS(raw_features.cols() == data::kNumChannels);
+  GO_EXPECTS(raw_features.cols() == scaler_.num_features());
   nn::BiLstm::Cache lstm_cache;
   nn::Dense::Cache c1;
   nn::Dense::Cache c2;
   const double normalized =
       forward_normalized(scaler_.transform(raw_features), lstm_cache, c1, c2);
-  return scaler_.inverse_transform_value(normalized, data::kCgm);
+  return scaler_.inverse_transform_value(normalized, config_.target_channel);
 }
 
 nn::Matrix BiLstmForecaster::input_gradient(const nn::Matrix& raw_features) const {
-  GO_EXPECTS(raw_features.cols() == data::kNumChannels);
+  GO_EXPECTS(raw_features.cols() == scaler_.num_features());
   // The backward pass accumulates parameter gradients; run it on a scratch
   // copy of the model so this method stays const and thread-safe.
   BiLstmForecaster scratch(*this);
@@ -91,14 +92,14 @@ nn::Matrix BiLstmForecaster::input_gradient(const nn::Matrix& raw_features) cons
             grad_hidden.row(scaled.rows() - 1).begin());
   nn::Matrix dx_scaled = scratch.lstm_.backward(grad_hidden, lstm_cache);
 
-  // Chain through the scalers: prediction is inverse-scaled by the glucose
+  // Chain through the scalers: prediction is inverse-scaled by the target
   // range; inputs were forward-scaled by each channel's range.
-  const double glucose_range =
-      scaler_.column_max(data::kCgm) - scaler_.column_min(data::kCgm);
+  const double target_range = scaler_.column_max(config_.target_channel) -
+                              scaler_.column_min(config_.target_channel);
   nn::Matrix dx_raw(dx_scaled.rows(), dx_scaled.cols());
-  for (std::size_t c = 0; c < data::kNumChannels; ++c) {
+  for (std::size_t c = 0; c < scaler_.num_features(); ++c) {
     const double channel_range = scaler_.column_max(c) - scaler_.column_min(c);
-    const double factor = channel_range > 0.0 ? glucose_range / channel_range : 0.0;
+    const double factor = channel_range > 0.0 ? target_range / channel_range : 0.0;
     for (std::size_t t = 0; t < dx_scaled.rows(); ++t) {
       dx_raw(t, c) = dx_scaled(t, c) * factor;
     }
@@ -117,7 +118,7 @@ double BiLstmForecaster::train(const std::vector<data::Window>& windows) {
   targets.reserve(windows.size());
   for (const auto& w : windows) {
     scaled.push_back(scaler_.transform(w.features));
-    targets.push_back(scaler_.transform_value(w.target_glucose, data::kCgm));
+    targets.push_back(scaler_.transform_value(w.target_value, config_.target_channel));
   }
 
   const nn::ParamRefs params = parameters();
@@ -170,7 +171,7 @@ double BiLstmForecaster::evaluate_rmse(const std::vector<data::Window>& windows)
   GO_EXPECTS(!windows.empty());
   double sum = 0.0;
   for (const auto& w : windows) {
-    const double diff = predict(w.features) - w.target_glucose;
+    const double diff = predict(w.features) - w.target_value;
     sum += diff * diff;
   }
   return std::sqrt(sum / static_cast<double>(windows.size()));

@@ -1,9 +1,10 @@
-// Bidirectional-LSTM glucose forecaster (target model of the case study).
+// Bidirectional-LSTM forecaster (the surrogate target model).
 //
-// Architecture: BiLSTM over the (12 x 4) telemetry window, last-timestep
-// concatenated state -> tanh dense -> linear dense -> normalized glucose,
-// inverse-scaled to mg/dL. Mirrors the personalized/aggregate BiLSTM models
-// of Rubin-Falcone et al. that the paper attacks.
+// Architecture: BiLSTM over the (seq_len x channels) telemetry window,
+// last-timestep concatenated state -> tanh dense -> linear dense ->
+// normalized target, inverse-scaled to raw units. Mirrors the
+// personalized/aggregate BiLSTM models of Rubin-Falcone et al. that the
+// paper attacks; the channel count and target channel come from the domain.
 #pragma once
 
 #include <cstdint>
@@ -25,13 +26,17 @@ struct ForecasterConfig {
   std::size_t batch_size = 32;
   double learning_rate = 3e-3;
   double grad_clip = 1.0;         ///< global-norm gradient clipping
+  /// Channel of the forecast target within the telemetry matrix (used for
+  /// target scaling); the domain adapter sets it.
+  std::size_t target_channel = 0;
   std::uint64_t seed = 7;
 };
 
-class BiLstmForecaster final : public GlucoseForecaster {
+class BiLstmForecaster final : public Forecaster {
  public:
   /// Builds an untrained model; `scaler` must already be fitted on the
-  /// intended training distribution (4 telemetry channels).
+  /// intended training distribution (its feature count fixes the channel
+  /// count of every window this model accepts).
   BiLstmForecaster(const ForecasterConfig& config, data::MinMaxScaler scaler);
 
   /// Trains on forecasting windows (raw units). Returns the final-epoch
@@ -41,11 +46,12 @@ class BiLstmForecaster final : public GlucoseForecaster {
   double predict(const nn::Matrix& raw_features) const override;
   nn::Matrix input_gradient(const nn::Matrix& raw_features) const override;
 
-  /// RMSE in mg/dL over a window set (evaluation helper).
+  /// RMSE in raw units over a window set (evaluation helper).
   double evaluate_rmse(const std::vector<data::Window>& windows) const;
 
   const data::MinMaxScaler& scaler() const noexcept { return scaler_; }
   const ForecasterConfig& config() const noexcept { return config_; }
+  std::size_t num_channels() const noexcept { return scaler_.num_features(); }
 
   /// Model persistence for the artifact cache. Shapes must match on load.
   void save(const std::filesystem::path& path) const;
@@ -70,9 +76,12 @@ class BiLstmForecaster final : public GlucoseForecaster {
   nn::Dense head2_;
 };
 
-/// Fits the forecaster feature scaler on a training series, pinning the CGM
-/// channel to the physiological range [40, 499] mg/dL so all models share
-/// one glucose scale (required for cross-patient risk comparison).
-data::MinMaxScaler fit_forecaster_scaler(const nn::Matrix& train_values);
+/// Fits the forecaster feature scaler on a training series, pinning the
+/// target channel to the domain's physiological/operational range so all
+/// models share one target scale (required for cross-entity risk
+/// comparison).
+data::MinMaxScaler fit_forecaster_scaler(const nn::Matrix& train_values,
+                                         std::size_t target_channel,
+                                         double target_min, double target_max);
 
 }  // namespace goodones::predict

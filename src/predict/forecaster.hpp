@@ -1,26 +1,27 @@
-// Interface of the BGMS's main prediction DNN.
+// Interface of the victim system's main prediction DNN.
 //
-// The deployed glucose-prediction algorithm is confidential in real systems;
-// the paper (like us) approximates it with the bidirectional-LSTM
-// forecaster of Rubin-Falcone et al. Attack and risk-profiling code only
-// depend on this interface, so other model families can be swapped in.
+// The deployed prediction algorithm is confidential in real systems; each
+// domain approximates it with a trained surrogate (the BGMS case study uses
+// the bidirectional-LSTM forecaster of Rubin-Falcone et al.). Attack and
+// risk-profiling code only depend on this interface, so other model
+// families can be swapped in.
 #pragma once
 
 #include "nn/matrix.hpp"
 
 namespace goodones::predict {
 
-class GlucoseForecaster {
+class Forecaster {
  public:
-  virtual ~GlucoseForecaster() = default;
+  virtual ~Forecaster() = default;
 
-  /// Predicts blood glucose (mg/dL) `horizon` steps past the window end.
-  /// `raw_features` is a (seq_len x 4) telemetry window in raw units
-  /// (mg/dL, U/h, U, g). Must be thread-safe for concurrent callers.
+  /// Predicts the target signal (raw units) `horizon` steps past the window
+  /// end. `raw_features` is a (seq_len x channels) telemetry window in raw
+  /// units. Must be thread-safe for concurrent callers.
   virtual double predict(const nn::Matrix& raw_features) const = 0;
 
-  /// Gradient of the predicted glucose w.r.t. each raw input feature
-  /// (seq_len x 4). Drives the gradient-guided attack variant.
+  /// Gradient of the prediction w.r.t. each raw input feature
+  /// (seq_len x channels). Drives the gradient-guided attack variant.
   virtual nn::Matrix input_gradient(const nn::Matrix& raw_features) const = 0;
 };
 

@@ -7,7 +7,7 @@
 
 namespace goodones::risk {
 
-OnlineRiskProfiler::OnlineRiskProfiler(std::vector<sim::PatientId> victims,
+OnlineRiskProfiler::OnlineRiskProfiler(std::vector<std::string> victims,
                                        OnlineProfilerConfig config)
     : config_(config),
       victims_(std::move(victims)),
@@ -50,7 +50,7 @@ std::size_t OnlineRiskProfiler::batches(std::size_t index) const {
   return batch_counts_[index];
 }
 
-const sim::PatientId& OnlineRiskProfiler::victim(std::size_t index) const {
+const std::string& OnlineRiskProfiler::victim(std::size_t index) const {
   GO_EXPECTS(index < victims_.size());
   return victims_[index];
 }

@@ -15,9 +15,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "attack/campaign.hpp"
 #include "risk/schedule.hpp"
-#include "sim/patient.hpp"
 
 namespace goodones::risk {
 
@@ -39,8 +40,8 @@ class OnlineRiskProfiler {
     std::vector<std::size_t> more_vulnerable;
   };
 
-  /// `victims` fixes the tracked population and its order.
-  OnlineRiskProfiler(std::vector<sim::PatientId> victims, OnlineProfilerConfig config);
+  /// `victims` fixes the tracked population and its order (display names).
+  OnlineRiskProfiler(std::vector<std::string> victims, OnlineProfilerConfig config);
 
   std::size_t num_victims() const noexcept { return levels_.size(); }
 
@@ -64,11 +65,11 @@ class OnlineRiskProfiler {
   /// Latest partition (empty before the first reassess()).
   const Partition& partition() const noexcept { return partition_; }
 
-  const sim::PatientId& victim(std::size_t index) const;
+  const std::string& victim(std::size_t index) const;
 
  private:
   OnlineProfilerConfig config_;
-  std::vector<sim::PatientId> victims_;
+  std::vector<std::string> victims_;
   std::vector<double> levels_;
   std::vector<std::size_t> batch_counts_;
   std::vector<bool> currently_less_;  // hysteresis memory

@@ -37,10 +37,10 @@ std::vector<double> RiskProfile::log_scaled() const {
   return out;
 }
 
-RiskProfile build_profile(const sim::PatientId& id,
+RiskProfile build_profile(std::string name,
                           const std::vector<attack::WindowOutcome>& outcomes) {
   RiskProfile profile;
-  profile.id = id;
+  profile.name = std::move(name);
   profile.values.reserve(outcomes.size());
   for (const auto& outcome : outcomes) {
     profile.values.push_back(instantaneous_risk(outcome));

@@ -6,10 +6,10 @@
 //   R_t = S * Z_t                   severity-weighted instantaneous risk (Eq. 1)
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "attack/campaign.hpp"
-#include "sim/patient.hpp"
 
 namespace goodones::risk {
 
@@ -22,22 +22,23 @@ double deviation_magnitude(double benign_prediction,
 double instantaneous_risk(const attack::WindowOutcome& outcome) noexcept;
 
 /// A victim's continuous risk profile: R_t at every attacked timestamp,
-/// in time order (framework step 3).
+/// in time order (framework step 3). `name` is the domain's display label
+/// for the entity (e.g. "A_3" for a BGMS patient, "S_07" for a sensor).
 struct RiskProfile {
-  sim::PatientId id;
+  std::string name;
   std::vector<double> values;
 
   double mean() const noexcept;
   double peak() const noexcept;
 
   /// log1p-compressed copy. Risk spans orders of magnitude (severity 64 x
-  /// squared mg/dL deviations); log scaling keeps profile distances from
-  /// being dominated by single spikes when clustering.
+  /// squared deviations); log scaling keeps profile distances from being
+  /// dominated by single spikes when clustering.
   std::vector<double> log_scaled() const;
 };
 
 /// Builds the profile of one victim from their campaign outcomes.
-RiskProfile build_profile(const sim::PatientId& id,
+RiskProfile build_profile(std::string name,
                           const std::vector<attack::WindowOutcome>& outcomes);
 
 /// Truncates all profiles to the shortest length so they form an aligned

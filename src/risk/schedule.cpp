@@ -6,9 +6,9 @@
 
 namespace goodones::risk {
 
-using data::GlycemicState;
+using StateLabel = data::StateLabel;
 
-std::size_t SeveritySchedule::index(GlycemicState state) noexcept {
+std::size_t SeveritySchedule::index(StateLabel state) noexcept {
   return static_cast<std::size_t>(state);
 }
 
@@ -16,12 +16,12 @@ SeveritySchedule::SeveritySchedule() {
   table_.fill(1.0);
 }
 
-double SeveritySchedule::coefficient(GlycemicState benign,
-                                     GlycemicState adversarial) const noexcept {
+double SeveritySchedule::coefficient(StateLabel benign,
+                                     StateLabel adversarial) const noexcept {
   return table_[index(benign) * 3 + index(adversarial)];
 }
 
-void SeveritySchedule::set(GlycemicState benign, GlycemicState adversarial,
+void SeveritySchedule::set(StateLabel benign, StateLabel adversarial,
                            double coefficient) noexcept {
   table_[index(benign) * 3 + index(adversarial)] = coefficient;
 }
@@ -75,11 +75,11 @@ double instantaneous_risk(const attack::WindowOutcome& outcome,
                                         outcome.attack.adversarial_prediction);
 }
 
-RiskProfile build_profile(const sim::PatientId& id,
+RiskProfile build_profile(std::string name,
                           const std::vector<attack::WindowOutcome>& outcomes,
                           const SeveritySchedule& schedule) {
   RiskProfile profile;
-  profile.id = id;
+  profile.name = std::move(name);
   profile.values.reserve(outcomes.size());
   for (const auto& outcome : outcomes) {
     profile.values.push_back(instantaneous_risk(outcome, schedule));

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "attack/campaign.hpp"
-#include "data/glucose_state.hpp"
+#include "data/labels.hpp"
 #include "risk/profile.hpp"
 
 namespace goodones::risk {
@@ -24,10 +24,10 @@ class SeveritySchedule {
 
   /// Coefficient for a transition; identity transitions are configurable
   /// too (the paper's Table I leaves them implicit; we default them to 1).
-  double coefficient(data::GlycemicState benign,
-                     data::GlycemicState adversarial) const noexcept;
+  double coefficient(data::StateLabel benign,
+                     data::StateLabel adversarial) const noexcept;
 
-  void set(data::GlycemicState benign, data::GlycemicState adversarial,
+  void set(data::StateLabel benign, data::StateLabel adversarial,
            double coefficient) noexcept;
 
   const std::string& name() const noexcept { return name_; }
@@ -48,7 +48,7 @@ class SeveritySchedule {
   static SeveritySchedule uniform();
 
  private:
-  static std::size_t index(data::GlycemicState state) noexcept;
+  static std::size_t index(data::StateLabel state) noexcept;
 
   std::array<double, 9> table_;  // [benign * 3 + adversarial]
   std::string name_ = "uniform";
@@ -59,7 +59,7 @@ double instantaneous_risk(const attack::WindowOutcome& outcome,
                           const SeveritySchedule& schedule) noexcept;
 
 /// Step-3 profile construction under an explicit schedule.
-RiskProfile build_profile(const sim::PatientId& id,
+RiskProfile build_profile(std::string name,
                           const std::vector<attack::WindowOutcome>& outcomes,
                           const SeveritySchedule& schedule);
 

@@ -2,21 +2,21 @@
 
 namespace goodones::risk {
 
-using data::GlycemicState;
+using data::StateLabel;
 
 const std::vector<SeverityEntry>& severity_table() {
   static const std::vector<SeverityEntry> table = {
-      {GlycemicState::kHypo, GlycemicState::kHyper, 64.0},
-      {GlycemicState::kNormal, GlycemicState::kHyper, 32.0},
-      {GlycemicState::kHypo, GlycemicState::kNormal, 16.0},
-      {GlycemicState::kHyper, GlycemicState::kHypo, 8.0},
-      {GlycemicState::kHyper, GlycemicState::kNormal, 4.0},
-      {GlycemicState::kNormal, GlycemicState::kHypo, 2.0},
+      {StateLabel::kLow, StateLabel::kHigh, 64.0},
+      {StateLabel::kNormal, StateLabel::kHigh, 32.0},
+      {StateLabel::kLow, StateLabel::kNormal, 16.0},
+      {StateLabel::kHigh, StateLabel::kLow, 8.0},
+      {StateLabel::kHigh, StateLabel::kNormal, 4.0},
+      {StateLabel::kNormal, StateLabel::kLow, 2.0},
   };
   return table;
 }
 
-double severity_coefficient(GlycemicState benign, GlycemicState adversarial) noexcept {
+double severity_coefficient(StateLabel benign, StateLabel adversarial) noexcept {
   for (const auto& entry : severity_table()) {
     if (entry.benign == benign && entry.adversarial == adversarial) {
       return entry.coefficient;

@@ -1,22 +1,25 @@
-// Severity coefficients for glycemic state transitions (paper Table I).
+// Default severity coefficients for state transitions (paper Table I),
+// expressed over the generic state vocabulary.
 //
-// Exponential coefficients encode the non-linear clinical impact of
-// misdiagnoses: mispredicting a hypoglycemic patient as hyperglycemic
-// triggers an insulin overdose on an already-low patient (the worst case,
-// S = 64), while mispredicting normal as hypoglycemic merely withholds a
-// dose (S = 2).
+// Exponential coefficients encode the non-linear impact of misdiagnoses:
+// mispredicting a low-state victim as high triggers the worst possible
+// response on an already-low victim (S = 64; in the BGMS case study, an
+// insulin overdose on a hypoglycemic patient), while mispredicting normal
+// as low merely withholds a response (S = 2). Domains that need different
+// weights supply their own risk::SeveritySchedule (see risk/schedule.hpp)
+// through their DomainAdapter.
 #pragma once
 
 #include <vector>
 
-#include "data/glucose_state.hpp"
+#include "data/labels.hpp"
 
 namespace goodones::risk {
 
 /// One row of Table I.
 struct SeverityEntry {
-  data::GlycemicState benign;
-  data::GlycemicState adversarial;
+  data::StateLabel benign;
+  data::StateLabel adversarial;
   double coefficient;
 };
 
@@ -26,7 +29,7 @@ const std::vector<SeverityEntry>& severity_table();
 /// Coefficient for a (benign-prediction -> adversarial-prediction) state
 /// transition. Identity transitions return 1: a failed attack still shifted
 /// the prediction, and the residual deviation carries proportional risk.
-double severity_coefficient(data::GlycemicState benign,
-                            data::GlycemicState adversarial) noexcept;
+double severity_coefficient(data::StateLabel benign,
+                            data::StateLabel adversarial) noexcept;
 
 }  // namespace goodones::risk

@@ -8,23 +8,26 @@
 #include "attack/campaign.hpp"
 #include "attack/evasion.hpp"
 #include "common/thread_pool.hpp"
+#include "domains/bgms/cohort.hpp"
 #include "predict/forecaster.hpp"
 
 namespace goodones::attack {
 namespace {
 
-class MeanCgmModel final : public predict::GlucoseForecaster {
+using bgms::kCgm;
+
+class MeanCgmModel final : public predict::Forecaster {
  public:
   explicit MeanCgmModel(double gain = 1.0) : gain_(gain) {}
   double predict(const nn::Matrix& x) const override {
     double sum = 0.0;
-    for (std::size_t t = 0; t < x.rows(); ++t) sum += x(t, data::kCgm);
+    for (std::size_t t = 0; t < x.rows(); ++t) sum += x(t, kCgm);
     return gain_ * sum / static_cast<double>(x.rows());
   }
   nn::Matrix input_gradient(const nn::Matrix& x) const override {
     nn::Matrix g(x.rows(), x.cols());
     for (std::size_t t = 0; t < x.rows(); ++t) {
-      g(t, data::kCgm) = gain_ / static_cast<double>(x.rows());
+      g(t, kCgm) = gain_ / static_cast<double>(x.rows());
     }
     return g;
   }
@@ -33,46 +36,46 @@ class MeanCgmModel final : public predict::GlucoseForecaster {
   double gain_;
 };
 
-data::Window make_window(double level, data::MealContext context = data::MealContext::kFasting) {
+data::Window make_window(double level, data::Regime regime = data::Regime::kBaseline) {
   data::Window w;
-  w.features = nn::Matrix(12, data::kNumChannels);
-  for (std::size_t t = 0; t < 12; ++t) w.features(t, data::kCgm) = level;
-  w.target_glucose = level;
-  w.context = context;
+  w.features = nn::Matrix(12, bgms::kNumChannels);
+  for (std::size_t t = 0; t < 12; ++t) w.features(t, kCgm) = level;
+  w.target_value = level;
+  w.regime = regime;
   return w;
 }
 
 TEST(AttackConfig, SuccessThresholdNeverBelowDiagnostic) {
   AttackConfig config;
-  config.overdose_threshold = 100.0;  // below both diagnostic thresholds
-  EXPECT_DOUBLE_EQ(config.success_threshold(data::MealContext::kFasting), 125.0);
-  EXPECT_DOUBLE_EQ(config.success_threshold(data::MealContext::kPostprandial), 180.0);
-  config.overdose_threshold = 370.0;
-  EXPECT_DOUBLE_EQ(config.success_threshold(data::MealContext::kFasting), 370.0);
+  config.harm_threshold = 100.0;  // below both diagnostic thresholds
+  EXPECT_DOUBLE_EQ(config.success_threshold(data::Regime::kBaseline), 125.0);
+  EXPECT_DOUBLE_EQ(config.success_threshold(data::Regime::kActive), 180.0);
+  config.harm_threshold = 370.0;
+  EXPECT_DOUBLE_EQ(config.success_threshold(data::Regime::kBaseline), 370.0);
 }
 
 TEST(AttackConfig, InducedStateFollowsOverdoseLevel) {
   const AttackConfig config;  // overdose 370
-  using data::GlycemicState;
-  using data::MealContext;
-  EXPECT_EQ(config.induced_state(400.0, MealContext::kFasting), GlycemicState::kHyper);
+  using data::Regime;
+  using data::StateLabel;
+  EXPECT_EQ(config.induced_state(400.0, Regime::kBaseline), StateLabel::kHigh);
   // Elevated but sub-critical: treatment-wise still "Normal".
-  EXPECT_EQ(config.induced_state(300.0, MealContext::kFasting), GlycemicState::kNormal);
-  EXPECT_EQ(config.induced_state(60.0, MealContext::kFasting), GlycemicState::kHypo);
-  EXPECT_EQ(config.induced_state(100.0, MealContext::kFasting), GlycemicState::kNormal);
+  EXPECT_EQ(config.induced_state(300.0, Regime::kBaseline), StateLabel::kNormal);
+  EXPECT_EQ(config.induced_state(60.0, Regime::kBaseline), StateLabel::kLow);
+  EXPECT_EQ(config.induced_state(100.0, Regime::kBaseline), StateLabel::kNormal);
 }
 
 TEST(AttackConfig, BoxMinPerScenario) {
   const AttackConfig config;
-  EXPECT_DOUBLE_EQ(config.box_min(data::MealContext::kFasting), 125.0);
-  EXPECT_DOUBLE_EQ(config.box_min(data::MealContext::kPostprandial), 180.0);
+  EXPECT_DOUBLE_EQ(config.box_min(data::Regime::kBaseline), 125.0);
+  EXPECT_DOUBLE_EQ(config.box_min(data::Regime::kActive), 180.0);
 }
 
 TEST(Stealth, AggressiveAttackerReachesHigherPredictions) {
   const MeanCgmModel model;
   AttackConfig aggressive;
   aggressive.stealth_fraction = 0.0;
-  aggressive.overdose_threshold = 10000.0;  // unreachable: both use full budget
+  aggressive.harm_threshold = 10000.0;  // unreachable: both use full budget
   AttackConfig stealthy = aggressive;
   stealthy.stealth_fraction = 0.6;
 
@@ -85,14 +88,14 @@ TEST(Stealth, AggressiveAttackerReachesHigherPredictions) {
 TEST(Stealth, StealthyAttackerUsesSmallerValuesWhenGoalReachable) {
   const MeanCgmModel model(2.0);  // strong gain: one edit can cross
   AttackConfig config;
-  config.overdose_threshold = 250.0;
+  config.harm_threshold = 250.0;
   config.stealth_fraction = 0.6;
   const auto result = EvasionAttack{config}.attack_window(model, make_window(110.0));
   ASSERT_TRUE(result.success);
   // The chosen manipulated values must not all be the box maximum.
   double max_used = 0.0;
   for (std::size_t t = 0; t < 12; ++t) {
-    const double v = result.adversarial_features(t, data::kCgm);
+    const double v = result.adversarial_features(t, kCgm);
     if (v != 110.0) max_used = std::max(max_used, v);
   }
   EXPECT_LT(max_used, 499.0);
@@ -101,15 +104,15 @@ TEST(Stealth, StealthyAttackerUsesSmallerValuesWhenGoalReachable) {
 TEST(Jitter, ManipulatedValuesVaryAcrossWindows) {
   const MeanCgmModel model(2.0);
   AttackConfig config;
-  config.overdose_threshold = 250.0;
+  config.harm_threshold = 250.0;
   const EvasionAttack attack{config};
   std::set<double> used_values;
   for (int i = 0; i < 12; ++i) {
     const auto window = make_window(100.0 + i * 1.7);
     const auto result = attack.attack_window(model, window);
     for (std::size_t t = 0; t < 12; ++t) {
-      const double v = result.adversarial_features(t, data::kCgm);
-      if (v != window.features(t, data::kCgm)) used_values.insert(v);
+      const double v = result.adversarial_features(t, kCgm);
+      if (v != window.features(t, kCgm)) used_values.insert(v);
     }
   }
   // Without jitter the grid would allow at most value_candidates distinct
@@ -120,14 +123,14 @@ TEST(Jitter, ManipulatedValuesVaryAcrossWindows) {
 TEST(Jitter, DeterministicPerWindow) {
   const MeanCgmModel model(2.0);
   AttackConfig config;
-  config.overdose_threshold = 250.0;
+  config.harm_threshold = 250.0;
   const EvasionAttack attack{config};
   const auto window = make_window(104.0);
   const auto a = attack.attack_window(model, window);
   const auto b = attack.attack_window(model, window);
   for (std::size_t t = 0; t < 12; ++t) {
-    ASSERT_DOUBLE_EQ(a.adversarial_features(t, data::kCgm),
-                     b.adversarial_features(t, data::kCgm));
+    ASSERT_DOUBLE_EQ(a.adversarial_features(t, kCgm),
+                     b.adversarial_features(t, kCgm));
   }
   EXPECT_EQ(a.success, b.success);
   EXPECT_EQ(a.edits, b.edits);
@@ -140,12 +143,12 @@ TEST(Jitter, BoxMaximumAlwaysAvailable) {
   const MeanCgmModel model(0.9);
   AttackConfig config;
   config.stealth_fraction = 0.0;
-  config.overdose_threshold = 10000.0;
+  config.harm_threshold = 10000.0;
   config.max_edits = 12;
   const auto result = EvasionAttack{config}.attack_window(model, make_window(100.0));
   bool found_max = false;
   for (std::size_t t = 0; t < 12; ++t) {
-    found_max = found_max || result.adversarial_features(t, data::kCgm) == 499.0;
+    found_max = found_max || result.adversarial_features(t, kCgm) == 499.0;
   }
   EXPECT_TRUE(found_max);
 }
@@ -173,7 +176,7 @@ TEST(Campaign, InducedStateRecordedWithOverdoseSemantics) {
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_FALSE(outcomes[0].attack.success);
   // Elevated but sub-critical: induced state stays Normal -> severity 1.
-  EXPECT_EQ(outcomes[0].adversarial_predicted_state, data::GlycemicState::kNormal);
+  EXPECT_EQ(outcomes[0].adversarial_predicted_state, data::StateLabel::kNormal);
 }
 
 class StealthFractionSweep : public ::testing::TestWithParam<double> {};
@@ -182,7 +185,7 @@ TEST_P(StealthFractionSweep, SuccessIsMonotoneInBudgetAndDeterministic) {
   const MeanCgmModel model(1.6);
   AttackConfig config;
   config.stealth_fraction = GetParam();
-  config.overdose_threshold = 300.0;
+  config.harm_threshold = 300.0;
   config.max_edits = 12;
   const EvasionAttack attack{config};
   const auto window = make_window(105.0);

@@ -8,15 +8,24 @@
 #include "common/thread_pool.hpp"
 #include "data/timeseries.hpp"
 #include "data/window.hpp"
+#include "domains/bgms/cohort.hpp"
+#include "domains/bgms/glucose_state.hpp"
 #include "predict/forecaster.hpp"
 
 namespace goodones::attack {
 namespace {
 
+// The generic attack is exercised here with its default (BGMS-calibrated)
+// semantics; channel constants come from the BGMS layout.
+using bgms::kBasal;
+using bgms::kBolus;
+using bgms::kCarbs;
+using bgms::kCgm;
+
 /// Analytic stand-in for the DNN: predicts a weighted mean of the CGM
 /// channel with recency weighting. Lets attack tests assert exact behavior
 /// without training a network.
-class LinearCgmModel final : public predict::GlucoseForecaster {
+class LinearCgmModel final : public predict::Forecaster {
  public:
   explicit LinearCgmModel(double damping = 1.0) : damping_(damping) {}
 
@@ -25,7 +34,7 @@ class LinearCgmModel final : public predict::GlucoseForecaster {
     double value = 0.0;
     for (std::size_t t = 0; t < x.rows(); ++t) {
       const double w = static_cast<double>(t + 1);
-      value += w * x(t, data::kCgm);
+      value += w * x(t, kCgm);
       weight_sum += w;
     }
     return damping_ * value / weight_sum;
@@ -36,7 +45,7 @@ class LinearCgmModel final : public predict::GlucoseForecaster {
     double weight_sum = 0.0;
     for (std::size_t t = 0; t < x.rows(); ++t) weight_sum += static_cast<double>(t + 1);
     for (std::size_t t = 0; t < x.rows(); ++t) {
-      grad(t, data::kCgm) = damping_ * static_cast<double>(t + 1) / weight_sum;
+      grad(t, kCgm) = damping_ * static_cast<double>(t + 1) / weight_sum;
     }
     return grad;
   }
@@ -45,16 +54,16 @@ class LinearCgmModel final : public predict::GlucoseForecaster {
   double damping_;
 };
 
-data::Window make_window(double cgm_level, data::MealContext context,
+data::Window make_window(double cgm_level, data::Regime regime,
                          std::size_t steps = 12) {
   data::Window w;
-  w.features = nn::Matrix(steps, data::kNumChannels);
+  w.features = nn::Matrix(steps, bgms::kNumChannels);
   for (std::size_t t = 0; t < steps; ++t) {
-    w.features(t, data::kCgm) = cgm_level;
-    w.features(t, data::kBasal) = 0.9;
+    w.features(t, kCgm) = cgm_level;
+    w.features(t, kBasal) = 0.9;
   }
-  w.target_glucose = cgm_level;
-  w.context = context;
+  w.target_value = cgm_level;
+  w.regime = regime;
   return w;
 }
 
@@ -63,9 +72,9 @@ TEST(Evasion, SucceedsOnPliableModelFasting) {
   AttackConfig config;
   config.max_edits = 12;  // unconstrained budget: the pliable model must fall
   const EvasionAttack attack{config};
-  const auto result = attack.attack_window(model, make_window(100.0, data::MealContext::kFasting));
+  const auto result = attack.attack_window(model, make_window(100.0, data::Regime::kBaseline));
   EXPECT_TRUE(result.success);
-  EXPECT_GT(result.adversarial_prediction, config.overdose_threshold);
+  EXPECT_GT(result.adversarial_prediction, config.harm_threshold);
   EXPECT_GT(result.edits, 0u);
   EXPECT_NEAR(result.benign_prediction, 100.0, 1e-9);
 }
@@ -73,11 +82,11 @@ TEST(Evasion, SucceedsOnPliableModelFasting) {
 TEST(Evasion, RespectsFastingConstraintBox) {
   const LinearCgmModel model;
   const EvasionAttack attack{AttackConfig{}};
-  const auto window = make_window(95.0, data::MealContext::kFasting);
+  const auto window = make_window(95.0, data::Regime::kBaseline);
   const auto result = attack.attack_window(model, window);
   for (std::size_t t = 0; t < window.features.rows(); ++t) {
-    const double original = window.features(t, data::kCgm);
-    const double manipulated = result.adversarial_features(t, data::kCgm);
+    const double original = window.features(t, kCgm);
+    const double manipulated = result.adversarial_features(t, kCgm);
     if (manipulated != original) {
       EXPECT_GE(manipulated, 125.0);
       EXPECT_LE(manipulated, 499.0);
@@ -88,11 +97,11 @@ TEST(Evasion, RespectsFastingConstraintBox) {
 TEST(Evasion, RespectsPostprandialConstraintBox) {
   const LinearCgmModel model;
   const EvasionAttack attack{AttackConfig{}};
-  const auto window = make_window(140.0, data::MealContext::kPostprandial);
+  const auto window = make_window(140.0, data::Regime::kActive);
   const auto result = attack.attack_window(model, window);
   for (std::size_t t = 0; t < window.features.rows(); ++t) {
-    const double original = window.features(t, data::kCgm);
-    const double manipulated = result.adversarial_features(t, data::kCgm);
+    const double original = window.features(t, kCgm);
+    const double manipulated = result.adversarial_features(t, kCgm);
     if (manipulated != original) {
       EXPECT_GE(manipulated, 180.0);
       EXPECT_LE(manipulated, 499.0);
@@ -104,10 +113,10 @@ TEST(Evasion, RespectsPostprandialConstraintBox) {
 TEST(Evasion, OnlyTouchesCgmChannel) {
   const LinearCgmModel model;
   const EvasionAttack attack{AttackConfig{}};
-  const auto window = make_window(100.0, data::MealContext::kFasting);
+  const auto window = make_window(100.0, data::Regime::kBaseline);
   const auto result = attack.attack_window(model, window);
   for (std::size_t t = 0; t < window.features.rows(); ++t) {
-    for (const std::size_t c : {data::kBasal, data::kBolus, data::kCarbs}) {
+    for (const std::size_t c : {kBasal, kBolus, kCarbs}) {
       ASSERT_DOUBLE_EQ(result.adversarial_features(t, c), window.features(t, c));
     }
   }
@@ -117,7 +126,7 @@ TEST(Evasion, FailsAgainstStronglyDampedModel) {
   // Damping 0.2: even all-499 inputs predict < 100 -- far below the harm bar.
   const LinearCgmModel model(0.2);
   const EvasionAttack attack{AttackConfig{}};
-  const auto result = attack.attack_window(model, make_window(100.0, data::MealContext::kFasting));
+  const auto result = attack.attack_window(model, make_window(100.0, data::Regime::kBaseline));
   EXPECT_FALSE(result.success);
   EXPECT_LT(result.adversarial_prediction, 125.0);
 }
@@ -126,9 +135,9 @@ TEST(Evasion, StopsEarlyOnceSuccessful) {
   const LinearCgmModel model;
   AttackConfig config;
   config.max_edits = 12;
-  config.overdose_threshold = 200.0;  // low harm bar: crossed within two edits
+  config.harm_threshold = 200.0;  // low harm bar: crossed within two edits
   const EvasionAttack attack{config};
-  const auto result = attack.attack_window(model, make_window(120.0, data::MealContext::kFasting));
+  const auto result = attack.attack_window(model, make_window(120.0, data::Regime::kBaseline));
   ASSERT_TRUE(result.success);
   EXPECT_LE(result.edits, 2u);
 }
@@ -138,12 +147,12 @@ TEST(Evasion, EditBudgetIsRespected) {
   AttackConfig config;
   config.max_edits = 3;
   const EvasionAttack attack{config};
-  const auto window = make_window(100.0, data::MealContext::kFasting);
+  const auto window = make_window(100.0, data::Regime::kBaseline);
   const auto result = attack.attack_window(model, window);
   EXPECT_LE(result.edits, 3u);
   std::size_t changed = 0;
   for (std::size_t t = 0; t < window.features.rows(); ++t) {
-    changed += result.adversarial_features(t, data::kCgm) != window.features(t, data::kCgm);
+    changed += result.adversarial_features(t, kCgm) != window.features(t, kCgm);
   }
   EXPECT_LE(changed, 3u);
 }
@@ -156,9 +165,9 @@ TEST_P(SearchKindSweep, AllStrategiesBreakThePliableModel) {
   config.search = GetParam();
   config.max_edits = 12;
   const EvasionAttack attack{config};
-  const auto result = attack.attack_window(model, make_window(90.0, data::MealContext::kFasting));
+  const auto result = attack.attack_window(model, make_window(90.0, data::Regime::kBaseline));
   EXPECT_TRUE(result.success) << "search kind " << static_cast<int>(GetParam());
-  EXPECT_GT(result.adversarial_prediction, config.overdose_threshold);
+  EXPECT_GT(result.adversarial_prediction, config.harm_threshold);
 }
 
 TEST_P(SearchKindSweep, AdversarialPredictionNeverBelowBenign) {
@@ -166,7 +175,7 @@ TEST_P(SearchKindSweep, AdversarialPredictionNeverBelowBenign) {
   AttackConfig config;
   config.search = GetParam();
   const EvasionAttack attack{config};
-  const auto result = attack.attack_window(model, make_window(80.0, data::MealContext::kFasting));
+  const auto result = attack.attack_window(model, make_window(80.0, data::Regime::kBaseline));
   EXPECT_GE(result.adversarial_prediction, result.benign_prediction - 1e-9);
 }
 
@@ -181,7 +190,7 @@ TEST(Evasion, BeamAtLeastMatchesOrderedGreedy) {
   AttackConfig beam_config;
   beam_config.search = SearchKind::kBeam;
   beam_config.beam_width = 6;
-  const auto window = make_window(100.0, data::MealContext::kFasting);
+  const auto window = make_window(100.0, data::Regime::kBaseline);
   const auto greedy = EvasionAttack{greedy_config}.attack_window(model, window);
   const auto beam = EvasionAttack{beam_config}.attack_window(model, window);
   EXPECT_GE(beam.adversarial_prediction, greedy.adversarial_prediction - 1e-9);
@@ -199,23 +208,23 @@ TEST(Evasion, RejectsDegenerateConfig) {
 TEST(Campaign, AttacksOnlyNonHyperWindows) {
   const LinearCgmModel model;
   std::vector<data::Window> windows;
-  windows.push_back(make_window(100.0, data::MealContext::kFasting));  // normal
-  windows.push_back(make_window(60.0, data::MealContext::kFasting));   // hypo
-  windows.push_back(make_window(200.0, data::MealContext::kFasting));  // hyper: skipped
+  windows.push_back(make_window(100.0, data::Regime::kBaseline));  // normal
+  windows.push_back(make_window(60.0, data::Regime::kBaseline));   // hypo
+  windows.push_back(make_window(200.0, data::Regime::kBaseline));  // hyper: skipped
   CampaignConfig config;
   config.window_step = 1;
   config.attack.max_edits = 12;
   common::ThreadPool pool(2);
   const auto outcomes = run_campaign(model, windows, config, pool);
   ASSERT_EQ(outcomes.size(), 2u);
-  EXPECT_EQ(outcomes[0].true_state, data::GlycemicState::kNormal);
-  EXPECT_EQ(outcomes[1].true_state, data::GlycemicState::kHypo);
+  EXPECT_EQ(outcomes[0].true_state, data::StateLabel::kNormal);
+  EXPECT_EQ(outcomes[1].true_state, data::StateLabel::kLow);
 }
 
 TEST(Campaign, WindowStepSubsamples) {
   const LinearCgmModel model;
   std::vector<data::Window> windows;
-  for (int i = 0; i < 10; ++i) windows.push_back(make_window(100.0, data::MealContext::kFasting));
+  for (int i = 0; i < 10; ++i) windows.push_back(make_window(100.0, data::Regime::kBaseline));
   CampaignConfig config;
   config.window_step = 3;
   common::ThreadPool pool(2);
@@ -225,34 +234,35 @@ TEST(Campaign, WindowStepSubsamples) {
 TEST(Campaign, SummaryBucketsByOriginAndContext) {
   const LinearCgmModel model;
   std::vector<data::Window> windows;
-  windows.push_back(make_window(100.0, data::MealContext::kFasting));      // normal fasting
-  windows.push_back(make_window(100.0, data::MealContext::kPostprandial)); // normal pp
-  windows.push_back(make_window(60.0, data::MealContext::kFasting));       // hypo fasting
+  windows.push_back(make_window(100.0, data::Regime::kBaseline));      // normal fasting
+  windows.push_back(make_window(100.0, data::Regime::kActive)); // normal pp
+  windows.push_back(make_window(60.0, data::Regime::kBaseline));       // hypo fasting
   CampaignConfig config;
   config.window_step = 1;
   config.attack.max_edits = 12;
   common::ThreadPool pool(2);
   const auto rates = summarize(run_campaign(model, windows, config, pool));
-  EXPECT_EQ(rates.normal_fasting_attempts, 1u);
-  EXPECT_EQ(rates.normal_postprandial_attempts, 1u);
-  EXPECT_EQ(rates.hypo_fasting_attempts, 1u);
-  EXPECT_EQ(rates.hypo_postprandial_attempts, 0u);
+  EXPECT_EQ(rates.normal_baseline_attempts, 1u);
+  EXPECT_EQ(rates.normal_active_attempts, 1u);
+  EXPECT_EQ(rates.low_baseline_attempts, 1u);
+  EXPECT_EQ(rates.low_active_attempts, 0u);
   // The pliable model is always broken.
-  EXPECT_DOUBLE_EQ(rates.normal_fasting_rate(), 1.0);
-  EXPECT_DOUBLE_EQ(rates.hypo_fasting_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(rates.normal_baseline_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(rates.low_baseline_rate(), 1.0);
   EXPECT_DOUBLE_EQ(rates.overall_rate(), 1.0);
 }
 
 TEST(Campaign, RatesZeroWhenNoAttempts) {
   const SuccessRates empty;
-  EXPECT_DOUBLE_EQ(empty.normal_fasting_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.normal_baseline_rate(), 0.0);
   EXPECT_DOUBLE_EQ(empty.overall_rate(), 0.0);
 }
 
-TEST(PredictionIsHyper, FollowsContextThresholds) {
-  EXPECT_TRUE(prediction_is_hyper(130.0, data::MealContext::kFasting));
-  EXPECT_FALSE(prediction_is_hyper(130.0, data::MealContext::kPostprandial));
-  EXPECT_TRUE(prediction_is_hyper(181.0, data::MealContext::kPostprandial));
+TEST(PredictionIsHigh, FollowsRegimeThresholds) {
+  const data::StateThresholds thresholds = bgms::glycemic_thresholds();
+  EXPECT_TRUE(prediction_is_high(130.0, data::Regime::kBaseline, thresholds));
+  EXPECT_FALSE(prediction_is_high(130.0, data::Regime::kActive, thresholds));
+  EXPECT_TRUE(prediction_is_high(181.0, data::Regime::kActive, thresholds));
 }
 
 }  // namespace

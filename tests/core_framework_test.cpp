@@ -12,14 +12,20 @@
 #include "common/error.hpp"
 #include "core/cache.hpp"
 #include "core/framework.hpp"
+#include "domains/bgms/adapter.hpp"
 
 namespace goodones::core {
 namespace {
 
+std::shared_ptr<const DomainAdapter> bgms_domain() {
+  static const auto domain = std::make_shared<bgms::BgmsDomain>();
+  return domain;
+}
+
 FrameworkConfig mini_config() {
-  FrameworkConfig config = FrameworkConfig::fast();
-  config.cohort.train_steps = 1200;
-  config.cohort.test_steps = 400;
+  FrameworkConfig config = bgms_domain()->prepare(FrameworkConfig::fast());
+  config.population.train_steps = 1200;
+  config.population.test_steps = 400;
   config.registry.forecaster.hidden = 10;
   config.registry.forecaster.head_hidden = 8;
   config.registry.forecaster.epochs = 3;
@@ -29,8 +35,8 @@ FrameworkConfig mini_config() {
   config.evaluation_campaign.window_step = 10;
   // The miniature forecaster is weak; lower the harm bar so the simulated
   // attack still produces successes to train and evaluate on.
-  config.profiling_campaign.attack.overdose_threshold = 220.0;
-  config.evaluation_campaign.attack.overdose_threshold = 220.0;
+  config.profiling_campaign.attack.harm_threshold = 220.0;
+  config.evaluation_campaign.attack.harm_threshold = 220.0;
   config.detector_benign_stride = 10;
   config.detectors.knn.max_points_per_class = 600;
   config.detectors.ocsvm.max_train_points = 300;
@@ -46,12 +52,14 @@ FrameworkConfig mini_config() {
 /// One shared framework instance: the pipeline stages are exercised once
 /// and inspected by several tests.
 RiskProfilingFramework& shared_framework() {
-  static RiskProfilingFramework framework(mini_config());
+  static RiskProfilingFramework framework(bgms_domain(), mini_config());
   return framework;
 }
 
-TEST(Framework, CohortHasTwelvePatients) {
-  EXPECT_EQ(shared_framework().cohort().size(), 12u);
+TEST(Framework, CohortHasTwelveEntities) {
+  EXPECT_EQ(shared_framework().entities().size(), 12u);
+  EXPECT_EQ(shared_framework().entities()[5].name, "A_5");
+  EXPECT_EQ(shared_framework().entities()[6].subset, 1u);
 }
 
 TEST(Framework, ProfilingProducesTwelveProfiles) {
@@ -93,10 +101,12 @@ TEST(Framework, LessVulnerableClusterHasLowerAttackSuccess) {
 
 TEST(Framework, DendrogramsCoverEachSubset) {
   const auto& profiling = shared_framework().profiling();
-  ASSERT_TRUE(profiling.dendrogram_a.has_value());
-  ASSERT_TRUE(profiling.dendrogram_b.has_value());
-  EXPECT_EQ(profiling.dendrogram_a->num_leaves(), 6u);
-  EXPECT_EQ(profiling.dendrogram_b->num_leaves(), 6u);
+  ASSERT_EQ(profiling.dendrograms.size(), 2u);
+  EXPECT_EQ(profiling.dendrograms[0].num_leaves(), 6u);
+  EXPECT_EQ(profiling.dendrograms[1].num_leaves(), 6u);
+  ASSERT_EQ(profiling.subset_members.size(), 2u);
+  EXPECT_EQ(profiling.subset_members[0].front(), 0u);
+  EXPECT_EQ(profiling.subset_members[1].front(), 6u);
 }
 
 TEST(Framework, BenignRatiosAreProbabilities) {
@@ -116,12 +126,12 @@ TEST(Framework, StablePatientsHaveHigherNormalRatio) {
   EXPECT_GT(ratios[8], ratios[2]);
 }
 
-TEST(Framework, TestOutcomesAvailablePerPatient) {
+TEST(Framework, TestOutcomesAvailablePerEntity) {
   auto& framework = shared_framework();
   const auto& outcomes = framework.test_outcomes(0);
   EXPECT_FALSE(outcomes.empty());
   for (const auto& outcome : outcomes) {
-    EXPECT_NE(outcome.true_state, data::GlycemicState::kHyper);
+    EXPECT_NE(outcome.true_state, data::StateLabel::kHigh);
   }
   EXPECT_THROW((void)framework.test_outcomes(12), common::PreconditionError);
 }
@@ -143,9 +153,9 @@ TEST(Framework, ScaledWindowsAreInUnitBox) {
 TEST(Framework, EvaluateStrategyProducesCoherentConfusion) {
   auto& framework = shared_framework();
   const auto eval = framework.evaluate_strategy(detect::DetectorKind::kKnn, {0, 5, 8});
-  EXPECT_EQ(eval.per_patient.size(), 12u);
+  EXPECT_EQ(eval.per_victim.size(), 12u);
   ConfusionMatrix recomputed;
-  for (const auto& cm : eval.per_patient) recomputed.merge(cm);
+  for (const auto& cm : eval.per_victim) recomputed.merge(cm);
   EXPECT_EQ(recomputed.total(), eval.pooled.total());
   EXPECT_EQ(recomputed.tp, eval.pooled.tp);
   EXPECT_GT(eval.pooled.total(), 0u);
@@ -164,7 +174,7 @@ TEST(Framework, ExperimentGridCoversDetectorAndStrategies) {
   }
   // Random strategy detail: one record per run.
   EXPECT_EQ(results.random_runs.size(), mini_config().random_runs);
-  EXPECT_THROW((void)results.entry(detect::DetectorKind::kMadGan, Strategy::kAllPatients),
+  EXPECT_THROW((void)results.entry(detect::DetectorKind::kMadGan, Strategy::kAllVictims),
                common::PreconditionError);
 }
 
@@ -177,8 +187,8 @@ TEST(Cache, ExperimentsRoundTripThroughCsv) {
   eval.pooled.fp = 2;
   eval.pooled.fn = 3;
   eval.pooled.tn = 85;
-  eval.per_patient.resize(12);
-  eval.per_patient[4].tp = 10;
+  eval.per_victim.resize(12);
+  eval.per_victim[4].tp = 10;
   eval.train_benign = 111;
   eval.train_malicious = 22;
   eval.fit_seconds = 1.5;
@@ -192,27 +202,27 @@ TEST(Cache, ExperimentsRoundTripThroughCsv) {
 
   FrameworkConfig config = FrameworkConfig::fast();
   config.seed = 987654321;  // unique cache slot for this test
-  save_experiments(results, config);
-  const auto loaded = load_experiments(config);
+  save_experiments(results, config, "bgms");
+  const auto loaded = load_experiments(config, "bgms");
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->entries.size(), 1u);
   const auto& entry = loaded->entries.front();
   EXPECT_EQ(entry.detector, detect::DetectorKind::kOcsvm);
   EXPECT_EQ(entry.strategy, Strategy::kLessVulnerable);
   EXPECT_EQ(entry.pooled.tp, 10u);
-  EXPECT_EQ(entry.per_patient[4].tp, 10u);
+  EXPECT_EQ(entry.per_victim[4].tp, 10u);
   EXPECT_EQ(entry.train_benign, 111u);
   EXPECT_DOUBLE_EQ(entry.fit_seconds, 1.5);
   ASSERT_EQ(loaded->random_runs.size(), 1u);
   EXPECT_EQ(loaded->random_runs.front().run, 3u);
 
-  std::filesystem::remove(experiments_cache_path(config));
+  std::filesystem::remove(experiments_cache_path(config, "bgms"));
 }
 
 TEST(Cache, MissingFileReturnsNullopt) {
   FrameworkConfig config = FrameworkConfig::fast();
   config.seed = 1122334455;  // never saved
-  EXPECT_FALSE(load_experiments(config).has_value());
+  EXPECT_FALSE(load_experiments(config, "bgms").has_value());
 }
 
 }  // namespace

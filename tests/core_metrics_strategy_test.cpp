@@ -76,7 +76,7 @@ TEST(Strategy, NamesAndOrder) {
   EXPECT_STREQ(to_string(strategies[0]), "Less Vulnerable");
   EXPECT_STREQ(to_string(strategies[1]), "More Vulnerable");
   EXPECT_STREQ(to_string(strategies[2]), "Random Samples");
-  EXPECT_STREQ(to_string(strategies[3]), "All Patients");
+  EXPECT_STREQ(to_string(strategies[3]), "All Victims");
 }
 
 VulnerabilityClusters paper_clusters() {
@@ -88,22 +88,22 @@ VulnerabilityClusters paper_clusters() {
 
 TEST(Strategy, LessAndMoreVulnerableSelectClusters) {
   const auto clusters = paper_clusters();
-  EXPECT_EQ(select_patients(Strategy::kLessVulnerable, clusters, 12, 3, 0),
+  EXPECT_EQ(select_victims(Strategy::kLessVulnerable, clusters, 12, 3, 0),
             clusters.less_vulnerable);
-  EXPECT_EQ(select_patients(Strategy::kMoreVulnerable, clusters, 12, 3, 0),
+  EXPECT_EQ(select_victims(Strategy::kMoreVulnerable, clusters, 12, 3, 0),
             clusters.more_vulnerable);
 }
 
-TEST(Strategy, AllPatientsSelectsEveryone) {
-  const auto selected = select_patients(Strategy::kAllPatients, paper_clusters(), 12, 3, 0);
+TEST(Strategy, AllVictimsSelectsEveryone) {
+  const auto selected = select_victims(Strategy::kAllVictims, paper_clusters(), 12, 3, 0);
   ASSERT_EQ(selected.size(), 12u);
   for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(selected[i], i);
 }
 
 TEST(Strategy, RandomSamplesAreDistinctAndDeterministic) {
   const auto clusters = paper_clusters();
-  const auto first = select_patients(Strategy::kRandomSamples, clusters, 12, 3, 77);
-  const auto again = select_patients(Strategy::kRandomSamples, clusters, 12, 3, 77);
+  const auto first = select_victims(Strategy::kRandomSamples, clusters, 12, 3, 77);
+  const auto again = select_victims(Strategy::kRandomSamples, clusters, 12, 3, 77);
   EXPECT_EQ(first, again);
   ASSERT_EQ(first.size(), 3u);
   const std::set<std::size_t> unique(first.begin(), first.end());
@@ -115,21 +115,21 @@ TEST(Strategy, DifferentRunSeedsVaryTheSample) {
   const auto clusters = paper_clusters();
   std::set<std::vector<std::size_t>> samples;
   for (std::uint64_t run = 0; run < 10; ++run) {
-    samples.insert(select_patients(Strategy::kRandomSamples, clusters, 12, 3, 1000 + run));
+    samples.insert(select_victims(Strategy::kRandomSamples, clusters, 12, 3, 1000 + run));
   }
   EXPECT_GT(samples.size(), 3u);
 }
 
 TEST(Strategy, EmptyClusterThrows) {
   VulnerabilityClusters empty;
-  EXPECT_THROW((void)select_patients(Strategy::kLessVulnerable, empty, 12, 3, 0),
+  EXPECT_THROW((void)select_victims(Strategy::kLessVulnerable, empty, 12, 3, 0),
                common::PreconditionError);
 }
 
 TEST(Config, PresetsDiffer) {
   const auto fast = FrameworkConfig::fast();
   const auto full = FrameworkConfig::full();
-  EXPECT_LT(fast.cohort.train_steps, full.cohort.train_steps);
+  EXPECT_LT(fast.population.train_steps, full.population.train_steps);
   EXPECT_LT(fast.detectors.madgan.epochs, full.detectors.madgan.epochs);
   EXPECT_EQ(full.detectors.madgan.epochs, 100u);  // paper Appendix B
   EXPECT_EQ(full.random_runs, 10u);               // paper: 10 repetitions
@@ -142,7 +142,7 @@ TEST(Config, PaperGeometryDefaults) {
   EXPECT_EQ(config.window.horizon, 6u);   // 30-minute forecast at 5-min cadence
   EXPECT_EQ(config.detectors.knn.k, 7u);  // paper Appendix B
   EXPECT_DOUBLE_EQ(config.detectors.ocsvm.nu, 0.5);
-  EXPECT_EQ(config.random_patients, 3u);
+  EXPECT_EQ(config.random_victims, 3u);
 }
 
 TEST(Config, FingerprintIsStable) {

@@ -7,14 +7,20 @@
 
 #include "core/framework.hpp"
 #include "detect/factory.hpp"
+#include "domains/bgms/adapter.hpp"
 
 namespace goodones::core {
 namespace {
 
+std::shared_ptr<const DomainAdapter> bgms_domain() {
+  static const auto domain = std::make_shared<bgms::BgmsDomain>();
+  return domain;
+}
+
 FrameworkConfig sample_test_config() {
-  FrameworkConfig config = FrameworkConfig::fast();
-  config.cohort.train_steps = 1200;
-  config.cohort.test_steps = 400;
+  FrameworkConfig config = bgms_domain()->prepare(FrameworkConfig::fast());
+  config.population.train_steps = 1200;
+  config.population.test_steps = 400;
   config.registry.forecaster.hidden = 10;
   config.registry.forecaster.head_hidden = 8;
   config.registry.forecaster.epochs = 3;
@@ -22,8 +28,8 @@ FrameworkConfig sample_test_config() {
   config.registry.aggregate_window_step = 40;
   config.profiling_campaign.window_step = 10;
   config.evaluation_campaign.window_step = 10;
-  config.profiling_campaign.attack.overdose_threshold = 220.0;
-  config.evaluation_campaign.attack.overdose_threshold = 220.0;
+  config.profiling_campaign.attack.harm_threshold = 220.0;
+  config.evaluation_campaign.attack.harm_threshold = 220.0;
   config.detector_benign_stride = 10;
   config.detectors.ocsvm.max_train_points = 300;
   config.seed = 777;
@@ -31,7 +37,7 @@ FrameworkConfig sample_test_config() {
 }
 
 RiskProfilingFramework& sample_framework() {
-  static RiskProfilingFramework framework(sample_test_config());
+  static RiskProfilingFramework framework(bgms_domain(), sample_test_config());
   return framework;
 }
 
@@ -41,7 +47,7 @@ TEST(Samples, BenignSamplesHaveContextColumns) {
   ASSERT_FALSE(samples.empty());
   for (const auto& s : samples) {
     EXPECT_EQ(s.rows(), 1u);
-    EXPECT_EQ(s.cols(), data::kNumChannels + 2);
+    EXPECT_EQ(s.cols(), bgms::kNumChannels + 2);
     for (const double v : s.row(0)) EXPECT_TRUE(std::isfinite(v));
   }
 }
@@ -66,14 +72,14 @@ TEST(Samples, ContextSumsAreNonNegativeAndBoundedByMeals) {
 TEST(Samples, MaliciousSamplesOnlyFromSuccessfulAttacks) {
   auto& framework = sample_framework();
   std::size_t total = 0;
-  for (std::size_t p = 0; p < framework.cohort().size(); ++p) {
+  for (std::size_t p = 0; p < framework.entities().size(); ++p) {
     const auto& outcomes = framework.test_outcomes(p);
     std::size_t expected = 0;
     for (const auto& o : outcomes) {
       if (!o.attack.success) continue;
       for (std::size_t t = 0; t < o.attack.adversarial_features.rows(); ++t) {
-        expected += o.attack.adversarial_features(t, data::kCgm) !=
-                            o.benign.features(t, data::kCgm)
+        expected += o.attack.adversarial_features(t, bgms::kCgm) !=
+                            o.benign.features(t, bgms::kCgm)
                         ? 1
                         : 0;
       }
@@ -88,12 +94,12 @@ TEST(Samples, MaliciousSamplesOnlyFromSuccessfulAttacks) {
 TEST(Samples, MaliciousCgmIsInsideConstraintBox) {
   auto& framework = sample_framework();
   const auto& scaler = framework.detector_scaler();
-  const double lo = scaler.transform_value(125.0, data::kCgm);
-  const double hi = scaler.transform_value(499.0, data::kCgm);
-  for (std::size_t p = 0; p < framework.cohort().size(); ++p) {
+  const double lo = scaler.transform_value(125.0, bgms::kCgm);
+  const double hi = scaler.transform_value(499.0, bgms::kCgm);
+  for (std::size_t p = 0; p < framework.entities().size(); ++p) {
     for (const auto& s : framework.malicious_samples(framework.test_outcomes(p))) {
-      EXPECT_GE(s(0, data::kCgm), lo - 1e-9);
-      EXPECT_LE(s(0, data::kCgm), hi + 1e-9);
+      EXPECT_GE(s(0, bgms::kCgm), lo - 1e-9);
+      EXPECT_LE(s(0, bgms::kCgm), hi + 1e-9);
     }
   }
 }
@@ -115,7 +121,7 @@ TEST(Samples, WindowLevelStrategyUsesWindowCounts) {
   const auto windows = framework.benign_train_windows(0);
   EXPECT_FALSE(windows.empty());
   EXPECT_EQ(windows.front().rows(), config.window.seq_len);
-  EXPECT_EQ(windows.front().cols(), data::kNumChannels);
+  EXPECT_EQ(windows.front().cols(), bgms::kNumChannels);
 }
 
 TEST(Samples, GranularityReportedByDetectors) {

@@ -2,112 +2,121 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "data/glucose_state.hpp"
+#include "data/labels.hpp"
 #include "data/scaler.hpp"
 #include "data/timeseries.hpp"
 #include "data/window.hpp"
-#include "sim/cohort.hpp"
+#include "domains/bgms/cohort.hpp"
+#include "domains/bgms/glucose_state.hpp"
 
 namespace goodones::data {
 namespace {
 
-TEST(GlycemicState, FastingThresholds) {
-  EXPECT_EQ(classify(69.9, MealContext::kFasting), GlycemicState::kHypo);
-  EXPECT_EQ(classify(70.0, MealContext::kFasting), GlycemicState::kNormal);
-  EXPECT_EQ(classify(125.0, MealContext::kFasting), GlycemicState::kNormal);
-  EXPECT_EQ(classify(125.1, MealContext::kFasting), GlycemicState::kHyper);
+using bgms::classify;
+using bgms::derive_meal_context;
+using bgms::glycemic_thresholds;
+using bgms::hyper_threshold;
+using bgms::kPostprandialSteps;
+
+constexpr std::size_t kChannels = 4;  // BGMS layout, used as a stand-in width
+
+TEST(GlycemicThresholds, FastingThresholds) {
+  EXPECT_EQ(classify(69.9, Regime::kBaseline), StateLabel::kLow);
+  EXPECT_EQ(classify(70.0, Regime::kBaseline), StateLabel::kNormal);
+  EXPECT_EQ(classify(125.0, Regime::kBaseline), StateLabel::kNormal);
+  EXPECT_EQ(classify(125.1, Regime::kBaseline), StateLabel::kHigh);
 }
 
-TEST(GlycemicState, PostprandialThresholds) {
-  EXPECT_EQ(classify(150.0, MealContext::kPostprandial), GlycemicState::kNormal);
-  EXPECT_EQ(classify(180.0, MealContext::kPostprandial), GlycemicState::kNormal);
-  EXPECT_EQ(classify(180.1, MealContext::kPostprandial), GlycemicState::kHyper);
-  EXPECT_EQ(classify(60.0, MealContext::kPostprandial), GlycemicState::kHypo);
+TEST(GlycemicThresholds, PostprandialThresholds) {
+  EXPECT_EQ(classify(150.0, Regime::kActive), StateLabel::kNormal);
+  EXPECT_EQ(classify(180.0, Regime::kActive), StateLabel::kNormal);
+  EXPECT_EQ(classify(180.1, Regime::kActive), StateLabel::kHigh);
+  EXPECT_EQ(classify(60.0, Regime::kActive), StateLabel::kLow);
 }
 
-TEST(GlycemicState, HyperThresholdByContext) {
-  EXPECT_DOUBLE_EQ(hyper_threshold(MealContext::kFasting), 125.0);
-  EXPECT_DOUBLE_EQ(hyper_threshold(MealContext::kPostprandial), 180.0);
+TEST(GlycemicThresholds, HyperThresholdByContext) {
+  EXPECT_DOUBLE_EQ(hyper_threshold(Regime::kBaseline), 125.0);
+  EXPECT_DOUBLE_EQ(hyper_threshold(Regime::kActive), 180.0);
 }
 
-TEST(GlycemicState, AbnormalPredicate) {
-  EXPECT_TRUE(is_abnormal(GlycemicState::kHypo));
-  EXPECT_TRUE(is_abnormal(GlycemicState::kHyper));
-  EXPECT_FALSE(is_abnormal(GlycemicState::kNormal));
+TEST(GlycemicThresholds, AbnormalPredicate) {
+  EXPECT_TRUE(is_abnormal(StateLabel::kLow));
+  EXPECT_TRUE(is_abnormal(StateLabel::kHigh));
+  EXPECT_FALSE(is_abnormal(StateLabel::kNormal));
 }
 
-TEST(GlycemicState, Names) {
-  EXPECT_STREQ(to_string(GlycemicState::kHypo), "Hypo");
-  EXPECT_STREQ(to_string(MealContext::kPostprandial), "Postprandial");
+TEST(GlycemicThresholds, Names) {
+  EXPECT_STREQ(to_string(StateLabel::kLow), "Low");
+  EXPECT_STREQ(to_string(Regime::kActive), "Active");
 }
 
-TEST(MealContext, DerivationWindowIsTwoHours) {
+TEST(MealRegime, DerivationWindowIsTwoHours) {
   std::vector<double> carbs(60, 0.0);
   carbs[10] = 45.0;
-  const auto context = derive_meal_context(carbs);
-  for (std::size_t t = 0; t < 10; ++t) EXPECT_EQ(context[t], MealContext::kFasting);
+  const auto regimes = derive_meal_context(carbs);
+  for (std::size_t t = 0; t < 10; ++t) EXPECT_EQ(regimes[t], Regime::kBaseline);
   // Postprandial from the meal step through kPostprandialSteps after it.
   for (std::size_t t = 10; t <= 10 + kPostprandialSteps; ++t) {
-    EXPECT_EQ(context[t], MealContext::kPostprandial) << "t=" << t;
+    EXPECT_EQ(regimes[t], Regime::kActive) << "t=" << t;
   }
-  EXPECT_EQ(context[10 + kPostprandialSteps + 1], MealContext::kFasting);
+  EXPECT_EQ(regimes[10 + kPostprandialSteps + 1], Regime::kBaseline);
 }
 
-TEST(MealContext, BackToBackMealsExtendWindow) {
+TEST(MealRegime, BackToBackMealsExtendWindow) {
   std::vector<double> carbs(80, 0.0);
   carbs[5] = 30.0;
   carbs[25] = 20.0;  // second meal within the first's window
-  const auto context = derive_meal_context(carbs);
+  const auto regimes = derive_meal_context(carbs);
   for (std::size_t t = 5; t <= 25 + kPostprandialSteps; ++t) {
-    EXPECT_EQ(context[t], MealContext::kPostprandial);
+    EXPECT_EQ(regimes[t], Regime::kActive);
   }
 }
 
-TEST(MealContext, NoMealsAllFasting) {
+TEST(MealRegime, NoMealsAllFasting) {
   const std::vector<double> carbs(30, 0.0);
-  for (const auto c : derive_meal_context(carbs)) EXPECT_EQ(c, MealContext::kFasting);
+  for (const auto r : derive_meal_context(carbs)) EXPECT_EQ(r, Regime::kBaseline);
 }
 
 TEST(NormalRatio, CountsNormalFraction) {
   const std::vector<double> glucose{100.0, 60.0, 130.0, 100.0};
-  const std::vector<MealContext> context(4, MealContext::kFasting);
+  const std::vector<Regime> regimes(4, Regime::kBaseline);
   // 100 normal, 60 hypo, 130 fasting-hyper, 100 normal -> 2/4.
-  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio(glucose, context), 0.5);
+  EXPECT_DOUBLE_EQ(normal_ratio(glucose, regimes, glycemic_thresholds()), 0.5);
 }
 
-TEST(NormalRatio, ContextChangesClassification) {
+TEST(NormalRatio, RegimeChangesClassification) {
   const std::vector<double> glucose{150.0};
-  const std::vector<MealContext> fasting{MealContext::kFasting};
-  const std::vector<MealContext> post{MealContext::kPostprandial};
-  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio(glucose, fasting), 0.0);   // 150 > 125
-  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio(glucose, post), 1.0);     // 150 < 180
+  const std::vector<Regime> fasting{Regime::kBaseline};
+  const std::vector<Regime> post{Regime::kActive};
+  EXPECT_DOUBLE_EQ(normal_ratio(glucose, fasting, glycemic_thresholds()), 0.0);  // 150 > 125
+  EXPECT_DOUBLE_EQ(normal_ratio(glucose, post, glycemic_thresholds()), 1.0);     // 150 < 180
 }
 
 TEST(NormalRatio, EmptyIsZero) {
-  EXPECT_DOUBLE_EQ(normal_to_abnormal_ratio({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(normal_ratio({}, {}, glycemic_thresholds()), 0.0);
 }
 
 TEST(Series, ConversionPreservesChannels) {
-  sim::CohortConfig config;
+  bgms::CohortConfig config;
   config.train_steps = 100;
   config.test_steps = 10;
-  const auto trace = sim::generate_patient({sim::Subset::kA, 0}, config);
-  const TelemetrySeries series = to_series(trace.train);
+  const auto trace = bgms::generate_patient({bgms::Subset::kA, 0}, config);
+  const TelemetrySeries series = bgms::to_series(trace.train);
   ASSERT_EQ(series.steps(), 100u);
-  ASSERT_EQ(series.values.cols(), kNumChannels);
+  ASSERT_EQ(series.values.cols(), bgms::kNumChannels);
   for (std::size_t t = 0; t < 100; ++t) {
-    ASSERT_DOUBLE_EQ(series.values(t, kCgm), trace.train[t].cgm);
-    ASSERT_DOUBLE_EQ(series.values(t, kCarbs), trace.train[t].carbs);
-    ASSERT_DOUBLE_EQ(series.true_glucose[t], trace.train[t].true_glucose);
+    ASSERT_DOUBLE_EQ(series.values(t, bgms::kCgm), trace.train[t].cgm);
+    ASSERT_DOUBLE_EQ(series.values(t, bgms::kCarbs), trace.train[t].carbs);
+    ASSERT_DOUBLE_EQ(series.true_target[t], trace.train[t].true_glucose);
   }
-  EXPECT_EQ(series.context.size(), 100u);
+  EXPECT_EQ(series.regimes.size(), 100u);
 }
 
 TEST(Windows, CountAndGeometry) {
   TelemetrySeries series;
-  series.values = nn::Matrix(100, kNumChannels);
-  series.true_glucose.assign(100, 110.0);
-  series.context.assign(100, MealContext::kFasting);
+  series.values = nn::Matrix(100, kChannels);
+  series.true_target.assign(100, 110.0);
+  series.regimes.assign(100, Regime::kBaseline);
   WindowConfig config;
   config.seq_len = 12;
   config.step = 1;
@@ -122,11 +131,11 @@ TEST(Windows, CountAndGeometry) {
 
 TEST(Windows, TargetComesFromHorizon) {
   TelemetrySeries series;
-  series.values = nn::Matrix(30, kNumChannels);
-  series.true_glucose.resize(30);
-  for (std::size_t t = 0; t < 30; ++t) series.true_glucose[t] = static_cast<double>(t);
-  series.context.assign(30, MealContext::kFasting);
-  series.context[17] = MealContext::kPostprandial;
+  series.values = nn::Matrix(30, kChannels);
+  series.true_target.resize(30);
+  for (std::size_t t = 0; t < 30; ++t) series.true_target[t] = static_cast<double>(t);
+  series.regimes.assign(30, Regime::kBaseline);
+  series.regimes[17] = Regime::kActive;
 
   WindowConfig config;
   config.seq_len = 10;
@@ -135,15 +144,15 @@ TEST(Windows, TargetComesFromHorizon) {
   const auto windows = make_windows(series, config);
   ASSERT_FALSE(windows.empty());
   // First window covers steps 0..9; target at index 9 + 8 = 17.
-  EXPECT_DOUBLE_EQ(windows.front().target_glucose, 17.0);
-  EXPECT_EQ(windows.front().context, MealContext::kPostprandial);
+  EXPECT_DOUBLE_EQ(windows.front().target_value, 17.0);
+  EXPECT_EQ(windows.front().regime, Regime::kActive);
 }
 
 TEST(Windows, StrideSkipsStarts) {
   TelemetrySeries series;
-  series.values = nn::Matrix(50, kNumChannels);
-  series.true_glucose.assign(50, 100.0);
-  series.context.assign(50, MealContext::kFasting);
+  series.values = nn::Matrix(50, kChannels);
+  series.true_target.assign(50, 100.0);
+  series.regimes.assign(50, Regime::kBaseline);
   WindowConfig config;
   config.seq_len = 5;
   config.step = 4;
@@ -156,9 +165,9 @@ TEST(Windows, StrideSkipsStarts) {
 
 TEST(Windows, TooShortSeriesYieldsNothing) {
   TelemetrySeries series;
-  series.values = nn::Matrix(10, kNumChannels);
-  series.true_glucose.assign(10, 100.0);
-  series.context.assign(10, MealContext::kFasting);
+  series.values = nn::Matrix(10, kChannels);
+  series.true_target.assign(10, 100.0);
+  series.regimes.assign(10, Regime::kBaseline);
   WindowConfig config;
   config.seq_len = 12;
   config.horizon = 6;

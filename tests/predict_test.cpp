@@ -9,13 +9,14 @@
 #include "data/window.hpp"
 #include "predict/bilstm_forecaster.hpp"
 #include "predict/registry.hpp"
-#include "sim/cohort.hpp"
+#include "domains/bgms/cohort.hpp"
+#include "domains/bgms/patient.hpp"
 
 namespace goodones::predict {
 namespace {
 
-sim::CohortConfig tiny_cohort_config() {
-  sim::CohortConfig config;
+bgms::CohortConfig tiny_cohort_config() {
+  bgms::CohortConfig config;
   config.train_steps = 900;
   config.test_steps = 200;
   config.seed = 11;
@@ -32,16 +33,16 @@ ForecasterConfig tiny_forecaster_config() {
 }
 
 struct Fixture {
-  sim::PatientTrace trace;
+  bgms::PatientTrace trace;
   data::TelemetrySeries train_series;
   data::TelemetrySeries test_series;
   std::vector<data::Window> train_windows;
   std::vector<data::Window> test_windows;
 
   Fixture() {
-    trace = sim::generate_patient({sim::Subset::kA, 0}, tiny_cohort_config());
-    train_series = data::to_series(trace.train);
-    test_series = data::to_series(trace.test);
+    trace = bgms::generate_patient({bgms::Subset::kA, 0}, tiny_cohort_config());
+    train_series = bgms::to_series(trace.train);
+    test_series = bgms::to_series(trace.test);
     data::WindowConfig window;
     window.step = 2;
     train_windows = data::make_windows(train_series, window);
@@ -54,16 +55,18 @@ const Fixture& fixture() {
   return f;
 }
 
-TEST(ForecasterScaler, PinsGlucoseRange) {
-  const auto scaler = fit_forecaster_scaler(fixture().train_series.values);
-  EXPECT_DOUBLE_EQ(scaler.column_min(data::kCgm), sim::kMinGlucose);
-  EXPECT_DOUBLE_EQ(scaler.column_max(data::kCgm), sim::kMaxGlucose);
+TEST(ForecasterScaler, PinsTargetRange) {
+  const auto scaler = fit_forecaster_scaler(fixture().train_series.values, bgms::kCgm,
+                                            bgms::kMinGlucose, bgms::kMaxGlucose);
+  EXPECT_DOUBLE_EQ(scaler.column_min(bgms::kCgm), bgms::kMinGlucose);
+  EXPECT_DOUBLE_EQ(scaler.column_max(bgms::kCgm), bgms::kMaxGlucose);
 }
 
 TEST(Forecaster, PredictsWithinPhysiologicalRange) {
   const auto& f = fixture();
   BiLstmForecaster model(tiny_forecaster_config(),
-                         fit_forecaster_scaler(f.train_series.values));
+                         fit_forecaster_scaler(f.train_series.values, bgms::kCgm, bgms::kMinGlucose,
+                                           bgms::kMaxGlucose));
   model.train(f.train_windows);
   for (std::size_t i = 0; i < 20; ++i) {
     const double pred = model.predict(f.test_windows[i].features);
@@ -74,7 +77,8 @@ TEST(Forecaster, PredictsWithinPhysiologicalRange) {
 
 TEST(Forecaster, TrainingBeatsUntrainedModel) {
   const auto& f = fixture();
-  const auto scaler = fit_forecaster_scaler(f.train_series.values);
+  const auto scaler = fit_forecaster_scaler(f.train_series.values, bgms::kCgm, bgms::kMinGlucose,
+                                           bgms::kMaxGlucose);
   BiLstmForecaster untrained(tiny_forecaster_config(), scaler);
   BiLstmForecaster trained(tiny_forecaster_config(), scaler);
   trained.train(f.train_windows);
@@ -85,15 +89,16 @@ TEST(Forecaster, TrainingBeatsUntrainedModel) {
 TEST(Forecaster, BeatsGlobalMeanBaseline) {
   const auto& f = fixture();
   BiLstmForecaster model(tiny_forecaster_config(),
-                         fit_forecaster_scaler(f.train_series.values));
+                         fit_forecaster_scaler(f.train_series.values, bgms::kCgm, bgms::kMinGlucose,
+                                           bgms::kMaxGlucose));
   model.train(f.train_windows);
 
   double mean_target = 0.0;
-  for (const auto& w : f.train_windows) mean_target += w.target_glucose;
+  for (const auto& w : f.train_windows) mean_target += w.target_value;
   mean_target /= static_cast<double>(f.train_windows.size());
   double baseline_sq = 0.0;
   for (const auto& w : f.test_windows) {
-    baseline_sq += (mean_target - w.target_glucose) * (mean_target - w.target_glucose);
+    baseline_sq += (mean_target - w.target_value) * (mean_target - w.target_value);
   }
   const double baseline_rmse =
       std::sqrt(baseline_sq / static_cast<double>(f.test_windows.size()));
@@ -102,7 +107,8 @@ TEST(Forecaster, BeatsGlobalMeanBaseline) {
 
 TEST(Forecaster, DeterministicAcrossInstances) {
   const auto& f = fixture();
-  const auto scaler = fit_forecaster_scaler(f.train_series.values);
+  const auto scaler = fit_forecaster_scaler(f.train_series.values, bgms::kCgm, bgms::kMinGlucose,
+                                           bgms::kMaxGlucose);
   BiLstmForecaster a(tiny_forecaster_config(), scaler);
   BiLstmForecaster b(tiny_forecaster_config(), scaler);
   a.train(f.train_windows);
@@ -116,7 +122,8 @@ TEST(Forecaster, DeterministicAcrossInstances) {
 TEST(Forecaster, InputGradientMatchesFiniteDifferences) {
   const auto& f = fixture();
   BiLstmForecaster model(tiny_forecaster_config(),
-                         fit_forecaster_scaler(f.train_series.values));
+                         fit_forecaster_scaler(f.train_series.values, bgms::kCgm, bgms::kMinGlucose,
+                                           bgms::kMaxGlucose));
   model.train(f.train_windows);
 
   const nn::Matrix& x = f.test_windows[3].features;
@@ -138,21 +145,23 @@ TEST(Forecaster, RecentCgmDominatesGradient) {
   // oldest one (temporal locality of glucose dynamics).
   const auto& f = fixture();
   BiLstmForecaster model(tiny_forecaster_config(),
-                         fit_forecaster_scaler(f.train_series.values));
+                         fit_forecaster_scaler(f.train_series.values, bgms::kCgm, bgms::kMinGlucose,
+                                           bgms::kMaxGlucose));
   model.train(f.train_windows);
   double newest = 0.0;
   double oldest = 0.0;
   for (std::size_t i = 0; i < 30; ++i) {
     const nn::Matrix grad = model.input_gradient(f.test_windows[i].features);
-    newest += std::abs(grad(grad.rows() - 1, data::kCgm));
-    oldest += std::abs(grad(0, data::kCgm));
+    newest += std::abs(grad(grad.rows() - 1, bgms::kCgm));
+    oldest += std::abs(grad(0, bgms::kCgm));
   }
   EXPECT_GT(newest, oldest);
 }
 
 TEST(Forecaster, SaveLoadRoundTrip) {
   const auto& f = fixture();
-  const auto scaler = fit_forecaster_scaler(f.train_series.values);
+  const auto scaler = fit_forecaster_scaler(f.train_series.values, bgms::kCgm, bgms::kMinGlucose,
+                                           bgms::kMaxGlucose);
   BiLstmForecaster trained(tiny_forecaster_config(), scaler);
   trained.train(f.train_windows);
   const auto path = std::filesystem::temp_directory_path() / "goodones_forecaster.bin";
@@ -168,22 +177,35 @@ TEST(Forecaster, SaveLoadRoundTrip) {
 }
 
 TEST(Registry, TrainsPersonalizedAndAggregate) {
-  sim::CohortConfig cohort_config = tiny_cohort_config();
-  const auto cohort = sim::generate_cohort(cohort_config);
+  bgms::CohortConfig cohort_config = tiny_cohort_config();
+  const auto cohort = bgms::generate_cohort(cohort_config);
 
   RegistryConfig config;
   config.forecaster = tiny_forecaster_config();
   config.forecaster.epochs = 2;
   config.train_window_step = 6;
   config.aggregate_window_step = 30;
+  config.target_channel = bgms::kCgm;
+  config.target_min = bgms::kMinGlucose;
+  config.target_max = bgms::kMaxGlucose;
+
+  std::vector<data::TelemetrySeries> series_storage;
+  std::vector<std::string> names;
+  series_storage.reserve(cohort.size());
+  for (const auto& trace : cohort) {
+    series_storage.push_back(bgms::to_series(trace.train));
+    names.push_back(bgms::to_string(trace.params.id));
+  }
+  std::vector<const data::TelemetrySeries*> train_series;
+  for (const auto& series : series_storage) train_series.push_back(&series);
 
   common::ThreadPool pool(8);
-  const ModelRegistry registry = ModelRegistry::train(cohort, config, pool);
+  const ModelRegistry registry = ModelRegistry::train(train_series, names, config, pool);
   EXPECT_EQ(registry.num_personalized(), 12u);
 
   data::WindowConfig window;
   window.step = 40;
-  const auto series = data::to_series(cohort[0].test);
+  const auto series = bgms::to_series(cohort[0].test);
   const auto windows = data::make_windows(series, window);
   ASSERT_FALSE(windows.empty());
   // Both model kinds produce finite, plausible outputs.

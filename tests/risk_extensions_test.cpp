@@ -13,11 +13,10 @@
 namespace goodones::risk {
 namespace {
 
-using data::GlycemicState;
-using data::MealContext;
+using StateLabel = data::StateLabel;
 
 attack::WindowOutcome make_outcome(double benign_pred, double adv_pred,
-                                   GlycemicState benign_state, GlycemicState adv_state) {
+                                   StateLabel benign_state, StateLabel adv_state) {
   attack::WindowOutcome outcome;
   outcome.attack.benign_prediction = benign_pred;
   outcome.attack.adversarial_prediction = adv_pred;
@@ -28,20 +27,20 @@ attack::WindowOutcome make_outcome(double benign_pred, double adv_pred,
 
 TEST(SeveritySchedule, PaperDefaultMatchesTableI) {
   const auto schedule = SeveritySchedule::paper_default();
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 64.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHyper), 32.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kNormal), 16.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHyper, GlycemicState::kHypo), 8.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHyper, GlycemicState::kNormal), 4.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHypo), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kLow, StateLabel::kHigh), 64.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kNormal, StateLabel::kHigh), 32.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kLow, StateLabel::kNormal), 16.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kHigh, StateLabel::kLow), 8.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kHigh, StateLabel::kNormal), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kNormal, StateLabel::kLow), 2.0);
 }
 
 TEST(SeveritySchedule, PaperDefaultAgreesWithFixedFunction) {
   const auto schedule = SeveritySchedule::paper_default();
   for (const auto benign :
-       {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+       {StateLabel::kLow, StateLabel::kNormal, StateLabel::kHigh}) {
     for (const auto adv :
-         {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+         {StateLabel::kLow, StateLabel::kNormal, StateLabel::kHigh}) {
       EXPECT_DOUBLE_EQ(schedule.coefficient(benign, adv), severity_coefficient(benign, adv));
     }
   }
@@ -49,8 +48,8 @@ TEST(SeveritySchedule, PaperDefaultAgreesWithFixedFunction) {
 
 TEST(SeveritySchedule, LinearIsOrderPreserving) {
   const auto linear = SeveritySchedule::linear();
-  EXPECT_DOUBLE_EQ(linear.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 6.0);
-  EXPECT_DOUBLE_EQ(linear.coefficient(GlycemicState::kNormal, GlycemicState::kHypo), 1.0);
+  EXPECT_DOUBLE_EQ(linear.coefficient(StateLabel::kLow, StateLabel::kHigh), 6.0);
+  EXPECT_DOUBLE_EQ(linear.coefficient(StateLabel::kNormal, StateLabel::kLow), 1.0);
   // Same severity ordering as the paper's table, different magnitudes.
   const auto& table = severity_table();
   for (std::size_t i = 0; i + 1 < table.size(); ++i) {
@@ -62,9 +61,9 @@ TEST(SeveritySchedule, LinearIsOrderPreserving) {
 TEST(SeveritySchedule, UniformWeighsEverythingEqually) {
   const auto uniform = SeveritySchedule::uniform();
   for (const auto benign :
-       {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+       {StateLabel::kLow, StateLabel::kNormal, StateLabel::kHigh}) {
     for (const auto adv :
-         {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+         {StateLabel::kLow, StateLabel::kNormal, StateLabel::kHigh}) {
       EXPECT_DOUBLE_EQ(uniform.coefficient(benign, adv), 1.0);
     }
   }
@@ -72,21 +71,21 @@ TEST(SeveritySchedule, UniformWeighsEverythingEqually) {
 
 TEST(SeveritySchedule, ExponentialBaseThree) {
   const auto schedule = SeveritySchedule::exponential(3.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 729.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHypo), 3.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kLow, StateLabel::kHigh), 729.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kNormal, StateLabel::kLow), 3.0);
   EXPECT_THROW((void)SeveritySchedule::exponential(1.0), common::PreconditionError);
 }
 
 TEST(SeveritySchedule, SetOverridesSingleCell) {
   auto schedule = SeveritySchedule::paper_default();
-  schedule.set(GlycemicState::kNormal, GlycemicState::kHyper, 100.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kNormal, GlycemicState::kHyper), 100.0);
-  EXPECT_DOUBLE_EQ(schedule.coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 64.0);
+  schedule.set(StateLabel::kNormal, StateLabel::kHigh, 100.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kNormal, StateLabel::kHigh), 100.0);
+  EXPECT_DOUBLE_EQ(schedule.coefficient(StateLabel::kLow, StateLabel::kHigh), 64.0);
 }
 
 TEST(SeveritySchedule, RiskUnderScheduleMatchesDefinition) {
   const auto outcome =
-      make_outcome(100.0, 400.0, GlycemicState::kNormal, GlycemicState::kHyper);
+      make_outcome(100.0, 400.0, StateLabel::kNormal, StateLabel::kHigh);
   EXPECT_DOUBLE_EQ(instantaneous_risk(outcome, SeveritySchedule::paper_default()),
                    32.0 * 300.0 * 300.0);
   EXPECT_DOUBLE_EQ(instantaneous_risk(outcome, SeveritySchedule::uniform()),
@@ -95,26 +94,22 @@ TEST(SeveritySchedule, RiskUnderScheduleMatchesDefinition) {
 
 TEST(SeveritySchedule, ProfileUnderScheduleScalesValues) {
   std::vector<attack::WindowOutcome> outcomes{
-      make_outcome(100.0, 400.0, GlycemicState::kNormal, GlycemicState::kHyper)};
-  const auto paper = build_profile({sim::Subset::kA, 0}, outcomes,
-                                   SeveritySchedule::paper_default());
-  const auto uniform =
-      build_profile({sim::Subset::kA, 0}, outcomes, SeveritySchedule::uniform());
+      make_outcome(100.0, 400.0, StateLabel::kNormal, StateLabel::kHigh)};
+  const auto paper = build_profile("A_0", outcomes, SeveritySchedule::paper_default());
+  const auto uniform = build_profile("A_0", outcomes, SeveritySchedule::uniform());
   ASSERT_EQ(paper.values.size(), 1u);
   EXPECT_DOUBLE_EQ(paper.values[0], 32.0 * uniform.values[0]);
 }
 
-std::vector<sim::PatientId> two_victims() {
-  return {{sim::Subset::kA, 0}, {sim::Subset::kA, 1}};
-}
+std::vector<std::string> two_victims() { return {"A_0", "A_1"}; }
 
 TEST(OnlineProfiler, TracksLevelsAndBatches) {
   OnlineRiskProfiler profiler(two_victims(), {});
   EXPECT_EQ(profiler.num_victims(), 2u);
   EXPECT_EQ(profiler.batches(0), 0u);
 
-  profiler.observe(0, {make_outcome(100.0, 105.0, GlycemicState::kNormal,
-                                    GlycemicState::kNormal)});
+  profiler.observe(0, {make_outcome(100.0, 105.0, StateLabel::kNormal,
+                                    StateLabel::kNormal)});
   EXPECT_EQ(profiler.batches(0), 1u);
   EXPECT_NEAR(profiler.level(0), std::log1p(25.0), 1e-12);
 }
@@ -128,10 +123,10 @@ TEST(OnlineProfiler, EmptyBatchIgnored) {
 TEST(OnlineProfiler, PartitionSeparatesHighAndLowRisk) {
   OnlineRiskProfiler profiler(two_victims(), {});
   // Victim 0: failed attacks, tiny deviations. Victim 1: severe hits.
-  profiler.observe(0, {make_outcome(100.0, 104.0, GlycemicState::kNormal,
-                                    GlycemicState::kNormal)});
-  profiler.observe(1, {make_outcome(100.0, 430.0, GlycemicState::kNormal,
-                                    GlycemicState::kHyper)});
+  profiler.observe(0, {make_outcome(100.0, 104.0, StateLabel::kNormal,
+                                    StateLabel::kNormal)});
+  profiler.observe(1, {make_outcome(100.0, 430.0, StateLabel::kNormal,
+                                    StateLabel::kHigh)});
   const auto& partition = profiler.reassess();
   ASSERT_EQ(partition.less_vulnerable.size(), 1u);
   ASSERT_EQ(partition.more_vulnerable.size(), 1u);
@@ -144,9 +139,9 @@ TEST(OnlineProfiler, AdaptsWhenAVictimRecovers) {
   config.decay = 0.5;  // fast adaptation
   OnlineRiskProfiler profiler(two_victims(), config);
   const auto severe =
-      make_outcome(100.0, 430.0, GlycemicState::kNormal, GlycemicState::kHyper);
+      make_outcome(100.0, 430.0, StateLabel::kNormal, StateLabel::kHigh);
   const auto mild =
-      make_outcome(100.0, 103.0, GlycemicState::kNormal, GlycemicState::kNormal);
+      make_outcome(100.0, 103.0, StateLabel::kNormal, StateLabel::kNormal);
 
   profiler.observe(0, {severe});
   profiler.observe(1, {mild});
@@ -169,15 +164,14 @@ TEST(OnlineProfiler, HysteresisPreventsBoundaryFlapping) {
   OnlineProfilerConfig config;
   config.decay = 0.5;
   config.hysteresis = 0.3;
-  std::vector<sim::PatientId> victims = {{sim::Subset::kA, 0}, {sim::Subset::kA, 1},
-                                         {sim::Subset::kA, 2}};
+  std::vector<std::string> victims = {"A_0", "A_1", "A_2"};
   OnlineRiskProfiler profiler(victims, config);
   const auto low =
-      make_outcome(100.0, 102.0, GlycemicState::kNormal, GlycemicState::kNormal);
+      make_outcome(100.0, 102.0, StateLabel::kNormal, StateLabel::kNormal);
   const auto high =
-      make_outcome(100.0, 430.0, GlycemicState::kNormal, GlycemicState::kHyper);
+      make_outcome(100.0, 430.0, StateLabel::kNormal, StateLabel::kHigh);
   const auto middling =
-      make_outcome(100.0, 180.0, GlycemicState::kNormal, GlycemicState::kNormal);
+      make_outcome(100.0, 180.0, StateLabel::kNormal, StateLabel::kNormal);
 
   profiler.observe(0, {low});
   profiler.observe(1, {middling});
@@ -202,8 +196,8 @@ TEST(OnlineProfiler, HysteresisPreventsBoundaryFlapping) {
 
 TEST(OnlineProfiler, ReassessRequiresObservations) {
   OnlineRiskProfiler profiler(two_victims(), {});
-  profiler.observe(0, {make_outcome(100.0, 105.0, GlycemicState::kNormal,
-                                    GlycemicState::kNormal)});
+  profiler.observe(0, {make_outcome(100.0, 105.0, StateLabel::kNormal,
+                                    StateLabel::kNormal)});
   EXPECT_THROW((void)profiler.reassess(), common::PreconditionError);
 }
 
@@ -219,7 +213,7 @@ TEST(OnlineProfiler, RejectsBadConfig) {
 
 TEST(OnlineProfiler, VictimLookup) {
   OnlineRiskProfiler profiler(two_victims(), {});
-  EXPECT_EQ(sim::to_string(profiler.victim(1)), "A_1");
+  EXPECT_EQ(profiler.victim(1), "A_1");
   EXPECT_THROW((void)profiler.victim(2), common::PreconditionError);
 }
 

@@ -3,20 +3,22 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "domains/bgms/glucose_state.hpp"
 #include "risk/profile.hpp"
 #include "risk/severity.hpp"
 
 namespace goodones::risk {
 namespace {
 
-using data::GlycemicState;
+using StateLabel = data::StateLabel;
+using bgms::glycemic_thresholds;
 
 TEST(Severity, TableMatchesPaperTableI) {
   const auto& table = severity_table();
   ASSERT_EQ(table.size(), 6u);
   EXPECT_DOUBLE_EQ(table[0].coefficient, 64.0);  // Hypo -> Hyper
-  EXPECT_EQ(table[0].benign, GlycemicState::kHypo);
-  EXPECT_EQ(table[0].adversarial, GlycemicState::kHyper);
+  EXPECT_EQ(table[0].benign, StateLabel::kLow);
+  EXPECT_EQ(table[0].adversarial, StateLabel::kHigh);
   EXPECT_DOUBLE_EQ(table[1].coefficient, 32.0);  // Normal -> Hyper
   EXPECT_DOUBLE_EQ(table[2].coefficient, 16.0);  // Hypo -> Normal
   EXPECT_DOUBLE_EQ(table[3].coefficient, 8.0);   // Hyper -> Hypo
@@ -32,20 +34,20 @@ TEST(Severity, CoefficientsAreExponential) {
 }
 
 TEST(Severity, LookupMatchesTable) {
-  EXPECT_DOUBLE_EQ(severity_coefficient(GlycemicState::kHypo, GlycemicState::kHyper), 64.0);
-  EXPECT_DOUBLE_EQ(severity_coefficient(GlycemicState::kNormal, GlycemicState::kHyper), 32.0);
-  EXPECT_DOUBLE_EQ(severity_coefficient(GlycemicState::kNormal, GlycemicState::kHypo), 2.0);
+  EXPECT_DOUBLE_EQ(severity_coefficient(StateLabel::kLow, StateLabel::kHigh), 64.0);
+  EXPECT_DOUBLE_EQ(severity_coefficient(StateLabel::kNormal, StateLabel::kHigh), 32.0);
+  EXPECT_DOUBLE_EQ(severity_coefficient(StateLabel::kNormal, StateLabel::kLow), 2.0);
 }
 
 TEST(Severity, IdentityTransitionsCarryUnitWeight) {
   for (const auto state :
-       {GlycemicState::kHypo, GlycemicState::kNormal, GlycemicState::kHyper}) {
+       {StateLabel::kLow, StateLabel::kNormal, StateLabel::kHigh}) {
     EXPECT_DOUBLE_EQ(severity_coefficient(state, state), 1.0);
   }
 }
 
 TEST(Severity, WorstCaseIsHypoToHyper) {
-  const double worst = severity_coefficient(GlycemicState::kHypo, GlycemicState::kHyper);
+  const double worst = severity_coefficient(StateLabel::kLow, StateLabel::kHigh);
   for (const auto& entry : severity_table()) {
     EXPECT_LE(entry.coefficient, worst);
   }
@@ -58,25 +60,25 @@ TEST(Risk, DeviationMagnitudeIsSquaredDifference) {
 }
 
 attack::WindowOutcome make_outcome(double benign_pred, double adv_pred,
-                                   data::MealContext context) {
+                                   data::Regime regime) {
   attack::WindowOutcome outcome;
-  outcome.benign.context = context;
+  outcome.benign.regime = regime;
   outcome.attack.benign_prediction = benign_pred;
   outcome.attack.adversarial_prediction = adv_pred;
-  outcome.benign_predicted_state = data::classify(benign_pred, context);
-  outcome.adversarial_predicted_state = data::classify(adv_pred, context);
+  outcome.benign_predicted_state = glycemic_thresholds().classify(benign_pred, regime);
+  outcome.adversarial_predicted_state = glycemic_thresholds().classify(adv_pred, regime);
   return outcome;
 }
 
 TEST(Risk, InstantaneousRiskCombinesSeverityAndDeviation) {
   // Normal(100) -> fasting Hyper(200): S=32, Z=100^2.
-  const auto outcome = make_outcome(100.0, 200.0, data::MealContext::kFasting);
+  const auto outcome = make_outcome(100.0, 200.0, data::Regime::kBaseline);
   EXPECT_DOUBLE_EQ(instantaneous_risk(outcome), 32.0 * 100.0 * 100.0);
 }
 
 TEST(Risk, HypoToHyperIsWorst) {
-  const auto hypo = make_outcome(60.0, 200.0, data::MealContext::kFasting);
-  const auto normal = make_outcome(100.0, 240.0, data::MealContext::kFasting);
+  const auto hypo = make_outcome(60.0, 200.0, data::Regime::kBaseline);
+  const auto normal = make_outcome(100.0, 240.0, data::Regime::kBaseline);
   // Same deviation magnitude (140), hypo origin doubles the severity.
   EXPECT_DOUBLE_EQ(instantaneous_risk(hypo), 64.0 * 140.0 * 140.0);
   EXPECT_DOUBLE_EQ(instantaneous_risk(normal), 32.0 * 140.0 * 140.0);
@@ -84,17 +86,17 @@ TEST(Risk, HypoToHyperIsWorst) {
 }
 
 TEST(Risk, FailedAttackSmallDeviationLowRisk) {
-  const auto outcome = make_outcome(100.0, 105.0, data::MealContext::kFasting);
+  const auto outcome = make_outcome(100.0, 105.0, data::Regime::kBaseline);
   EXPECT_DOUBLE_EQ(instantaneous_risk(outcome), 1.0 * 25.0);  // identity S=1
 }
 
 TEST(Profile, BuildPreservesOrderAndLength) {
   std::vector<attack::WindowOutcome> outcomes;
-  outcomes.push_back(make_outcome(100.0, 200.0, data::MealContext::kFasting));
-  outcomes.push_back(make_outcome(100.0, 100.0, data::MealContext::kFasting));
-  outcomes.push_back(make_outcome(60.0, 200.0, data::MealContext::kFasting));
+  outcomes.push_back(make_outcome(100.0, 200.0, data::Regime::kBaseline));
+  outcomes.push_back(make_outcome(100.0, 100.0, data::Regime::kBaseline));
+  outcomes.push_back(make_outcome(60.0, 200.0, data::Regime::kBaseline));
 
-  const RiskProfile profile = build_profile({sim::Subset::kA, 1}, outcomes);
+  const RiskProfile profile = build_profile("A_1", outcomes);
   ASSERT_EQ(profile.values.size(), 3u);
   EXPECT_DOUBLE_EQ(profile.values[0], 32.0 * 100.0 * 100.0);
   EXPECT_DOUBLE_EQ(profile.values[1], 0.0);
@@ -136,7 +138,7 @@ TEST_P(RiskMonotonicity, LargerDeviationNeverLowersRisk) {
   const double base_pred = GetParam();
   double previous = -1.0;
   for (double adv = base_pred; adv <= 499.0; adv += 25.0) {
-    const auto outcome = make_outcome(base_pred, adv, data::MealContext::kFasting);
+    const auto outcome = make_outcome(base_pred, adv, data::Regime::kBaseline);
     const double risk = instantaneous_risk(outcome);
     ASSERT_GE(risk, previous) << "adv=" << adv;
     previous = risk;

@@ -4,11 +4,11 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
-#include "sim/cohort.hpp"
-#include "sim/glucose_model.hpp"
-#include "sim/patient.hpp"
+#include "domains/bgms/cohort.hpp"
+#include "domains/bgms/glucose_model.hpp"
+#include "domains/bgms/patient.hpp"
 
-namespace goodones::sim {
+namespace goodones::bgms {
 namespace {
 
 TEST(PatientId, Formatting) {
@@ -198,4 +198,4 @@ TEST_P(CohortSeedSweep, TracesBoundedForAllSeeds) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CohortSeedSweep, ::testing::Values(1ULL, 7ULL, 2025ULL, 31337ULL));
 
 }  // namespace
-}  // namespace goodones::sim
+}  // namespace goodones::bgms
