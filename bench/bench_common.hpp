@@ -13,9 +13,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -30,6 +33,35 @@ namespace goodones::bench {
 inline void save_artifact(const common::CsvTable& table, const std::string& name) {
   const auto path = core::artifacts_dir() / name;
   table.write(path);
+  std::cout << "[artifact] " << path.string() << "\n";
+}
+
+/// One timing result destined for the machine-readable perf trail.
+struct BenchRecord {
+  std::string name;
+  std::size_t iters = 0;
+  double ns_per_op = 0.0;
+  double probes_per_sec = 0.0;  ///< 0 when the bench has no probe notion
+};
+
+/// Persists timing records as BENCH_<name>.json under the artifacts dir so
+/// the perf trajectory stays machine-readable across PRs:
+///   {"benchmarks": [{"name", "iters", "ns_per_op", "probes_per_sec"}, ...]}
+inline void save_bench_json(const std::vector<BenchRecord>& records, const std::string& name) {
+  const auto path = core::artifacts_dir() / ("BENCH_" + name + ".json");
+  std::ofstream out(path);
+  // Full double precision (cross-PR comparisons are the point of the file);
+  // JSON has no NaN/inf, so non-finite values are written as 0.
+  out.precision(17);
+  const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  out << "{\n  \"benchmarks\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << r.name
+        << "\", \"iters\": " << r.iters << ", \"ns_per_op\": " << finite(r.ns_per_op)
+        << ", \"probes_per_sec\": " << finite(r.probes_per_sec) << "}";
+  }
+  out << "\n  ]\n}\n";
   std::cout << "[artifact] " << path.string() << "\n";
 }
 

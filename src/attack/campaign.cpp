@@ -1,6 +1,8 @@
 #include "attack/campaign.hpp"
 
+#include "attack/scheduler.hpp"
 #include "common/error.hpp"
+#include "core/metrics.hpp"
 
 namespace goodones::attack {
 
@@ -31,7 +33,11 @@ std::vector<WindowOutcome> run_campaign(const predict::Forecaster& model,
 
   const EvasionAttack attack(config.attack);
   std::vector<WindowOutcome> outcomes(eligible.size());
-  common::parallel_for(pool, eligible.size(), [&](std::size_t i) {
+  SchedulerConfig scheduler_config;
+  scheduler_config.shard_size = config.shard_size;
+  scheduler_config.seed = config.seed;
+  const CampaignScheduler scheduler(pool, scheduler_config);
+  scheduler.run(eligible.size(), [&](std::size_t i, common::Rng&) {
     const data::Window& w = *eligible[i];
     WindowOutcome& outcome = outcomes[i];
     outcome.benign = w;
@@ -42,6 +48,15 @@ std::vector<WindowOutcome> run_campaign(const predict::Forecaster& model,
     outcome.adversarial_predicted_state =
         config.attack.induced_state(outcome.attack.adversarial_prediction, w.regime);
   });
+
+  std::uint64_t probes = 0;
+  std::uint64_t successes = 0;
+  for (const WindowOutcome& outcome : outcomes) {
+    probes += outcome.attack.probes;
+    successes += outcome.attack.success ? 1 : 0;
+  }
+  core::counters().add("campaign.probes", probes);
+  core::counters().add("campaign.successes", successes);
   return outcomes;
 }
 

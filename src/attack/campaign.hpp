@@ -26,11 +26,19 @@ struct CampaignConfig {
   /// Stride over the eligible windows (campaigns attack every n-th window;
   /// 1 attacks everything).
   std::size_t window_step = 4;
+  /// Windows per scheduler shard (0 = auto-size to the pool). Outcomes do
+  /// not depend on the sharding; it only shapes dispatch granularity.
+  std::size_t shard_size = 0;
+  /// Base seed of the per-shard RNG streams (reserved for stochastic attack
+  /// variants; the current searches are deterministic per window).
+  std::uint64_t seed = 0;
 };
 
 /// Attacks every `window_step`-th eligible window (true state normal or
 /// low — the states the adversary wants misdiagnosed as high). Outcomes
-/// stay in time order. Parallel across windows via `pool`.
+/// stay in time order. Sharded across the pool via attack::CampaignScheduler;
+/// progress and probe throughput land in core::metrics::counters() under the
+/// "campaign." prefix.
 std::vector<WindowOutcome> run_campaign(const predict::Forecaster& model,
                                         const std::vector<data::Window>& windows,
                                         const CampaignConfig& config,

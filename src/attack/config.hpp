@@ -59,6 +59,13 @@ struct AttackConfig {
   double stealth_fraction = 0.6;
   std::size_t beam_width = 4;         ///< only for kBeam
 
+  /// Evaluate each position's candidate edits as one Forecaster::predict_batch
+  /// call instead of per-candidate predict() calls. Decision semantics are
+  /// identical (candidates are scanned in the same order with the same
+  /// comparisons); models with a true batched path amortize the shared
+  /// window prefix across candidates. Off = the scalar reference path.
+  bool batched_probes = true;
+
   /// Channel of the telemetry window the adversary can rewrite (the
   /// forecast target channel; stamped by the domain adapter).
   std::size_t target_channel = 0;

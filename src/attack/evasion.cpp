@@ -83,11 +83,29 @@ AttackResult EvasionAttack::attack_window(const predict::Forecaster& model,
   return {};
 }
 
+std::vector<double> EvasionAttack::probe_position(const predict::Forecaster& model,
+                                                  const nn::Matrix& base,
+                                                  std::size_t t,
+                                                  const std::vector<double>& values,
+                                                  AttackResult& result) const {
+  // All of a position's candidate edits in one predict_batch call: the
+  // probes are copies of `base` differing only at row t, so a model with a
+  // true batched path consumes the shared rows once and replays only the
+  // divergent tail per candidate.
+  std::vector<nn::Matrix> probes(values.size(), base);
+  for (std::size_t vi = 0; vi < values.size(); ++vi) {
+    probes[vi](t, config_.target_channel) = values[vi];
+  }
+  result.probes += probes.size();
+  return model.predict_batch(probes);
+}
+
 AttackResult EvasionAttack::run_ordered_greedy(const predict::Forecaster& model,
                                                const data::Window& window,
                                                const std::vector<std::size_t>& step_order) const {
   AttackResult result;
   result.benign_prediction = model.predict(window.features);
+  result.probes = 1;
   result.adversarial_features = window.features;
   result.adversarial_prediction = result.benign_prediction;
 
@@ -111,12 +129,21 @@ AttackResult EvasionAttack::run_ordered_greedy(const predict::Forecaster& model,
     const double base_pred = result.adversarial_prediction;
     double best_pred = base_pred;
     double best_value = result.adversarial_features(t, config_.target_channel);
-    std::vector<double> candidate_preds(values.size());
-    nn::Matrix probe = result.adversarial_features;
+    std::vector<double> candidate_preds;
+    nn::Matrix probe;  // scalar-path scratch only
+    if (config_.batched_probes) {
+      candidate_preds = probe_position(model, result.adversarial_features, t, values, result);
+    } else {
+      candidate_preds.assign(values.size(), 0.0);
+      probe = result.adversarial_features;
+    }
     for (std::size_t vi = 0; vi < values.size(); ++vi) {  // ascending
-      probe(t, config_.target_channel) = values[vi];
-      const double pred = model.predict(probe);
-      candidate_preds[vi] = pred;
+      if (!config_.batched_probes) {
+        probe(t, config_.target_channel) = values[vi];
+        candidate_preds[vi] = model.predict(probe);
+        ++result.probes;
+      }
+      const double pred = candidate_preds[vi];
       if (pred > threshold) {
         result.adversarial_features(t, config_.target_channel) = values[vi];
         result.adversarial_prediction = pred;
@@ -162,6 +189,7 @@ AttackResult EvasionAttack::run_greedy(const predict::Forecaster& model,
                                        const data::Window& window) const {
   AttackResult result;
   result.benign_prediction = model.predict(window.features);
+  result.probes = 1;
   result.adversarial_features = window.features;
   result.adversarial_prediction = result.benign_prediction;
 
@@ -173,13 +201,27 @@ AttackResult EvasionAttack::run_greedy(const predict::Forecaster& model,
     double best_pred = result.adversarial_prediction;
     std::size_t best_t = steps;
     double best_value = 0.0;
-    nn::Matrix probe = result.adversarial_features;
+    nn::Matrix probe;  // scalar-path scratch only
+    if (!config_.batched_probes) probe = result.adversarial_features;
     for (std::size_t t = 0; t < steps; ++t) {
       if (edited[t]) continue;
+      if (config_.batched_probes) {
+        const auto preds =
+            probe_position(model, result.adversarial_features, t, values, result);
+        for (std::size_t vi = 0; vi < values.size(); ++vi) {
+          if (preds[vi] > best_pred) {
+            best_pred = preds[vi];
+            best_t = t;
+            best_value = values[vi];
+          }
+        }
+        continue;
+      }
       const double original = probe(t, config_.target_channel);
       for (const double v : values) {
         probe(t, config_.target_channel) = v;
         const double pred = model.predict(probe);
+        ++result.probes;
         if (pred > best_pred) {
           best_pred = pred;
           best_t = t;
@@ -213,6 +255,7 @@ AttackResult EvasionAttack::run_beam(const predict::Forecaster& model,
 
   AttackResult result;
   result.benign_prediction = model.predict(window.features);
+  result.probes = 1;
   result.adversarial_features = window.features;
   result.adversarial_prediction = result.benign_prediction;
 
@@ -230,10 +273,19 @@ AttackResult EvasionAttack::run_beam(const predict::Forecaster& model,
       Beam unchanged = beam;
       unchanged.next_step++;
       expanded.push_back(std::move(unchanged));
-      for (const double v : values) {
+      std::vector<double> batch_preds;
+      if (config_.batched_probes) {
+        batch_preds = probe_position(model, beam.features, t, values, result);
+      }
+      for (std::size_t vi = 0; vi < values.size(); ++vi) {
         Beam child = beam;
-        child.features(t, config_.target_channel) = v;
-        child.prediction = model.predict(child.features);
+        child.features(t, config_.target_channel) = values[vi];
+        if (config_.batched_probes) {
+          child.prediction = batch_preds[vi];
+        } else {
+          child.prediction = model.predict(child.features);
+          ++result.probes;
+        }
         child.edits++;
         child.next_step++;
         expanded.push_back(std::move(child));

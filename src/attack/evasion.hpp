@@ -18,6 +18,11 @@ struct AttackResult {
   double benign_prediction = 0.0;     ///< model output on the clean window
   double adversarial_prediction = 0.0;///< model output on the final window
   nn::Matrix adversarial_features;    ///< the manipulated window (raw units)
+  /// Forecaster evaluations spent on this window (benign baseline plus every
+  /// candidate probe). Throughput accounting; the batched path may request
+  /// more probes than the early-exiting scalar path, so parity checks
+  /// compare the decision fields above, not this counter.
+  std::size_t probes = 0;
 };
 
 class EvasionAttack {
@@ -41,6 +46,14 @@ class EvasionAttack {
 
   /// Deterministic per-window jitter in [0, 1) from the feature bytes.
   static double window_jitter(const data::Window& window) noexcept;
+
+  /// Evaluates every candidate value at position `t` of `base` as one
+  /// predict_batch call (the probes share all rows except row t), adding the
+  /// batch size to `result.probes`. Returns predictions in candidate order.
+  std::vector<double> probe_position(const predict::Forecaster& model,
+                                     const nn::Matrix& base, std::size_t t,
+                                     const std::vector<double>& values,
+                                     AttackResult& result) const;
 
   AttackResult run_ordered_greedy(const predict::Forecaster& model,
                                   const data::Window& window,

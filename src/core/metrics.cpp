@@ -52,4 +52,35 @@ double ConfusionMatrix::accuracy() const noexcept {
   return denom == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(denom);
 }
 
+void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+void CounterRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  counters_.clear();
+}
+
+CounterRegistry& counters() {
+  static CounterRegistry registry;
+  return registry;
+}
+
 }  // namespace goodones::core

@@ -1,9 +1,20 @@
-// Detection metrics. The paper's evaluation reports recall (its priority:
-// false negatives are lethal in safety-critical systems), precision (false
+// Detection metrics and runtime observability counters.
+//
+// Detection: the paper's evaluation reports recall (its priority: false
+// negatives are lethal in safety-critical systems), precision (false
 // positives cost availability) and their harmonic mean (F1, Appendix C).
+// Observability: long-running attack campaigns report shard progress and
+// probe throughput through the process-wide counter registry.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace goodones::core {
 
@@ -33,5 +44,27 @@ struct ConfusionMatrix {
   double false_positive_rate() const noexcept;
   double accuracy() const noexcept;
 };
+
+/// Named monotonic counters for coarse progress/throughput observability
+/// (shard completion, windows attacked, forecaster probes). Thread-safe via
+/// a mutex, so callers aggregate locally and add once per shard or batch,
+/// never per item.
+class CounterRegistry {
+ public:
+  void add(std::string_view name, std::uint64_t delta);
+  /// Current value; 0 for a counter never touched.
+  std::uint64_t value(std::string_view name) const;
+  /// All counters, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+  /// Clears every counter (test isolation / between campaign batches).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/// The process-wide registry the campaign scheduler reports into.
+CounterRegistry& counters();
 
 }  // namespace goodones::core

@@ -1,5 +1,6 @@
 #include "nn/lstm.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
@@ -79,6 +80,102 @@ Matrix Lstm::forward_cached(const Matrix& x, Cache& cache) const {
     }
   }
   return cache.hidden;
+}
+
+Lstm::PrefixState Lstm::initial_state() const {
+  PrefixState state;
+  state.hidden.assign(hidden_dim_, 0.0);
+  state.cell.assign(hidden_dim_, 0.0);
+  return state;
+}
+
+void Lstm::advance(PrefixState& state, const Matrix& x) const {
+  GO_EXPECTS(x.cols() == input_dim_);
+  GO_EXPECTS(state.hidden.size() == hidden_dim_ && state.cell.size() == hidden_dim_);
+  if (x.rows() == 0) return;
+  const std::size_t h = hidden_dim_;
+
+  // Same arithmetic and accumulation order as forward_cached, minus the
+  // per-gate caches: the snapshot must be bit-identical to the scalar path.
+  const Matrix x_proj = matmul(x, w_x_.value);
+  std::vector<double> pre(4 * h);
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    const auto xp = x_proj.row(t);
+    for (std::size_t j = 0; j < 4 * h; ++j) pre[j] = xp[j] + b_.value(0, j);
+    for (std::size_t k = 0; k < h; ++k) {
+      const double hk = state.hidden[k];
+      if (hk == 0.0) continue;
+      const double* wh_row = w_h_.value.data() + k * 4 * h;
+      for (std::size_t j = 0; j < 4 * h; ++j) pre[j] += hk * wh_row[j];
+    }
+    for (std::size_t j = 0; j < h; ++j) {
+      const double gi = sigmoid(pre[j]);
+      const double gf = sigmoid(pre[h + j]);
+      const double gg = tanh_act(pre[2 * h + j]);
+      const double go = sigmoid(pre[3 * h + j]);
+      const double ct = gf * state.cell[j] + gi * gg;
+      state.cell[j] = ct;
+      state.hidden[j] = go * tanh_act(ct);
+    }
+  }
+  state.steps += x.rows();
+}
+
+Matrix Lstm::run_batch(std::span<const Matrix> sequences, const PrefixState& start,
+                       std::size_t first_row) const {
+  GO_EXPECTS(!sequences.empty());
+  GO_EXPECTS(start.hidden.size() == hidden_dim_ && start.cell.size() == hidden_dim_);
+  const std::size_t batch = sequences.size();
+  GO_EXPECTS(first_row <= sequences.front().rows());
+  const std::size_t steps = sequences.front().rows() - first_row;
+  for (const Matrix& s : sequences) {
+    GO_EXPECTS(s.rows() == first_row + steps && s.cols() == input_dim_);
+  }
+  const std::size_t h = hidden_dim_;
+
+  // Every sequence resumes from the same snapshot.
+  Matrix h_state(batch, h);
+  Matrix c_state(batch, h);
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::copy(start.hidden.begin(), start.hidden.end(), h_state.row(i).begin());
+    std::copy(start.cell.begin(), start.cell.end(), c_state.row(i).begin());
+  }
+  if (steps == 0) return h_state;
+
+  // One packed GEMM projects every sequence's inputs (plus bias) at once;
+  // rows [t*B, (t+1)*B) of the result are timestep t's batch block.
+  const Matrix packed = pack_step_major(sequences, first_row, steps);
+  const Matrix pre_proj = matmul_bias(packed, w_x_.value, b_.value);
+
+  Matrix pre(batch, 4 * h);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto src = pre_proj.row(t * batch + i);
+      std::copy(src.begin(), src.end(), pre.row(i).begin());
+    }
+    // pre += h_state * Wh: batched recurrent GEMM, identical accumulation
+    // order (k outer, j inner, zero-skip) to the scalar step.
+    matmul_accumulate(h_state, w_h_.value, pre);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto p = pre.row(i);
+      auto hs = h_state.row(i);
+      auto cs = c_state.row(i);
+      for (std::size_t j = 0; j < h; ++j) {
+        const double gi = sigmoid(p[j]);
+        const double gf = sigmoid(p[h + j]);
+        const double gg = tanh_act(p[2 * h + j]);
+        const double go = sigmoid(p[3 * h + j]);
+        const double ct = gf * cs[j] + gi * gg;
+        cs[j] = ct;
+        hs[j] = go * tanh_act(ct);
+      }
+    }
+  }
+  return h_state;
+}
+
+Matrix Lstm::run_batch(std::span<const Matrix> sequences) const {
+  return run_batch(sequences, initial_state());
 }
 
 Matrix Lstm::backward(const Matrix& grad_hidden, const Cache& cache) {
@@ -211,6 +308,66 @@ Matrix BiLstm::backward(const Matrix& grad_output, const Cache& cache) {
   Matrix dx = dx_fwd;
   dx += dx_bwd;
   return dx;
+}
+
+Matrix BiLstm::final_states_batch(std::span<const Matrix> sequences,
+                                  std::size_t shared_prefix,
+                                  std::size_t shared_suffix) const {
+  GO_EXPECTS(!sequences.empty());
+  const std::size_t steps = sequences.front().rows();
+  GO_EXPECTS(steps > 0);
+  GO_EXPECTS(shared_prefix <= steps && shared_suffix <= steps);
+  const std::size_t batch = sequences.size();
+  const std::size_t h = hidden_dim();
+
+  // Forward cell: consume the shared prefix once, then replay only each
+  // sequence's unshared tail from the snapshot.
+  Lstm::PrefixState fwd_state = fwd_.initial_state();
+  if (shared_prefix > 0) {
+    Matrix prefix(shared_prefix, sequences.front().cols());
+    for (std::size_t t = 0; t < shared_prefix; ++t) {
+      const auto src = sequences.front().row(t);
+      std::copy(src.begin(), src.end(), prefix.row(t).begin());
+    }
+    fwd_.advance(fwd_state, prefix);
+  }
+  const Matrix h_fwd = fwd_.run_batch(sequences, fwd_state, shared_prefix);
+
+  // Backward cell: the scalar path's last aligned output row is the state
+  // after the FIRST reversed step, which consumes only row T - 1. One step
+  // per sequence — computed once when the last row is shared.
+  Matrix h_bwd(batch, h);
+  const auto one_step = [&](const Matrix& seq) {
+    Lstm::PrefixState state = bwd_.initial_state();
+    Matrix last(1, seq.cols());
+    const auto src = seq.row(steps - 1);
+    std::copy(src.begin(), src.end(), last.row(0).begin());
+    bwd_.advance(state, last);
+    return state;
+  };
+  if (shared_suffix >= 1) {
+    const Lstm::PrefixState state = one_step(sequences.front());
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::copy(state.hidden.begin(), state.hidden.end(), h_bwd.row(i).begin());
+    }
+  } else {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Lstm::PrefixState state = one_step(sequences[i]);
+      std::copy(state.hidden.begin(), state.hidden.end(), h_bwd.row(i).begin());
+    }
+  }
+
+  Matrix out(batch, output_dim());
+  for (std::size_t i = 0; i < batch; ++i) {
+    auto dst = out.row(i);
+    const auto f = h_fwd.row(i);
+    const auto b = h_bwd.row(i);
+    for (std::size_t j = 0; j < h; ++j) {
+      dst[j] = f[j];
+      dst[h + j] = b[j];
+    }
+  }
+  return out;
 }
 
 ParamRefs BiLstm::parameters() {

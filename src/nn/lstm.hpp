@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "nn/matrix.hpp"
@@ -40,6 +42,35 @@ class Lstm {
   };
 
   Matrix forward_cached(const Matrix& x, Cache& cache) const;
+
+  /// Snapshot of the recurrent (hidden, cell) state after consuming some
+  /// prefix of a sequence. Candidate probes that share a prefix with a base
+  /// window replay from the snapshot instead of from t = 0.
+  struct PrefixState {
+    std::size_t steps = 0;       ///< timesteps already consumed
+    std::vector<double> hidden;  ///< H values
+    std::vector<double> cell;    ///< H values
+  };
+
+  /// The zero state every sequence starts from.
+  PrefixState initial_state() const;
+
+  /// Advances `state` in place over all rows of `x` (the shared prefix).
+  /// Bit-identical to the corresponding steps of forward().
+  void advance(PrefixState& state, const Matrix& x) const;
+
+  /// Batched inference: B equal-length sequences, every one resuming from
+  /// the same `start` snapshot at row `first_row` (rows before it are the
+  /// shared prefix the snapshot already consumed). Per timestep the batch is
+  /// processed as one packed (B x 4H) pre-activation GEMM. Returns the final
+  /// hidden state of each sequence as rows of a (B x H) matrix —
+  /// bit-identical to running forward() over each full sequence and taking
+  /// the last row. first_row == rows() returns the snapshot replicated.
+  Matrix run_batch(std::span<const Matrix> sequences, const PrefixState& start,
+                   std::size_t first_row = 0) const;
+
+  /// run_batch from the zero state (whole sequences, no shared prefix).
+  Matrix run_batch(std::span<const Matrix> sequences) const;
 
   /// Backpropagation through time. `grad_hidden` holds dLoss/dh_t for every
   /// timestep (T x hidden_dim; rows may be zero when only some steps feed
@@ -84,6 +115,18 @@ class BiLstm {
   };
 
   Matrix forward_cached(const Matrix& x, Cache& cache) const;
+
+  /// Batched final output state for B same-shape sequences: row i holds
+  /// forward(sequences[i]).row(T - 1), i.e. the concatenation of the forward
+  /// cell's state after all T steps and the backward cell's state after its
+  /// first reversed step (which consumes only row T - 1). Rows
+  /// [0, shared_prefix) must be identical across the batch: the forward cell
+  /// consumes them once via a PrefixState snapshot and replays only the
+  /// unshared tail per sequence. When shared_suffix >= 1 the last row is
+  /// also shared and the backward step is computed once. Bit-identical to
+  /// the scalar forward() path.
+  Matrix final_states_batch(std::span<const Matrix> sequences,
+                            std::size_t shared_prefix, std::size_t shared_suffix) const;
 
   /// `grad_output` is (T x 2H) w.r.t. the concatenated outputs.
   /// Returns dLoss/dx (T x input_dim).

@@ -1,5 +1,7 @@
 #include "nn/matrix.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace goodones::nn {
@@ -131,6 +133,36 @@ void matmul_trans_b_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
       out_row[j] += sum;
     }
   }
+}
+
+Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias) {
+  GO_EXPECTS(bias.rows() == 1 && bias.cols() == b.cols());
+  Matrix out = matmul(a, b);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const auto bias_row = bias.row(0);
+    auto out_row = out.row(r);
+    for (std::size_t j = 0; j < out_row.size(); ++j) out_row[j] += bias_row[j];
+  }
+  return out;
+}
+
+Matrix pack_step_major(std::span<const Matrix> blocks, std::size_t first_row,
+                       std::size_t num_rows) {
+  GO_EXPECTS(!blocks.empty());
+  const std::size_t cols = blocks.front().cols();
+  for (const Matrix& block : blocks) {
+    GO_EXPECTS(block.cols() == cols);
+    GO_EXPECTS(first_row + num_rows <= block.rows());
+  }
+  Matrix out(num_rows * blocks.size(), cols);
+  for (std::size_t t = 0; t < num_rows; ++t) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      const auto src = blocks[i].row(first_row + t);
+      auto dst = out.row(t * blocks.size() + i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
 }
 
 Matrix operator+(Matrix a, const Matrix& b) {

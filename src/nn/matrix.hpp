@@ -85,6 +85,20 @@ void matmul_trans_a_accumulate(const Matrix& a, const Matrix& b, Matrix& out);
 /// out += a * b^T.
 void matmul_trans_b_accumulate(const Matrix& a, const Matrix& b, Matrix& out);
 
+/// out = a * b with `bias` (1 x n) added to every output row. Batched
+/// projection-with-bias: one call projects a whole packed batch through a
+/// shared weight matrix (the batched LSTM input projection).
+Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias);
+
+/// Packs the same row range of B equal-shape matrices step-major: output row
+/// (t * B + i) is blocks[i].row(first_row + t) for t in [0, num_rows). This
+/// is the packed batch layout consumed by Lstm::run_batch — rows of one
+/// timestep sit contiguously, so a single matmul over the packed matrix
+/// projects every sequence's inputs at once and per-step processing streams
+/// a contiguous (B x n) block.
+Matrix pack_step_major(std::span<const Matrix> blocks, std::size_t first_row,
+                       std::size_t num_rows);
+
 Matrix operator+(Matrix a, const Matrix& b);
 Matrix operator-(Matrix a, const Matrix& b);
 Matrix operator*(Matrix a, double scalar);

@@ -1,0 +1,78 @@
+#include "predict/batch_planner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace goodones::predict {
+
+namespace {
+
+bool rows_equal(const nn::Matrix& a, const nn::Matrix& b, std::size_t row) noexcept {
+  const auto ra = a.row(row);
+  const auto rb = b.row(row);
+  return std::equal(ra.begin(), ra.end(), rb.begin());
+}
+
+/// Shared-row plan over an indexed subset of same-shape windows.
+BatchPlan plan_indexed(std::span<const nn::Matrix> windows,
+                       std::span<const std::size_t> indices) {
+  GO_EXPECTS(!indices.empty());
+  const nn::Matrix& base = windows[indices.front()];
+  for (const std::size_t i : indices) {
+    GO_EXPECTS(windows[i].rows() == base.rows() && windows[i].cols() == base.cols());
+  }
+  const std::size_t rows = base.rows();
+
+  BatchPlan plan;
+  plan.shared_prefix = rows;
+  for (std::size_t m = 1; m < indices.size(); ++m) {
+    const nn::Matrix& w = windows[indices[m]];
+    std::size_t p = 0;
+    while (p < plan.shared_prefix && rows_equal(base, w, p)) ++p;
+    plan.shared_prefix = p;
+    if (plan.shared_prefix == 0) break;
+  }
+
+  // Suffix counted over the rows the prefix does not already cover, so the
+  // two never overlap (a batch of identical windows is all prefix).
+  plan.shared_suffix = rows - plan.shared_prefix;
+  for (std::size_t m = 1; m < indices.size() && plan.shared_suffix > 0; ++m) {
+    const nn::Matrix& w = windows[indices[m]];
+    std::size_t s = 0;
+    while (s < plan.shared_suffix && rows_equal(base, w, rows - 1 - s)) ++s;
+    plan.shared_suffix = s;
+  }
+  return plan;
+}
+
+}  // namespace
+
+BatchPlan plan_shared_rows(std::span<const nn::Matrix> windows) {
+  GO_EXPECTS(!windows.empty());
+  std::vector<std::size_t> all(windows.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return plan_indexed(windows, all);
+}
+
+std::vector<ProbeGroup> group_probes(std::span<const nn::Matrix> windows) {
+  std::vector<ProbeGroup> groups;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto same_shape = [&](const ProbeGroup& g) {
+      const nn::Matrix& head = windows[g.indices.front()];
+      return head.rows() == windows[i].rows() && head.cols() == windows[i].cols();
+    };
+    const auto it = std::find_if(groups.begin(), groups.end(), same_shape);
+    if (it == groups.end()) {
+      groups.push_back(ProbeGroup{{i}, {}});
+    } else {
+      it->indices.push_back(i);
+    }
+  }
+  for (ProbeGroup& group : groups) {
+    group.plan = plan_indexed(windows, group.indices);
+  }
+  return groups;
+}
+
+}  // namespace goodones::predict

@@ -1,0 +1,43 @@
+// Planning for batched inference over probe windows.
+//
+// Greedy evasion searches emit batches of candidate windows that are copies
+// of one base window with a single timestep edited; back-to-front editing
+// means long runs of leading rows are bitwise identical across the batch.
+// The planner discovers that structure generically (no coupling to the
+// attack) so BiLstmForecaster::predict_batch can snapshot recurrent state
+// after the shared prefix and replay only the unshared tail per probe.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace goodones::predict {
+
+/// Shared row structure of a same-shape window batch.
+struct BatchPlan {
+  /// Leading rows bitwise-identical across every window.
+  std::size_t shared_prefix = 0;
+  /// Trailing rows bitwise-identical across every window. Counted over the
+  /// rows after the shared prefix, so prefix + suffix never exceeds rows().
+  std::size_t shared_suffix = 0;
+};
+
+/// Computes the shared-row plan of a batch of same-shape windows. A batch of
+/// one window is fully shared (prefix == rows, suffix == 0).
+BatchPlan plan_shared_rows(std::span<const nn::Matrix> windows);
+
+/// One shape-homogeneous slice of a heterogeneous probe batch.
+struct ProbeGroup {
+  std::vector<std::size_t> indices;  ///< positions in the original batch
+  BatchPlan plan;                    ///< shared rows within this group
+};
+
+/// Groups a probe batch by (rows, cols) shape — batched recurrent execution
+/// needs equal sequence lengths — and computes each group's shared-row plan.
+/// Groups appear in first-seen order; indices within a group stay ascending.
+std::vector<ProbeGroup> group_probes(std::span<const nn::Matrix> windows);
+
+}  // namespace goodones::predict

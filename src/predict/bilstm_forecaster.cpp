@@ -7,6 +7,7 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
+#include "predict/batch_planner.hpp"
 
 namespace goodones::predict {
 
@@ -68,6 +69,30 @@ double BiLstmForecaster::predict(const nn::Matrix& raw_features) const {
   const double normalized =
       forward_normalized(scaler_.transform(raw_features), lstm_cache, c1, c2);
   return scaler_.inverse_transform_value(normalized, config_.target_channel);
+}
+
+std::vector<double> BiLstmForecaster::predict_batch(
+    std::span<const nn::Matrix> raw_windows) const {
+  std::vector<double> out(raw_windows.size());
+  for (const ProbeGroup& group : group_probes(raw_windows)) {
+    std::vector<nn::Matrix> scaled;
+    scaled.reserve(group.indices.size());
+    for (const std::size_t idx : group.indices) {
+      GO_EXPECTS(raw_windows[idx].cols() == scaler_.num_features());
+      scaled.push_back(scaler_.transform(raw_windows[idx]));
+    }
+    // Identical raw rows scale to identical rows, so the plan computed on
+    // the raw windows is valid for the scaled ones.
+    const nn::Matrix states = lstm_.final_states_batch(scaled, group.plan.shared_prefix,
+                                                       group.plan.shared_suffix);
+    const nn::Matrix h1 = head1_.forward(states);
+    const nn::Matrix preds = head2_.forward(h1);
+    for (std::size_t i = 0; i < group.indices.size(); ++i) {
+      out[group.indices[i]] =
+          scaler_.inverse_transform_value(preds(i, 0), config_.target_channel);
+    }
+  }
+  return out;
 }
 
 nn::Matrix BiLstmForecaster::input_gradient(const nn::Matrix& raw_features) const {

@@ -44,6 +44,13 @@ class BiLstmForecaster final : public Forecaster {
   double train(const std::vector<data::Window>& windows);
 
   double predict(const nn::Matrix& raw_features) const override;
+
+  /// True batched inference path: probes are grouped by shape, rows shared
+  /// across a group are consumed once (the BiLSTM snapshots recurrent state
+  /// after the common prefix), and the remaining per-probe work runs as
+  /// packed batch GEMMs. Bit-compatible with the scalar predict() path.
+  std::vector<double> predict_batch(std::span<const nn::Matrix> raw_windows) const override;
+
   nn::Matrix input_gradient(const nn::Matrix& raw_features) const override;
 
   /// RMSE in raw units over a window set (evaluation helper).

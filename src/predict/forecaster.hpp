@@ -7,6 +7,9 @@
 // families can be swapped in.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "nn/matrix.hpp"
 
 namespace goodones::predict {
@@ -19,6 +22,19 @@ class Forecaster {
   /// end. `raw_features` is a (seq_len x channels) telemetry window in raw
   /// units. Must be thread-safe for concurrent callers.
   virtual double predict(const nn::Matrix& raw_features) const = 0;
+
+  /// Predicts a batch of windows at once; element i corresponds to
+  /// raw_windows[i]. Greedy evasion searches and region-based defenses probe
+  /// hundreds of near-identical windows — models that can amortize work
+  /// across the batch (shared-prefix recurrent state, packed GEMMs) override
+  /// this; the default simply loops over predict(). Results must match the
+  /// scalar path. Must be thread-safe for concurrent callers.
+  virtual std::vector<double> predict_batch(std::span<const nn::Matrix> raw_windows) const {
+    std::vector<double> out;
+    out.reserve(raw_windows.size());
+    for (const nn::Matrix& w : raw_windows) out.push_back(predict(w));
+    return out;
+  }
 
   /// Gradient of the prediction w.r.t. each raw input feature
   /// (seq_len x channels). Drives the gradient-guided attack variant.

@@ -1,0 +1,150 @@
+#include "attack/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace goodones::attack {
+namespace {
+
+TEST(CampaignScheduler, RunsEveryItemExactlyOnce) {
+  common::ThreadPool pool(4);
+  const CampaignScheduler scheduler(pool);
+  std::vector<std::atomic<int>> hits(500);
+  const auto report =
+      scheduler.run(hits.size(), [&](std::size_t i, common::Rng&) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(report.items, 500u);
+  EXPECT_GT(report.shards, 0u);
+}
+
+TEST(CampaignScheduler, ZeroItemsIsNoop) {
+  common::ThreadPool pool(2);
+  const CampaignScheduler scheduler(pool);
+  const auto report =
+      scheduler.run(0, [](std::size_t, common::Rng&) { FAIL() << "must not run"; });
+  EXPECT_EQ(report.shards, 0u);
+  EXPECT_EQ(report.items, 0u);
+}
+
+TEST(CampaignScheduler, ShardCountHonorsExplicitShardSize) {
+  common::ThreadPool pool(2);
+  SchedulerConfig config;
+  config.shard_size = 10;
+  const CampaignScheduler scheduler(pool, config);
+  EXPECT_EQ(scheduler.shard_count(95), 10u);
+  EXPECT_EQ(scheduler.shard_count(100), 10u);
+  EXPECT_EQ(scheduler.shard_count(101), 11u);
+  EXPECT_EQ(scheduler.shard_count(0), 0u);
+}
+
+TEST(CampaignScheduler, RngStreamsAreDeterministicAcrossPoolSizes) {
+  // Same seed must replay identical per-item draws no matter how many
+  // workers execute the shards — for an explicit shard_size AND for the
+  // auto size, which must depend on the item count only, never the pool.
+  for (const std::size_t shard_size : {std::size_t{7}, std::size_t{0}}) {
+    SchedulerConfig config;
+    config.shard_size = shard_size;
+    config.seed = 1234;
+
+    const auto collect = [&](std::size_t threads) {
+      common::ThreadPool pool(threads);
+      const CampaignScheduler scheduler(pool, config);
+      std::vector<double> draws(100, 0.0);
+      scheduler.run(draws.size(),
+                    [&](std::size_t i, common::Rng& rng) { draws[i] = rng.uniform(); });
+      return draws;
+    };
+    const auto one = collect(1);
+    const auto eight = collect(8);
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      ASSERT_DOUBLE_EQ(one[i], eight[i]) << "shard_size " << shard_size << " item " << i;
+    }
+  }
+}
+
+TEST(CampaignScheduler, DistinctShardsGetDistinctStreams) {
+  common::ThreadPool pool(4);
+  SchedulerConfig config;
+  config.shard_size = 1;  // one item per shard -> one stream per item
+  const CampaignScheduler scheduler(pool, config);
+  std::vector<double> draws(32, 0.0);
+  scheduler.run(draws.size(),
+                [&](std::size_t i, common::Rng& rng) { draws[i] = rng.uniform(); });
+  for (std::size_t i = 1; i < draws.size(); ++i) {
+    EXPECT_NE(draws[0], draws[i]) << "shard " << i << " repeated shard 0's stream";
+  }
+}
+
+TEST(CampaignScheduler, ReportsProgressCounters) {
+  core::counters().reset();
+  common::ThreadPool pool(4);
+  SchedulerConfig config;
+  config.shard_size = 25;
+  config.counter_prefix = "test_campaign";
+  const CampaignScheduler scheduler(pool, config);
+  const auto report = scheduler.run(100, [](std::size_t, common::Rng&) {});
+  EXPECT_EQ(report.shards, 4u);
+  EXPECT_EQ(core::counters().value("test_campaign.shards_done"), 4u);
+  EXPECT_EQ(core::counters().value("test_campaign.items_done"), 100u);
+}
+
+TEST(CampaignScheduler, PropagatesBodyExceptions) {
+  common::ThreadPool pool(4);
+  const CampaignScheduler scheduler(pool);
+  EXPECT_THROW(scheduler.run(100,
+                             [](std::size_t i, common::Rng&) {
+                               if (i == 42) throw std::runtime_error("shard down");
+                             }),
+               std::runtime_error);
+}
+
+TEST(CampaignScheduler, OtherShardsCompleteWhenOneThrows) {
+  common::ThreadPool pool(4);
+  SchedulerConfig config;
+  config.shard_size = 10;
+  const CampaignScheduler scheduler(pool, config);
+  std::vector<std::atomic<int>> hits(100);
+  EXPECT_THROW(scheduler.run(hits.size(),
+                             [&](std::size_t i, common::Rng&) {
+                               if (i == 5) throw std::runtime_error("shard 0 dies");
+                               hits[i].fetch_add(1);
+                             }),
+               std::runtime_error);
+  // Shard 0 stops at item 5; every item of the other nine shards ran.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  for (std::size_t i = 5; i < 10; ++i) EXPECT_EQ(hits[i].load(), 0) << i;
+  for (std::size_t i = 10; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(CampaignScheduler, ThroughputIsComputedFromItemsAndSeconds) {
+  ShardReport report;
+  report.items = 200;
+  report.seconds = 4.0;
+  EXPECT_DOUBLE_EQ(report.items_per_second(), 50.0);
+  report.seconds = 0.0;
+  EXPECT_DOUBLE_EQ(report.items_per_second(), 0.0);
+}
+
+TEST(Counters, AccumulateSnapshotAndReset) {
+  core::CounterRegistry registry;
+  registry.add("a.x", 3);
+  registry.add("a.x", 4);
+  registry.add("a.y", 1);
+  EXPECT_EQ(registry.value("a.x"), 7u);
+  EXPECT_EQ(registry.value("missing"), 0u);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "a.x");
+  EXPECT_EQ(snapshot[1].first, "a.y");
+  registry.reset();
+  EXPECT_EQ(registry.value("a.x"), 0u);
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace goodones::attack

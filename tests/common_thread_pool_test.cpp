@@ -60,6 +60,70 @@ TEST(ParallelFor, PropagatesFirstException) {
                std::runtime_error);
 }
 
+TEST(ParallelFor, PropagatesExceptionFromEveryChunkPosition) {
+  // Chunked dispatch must not lose a throw from any position: first index,
+  // a middle chunk, and the very last index.
+  ThreadPool pool(4);
+  for (const std::size_t bad : {std::size_t{0}, std::size_t{499}, std::size_t{999}}) {
+    EXPECT_THROW(parallel_for(pool, 1000,
+                              [bad](std::size_t i) {
+                                if (i == bad) throw std::runtime_error("halt");
+                              }),
+                 std::runtime_error)
+        << "throwing index " << bad;
+  }
+}
+
+TEST(ParallelFor, PoolStaysUsableAfterBodyThrows) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 64, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The pool must have drained the failed run completely and keep working.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelFor, OtherChunksCompleteWhenOneThrows) {
+  // A throw skips the rest of its own chunk but every other chunk runs to
+  // completion before parallel_for rethrows.
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  EXPECT_THROW(parallel_for(pool, n,
+                            [&](std::size_t i) {
+                              if (i == 0) throw std::runtime_error("first chunk dies");
+                              hits[i].fetch_add(1);
+                            }),
+               std::runtime_error);
+  std::size_t executed = 0;
+  for (const auto& h : hits) executed += static_cast<std::size_t>(h.load());
+  // At least everything outside the throwing chunk ran exactly once.
+  const std::size_t chunk_size = (n + pool.size() * 4 - 1) / (pool.size() * 4);
+  EXPECT_GE(executed, n - chunk_size);
+  for (const auto& h : hits) EXPECT_LE(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionTypeIsPreserved) {
+  ThreadPool pool(2);
+  try {
+    parallel_for(pool, 16, [](std::size_t i) {
+      if (i == 7) throw std::invalid_argument("specific type");
+    });
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "specific type");
+  }
+}
+
+TEST(ParallelFor, SingleThreadPoolRunsAllIterations) {
+  ThreadPool pool(1);
+  std::vector<int> out(257, 0);
+  parallel_for(pool, out.size(), [&](std::size_t i) { out[i] = 1; });
+  for (const int v : out) EXPECT_EQ(v, 1);
+}
+
 TEST(ParallelFor, ResultsMatchSerialComputation) {
   ThreadPool pool(8);
   std::vector<double> out(500);

@@ -4,9 +4,11 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "data/timeseries.hpp"
 #include "data/window.hpp"
+#include "predict/batch_planner.hpp"
 #include "predict/bilstm_forecaster.hpp"
 #include "predict/registry.hpp"
 #include "domains/bgms/cohort.hpp"
@@ -174,6 +176,133 @@ TEST(Forecaster, SaveLoadRoundTrip) {
                      trained.predict(f.test_windows[i].features));
   }
   std::filesystem::remove(path);
+}
+
+/// Minimal Forecaster that only implements the scalar interface, so the
+/// predict_batch default (loop over predict) is what gets exercised.
+class SumModel final : public Forecaster {
+ public:
+  double predict(const nn::Matrix& x) const override {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < x.rows(); ++t) {
+      for (const double v : x.row(t)) sum += v;
+    }
+    return sum;
+  }
+  nn::Matrix input_gradient(const nn::Matrix& x) const override {
+    return nn::Matrix(x.rows(), x.cols(), 1.0);
+  }
+};
+
+nn::Matrix random_window(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  nn::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (double& v : m.row(r)) v = rng.uniform(40.0, 400.0);
+  }
+  return m;
+}
+
+TEST(PredictBatch, DefaultImplementationLoopsOverPredict) {
+  const SumModel model;
+  common::Rng rng(3);
+  std::vector<nn::Matrix> windows;
+  for (std::size_t i = 0; i < 5; ++i) windows.push_back(random_window(4, 3, rng));
+  windows.push_back(nn::Matrix(2, 3, 1.0));  // mixed shapes are fine by default
+
+  const auto batched = model.predict_batch(windows);
+  ASSERT_EQ(batched.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], model.predict(windows[i]));
+  }
+}
+
+TEST(PredictBatch, DefaultImplementationHandlesEmptyBatch) {
+  const SumModel model;
+  EXPECT_TRUE(model.predict_batch({}).empty());
+}
+
+TEST(PredictBatch, BiLstmParityOnRandomWindows) {
+  // Unstructured random windows: the planner finds no shared rows, so this
+  // exercises the pure packed-batch path against scalar predict().
+  const auto& f = fixture();
+  BiLstmForecaster model(tiny_forecaster_config(),
+                         fit_forecaster_scaler(f.train_series.values, bgms::kCgm,
+                                               bgms::kMinGlucose, bgms::kMaxGlucose));
+  model.train(f.train_windows);
+
+  common::Rng rng(17);
+  std::vector<nn::Matrix> windows;
+  for (std::size_t i = 0; i < 16; ++i) {
+    windows.push_back(random_window(12, bgms::kNumChannels, rng));
+  }
+  const auto batched = model.predict_batch(windows);
+  ASSERT_EQ(batched.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_NEAR(batched[i], model.predict(windows[i]), 1e-12) << "window " << i;
+  }
+}
+
+TEST(PredictBatch, BiLstmParityAcrossMixedShapes) {
+  // Heterogeneous batch: two sequence lengths interleaved. group_probes must
+  // split them and scatter results back to the original order.
+  const auto& f = fixture();
+  BiLstmForecaster model(tiny_forecaster_config(),
+                         fit_forecaster_scaler(f.train_series.values, bgms::kCgm,
+                                               bgms::kMinGlucose, bgms::kMaxGlucose));
+  model.train(f.train_windows);
+
+  common::Rng rng(29);
+  std::vector<nn::Matrix> windows;
+  for (std::size_t i = 0; i < 10; ++i) {
+    windows.push_back(random_window(i % 2 == 0 ? 12 : 8, bgms::kNumChannels, rng));
+  }
+  const auto batched = model.predict_batch(windows);
+  ASSERT_EQ(batched.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_NEAR(batched[i], model.predict(windows[i]), 1e-12) << "window " << i;
+  }
+}
+
+TEST(BatchPlanner, FindsSharedPrefixAndSuffixOfProbeBatch) {
+  common::Rng rng(41);
+  const nn::Matrix base = random_window(12, 4, rng);
+  std::vector<nn::Matrix> probes(5, base);
+  for (std::size_t vi = 0; vi < probes.size(); ++vi) {
+    probes[vi](7, 0) = 500.0 + static_cast<double>(vi);
+  }
+  const auto plan = plan_shared_rows(probes);
+  EXPECT_EQ(plan.shared_prefix, 7u);
+  EXPECT_EQ(plan.shared_suffix, 4u);
+}
+
+TEST(BatchPlanner, IdenticalWindowsAreAllPrefix) {
+  common::Rng rng(43);
+  const nn::Matrix base = random_window(6, 3, rng);
+  const std::vector<nn::Matrix> copies(4, base);
+  const auto plan = plan_shared_rows(copies);
+  EXPECT_EQ(plan.shared_prefix, 6u);
+  EXPECT_EQ(plan.shared_suffix, 0u);  // prefix already covers every row
+}
+
+TEST(BatchPlanner, SingleWindowIsFullyShared) {
+  common::Rng rng(47);
+  const std::vector<nn::Matrix> one{random_window(5, 2, rng)};
+  const auto plan = plan_shared_rows(one);
+  EXPECT_EQ(plan.shared_prefix, 5u);
+  EXPECT_EQ(plan.shared_suffix, 0u);
+}
+
+TEST(BatchPlanner, GroupsByShapePreservingOrder) {
+  common::Rng rng(53);
+  std::vector<nn::Matrix> windows;
+  windows.push_back(random_window(12, 4, rng));
+  windows.push_back(random_window(8, 4, rng));
+  windows.push_back(random_window(12, 4, rng));
+  windows.push_back(random_window(8, 4, rng));
+  const auto groups = group_probes(windows);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].indices, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(groups[1].indices, (std::vector<std::size_t>{1, 3}));
 }
 
 TEST(Registry, TrainsPersonalizedAndAggregate) {
