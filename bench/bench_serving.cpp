@@ -1,0 +1,187 @@
+// Measures the serving path end to end: windows-scored/sec through a
+// ScoringService whose bundle was round-tripped through the ModelRegistry
+// (exactly what a deployed fleet would run), across request shapes — single
+// window, per-entity batches, and mixed multi-entity traffic — plus the
+// registry's own save/load latency. Results land in BENCH_serving.json
+// (name, iters, ns_per_op, probes_per_sec = windows/sec) so serving
+// throughput is tracked across PRs.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+#include "data/window.hpp"
+#include "domains/synthtel/adapter.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace {
+
+using namespace goodones;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Mini synthtel pipeline (the cheap domain): trains, bundles, persists and
+/// reloads once; every timing below runs against the reloaded bundle.
+struct Fixture {
+  std::shared_ptr<const core::DomainAdapter> domain;
+  std::unique_ptr<core::RiskProfilingFramework> framework;
+  std::unique_ptr<serve::ScoringService> service;
+  std::vector<serve::ScoreRequest> mixed_traffic;  // one request per entity
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+
+  Fixture() {
+    domain = std::make_shared<synthtel::SynthtelDomain>(3);
+    core::FrameworkConfig config = domain->prepare(core::FrameworkConfig::fast());
+    config.population.train_steps = 2000;
+    config.population.test_steps = 600;
+    config.population.seed = 11;
+    config.registry.forecaster.hidden = 12;
+    config.registry.forecaster.head_hidden = 8;
+    config.registry.forecaster.epochs = 2;
+    config.registry.train_window_step = 6;
+    config.registry.aggregate_window_step = 40;
+    config.profiling_campaign.window_step = 8;
+    config.evaluation_campaign.window_step = 8;
+    config.detector_benign_stride = 8;
+    config.random_runs = 1;
+    config.seed = 77;
+    framework = std::make_unique<core::RiskProfilingFramework>(domain, config);
+
+    serve::ServingModel model =
+        serve::build_serving_model(*framework, detect::DetectorKind::kKnn);
+
+    const serve::ModelRegistry registry(core::artifacts_dir() / "bench_models");
+    const auto save_start = Clock::now();
+    registry.save(model);
+    save_seconds = seconds_since(save_start);
+    const auto load_start = Clock::now();
+    serve::ServingModel reloaded =
+        registry.load(serve::registry_key(*framework, detect::DetectorKind::kKnn));
+    load_seconds = seconds_since(load_start);
+
+    service = std::make_unique<serve::ScoringService>(std::move(reloaded));
+
+    // Mixed traffic: every entity sends its held-out test windows.
+    const auto& entities = framework->entities();
+    data::WindowConfig window_config = framework->config().window;
+    window_config.step = 3;
+    for (const auto& entity : entities) {
+      serve::ScoreRequest request;
+      request.entity = entity.name;
+      for (const auto& window : data::make_windows(entity.test, window_config)) {
+        request.windows.push_back({window.features, window.regime});
+        if (request.windows.size() >= 64) break;
+      }
+      mixed_traffic.push_back(std::move(request));
+    }
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+/// Times `run` which scores `windows_per_rep` windows per call.
+template <typename Fn>
+bench::BenchRecord time_windows(const std::string& name, std::size_t reps,
+                                std::size_t windows_per_rep, Fn&& run) {
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) run();
+  const double seconds = seconds_since(start);
+  const double total = static_cast<double>(reps * windows_per_rep);
+  bench::BenchRecord record;
+  record.name = name;
+  record.iters = reps;
+  record.ns_per_op = seconds * 1e9 / total;
+  record.probes_per_sec = total / seconds;
+  return record;
+}
+
+void run_serving_modes(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  const auto& service = *f.service;
+
+  // (a) single-window request (interactive shape).
+  serve::ScoreRequest single = f.mixed_traffic.front();
+  single.windows.resize(1);
+  records.push_back(time_windows("serve_single_window", 400, 1, [&] {
+    benchmark::DoNotOptimize(service.score(single));
+  }));
+
+  // (b) one entity, batched windows (telemetry backfill shape).
+  serve::ScoreRequest batched = f.mixed_traffic.front();
+  records.push_back(
+      time_windows("serve_one_entity_batch", 50, batched.windows.size(), [&] {
+        benchmark::DoNotOptimize(service.score(batched));
+      }));
+
+  // (c) mixed fleet traffic: all entities at once, sharded across the pool.
+  std::size_t total_windows = 0;
+  for (const auto& request : f.mixed_traffic) total_windows += request.windows.size();
+  records.push_back(time_windows("serve_mixed_fleet_traffic", 30, total_windows, [&] {
+    benchmark::DoNotOptimize(
+        service.score_batch(std::span<const serve::ScoreRequest>(f.mixed_traffic)));
+  }));
+
+  // Registry round-trip latency (train once, score forever hinges on it).
+  bench::BenchRecord save_record;
+  save_record.name = "registry_save_seconds";
+  save_record.iters = 1;
+  save_record.ns_per_op = f.save_seconds * 1e9;
+  records.push_back(save_record);
+  bench::BenchRecord load_record;
+  load_record.name = "registry_load_seconds";
+  load_record.iters = 1;
+  load_record.ns_per_op = f.load_seconds * 1e9;
+  records.push_back(load_record);
+
+  std::cout << "serving throughput (windows/sec): single "
+            << records[0].probes_per_sec << ", one-entity batch "
+            << records[1].probes_per_sec << ", mixed fleet "
+            << records[2].probes_per_sec << "\n"
+            << "registry: save " << f.save_seconds * 1e3 << " ms, load "
+            << f.load_seconds * 1e3 << " ms\n";
+}
+
+void BM_ScoreSingleWindow(benchmark::State& state) {
+  const Fixture& f = fixture();
+  serve::ScoreRequest single = f.mixed_traffic.front();
+  single.windows.resize(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->score(single));
+  }
+}
+BENCHMARK(BM_ScoreSingleWindow);
+
+void BM_ScoreBatch(benchmark::State& state) {
+  const Fixture& f = fixture();
+  serve::ScoreRequest request = f.mixed_traffic.front();
+  request.windows.resize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->score(request));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScoreBatch)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "goodones serving bench (synthtel mini fleet, bundle "
+               "round-tripped through the ModelRegistry)\n";
+  std::vector<bench::BenchRecord> records;
+  run_serving_modes(records);
+  bench::save_bench_json(records, "serving");
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

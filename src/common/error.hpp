@@ -29,6 +29,15 @@ class NumericError : public std::runtime_error {
   explicit NumericError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a persisted artifact cannot be read back: truncated file,
+/// wrong magic or version, shape/kind mismatch, or a stale config
+/// fingerprint. Loaders guarantee the in-memory target is left untouched
+/// when this is thrown — a half-loaded model is never served.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what) : std::runtime_error(what) {}
+};
+
 [[noreturn]] inline void fail_precondition(const char* expr, const char* file, int line) {
   throw PreconditionError(std::string("precondition failed: ") + expr + " at " + file + ":" +
                           std::to_string(line));

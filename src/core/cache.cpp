@@ -78,15 +78,9 @@ std::filesystem::path experiments_cache_path(const FrameworkConfig& config,
   return artifacts_dir() / name.str();
 }
 
-namespace {
-
-/// Cache key: domain name plus its variant (differently-parameterized
-/// adapter instances must not collide on one cache file).
 std::string domain_cache_key(const DomainSpec& spec) {
   return spec.variant.empty() ? spec.name : spec.name + "-" + spec.variant;
 }
-
-}  // namespace
 
 void save_experiments(const ExperimentResults& results, const FrameworkConfig& config,
                       std::string_view domain_name) {

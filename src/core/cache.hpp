@@ -10,6 +10,7 @@
 
 #include <filesystem>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/config.hpp"
@@ -19,6 +20,11 @@ namespace goodones::core {
 
 /// Artifact directory (created on demand).
 std::filesystem::path artifacts_dir();
+
+/// Cache key of a domain: its name plus its variant (differently-
+/// parameterized adapter instances must not collide on one cache file).
+/// Shared by the experiment cache and the serving-path model registry.
+std::string domain_cache_key(const DomainSpec& spec);
 
 /// Cache file path for a given domain + config.
 std::filesystem::path experiments_cache_path(const FrameworkConfig& config,

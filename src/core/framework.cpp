@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "cluster/distance.hpp"
+#include "core/sample_features.hpp"
 
 namespace goodones::core {
 
@@ -273,94 +274,6 @@ std::vector<nn::Matrix> RiskProfilingFramework::malicious_windows(
   return out;
 }
 
-namespace {
-
-/// Feature layout of a sample-level detector input: the scaled raw channels
-/// plus one rolling context sum per spec().context_channels entry. Context
-/// is what lets a detector tell a benign excursion (explained by recent
-/// events) from a manipulated reading (elevated target with nothing
-/// explaining it).
-std::size_t sample_feature_count(const DomainSpec& spec) noexcept {
-  return spec.num_channels + spec.context_channels.size();
-}
-
-/// Builds one sample-feature row from raw channel values plus raw rolling
-/// context sums (one per context channel, scaled by that channel's scale).
-nn::Matrix make_sample(const DomainSpec& spec, const data::MinMaxScaler& scaler,
-                       const std::vector<double>& channels,
-                       const std::vector<double>& context_sums) {
-  nn::Matrix sample(1, sample_feature_count(spec));
-  for (std::size_t c = 0; c < spec.num_channels; ++c) {
-    sample(0, c) = scaler.transform_value(channels[c], c);
-  }
-  for (std::size_t k = 0; k < spec.context_channels.size(); ++k) {
-    sample(0, spec.num_channels + k) =
-        scaler.transform_value(context_sums[k], spec.context_channels[k]);
-  }
-  return sample;
-}
-
-/// Extracts one sample-feature row per series step, strided.
-std::vector<nn::Matrix> series_samples(const DomainSpec& spec,
-                                       const data::TelemetrySeries& series,
-                                       const data::MinMaxScaler& scaler,
-                                       std::size_t stride) {
-  // Prefix sums for O(1) rolling context per context channel.
-  const std::size_t steps = series.steps();
-  const std::size_t n_context = spec.context_channels.size();
-  std::vector<std::vector<double>> prefixes(n_context,
-                                            std::vector<double>(steps + 1, 0.0));
-  for (std::size_t k = 0; k < n_context; ++k) {
-    for (std::size_t t = 0; t < steps; ++t) {
-      prefixes[k][t + 1] = prefixes[k][t] + series.values(t, spec.context_channels[k]);
-    }
-  }
-  const auto rolling = [&](const std::vector<double>& prefix, std::size_t t) {
-    const std::size_t lo =
-        t + 1 >= spec.context_window_steps ? t + 1 - spec.context_window_steps : 0;
-    return prefix[t + 1] - prefix[lo];
-  };
-
-  std::vector<nn::Matrix> out;
-  out.reserve(steps / stride + 1);
-  std::vector<double> channels(spec.num_channels);
-  std::vector<double> context_sums(n_context);
-  for (std::size_t t = 0; t < steps; t += stride) {
-    for (std::size_t c = 0; c < spec.num_channels; ++c) channels[c] = series.values(t, c);
-    for (std::size_t k = 0; k < n_context; ++k) context_sums[k] = rolling(prefixes[k], t);
-    out.push_back(make_sample(spec, scaler, channels, context_sums));
-  }
-  return out;
-}
-
-/// Extracts the edited rows of an adversarial window as sample-feature rows.
-/// Context sums come from the window's (unmanipulated) context channels and
-/// are therefore bounded by the window length: a window carries at most
-/// seq_len steps of history, even when spec.context_window_steps is larger
-/// (benign samples, extracted from the full series, see the full horizon).
-void append_edited_samples(const DomainSpec& spec,
-                           const attack::WindowOutcome& outcome,
-                           const data::MinMaxScaler& scaler,
-                           std::vector<nn::Matrix>& out) {
-  const nn::Matrix& adv = outcome.attack.adversarial_features;
-  const std::size_t target_channel = spec.target_channel;
-  const std::size_t n_context = spec.context_channels.size();
-  std::vector<double> context_sums(n_context, 0.0);
-  for (std::size_t k = 0; k < n_context; ++k) {
-    for (std::size_t t = 0; t < adv.rows(); ++t) {
-      context_sums[k] += adv(t, spec.context_channels[k]);
-    }
-  }
-  std::vector<double> channels(spec.num_channels);
-  for (std::size_t t = 0; t < adv.rows(); ++t) {
-    if (adv(t, target_channel) == outcome.benign.features(t, target_channel)) continue;
-    for (std::size_t c = 0; c < spec.num_channels; ++c) channels[c] = adv(t, c);
-    out.push_back(make_sample(spec, scaler, channels, context_sums));
-  }
-}
-
-}  // namespace
-
 std::vector<nn::Matrix> RiskProfilingFramework::benign_train_samples(std::size_t entity) {
   ensure_entities();
   ensure_scaler();
@@ -388,17 +301,15 @@ std::vector<nn::Matrix> RiskProfilingFramework::malicious_samples(
   return out;
 }
 
-StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
+TrainedDetector RiskProfilingFramework::train_detector(
     detect::DetectorKind kind, const std::vector<std::size_t>& train_victims) {
   GO_EXPECTS(!train_victims.empty());
   ensure_profiling();
-  ensure_test_outcomes();
   const DomainSpec& spec = domain_->spec();
 
-  StrategyEvaluation eval;
-  eval.detector = kind;
-
-  auto detector = detect::make_detector(kind, config_.detectors);
+  TrainedDetector trained;
+  trained.detector = detect::make_detector(kind, config_.detectors);
+  auto& detector = trained.detector;
   const bool sample_level =
       detector->granularity() == detect::InputGranularity::kSample;
 
@@ -451,12 +362,29 @@ StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
       }
     }
   }
-  eval.train_benign = benign.size();
-  eval.train_malicious = malicious.size();
+  trained.train_benign = benign.size();
+  trained.train_malicious = malicious.size();
 
   const auto fit_start = Clock::now();
   detector->fit(benign, malicious);
-  eval.fit_seconds = seconds_since(fit_start);
+  trained.fit_seconds = seconds_since(fit_start);
+  return trained;
+}
+
+StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
+    detect::DetectorKind kind, const std::vector<std::size_t>& train_victims) {
+  ensure_test_outcomes();
+
+  TrainedDetector trained = train_detector(kind, train_victims);
+  const auto& detector = trained.detector;
+  const bool sample_level =
+      detector->granularity() == detect::InputGranularity::kSample;
+
+  StrategyEvaluation eval;
+  eval.detector = kind;
+  eval.train_benign = trained.train_benign;
+  eval.train_malicious = trained.train_malicious;
+  eval.fit_seconds = trained.fit_seconds;
 
   // Test on every victim: their benign test data plus the successful
   // adversarial inputs from the evaluation campaign.

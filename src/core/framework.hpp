@@ -64,6 +64,16 @@ struct StrategyEvaluation {
   double score_seconds = 0.0;
 };
 
+/// A detector fitted on one victim subset, with its training-set accounting
+/// (the building block behind evaluate_strategy and the serving-path
+/// bundle builder, which persists these per vulnerability cluster).
+struct TrainedDetector {
+  std::unique_ptr<detect::AnomalyDetector> detector;
+  std::size_t train_benign = 0;
+  std::size_t train_malicious = 0;
+  double fit_seconds = 0.0;
+};
+
 struct ExperimentResults {
   /// One aggregated entry per detector x strategy (random runs pooled).
   std::vector<StrategyEvaluation> entries;
@@ -116,6 +126,13 @@ class RiskProfilingFramework {
   /// run_detector_experiments and directly by ablation benches).
   StrategyEvaluation evaluate_strategy(detect::DetectorKind kind,
                                        const std::vector<std::size_t>& train_victims);
+
+  /// Fits a fresh detector of `kind` on the given victims' training
+  /// material (benign telemetry + the defender's simulated attack), without
+  /// evaluating it. The serving path persists one of these per
+  /// vulnerability cluster; evaluate_strategy builds on it.
+  TrainedDetector train_detector(detect::DetectorKind kind,
+                                 const std::vector<std::size_t>& train_victims);
 
   // --- helpers shared with benches/examples ---
 

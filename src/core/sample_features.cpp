@@ -1,0 +1,101 @@
+#include "core/sample_features.hpp"
+
+#include "common/error.hpp"
+
+namespace goodones::core {
+
+std::size_t sample_feature_count(const DomainSpec& spec) noexcept {
+  return spec.num_channels + spec.context_channels.size();
+}
+
+nn::Matrix make_sample(const DomainSpec& spec, const data::MinMaxScaler& scaler,
+                       const std::vector<double>& channels,
+                       const std::vector<double>& context_sums) {
+  nn::Matrix sample(1, sample_feature_count(spec));
+  for (std::size_t c = 0; c < spec.num_channels; ++c) {
+    sample(0, c) = scaler.transform_value(channels[c], c);
+  }
+  for (std::size_t k = 0; k < spec.context_channels.size(); ++k) {
+    sample(0, spec.num_channels + k) =
+        scaler.transform_value(context_sums[k], spec.context_channels[k]);
+  }
+  return sample;
+}
+
+std::vector<nn::Matrix> series_samples(const DomainSpec& spec,
+                                       const data::TelemetrySeries& series,
+                                       const data::MinMaxScaler& scaler,
+                                       std::size_t stride) {
+  GO_EXPECTS(stride >= 1);
+  // Prefix sums for O(1) rolling context per context channel.
+  const std::size_t steps = series.steps();
+  const std::size_t n_context = spec.context_channels.size();
+  std::vector<std::vector<double>> prefixes(n_context,
+                                            std::vector<double>(steps + 1, 0.0));
+  for (std::size_t k = 0; k < n_context; ++k) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      prefixes[k][t + 1] = prefixes[k][t] + series.values(t, spec.context_channels[k]);
+    }
+  }
+  const auto rolling = [&](const std::vector<double>& prefix, std::size_t t) {
+    const std::size_t lo =
+        t + 1 >= spec.context_window_steps ? t + 1 - spec.context_window_steps : 0;
+    return prefix[t + 1] - prefix[lo];
+  };
+
+  std::vector<nn::Matrix> out;
+  out.reserve(steps / stride + 1);
+  std::vector<double> channels(spec.num_channels);
+  std::vector<double> context_sums(n_context);
+  for (std::size_t t = 0; t < steps; t += stride) {
+    for (std::size_t c = 0; c < spec.num_channels; ++c) channels[c] = series.values(t, c);
+    for (std::size_t k = 0; k < n_context; ++k) context_sums[k] = rolling(prefixes[k], t);
+    out.push_back(make_sample(spec, scaler, channels, context_sums));
+  }
+  return out;
+}
+
+namespace {
+
+/// Context sums over all rows of a raw window (the window-bounded context
+/// convention shared by append_edited_samples and window_sample).
+std::vector<double> window_context_sums(const DomainSpec& spec, const nn::Matrix& window) {
+  const std::size_t n_context = spec.context_channels.size();
+  std::vector<double> context_sums(n_context, 0.0);
+  for (std::size_t k = 0; k < n_context; ++k) {
+    for (std::size_t t = 0; t < window.rows(); ++t) {
+      context_sums[k] += window(t, spec.context_channels[k]);
+    }
+  }
+  return context_sums;
+}
+
+}  // namespace
+
+void append_edited_samples(const DomainSpec& spec,
+                           const attack::WindowOutcome& outcome,
+                           const data::MinMaxScaler& scaler,
+                           std::vector<nn::Matrix>& out) {
+  const nn::Matrix& adv = outcome.attack.adversarial_features;
+  const std::size_t target_channel = spec.target_channel;
+  const std::vector<double> context_sums = window_context_sums(spec, adv);
+  std::vector<double> channels(spec.num_channels);
+  for (std::size_t t = 0; t < adv.rows(); ++t) {
+    if (adv(t, target_channel) == outcome.benign.features(t, target_channel)) continue;
+    for (std::size_t c = 0; c < spec.num_channels; ++c) channels[c] = adv(t, c);
+    out.push_back(make_sample(spec, scaler, channels, context_sums));
+  }
+}
+
+nn::Matrix window_sample(const DomainSpec& spec, const data::MinMaxScaler& scaler,
+                         const nn::Matrix& window) {
+  GO_EXPECTS(window.rows() >= 1);
+  GO_EXPECTS(window.cols() == spec.num_channels);
+  const std::vector<double> context_sums = window_context_sums(spec, window);
+  std::vector<double> channels(spec.num_channels);
+  const std::size_t last = window.rows() - 1;
+  for (std::size_t c = 0; c < spec.num_channels; ++c) channels[c] = window(last, c);
+  return make_sample(spec, scaler, channels, context_sums);
+}
+
+}  // namespace goodones::core

@@ -1,0 +1,57 @@
+// Sample-granularity detector feature assembly, shared by the offline
+// framework (training/evaluation material) and the serving path (scoring
+// live windows). Keeping one implementation is load-bearing: the e2e
+// serving guarantee — "served verdicts equal in-memory verdicts" — only
+// holds if both sides build bit-identical feature rows.
+//
+// A sample row is the scaled raw channels plus one rolling context sum per
+// spec().context_channels entry. Context is what lets a detector tell a
+// benign excursion (explained by recent events) from a manipulated reading
+// (elevated target with nothing explaining it).
+#pragma once
+
+#include <vector>
+
+#include "attack/campaign.hpp"
+#include "core/domain.hpp"
+#include "data/scaler.hpp"
+#include "data/timeseries.hpp"
+#include "nn/matrix.hpp"
+
+namespace goodones::core {
+
+/// Feature width of a sample-level detector input for this domain:
+/// num_channels raw channels + one rolling sum per context channel.
+std::size_t sample_feature_count(const DomainSpec& spec) noexcept;
+
+/// Builds one (1 x F) sample row from raw channel values plus raw rolling
+/// context sums (one per context channel, scaled by that channel's scale).
+nn::Matrix make_sample(const DomainSpec& spec, const data::MinMaxScaler& scaler,
+                       const std::vector<double>& channels,
+                       const std::vector<double>& context_sums);
+
+/// Extracts one sample row per series step, strided. Context sums see the
+/// full series history up to spec.context_window_steps.
+std::vector<nn::Matrix> series_samples(const DomainSpec& spec,
+                                       const data::TelemetrySeries& series,
+                                       const data::MinMaxScaler& scaler,
+                                       std::size_t stride);
+
+/// Extracts the edited rows of an adversarial window as sample rows.
+/// Context sums come from the window's (unmanipulated) context channels and
+/// are therefore bounded by the window length: a window carries at most
+/// seq_len steps of history, even when spec.context_window_steps is larger
+/// (benign samples, extracted from the full series, see the full horizon).
+void append_edited_samples(const DomainSpec& spec,
+                           const attack::WindowOutcome& outcome,
+                           const data::MinMaxScaler& scaler,
+                           std::vector<nn::Matrix>& out);
+
+/// Serving-time sample for one raw telemetry window: the last row's channel
+/// values with context sums over the window rows (the same window-bounded
+/// context convention as append_edited_samples, so a detector scores live
+/// windows in the distribution it was trained on).
+nn::Matrix window_sample(const DomainSpec& spec, const data::MinMaxScaler& scaler,
+                         const nn::Matrix& window);
+
+}  // namespace goodones::core

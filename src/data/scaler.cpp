@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "nn/serialize.hpp"
 
 namespace goodones::data {
+namespace {
+
+/// Scaler section tags: a scaler of the wrong kind in a composite artifact
+/// stream fails loudly instead of silently misinterpreting bytes.
+constexpr std::uint32_t kMinMaxTag = 0x4D4D5343;    // "MMSC"
+constexpr std::uint32_t kStandardTag = 0x53545343;  // "STSC"
+
+}  // namespace
 
 void MinMaxScaler::fit(const nn::Matrix& data) {
   mins_.clear();
@@ -82,6 +92,55 @@ void MinMaxScaler::set_column_range(std::size_t column, double min_value, double
   GO_EXPECTS(min_value < max_value);
   mins_[column] = min_value;
   maxs_[column] = max_value;
+}
+
+void MinMaxScaler::save(std::ostream& out) const {
+  nn::write_u32(out, kMinMaxTag);
+  nn::write_f64_vector(out, mins_);
+  nn::write_f64_vector(out, maxs_);
+}
+
+void MinMaxScaler::load(std::istream& in) {
+  nn::expect_u32(in, kMinMaxTag, "min-max scaler tag");
+  std::vector<double> mins = nn::read_f64_vector(in, "scaler mins");
+  std::vector<double> maxs = nn::read_f64_vector(in, "scaler maxs");
+  if (mins.size() != maxs.size()) {
+    throw common::SerializationError("min-max scaler column count mismatch");
+  }
+  // fit()/set_column_range() guarantee finite ranges with max >= min
+  // (equality = degenerate constant column, handled by transform); anything
+  // else is a corrupt artifact that would otherwise serve NaN features.
+  for (std::size_t c = 0; c < mins.size(); ++c) {
+    if (!std::isfinite(mins[c]) || !std::isfinite(maxs[c]) || maxs[c] < mins[c]) {
+      throw common::SerializationError("min-max scaler artifact carries an invalid range");
+    }
+  }
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
+}
+
+void StandardScaler::save(std::ostream& out) const {
+  nn::write_u32(out, kStandardTag);
+  nn::write_f64_vector(out, means_);
+  nn::write_f64_vector(out, stds_);
+}
+
+void StandardScaler::load(std::istream& in) {
+  nn::expect_u32(in, kStandardTag, "standard scaler tag");
+  std::vector<double> means = nn::read_f64_vector(in, "scaler means");
+  std::vector<double> stds = nn::read_f64_vector(in, "scaler stds");
+  if (means.size() != stds.size()) {
+    throw common::SerializationError("standard scaler column count mismatch");
+  }
+  // fit() guarantees finite means and strictly positive stds; anything
+  // else divides by zero (or NaN-poisons) every transform.
+  for (std::size_t c = 0; c < means.size(); ++c) {
+    if (!std::isfinite(means[c]) || !std::isfinite(stds[c]) || stds[c] <= 0.0) {
+      throw common::SerializationError("standard scaler artifact carries an invalid std");
+    }
+  }
+  means_ = std::move(means);
+  stds_ = std::move(stds);
 }
 
 void StandardScaler::fit(const nn::Matrix& data) {

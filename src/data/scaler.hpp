@@ -5,6 +5,7 @@
 // sigmoid kernel needs centered data to leave the saturation region.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,12 @@ class MinMaxScaler {
   /// identical across patients regardless of observed extremes).
   void set_column_range(std::size_t column, double min_value, double max_value);
 
+  /// Binary round-trip for the model artifact cache. Bit-exact: a reloaded
+  /// scaler transforms identically to the saved one.
+  void save(std::ostream& out) const;
+  /// Throws common::SerializationError on malformed input (state untouched).
+  void load(std::istream& in);
+
  private:
   std::vector<double> mins_;
   std::vector<double> maxs_;
@@ -53,6 +60,11 @@ class StandardScaler {
   std::size_t num_features() const noexcept { return means_.size(); }
 
   nn::Matrix transform(const nn::Matrix& data) const;
+
+  /// Binary round-trip for the model artifact cache (bit-exact).
+  void save(std::ostream& out) const;
+  /// Throws common::SerializationError on malformed input (state untouched).
+  void load(std::istream& in);
 
  private:
   std::vector<double> means_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,7 +45,36 @@ class AnomalyDetector {
   /// Final decision: true = flagged as malicious. Requires a prior fit.
   virtual bool flags(const nn::Matrix& window) const = 0;
 
+  /// Final decision given `score` = anomaly_score(window), for hot paths
+  /// that need both the score and the verdict (the serving path would
+  /// otherwise pay MAD-GAN's latent inversion twice per window). Must
+  /// agree with flags(window). The default recomputes via flags() —
+  /// always correct; the built-ins override it with their threshold rule.
+  virtual bool flags_from_score(const nn::Matrix& window, double score) const {
+    (void)score;
+    return flags(window);
+  }
+
   virtual std::string name() const = 0;
+
+  /// Flattened feature width of the inputs this fitted detector expects
+  /// (columns for window-level detectors, flattened length for sample-level
+  /// ones); 0 = unknown/unfitted. Lets loaders cross-check a deserialized
+  /// detector against the domain schema it is about to serve.
+  virtual std::size_t input_width() const noexcept { return 0; }
+
+  /// Persists the fitted state (including the scoring-relevant config) so a
+  /// reloaded detector scores bit-identically without refitting. Writers
+  /// open with a per-kind tag, so loading the wrong detector kind fails
+  /// loudly instead of misinterpreting bytes. The default throws
+  /// common::PreconditionError: custom detectors opt into persistence by
+  /// overriding both methods (all three built-ins do).
+  virtual void save(std::ostream& out) const;
+
+  /// Restores state written by save() of the same detector kind. Throws
+  /// common::SerializationError on truncation, kind/tag mismatch or shape
+  /// mismatch, leaving the detector untouched.
+  virtual void load(std::istream& in);
 };
 
 }  // namespace goodones::detect

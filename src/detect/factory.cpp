@@ -1,6 +1,16 @@
 #include "detect/factory.hpp"
 
+#include "common/error.hpp"
+
 namespace goodones::detect {
+
+void AnomalyDetector::save(std::ostream& /*out*/) const {
+  throw common::PreconditionError("detector '" + name() + "' does not support persistence");
+}
+
+void AnomalyDetector::load(std::istream& /*in*/) {
+  throw common::PreconditionError("detector '" + name() + "' does not support persistence");
+}
 
 std::unique_ptr<AnomalyDetector> make_detector(DetectorKind kind,
                                                const DetectorSuiteConfig& config) {

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hpp"
 #include "data/window.hpp"
+#include "nn/serialize.hpp"
 
 namespace goodones::detect {
 
 namespace {
+
+constexpr std::uint32_t kKnnTag = 0x4B4E4E44;  // "KNND"
 
 /// Minkowski distance of order p between a query and a training row.
 double minkowski(const std::vector<double>& a, std::span<const double> b, double p) {
@@ -99,6 +104,36 @@ double KnnDetector::malicious_neighbor_fraction(const std::vector<double>& query
   std::size_t malicious = 0;
   for (const auto& [dist, label] : heap) malicious += label;
   return static_cast<double>(malicious) / static_cast<double>(heap.size());
+}
+
+void KnnDetector::save(std::ostream& out) const {
+  nn::write_u32(out, kKnnTag);
+  nn::write_u64(out, config_.k);
+  nn::write_f64(out, config_.minkowski_p);
+  nn::write_u64(out, config_.max_points_per_class);
+  nn::write_matrix(out, points_);
+  nn::write_u8_vector(out, labels_);
+}
+
+void KnnDetector::load(std::istream& in) {
+  nn::expect_u32(in, kKnnTag, "kNN detector tag");
+  KnnConfig config;
+  config.k = nn::read_u64(in, "kNN k");
+  config.minkowski_p = nn::read_f64(in, "kNN minkowski p");
+  config.max_points_per_class = nn::read_u64(in, "kNN max points per class");
+  nn::Matrix points = nn::read_matrix(in);
+  std::vector<std::uint8_t> labels = nn::read_u8_vector(in, "kNN labels");
+  if (labels.size() != points.rows()) {
+    throw common::SerializationError("kNN artifact label/point count mismatch");
+  }
+  // k = 0 would make every vote 0/0 = NaN; enforce the constructor's
+  // preconditions on artifact-supplied config too.
+  if (config.k < 1 || !(config.minkowski_p > 0.0)) {
+    throw common::SerializationError("kNN artifact carries an invalid config");
+  }
+  config_ = config;
+  points_ = std::move(points);
+  labels_ = std::move(labels);
 }
 
 double KnnDetector::anomaly_score(const nn::Matrix& window) const {

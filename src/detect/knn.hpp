@@ -34,12 +34,24 @@ class KnnDetector final : public AnomalyDetector {
   /// Majority vote of the k nearest neighbors.
   bool flags(const nn::Matrix& window) const override;
 
+  bool flags_from_score(const nn::Matrix& /*window*/, double score) const override {
+    return score > 0.5;
+  }
+
   std::string name() const override { return "kNN"; }
+
+  /// Persists config + training points; a reloaded detector votes
+  /// bit-identically on every query.
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
 
   /// Per-sample classification, as in the paper's Fig. 5.
   InputGranularity granularity() const override { return InputGranularity::kSample; }
 
   std::size_t train_size() const noexcept { return points_.rows(); }
+
+  /// Flattened training-point width (0 before fit).
+  std::size_t input_width() const noexcept override { return points_.cols(); }
 
  private:
   double malicious_neighbor_fraction(const std::vector<double>& query) const;

@@ -2,16 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
 
 namespace goodones::detect {
 
 namespace {
+
+constexpr std::uint32_t kMadGanTag = 0x4D414447;  // "MADG"
 
 /// Deterministic stride subsample (pointers into `windows`).
 std::vector<const nn::Matrix*> subsample(const std::vector<nn::Matrix>& windows,
@@ -230,6 +235,90 @@ nn::Matrix MadGan::generate(common::Rng& rng) const {
   nn::Lstm::Cache gc;
   nn::Dense::Cache pc;
   return generator_forward(generator_, sample_latent(rng), gc, pc);
+}
+
+nn::ParamRefs MadGan::gan_parameters() {
+  nn::ParamRefs params = generator_.lstm.parameters();
+  for (auto* p : generator_.projection.parameters()) params.push_back(p);
+  for (auto* p : discriminator_.lstm.parameters()) params.push_back(p);
+  for (auto* p : discriminator_.head.parameters()) params.push_back(p);
+  return params;
+}
+
+void MadGan::save(std::ostream& out) const {
+  nn::write_u32(out, kMadGanTag);
+  nn::write_u64(out, config_.epochs);
+  nn::write_u64(out, config_.num_signals);
+  nn::write_u64(out, config_.seq_len);
+  nn::write_u64(out, config_.latent_dim);
+  nn::write_u64(out, config_.hidden);
+  nn::write_u64(out, config_.batch_size);
+  nn::write_f64(out, config_.learning_rate);
+  nn::write_f64(out, config_.grad_clip);
+  nn::write_f64(out, config_.dr_lambda);
+  nn::write_u64(out, config_.inversion_steps);
+  nn::write_f64(out, config_.inversion_lr);
+  nn::write_f64(out, config_.threshold_quantile);
+  nn::write_u64(out, config_.max_train_windows);
+  nn::write_u64(out, config_.calibration_windows);
+  nn::write_u64(out, config_.seed);
+  // gan_parameters() is non-const by design (it hands out mutable buffer
+  // pointers for the optimizer); write_parameters only reads the values.
+  MadGan& self = const_cast<MadGan&>(*this);
+  nn::write_parameters(out, self.gan_parameters());
+  nn::write_matrix(out, inversion_z0_);
+  nn::write_f64(out, recon_reference_);
+  nn::write_f64(out, threshold_);
+  nn::write_u32(out, fitted_ ? 1 : 0);
+}
+
+void MadGan::load(std::istream& in) {
+  nn::expect_u32(in, kMadGanTag, "MAD-GAN detector tag");
+  MadGanConfig config;
+  config.epochs = nn::read_u64(in, "MAD-GAN epochs");
+  config.num_signals = nn::read_u64(in, "MAD-GAN num signals");
+  config.seq_len = nn::read_u64(in, "MAD-GAN seq len");
+  config.latent_dim = nn::read_u64(in, "MAD-GAN latent dim");
+  config.hidden = nn::read_u64(in, "MAD-GAN hidden");
+  config.batch_size = nn::read_u64(in, "MAD-GAN batch size");
+  config.learning_rate = nn::read_f64(in, "MAD-GAN learning rate");
+  config.grad_clip = nn::read_f64(in, "MAD-GAN grad clip");
+  config.dr_lambda = nn::read_f64(in, "MAD-GAN dr lambda");
+  config.inversion_steps = nn::read_u64(in, "MAD-GAN inversion steps");
+  config.inversion_lr = nn::read_f64(in, "MAD-GAN inversion lr");
+  config.threshold_quantile = nn::read_f64(in, "MAD-GAN threshold quantile");
+  config.max_train_windows = nn::read_u64(in, "MAD-GAN max train windows");
+  config.calibration_windows = nn::read_u64(in, "MAD-GAN calibration windows");
+  config.seed = nn::read_u64(in, "MAD-GAN seed");
+  // Validate before reconstructing so a corrupt artifact surfaces as a
+  // SerializationError, not a constructor precondition failure.
+  if (config.epochs == 0 || config.num_signals == 0 || config.seq_len == 0 ||
+      config.latent_dim == 0 || config.hidden == 0 ||
+      !(config.dr_lambda >= 0.0 && config.dr_lambda <= 1.0) ||
+      !(config.threshold_quantile > 0.0 && config.threshold_quantile < 1.0)) {
+    throw common::SerializationError("MAD-GAN artifact carries an invalid config");
+  }
+  // Scoring-critical fields: a tampered inversion_steps would make the
+  // first anomaly_score() run ~forever; a non-finite inversion_lr would
+  // NaN-poison every score (flags_from_score(NaN) = silently never flags).
+  if (config.inversion_steps == 0 || config.inversion_steps > 1'000'000 ||
+      !std::isfinite(config.inversion_lr) || config.inversion_lr <= 0.0 ||
+      !std::isfinite(config.dr_lambda)) {
+    throw common::SerializationError("MAD-GAN artifact carries an invalid scoring config");
+  }
+  // Rebuild nets at the artifact's shapes, then restore into the copy so
+  // *this stays untouched if any later read fails.
+  MadGan fresh(config);
+  nn::read_parameters(in, fresh.gan_parameters());
+  nn::Matrix z0 = nn::read_matrix(in);
+  if (z0.rows() != config.seq_len || z0.cols() != config.latent_dim) {
+    throw common::SerializationError("MAD-GAN artifact inversion-start shape mismatch");
+  }
+  fresh.inversion_z0_ = std::move(z0);
+  fresh.recon_reference_ = nn::read_f64(in, "MAD-GAN recon reference");
+  fresh.threshold_ = nn::read_f64(in, "MAD-GAN threshold");
+  fresh.fitted_ = nn::read_u32(in, "MAD-GAN fitted flag") != 0;
+  *this = std::move(fresh);
 }
 
 }  // namespace goodones::detect

@@ -58,12 +58,25 @@ class MadGan final : public AnomalyDetector {
 
   bool flags(const nn::Matrix& window) const override;
 
+  bool flags_from_score(const nn::Matrix& /*window*/, double score) const override {
+    return score > threshold_;
+  }
+
   std::string name() const override { return "MAD-GAN"; }
+
+  /// Persists config, both nets' parameters, the fixed inversion start and
+  /// the calibration scalars; a reloaded detector's DR-scores are
+  /// bit-identical (the latent inversion is deterministic).
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
 
   /// Multivariate time-series windows (paper Appendix B: seq_len 12).
   InputGranularity granularity() const override { return InputGranularity::kWindow; }
 
   double threshold() const noexcept { return threshold_; }
+
+  /// Window channel count (num_signals; known from construction).
+  std::size_t input_width() const noexcept override { return config_.num_signals; }
 
   /// Score components, exposed for tests and diagnostics.
   double discrimination_score(const nn::Matrix& window) const;
@@ -85,6 +98,9 @@ class MadGan final : public AnomalyDetector {
   };
 
   nn::Matrix sample_latent(common::Rng& rng) const;
+  /// Both nets' parameters in a stable order (generator LSTM, generator
+  /// projection, discriminator LSTM, discriminator head).
+  nn::ParamRefs gan_parameters();
   static nn::Matrix generator_forward(const Generator& g, const nn::Matrix& z,
                                       nn::Lstm::Cache& lstm_cache,
                                       nn::Dense::Cache& proj_cache);

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 
 #include "common/error.hpp"
 #include "data/window.hpp"
+#include "nn/serialize.hpp"
 
 namespace goodones::detect {
 
 namespace {
+
+constexpr std::uint32_t kOcsvmTag = 0x4F435356;  // "OCSV"
 
 constexpr double kTau = 1e-12;  // curvature floor for non-PSD kernels (libsvm)
 
@@ -199,6 +204,59 @@ double OneClassSvm::anomaly_score(const nn::Matrix& window) const {
 
 bool OneClassSvm::flags(const nn::Matrix& window) const {
   return anomaly_score(window) > 0.0;
+}
+
+void OneClassSvm::save(std::ostream& out) const {
+  nn::write_u32(out, kOcsvmTag);
+  nn::write_u32(out, static_cast<std::uint32_t>(config_.kernel));
+  nn::write_u32(out, static_cast<std::uint32_t>(config_.gamma));
+  nn::write_f64(out, config_.coef0);
+  nn::write_u32(out, static_cast<std::uint32_t>(config_.degree));
+  nn::write_f64(out, config_.nu);
+  nn::write_f64(out, gamma_value_);
+  standardizer_.save(out);
+  nn::write_matrix(out, support_vectors_);
+  nn::write_f64_vector(out, coefficients_);
+  nn::write_f64(out, rho_);
+  nn::write_u64(out, iterations_used_);
+}
+
+void OneClassSvm::load(std::istream& in) {
+  nn::expect_u32(in, kOcsvmTag, "OneClassSVM detector tag");
+  OcsvmConfig config = config_;
+  const std::uint32_t kernel = nn::read_u32(in, "OCSVM kernel");
+  const std::uint32_t gamma_mode = nn::read_u32(in, "OCSVM gamma mode");
+  // Validate enum ranges before casting: an out-of-range kernel would make
+  // kernel_value() silently return 0 for every pair (constant scores).
+  if (kernel > static_cast<std::uint32_t>(Kernel::kPoly) ||
+      gamma_mode > static_cast<std::uint32_t>(GammaMode::kScale)) {
+    throw common::SerializationError("OCSVM artifact carries an invalid kernel/gamma mode");
+  }
+  config.kernel = static_cast<Kernel>(kernel);
+  config.gamma = static_cast<GammaMode>(gamma_mode);
+  config.coef0 = nn::read_f64(in, "OCSVM coef0");
+  config.degree = static_cast<int>(nn::read_u32(in, "OCSVM degree"));
+  config.nu = nn::read_f64(in, "OCSVM nu");
+  const double gamma_value = nn::read_f64(in, "OCSVM gamma value");
+  data::StandardScaler standardizer;
+  standardizer.load(in);
+  nn::Matrix support_vectors = nn::read_matrix(in);
+  std::vector<double> coefficients = nn::read_f64_vector(in, "OCSVM coefficients");
+  const double rho = nn::read_f64(in, "OCSVM rho");
+  const std::uint64_t iterations = nn::read_u64(in, "OCSVM iterations");
+  if (coefficients.size() != support_vectors.rows()) {
+    throw common::SerializationError("OCSVM artifact coefficient/SV count mismatch");
+  }
+  if (standardizer.fitted() && standardizer.num_features() != support_vectors.cols()) {
+    throw common::SerializationError("OCSVM artifact standardizer/SV width mismatch");
+  }
+  config_ = config;
+  gamma_value_ = gamma_value;
+  standardizer_ = std::move(standardizer);
+  support_vectors_ = std::move(support_vectors);
+  coefficients_ = std::move(coefficients);
+  rho_ = rho;
+  iterations_used_ = iterations;
 }
 
 }  // namespace goodones::detect

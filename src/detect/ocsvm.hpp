@@ -53,13 +53,26 @@ class OneClassSvm final : public AnomalyDetector {
 
   bool flags(const nn::Matrix& window) const override;
 
+  bool flags_from_score(const nn::Matrix& /*window*/, double score) const override {
+    return score > 0.0;
+  }
+
   std::string name() const override { return "OneClassSVM"; }
+
+  /// Persists the scoring-relevant config, the internal standardizer and
+  /// the support-vector expansion; a reloaded detector's decision function
+  /// is bit-identical.
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
 
   /// Per-sample classification, like the paper's kNN.
   InputGranularity granularity() const override { return InputGranularity::kSample; }
 
   double rho() const noexcept { return rho_; }
   std::size_t num_support_vectors() const noexcept { return support_vectors_.rows(); }
+
+  /// Support-vector feature width (0 before fit).
+  std::size_t input_width() const noexcept override { return support_vectors_.cols(); }
   std::size_t iterations_used() const noexcept { return iterations_used_; }
 
  private:

@@ -1,8 +1,7 @@
 #include "nn/serialize.hpp"
 
-#include <cstdint>
 #include <fstream>
-#include <vector>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -13,18 +12,117 @@ namespace {
 constexpr std::uint32_t kMagic = 0x474F4E4E;  // "GONN"
 constexpr std::uint32_t kVersion = 1;
 
+using common::SerializationError;
+
+[[noreturn]] void fail_truncated(const char* what) {
+  throw SerializationError(std::string("artifact truncated while reading ") + what);
+}
+
+/// Caps on length prefixes: a corrupt length field must fail loudly
+/// (SerializationError) instead of triggering a multi-gigabyte allocation
+/// (std::bad_alloc). 2^26 doubles = 512 MiB per single vector/matrix,
+/// far above any artifact this library writes (the largest is the kNN
+/// reference set, capped at max_points_per_class rows).
+constexpr std::uint64_t kMaxElements = 1ull << 26;
+
+}  // namespace
+
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint32_t read_u32(std::istream& in) {
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_f64_vector(std::ostream& out, const std::vector<double>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+void write_u8_vector(std::ostream& out, const std::vector<std::uint8_t>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size()));
+}
+
+std::uint32_t read_u32(std::istream& in, const char* what) {
   std::uint32_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) throw std::runtime_error("model file truncated");
+  if (!in) fail_truncated(what);
   return v;
 }
 
-}  // namespace
+std::uint64_t read_u64(std::istream& in, const char* what) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) fail_truncated(what);
+  return v;
+}
+
+double read_f64(std::istream& in, const char* what) {
+  double v = 0.0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) fail_truncated(what);
+  return v;
+}
+
+std::string read_string(std::istream& in, const char* what) {
+  const std::uint32_t size = read_u32(in, what);
+  // Strings in artifacts are names and labels; a giant length prefix is a
+  // corrupt artifact, not a legitimate payload.
+  if (size > (1u << 20)) {
+    throw SerializationError(std::string("implausible length for ") + what +
+                             " (corrupt artifact?)");
+  }
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  if (!in) fail_truncated(what);
+  return s;
+}
+
+std::vector<double> read_f64_vector(std::istream& in, const char* what) {
+  const std::uint64_t size = read_u64(in, what);
+  if (size > kMaxElements) {
+    throw SerializationError(std::string("implausible length for ") + what +
+                             " (corrupt artifact?)");
+  }
+  std::vector<double> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(double)));
+  if (!in) fail_truncated(what);
+  return v;
+}
+
+std::vector<std::uint8_t> read_u8_vector(std::istream& in, const char* what) {
+  const std::uint64_t size = read_u64(in, what);
+  if (size > kMaxElements) {
+    throw SerializationError(std::string("implausible length for ") + what +
+                             " (corrupt artifact?)");
+  }
+  std::vector<std::uint8_t> v(size);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(size));
+  if (!in) fail_truncated(what);
+  return v;
+}
+
+void expect_u32(std::istream& in, std::uint32_t expected, const char* what) {
+  const std::uint32_t got = read_u32(in, what);
+  if (got != expected) {
+    throw SerializationError(std::string("bad ") + what + ": expected " +
+                             std::to_string(expected) + ", got " + std::to_string(got));
+  }
+}
 
 void write_matrix(std::ostream& out, const Matrix& m) {
   write_u32(out, static_cast<std::uint32_t>(m.rows()));
@@ -34,45 +132,66 @@ void write_matrix(std::ostream& out, const Matrix& m) {
 }
 
 Matrix read_matrix(std::istream& in) {
-  const std::uint32_t rows = read_u32(in);
-  const std::uint32_t cols = read_u32(in);
+  const std::uint32_t rows = read_u32(in, "matrix rows");
+  const std::uint32_t cols = read_u32(in, "matrix cols");
+  if (static_cast<std::uint64_t>(rows) * cols > kMaxElements) {
+    throw SerializationError("implausible matrix shape (corrupt artifact?)");
+  }
   Matrix m(rows, cols);
   in.read(reinterpret_cast<char*>(m.data()),
           static_cast<std::streamsize>(m.size() * sizeof(double)));
-  if (!in) throw std::runtime_error("model file truncated in matrix body");
+  if (!in) fail_truncated("matrix body");
   return m;
 }
 
-void save_parameters(const ParamRefs& params, const std::filesystem::path& path) {
-  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open model file for writing: " + path.string());
-  write_u32(out, kMagic);
-  write_u32(out, kVersion);
+void write_parameters(std::ostream& out, const ParamRefs& params) {
   write_u32(out, static_cast<std::uint32_t>(params.size()));
   for (const auto* p : params) write_matrix(out, p->value);
-  if (!out) throw std::runtime_error("model write failed: " + path.string());
 }
 
-bool load_parameters(const ParamRefs& params, const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  if (read_u32(in) != kMagic) throw std::runtime_error("bad model magic: " + path.string());
-  if (read_u32(in) != kVersion) throw std::runtime_error("bad model version: " + path.string());
-  const std::uint32_t count = read_u32(in);
+void read_parameters(std::istream& in, const ParamRefs& params) {
+  const std::uint32_t count = read_u32(in, "parameter count");
   if (count != params.size()) {
-    throw std::runtime_error("model parameter count mismatch: " + path.string());
+    throw SerializationError("parameter count mismatch: artifact has " +
+                             std::to_string(count) + ", model expects " +
+                             std::to_string(params.size()));
   }
-  // Read everything first so a mid-file failure leaves buffers untouched.
+  // Read everything first so a mid-stream failure leaves buffers untouched.
   std::vector<Matrix> loaded;
   loaded.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) loaded.push_back(read_matrix(in));
   for (std::uint32_t i = 0; i < count; ++i) {
     if (!loaded[i].same_shape(params[i]->value)) {
-      throw std::runtime_error("model parameter shape mismatch: " + path.string());
+      throw SerializationError("parameter " + std::to_string(i) + " shape mismatch: artifact " +
+                               std::to_string(loaded[i].rows()) + "x" +
+                               std::to_string(loaded[i].cols()) + ", model " +
+                               std::to_string(params[i]->value.rows()) + "x" +
+                               std::to_string(params[i]->value.cols()));
     }
   }
   for (std::uint32_t i = 0; i < count; ++i) params[i]->value = std::move(loaded[i]);
+}
+
+void save_parameters(const ParamRefs& params, const std::filesystem::path& path) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializationError("cannot open model file for writing: " + path.string());
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_parameters(out, params);
+  if (!out) throw SerializationError("model write failed: " + path.string());
+}
+
+bool load_parameters(const ParamRefs& params, const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  if (read_u32(in, "model magic") != kMagic) {
+    throw SerializationError("bad model magic: " + path.string());
+  }
+  if (read_u32(in, "model version") != kVersion) {
+    throw SerializationError("bad model version: " + path.string());
+  }
+  read_parameters(in, params);
   return true;
 }
 

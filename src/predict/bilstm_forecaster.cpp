@@ -211,4 +211,45 @@ bool BiLstmForecaster::load(const std::filesystem::path& path) {
   return nn::load_parameters(parameters(), path);
 }
 
+namespace {
+constexpr std::uint32_t kForecasterTag = 0x464F5243;  // "FORC"
+}  // namespace
+
+void BiLstmForecaster::save_artifact(std::ostream& out) const {
+  nn::write_u32(out, kForecasterTag);
+  nn::write_u64(out, config_.hidden);
+  nn::write_u64(out, config_.head_hidden);
+  nn::write_u64(out, config_.epochs);
+  nn::write_u64(out, config_.batch_size);
+  nn::write_f64(out, config_.learning_rate);
+  nn::write_f64(out, config_.grad_clip);
+  nn::write_u64(out, config_.target_channel);
+  nn::write_u64(out, config_.seed);
+  scaler_.save(out);
+  BiLstmForecaster& self = const_cast<BiLstmForecaster&>(*this);
+  nn::write_parameters(out, self.parameters());
+}
+
+BiLstmForecaster BiLstmForecaster::load_artifact(std::istream& in) {
+  nn::expect_u32(in, kForecasterTag, "forecaster tag");
+  ForecasterConfig config;
+  config.hidden = nn::read_u64(in, "forecaster hidden");
+  config.head_hidden = nn::read_u64(in, "forecaster head hidden");
+  config.epochs = nn::read_u64(in, "forecaster epochs");
+  config.batch_size = nn::read_u64(in, "forecaster batch size");
+  config.learning_rate = nn::read_f64(in, "forecaster learning rate");
+  config.grad_clip = nn::read_f64(in, "forecaster grad clip");
+  config.target_channel = nn::read_u64(in, "forecaster target channel");
+  config.seed = nn::read_u64(in, "forecaster seed");
+  data::MinMaxScaler scaler;
+  scaler.load(in);
+  if (!scaler.fitted() || config.hidden == 0 || config.head_hidden == 0 ||
+      config.target_channel >= scaler.num_features()) {
+    throw common::SerializationError("forecaster artifact carries an invalid config");
+  }
+  BiLstmForecaster model(config, std::move(scaler));
+  nn::read_parameters(in, model.parameters());
+  return model;
+}
+
 }  // namespace goodones::predict

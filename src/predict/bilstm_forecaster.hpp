@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <iosfwd>
 #include <vector>
 
 #include "data/scaler.hpp"
@@ -64,6 +65,15 @@ class BiLstmForecaster final : public Forecaster {
   void save(const std::filesystem::path& path) const;
   /// Returns false if no file exists (leaves weights untouched).
   bool load(const std::filesystem::path& path);
+
+  /// Versioned model artifact: architecture config + fitted scaler + all
+  /// parameters in one stream. Unlike save()/load(), load_artifact needs no
+  /// pre-built model of matching shape — the artifact is self-describing,
+  /// which is what the serving-path ModelRegistry persists.
+  void save_artifact(std::ostream& out) const;
+  /// Reconstructs the full model (bit-identical predictions, no retraining).
+  /// Throws common::SerializationError on malformed input.
+  static BiLstmForecaster load_artifact(std::istream& in);
 
  private:
   nn::ParamRefs parameters();

@@ -1,12 +1,20 @@
 #include "risk/schedule.hpp"
 
+#include <istream>
+#include <ostream>
+
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "nn/serialize.hpp"
 #include "risk/severity.hpp"
 
 namespace goodones::risk {
 
 using StateLabel = data::StateLabel;
+
+namespace {
+constexpr std::uint32_t kScheduleTag = 0x53455653;  // "SEVS"
+}  // namespace
 
 std::size_t SeveritySchedule::index(StateLabel state) noexcept {
   return static_cast<std::size_t>(state);
@@ -24,6 +32,21 @@ double SeveritySchedule::coefficient(StateLabel benign,
 void SeveritySchedule::set(StateLabel benign, StateLabel adversarial,
                            double coefficient) noexcept {
   table_[index(benign) * 3 + index(adversarial)] = coefficient;
+}
+
+void SeveritySchedule::save(std::ostream& out) const {
+  nn::write_u32(out, kScheduleTag);
+  nn::write_string(out, name_);
+  for (const double c : table_) nn::write_f64(out, c);
+}
+
+void SeveritySchedule::load(std::istream& in) {
+  nn::expect_u32(in, kScheduleTag, "severity schedule tag");
+  std::string name = nn::read_string(in, "severity schedule name");
+  std::array<double, 9> table{};
+  for (double& c : table) c = nn::read_f64(in, "severity coefficient");
+  name_ = std::move(name);
+  table_ = table;
 }
 
 SeveritySchedule SeveritySchedule::paper_default() {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <iosfwd>
 #include <string>
 
 #include "attack/campaign.hpp"
@@ -31,6 +32,12 @@ class SeveritySchedule {
            double coefficient) noexcept;
 
   const std::string& name() const noexcept { return name_; }
+
+  /// Binary round-trip (name + full transition table) for the serving-path
+  /// model artifacts: a reloaded schedule weighs risk bit-identically.
+  void save(std::ostream& out) const;
+  /// Throws common::SerializationError on malformed input (state untouched).
+  void load(std::istream& in);
 
   // --- canned schedules for the sensitivity analysis ---
 

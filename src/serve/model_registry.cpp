@@ -1,0 +1,354 @@
+#include "serve/model_registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "core/cache.hpp"
+#include "core/sample_features.hpp"
+#include "nn/serialize.hpp"
+
+namespace goodones::serve {
+
+namespace {
+
+constexpr std::uint32_t kBundleMagic = 0x474F534D;  // "GOSM"
+constexpr std::uint32_t kBundleVersion = 1;
+/// Trailing sentinel: catches artifacts truncated after the last section.
+constexpr std::uint32_t kBundleEnd = 0x454E4442;  // "ENDB"
+
+using common::SerializationError;
+
+/// Reads a u32 element count and sanity-bounds it before any reserve():
+/// a tampered count must raise the typed error, not a huge allocation.
+std::uint32_t read_count(std::istream& in, const char* what) {
+  const std::uint32_t count = nn::read_u32(in, what);
+  if (count > (1u << 20)) {
+    throw SerializationError(std::string("implausible count for ") + what +
+                             " (corrupt artifact?)");
+  }
+  return count;
+}
+
+void write_spec(std::ostream& out, const core::DomainSpec& spec) {
+  nn::write_string(out, spec.name);
+  nn::write_string(out, spec.variant);
+  nn::write_u64(out, spec.num_channels);
+  nn::write_u64(out, spec.target_channel);
+  nn::write_u32(out, static_cast<std::uint32_t>(spec.channel_names.size()));
+  for (const auto& name : spec.channel_names) nn::write_string(out, name);
+  nn::write_f64(out, spec.target_min);
+  nn::write_f64(out, spec.target_max);
+  nn::write_f64(out, spec.thresholds.low);
+  nn::write_f64(out, spec.thresholds.high_baseline);
+  nn::write_f64(out, spec.thresholds.high_active);
+  spec.severity.save(out);
+  nn::write_f64(out, spec.attack_box_min_baseline);
+  nn::write_f64(out, spec.attack_box_min_active);
+  nn::write_f64(out, spec.attack_box_max);
+  nn::write_f64(out, spec.attack_harm_threshold);
+  nn::write_u32(out, static_cast<std::uint32_t>(spec.context_channels.size()));
+  for (const std::size_t c : spec.context_channels) nn::write_u64(out, c);
+  nn::write_u64(out, spec.context_window_steps);
+  nn::write_u64(out, spec.num_subsets);
+}
+
+core::DomainSpec read_spec(std::istream& in) {
+  core::DomainSpec spec;
+  spec.name = nn::read_string(in, "spec name");
+  spec.variant = nn::read_string(in, "spec variant");
+  spec.num_channels = nn::read_u64(in, "spec num channels");
+  spec.target_channel = nn::read_u64(in, "spec target channel");
+  const std::uint32_t n_names = read_count(in, "spec channel-name count");
+  spec.channel_names.clear();
+  spec.channel_names.reserve(n_names);
+  for (std::uint32_t i = 0; i < n_names; ++i) {
+    spec.channel_names.push_back(nn::read_string(in, "spec channel name"));
+  }
+  spec.target_min = nn::read_f64(in, "spec target min");
+  spec.target_max = nn::read_f64(in, "spec target max");
+  spec.thresholds.low = nn::read_f64(in, "spec threshold low");
+  spec.thresholds.high_baseline = nn::read_f64(in, "spec threshold high baseline");
+  spec.thresholds.high_active = nn::read_f64(in, "spec threshold high active");
+  spec.severity.load(in);
+  spec.attack_box_min_baseline = nn::read_f64(in, "spec box min baseline");
+  spec.attack_box_min_active = nn::read_f64(in, "spec box min active");
+  spec.attack_box_max = nn::read_f64(in, "spec box max");
+  spec.attack_harm_threshold = nn::read_f64(in, "spec harm threshold");
+  const std::uint32_t n_context = read_count(in, "spec context-channel count");
+  spec.context_channels.clear();
+  spec.context_channels.reserve(n_context);
+  for (std::uint32_t i = 0; i < n_context; ++i) {
+    spec.context_channels.push_back(nn::read_u64(in, "spec context channel"));
+  }
+  spec.context_window_steps = nn::read_u64(in, "spec context window steps");
+  spec.num_subsets = nn::read_u64(in, "spec num subsets");
+  if (spec.num_channels == 0 || spec.target_channel >= spec.num_channels) {
+    throw SerializationError("serving bundle carries an invalid domain spec");
+  }
+  for (const std::size_t c : spec.context_channels) {
+    if (c >= spec.num_channels) {
+      throw SerializationError("serving bundle context channel out of range");
+    }
+  }
+  return spec;
+}
+
+const char* kind_token(detect::DetectorKind kind) noexcept {
+  switch (kind) {
+    case detect::DetectorKind::kKnn: return "knn";
+    case detect::DetectorKind::kOcsvm: return "ocsvm";
+    case detect::DetectorKind::kMadGan: return "madgan";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(Cluster cluster) noexcept {
+  return cluster == Cluster::kLessVulnerable ? "less-vulnerable" : "more-vulnerable";
+}
+
+std::size_t ServingModel::entity_index(std::string_view name) const {
+  for (std::size_t i = 0; i < entity_names.size(); ++i) {
+    if (entity_names[i] == name) return i;
+  }
+  throw common::PreconditionError("unknown entity in score request: " + std::string(name));
+}
+
+const detect::AnomalyDetector& ServingModel::detector_for(std::size_t entity) const {
+  GO_EXPECTS(entity < entity_cluster.size());
+  const auto& detector =
+      cluster_detectors[static_cast<std::size_t>(entity_cluster[entity])];
+  GO_EXPECTS(detector != nullptr);
+  return *detector;
+}
+
+RegistryKey registry_key(const core::RiskProfilingFramework& framework,
+                         detect::DetectorKind kind) {
+  RegistryKey key;
+  key.domain_key = core::domain_cache_key(framework.domain().spec());
+  key.fingerprint = core::config_fingerprint(framework.config());
+  key.detector_kind = kind;
+  return key;
+}
+
+ServingModel build_serving_model(core::RiskProfilingFramework& framework,
+                                 detect::DetectorKind kind) {
+  const RegistryKey key = registry_key(framework, kind);
+  const auto& entities = framework.entities();
+  const auto& clusters = framework.profiling().clusters;
+
+  ServingModel model;
+  model.domain_key = key.domain_key;
+  model.fingerprint = key.fingerprint;
+  model.spec = framework.domain().spec();
+  model.detector_kind = kind;
+  model.detector_scaler = framework.detector_scaler();
+
+  model.entity_names.reserve(entities.size());
+  for (const auto& entity : entities) model.entity_names.push_back(entity.name);
+
+  model.entity_cluster.assign(entities.size(), Cluster::kLessVulnerable);
+  for (const std::size_t p : clusters.more_vulnerable) {
+    model.entity_cluster[p] = Cluster::kMoreVulnerable;
+  }
+
+  model.forecasters.reserve(entities.size());
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    model.forecasters.push_back(framework.models().personalized(i));
+  }
+
+  // One detector per cluster, each trained on its own cluster's victims
+  // (the paper's step 5: the less-vulnerable detector is the proposed
+  // defense; the more-vulnerable one is kept for routing completeness).
+  common::log_info("building serving bundle (", kind_token(kind), ", ",
+                   entities.size(), " entities)");
+  model.cluster_detectors[0] =
+      std::move(framework.train_detector(kind, clusters.less_vulnerable).detector);
+  model.cluster_detectors[1] =
+      std::move(framework.train_detector(kind, clusters.more_vulnerable).detector);
+  return model;
+}
+
+ModelRegistry::ModelRegistry() : root_(core::artifacts_dir() / "models") {
+  std::filesystem::create_directories(root_);
+}
+
+ModelRegistry::ModelRegistry(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path ModelRegistry::path_for(const RegistryKey& key) const {
+  std::ostringstream name;
+  name << "serving_" << key.domain_key << "_" << std::hex << key.fingerprint << "_"
+       << kind_token(key.detector_kind) << ".bin";
+  return root_ / name.str();
+}
+
+bool ModelRegistry::contains(const RegistryKey& key) const {
+  return std::filesystem::exists(path_for(key));
+}
+
+void ModelRegistry::save(const ServingModel& model) const {
+  RegistryKey key;
+  key.domain_key = model.domain_key;
+  key.fingerprint = model.fingerprint;
+  key.detector_kind = model.detector_kind;
+  const std::filesystem::path path = path_for(key);
+  // Unique temp name per writer: concurrent saves of the same key (two
+  // fleet nodes racing "train once") must not interleave into one file.
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SerializationError("cannot open serving bundle for writing: " + tmp.string());
+    }
+    nn::write_u32(out, kBundleMagic);
+    nn::write_u32(out, kBundleVersion);
+    nn::write_string(out, model.domain_key);
+    nn::write_u64(out, model.fingerprint);
+    nn::write_u32(out, static_cast<std::uint32_t>(model.detector_kind));
+    write_spec(out, model.spec);
+
+    nn::write_u32(out, static_cast<std::uint32_t>(model.entity_names.size()));
+    for (const auto& name : model.entity_names) nn::write_string(out, name);
+    std::vector<std::uint8_t> cluster_bytes;
+    cluster_bytes.reserve(model.entity_cluster.size());
+    for (const Cluster c : model.entity_cluster) {
+      cluster_bytes.push_back(static_cast<std::uint8_t>(c));
+    }
+    nn::write_u8_vector(out, cluster_bytes);
+    model.detector_scaler.save(out);
+
+    nn::write_u32(out, static_cast<std::uint32_t>(model.forecasters.size()));
+    for (const auto& forecaster : model.forecasters) forecaster.save_artifact(out);
+
+    for (const auto& detector : model.cluster_detectors) {
+      GO_EXPECTS(detector != nullptr);
+      detector->save(out);
+    }
+    nn::write_u32(out, kBundleEnd);
+    if (!out) throw SerializationError("serving bundle write failed: " + tmp.string());
+    out.close();
+    std::filesystem::rename(tmp, path);  // atomic publish
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);  // never leave stale temp files
+    throw;
+  }
+  common::log_info("persisted serving bundle: ", path.string());
+}
+
+ServingModel ModelRegistry::load(const RegistryKey& key) const {
+  const std::filesystem::path path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("no serving bundle for key (domain " + key.domain_key +
+                             "): " + path.string());
+  }
+  nn::expect_u32(in, kBundleMagic, "serving bundle magic");
+  nn::expect_u32(in, kBundleVersion, "serving bundle version");
+
+  ServingModel model;
+  model.domain_key = nn::read_string(in, "bundle domain key");
+  model.fingerprint = nn::read_u64(in, "bundle fingerprint");
+  model.detector_kind =
+      static_cast<detect::DetectorKind>(nn::read_u32(in, "bundle detector kind"));
+  // Stale-artifact guard: a bundle that does not match the requested
+  // training config must never be served (a file copied or renamed across
+  // config changes would otherwise silently score with old semantics).
+  if (model.domain_key != key.domain_key) {
+    throw SerializationError("serving bundle domain mismatch: artifact '" +
+                             model.domain_key + "', requested '" + key.domain_key + "'");
+  }
+  if (model.fingerprint != key.fingerprint) {
+    throw SerializationError("stale serving bundle: config fingerprint mismatch for " +
+                             path.string());
+  }
+  if (model.detector_kind != key.detector_kind) {
+    throw SerializationError("serving bundle detector kind mismatch: " + path.string());
+  }
+
+  model.spec = read_spec(in);
+
+  const std::uint32_t n_entities = read_count(in, "bundle entity count");
+  model.entity_names.reserve(n_entities);
+  for (std::uint32_t i = 0; i < n_entities; ++i) {
+    model.entity_names.push_back(nn::read_string(in, "bundle entity name"));
+  }
+  const std::vector<std::uint8_t> cluster_bytes =
+      nn::read_u8_vector(in, "bundle cluster assignment");
+  if (cluster_bytes.size() != n_entities) {
+    throw SerializationError("serving bundle cluster table size mismatch");
+  }
+  model.entity_cluster.reserve(n_entities);
+  for (const std::uint8_t b : cluster_bytes) {
+    if (b > 1) throw SerializationError("serving bundle carries an invalid cluster id");
+    model.entity_cluster.push_back(static_cast<Cluster>(b));
+  }
+  model.detector_scaler.load(in);
+
+  const std::uint32_t n_forecasters = read_count(in, "bundle forecaster count");
+  if (n_forecasters != n_entities) {
+    throw SerializationError("serving bundle forecaster/entity count mismatch");
+  }
+  model.forecasters.reserve(n_forecasters);
+  for (std::uint32_t i = 0; i < n_forecasters; ++i) {
+    model.forecasters.push_back(predict::BiLstmForecaster::load_artifact(in));
+    if (model.forecasters.back().num_channels() != model.spec.num_channels) {
+      throw SerializationError("serving bundle forecaster channel-count mismatch");
+    }
+  }
+
+  // Cross-validate the scaler against the schema it will transform.
+  if (model.detector_scaler.fitted() &&
+      model.detector_scaler.num_features() != model.spec.num_channels) {
+    throw SerializationError("serving bundle detector-scaler width mismatch");
+  }
+
+  for (auto& detector : model.cluster_detectors) {
+    detector = detect::make_detector(model.detector_kind, detect::DetectorSuiteConfig{});
+    if (detector == nullptr) {
+      throw SerializationError("serving bundle carries an unknown detector kind");
+    }
+    detector->load(in);
+    // A detector that is internally consistent but disagrees with the
+    // domain schema must not serve: sample-level detectors consume
+    // sample_feature_count-wide rows, window-level ones num_channels
+    // columns. (0 = width unknown; nothing to check.)
+    const std::size_t width = detector->input_width();
+    const std::size_t expected =
+        detector->granularity() == detect::InputGranularity::kSample
+            ? core::sample_feature_count(model.spec)
+            : model.spec.num_channels;
+    if (width != 0 && width != expected) {
+      throw SerializationError("serving bundle detector feature-width mismatch: artifact " +
+                               std::to_string(width) + ", domain schema expects " +
+                               std::to_string(expected));
+    }
+  }
+  nn::expect_u32(in, kBundleEnd, "serving bundle end marker");
+  return model;
+}
+
+std::vector<std::filesystem::path> ModelRegistry::list() const {
+  std::vector<std::filesystem::path> out;
+  if (!std::filesystem::exists(root_)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".bin") {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace goodones::serve

@@ -1,0 +1,130 @@
+// Persistent model registry for the serving path.
+//
+// The paper's end state is a deployed defense: detectors selectively
+// trained on the less-vulnerable cluster score live telemetry, they do not
+// retrain per run. The registry persists everything the scoring path needs
+// as one versioned artifact in core::cache's artifact directory — the
+// forecaster fleet (architecture + scaler + params), the detector feature
+// scaler, the per-cluster detectors (kNN reference set / OCSVM support
+// vectors / MAD-GAN nets), the entity -> vulnerability-cluster routing
+// table and the domain spec — keyed by domain + config fingerprint +
+// detector kind, so a trained BGMS or synthtel pipeline round-trips to
+// disk and back without retraining.
+//
+// Every load failure (truncation, bad magic/version, shape mismatch, stale
+// config fingerprint) throws common::SerializationError; a half-loaded
+// model is never returned.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "core/framework.hpp"
+#include "data/scaler.hpp"
+#include "detect/factory.hpp"
+#include "predict/bilstm_forecaster.hpp"
+
+namespace goodones::serve {
+
+/// Which vulnerability cluster an entity routes to (the paper's step-5
+/// partition; indexes ServingModel::cluster_detectors).
+enum class Cluster : std::uint8_t { kLessVulnerable = 0, kMoreVulnerable = 1 };
+
+/// The complete scoring-path bundle, decoupled from the training pipeline:
+/// load one of these and score live telemetry with no framework, no
+/// entity generation and no retraining.
+struct ServingModel {
+  /// Cache key: domain (name or name-variant) + fingerprint of the
+  /// training config. A model must never serve a config it was not
+  /// trained under — load() enforces this.
+  std::string domain_key;
+  std::uint64_t fingerprint = 0;
+
+  /// The domain's static semantics (telemetry schema, thresholds,
+  /// severity, context channels) — everything feature assembly and risk
+  /// weighting need at scoring time.
+  core::DomainSpec spec;
+
+  detect::DetectorKind detector_kind = detect::DetectorKind::kKnn;
+
+  /// Monitored entities in training order; requests address entities by
+  /// these names.
+  std::vector<std::string> entity_names;
+  /// Per-entity vulnerability cluster (entity order).
+  std::vector<Cluster> entity_cluster;
+
+  /// The global detector feature scaler the pipeline fit across entities.
+  data::MinMaxScaler detector_scaler;
+
+  /// Personalized forecasters, entity order (each carries its own scaler).
+  std::vector<predict::BiLstmForecaster> forecasters;
+
+  /// One detector per cluster, indexed by Cluster. Both are trained on
+  /// their own cluster's victims, so serving can score an entity with its
+  /// cluster's detector (and report the paper's preferred less-vulnerable
+  /// detector for entities in the more-vulnerable group).
+  std::array<std::unique_ptr<detect::AnomalyDetector>, 2> cluster_detectors;
+
+  /// Index of a named entity; throws common::PreconditionError if unknown.
+  std::size_t entity_index(std::string_view name) const;
+
+  const detect::AnomalyDetector& detector_for(std::size_t entity) const;
+};
+
+/// Trains (or reuses) everything in `framework` and assembles the serving
+/// bundle: forecaster fleet, per-cluster detectors of `kind`, routing table,
+/// scaler and spec. Heavy stages already computed on the framework are
+/// reused, not recomputed.
+ServingModel build_serving_model(core::RiskProfilingFramework& framework,
+                                 detect::DetectorKind kind);
+
+/// Addresses one persisted serving bundle.
+struct RegistryKey {
+  std::string domain_key;
+  std::uint64_t fingerprint = 0;
+  detect::DetectorKind detector_kind = detect::DetectorKind::kKnn;
+};
+
+/// Derives the registry key a framework's serving bundle persists under.
+RegistryKey registry_key(const core::RiskProfilingFramework& framework,
+                         detect::DetectorKind kind);
+
+class ModelRegistry {
+ public:
+  /// `root` defaults to <artifacts>/models (see core::artifacts_dir()).
+  explicit ModelRegistry();
+  explicit ModelRegistry(std::filesystem::path root);
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// File a key maps to (exists or not).
+  std::filesystem::path path_for(const RegistryKey& key) const;
+
+  bool contains(const RegistryKey& key) const;
+
+  /// Persists the bundle under its own key; atomic (write to temp file,
+  /// rename into place) so readers never observe a half-written artifact.
+  void save(const ServingModel& model) const;
+
+  /// Loads the bundle for `key`. Throws common::SerializationError when the
+  /// artifact is missing, truncated, has a bad magic/version, carries
+  /// mismatched shapes, or its stored fingerprint disagrees with the key
+  /// (stale artifact).
+  ServingModel load(const RegistryKey& key) const;
+
+  /// All artifact files currently in the registry, sorted by name.
+  std::vector<std::filesystem::path> list() const;
+
+ private:
+  std::filesystem::path root_;
+};
+
+const char* to_string(Cluster cluster) noexcept;
+
+}  // namespace goodones::serve

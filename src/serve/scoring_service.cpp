@@ -1,0 +1,126 @@
+#include "serve/scoring_service.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/metrics.hpp"
+#include "core/sample_features.hpp"
+#include "risk/profile.hpp"
+
+namespace goodones::serve {
+
+namespace {
+
+/// (request, window) coordinate of one window routed to an entity.
+struct WindowRef {
+  std::size_t request = 0;
+  std::size_t window = 0;
+};
+
+}  // namespace
+
+ScoringService::ScoringService(ServingModel model, ScoringServiceConfig config)
+    : model_(std::move(model)),
+      pool_(std::make_unique<common::ThreadPool>(config.threads)) {
+  GO_EXPECTS(!model_.forecasters.empty());
+  GO_EXPECTS(model_.forecasters.size() == model_.entity_names.size());
+  GO_EXPECTS(model_.entity_cluster.size() == model_.entity_names.size());
+  GO_EXPECTS(model_.cluster_detectors[0] != nullptr);
+  GO_EXPECTS(model_.cluster_detectors[1] != nullptr);
+  entity_lookup_.reserve(model_.entity_names.size());
+  for (std::size_t i = 0; i < model_.entity_names.size(); ++i) {
+    entity_lookup_.emplace(model_.entity_names[i], i);
+  }
+}
+
+ScoringService::~ScoringService() = default;
+
+ScoreResponse ScoringService::score(const ScoreRequest& request) const {
+  return score_batch(std::span<const ScoreRequest>(&request, 1)).front();
+}
+
+std::vector<ScoreResponse> ScoringService::score_batch(
+    std::span<const ScoreRequest> requests) const {
+  const core::DomainSpec& spec = model_.spec;
+
+  // Resolve entities and validate what the bundle can check generically
+  // (entity names, channel counts) before any work is dispatched. Row-count
+  // expectations are detector-specific (MAD-GAN consumes fixed seq_len
+  // windows) and surface as PreconditionError from the scoring phase.
+  // Grouping is keyed by active entities only (not fleet size): a
+  // single-window request against a fleet of thousands must stay O(1).
+  std::vector<ScoreResponse> responses(requests.size());
+  std::unordered_map<std::size_t, std::vector<WindowRef>> per_entity;
+  std::size_t total_windows = 0;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const ScoreRequest& request = requests[r];
+    const auto found = entity_lookup_.find(request.entity);
+    if (found == entity_lookup_.end()) {
+      throw common::PreconditionError("unknown entity in score request: " +
+                                      request.entity);
+    }
+    const std::size_t entity = found->second;
+    responses[r].entity_index = entity;
+    responses[r].cluster = model_.entity_cluster[entity];
+    responses[r].windows.resize(request.windows.size());
+    for (std::size_t w = 0; w < request.windows.size(); ++w) {
+      const TelemetryWindow& window = request.windows[w];
+      GO_EXPECTS(window.features.rows() >= 1);
+      GO_EXPECTS(window.features.cols() == spec.num_channels);
+      per_entity[entity].push_back({r, w});
+    }
+    total_windows += request.windows.size();
+  }
+
+  // Entities with traffic shard across the pool; within one entity every
+  // window (across all requests) goes through a single predict_batch.
+  std::vector<const std::pair<const std::size_t, std::vector<WindowRef>>*> active;
+  active.reserve(per_entity.size());
+  for (const auto& group : per_entity) active.push_back(&group);
+
+  common::parallel_for(*pool_, active.size(), [&](std::size_t a) {
+    const std::size_t entity = active[a]->first;
+    const std::vector<WindowRef>& refs = active[a]->second;
+    const predict::Forecaster& forecaster = model_.forecasters[entity];
+    const detect::AnomalyDetector& detector = model_.detector_for(entity);
+    const bool sample_level =
+        detector.granularity() == detect::InputGranularity::kSample;
+
+    std::vector<nn::Matrix> batch;
+    batch.reserve(refs.size());
+    for (const WindowRef& ref : refs) {
+      batch.push_back(requests[ref.request].windows[ref.window].features);
+    }
+    const std::vector<double> forecasts = forecaster.predict_batch(batch);
+
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const WindowRef& ref = refs[i];
+      const TelemetryWindow& window = requests[ref.request].windows[ref.window];
+      WindowScore& score = responses[ref.request].windows[ref.window];
+
+      score.forecast = forecasts[i];
+      const double last_observed =
+          window.features(window.features.rows() - 1, spec.target_channel);
+      score.residual = score.forecast - last_observed;
+      score.observed_state = spec.thresholds.classify(last_observed, window.regime);
+      score.predicted_state = spec.thresholds.classify(score.forecast, window.regime);
+      score.risk = spec.severity.coefficient(score.observed_state, score.predicted_state) *
+                   risk::deviation_magnitude(last_observed, score.forecast);
+
+      const nn::Matrix detector_input =
+          sample_level ? core::window_sample(spec, model_.detector_scaler, window.features)
+                       : model_.detector_scaler.transform(window.features);
+      score.anomaly_score = detector.anomaly_score(detector_input);
+      score.flagged = detector.flags_from_score(detector_input, score.anomaly_score);
+    }
+  });
+
+  auto& counters = core::counters();
+  counters.add("serve.requests", requests.size());
+  counters.add("serve.windows", total_windows);
+  counters.add("serve.entity_batches", active.size());
+  return responses;
+}
+
+}  // namespace goodones::serve

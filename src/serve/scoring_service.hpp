@@ -1,0 +1,103 @@
+// The serving-path API: score live telemetry windows against a persisted
+// serving bundle.
+//
+// A ScoreRequest names a monitored entity and carries one or more raw
+// telemetry windows; the response reports, per window, the personalized
+// forecast, the residual against the persistence reference, the verdict of
+// the entity's vulnerability-cluster detector (the paper's step-5 routing)
+// and a severity-weighted live risk score — the serving-time analogue of
+// the paper's Eq. 1, with the last observed reading standing in for the
+// benign prediction (at test time there is no known-benign model output to
+// diff against; evasion pressure lands exactly here, cf. Biggio et al.).
+//
+// Batching: all windows of all concurrent requests addressed to the same
+// entity run through one Forecaster::predict_batch call (the natural
+// request shape named in the roadmap), and entities shard across the
+// service's thread pool. Throughput counters land in
+// core::metrics::counters() under the "serve." prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "data/labels.hpp"
+#include "nn/matrix.hpp"
+#include "serve/model_registry.hpp"
+
+namespace goodones::serve {
+
+/// One raw telemetry window as it arrives from the field: (seq_len x
+/// num_channels) readings in raw units plus the operating regime at
+/// prediction time (regimes gate both thresholds and severity).
+struct TelemetryWindow {
+  nn::Matrix features;
+  data::Regime regime = data::Regime::kBaseline;
+};
+
+struct ScoreRequest {
+  /// Entity display name as registered in the bundle (e.g. "A_3", "SA_0").
+  std::string entity;
+  std::vector<TelemetryWindow> windows;
+};
+
+/// Verdict for one window.
+struct WindowScore {
+  double forecast = 0.0;   ///< personalized forecaster output, raw units
+  double residual = 0.0;   ///< forecast minus last observed target reading
+  data::StateLabel observed_state = data::StateLabel::kNormal;  ///< last reading
+  data::StateLabel predicted_state = data::StateLabel::kNormal; ///< forecast
+  double anomaly_score = 0.0;  ///< cluster detector's score (higher = worse)
+  bool flagged = false;        ///< cluster detector's final decision
+  /// Serving-time Eq. 1: severity(observed -> predicted) * residual^2.
+  double risk = 0.0;
+};
+
+struct ScoreResponse {
+  std::size_t entity_index = 0;
+  Cluster cluster = Cluster::kLessVulnerable;
+  std::vector<WindowScore> windows;  ///< request window order
+};
+
+struct ScoringServiceConfig {
+  /// Worker threads for cross-entity sharding (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+class ScoringService {
+ public:
+  /// Takes ownership of the bundle (load it via ModelRegistry::load or
+  /// build it in memory via build_serving_model).
+  explicit ScoringService(ServingModel model, ScoringServiceConfig config = {});
+  ~ScoringService();
+
+  ScoringService(const ScoringService&) = delete;
+  ScoringService& operator=(const ScoringService&) = delete;
+
+  const ServingModel& model() const noexcept { return model_; }
+
+  /// Scores one request (all its windows batch through one predict_batch).
+  ScoreResponse score(const ScoreRequest& request) const;
+
+  /// Scores concurrent requests: windows are regrouped per entity so each
+  /// entity's forecaster sees one batch, and entities shard across the
+  /// pool. Response i corresponds to requests[i]. Throws
+  /// common::PreconditionError on an unknown entity, a window whose
+  /// channel count disagrees with the bundle's spec, or a window whose
+  /// row count violates the bundle detector's own geometry (MAD-GAN
+  /// consumes fixed-seq_len windows; sample-level detectors accept any
+  /// length >= 1).
+  std::vector<ScoreResponse> score_batch(std::span<const ScoreRequest> requests) const;
+
+ private:
+  ServingModel model_;
+  /// O(1) request routing (ServingModel::entity_index is a linear scan).
+  std::unordered_map<std::string, std::size_t> entity_lookup_;
+  std::unique_ptr<common::ThreadPool> pool_;
+};
+
+}  // namespace goodones::serve

@@ -4,13 +4,17 @@
 // on and off, on the BGMS regression fixture.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "attack/campaign.hpp"
 #include "attack/evasion.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "nn/lstm.hpp"
 #include "data/timeseries.hpp"
 #include "data/window.hpp"
 #include "domains/bgms/cohort.hpp"
@@ -142,6 +146,126 @@ TEST(BatchedParity, CampaignOutcomesIdenticalWithAndWithoutBatching) {
     expect_same_decisions(scalar[i].attack, batched[i].attack);
     EXPECT_EQ(scalar[i].true_state, batched[i].true_state);
     EXPECT_EQ(scalar[i].adversarial_predicted_state, batched[i].adversarial_predicted_state);
+  }
+}
+
+// --- randomized PrefixState property coverage -------------------------------
+//
+// The fixture tests above pin the batched path on realistic BGMS windows;
+// these push the PrefixState/advance/run_batch contract into randomized
+// space: for arbitrary (seeded) window lengths, prefix split points and
+// batch sizes, resuming from a snapshot must match a fresh run from t = 0
+// within 1e-12.
+
+nn::Matrix random_sequence(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  nn::Matrix m(rows, cols);
+  for (std::size_t t = 0; t < rows; ++t) {
+    for (double& v : m.row(t)) v = rng.uniform(-1.5, 1.5);
+  }
+  return m;
+}
+
+TEST(PrefixStateProperty, AdvanceFromSnapshotMatchesFreshRun) {
+  common::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto input_dim = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    const auto hidden_dim = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    const auto seq_len = static_cast<std::size_t>(rng.uniform_int(2, 20));
+    const auto split = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(seq_len)));
+    const auto batch = static_cast<std::size_t>(rng.uniform_int(1, 7));
+
+    nn::Lstm lstm(input_dim, hidden_dim, rng);
+
+    // Batch of sequences sharing rows [0, split); random tails.
+    const nn::Matrix base = random_sequence(seq_len, input_dim, rng);
+    std::vector<nn::Matrix> sequences(batch, base);
+    for (auto& seq : sequences) {
+      for (std::size_t t = split; t < seq_len; ++t) {
+        for (double& v : seq.row(t)) v = rng.uniform(-1.5, 1.5);
+      }
+    }
+
+    // Snapshot after the shared prefix, then batch-resume from it.
+    nn::Lstm::PrefixState state = lstm.initial_state();
+    if (split > 0) {
+      nn::Matrix prefix(split, input_dim);
+      for (std::size_t t = 0; t < split; ++t) {
+        const auto src = base.row(t);
+        std::copy(src.begin(), src.end(), prefix.row(t).begin());
+      }
+      lstm.advance(state, prefix);
+    }
+    EXPECT_EQ(state.steps, split);
+    const nn::Matrix finals =
+        lstm.run_batch(std::span<const nn::Matrix>(sequences), state, split);
+
+    ASSERT_EQ(finals.rows(), batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const nn::Matrix reference = lstm.forward(sequences[b]);
+      for (std::size_t h = 0; h < hidden_dim; ++h) {
+        EXPECT_NEAR(finals(b, h), reference(seq_len - 1, h), 1e-12)
+            << "trial=" << trial << " split=" << split << " b=" << b << " h=" << h;
+      }
+    }
+  }
+}
+
+TEST(PrefixStateProperty, ChunkedAdvanceMatchesSingleAdvance) {
+  // advance() must compose: consuming a sequence in arbitrary random chunks
+  // reaches exactly the state of consuming it in one shot.
+  common::Rng rng(0xFACADE);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto input_dim = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const auto hidden_dim = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    const auto seq_len = static_cast<std::size_t>(rng.uniform_int(1, 18));
+    nn::Lstm lstm(input_dim, hidden_dim, rng);
+    const nn::Matrix sequence = random_sequence(seq_len, input_dim, rng);
+
+    nn::Lstm::PrefixState whole = lstm.initial_state();
+    lstm.advance(whole, sequence);
+
+    nn::Lstm::PrefixState chunked = lstm.initial_state();
+    std::size_t consumed = 0;
+    while (consumed < seq_len) {
+      const auto remaining = static_cast<std::int64_t>(seq_len - consumed);
+      const auto chunk = static_cast<std::size_t>(rng.uniform_int(1, remaining));
+      nn::Matrix block(chunk, input_dim);
+      for (std::size_t t = 0; t < chunk; ++t) {
+        const auto src = sequence.row(consumed + t);
+        std::copy(src.begin(), src.end(), block.row(t).begin());
+      }
+      lstm.advance(chunked, block);
+      consumed += chunk;
+    }
+
+    ASSERT_EQ(chunked.steps, whole.steps);
+    for (std::size_t h = 0; h < hidden_dim; ++h) {
+      // Chunking must be bit-identical: the same additions happen in the
+      // same order regardless of how the rows are grouped.
+      EXPECT_EQ(chunked.hidden[h], whole.hidden[h]) << "trial=" << trial;
+      EXPECT_EQ(chunked.cell[h], whole.cell[h]) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(PrefixStateProperty, FullPrefixReplicatesSnapshot) {
+  // first_row == rows(): every sequence is entirely shared; run_batch must
+  // return the snapshot state replicated per sequence.
+  common::Rng rng(0xBEEF);
+  nn::Lstm lstm(3, 8, rng);
+  const nn::Matrix base = random_sequence(10, 3, rng);
+  std::vector<nn::Matrix> sequences(4, base);
+
+  nn::Lstm::PrefixState state = lstm.initial_state();
+  lstm.advance(state, base);
+  const nn::Matrix finals =
+      lstm.run_batch(std::span<const nn::Matrix>(sequences), state, base.rows());
+  ASSERT_EQ(finals.rows(), sequences.size());
+  for (std::size_t b = 0; b < sequences.size(); ++b) {
+    for (std::size_t h = 0; h < lstm.hidden_dim(); ++h) {
+      EXPECT_EQ(finals(b, h), state.hidden[h]);
+    }
   }
 }
 

@@ -1,0 +1,465 @@
+// Round-trip guarantees for every persisted artifact: stream primitives,
+// each nn layer's parameters, both scalers, the forecaster artifact and all
+// three detector kinds. The bar is bitwise equality — a reloaded model must
+// score a fixed probe set exactly as the saved one did, because the serving
+// path promises verdict parity with in-memory scoring.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/scaler.hpp"
+#include "detect/knn.hpp"
+#include "detect/madgan.hpp"
+#include "detect/ocsvm.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/serialize.hpp"
+#include "predict/bilstm_forecaster.hpp"
+#include "risk/schedule.hpp"
+
+namespace goodones {
+namespace {
+
+using common::SerializationError;
+
+nn::Matrix random_matrix(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  nn::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (double& v : m.row(r)) v = rng.uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+void expect_bitwise_equal(const nn::Matrix& a, const nn::Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+// --- stream primitives ------------------------------------------------------
+
+TEST(StreamPrimitives, RoundTripAllScalarKinds) {
+  std::stringstream stream;
+  nn::write_u32(stream, 0xDEADBEEF);
+  nn::write_u64(stream, 0x123456789ABCDEF0ULL);
+  nn::write_f64(stream, -3.14159e200);
+  nn::write_string(stream, "synthtel-6");
+  nn::write_f64_vector(stream, {1.0, -2.5, 1e-300});
+  nn::write_u8_vector(stream, {0, 1, 1, 0});
+
+  EXPECT_EQ(nn::read_u32(stream), 0xDEADBEEFu);
+  EXPECT_EQ(nn::read_u64(stream), 0x123456789ABCDEF0ULL);
+  EXPECT_EQ(nn::read_f64(stream), -3.14159e200);
+  EXPECT_EQ(nn::read_string(stream), "synthtel-6");
+  EXPECT_EQ(nn::read_f64_vector(stream), (std::vector<double>{1.0, -2.5, 1e-300}));
+  EXPECT_EQ(nn::read_u8_vector(stream), (std::vector<std::uint8_t>{0, 1, 1, 0}));
+}
+
+TEST(StreamPrimitives, TruncationThrowsTypedError) {
+  std::stringstream stream;
+  nn::write_u32(stream, 7);
+  (void)nn::read_u32(stream);
+  EXPECT_THROW((void)nn::read_u32(stream), SerializationError);
+  EXPECT_THROW((void)nn::read_f64(stream), SerializationError);
+  EXPECT_THROW((void)nn::read_string(stream), SerializationError);
+}
+
+TEST(StreamPrimitives, ImplausibleLengthPrefixThrowsInsteadOfAllocating) {
+  std::stringstream stream;
+  nn::write_u64(stream, std::uint64_t{1} << 40);  // claims ~10^12 doubles
+  EXPECT_THROW((void)nn::read_f64_vector(stream), SerializationError);
+}
+
+TEST(StreamPrimitives, ExpectU32NamesTheMismatchedField) {
+  std::stringstream stream;
+  nn::write_u32(stream, 1);
+  try {
+    nn::expect_u32(stream, 2, "bundle version");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("bundle version"), std::string::npos);
+  }
+}
+
+// --- nn layers --------------------------------------------------------------
+
+TEST(ParamRoundTrip, DenseLayerBitwise) {
+  common::Rng rng(11);
+  nn::Dense saved(5, 3, nn::Activation::kTanh, rng);
+  nn::Dense loaded(5, 3, nn::Activation::kTanh, rng);  // different init stream
+
+  std::stringstream stream;
+  nn::write_parameters(stream, saved.parameters());
+  nn::read_parameters(stream, loaded.parameters());
+
+  const nn::Matrix probe = random_matrix(4, 5, rng);
+  expect_bitwise_equal(saved.forward(probe), loaded.forward(probe));
+}
+
+TEST(ParamRoundTrip, LstmBitwise) {
+  common::Rng rng(12);
+  nn::Lstm saved(3, 6, rng);
+  nn::Lstm loaded(3, 6, rng);
+
+  std::stringstream stream;
+  nn::write_parameters(stream, saved.parameters());
+  nn::read_parameters(stream, loaded.parameters());
+
+  const nn::Matrix probe = random_matrix(9, 3, rng);
+  expect_bitwise_equal(saved.forward(probe), loaded.forward(probe));
+}
+
+TEST(ParamRoundTrip, BiLstmBitwise) {
+  common::Rng rng(13);
+  nn::BiLstm saved(2, 5, rng);
+  nn::BiLstm loaded(2, 5, rng);
+
+  std::stringstream stream;
+  nn::write_parameters(stream, saved.parameters());
+  nn::read_parameters(stream, loaded.parameters());
+
+  const nn::Matrix probe = random_matrix(7, 2, rng);
+  expect_bitwise_equal(saved.forward(probe), loaded.forward(probe));
+}
+
+TEST(ParamRoundTrip, ShapeMismatchThrowsTypedErrorAndLeavesTargetUntouched) {
+  common::Rng rng(14);
+  nn::Dense saved(4, 2, nn::Activation::kLinear, rng);
+  nn::Dense target(2, 4, nn::Activation::kLinear, rng);
+  const nn::Matrix probe = random_matrix(1, 2, rng);
+  const nn::Matrix before = target.forward(probe);
+
+  std::stringstream stream;
+  nn::write_parameters(stream, saved.parameters());
+  EXPECT_THROW(nn::read_parameters(stream, target.parameters()), SerializationError);
+
+  // All-or-nothing: the failed load must not have modified any buffer.
+  expect_bitwise_equal(target.forward(probe), before);
+}
+
+// --- scalers ----------------------------------------------------------------
+
+TEST(ScalerRoundTrip, MinMaxBitwise) {
+  common::Rng rng(15);
+  data::MinMaxScaler saved;
+  saved.fit(random_matrix(30, 4, rng));
+  saved.set_column_range(1, -10.0, 42.5);
+
+  std::stringstream stream;
+  saved.save(stream);
+  data::MinMaxScaler loaded;
+  loaded.load(stream);
+
+  ASSERT_EQ(loaded.num_features(), saved.num_features());
+  const nn::Matrix probe = random_matrix(6, 4, rng);
+  expect_bitwise_equal(saved.transform(probe), loaded.transform(probe));
+  expect_bitwise_equal(saved.inverse_transform(probe), loaded.inverse_transform(probe));
+}
+
+TEST(ScalerRoundTrip, StandardBitwise) {
+  common::Rng rng(16);
+  data::StandardScaler saved;
+  saved.fit(random_matrix(25, 3, rng));
+
+  std::stringstream stream;
+  saved.save(stream);
+  data::StandardScaler loaded;
+  loaded.load(stream);
+
+  const nn::Matrix probe = random_matrix(5, 3, rng);
+  expect_bitwise_equal(saved.transform(probe), loaded.transform(probe));
+}
+
+TEST(ScalerRoundTrip, WrongTagThrowsTypedError) {
+  common::Rng rng(17);
+  data::MinMaxScaler minmax;
+  minmax.fit(random_matrix(4, 2, rng));
+  std::stringstream stream;
+  minmax.save(stream);
+
+  data::StandardScaler standard;
+  EXPECT_THROW(standard.load(stream), SerializationError);
+}
+
+// --- severity schedule ------------------------------------------------------
+
+TEST(ScheduleRoundTrip, NameAndTableBitwise) {
+  const risk::SeveritySchedule saved = risk::SeveritySchedule::exponential(3.0);
+  std::stringstream stream;
+  saved.save(stream);
+  risk::SeveritySchedule loaded;
+  loaded.load(stream);
+
+  EXPECT_EQ(loaded.name(), saved.name());
+  for (const auto benign : {data::StateLabel::kLow, data::StateLabel::kNormal,
+                            data::StateLabel::kHigh}) {
+    for (const auto adv : {data::StateLabel::kLow, data::StateLabel::kNormal,
+                           data::StateLabel::kHigh}) {
+      EXPECT_EQ(loaded.coefficient(benign, adv), saved.coefficient(benign, adv));
+    }
+  }
+}
+
+// --- forecaster artifact ----------------------------------------------------
+
+predict::BiLstmForecaster tiny_forecaster(std::uint64_t seed) {
+  common::Rng rng(seed);
+  predict::ForecasterConfig config;
+  config.hidden = 6;
+  config.head_hidden = 4;
+  config.target_channel = 0;
+  config.seed = seed;
+  data::MinMaxScaler scaler;
+  scaler.fit(random_matrix(40, 3, rng));
+  scaler.set_column_range(0, -4.0, 4.0);
+  return predict::BiLstmForecaster(config, std::move(scaler));
+}
+
+TEST(ForecasterArtifact, RoundTripBitwisePredictions) {
+  common::Rng rng(21);
+  const predict::BiLstmForecaster saved = tiny_forecaster(100);
+
+  std::stringstream stream;
+  saved.save_artifact(stream);
+  const predict::BiLstmForecaster loaded = predict::BiLstmForecaster::load_artifact(stream);
+
+  EXPECT_EQ(loaded.num_channels(), saved.num_channels());
+  EXPECT_EQ(loaded.config().hidden, saved.config().hidden);
+  for (int i = 0; i < 5; ++i) {
+    const nn::Matrix probe = random_matrix(12, 3, rng);
+    EXPECT_EQ(loaded.predict(probe), saved.predict(probe)) << "probe " << i;
+  }
+  // Batched path parity survives the round trip too.
+  std::vector<nn::Matrix> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(random_matrix(12, 3, rng));
+  const auto saved_batch = saved.predict_batch(batch);
+  const auto loaded_batch = loaded.predict_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(loaded_batch[i], saved_batch[i]);
+  }
+}
+
+TEST(ForecasterArtifact, TruncatedStreamThrowsTypedError) {
+  const predict::BiLstmForecaster saved = tiny_forecaster(101);
+  std::stringstream stream;
+  saved.save_artifact(stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)predict::BiLstmForecaster::load_artifact(truncated),
+               SerializationError);
+}
+
+TEST(ForecasterArtifact, WrongTagThrowsTypedError) {
+  std::stringstream stream;
+  nn::write_u32(stream, 0x12345678);
+  EXPECT_THROW((void)predict::BiLstmForecaster::load_artifact(stream), SerializationError);
+}
+
+// --- detectors --------------------------------------------------------------
+
+/// Fixed probe set at sample granularity (1 x dim rows).
+std::vector<nn::Matrix> sample_probes(std::size_t dim, std::size_t count,
+                                      std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<nn::Matrix> probes;
+  probes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) probes.push_back(random_matrix(1, dim, rng));
+  return probes;
+}
+
+void expect_identical_scores(const detect::AnomalyDetector& saved,
+                             const detect::AnomalyDetector& loaded,
+                             const std::vector<nn::Matrix>& probes) {
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(loaded.anomaly_score(probes[i]), saved.anomaly_score(probes[i]))
+        << "probe " << i;
+    EXPECT_EQ(loaded.flags(probes[i]), saved.flags(probes[i])) << "probe " << i;
+  }
+}
+
+TEST(DetectorRoundTrip, KnnBitwise) {
+  detect::KnnConfig config;
+  config.k = 5;
+  config.minkowski_p = 1.5;  // non-default: config must round-trip too
+  detect::KnnDetector saved(config);
+  saved.fit(sample_probes(4, 40, 31), sample_probes(4, 25, 32));
+
+  std::stringstream stream;
+  saved.save(stream);
+  detect::KnnDetector loaded;  // default config, overwritten by load
+  loaded.load(stream);
+
+  EXPECT_EQ(loaded.train_size(), saved.train_size());
+  expect_identical_scores(saved, loaded, sample_probes(4, 20, 33));
+}
+
+TEST(DetectorRoundTrip, OcsvmBitwise) {
+  detect::OcsvmConfig config;
+  config.kernel = detect::Kernel::kRbf;  // non-default kernel
+  config.nu = 0.3;
+  detect::OneClassSvm saved(config);
+  saved.fit(sample_probes(5, 60, 41), {});
+
+  std::stringstream stream;
+  saved.save(stream);
+  detect::OneClassSvm loaded;  // default (sigmoid) config, overwritten
+  loaded.load(stream);
+
+  EXPECT_EQ(loaded.rho(), saved.rho());
+  EXPECT_EQ(loaded.num_support_vectors(), saved.num_support_vectors());
+  expect_identical_scores(saved, loaded, sample_probes(5, 20, 42));
+}
+
+detect::MadGanConfig tiny_madgan_config() {
+  detect::MadGanConfig config;
+  config.epochs = 1;
+  config.num_signals = 2;
+  config.seq_len = 4;
+  config.latent_dim = 2;
+  config.hidden = 5;
+  config.batch_size = 8;
+  config.inversion_steps = 3;
+  config.max_train_windows = 16;
+  config.calibration_windows = 8;
+  config.seed = 77;
+  return config;
+}
+
+std::vector<nn::Matrix> window_probes(std::size_t seq_len, std::size_t signals,
+                                      std::size_t count, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<nn::Matrix> probes;
+  probes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nn::Matrix w(seq_len, signals);
+    for (std::size_t t = 0; t < seq_len; ++t) {
+      for (double& v : w.row(t)) v = rng.uniform(0.0, 1.0);
+    }
+    probes.push_back(std::move(w));
+  }
+  return probes;
+}
+
+TEST(DetectorRoundTrip, MadGanBitwise) {
+  const detect::MadGanConfig config = tiny_madgan_config();
+  detect::MadGan saved(config);
+  saved.fit(window_probes(config.seq_len, config.num_signals, 20, 51), {});
+
+  std::stringstream stream;
+  saved.save(stream);
+  detect::MadGan loaded;  // default (12 x 4) shapes, rebuilt by load
+  loaded.load(stream);
+
+  EXPECT_EQ(loaded.threshold(), saved.threshold());
+  const auto probes = window_probes(config.seq_len, config.num_signals, 6, 52);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(loaded.discrimination_score(probes[i]), saved.discrimination_score(probes[i]));
+    EXPECT_EQ(loaded.reconstruction_error(probes[i]), saved.reconstruction_error(probes[i]));
+  }
+  expect_identical_scores(saved, loaded, probes);
+}
+
+TEST(DetectorRoundTrip, FlagsFromScoreAgreesWithFlags) {
+  // The serving hot path computes anomaly_score once and derives the
+  // verdict via flags_from_score; the two must never disagree.
+  detect::KnnDetector knn;
+  knn.fit(sample_probes(4, 30, 71), sample_probes(4, 30, 72));
+  detect::OneClassSvm ocsvm;
+  ocsvm.fit(sample_probes(4, 50, 73), {});
+  const detect::MadGanConfig config = tiny_madgan_config();
+  detect::MadGan madgan(config);
+  madgan.fit(window_probes(config.seq_len, config.num_signals, 20, 74), {});
+
+  for (const auto& probe : sample_probes(4, 25, 75)) {
+    EXPECT_EQ(knn.flags_from_score(probe, knn.anomaly_score(probe)), knn.flags(probe));
+    EXPECT_EQ(ocsvm.flags_from_score(probe, ocsvm.anomaly_score(probe)),
+              ocsvm.flags(probe));
+  }
+  for (const auto& probe : window_probes(config.seq_len, config.num_signals, 6, 76)) {
+    EXPECT_EQ(madgan.flags_from_score(probe, madgan.anomaly_score(probe)),
+              madgan.flags(probe));
+  }
+}
+
+TEST(DetectorRoundTrip, InvalidOcsvmKernelInArtifactThrowsTypedError) {
+  // An out-of-range kernel enum would make kernel_value() silently return
+  // 0 for every pair; load must reject it instead.
+  std::stringstream stream;
+  nn::write_u32(stream, 0x4F435356);  // "OCSV" tag
+  nn::write_u32(stream, 9);           // kernel: out of range
+  nn::write_u32(stream, 0);           // gamma mode
+  detect::OneClassSvm detector;
+  EXPECT_THROW(detector.load(stream), SerializationError);
+}
+
+TEST(DetectorRoundTrip, InvalidKnnConfigInArtifactThrowsTypedError) {
+  detect::KnnDetector saved;
+  saved.fit(sample_probes(3, 10, 81), sample_probes(3, 10, 82));
+  std::stringstream stream;
+  saved.save(stream);
+  // Rewrite the stream with k = 0 (which would vote 0/0 = NaN).
+  std::string bytes = stream.str();
+  std::stringstream tampered;
+  nn::write_u32(tampered, 0x4B4E4E44);  // "KNND" tag
+  nn::write_u64(tampered, 0);           // k = 0
+  tampered << bytes.substr(4 + 8);      // rest of the original payload
+  detect::KnnDetector target;
+  EXPECT_THROW(target.load(tampered), SerializationError);
+}
+
+TEST(ScalerRoundTrip, NonFiniteRangeInArtifactThrowsTypedError) {
+  std::stringstream minmax_stream;
+  nn::write_u32(minmax_stream, 0x4D4D5343);  // "MMSC" tag
+  nn::write_f64_vector(minmax_stream, {0.0});
+  nn::write_f64_vector(minmax_stream, {std::numeric_limits<double>::quiet_NaN()});
+  data::MinMaxScaler minmax;
+  EXPECT_THROW(minmax.load(minmax_stream), SerializationError);
+
+  std::stringstream standard_stream;
+  nn::write_u32(standard_stream, 0x53545343);  // "STSC" tag
+  nn::write_f64_vector(standard_stream, {1.0});
+  nn::write_f64_vector(standard_stream, {0.0});  // std = 0 divides by zero
+  data::StandardScaler standard;
+  EXPECT_THROW(standard.load(standard_stream), SerializationError);
+}
+
+TEST(DetectorRoundTrip, KindTagMismatchThrowsTypedError) {
+  detect::KnnDetector knn;
+  knn.fit(sample_probes(3, 10, 61), sample_probes(3, 10, 62));
+  std::stringstream stream;
+  knn.save(stream);
+
+  detect::OneClassSvm wrong_kind;
+  EXPECT_THROW(wrong_kind.load(stream), SerializationError);
+}
+
+TEST(DetectorRoundTrip, TruncatedDetectorStreamThrowsAndLeavesTargetUsable) {
+  detect::KnnDetector saved;
+  saved.fit(sample_probes(3, 12, 63), sample_probes(3, 12, 64));
+  std::stringstream stream;
+  saved.save(stream);
+  const std::string full = stream.str();
+
+  detect::KnnDetector target;
+  target.fit(sample_probes(3, 8, 65), sample_probes(3, 8, 66));
+  const auto probes = sample_probes(3, 5, 67);
+  std::vector<double> before;
+  for (const auto& p : probes) before.push_back(target.anomaly_score(p));
+
+  std::stringstream truncated(full.substr(0, full.size() - 7));
+  EXPECT_THROW(target.load(truncated), SerializationError);
+  // The failed load left the previously fitted state fully intact.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(target.anomaly_score(probes[i]), before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace goodones

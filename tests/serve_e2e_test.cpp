@@ -1,0 +1,204 @@
+// End-to-end golden test for the serving path: train the synthtel mini
+// pipeline, build the serving bundle, persist it through the ModelRegistry,
+// reload into a fresh ScoringService, and pin that served verdicts and risk
+// scores are IDENTICAL (bitwise) to in-memory scoring — for clean windows
+// and for adversarially manipulated ones. This is the contract that makes
+// "train once, score forever" safe.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/framework.hpp"
+#include "core/metrics.hpp"
+#include "data/window.hpp"
+#include "domains/synthtel/adapter.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace goodones::serve {
+namespace {
+
+std::shared_ptr<const core::DomainAdapter> mini_fleet() {
+  static const auto domain = std::make_shared<synthtel::SynthtelDomain>(2);
+  return domain;
+}
+
+core::FrameworkConfig mini_config() {
+  core::FrameworkConfig config = mini_fleet()->prepare(core::FrameworkConfig::fast());
+  config.population.train_steps = 1200;
+  config.population.test_steps = 400;
+  config.population.seed = 7;
+  config.registry.forecaster.hidden = 8;
+  config.registry.forecaster.head_hidden = 6;
+  config.registry.forecaster.epochs = 2;
+  config.registry.train_window_step = 8;
+  config.registry.aggregate_window_step = 50;
+  config.profiling_campaign.window_step = 10;
+  config.evaluation_campaign.window_step = 10;
+  config.detector_benign_stride = 10;
+  config.detectors.knn.max_points_per_class = 400;
+  config.random_runs = 1;
+  config.random_victims = 2;
+  config.seed = 4242;
+  return config;
+}
+
+core::RiskProfilingFramework& framework() {
+  static core::RiskProfilingFramework instance(mini_fleet(), mini_config());
+  return instance;
+}
+
+/// Scratch registry root, wiped between test runs.
+std::filesystem::path registry_root() {
+  const auto root = std::filesystem::temp_directory_path() / "goodones_serve_e2e";
+  return root;
+}
+
+/// Clean + attacked score requests for every entity: a few benign test
+/// windows and the successful adversarial windows of the evaluation
+/// campaign (evasion pressure lands at test time).
+std::vector<ScoreRequest> build_requests(core::RiskProfilingFramework& fw) {
+  std::vector<ScoreRequest> requests;
+  const auto& entities = fw.entities();
+  data::WindowConfig window_config = fw.config().window;
+  window_config.step = 25;
+  for (std::size_t e = 0; e < entities.size(); ++e) {
+    ScoreRequest clean;
+    clean.entity = entities[e].name;
+    const auto windows = data::make_windows(entities[e].test, window_config);
+    for (std::size_t i = 0; i < windows.size() && i < 6; ++i) {
+      clean.windows.push_back({windows[i].features, windows[i].regime});
+    }
+    requests.push_back(std::move(clean));
+
+    ScoreRequest attacked;
+    attacked.entity = entities[e].name;
+    for (const auto& outcome : fw.test_outcomes(e)) {
+      if (!outcome.attack.success) continue;
+      attacked.windows.push_back(
+          {outcome.attack.adversarial_features, outcome.benign.regime});
+      if (attacked.windows.size() >= 4) break;
+    }
+    if (!attacked.windows.empty()) requests.push_back(std::move(attacked));
+  }
+  return requests;
+}
+
+void expect_identical_responses(const std::vector<ScoreResponse>& in_memory,
+                                const std::vector<ScoreResponse>& served) {
+  ASSERT_EQ(in_memory.size(), served.size());
+  for (std::size_t r = 0; r < in_memory.size(); ++r) {
+    const ScoreResponse& a = in_memory[r];
+    const ScoreResponse& b = served[r];
+    EXPECT_EQ(a.entity_index, b.entity_index);
+    EXPECT_EQ(a.cluster, b.cluster);
+    ASSERT_EQ(a.windows.size(), b.windows.size());
+    for (std::size_t w = 0; w < a.windows.size(); ++w) {
+      // Bitwise: a reloaded model must not drift by even one ulp.
+      EXPECT_EQ(a.windows[w].forecast, b.windows[w].forecast) << "r=" << r << " w=" << w;
+      EXPECT_EQ(a.windows[w].residual, b.windows[w].residual) << "r=" << r << " w=" << w;
+      EXPECT_EQ(a.windows[w].observed_state, b.windows[w].observed_state);
+      EXPECT_EQ(a.windows[w].predicted_state, b.windows[w].predicted_state);
+      EXPECT_EQ(a.windows[w].anomaly_score, b.windows[w].anomaly_score)
+          << "r=" << r << " w=" << w;
+      EXPECT_EQ(a.windows[w].flagged, b.windows[w].flagged) << "r=" << r << " w=" << w;
+      EXPECT_EQ(a.windows[w].risk, b.windows[w].risk) << "r=" << r << " w=" << w;
+    }
+  }
+}
+
+TEST(ServeEndToEnd, PersistedBundleServesIdenticalVerdicts) {
+  std::filesystem::remove_all(registry_root());
+  auto& fw = framework();
+
+  // Train + bundle in memory.
+  ServingModel model = build_serving_model(fw, detect::DetectorKind::kKnn);
+  ASSERT_EQ(model.entity_names.size(), fw.entities().size());
+  ASSERT_EQ(model.forecasters.size(), fw.entities().size());
+
+  // Persist and reload through the registry.
+  const ModelRegistry registry(registry_root());
+  const RegistryKey key = registry_key(fw, detect::DetectorKind::kKnn);
+  EXPECT_FALSE(registry.contains(key));
+  registry.save(model);
+  ASSERT_TRUE(registry.contains(key));
+  ServingModel reloaded = registry.load(key);
+  EXPECT_EQ(reloaded.domain_key, model.domain_key);
+  EXPECT_EQ(reloaded.fingerprint, model.fingerprint);
+  EXPECT_EQ(reloaded.entity_names, model.entity_names);
+  EXPECT_EQ(reloaded.entity_cluster.size(), model.entity_cluster.size());
+
+  const std::vector<ScoreRequest> requests = build_requests(fw);
+  ASSERT_GE(requests.size(), fw.entities().size());  // at least the clean ones
+
+  const ScoringService in_memory(std::move(model), {.threads = 2});
+  const ScoringService served(std::move(reloaded), {.threads = 2});
+
+  const auto in_memory_responses =
+      in_memory.score_batch(std::span<const ScoreRequest>(requests));
+  const auto served_responses =
+      served.score_batch(std::span<const ScoreRequest>(requests));
+  expect_identical_responses(in_memory_responses, served_responses);
+
+  // The golden run must actually exercise the detector on attack traffic:
+  // at least one adversarial request exists and at least one window of the
+  // whole run carries nonzero anomaly signal.
+  std::size_t scored_windows = 0;
+  bool any_signal = false;
+  for (const auto& response : served_responses) {
+    for (const auto& window : response.windows) {
+      ++scored_windows;
+      any_signal = any_signal || window.anomaly_score != 0.0 || window.flagged;
+    }
+  }
+  EXPECT_GT(scored_windows, fw.entities().size() * 3);
+  EXPECT_TRUE(any_signal);
+
+  std::filesystem::remove_all(registry_root());
+}
+
+TEST(ServeEndToEnd, SingleRequestMatchesBatchPath) {
+  auto& fw = framework();
+  ServingModel model = build_serving_model(fw, detect::DetectorKind::kKnn);
+  const ScoringService service(std::move(model), {.threads = 2});
+
+  const std::vector<ScoreRequest> requests = build_requests(fw);
+  const auto batched = service.score_batch(std::span<const ScoreRequest>(requests));
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const ScoreResponse single = service.score(requests[r]);
+    expect_identical_responses({batched[r]}, {single});
+  }
+}
+
+TEST(ServeEndToEnd, ThroughputCountersAdvance) {
+  auto& fw = framework();
+  ServingModel model = build_serving_model(fw, detect::DetectorKind::kKnn);
+  const ScoringService service(std::move(model), {.threads = 2});
+
+  core::counters().reset();
+  const std::vector<ScoreRequest> requests = build_requests(fw);
+  std::size_t total_windows = 0;
+  for (const auto& request : requests) total_windows += request.windows.size();
+  (void)service.score_batch(std::span<const ScoreRequest>(requests));
+
+  EXPECT_EQ(core::counters().value("serve.requests"), requests.size());
+  EXPECT_EQ(core::counters().value("serve.windows"), total_windows);
+  EXPECT_GE(core::counters().value("serve.entity_batches"), 1u);
+}
+
+TEST(ServeEndToEnd, UnknownEntityFailsLoudly) {
+  auto& fw = framework();
+  ServingModel model = build_serving_model(fw, detect::DetectorKind::kKnn);
+  const ScoringService service(std::move(model));
+
+  ScoreRequest bogus;
+  bogus.entity = "NO_SUCH_NODE";
+  EXPECT_THROW((void)service.score(bogus), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace goodones::serve
