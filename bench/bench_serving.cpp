@@ -2,20 +2,26 @@
 // ScoringService whose bundle was round-tripped through the ModelRegistry
 // (exactly what a deployed fleet would run), across request shapes — single
 // window, per-entity batches, and mixed multi-entity traffic — plus the
-// registry's own save/load latency. Results land in BENCH_serving.json
-// (name, iters, ns_per_op, probes_per_sec = windows/sec) so serving
-// throughput is tracked across PRs.
+// registry's own save/load latency, the detector score_batch speedup
+// (MAD-GAN's batched latent inversion and kNN's blocked neighbor queries
+// vs their per-window paths) and the adaptive loop's bundle hot-swap
+// latency. Results land in BENCH_serving.json (name, iters, ns_per_op,
+// probes_per_sec = windows/sec) so serving throughput is tracked across
+// PRs.
 #include "bench_common.hpp"
 
 #include <chrono>
 #include <filesystem>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/metrics.hpp"
 #include "data/window.hpp"
+#include "detect/knn.hpp"
+#include "detect/madgan.hpp"
 #include "domains/synthtel/adapter.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/scoring_service.hpp"
@@ -154,6 +160,99 @@ void run_serving_modes(std::vector<bench::BenchRecord>& records) {
             << f.load_seconds * 1e3 << " ms\n";
 }
 
+/// Detector score_batch vs per-window anomaly_score, on the detectors the
+/// serving path actually routes to. MAD-GAN is the headline (its latent
+/// inversion is the per-window cost the batch amortizes); kNN shows the
+/// blocked-query effect on the sample-level path.
+void run_detector_batching(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  auto& framework = *f.framework;
+
+  // MAD-GAN: train a miniature GAN on one entity's benign windows, then
+  // score a request-sized batch both ways.
+  detect::MadGanConfig gan_config;
+  gan_config.epochs = 6;
+  gan_config.hidden = 16;
+  gan_config.num_signals = framework.domain().spec().num_channels;
+  gan_config.max_train_windows = 300;
+  gan_config.calibration_windows = 64;
+  gan_config.inversion_steps = 15;
+  detect::MadGan madgan(gan_config);
+  const auto benign_windows = framework.benign_train_windows(0);
+  madgan.fit(benign_windows, {});
+
+  std::vector<nn::Matrix> gan_batch(benign_windows.begin(),
+                                    benign_windows.begin() +
+                                        std::min<std::size_t>(32, benign_windows.size()));
+  records.push_back(time_windows("madgan_per_window_score", 3, gan_batch.size(), [&] {
+    for (const auto& window : gan_batch) {
+      benchmark::DoNotOptimize(madgan.anomaly_score(window));
+    }
+  }));
+  records.push_back(time_windows("madgan_score_batch", 3, gan_batch.size(), [&] {
+    benchmark::DoNotOptimize(madgan.score_batch(std::span<const nn::Matrix>(gan_batch)));
+  }));
+
+  // kNN: the bundle's own cluster detector consumes sample-level rows.
+  detect::KnnDetector knn;
+  const auto knn_benign = framework.benign_train_samples(0);
+  const auto knn_malicious = framework.malicious_samples(framework.profiling_outcomes(0));
+  std::vector<nn::Matrix> knn_mal = knn_malicious;
+  if (knn_mal.empty()) knn_mal.push_back(knn_benign.front());
+  knn.fit(knn_benign, knn_mal);
+  std::vector<nn::Matrix> knn_batch(knn_benign.begin(),
+                                    knn_benign.begin() +
+                                        std::min<std::size_t>(64, knn_benign.size()));
+  records.push_back(time_windows("knn_per_window_score", 20, knn_batch.size(), [&] {
+    for (const auto& sample : knn_batch) {
+      benchmark::DoNotOptimize(knn.anomaly_score(sample));
+    }
+  }));
+  records.push_back(time_windows("knn_score_batch", 20, knn_batch.size(), [&] {
+    benchmark::DoNotOptimize(knn.score_batch(std::span<const nn::Matrix>(knn_batch)));
+  }));
+
+  const double madgan_speedup =
+      records[records.size() - 4].probes_per_sec > 0
+          ? records[records.size() - 3].probes_per_sec /
+                records[records.size() - 4].probes_per_sec
+          : 0.0;
+  std::cout << "detector batching (windows/sec): MAD-GAN per-window "
+            << records[records.size() - 4].probes_per_sec << " vs batched "
+            << records[records.size() - 3].probes_per_sec << " (x" << madgan_speedup
+            << "), kNN per-window " << records[records.size() - 2].probes_per_sec
+            << " vs batched " << records[records.size() - 1].probes_per_sec << "\n";
+}
+
+/// Latency of the adaptive loop's atomic bundle publication: clone N
+/// generations up front, then time swap_model alone (what a refresh adds on
+/// top of its rebuild).
+void run_hot_swap(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  serve::ScoringService service(serve::clone_serving_model(*f.service->model()),
+                                {.threads = 2});
+  constexpr std::size_t kSwaps = 16;
+  std::vector<serve::ServingModel> generations;
+  generations.reserve(kSwaps);
+  for (std::size_t i = 0; i < kSwaps; ++i) {
+    serve::ServingModel next = serve::clone_serving_model(*service.model());
+    next.generation = i + 1;
+    generations.push_back(std::move(next));
+  }
+
+  const auto start = Clock::now();
+  for (auto& model : generations) service.swap_model(std::move(model));
+  const double seconds = seconds_since(start);
+
+  bench::BenchRecord record;
+  record.name = "bundle_hot_swap_seconds";
+  record.iters = kSwaps;
+  record.ns_per_op = seconds * 1e9 / static_cast<double>(kSwaps);
+  records.push_back(record);
+  std::cout << "bundle hot swap: " << record.ns_per_op / 1e3 << " us per publish ("
+            << kSwaps << " generations)\n";
+}
+
 void BM_ScoreSingleWindow(benchmark::State& state) {
   const Fixture& f = fixture();
   serve::ScoreRequest single = f.mixed_traffic.front();
@@ -182,6 +281,8 @@ int main(int argc, char** argv) {
                "round-tripped through the ModelRegistry)\n";
   std::vector<bench::BenchRecord> records;
   run_serving_modes(records);
+  run_detector_batching(records);
+  run_hot_swap(records);
   bench::save_bench_json(records, "serving");
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

@@ -67,6 +67,28 @@ class RobustZScoreDetector final : public detect::AnomalyDetector {
     return anomaly_score(window) > threshold_;
   }
 
+  /// Optional serving-path fast lane. The contract when you override
+  /// score_batch (see detect/detector.hpp):
+  ///   1. element i corresponds to windows[i];
+  ///   2. every score is BITWISE identical to anomaly_score(windows[i]) —
+  ///      batching may only change the execution schedule, never a value
+  ///      (the serving tests replay responses against persisted bundles
+  ///      and compare with EXPECT_EQ on doubles);
+  ///   3. an empty span returns an empty vector;
+  ///   4. it must be const and thread-safe (the ScoringService calls it
+  ///      from pool workers, one call per entity per request batch).
+  /// Skip the override entirely when there is nothing to amortize across
+  /// the batch — the base class loops anomaly_score for you, which is all
+  /// this detector needs (shown here only to demonstrate the contract;
+  /// MAD-GAN's batched latent inversion and kNN's blocked neighbor
+  /// queries in src/detect/ are the overrides that actually pay).
+  std::vector<double> score_batch(std::span<const nn::Matrix> windows) const override {
+    std::vector<double> scores;
+    scores.reserve(windows.size());
+    for (const nn::Matrix& window : windows) scores.push_back(anomaly_score(window));
+    return scores;
+  }
+
   std::string name() const override { return "RobustZScore"; }
 
  private:

@@ -55,10 +55,10 @@ int main() {
 
   // --- score forever --------------------------------------------------------
   const serve::ScoringService service(registry.load(key));
-  const auto& model = service.model();
-  std::cout << "loaded bundle: domain " << model.domain_key << ", "
-            << model.entity_names.size() << " entities, detector "
-            << detect::to_string(model.detector_kind) << "\n\n";
+  const auto model = service.model();  // snapshot of the served generation
+  std::cout << "loaded bundle: domain " << model->domain_key << ", "
+            << model->entity_names.size() << " entities, detector "
+            << detect::to_string(model->detector_kind) << "\n\n";
 
   // Live telemetry stand-in: held-out windows of the first entity, plus one
   // manipulated copy (the adversary rewrites the reading channel upward).
@@ -72,8 +72,8 @@ int main() {
   }
   serve::TelemetryWindow manipulated = request.windows.front();
   for (std::size_t t = 0; t < manipulated.features.rows(); ++t) {
-    manipulated.features(t, model.spec.target_channel) =
-        model.spec.attack_box_max;  // pinned to the constraint-box ceiling
+    manipulated.features(t, model->spec.target_channel) =
+        model->spec.attack_box_max;  // pinned to the constraint-box ceiling
   }
   request.windows.push_back(manipulated);
 

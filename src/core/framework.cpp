@@ -371,6 +371,37 @@ TrainedDetector RiskProfilingFramework::train_detector(
   return trained;
 }
 
+VulnerabilityClusters RiskProfilingFramework::rebuild_routing(
+    const VulnerabilityClusters& partition) {
+  ensure_entities();
+  VulnerabilityClusters canonical = partition;
+  std::sort(canonical.less_vulnerable.begin(), canonical.less_vulnerable.end());
+  std::sort(canonical.more_vulnerable.begin(), canonical.more_vulnerable.end());
+
+  std::vector<char> seen(entities_.size(), 0);
+  const auto mark = [&](const std::vector<std::size_t>& group) {
+    for (const std::size_t p : group) {
+      if (p >= entities_.size()) {
+        throw common::PreconditionError("routing partition names unknown entity index " +
+                                        std::to_string(p));
+      }
+      if (seen[p]) {
+        throw common::PreconditionError("routing partition assigns entity " +
+                                        std::to_string(p) + " to both clusters");
+      }
+      seen[p] = 1;
+    }
+  };
+  mark(canonical.less_vulnerable);
+  mark(canonical.more_vulnerable);
+  for (std::size_t p = 0; p < seen.size(); ++p) {
+    if (!seen[p]) {
+      throw common::PreconditionError("routing partition misses entity " + std::to_string(p));
+    }
+  }
+  return canonical;
+}
+
 StrategyEvaluation RiskProfilingFramework::evaluate_strategy(
     detect::DetectorKind kind, const std::vector<std::size_t>& train_victims) {
   ensure_test_outcomes();

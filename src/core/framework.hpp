@@ -134,6 +134,17 @@ class RiskProfilingFramework {
   TrainedDetector train_detector(detect::DetectorKind kind,
                                  const std::vector<std::size_t>& train_victims);
 
+  /// Validates and canonicalizes an externally-supplied vulnerability
+  /// partition (e.g. the online profiler's reassessment) into the exact
+  /// representation step 4 emits: every entity index appears exactly once,
+  /// both groups sorted ascending. The adaptive serving loop rebuilds
+  /// routing tables and retrains per-cluster detectors through this seam,
+  /// so online reassignment goes through training-identical cluster
+  /// assignment code instead of a parallel implementation. Throws
+  /// common::PreconditionError on a partition that misses, duplicates, or
+  /// invents entities.
+  VulnerabilityClusters rebuild_routing(const VulnerabilityClusters& partition);
+
   // --- helpers shared with benches/examples ---
 
   /// The global detector feature scaler (fit across all entities' train data).

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,21 @@ class AnomalyDetector {
 
   /// Final decision: true = flagged as malicious. Requires a prior fit.
   virtual bool flags(const nn::Matrix& window) const = 0;
+
+  /// Anomaly scores for a batch of windows, element i corresponding to
+  /// windows[i]. The contract is strict: scores must be BITWISE identical to
+  /// calling anomaly_score(windows[i]) one by one — batching is an execution
+  /// strategy, never a semantic change — so callers (the serving path makes
+  /// one score_batch call per entity per request) may mix the two paths
+  /// freely. The default loops anomaly_score; override when amortizing work
+  /// across the batch pays (MAD-GAN shares one batched latent inversion,
+  /// kNN blocks its neighbor queries over the reference set).
+  virtual std::vector<double> score_batch(std::span<const nn::Matrix> windows) const {
+    std::vector<double> scores;
+    scores.reserve(windows.size());
+    for (const nn::Matrix& window : windows) scores.push_back(anomaly_score(window));
+    return scores;
+  }
 
   /// Final decision given `score` = anomaly_score(window), for hot paths
   /// that need both the score and the verdict (the serving path would

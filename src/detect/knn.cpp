@@ -140,6 +140,53 @@ double KnnDetector::anomaly_score(const nn::Matrix& window) const {
   return malicious_neighbor_fraction(data::flatten(window));
 }
 
+std::vector<double> KnnDetector::score_batch(std::span<const nn::Matrix> windows) const {
+  if (windows.empty()) return {};
+  GO_EXPECTS(points_.rows() > 0);
+  const std::size_t k = std::min(config_.k, points_.rows());
+
+  std::vector<std::vector<double>> queries;
+  queries.reserve(windows.size());
+  for (const nn::Matrix& window : windows) {
+    queries.push_back(data::flatten(window));
+    GO_EXPECTS(queries.back().size() == points_.cols());
+  }
+
+  // One pass over the reference set serves every query: training rows are
+  // visited in blocks small enough to stay cache-resident across the inner
+  // query loop. Each query still sees rows in index order, so its heap goes
+  // through exactly the per-query scan's states (bitwise-identical scores).
+  std::vector<std::vector<std::pair<double, std::uint8_t>>> heaps(queries.size());
+  for (auto& heap : heaps) heap.reserve(k + 1);
+  constexpr std::size_t kBlockRows = 256;
+  for (std::size_t block = 0; block < points_.rows(); block += kBlockRows) {
+    const std::size_t block_end = std::min(points_.rows(), block + kBlockRows);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      auto& heap = heaps[q];
+      for (std::size_t r = block; r < block_end; ++r) {
+        const double dist = minkowski(queries[q], points_.row(r), config_.minkowski_p);
+        if (heap.size() < k) {
+          heap.emplace_back(dist, labels_[r]);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (dist < heap.front().first) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = {dist, labels_[r]};
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+    }
+  }
+
+  std::vector<double> scores;
+  scores.reserve(queries.size());
+  for (const auto& heap : heaps) {
+    std::size_t malicious = 0;
+    for (const auto& [dist, label] : heap) malicious += label;
+    scores.push_back(static_cast<double>(malicious) / static_cast<double>(heap.size()));
+  }
+  return scores;
+}
+
 bool KnnDetector::flags(const nn::Matrix& window) const {
   return anomaly_score(window) > 0.5;
 }

@@ -34,6 +34,13 @@ class KnnDetector final : public AnomalyDetector {
   /// Majority vote of the k nearest neighbors.
   bool flags(const nn::Matrix& window) const override;
 
+  /// Batched queries: the training matrix is walked in row blocks sized to
+  /// stay cache-resident while every query in the batch updates its own
+  /// neighbor heap, so one pass over the reference set serves the whole
+  /// batch. Each query still visits training rows in index order —
+  /// scores are bitwise-identical to per-window anomaly_score.
+  std::vector<double> score_batch(std::span<const nn::Matrix> windows) const override;
+
   bool flags_from_score(const nn::Matrix& /*window*/, double score) const override {
     return score > 0.5;
   }

@@ -231,6 +231,70 @@ bool MadGan::flags(const nn::Matrix& window) const {
   return anomaly_score(window) > threshold_;
 }
 
+std::vector<double> MadGan::score_batch(std::span<const nn::Matrix> windows) const {
+  if (windows.empty()) return {};
+  GO_EXPECTS(fitted_);
+  const std::size_t batch = windows.size();
+  for (const nn::Matrix& w : windows) {
+    GO_EXPECTS(w.rows() == config_.seq_len && w.cols() == config_.num_signals);
+  }
+
+  // Discrimination term: one packed pass over the whole batch; the head
+  // consumes each final state as its own (1 x H) row, exactly as the scalar
+  // path consumes hidden.row(T - 1).
+  const nn::Matrix final_states = discriminator_.lstm.run_batch(windows);
+  std::vector<double> disc(batch);
+  nn::Matrix last(1, final_states.cols());
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto src = final_states.row(i);
+    std::copy(src.begin(), src.end(), last.row(0).begin());
+    disc[i] = 1.0 - discriminator_.head.forward(last)(0, 0);
+  }
+
+  // Reconstruction term: batched latent inversion, three amortizations per
+  // gradient step — (1) the generator LSTM runs forward over every
+  // window's latent trajectory as packed per-timestep GEMMs, (2) the
+  // reverse pass computes input gradients only (the inversion never reads
+  // parameter gradients, so backward()'s dW/dWh GEMMs are skipped and no
+  // scratch net copy is needed), with the recurrent transport batched, and
+  // (3) the projection gradient flows through the const backward_input.
+  // Every per-window value is bit-identical to the scalar path's.
+  std::vector<nn::Matrix> z(batch, inversion_z0_);
+  std::vector<double> best(batch, std::numeric_limits<double>::infinity());
+  std::vector<nn::Lstm::Cache> lstm_caches;
+  std::vector<nn::Matrix> grad_hiddens(batch);
+  for (std::size_t step = 0; step < config_.inversion_steps; ++step) {
+    generator_.lstm.forward_batch_cached(z, lstm_caches);
+    for (std::size_t i = 0; i < batch; ++i) {
+      nn::Dense::Cache proj_cache;
+      const nn::Matrix reconstructed =
+          generator_.projection.forward_cached(lstm_caches[i].hidden, proj_cache);
+      const nn::LossResult loss = nn::mse_loss(reconstructed, windows[i]);
+      best[i] = std::min(best[i], loss.value);
+      grad_hiddens[i] = generator_.projection.backward_input(loss.grad, proj_cache);
+    }
+    const std::vector<nn::Matrix> grad_z =
+        generator_.lstm.backward_input_batch(grad_hiddens, lstm_caches);
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t t = 0; t < z[i].rows(); ++t) {
+        auto z_row = z[i].row(t);
+        const auto g_row = grad_z[i].row(t);
+        for (std::size_t c = 0; c < z_row.size(); ++c) {
+          z_row[c] -= config_.inversion_lr * g_row[c];
+        }
+      }
+    }
+  }
+
+  std::vector<double> scores(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    // Same association as anomaly_score: normalize first, then weight.
+    const double recon = best[i] / recon_reference_;
+    scores[i] = config_.dr_lambda * disc[i] + (1.0 - config_.dr_lambda) * recon;
+  }
+  return scores;
+}
+
 nn::Matrix MadGan::generate(common::Rng& rng) const {
   nn::Lstm::Cache gc;
   nn::Dense::Cache pc;

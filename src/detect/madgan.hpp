@@ -58,6 +58,14 @@ class MadGan final : public AnomalyDetector {
 
   bool flags(const nn::Matrix& window) const override;
 
+  /// Batched DR-scores for a request's windows. The discrimination term
+  /// runs the whole batch through one nn::Lstm::run_batch; the latent
+  /// inversion shares a single scratch generator and batches every gradient
+  /// step's forward pass across windows (nn::Lstm::forward_batch_cached) —
+  /// the per-window path pays a generator copy plus an unbatched LSTM pass
+  /// per inversion step. Scores are bitwise-identical to anomaly_score.
+  std::vector<double> score_batch(std::span<const nn::Matrix> windows) const override;
+
   bool flags_from_score(const nn::Matrix& /*window*/, double score) const override {
     return score > threshold_;
   }

@@ -1,0 +1,77 @@
+#include "domains/av/adapter.hpp"
+
+namespace goodones::av {
+
+AvDomain::AvDomain(std::size_t vehicles_per_subset)
+    : vehicles_per_subset_(vehicles_per_subset) {
+  spec_.name = "av";
+  spec_.variant = std::to_string(vehicles_per_subset) + "x2";
+  spec_.num_channels = kNumChannels;
+  spec_.target_channel = kSteering;
+  spec_.channel_names = {"steering", "speed", "maneuver"};
+  spec_.target_min = kMinSteering;
+  spec_.target_max = kMaxSteering;
+  // Sharp-left below -20 degrees; sharp-right above 20 on a straight and
+  // above 35 mid-maneuver (the active regime expects sharper benign
+  // angles, like the postprandial window expects higher glucose).
+  spec_.thresholds.low = -20.0;
+  spec_.thresholds.high_baseline = 20.0;
+  spec_.thresholds.high_active = 35.0;
+  // Exponential severity (Table-I shape): a phantom hard-right called while
+  // the vehicle is actually steering hard-left is the catastrophic cell,
+  // like an insulin overdose on a hypoglycemic patient.
+  spec_.severity = risk::SeveritySchedule::paper_default();
+  // The adversary must present a plausible "turning" reading: above the
+  // regime's sharp-right threshold, below the physical steering stop. Harm
+  // means the controller predicts an angle past the stability limit.
+  spec_.attack_box_min_baseline = spec_.thresholds.high_baseline;
+  spec_.attack_box_min_active = spec_.thresholds.high_active;
+  spec_.attack_box_max = kMaxSteering;
+  spec_.attack_harm_threshold = 28.0;
+  // Sample-level context: recent maneuver activity explains benign sharp
+  // angles, so detectors can excuse them.
+  spec_.context_channels = {kManeuver};
+  spec_.context_window_steps = kManeuverHoldSteps;
+  spec_.num_subsets = 2;
+}
+
+std::vector<core::EntityData> AvDomain::make_entities(
+    const core::PopulationConfig& population) const {
+  std::vector<core::EntityData> entities;
+  const auto fleet = fleet_parameters(vehicles_per_subset_);
+  entities.reserve(fleet.size());
+  for (const VehicleParams& vehicle : fleet) {
+    const std::size_t total = population.train_steps + population.test_steps;
+    data::TelemetrySeries full = simulate_vehicle(vehicle, total, population.seed);
+
+    core::EntityData entity;
+    entity.name = vehicle.name;
+    entity.subset = vehicle.subset;
+    // Chronological split, like the BGMS cohort.
+    entity.train.values = nn::Matrix(population.train_steps, kNumChannels);
+    entity.test.values = nn::Matrix(population.test_steps, kNumChannels);
+    for (std::size_t t = 0; t < total; ++t) {
+      auto& part = t < population.train_steps ? entity.train : entity.test;
+      const std::size_t local = t < population.train_steps ? t : t - population.train_steps;
+      for (std::size_t c = 0; c < kNumChannels; ++c) {
+        part.values(local, c) = full.values(t, c);
+      }
+    }
+    entity.train.true_target.assign(full.true_target.begin(),
+                                    full.true_target.begin() +
+                                        static_cast<std::ptrdiff_t>(population.train_steps));
+    entity.test.true_target.assign(full.true_target.begin() +
+                                       static_cast<std::ptrdiff_t>(population.train_steps),
+                                   full.true_target.end());
+    entity.train.regimes.assign(full.regimes.begin(),
+                                full.regimes.begin() +
+                                    static_cast<std::ptrdiff_t>(population.train_steps));
+    entity.test.regimes.assign(full.regimes.begin() +
+                                   static_cast<std::ptrdiff_t>(population.train_steps),
+                               full.regimes.end());
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+}  // namespace goodones::av

@@ -1,0 +1,35 @@
+// The autonomous-vehicle steering DomainAdapter — the third registered
+// scenario, promoted from the examples/av_risk_profiles sketch to a full
+// five-step pipeline citizen (the ROADMAP's "AV steering" open item).
+//
+// State semantics: sharp-left / straight / sharp-right on the steering
+// channel, with the active (mid-maneuver) regime tolerating sharper benign
+// angles. The adversary rewrites the steering sensor toward a plausible
+// hard-right reading to provoke a phantom evasive swerve — harmful exactly
+// when the downstream controller's prediction crosses into dangerous
+// territory, mirroring the BGMS insulin-overdose semantics.
+#pragma once
+
+#include <cstddef>
+
+#include "core/domain.hpp"
+#include "domains/av/traffic.hpp"
+
+namespace goodones::av {
+
+class AvDomain final : public core::DomainAdapter {
+ public:
+  /// `vehicles_per_subset` sizes the fleet (two subsets; default 4 + 4).
+  explicit AvDomain(std::size_t vehicles_per_subset = 4);
+
+  const core::DomainSpec& spec() const noexcept override { return spec_; }
+
+  std::vector<core::EntityData> make_entities(
+      const core::PopulationConfig& population) const override;
+
+ private:
+  core::DomainSpec spec_;
+  std::size_t vehicles_per_subset_;
+};
+
+}  // namespace goodones::av

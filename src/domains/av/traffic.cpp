@@ -1,0 +1,82 @@
+#include "domains/av/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace goodones::av {
+
+std::vector<VehicleParams> fleet_parameters(std::size_t vehicles_per_subset) {
+  GO_EXPECTS(vehicles_per_subset >= 2);
+  std::vector<VehicleParams> fleet;
+  fleet.reserve(2 * vehicles_per_subset);
+  for (std::size_t subset = 0; subset < 2; ++subset) {
+    for (std::size_t i = 0; i < vehicles_per_subset; ++i) {
+      VehicleParams vehicle;
+      vehicle.name = std::string(subset == 0 ? "VA_" : "VB_") + std::to_string(i);
+      vehicle.subset = subset;
+      // Spread each subset from urban to highway so the per-subset
+      // dendrograms have structure to find; the subsets are offset
+      // slightly so the fleets are not mirror images.
+      const double t =
+          static_cast<double>(i) / static_cast<double>(vehicles_per_subset - 1);
+      vehicle.chaos = std::clamp(0.85 - 0.75 * t + (subset == 0 ? 0.0 : -0.05), 0.0, 1.0);
+      vehicle.seed_offset = (subset + 1) * 4000 + i;
+      fleet.push_back(std::move(vehicle));
+    }
+  }
+  return fleet;
+}
+
+data::TelemetrySeries simulate_vehicle(const VehicleParams& params, std::size_t steps,
+                                       std::uint64_t seed) {
+  GO_EXPECTS(steps > 0);
+  common::Rng rng(seed * 0xC2B2AE3D27D4EB4FULL + params.seed_offset);
+
+  // Urban vehicles maneuver often and sharply, track the route curvature
+  // aggressively, and read noisier sensors; highway vehicles damp
+  // everything toward straight-ahead.
+  const double chaos = params.chaos;
+  const double maneuver_probability = 0.004 + 0.045 * chaos;
+  const double maneuver_sharpness = 6.0 + 26.0 * chaos;   // degrees
+  const double curve_decay = 0.90 + 0.06 * chaos;         // maneuvers linger in traffic
+  const double tracking_rate = 0.18 + 0.20 * chaos;
+  const double process_noise = 0.25 + 2.0 * chaos;
+  const double sensor_noise = 0.20 + 0.9 * chaos;
+  const double cruise_speed = 105.0 - 60.0 * chaos;       // km/h
+
+  data::TelemetrySeries series;
+  series.values = nn::Matrix(steps, kNumChannels);
+  series.true_target.resize(steps);
+  std::vector<double> maneuvers(steps, 0.0);
+
+  double angle = 0.0;  // current steering angle, degrees
+  double curve = 0.0;  // route-curvature set point the controller tracks
+  double speed = cruise_speed;
+  for (std::size_t t = 0; t < steps; ++t) {
+    double maneuver_marker = 0.0;
+    if (rng.bernoulli(maneuver_probability)) {
+      curve = rng.normal(0.0, maneuver_sharpness);
+      maneuver_marker = std::abs(curve);
+    }
+    curve *= curve_decay;
+
+    angle += tracking_rate * (curve - angle) + rng.normal(0.0, process_noise);
+    const double true_angle = std::clamp(angle, kMinSteering, kMaxSteering);
+
+    speed += 0.05 * (cruise_speed - speed) + rng.normal(0.0, 0.4 + 1.6 * chaos);
+
+    series.true_target[t] = true_angle;
+    series.values(t, kSteering) = std::clamp(true_angle + rng.normal(0.0, sensor_noise),
+                                             kMinSteering, kMaxSteering);
+    series.values(t, kSpeed) = speed;
+    series.values(t, kManeuver) = maneuver_marker;
+    maneuvers[t] = maneuver_marker;
+  }
+  series.regimes = data::derive_regimes(maneuvers, kManeuverHoldSteps);
+  return series;
+}
+
+}  // namespace goodones::av

@@ -1,0 +1,55 @@
+// Autonomous-vehicle steering telemetry — the engine's third domain,
+// promoted from examples/av_risk_profiles.
+//
+// The paper motivates its framework with healthcare AND autonomous
+// vehicles and names AVs as the next evaluation target in its future work.
+// Each vehicle reports a steering-angle signal that mean-reverts toward
+// the current route curvature: highway vehicles drive long gentle curves
+// (tight regulation), urban vehicles chain sharp maneuvers (volatile) —
+// the same graded heterogeneity that drives vulnerability differences in
+// the BGMS cohort. The adversary rewrites the steering-sensor channel to
+// make the downstream controller predict a phantom sharp turn.
+//
+// Channels: [steering (target, degrees), speed, maneuver]. The maneuver
+// channel marks maneuver onsets and drives the active regime (a sharp
+// benign angle mid-maneuver is expected, like high glucose after a meal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/timeseries.hpp"
+
+namespace goodones::av {
+
+/// Fixed channel layout of a vehicle telemetry matrix.
+enum Channel : std::size_t { kSteering = 0, kSpeed = 1, kManeuver = 2 };
+inline constexpr std::size_t kNumChannels = 3;
+
+/// Steering-angle display/scaling bounds, degrees (positive = right).
+inline constexpr double kMinSteering = -60.0;
+inline constexpr double kMaxSteering = 60.0;
+
+/// Steps a vehicle stays in the active regime after a maneuver onset.
+inline constexpr std::size_t kManeuverHoldSteps = 15;
+
+/// Behavioral parameters of one vehicle. `chaos` in [0, 1]:
+/// 0 = smooth highway route, 1 = dense urban route.
+struct VehicleParams {
+  std::string name;
+  std::size_t subset = 0;
+  double chaos = 0.5;
+  std::uint64_t seed_offset = 0;
+};
+
+/// The fixed parameter set of a fleet: `vehicles_per_subset` vehicles in
+/// each of two subsets, spanning highway-to-urban within each subset.
+std::vector<VehicleParams> fleet_parameters(std::size_t vehicles_per_subset);
+
+/// Simulates one vehicle: returns a 3-channel telemetry series of `steps`
+/// samples. Deterministic in (params, seed).
+data::TelemetrySeries simulate_vehicle(const VehicleParams& params, std::size_t steps,
+                                       std::uint64_t seed);
+
+}  // namespace goodones::av

@@ -1,6 +1,7 @@
 #include "domains/registry.hpp"
 
 #include "common/error.hpp"
+#include "domains/av/adapter.hpp"
 #include "domains/bgms/adapter.hpp"
 #include "domains/synthtel/adapter.hpp"
 
@@ -9,11 +10,12 @@ namespace goodones::domains {
 std::shared_ptr<core::DomainAdapter> make_domain(std::string_view name) {
   if (name == "bgms") return std::make_shared<bgms::BgmsDomain>();
   if (name == "synthtel") return std::make_shared<synthtel::SynthtelDomain>();
+  if (name == "av") return std::make_shared<av::AvDomain>();
   throw common::PreconditionError("unknown domain: " + std::string(name));
 }
 
 std::vector<std::string> available_domains() {
-  return {"bgms", "synthtel"};
+  return {"bgms", "synthtel", "av"};
 }
 
 }  // namespace goodones::domains

@@ -36,43 +36,60 @@ Matrix Dense::forward_cached(const Matrix& x, Cache& cache) const {
   return cache.output;
 }
 
-Matrix Dense::backward(const Matrix& grad_output, const Cache& cache) {
-  GO_EXPECTS(grad_output.rows() == cache.output.rows());
-  GO_EXPECTS(grad_output.cols() == out_dim());
+namespace {
 
-  // Gradient through the activation, expressed via the cached output.
+/// Gradient through an activation, expressed via the cached output.
+Matrix activation_backward(const Matrix& grad_output, const Matrix& output,
+                           Activation activation) {
   Matrix grad_pre = grad_output;
-  switch (activation_) {
+  switch (activation) {
     case Activation::kLinear:
       break;
     case Activation::kTanh:
       for (std::size_t r = 0; r < grad_pre.rows(); ++r) {
         auto g = grad_pre.row(r);
-        const auto y = cache.output.row(r);
+        const auto y = output.row(r);
         for (std::size_t c = 0; c < g.size(); ++c) g[c] *= tanh_grad_from_output(y[c]);
       }
       break;
     case Activation::kSigmoid:
       for (std::size_t r = 0; r < grad_pre.rows(); ++r) {
         auto g = grad_pre.row(r);
-        const auto y = cache.output.row(r);
+        const auto y = output.row(r);
         for (std::size_t c = 0; c < g.size(); ++c) g[c] *= sigmoid_grad_from_output(y[c]);
       }
       break;
     case Activation::kRelu:
       for (std::size_t r = 0; r < grad_pre.rows(); ++r) {
         auto g = grad_pre.row(r);
-        const auto y = cache.output.row(r);
+        const auto y = output.row(r);
         for (std::size_t c = 0; c < g.size(); ++c) g[c] *= relu_grad_from_output(y[c]);
       }
       break;
   }
+
+  return grad_pre;
+}
+
+}  // namespace
+
+Matrix Dense::backward(const Matrix& grad_output, const Cache& cache) {
+  GO_EXPECTS(grad_output.rows() == cache.output.rows());
+  GO_EXPECTS(grad_output.cols() == out_dim());
+  const Matrix grad_pre = activation_backward(grad_output, cache.output, activation_);
 
   // dW += x^T * grad_pre ; db += column sums ; dx = grad_pre * W^T.
   matmul_trans_a_accumulate(cache.input, grad_pre, weight_.grad);
   for (std::size_t r = 0; r < grad_pre.rows(); ++r) {
     axpy(1.0, grad_pre.row(r), bias_.grad.row(0));
   }
+  return matmul_trans_b(grad_pre, weight_.value);
+}
+
+Matrix Dense::backward_input(const Matrix& grad_output, const Cache& cache) const {
+  GO_EXPECTS(grad_output.rows() == cache.output.rows());
+  GO_EXPECTS(grad_output.cols() == out_dim());
+  const Matrix grad_pre = activation_backward(grad_output, cache.output, activation_);
   return matmul_trans_b(grad_pre, weight_.value);
 }
 

@@ -40,6 +40,11 @@ class Dense {
   /// parameter gradients and returns dLoss/dx (n x in_dim).
   Matrix backward(const Matrix& grad_output, const Cache& cache);
 
+  /// dLoss/dx only, skipping the parameter-gradient accumulation (and
+  /// therefore const). Bit-identical to the dx backward() returns; the
+  /// latent-inversion hot path uses this because it never reads dW/db.
+  Matrix backward_input(const Matrix& grad_output, const Cache& cache) const;
+
   ParamRefs parameters() noexcept { return {&weight_, &bias_}; }
 
   /// Direct access for serialization.

@@ -178,6 +178,76 @@ Matrix Lstm::run_batch(std::span<const Matrix> sequences) const {
   return run_batch(sequences, initial_state());
 }
 
+void Lstm::forward_batch_cached(std::span<const Matrix> sequences,
+                                std::vector<Cache>& caches) const {
+  GO_EXPECTS(!sequences.empty());
+  const std::size_t batch = sequences.size();
+  const std::size_t steps = sequences.front().rows();
+  GO_EXPECTS(steps > 0);
+  for (const Matrix& s : sequences) {
+    GO_EXPECTS(s.rows() == steps && s.cols() == input_dim_);
+  }
+  const std::size_t h = hidden_dim_;
+
+  caches.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    Cache& cache = caches[i];
+    cache.input = sequences[i];
+    // Reuse the buffers across calls when the shape is unchanged: an
+    // inversion loop calls this every gradient step with identical shapes,
+    // and the realloc churn would otherwise eat the batching win.
+    if (cache.hidden.rows() != steps || cache.hidden.cols() != h) {
+      cache.gate_i = Matrix(steps, h);
+      cache.gate_f = Matrix(steps, h);
+      cache.gate_g = Matrix(steps, h);
+      cache.gate_o = Matrix(steps, h);
+      cache.cell = Matrix(steps, h);
+      cache.cell_tanh = Matrix(steps, h);
+      cache.hidden = Matrix(steps, h);
+    }
+  }
+
+  // Same packed layout and accumulation order as run_batch: one GEMM for
+  // every sequence's input projection, one recurrent GEMM per timestep.
+  const Matrix packed = pack_step_major(sequences, 0, steps);
+  const Matrix pre_proj = matmul_bias(packed, w_x_.value, b_.value);
+
+  Matrix h_state(batch, h);
+  Matrix c_state(batch, h);
+  Matrix pre(batch, 4 * h);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto src = pre_proj.row(t * batch + i);
+      std::copy(src.begin(), src.end(), pre.row(i).begin());
+    }
+    if (t > 0) matmul_accumulate(h_state, w_h_.value, pre);
+    for (std::size_t i = 0; i < batch; ++i) {
+      Cache& cache = caches[i];
+      const auto p = pre.row(i);
+      auto hs = h_state.row(i);
+      auto cs = c_state.row(i);
+      auto gi = cache.gate_i.row(t);
+      auto gf = cache.gate_f.row(t);
+      auto gg = cache.gate_g.row(t);
+      auto go = cache.gate_o.row(t);
+      auto ct = cache.cell.row(t);
+      auto ctt = cache.cell_tanh.row(t);
+      auto ht = cache.hidden.row(t);
+      for (std::size_t j = 0; j < h; ++j) {
+        gi[j] = sigmoid(p[j]);
+        gf[j] = sigmoid(p[h + j]);
+        gg[j] = tanh_act(p[2 * h + j]);
+        go[j] = sigmoid(p[3 * h + j]);
+        ct[j] = gf[j] * (t > 0 ? cs[j] : 0.0) + gi[j] * gg[j];
+        ctt[j] = tanh_act(ct[j]);
+        ht[j] = go[j] * ctt[j];
+        cs[j] = ct[j];
+        hs[j] = ht[j];
+      }
+    }
+  }
+}
+
 Matrix Lstm::backward(const Matrix& grad_hidden, const Cache& cache) {
   const std::size_t steps = cache.input.rows();
   const std::size_t h = hidden_dim_;
@@ -243,6 +313,64 @@ Matrix Lstm::backward(const Matrix& grad_hidden, const Cache& cache) {
 
   // dX = dpre * Wx^T.
   return matmul_trans_b(grad_pre_all, w_x_.value);
+}
+
+std::vector<Matrix> Lstm::backward_input_batch(std::span<const Matrix> grad_hidden,
+                                               std::span<const Cache> caches) const {
+  GO_EXPECTS(!caches.empty());
+  GO_EXPECTS(grad_hidden.size() == caches.size());
+  const std::size_t batch = caches.size();
+  const std::size_t steps = caches.front().input.rows();
+  const std::size_t h = hidden_dim_;
+  for (std::size_t i = 0; i < batch; ++i) {
+    GO_EXPECTS(caches[i].input.rows() == steps);
+    GO_EXPECTS(grad_hidden[i].rows() == steps && grad_hidden[i].cols() == h);
+  }
+
+  std::vector<Matrix> grad_pre_all(batch, Matrix(steps, 4 * h));
+  Matrix dpre_t(batch, 4 * h);   // this timestep's pre-activation grads, packed
+  Matrix dh_next(batch, h);      // zero-initialized, like the scalar path
+  Matrix dc_next(batch, h);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Cache& cache = caches[i];
+      const auto gi = cache.gate_i.row(t);
+      const auto gf = cache.gate_f.row(t);
+      const auto gg = cache.gate_g.row(t);
+      const auto go = cache.gate_o.row(t);
+      const auto ctt = cache.cell_tanh.row(t);
+      const auto gh = grad_hidden[i].row(t);
+      auto dpre = dpre_t.row(i);
+      auto dhn = dh_next.row(i);
+      auto dcn = dc_next.row(i);
+
+      // Same per-element recurrence as backward().
+      for (std::size_t j = 0; j < h; ++j) {
+        const double dh = gh[j] + dhn[j];
+        const double dct = dh * go[j] * tanh_grad_from_output(ctt[j]) + dcn[j];
+        const double c_prev = t > 0 ? cache.cell(t - 1, j) : 0.0;
+
+        dpre[j] = dct * gg[j] * sigmoid_grad_from_output(gi[j]);
+        dpre[h + j] = dct * c_prev * sigmoid_grad_from_output(gf[j]);
+        dpre[2 * h + j] = dct * gi[j] * tanh_grad_from_output(gg[j]);
+        dpre[3 * h + j] = dh * ctt[j] * sigmoid_grad_from_output(go[j]);
+
+        dcn[j] = dct * gf[j];
+      }
+      std::copy(dpre.begin(), dpre.end(), grad_pre_all[i].row(t).begin());
+    }
+    // dh_next = dpre * Wh^T for the whole batch in one GEMM; each output
+    // element is the same j-ascending dot product the scalar loop runs.
+    dh_next = matmul_trans_b(dpre_t, w_h_.value);
+  }
+
+  std::vector<Matrix> grad_input;
+  grad_input.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    grad_input.push_back(matmul_trans_b(grad_pre_all[i], w_x_.value));
+  }
+  return grad_input;
 }
 
 BiLstm::BiLstm(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng)

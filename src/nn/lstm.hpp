@@ -72,10 +72,32 @@ class Lstm {
   /// run_batch from the zero state (whole sequences, no shared prefix).
   Matrix run_batch(std::span<const Matrix> sequences) const;
 
+  /// Batched forward over B equal-length sequences from the zero state that
+  /// also fills one scalar-compatible Cache per sequence, so each sequence
+  /// can still be backpropagated individually with backward(). The input
+  /// projection of the whole batch runs as one packed GEMM per call and the
+  /// recurrent step as one (B x 4H) GEMM per timestep. Outputs and caches
+  /// are bit-identical to calling forward_cached() per sequence — this is
+  /// what lets MAD-GAN batch its latent inversion across a request's
+  /// windows without perturbing a single score.
+  void forward_batch_cached(std::span<const Matrix> sequences,
+                            std::vector<Cache>& caches) const;
+
   /// Backpropagation through time. `grad_hidden` holds dLoss/dh_t for every
   /// timestep (T x hidden_dim; rows may be zero when only some steps feed
   /// the loss). Accumulates parameter gradients and returns dLoss/dx.
   Matrix backward(const Matrix& grad_hidden, const Cache& cache);
+
+  /// Batched input-gradient-only BPTT over B cached same-length sequences:
+  /// returns dLoss/dx per sequence WITHOUT touching parameter gradients
+  /// (hence const). MAD-GAN's latent inversion only ever consumes dX — the
+  /// parameter-gradient GEMMs backward() also runs are pure waste there,
+  /// and skipping them plus batching the per-timestep recurrent transport
+  /// (one (B x 4H) x Wh^T GEMM per step) is where the batched inversion's
+  /// speedup comes from. Each returned dX is bit-identical to what
+  /// backward() returns for that sequence.
+  std::vector<Matrix> backward_input_batch(std::span<const Matrix> grad_hidden,
+                                           std::span<const Cache> caches) const;
 
   ParamRefs parameters() noexcept { return {&w_x_, &w_h_, &b_}; }
 

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "nn/serialize.hpp"
 
 namespace goodones::risk {
+
+namespace {
+
+constexpr std::uint32_t kProfilerTag = 0x4F525050;  // "ORPP"
+
+}  // namespace
 
 OnlineRiskProfiler::OnlineRiskProfiler(std::vector<std::string> victims,
                                        OnlineProfilerConfig config)
@@ -19,6 +28,23 @@ OnlineRiskProfiler::OnlineRiskProfiler(std::vector<std::string> victims,
   GO_EXPECTS(config_.hysteresis >= 0.0 && config_.hysteresis < 1.0);
 }
 
+void OnlineRiskProfiler::fold_batch(std::size_t index, double batch_mean) {
+  if (batch_counts_[index] == 0) {
+    levels_[index] = batch_mean;
+  } else if (config_.decay == 1.0) {
+    // Never forget: the level is the cumulative mean of all batch means
+    // (the limit the config documents; a literal EWMA with decay 1 would
+    // freeze on the first batch instead).
+    const auto n = static_cast<double>(batch_counts_[index]);
+    levels_[index] = (levels_[index] * n + batch_mean) / (n + 1.0);
+  } else {
+    // Exponentially-weighted update: decay-fraction of the old level plus
+    // the complementary weight of the fresh evidence.
+    levels_[index] = config_.decay * levels_[index] + (1.0 - config_.decay) * batch_mean;
+  }
+  ++batch_counts_[index];
+}
+
 void OnlineRiskProfiler::observe(std::size_t index,
                                  const std::vector<attack::WindowOutcome>& outcomes) {
   GO_EXPECTS(index < levels_.size());
@@ -29,15 +55,20 @@ void OnlineRiskProfiler::observe(std::size_t index,
     batch_mean += std::log1p(instantaneous_risk(outcome, config_.schedule));
   }
   batch_mean /= static_cast<double>(outcomes.size());
+  fold_batch(index, batch_mean);
+}
 
-  if (batch_counts_[index] == 0) {
-    levels_[index] = batch_mean;
-  } else {
-    // Exponentially-weighted update: decay-fraction of the old level plus
-    // the complementary weight of the fresh evidence.
-    levels_[index] = config_.decay * levels_[index] + (1.0 - config_.decay) * batch_mean;
+void OnlineRiskProfiler::observe_risks(std::size_t index, std::span<const double> risks) {
+  GO_EXPECTS(index < levels_.size());
+  if (risks.empty()) return;
+
+  double batch_mean = 0.0;
+  for (const double risk : risks) {
+    GO_EXPECTS(risk >= 0.0);
+    batch_mean += std::log1p(risk);
   }
-  ++batch_counts_[index];
+  batch_mean /= static_cast<double>(risks.size());
+  fold_batch(index, batch_mean);
 }
 
 double OnlineRiskProfiler::level(std::size_t index) const {
@@ -100,6 +131,58 @@ const OnlineRiskProfiler::Partition& OnlineRiskProfiler::reassess() {
   }
   first_assessment_ = false;
   return partition_;
+}
+
+void OnlineRiskProfiler::save(std::ostream& out) const {
+  nn::write_u32(out, kProfilerTag);
+  nn::write_u32(out, static_cast<std::uint32_t>(victims_.size()));
+  for (const auto& name : victims_) nn::write_string(out, name);
+  nn::write_f64_vector(out, levels_);
+  std::vector<std::uint8_t> less_bytes(victims_.size());
+  for (std::size_t i = 0; i < victims_.size(); ++i) {
+    less_bytes[i] = currently_less_[i] ? 1 : 0;
+  }
+  for (const std::size_t count : batch_counts_) nn::write_u64(out, count);
+  nn::write_u8_vector(out, less_bytes);
+  nn::write_u32(out, first_assessment_ ? 1 : 0);
+}
+
+void OnlineRiskProfiler::load(std::istream& in) {
+  nn::expect_u32(in, kProfilerTag, "online profiler tag");
+  const std::uint32_t n = nn::read_u32(in, "online profiler victim count");
+  if (n != victims_.size()) {
+    throw common::SerializationError(
+        "online profiler artifact victim count mismatch: artifact " + std::to_string(n) +
+        ", profiler tracks " + std::to_string(victims_.size()));
+  }
+  for (std::size_t i = 0; i < victims_.size(); ++i) {
+    const std::string name = nn::read_string(in, "online profiler victim name");
+    if (name != victims_[i]) {
+      throw common::SerializationError("online profiler artifact victim roster mismatch: '" +
+                                       name + "' vs '" + victims_[i] + "'");
+    }
+  }
+  std::vector<double> levels = nn::read_f64_vector(in, "online profiler levels");
+  if (levels.size() != victims_.size()) {
+    throw common::SerializationError("online profiler artifact level count mismatch");
+  }
+  std::vector<std::size_t> counts(victims_.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = nn::read_u64(in, "online profiler batch count");
+  }
+  const std::vector<std::uint8_t> less_bytes =
+      nn::read_u8_vector(in, "online profiler hysteresis memory");
+  if (less_bytes.size() != victims_.size()) {
+    throw common::SerializationError("online profiler artifact hysteresis size mismatch");
+  }
+  const bool first = nn::read_u32(in, "online profiler first-assessment flag") != 0;
+
+  // All reads succeeded: commit atomically.
+  levels_ = std::move(levels);
+  batch_counts_ = std::move(counts);
+  for (std::size_t i = 0; i < victims_.size(); ++i) currently_less_[i] = less_bytes[i] != 0;
+  first_assessment_ = first;
+  partition_ = Partition{};
 }
 
 }  // namespace goodones::risk

@@ -6,16 +6,21 @@
 // excluded."
 //
 // The profiler maintains an exponentially-weighted risk level per victim;
-// observe() folds in new attacked-window outcomes as they arrive, and
-// reassess() re-derives the vulnerability partition. A hysteresis margin
-// prevents victims near the boundary from oscillating between clusters on
-// every batch.
+// observe() folds in new attacked-window outcomes as they arrive (the
+// defender's own simulation), observe_risks() folds in serving-time
+// instantaneous risks (what serve::AdaptiveController feeds it from live
+// ScoreResults), and reassess() re-derives the vulnerability partition. A
+// hysteresis margin prevents victims near the boundary from oscillating
+// between clusters on every batch. The full state round-trips through
+// save()/load() so an adaptive serving loop resumes across restarts
+// without re-observing history.
 #pragma once
 
 #include <cstdint>
-#include <vector>
-
+#include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "attack/campaign.hpp"
 #include "risk/schedule.hpp"
@@ -24,7 +29,8 @@ namespace goodones::risk {
 
 struct OnlineProfilerConfig {
   /// Exponential forgetting factor per observation batch: 1 = never forget
-  /// (cumulative mean), smaller = faster adaptation to regime changes.
+  /// (levels converge to the cumulative mean of batch means), smaller =
+  /// faster adaptation to regime changes.
   double decay = 0.9;
   /// Relative hysteresis around the cluster boundary: a victim switches
   /// groups only when its level crosses the boundary by this fraction.
@@ -50,6 +56,13 @@ class OnlineRiskProfiler {
   /// offline pipeline's clustering space). Empty batches are ignored.
   void observe(std::size_t index, const std::vector<attack::WindowOutcome>& outcomes);
 
+  /// Folds one batch of already-computed instantaneous risks R_t (raw Eq.-1
+  /// units, e.g. serve::WindowScore::risk) for victim `index`. This is the
+  /// serving-time entry point: at test time there is no WindowOutcome, only
+  /// the scored window's severity-weighted deviation. Same log1p
+  /// compression and decay semantics as observe(); empty batches ignored.
+  void observe_risks(std::size_t index, std::span<const double> risks);
+
   /// Current smoothed risk level of a victim (log1p space).
   double level(std::size_t index) const;
 
@@ -60,6 +73,7 @@ class OnlineRiskProfiler {
   /// point is the largest gap in sorted levels (the 1-D analogue of the
   /// offline dendrogram's max-gap cut), with hysteresis against the
   /// previous assignment. Requires at least one observed batch per victim.
+  /// A single-victim population always lands in the less-vulnerable group.
   const Partition& reassess();
 
   /// Latest partition (empty before the first reassess()).
@@ -67,7 +81,20 @@ class OnlineRiskProfiler {
 
   const std::string& victim(std::size_t index) const;
 
+  /// Persists the complete profiling state (victims, levels, batch counts,
+  /// hysteresis memory) so a restarted controller resumes exactly where it
+  /// left off. Tag-framed like the detector artifacts.
+  void save(std::ostream& out) const;
+
+  /// Restores state written by save(). Throws common::SerializationError on
+  /// truncation, tag mismatch, or a victim roster that disagrees with this
+  /// profiler's (the artifact must describe the same population), leaving
+  /// the profiler untouched on failure.
+  void load(std::istream& in);
+
  private:
+  void fold_batch(std::size_t index, double batch_mean);
+
   OnlineProfilerConfig config_;
   std::vector<std::string> victims_;
   std::vector<double> levels_;

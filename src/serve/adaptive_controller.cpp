@@ -1,0 +1,195 @@
+#include "serve/adaptive_controller.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "core/metrics.hpp"
+
+namespace goodones::serve {
+
+namespace {
+
+risk::OnlineRiskProfiler make_profiler(const ScoringService& service,
+                                       const risk::OnlineProfilerConfig& config) {
+  return risk::OnlineRiskProfiler(service.model()->entity_names, config);
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(ScoringService& service,
+                                       AdaptiveControllerConfig config,
+                                       BundleRebuilder rebuilder,
+                                       const ModelRegistry* registry)
+    : service_(service),
+      config_(config),
+      rebuilder_(std::move(rebuilder)),
+      registry_(registry),
+      profiler_(make_profiler(service, config.profiler)) {
+  GO_EXPECTS(config_.reassess_every_windows >= 1);
+  if (registry_ != nullptr && registry_->contains_profiler(state_key())) {
+    registry_->load_profiler(state_key(), profiler_);
+    common::log_info("adaptive controller resumed profiler state from registry");
+  }
+  service_.set_observer([this](const ScoreRequest& request, const ScoreResponse& response) {
+    ingest(request, response);
+  });
+}
+
+AdaptiveController::~AdaptiveController() { service_.set_observer(nullptr); }
+
+RegistryKey AdaptiveController::state_key() const {
+  const std::shared_ptr<const ServingModel> model = service_.model();
+  RegistryKey key;
+  key.domain_key = model->domain_key;
+  key.fingerprint = model->fingerprint;
+  key.detector_kind = model->detector_kind;
+  key.generation = model->generation;
+  return key;
+}
+
+void AdaptiveController::ingest(const ScoreRequest& /*request*/,
+                                const ScoreResponse& response) {
+  if (response.windows.empty()) return;
+  std::vector<double> risks;
+  risks.reserve(response.windows.size());
+  for (const WindowScore& window : response.windows) risks.push_back(window.risk);
+
+  bool due = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    profiler_.observe_risks(response.entity_index, risks);
+    windows_since_reassess_ += risks.size();
+    windows_ingested_ += risks.size();
+    due = config_.auto_refresh &&
+          windows_since_reassess_ >= config_.reassess_every_windows;
+  }
+  core::counters().add("serve.adaptive.windows_ingested", risks.size());
+  // Refresh OUTSIDE the observation lock: the heavy rebuild must never
+  // stall concurrent scoring threads at the feedback tap. And a failed
+  // refresh (full disk, throwing rebuilder) must never abort the scoring
+  // request that happened to trip the cadence — its responses are already
+  // computed and valid; keep serving the current generation and surface
+  // the failure through counters/logs. maybe_refresh() still throws for
+  // callers who drive the loop explicitly.
+  if (!due) return;
+  try {
+    (void)try_refresh();
+  } catch (const std::exception& error) {
+    core::counters().add("serve.adaptive.refresh_failures", 1);
+    common::log_warn("adaptive refresh failed; serving continues on the current "
+                     "generation: ", error.what());
+  }
+}
+
+bool AdaptiveController::maybe_refresh() { return try_refresh(); }
+
+bool AdaptiveController::try_refresh() {
+  // Single-flight: while one thread rebuilds, others keep scoring (their
+  // ingest() only takes the short observation lock above) and simply skip.
+  if (refresh_in_flight_.exchange(true, std::memory_order_acq_rel)) return false;
+  struct FlagGuard {
+    std::atomic<bool>& flag;
+    ~FlagGuard() { flag.store(false, std::memory_order_release); }
+  } guard{refresh_in_flight_};
+
+  // Phase 1 (under the lock, cheap): readiness check, reassessment, and
+  // the routing comparison. The profiler is copied out so persistence can
+  // happen after the lock is dropped.
+  core::VulnerabilityClusters clusters;
+  std::shared_ptr<const ServingModel> current;
+  std::unique_ptr<risk::OnlineRiskProfiler> profiler_copy;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // reassess() needs evidence for every tracked entity; until the
+    // quietest one has reported, keep accumulating (the counter keeps
+    // growing so the next ingest retries immediately).
+    for (std::size_t i = 0; i < profiler_.num_victims(); ++i) {
+      if (profiler_.batches(i) == 0) return false;
+    }
+    windows_since_reassess_ = 0;
+
+    const risk::OnlineRiskProfiler::Partition& partition = profiler_.reassess();
+    clusters.less_vulnerable = partition.less_vulnerable;
+    clusters.more_vulnerable = partition.more_vulnerable;
+
+    // Compare against the served routing: a refresh only pays when an
+    // entity actually moved across the vulnerability boundary. Swaps only
+    // happen in this single-flight section, so `current` stays the served
+    // bundle until we publish.
+    current = service_.model();
+    std::vector<Cluster> next_routing(current->entity_names.size(),
+                                      Cluster::kLessVulnerable);
+    for (const std::size_t p : clusters.more_vulnerable) {
+      next_routing[p] = Cluster::kMoreVulnerable;
+    }
+    core::counters().add("serve.adaptive.reassessments", 1);
+    if (next_routing == current->entity_cluster) return false;
+    profiler_copy = std::make_unique<risk::OnlineRiskProfiler>(profiler_);
+  }
+
+  // Phase 2 (lock-free for observers): rebuild, persist, publish.
+  const std::uint64_t generation = current->generation + 1;
+  ServingModel next = rebuilder_ ? rebuilder_(clusters, generation)
+                                 : routing_only_rebuild(*current, clusters, generation);
+  next.generation = generation;  // the stamp is the controller's contract
+
+  if (registry_ != nullptr) {
+    registry_->save(next);
+    registry_->save_profiler(state_key(), *profiler_copy);
+  }
+  service_.swap_model(std::move(next));
+  refreshes_.fetch_add(1, std::memory_order_acq_rel);
+  core::counters().add("serve.adaptive.refreshes", 1);
+  common::log_info("adaptive refresh published generation ", generation, " (",
+                   clusters.more_vulnerable.size(), " entities more-vulnerable)");
+  return true;
+}
+
+ServingModel AdaptiveController::routing_only_rebuild(
+    const ServingModel& current, const core::VulnerabilityClusters& clusters,
+    std::uint64_t generation) const {
+  ServingModel next = clone_serving_model(current);
+  next.generation = generation;
+  std::fill(next.entity_cluster.begin(), next.entity_cluster.end(),
+            Cluster::kLessVulnerable);
+  for (const std::size_t p : clusters.more_vulnerable) {
+    GO_EXPECTS(p < next.entity_cluster.size());
+    next.entity_cluster[p] = Cluster::kMoreVulnerable;
+  }
+  return next;
+}
+
+std::size_t AdaptiveController::refreshes() const {
+  return refreshes_.load(std::memory_order_acquire);
+}
+
+std::size_t AdaptiveController::windows_ingested() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return windows_ingested_;
+}
+
+risk::OnlineRiskProfiler AdaptiveController::profiler_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return profiler_;
+}
+
+void AdaptiveController::save_state(const ModelRegistry& registry) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  registry.save_profiler(state_key(), profiler_);
+}
+
+void AdaptiveController::restore_state(const ModelRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  registry.load_profiler(state_key(), profiler_);
+}
+
+void AdaptiveController::reset_state() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  profiler_ = make_profiler(service_, config_.profiler);
+  windows_since_reassess_ = 0;
+}
+
+}  // namespace goodones::serve

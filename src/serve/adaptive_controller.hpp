@@ -1,0 +1,145 @@
+// The adaptive serving loop — the paper's Appendix-D/§V sketch made
+// operational: "an iterative process that regularly reassesses patient
+// risk profiles and continuously updates them as new data become
+// available".
+//
+// The controller taps the ScoringService's feedback hook, feeds every
+// scored window's serving-time risk (Eq. 1) into a risk::OnlineRiskProfiler,
+// and periodically reassesses the vulnerability partition. When the
+// reassessment moves entities across the vulnerability boundary it rebuilds
+// the serving bundle — by default a routing-only rebuild (clone the bundle,
+// reroute entities to their new cluster detector), or through a caller
+// -supplied BundleRebuilder that retrains the per-cluster detectors via
+// core::RiskProfilingFramework::train_detector — stamps it with the next
+// generation and hot-swaps it into the service. Static defenses are what
+// adaptive adversaries learn around; this loop is the repo's answer.
+//
+// Persistence: given a ModelRegistry, every published generation and the
+// profiler's own state are persisted, so a restarted controller resumes
+// profiling exactly where it left off (restore_state) and a restarted
+// server can resolve the newest bundle via ModelRegistry::latest().
+//
+// Threading: ingest() (and therefore the hook) may be called from
+// concurrent score_batch threads; it takes only a short observation lock.
+// A refresh is single-flight and its heavy phase — rebuild, registry
+// persistence, hot swap — runs with that lock RELEASED, so scoring
+// traffic never blocks on a refresh already in flight on ANOTHER thread
+// (bundle publication itself is the service's lock-free-read hot-swap).
+// The ONE request that trips the cadence does pay the rebuild inline on
+// its own thread — a deliberate trade (no background-thread lifecycle);
+// deployments with expensive retraining rebuilders should set
+// auto_refresh = false and drive maybe_refresh() from a maintenance
+// thread instead. Auto-refresh failures (full disk, throwing rebuilder)
+// are contained: the scoring request still returns its computed
+// responses, the failure lands in the "serve.adaptive.refresh_failures"
+// counter and the log.
+// Stop traffic before destroying the controller (the hook captures `this`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/strategy.hpp"
+#include "risk/online.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace goodones::serve {
+
+struct AdaptiveControllerConfig {
+  risk::OnlineProfilerConfig profiler;
+  /// Scored windows (across all entities) between partition reassessments.
+  std::size_t reassess_every_windows = 256;
+  /// Reassess (and possibly refresh) automatically from the feedback hook.
+  /// With false, the loop is driven manually through maybe_refresh().
+  bool auto_refresh = true;
+};
+
+class AdaptiveController {
+ public:
+  /// Builds the next bundle for a reassessed partition: receives the
+  /// canonical vulnerability partition (entity indices) and the generation
+  /// to stamp. The serve-layer default is a routing-only rebuild via
+  /// clone_serving_model; pass a rebuilder wrapping
+  /// build_serving_model(framework, kind, partition, generation) to also
+  /// retrain the per-cluster detectors on their new victim sets.
+  using BundleRebuilder =
+      std::function<ServingModel(const core::VulnerabilityClusters&, std::uint64_t)>;
+
+  /// Attaches to `service`'s feedback hook. `registry`, when non-null, must
+  /// outlive the controller; generations and profiler state persist through
+  /// it. A previously persisted profiler state for the bundle's key is
+  /// restored automatically (call reset_state() to discard it instead).
+  explicit AdaptiveController(ScoringService& service,
+                              AdaptiveControllerConfig config = {},
+                              BundleRebuilder rebuilder = {},
+                              const ModelRegistry* registry = nullptr);
+  ~AdaptiveController();
+
+  AdaptiveController(const AdaptiveController&) = delete;
+  AdaptiveController& operator=(const AdaptiveController&) = delete;
+
+  /// Feedback entry point (the hook calls this): folds the response's
+  /// per-window risks into the profiler and, when auto_refresh is on and
+  /// enough windows accumulated, reassesses and possibly refreshes.
+  void ingest(const ScoreRequest& request, const ScoreResponse& response);
+
+  /// Forces a reassessment now (regardless of the window cadence) and
+  /// refreshes the served bundle if the partition moved. Returns true when
+  /// a new generation was published. No-op (false) until every entity has
+  /// contributed at least one observation batch, or while another
+  /// refresh is already in flight.
+  bool maybe_refresh();
+
+  /// Number of generations this controller has published.
+  std::size_t refreshes() const;
+
+  /// Total windows ingested through the feedback hook.
+  std::size_t windows_ingested() const;
+
+  /// The profiler's current view (levels, batches, last partition).
+  /// Snapshot-read under the controller lock.
+  risk::OnlineRiskProfiler profiler_snapshot() const;
+
+  /// Persists the profiler state through `registry` under the served
+  /// bundle's key (also done automatically on refresh when the controller
+  /// owns a registry).
+  void save_state(const ModelRegistry& registry) const;
+
+  /// Restores profiler state persisted by save_state. Throws
+  /// common::SerializationError on missing/corrupt state or roster drift.
+  void restore_state(const ModelRegistry& registry);
+
+  /// Discards all accumulated profiling evidence (fresh profiler, window
+  /// cadence reset). Persisted state on disk is left untouched.
+  void reset_state();
+
+ private:
+  RegistryKey state_key() const;
+  /// Single-flight refresh: reassess under the short observation lock,
+  /// then rebuild/persist/swap with the lock RELEASED so concurrent
+  /// scoring threads never stall at the feedback tap. Returns true when a
+  /// new generation was published; false when not ready, nothing moved,
+  /// or another refresh is already in flight.
+  bool try_refresh();
+  ServingModel routing_only_rebuild(const ServingModel& current,
+                                    const core::VulnerabilityClusters& clusters,
+                                    std::uint64_t generation) const;
+
+  ScoringService& service_;
+  AdaptiveControllerConfig config_;
+  BundleRebuilder rebuilder_;
+  const ModelRegistry* registry_;
+
+  mutable std::mutex mutex_;  // guards profiler_ + window counters
+  risk::OnlineRiskProfiler profiler_;
+  std::size_t windows_since_reassess_ = 0;
+  std::size_t windows_ingested_ = 0;
+  std::atomic<bool> refresh_in_flight_{false};
+  std::atomic<std::size_t> refreshes_{0};
+};
+
+}  // namespace goodones::serve

@@ -1,6 +1,7 @@
 #include "serve/model_registry.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -18,9 +19,13 @@ namespace goodones::serve {
 namespace {
 
 constexpr std::uint32_t kBundleMagic = 0x474F534D;  // "GOSM"
-constexpr std::uint32_t kBundleVersion = 1;
+/// v2: bundle carries its generation (the adaptive loop's publication unit).
+constexpr std::uint32_t kBundleVersion = 2;
 /// Trailing sentinel: catches artifacts truncated after the last section.
 constexpr std::uint32_t kBundleEnd = 0x454E4442;  // "ENDB"
+
+constexpr std::uint32_t kProfilerMagic = 0x474F5250;  // "GORP"
+constexpr std::uint32_t kProfilerVersion = 1;
 
 using common::SerializationError;
 
@@ -108,175 +113,48 @@ const char* kind_token(detect::DetectorKind kind) noexcept {
   return "?";
 }
 
-}  // namespace
+/// Serializes the complete bundle (no framing decisions; save() owns the
+/// file, clone_serving_model() a stringstream).
+void write_bundle(std::ostream& out, const ServingModel& model) {
+  nn::write_u32(out, kBundleMagic);
+  nn::write_u32(out, kBundleVersion);
+  nn::write_string(out, model.domain_key);
+  nn::write_u64(out, model.fingerprint);
+  nn::write_u64(out, model.generation);
+  nn::write_u32(out, static_cast<std::uint32_t>(model.detector_kind));
+  write_spec(out, model.spec);
 
-const char* to_string(Cluster cluster) noexcept {
-  return cluster == Cluster::kLessVulnerable ? "less-vulnerable" : "more-vulnerable";
-}
-
-std::size_t ServingModel::entity_index(std::string_view name) const {
-  for (std::size_t i = 0; i < entity_names.size(); ++i) {
-    if (entity_names[i] == name) return i;
+  nn::write_u32(out, static_cast<std::uint32_t>(model.entity_names.size()));
+  for (const auto& name : model.entity_names) nn::write_string(out, name);
+  std::vector<std::uint8_t> cluster_bytes;
+  cluster_bytes.reserve(model.entity_cluster.size());
+  for (const Cluster c : model.entity_cluster) {
+    cluster_bytes.push_back(static_cast<std::uint8_t>(c));
   }
-  throw common::PreconditionError("unknown entity in score request: " + std::string(name));
-}
+  nn::write_u8_vector(out, cluster_bytes);
+  model.detector_scaler.save(out);
 
-const detect::AnomalyDetector& ServingModel::detector_for(std::size_t entity) const {
-  GO_EXPECTS(entity < entity_cluster.size());
-  const auto& detector =
-      cluster_detectors[static_cast<std::size_t>(entity_cluster[entity])];
-  GO_EXPECTS(detector != nullptr);
-  return *detector;
-}
+  nn::write_u32(out, static_cast<std::uint32_t>(model.forecasters.size()));
+  for (const auto& forecaster : model.forecasters) forecaster.save_artifact(out);
 
-RegistryKey registry_key(const core::RiskProfilingFramework& framework,
-                         detect::DetectorKind kind) {
-  RegistryKey key;
-  key.domain_key = core::domain_cache_key(framework.domain().spec());
-  key.fingerprint = core::config_fingerprint(framework.config());
-  key.detector_kind = kind;
-  return key;
-}
-
-ServingModel build_serving_model(core::RiskProfilingFramework& framework,
-                                 detect::DetectorKind kind) {
-  const RegistryKey key = registry_key(framework, kind);
-  const auto& entities = framework.entities();
-  const auto& clusters = framework.profiling().clusters;
-
-  ServingModel model;
-  model.domain_key = key.domain_key;
-  model.fingerprint = key.fingerprint;
-  model.spec = framework.domain().spec();
-  model.detector_kind = kind;
-  model.detector_scaler = framework.detector_scaler();
-
-  model.entity_names.reserve(entities.size());
-  for (const auto& entity : entities) model.entity_names.push_back(entity.name);
-
-  model.entity_cluster.assign(entities.size(), Cluster::kLessVulnerable);
-  for (const std::size_t p : clusters.more_vulnerable) {
-    model.entity_cluster[p] = Cluster::kMoreVulnerable;
+  for (const auto& detector : model.cluster_detectors) {
+    GO_EXPECTS(detector != nullptr);
+    detector->save(out);
   }
-
-  model.forecasters.reserve(entities.size());
-  for (std::size_t i = 0; i < entities.size(); ++i) {
-    model.forecasters.push_back(framework.models().personalized(i));
-  }
-
-  // One detector per cluster, each trained on its own cluster's victims
-  // (the paper's step 5: the less-vulnerable detector is the proposed
-  // defense; the more-vulnerable one is kept for routing completeness).
-  common::log_info("building serving bundle (", kind_token(kind), ", ",
-                   entities.size(), " entities)");
-  model.cluster_detectors[0] =
-      std::move(framework.train_detector(kind, clusters.less_vulnerable).detector);
-  model.cluster_detectors[1] =
-      std::move(framework.train_detector(kind, clusters.more_vulnerable).detector);
-  return model;
+  nn::write_u32(out, kBundleEnd);
 }
 
-ModelRegistry::ModelRegistry() : root_(core::artifacts_dir() / "models") {
-  std::filesystem::create_directories(root_);
-}
-
-ModelRegistry::ModelRegistry(std::filesystem::path root) : root_(std::move(root)) {
-  std::filesystem::create_directories(root_);
-}
-
-std::filesystem::path ModelRegistry::path_for(const RegistryKey& key) const {
-  std::ostringstream name;
-  name << "serving_" << key.domain_key << "_" << std::hex << key.fingerprint << "_"
-       << kind_token(key.detector_kind) << ".bin";
-  return root_ / name.str();
-}
-
-bool ModelRegistry::contains(const RegistryKey& key) const {
-  return std::filesystem::exists(path_for(key));
-}
-
-void ModelRegistry::save(const ServingModel& model) const {
-  RegistryKey key;
-  key.domain_key = model.domain_key;
-  key.fingerprint = model.fingerprint;
-  key.detector_kind = model.detector_kind;
-  const std::filesystem::path path = path_for(key);
-  // Unique temp name per writer: concurrent saves of the same key (two
-  // fleet nodes racing "train once") must not interleave into one file.
-  const std::filesystem::path tmp =
-      path.string() + ".tmp." + std::to_string(::getpid());
-
-  try {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw SerializationError("cannot open serving bundle for writing: " + tmp.string());
-    }
-    nn::write_u32(out, kBundleMagic);
-    nn::write_u32(out, kBundleVersion);
-    nn::write_string(out, model.domain_key);
-    nn::write_u64(out, model.fingerprint);
-    nn::write_u32(out, static_cast<std::uint32_t>(model.detector_kind));
-    write_spec(out, model.spec);
-
-    nn::write_u32(out, static_cast<std::uint32_t>(model.entity_names.size()));
-    for (const auto& name : model.entity_names) nn::write_string(out, name);
-    std::vector<std::uint8_t> cluster_bytes;
-    cluster_bytes.reserve(model.entity_cluster.size());
-    for (const Cluster c : model.entity_cluster) {
-      cluster_bytes.push_back(static_cast<std::uint8_t>(c));
-    }
-    nn::write_u8_vector(out, cluster_bytes);
-    model.detector_scaler.save(out);
-
-    nn::write_u32(out, static_cast<std::uint32_t>(model.forecasters.size()));
-    for (const auto& forecaster : model.forecasters) forecaster.save_artifact(out);
-
-    for (const auto& detector : model.cluster_detectors) {
-      GO_EXPECTS(detector != nullptr);
-      detector->save(out);
-    }
-    nn::write_u32(out, kBundleEnd);
-    if (!out) throw SerializationError("serving bundle write failed: " + tmp.string());
-    out.close();
-    std::filesystem::rename(tmp, path);  // atomic publish
-  } catch (...) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);  // never leave stale temp files
-    throw;
-  }
-  common::log_info("persisted serving bundle: ", path.string());
-}
-
-ServingModel ModelRegistry::load(const RegistryKey& key) const {
-  const std::filesystem::path path = path_for(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw SerializationError("no serving bundle for key (domain " + key.domain_key +
-                             "): " + path.string());
-  }
+/// Deserializes and cross-validates a bundle written by write_bundle.
+ServingModel read_bundle(std::istream& in) {
   nn::expect_u32(in, kBundleMagic, "serving bundle magic");
   nn::expect_u32(in, kBundleVersion, "serving bundle version");
 
   ServingModel model;
   model.domain_key = nn::read_string(in, "bundle domain key");
   model.fingerprint = nn::read_u64(in, "bundle fingerprint");
+  model.generation = nn::read_u64(in, "bundle generation");
   model.detector_kind =
       static_cast<detect::DetectorKind>(nn::read_u32(in, "bundle detector kind"));
-  // Stale-artifact guard: a bundle that does not match the requested
-  // training config must never be served (a file copied or renamed across
-  // config changes would otherwise silently score with old semantics).
-  if (model.domain_key != key.domain_key) {
-    throw SerializationError("serving bundle domain mismatch: artifact '" +
-                             model.domain_key + "', requested '" + key.domain_key + "'");
-  }
-  if (model.fingerprint != key.fingerprint) {
-    throw SerializationError("stale serving bundle: config fingerprint mismatch for " +
-                             path.string());
-  }
-  if (model.detector_kind != key.detector_kind) {
-    throw SerializationError("serving bundle detector kind mismatch: " + path.string());
-  }
-
   model.spec = read_spec(in);
 
   const std::uint32_t n_entities = read_count(in, "bundle entity count");
@@ -337,6 +215,282 @@ ServingModel ModelRegistry::load(const RegistryKey& key) const {
   }
   nn::expect_u32(in, kBundleEnd, "serving bundle end marker");
   return model;
+}
+
+/// Atomic publish: write to a per-writer temp file, rename into place.
+template <typename WriteBody>
+void atomic_write(const std::filesystem::path& path, WriteBody&& body) {
+  // Unique temp name per writer: concurrent saves of the same key (two
+  // fleet nodes racing "train once") must not interleave into one file.
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SerializationError("cannot open registry artifact for writing: " + tmp.string());
+    }
+    body(out);
+    if (!out) throw SerializationError("registry artifact write failed: " + tmp.string());
+    out.close();
+    std::filesystem::rename(tmp, path);  // atomic publish
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);  // never leave stale temp files
+    throw;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Cluster cluster) noexcept {
+  return cluster == Cluster::kLessVulnerable ? "less-vulnerable" : "more-vulnerable";
+}
+
+std::size_t ServingModel::entity_index(std::string_view name) const {
+  for (std::size_t i = 0; i < entity_names.size(); ++i) {
+    if (entity_names[i] == name) return i;
+  }
+  throw common::PreconditionError("unknown entity in score request: " + std::string(name));
+}
+
+const detect::AnomalyDetector& ServingModel::detector_for(std::size_t entity) const {
+  GO_EXPECTS(entity < entity_cluster.size());
+  const auto& detector =
+      cluster_detectors[static_cast<std::size_t>(entity_cluster[entity])];
+  GO_EXPECTS(detector != nullptr);
+  return *detector;
+}
+
+RegistryKey registry_key(const core::RiskProfilingFramework& framework,
+                         detect::DetectorKind kind) {
+  RegistryKey key;
+  key.domain_key = core::domain_cache_key(framework.domain().spec());
+  key.fingerprint = core::config_fingerprint(framework.config());
+  key.detector_kind = kind;
+  return key;
+}
+
+ServingModel build_serving_model(core::RiskProfilingFramework& framework,
+                                 detect::DetectorKind kind) {
+  return build_serving_model(framework, kind, framework.profiling().clusters,
+                             /*generation=*/0);
+}
+
+ServingModel build_serving_model(core::RiskProfilingFramework& framework,
+                                 detect::DetectorKind kind,
+                                 const core::VulnerabilityClusters& partition,
+                                 std::uint64_t generation) {
+  const RegistryKey key = registry_key(framework, kind);
+  const auto& entities = framework.entities();
+  const core::VulnerabilityClusters clusters = framework.rebuild_routing(partition);
+
+  ServingModel model;
+  model.domain_key = key.domain_key;
+  model.fingerprint = key.fingerprint;
+  model.generation = generation;
+  model.spec = framework.domain().spec();
+  model.detector_kind = kind;
+  model.detector_scaler = framework.detector_scaler();
+
+  model.entity_names.reserve(entities.size());
+  for (const auto& entity : entities) model.entity_names.push_back(entity.name);
+
+  model.entity_cluster.assign(entities.size(), Cluster::kLessVulnerable);
+  for (const std::size_t p : clusters.more_vulnerable) {
+    model.entity_cluster[p] = Cluster::kMoreVulnerable;
+  }
+
+  model.forecasters.reserve(entities.size());
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    model.forecasters.push_back(framework.models().personalized(i));
+  }
+
+  // One detector per cluster, each trained on its own cluster's victims
+  // (the paper's step 5: the less-vulnerable detector is the proposed
+  // defense; the more-vulnerable one is kept for routing completeness).
+  // An empty cluster (the online profiler may declare everyone
+  // less-vulnerable) falls back to the full population so its detector
+  // slot still serves.
+  common::log_info("building serving bundle (", kind_token(kind), ", ",
+                   entities.size(), " entities, generation ", generation, ")");
+  const auto victims_or_all = [&](const std::vector<std::size_t>& victims) {
+    if (!victims.empty()) return victims;
+    std::vector<std::size_t> all(entities.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  };
+  model.cluster_detectors[0] = std::move(
+      framework.train_detector(kind, victims_or_all(clusters.less_vulnerable)).detector);
+  model.cluster_detectors[1] = std::move(
+      framework.train_detector(kind, victims_or_all(clusters.more_vulnerable)).detector);
+  return model;
+}
+
+ServingModel clone_serving_model(const ServingModel& model) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_bundle(buffer, model);
+  buffer.seekg(0);
+  return read_bundle(buffer);
+}
+
+ModelRegistry::ModelRegistry() : root_(core::artifacts_dir() / "models") {
+  std::filesystem::create_directories(root_);
+  sweep_orphaned_tmp_files();
+}
+
+ModelRegistry::ModelRegistry(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+  sweep_orphaned_tmp_files();
+}
+
+void ModelRegistry::sweep_orphaned_tmp_files() const {
+  // A writer that crashed between temp-write and rename leaves
+  // "<artifact>.bin.tmp.<pid>" behind; those bytes were never published.
+  // Only stale temps are removed: a peer process may be mid-save of a
+  // fresh temp right now (two fleet nodes racing "train once" share this
+  // root), and deleting its live temp would fail an atomic save that was
+  // about to succeed. Live artifacts end in ".bin" and are never matched.
+  constexpr auto kOrphanAge = std::chrono::minutes(10);
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".bin.tmp.") == std::string::npos) continue;
+    std::error_code ec;
+    const auto written = std::filesystem::last_write_time(entry.path(), ec);
+    if (ec || now - written < kOrphanAge) continue;
+    std::filesystem::remove(entry.path(), ec);
+    common::log_warn("swept orphaned registry temp file: ", entry.path().string());
+  }
+}
+
+std::filesystem::path ModelRegistry::path_for(const RegistryKey& key) const {
+  std::ostringstream name;
+  name << "serving_" << key.domain_key << "_" << std::hex << key.fingerprint << "_"
+       << kind_token(key.detector_kind) << "_g" << std::dec << key.generation << ".bin";
+  return root_ / name.str();
+}
+
+std::filesystem::path ModelRegistry::profiler_path_for(const RegistryKey& key) const {
+  std::ostringstream name;
+  name << "profiler_" << key.domain_key << "_" << std::hex << key.fingerprint << "_"
+       << kind_token(key.detector_kind) << ".bin";
+  return root_ / name.str();
+}
+
+bool ModelRegistry::contains(const RegistryKey& key) const {
+  return std::filesystem::exists(path_for(key));
+}
+
+std::optional<RegistryKey> ModelRegistry::latest(const RegistryKey& key) const {
+  // Generations share the key's filename up to "_g<generation>.bin"; scan
+  // for the highest published one.
+  RegistryKey base = key;
+  base.generation = 0;
+  const std::string stem = path_for(base).filename().string();
+  const std::string prefix = stem.substr(0, stem.size() - std::string("0.bin").size());
+
+  std::optional<RegistryKey> newest;
+  if (!std::filesystem::exists(root_)) return newest;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + 4 || name.compare(0, prefix.size(), prefix) != 0 ||
+        name.substr(name.size() - 4) != ".bin") {
+      continue;
+    }
+    const std::string digits = name.substr(prefix.size(), name.size() - prefix.size() - 4);
+    // A generation that cannot fit u64 is not one of ours — skip it like
+    // every other malformed filename instead of letting stoull throw.
+    if (digits.empty() || digits.size() > 19 ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    RegistryKey candidate = base;
+    candidate.generation = std::stoull(digits);
+    if (!newest || candidate.generation > newest->generation) newest = candidate;
+  }
+  return newest;
+}
+
+void ModelRegistry::save(const ServingModel& model) const {
+  RegistryKey key;
+  key.domain_key = model.domain_key;
+  key.fingerprint = model.fingerprint;
+  key.detector_kind = model.detector_kind;
+  key.generation = model.generation;
+  const std::filesystem::path path = path_for(key);
+  atomic_write(path, [&](std::ostream& out) { write_bundle(out, model); });
+  common::log_info("persisted serving bundle: ", path.string());
+}
+
+ServingModel ModelRegistry::load(const RegistryKey& key) const {
+  const std::filesystem::path path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("no serving bundle for key (domain " + key.domain_key +
+                             "): " + path.string());
+  }
+  ServingModel model = read_bundle(in);
+  // Stale-artifact guard: a bundle that does not match the requested
+  // training config must never be served (a file copied or renamed across
+  // config changes would otherwise silently score with old semantics).
+  if (model.domain_key != key.domain_key) {
+    throw SerializationError("serving bundle domain mismatch: artifact '" +
+                             model.domain_key + "', requested '" + key.domain_key + "'");
+  }
+  if (model.fingerprint != key.fingerprint) {
+    throw SerializationError("stale serving bundle: config fingerprint mismatch for " +
+                             path.string());
+  }
+  if (model.detector_kind != key.detector_kind) {
+    throw SerializationError("serving bundle detector kind mismatch: " + path.string());
+  }
+  if (model.generation != key.generation) {
+    throw SerializationError("serving bundle generation mismatch: " + path.string());
+  }
+  return model;
+}
+
+void ModelRegistry::save_profiler(const RegistryKey& key,
+                                  const risk::OnlineRiskProfiler& profiler) const {
+  const std::filesystem::path path = profiler_path_for(key);
+  atomic_write(path, [&](std::ostream& out) {
+    nn::write_u32(out, kProfilerMagic);
+    nn::write_u32(out, kProfilerVersion);
+    nn::write_string(out, key.domain_key);
+    nn::write_u64(out, key.fingerprint);
+    nn::write_u32(out, static_cast<std::uint32_t>(key.detector_kind));
+    profiler.save(out);
+  });
+}
+
+bool ModelRegistry::contains_profiler(const RegistryKey& key) const {
+  return std::filesystem::exists(profiler_path_for(key));
+}
+
+void ModelRegistry::load_profiler(const RegistryKey& key,
+                                  risk::OnlineRiskProfiler& profiler) const {
+  const std::filesystem::path path = profiler_path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("no profiler state for key (domain " + key.domain_key +
+                             "): " + path.string());
+  }
+  nn::expect_u32(in, kProfilerMagic, "profiler artifact magic");
+  nn::expect_u32(in, kProfilerVersion, "profiler artifact version");
+  if (nn::read_string(in, "profiler artifact domain key") != key.domain_key) {
+    throw SerializationError("profiler artifact domain mismatch: " + path.string());
+  }
+  if (nn::read_u64(in, "profiler artifact fingerprint") != key.fingerprint) {
+    throw SerializationError("stale profiler artifact: fingerprint mismatch for " +
+                             path.string());
+  }
+  if (static_cast<detect::DetectorKind>(nn::read_u32(in, "profiler artifact kind")) !=
+      key.detector_kind) {
+    throw SerializationError("profiler artifact detector kind mismatch: " + path.string());
+  }
+  profiler.load(in);
 }
 
 std::vector<std::filesystem::path> ModelRegistry::list() const {

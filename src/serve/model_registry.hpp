@@ -8,8 +8,17 @@
 // scaler, the per-cluster detectors (kNN reference set / OCSVM support
 // vectors / MAD-GAN nets), the entity -> vulnerability-cluster routing
 // table and the domain spec — keyed by domain + config fingerprint +
-// detector kind, so a trained BGMS or synthtel pipeline round-trips to
-// disk and back without retraining.
+// detector kind + bundle generation, so a trained BGMS or synthtel
+// pipeline round-trips to disk and back without retraining.
+//
+// Generations are the adaptive serving loop's unit of publication: the
+// offline pipeline emits generation 0, and every online refresh (the
+// paper's Appendix-D iterative reassessment, driven by
+// serve::AdaptiveController) publishes the rebuilt bundle as the next
+// generation under the same base key. latest() resolves the newest
+// generation so a restarted server resumes from the last published state.
+// The controller's own profiling state persists alongside the bundles
+// (save_profiler/load_profiler), keyed generation-agnostically.
 //
 // Every load failure (truncation, bad magic/version, shape mismatch, stale
 // config fingerprint) throws common::SerializationError; a half-loaded
@@ -20,6 +29,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +39,7 @@
 #include "data/scaler.hpp"
 #include "detect/factory.hpp"
 #include "predict/bilstm_forecaster.hpp"
+#include "risk/online.hpp"
 
 namespace goodones::serve {
 
@@ -45,6 +56,11 @@ struct ServingModel {
   /// trained under — load() enforces this.
   std::string domain_key;
   std::uint64_t fingerprint = 0;
+
+  /// Bundle generation: 0 = the offline pipeline's output; each adaptive
+  /// refresh publishes generation + 1. Scoring responses carry the serving
+  /// generation so every verdict is attributable to exactly one bundle.
+  std::uint64_t generation = 0;
 
   /// The domain's static semantics (telemetry schema, thresholds,
   /// severity, context channels) — everything feature assembly and risk
@@ -80,24 +96,45 @@ struct ServingModel {
 /// Trains (or reuses) everything in `framework` and assembles the serving
 /// bundle: forecaster fleet, per-cluster detectors of `kind`, routing table,
 /// scaler and spec. Heavy stages already computed on the framework are
-/// reused, not recomputed.
+/// reused, not recomputed. Publishes as generation 0.
 ServingModel build_serving_model(core::RiskProfilingFramework& framework,
                                  detect::DetectorKind kind);
+
+/// Rebuilds the bundle for an explicitly-supplied vulnerability partition —
+/// the adaptive loop's refresh path. The partition is canonicalized through
+/// framework.rebuild_routing (training-identical assignment code) and both
+/// cluster detectors are retrained on their new victim sets through the
+/// train_detector seam; the result is stamped with `generation`.
+ServingModel build_serving_model(core::RiskProfilingFramework& framework,
+                                 detect::DetectorKind kind,
+                                 const core::VulnerabilityClusters& partition,
+                                 std::uint64_t generation);
+
+/// Deep copy via an in-memory serialization round-trip (detectors and
+/// forecasters only expose stream persistence). The clone scores
+/// bitwise-identically — this is what routing-only refreshes build on.
+ServingModel clone_serving_model(const ServingModel& model);
 
 /// Addresses one persisted serving bundle.
 struct RegistryKey {
   std::string domain_key;
   std::uint64_t fingerprint = 0;
   detect::DetectorKind detector_kind = detect::DetectorKind::kKnn;
+  std::uint64_t generation = 0;
 };
 
-/// Derives the registry key a framework's serving bundle persists under.
+/// Derives the registry key a framework's serving bundle persists under
+/// (generation 0; adaptive refreshes bump RegistryKey::generation).
 RegistryKey registry_key(const core::RiskProfilingFramework& framework,
                          detect::DetectorKind kind);
 
 class ModelRegistry {
  public:
   /// `root` defaults to <artifacts>/models (see core::artifacts_dir()).
+  /// Opening a registry sweeps STALE orphaned "*.bin.tmp.*" files left
+  /// behind by writers that crashed between temp-write and atomic rename
+  /// (an age threshold protects a peer's save that is in flight right
+  /// now); live artifacts are never touched.
   explicit ModelRegistry();
   explicit ModelRegistry(std::filesystem::path root);
 
@@ -108,8 +145,9 @@ class ModelRegistry {
 
   bool contains(const RegistryKey& key) const;
 
-  /// Persists the bundle under its own key; atomic (write to temp file,
-  /// rename into place) so readers never observe a half-written artifact.
+  /// Persists the bundle under its own key (including its generation);
+  /// atomic (write to temp file, rename into place) so readers never
+  /// observe a half-written artifact.
   void save(const ServingModel& model) const;
 
   /// Loads the bundle for `key`. Throws common::SerializationError when the
@@ -118,10 +156,32 @@ class ModelRegistry {
   /// (stale artifact).
   ServingModel load(const RegistryKey& key) const;
 
+  /// Newest published generation for `key`'s (domain, fingerprint, kind) —
+  /// the key's own generation field is ignored. nullopt when no generation
+  /// of the bundle has been published.
+  std::optional<RegistryKey> latest(const RegistryKey& key) const;
+
   /// All artifact files currently in the registry, sorted by name.
   std::vector<std::filesystem::path> list() const;
 
+  // --- adaptive-controller state --------------------------------------------
+
+  /// Persists the online profiler's state for `key` (generation-agnostic:
+  /// profiling evidence spans bundle generations). Atomic like save().
+  void save_profiler(const RegistryKey& key, const risk::OnlineRiskProfiler& profiler) const;
+
+  /// True when profiler state has been persisted for `key`.
+  bool contains_profiler(const RegistryKey& key) const;
+
+  /// Restores profiler state saved under `key` into `profiler` (which must
+  /// track the same victim roster). Throws common::SerializationError on a
+  /// missing/corrupt artifact or roster mismatch.
+  void load_profiler(const RegistryKey& key, risk::OnlineRiskProfiler& profiler) const;
+
  private:
+  std::filesystem::path profiler_path_for(const RegistryKey& key) const;
+  void sweep_orphaned_tmp_files() const;
+
   std::filesystem::path root_;
 };
 

@@ -20,21 +20,55 @@ struct WindowRef {
 
 }  // namespace
 
-ScoringService::ScoringService(ServingModel model, ScoringServiceConfig config)
-    : model_(std::move(model)),
-      pool_(std::make_unique<common::ThreadPool>(config.threads)) {
-  GO_EXPECTS(!model_.forecasters.empty());
-  GO_EXPECTS(model_.forecasters.size() == model_.entity_names.size());
-  GO_EXPECTS(model_.entity_cluster.size() == model_.entity_names.size());
-  GO_EXPECTS(model_.cluster_detectors[0] != nullptr);
-  GO_EXPECTS(model_.cluster_detectors[1] != nullptr);
-  entity_lookup_.reserve(model_.entity_names.size());
-  for (std::size_t i = 0; i < model_.entity_names.size(); ++i) {
-    entity_lookup_.emplace(model_.entity_names[i], i);
+ScoringService::Snapshot::Snapshot(ServingModel m) : model(std::move(m)) {
+  GO_EXPECTS(!model.forecasters.empty());
+  GO_EXPECTS(model.forecasters.size() == model.entity_names.size());
+  GO_EXPECTS(model.entity_cluster.size() == model.entity_names.size());
+  GO_EXPECTS(model.cluster_detectors[0] != nullptr);
+  GO_EXPECTS(model.cluster_detectors[1] != nullptr);
+  entity_lookup.reserve(model.entity_names.size());
+  for (std::size_t i = 0; i < model.entity_names.size(); ++i) {
+    entity_lookup.emplace(model.entity_names[i], i);
   }
 }
 
+ScoringService::ScoringService(ServingModel model, ScoringServiceConfig config)
+    : pool_(std::make_unique<common::ThreadPool>(config.threads)) {
+  snapshot_.store(std::make_shared<const Snapshot>(std::move(model)),
+                  std::memory_order_release);
+}
+
 ScoringService::~ScoringService() = default;
+
+std::shared_ptr<const ServingModel> ScoringService::model() const {
+  // Aliasing constructor: the returned pointer shares the snapshot's
+  // lifetime, so a caller-held bundle survives any number of swaps.
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  return std::shared_ptr<const ServingModel>(snap, &snap->model);
+}
+
+std::uint64_t ScoringService::generation() const {
+  return snapshot()->model.generation;
+}
+
+void ScoringService::swap_model(ServingModel model) {
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  // The roster is the service's identity: swapping to a different entity
+  // set would silently invalidate the profiler/controller state keyed to
+  // it. Routing (entity_cluster) and detectors are exactly what may change.
+  GO_EXPECTS(model.entity_names == current->model.entity_names);
+  snapshot_.store(std::make_shared<const Snapshot>(std::move(model)),
+                  std::memory_order_release);
+}
+
+void ScoringService::set_observer(ScoreObserver observer) {
+  if (observer) {
+    observer_.store(std::make_shared<const ScoreObserver>(std::move(observer)),
+                    std::memory_order_release);
+  } else {
+    observer_.store(nullptr, std::memory_order_release);
+  }
+}
 
 ScoreResponse ScoringService::score(const ScoreRequest& request) const {
   return score_batch(std::span<const ScoreRequest>(&request, 1)).front();
@@ -42,7 +76,11 @@ ScoreResponse ScoringService::score(const ScoreRequest& request) const {
 
 std::vector<ScoreResponse> ScoringService::score_batch(
     std::span<const ScoreRequest> requests) const {
-  const core::DomainSpec& spec = model_.spec;
+  // One coherent snapshot per batch: every window of every request in this
+  // call scores against this generation, regardless of concurrent swaps.
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const ServingModel& model = snap->model;
+  const core::DomainSpec& spec = model.spec;
 
   // Resolve entities and validate what the bundle can check generically
   // (entity names, channel counts) before any work is dispatched. Row-count
@@ -55,14 +93,15 @@ std::vector<ScoreResponse> ScoringService::score_batch(
   std::size_t total_windows = 0;
   for (std::size_t r = 0; r < requests.size(); ++r) {
     const ScoreRequest& request = requests[r];
-    const auto found = entity_lookup_.find(request.entity);
-    if (found == entity_lookup_.end()) {
+    const auto found = snap->entity_lookup.find(request.entity);
+    if (found == snap->entity_lookup.end()) {
       throw common::PreconditionError("unknown entity in score request: " +
                                       request.entity);
     }
     const std::size_t entity = found->second;
     responses[r].entity_index = entity;
-    responses[r].cluster = model_.entity_cluster[entity];
+    responses[r].cluster = model.entity_cluster[entity];
+    responses[r].generation = model.generation;
     responses[r].windows.resize(request.windows.size());
     for (std::size_t w = 0; w < request.windows.size(); ++w) {
       const TelemetryWindow& window = request.windows[w];
@@ -74,7 +113,8 @@ std::vector<ScoreResponse> ScoringService::score_batch(
   }
 
   // Entities with traffic shard across the pool; within one entity every
-  // window (across all requests) goes through a single predict_batch.
+  // window (across all requests) goes through a single predict_batch and a
+  // single detector score_batch.
   std::vector<const std::pair<const std::size_t, std::vector<WindowRef>>*> active;
   active.reserve(per_entity.size());
   for (const auto& group : per_entity) active.push_back(&group);
@@ -82,8 +122,8 @@ std::vector<ScoreResponse> ScoringService::score_batch(
   common::parallel_for(*pool_, active.size(), [&](std::size_t a) {
     const std::size_t entity = active[a]->first;
     const std::vector<WindowRef>& refs = active[a]->second;
-    const predict::Forecaster& forecaster = model_.forecasters[entity];
-    const detect::AnomalyDetector& detector = model_.detector_for(entity);
+    const predict::Forecaster& forecaster = model.forecasters[entity];
+    const detect::AnomalyDetector& detector = model.detector_for(entity);
     const bool sample_level =
         detector.granularity() == detect::InputGranularity::kSample;
 
@@ -93,6 +133,18 @@ std::vector<ScoreResponse> ScoringService::score_batch(
       batch.push_back(requests[ref.request].windows[ref.window].features);
     }
     const std::vector<double> forecasts = forecaster.predict_batch(batch);
+
+    // One detector call for the whole (entity, request-batch) group.
+    std::vector<nn::Matrix> detector_inputs;
+    detector_inputs.reserve(refs.size());
+    for (const WindowRef& ref : refs) {
+      const nn::Matrix& features = requests[ref.request].windows[ref.window].features;
+      detector_inputs.push_back(
+          sample_level ? core::window_sample(spec, model.detector_scaler, features)
+                       : model.detector_scaler.transform(features));
+    }
+    const std::vector<double> anomaly_scores =
+        detector.score_batch(std::span<const nn::Matrix>(detector_inputs));
 
     for (std::size_t i = 0; i < refs.size(); ++i) {
       const WindowRef& ref = refs[i];
@@ -108,11 +160,8 @@ std::vector<ScoreResponse> ScoringService::score_batch(
       score.risk = spec.severity.coefficient(score.observed_state, score.predicted_state) *
                    risk::deviation_magnitude(last_observed, score.forecast);
 
-      const nn::Matrix detector_input =
-          sample_level ? core::window_sample(spec, model_.detector_scaler, window.features)
-                       : model_.detector_scaler.transform(window.features);
-      score.anomaly_score = detector.anomaly_score(detector_input);
-      score.flagged = detector.flags_from_score(detector_input, score.anomaly_score);
+      score.anomaly_score = anomaly_scores[i];
+      score.flagged = detector.flags_from_score(detector_inputs[i], score.anomaly_score);
     }
   });
 
@@ -120,6 +169,15 @@ std::vector<ScoreResponse> ScoringService::score_batch(
   counters.add("serve.requests", requests.size());
   counters.add("serve.windows", total_windows);
   counters.add("serve.entity_batches", active.size());
+
+  // Feedback tap: deliver finished responses to the adaptive controller
+  // (or any other observer) after all scoring work for this call is done.
+  if (const std::shared_ptr<const ScoreObserver> observer =
+          observer_.load(std::memory_order_acquire)) {
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      (*observer)(requests[r], responses[r]);
+    }
+  }
   return responses;
 }
 

@@ -11,13 +11,25 @@
 // diff against; evasion pressure lands exactly here, cf. Biggio et al.).
 //
 // Batching: all windows of all concurrent requests addressed to the same
-// entity run through one Forecaster::predict_batch call (the natural
-// request shape named in the roadmap), and entities shard across the
-// service's thread pool. Throughput counters land in
-// core::metrics::counters() under the "serve." prefix.
+// entity run through one Forecaster::predict_batch call and ONE
+// AnomalyDetector::score_batch call (the roadmap's detector-batching step:
+// MAD-GAN amortizes its latent inversion, kNN blocks its neighbor
+// queries), and entities shard across the service's thread pool.
+// Throughput counters land in core::metrics::counters() under the
+// "serve." prefix.
+//
+// Hot-swap: the service holds its bundle as an immutable snapshot behind an
+// atomic shared_ptr. swap_model() publishes a new bundle generation without
+// blocking readers; every request resolves ONE snapshot on entry and scores
+// entirely against it, so concurrent traffic never observes a mixed
+// old/new fleet — each ScoreResponse names the generation that served it.
+// This is what lets serve::AdaptiveController refresh routing online (the
+// paper's Appendix-D iterative reassessment) under live load.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -60,6 +72,9 @@ struct WindowScore {
 struct ScoreResponse {
   std::size_t entity_index = 0;
   Cluster cluster = Cluster::kLessVulnerable;
+  /// Generation of the bundle snapshot that scored this response. All
+  /// windows of one response are always served by the same generation.
+  std::uint64_t generation = 0;
   std::vector<WindowScore> windows;  ///< request window order
 };
 
@@ -70,6 +85,12 @@ struct ScoringServiceConfig {
 
 class ScoringService {
  public:
+  /// Observes every scored request after its response is assembled —
+  /// the adaptive controller's feedback tap. Invoked on the scoring
+  /// thread, once per request, AFTER the response is final; it must be
+  /// thread-safe under concurrent score_batch calls.
+  using ScoreObserver = std::function<void(const ScoreRequest&, const ScoreResponse&)>;
+
   /// Takes ownership of the bundle (load it via ModelRegistry::load or
   /// build it in memory via build_serving_model).
   explicit ScoringService(ServingModel model, ScoringServiceConfig config = {});
@@ -78,9 +99,24 @@ class ScoringService {
   ScoringService(const ScoringService&) = delete;
   ScoringService& operator=(const ScoringService&) = delete;
 
-  const ServingModel& model() const noexcept { return model_; }
+  /// The currently-served bundle snapshot. The pointer stays valid (and
+  /// immutable) for as long as the caller holds it, even across swaps.
+  std::shared_ptr<const ServingModel> model() const;
 
-  /// Scores one request (all its windows batch through one predict_batch).
+  /// Generation of the currently-served bundle.
+  std::uint64_t generation() const;
+
+  /// Atomically publishes a new bundle. In-flight requests finish against
+  /// the snapshot they resolved on entry; requests arriving after the swap
+  /// see the new generation. The new bundle must describe the same entity
+  /// roster (the routing table may differ — that is the point).
+  void swap_model(ServingModel model);
+
+  /// Installs (or clears, with nullptr) the feedback observer.
+  void set_observer(ScoreObserver observer);
+
+  /// Scores one request (all its windows batch through one predict_batch
+  /// and one detector score_batch).
   ScoreResponse score(const ScoreRequest& request) const;
 
   /// Scores concurrent requests: windows are regrouped per entity so each
@@ -94,9 +130,20 @@ class ScoringService {
   std::vector<ScoreResponse> score_batch(std::span<const ScoreRequest> requests) const;
 
  private:
-  ServingModel model_;
-  /// O(1) request routing (ServingModel::entity_index is a linear scan).
-  std::unordered_map<std::string, std::size_t> entity_lookup_;
+  /// One published bundle generation: the model plus its O(1) routing index,
+  /// immutable after construction so readers need no lock.
+  struct Snapshot {
+    explicit Snapshot(ServingModel m);
+    ServingModel model;
+    std::unordered_map<std::string, std::size_t> entity_lookup;
+  };
+
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  std::atomic<std::shared_ptr<const ScoreObserver>> observer_;
   std::unique_ptr<common::ThreadPool> pool_;
 };
 

@@ -1,0 +1,139 @@
+// Five-step pipeline test for the autonomous-vehicle steering domain (the
+// third registered scenario, promoted from examples/av_risk_profiles):
+// registry lookup, fleet generation, steps 1-4 profiles/clusters, step 5
+// selective detector training, and the serving-bundle build on top — the
+// adaptive loop's third workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/framework.hpp"
+#include "domains/av/adapter.hpp"
+#include "domains/av/traffic.hpp"
+#include "domains/registry.hpp"
+#include "serve/model_registry.hpp"
+
+namespace goodones::core {
+namespace {
+
+std::shared_ptr<const DomainAdapter> tiny_av_fleet() {
+  static const auto domain = std::make_shared<av::AvDomain>(3);
+  return domain;
+}
+
+FrameworkConfig tiny_av_config() {
+  FrameworkConfig config = tiny_av_fleet()->prepare(FrameworkConfig::fast());
+  config.population.train_steps = 1500;
+  config.population.test_steps = 500;
+  config.population.seed = 99;
+  config.registry.forecaster.hidden = 8;
+  config.registry.forecaster.head_hidden = 6;
+  config.registry.forecaster.epochs = 2;
+  config.registry.train_window_step = 8;
+  config.registry.aggregate_window_step = 50;
+  config.profiling_campaign.window_step = 12;
+  config.evaluation_campaign.window_step = 12;
+  config.detector_benign_stride = 12;
+  config.detectors.knn.max_points_per_class = 500;
+  config.random_runs = 1;
+  config.random_victims = 2;
+  config.seed = 1729;
+  return config;
+}
+
+RiskProfilingFramework& av_framework() {
+  static RiskProfilingFramework framework(tiny_av_fleet(), tiny_av_config());
+  return framework;
+}
+
+TEST(AvDomain, IsRegistered) {
+  const auto names = domains::available_domains();
+  EXPECT_NE(std::find(names.begin(), names.end(), "av"), names.end());
+  const auto domain = domains::make_domain("av");
+  EXPECT_EQ(domain->spec().name, "av");
+  EXPECT_EQ(domain->spec().target_channel, av::kSteering);
+  EXPECT_EQ(domain->spec().num_channels, av::kNumChannels);
+}
+
+TEST(AvDomain, SimulatorIsDeterministicAndBounded) {
+  const auto fleet = av::fleet_parameters(3);
+  ASSERT_EQ(fleet.size(), 6u);
+  const auto a = av::simulate_vehicle(fleet[0], 400, 7);
+  const auto b = av::simulate_vehicle(fleet[0], 400, 7);
+  ASSERT_EQ(a.values.rows(), 400u);
+  for (std::size_t t = 0; t < a.values.rows(); ++t) {
+    EXPECT_EQ(a.values(t, av::kSteering), b.values(t, av::kSteering));
+    EXPECT_GE(a.values(t, av::kSteering), av::kMinSteering);
+    EXPECT_LE(a.values(t, av::kSteering), av::kMaxSteering);
+  }
+}
+
+TEST(AvDomain, GeneratesTwoSubsetFleet) {
+  const auto& entities = av_framework().entities();
+  ASSERT_EQ(entities.size(), 6u);  // 3 vehicles per subset
+  EXPECT_EQ(entities[0].name, "VA_0");
+  EXPECT_EQ(entities[3].name, "VB_0");
+  EXPECT_EQ(entities[0].subset, 0u);
+  EXPECT_EQ(entities[3].subset, 1u);
+  for (const auto& e : entities) {
+    EXPECT_EQ(e.train.num_channels(), av::kNumChannels);
+    EXPECT_EQ(e.train.steps(), 1500u);
+    EXPECT_EQ(e.test.steps(), 500u);
+  }
+}
+
+TEST(AvDomain, Steps1Through4ProduceProfilesAndClusters) {
+  const auto& profiling = av_framework().profiling();
+  ASSERT_EQ(profiling.profiles.size(), 6u);
+  for (const auto& profile : profiling.profiles) {
+    EXPECT_FALSE(profile.values.empty());
+    for (const double r : profile.values) {
+      ASSERT_GE(r, 0.0);
+      ASSERT_TRUE(std::isfinite(r));
+    }
+  }
+  ASSERT_EQ(profiling.dendrograms.size(), 2u);
+  EXPECT_EQ(profiling.dendrograms[0].num_leaves(), 3u);
+  std::set<std::size_t> all;
+  for (const auto n : profiling.clusters.less_vulnerable) all.insert(n);
+  for (const auto n : profiling.clusters.more_vulnerable) all.insert(n);
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_FALSE(profiling.clusters.less_vulnerable.empty());
+  EXPECT_FALSE(profiling.clusters.more_vulnerable.empty());
+}
+
+TEST(AvDomain, Step5TrainsAndEvaluatesSelectiveDetector) {
+  auto& framework = av_framework();
+  const auto eval = framework.evaluate_strategy(
+      detect::DetectorKind::kKnn, framework.profiling().clusters.less_vulnerable);
+  EXPECT_EQ(eval.per_victim.size(), 6u);
+  EXPECT_GT(eval.pooled.total(), 0u);
+  EXPECT_GT(eval.train_benign, 0u);
+  EXPECT_GT(eval.train_malicious, 0u);
+  EXPECT_GE(eval.pooled.recall(), 0.0);
+  EXPECT_LE(eval.pooled.recall(), 1.0);
+}
+
+TEST(AvDomain, SampleFeaturesUseManeuverContextChannel) {
+  auto& framework = av_framework();
+  const auto samples = framework.benign_train_samples(0);
+  ASSERT_FALSE(samples.empty());
+  // 3 channels + 1 rolling context sum (the maneuver channel).
+  EXPECT_EQ(samples.front().cols(), av::kNumChannels + 1);
+}
+
+TEST(AvDomain, ServesThroughTheBundlePath) {
+  auto& framework = av_framework();
+  const serve::ServingModel model =
+      serve::build_serving_model(framework, detect::DetectorKind::kKnn);
+  EXPECT_EQ(model.entity_names.size(), 6u);
+  EXPECT_EQ(model.spec.name, "av");
+  EXPECT_EQ(model.generation, 0u);
+  EXPECT_NE(model.cluster_detectors[0], nullptr);
+  EXPECT_NE(model.cluster_detectors[1], nullptr);
+}
+
+}  // namespace
+}  // namespace goodones::core

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -305,6 +307,63 @@ TEST(MadGan, DrLambdaBlendsComponents) {
   common::Rng test_rng(60);
   const auto w = make_window(test_rng, 0.5, 0.02);
   EXPECT_NEAR(disc_only.anomaly_score(w), disc_only.discrimination_score(w), 1e-12);
+}
+
+// --- score_batch parity -----------------------------------------------------
+//
+// The serving path makes ONE score_batch call per (entity, request); the
+// contract is that batching is purely an execution strategy — every batched
+// score must be BITWISE identical to the per-window anomaly_score, for the
+// overridden fast paths (kNN blocked queries, MAD-GAN batched inversion)
+// and the base-class fallback (OneClassSVM) alike.
+
+template <typename Detector>
+void expect_batched_scores_bitwise_identical(const Detector& detector,
+                                             const std::vector<nn::Matrix>& queries) {
+  const std::vector<double> batched =
+      detector.score_batch(std::span<const nn::Matrix>(queries));
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double scalar = detector.anomaly_score(queries[i]);
+    EXPECT_EQ(batched[i], scalar) << "window " << i << " drifted";
+    EXPECT_EQ(detector.flags_from_score(queries[i], batched[i]), detector.flags(queries[i]))
+        << "window " << i;
+  }
+  EXPECT_TRUE(detector.score_batch(std::span<const nn::Matrix>()).empty());
+}
+
+TEST(ScoreBatchParity, KnnBlockedQueriesAreBitwiseIdentical) {
+  common::Rng rng(71);
+  KnnDetector detector;
+  // Enough training points to span several 256-row blocks, including ties.
+  detector.fit(make_windows(rng, 400, 0.2, 0.04), make_windows(rng, 350, 0.8, 0.04));
+  common::Rng test_rng(72);
+  std::vector<nn::Matrix> queries;
+  for (int i = 0; i < 9; ++i) queries.push_back(make_window(test_rng, 0.15 + 0.09 * i, 0.03));
+  expect_batched_scores_bitwise_identical(detector, queries);
+}
+
+TEST(ScoreBatchParity, OcsvmDefaultLoopIsBitwiseIdentical) {
+  common::Rng rng(73);
+  OneClassSvm detector;
+  detector.fit(make_windows(rng, 120, 0.3, 0.05), {});
+  common::Rng test_rng(74);
+  std::vector<nn::Matrix> queries;
+  for (int i = 0; i < 6; ++i) queries.push_back(make_window(test_rng, 0.2 + 0.12 * i, 0.03));
+  expect_batched_scores_bitwise_identical(detector, queries);
+}
+
+TEST(ScoreBatchParity, MadGanBatchedInversionIsBitwiseIdentical) {
+  common::Rng rng(75);
+  MadGan detector(tiny_madgan_config());
+  detector.fit(make_windows(rng, 200, 0.25, 0.03), {});
+  common::Rng test_rng(76);
+  std::vector<nn::Matrix> queries;
+  for (int i = 0; i < 7; ++i) queries.push_back(make_window(test_rng, 0.1 + 0.12 * i, 0.03));
+  expect_batched_scores_bitwise_identical(detector, queries);
+  // Batch of one is the degenerate case the packing must also get right.
+  expect_batched_scores_bitwise_identical(
+      detector, std::vector<nn::Matrix>{queries.front()});
 }
 
 TEST(Factory, BuildsAllKindsWithMatchingNames) {

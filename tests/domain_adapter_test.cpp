@@ -20,7 +20,7 @@ namespace {
 
 TEST(DomainRegistry, ResolvesBuiltInDomains) {
   const auto names = domains::available_domains();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);  // bgms, synthtel, av
   for (const auto& name : names) {
     const auto domain = domains::make_domain(name);
     ASSERT_NE(domain, nullptr);

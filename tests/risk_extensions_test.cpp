@@ -3,7 +3,10 @@
 // (the paper's Appendix-D adaptive reassessment).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "common/error.hpp"
 #include "risk/online.hpp"
@@ -215,6 +218,113 @@ TEST(OnlineProfiler, VictimLookup) {
   OnlineRiskProfiler profiler(two_victims(), {});
   EXPECT_EQ(profiler.victim(1), "A_1");
   EXPECT_THROW((void)profiler.victim(2), common::PreconditionError);
+}
+
+TEST(OnlineProfiler, ObserveRisksMatchesObserveOnEquivalentEvidence) {
+  // observe_risks (the serving-time entry point) must fold a batch exactly
+  // like observe does for campaign outcomes with the same Eq.-1 risks.
+  OnlineRiskProfiler from_outcomes(two_victims(), {});
+  OnlineRiskProfiler from_risks(two_victims(), {});
+  const auto outcome =
+      make_outcome(100.0, 430.0, StateLabel::kNormal, StateLabel::kHigh);
+  from_outcomes.observe(0, {outcome, outcome});
+  const double risk = instantaneous_risk(outcome, SeveritySchedule::paper_default());
+  from_risks.observe_risks(0, std::vector<double>{risk, risk});
+  EXPECT_EQ(from_risks.level(0), from_outcomes.level(0));
+  EXPECT_EQ(from_risks.batches(0), from_outcomes.batches(0));
+  EXPECT_THROW(from_risks.observe_risks(0, std::vector<double>{-1.0}),
+               common::PreconditionError);
+}
+
+TEST(OnlineProfiler, EmptyRiskBatchIgnored) {
+  OnlineRiskProfiler profiler(two_victims(), {});
+  profiler.observe_risks(0, std::vector<double>{});
+  EXPECT_EQ(profiler.batches(0), 0u);
+  EXPECT_EQ(profiler.level(0), 0.0);
+}
+
+TEST(OnlineProfiler, DecayOneIsCumulativeMeanOfBatchMeans) {
+  OnlineProfilerConfig config;
+  config.decay = 1.0;  // "never forget" must mean cumulative mean, not freeze
+  OnlineRiskProfiler profiler(two_victims(), config);
+  const std::vector<double> batch_risks = {3.0, 8.0, 1.0, 20.0, 5.0};
+  double mean_of_means = 0.0;
+  for (std::size_t i = 0; i < batch_risks.size(); ++i) {
+    profiler.observe_risks(0, std::span<const double>(&batch_risks[i], 1));
+    mean_of_means += std::log1p(batch_risks[i]);
+  }
+  mean_of_means /= static_cast<double>(batch_risks.size());
+  EXPECT_NEAR(profiler.level(0), mean_of_means, 1e-12);
+  EXPECT_EQ(profiler.batches(0), batch_risks.size());
+}
+
+/// Drives victim 2 of a 5-victim profiler so its level alternates between
+/// 4.8 and 5.2 (log1p space) while the others stay pinned at 1.0 / 1.2 /
+/// 9.0 / 9.2; returns the sequence of sides victim 2 landed on. This
+/// geometry makes the max-gap SPLIT POINT itself flip with the oscillation
+/// (the larger gap is below victim 2 at 5.2, above it at 4.8), so without
+/// hysteresis the boundary victim changes cluster on every single batch.
+std::vector<bool> boundary_victim_sides(double hysteresis, int rounds) {
+  OnlineProfilerConfig config;
+  config.decay = 0.5;  // level' = (old + batch_mean) / 2: exact control
+  config.hysteresis = hysteresis;
+  OnlineRiskProfiler profiler({"v0", "v1", "mid", "v3", "v4"}, config);
+  const auto risk_for_level = [](double level) {
+    return std::vector<double>{std::expm1(level)};  // first batch sets level
+  };
+  profiler.observe_risks(0, risk_for_level(1.0));
+  profiler.observe_risks(1, risk_for_level(1.2));
+  profiler.observe_risks(2, risk_for_level(5.2));
+  profiler.observe_risks(3, risk_for_level(9.0));
+  profiler.observe_risks(4, risk_for_level(9.2));
+
+  std::vector<bool> sides;
+  profiler.reassess();
+  const auto record_side = [&] {
+    sides.push_back(std::find(profiler.partition().less_vulnerable.begin(),
+                              profiler.partition().less_vulnerable.end(),
+                              2u) != profiler.partition().less_vulnerable.end());
+  };
+  record_side();
+  for (int round = 0; round < rounds; ++round) {
+    // With decay 0.5, a batch mean of (2*target - old) moves the level to
+    // target: oscillate 5.2 -> 4.8 -> 5.2 -> ...
+    const double target = round % 2 == 0 ? 4.8 : 5.2;
+    const double old_level = profiler.level(2);
+    profiler.observe_risks(2, risk_for_level(2.0 * target - old_level));
+    profiler.reassess();
+    record_side();
+  }
+  return sides;
+}
+
+TEST(OnlineProfiler, HysteresisDoesNotOscillateUnderAlternatingBatches) {
+  // With a wide dead zone the boundary victim must keep one side across
+  // every alternating batch...
+  const auto stable = boundary_victim_sides(/*hysteresis=*/0.35, 10);
+  for (std::size_t i = 1; i < stable.size(); ++i) {
+    EXPECT_EQ(stable[i], stable[0]) << "flapped on round " << i;
+  }
+  // ...while without hysteresis the same traffic flips it every batch —
+  // proving the scenario actually bites and the margin is load-bearing.
+  const auto flapping = boundary_victim_sides(/*hysteresis=*/0.0, 4);
+  bool any_flip = false;
+  for (std::size_t i = 1; i < flapping.size(); ++i) {
+    any_flip = any_flip || flapping[i] != flapping[i - 1];
+  }
+  EXPECT_TRUE(any_flip);
+}
+
+TEST(OnlineProfiler, SingleVictimAlwaysLessVulnerable) {
+  OnlineRiskProfiler profiler({"only"}, {});
+  profiler.observe_risks(0, std::vector<double>{1000.0});
+  const auto& partition = profiler.reassess();
+  ASSERT_EQ(partition.less_vulnerable.size(), 1u);
+  EXPECT_EQ(partition.less_vulnerable[0], 0u);
+  EXPECT_TRUE(partition.more_vulnerable.empty());
+  // Repeated reassessment of the degenerate population stays stable.
+  profiler.observe_risks(0, std::vector<double>{0.5});
+  EXPECT_EQ(profiler.reassess().less_vulnerable.size(), 1u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // model, and never dies on malformed bytes.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -146,6 +147,65 @@ TEST_F(ServeRegistryTest, RoundTripPreservesRoutingAndScoring) {
 
 TEST_F(ServeRegistryTest, MissingArtifactThrowsTypedError) {
   EXPECT_THROW((void)registry().load(toy_key()), SerializationError);
+}
+
+TEST_F(ServeRegistryTest, OpenSweepsOrphanedTempFilesAndKeepsLiveArtifacts) {
+  const ServingModel saved = toy_model();
+  registry().save(saved);
+  const auto live = registry().path_for(toy_key());
+  const std::vector<char> live_bytes = read_file(live);
+
+  // A crashed writer's leftovers: a half-written temp next to the live
+  // artifact, plus one for a key that never published. Backdate them past
+  // the sweep's age threshold (only STALE temps may be removed — a fresh
+  // temp could be a peer process's save in flight).
+  const auto orphan_same_key = std::filesystem::path(live.string() + ".tmp.4242");
+  const auto orphan_other =
+      registry().root() / "serving_other_beef_knn_g3.bin.tmp.99";
+  const auto fresh_peer = std::filesystem::path(live.string() + ".tmp.777");
+  write_file(orphan_same_key, {'h', 'a', 'l', 'f'});
+  write_file(orphan_other, {'x'});
+  write_file(fresh_peer, {'l', 'i', 'v', 'e'});
+  const auto stale = std::filesystem::file_time_type::clock::now() -
+                     std::chrono::hours(2);
+  std::filesystem::last_write_time(orphan_same_key, stale);
+  std::filesystem::last_write_time(orphan_other, stale);
+
+  const ModelRegistry reopened(registry().root());
+  EXPECT_FALSE(std::filesystem::exists(orphan_same_key));
+  EXPECT_FALSE(std::filesystem::exists(orphan_other));
+  // The peer's in-flight temp survives the sweep.
+  EXPECT_TRUE(std::filesystem::exists(fresh_peer));
+  // The live artifact is untouched byte for byte and still loads.
+  ASSERT_TRUE(std::filesystem::exists(live));
+  EXPECT_EQ(read_file(live), live_bytes);
+  const ServingModel reloaded = reopened.load(toy_key());
+  EXPECT_EQ(reloaded.entity_names, saved.entity_names);
+}
+
+TEST_F(ServeRegistryTest, LatestResolvesNewestGeneration) {
+  EXPECT_FALSE(registry().latest(toy_key()).has_value());
+  for (const std::uint64_t generation : {0ull, 2ull, 11ull}) {
+    ServingModel model = toy_model();
+    model.generation = generation;
+    registry().save(model);
+  }
+  // Malformed neighbors must be skipped, not crash the resume path: a
+  // generation too large for u64 and a non-numeric suffix.
+  const auto base_name = registry().path_for(toy_key()).filename().string();
+  const auto prefix = base_name.substr(0, base_name.size() - std::string("0.bin").size());
+  write_file(registry().root() / (prefix + "99999999999999999999999.bin"), {'x'});
+  write_file(registry().root() / (prefix + "12abc.bin"), {'x'});
+  const auto newest = registry().latest(toy_key());
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->generation, 11u);
+  EXPECT_EQ(registry().load(*newest).generation, 11u);
+  // Loading a generation under the wrong key fails loudly.
+  RegistryKey wrong = toy_key();
+  wrong.generation = 2;
+  EXPECT_EQ(registry().load(wrong).generation, 2u);
+  wrong.generation = 7;
+  EXPECT_THROW((void)registry().load(wrong), SerializationError);
 }
 
 TEST_F(ServeRegistryTest, TruncatedArtifactThrowsTypedError) {
