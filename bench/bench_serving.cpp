@@ -17,12 +17,15 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/rng.hpp"
 #include "core/metrics.hpp"
 #include "data/window.hpp"
 #include "detect/knn.hpp"
 #include "detect/madgan.hpp"
 #include "domains/synthtel/adapter.hpp"
+#include "serve/daemon.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/scoring_service.hpp"
 
@@ -253,6 +256,40 @@ void run_hot_swap(std::vector<bench::BenchRecord>& records) {
             << kSwaps << " generations)\n";
 }
 
+/// The daemon round trip: the same single-window and one-entity-batch
+/// shapes as run_serving_modes, but over the Unix socket through a
+/// DaemonClient — so BENCH_serving.json tracks the IPC overhead (framing,
+/// syscalls, connection-handler hop) against the in-process numbers.
+void run_daemon_roundtrip(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  serve::DaemonConfig config;
+  config.socket_path = std::filesystem::temp_directory_path() /
+                       ("goodones_bench_daemon_" + std::to_string(::getpid()) + ".sock");
+  config.registry_root = core::artifacts_dir() / "bench_models";
+  config.adaptive_enabled = false;  // measure the wire, not the profiler
+  serve::Daemon daemon(serve::clone_serving_model(*f.service->model()), config);
+  daemon.start();
+  serve::DaemonClient client(config.socket_path);
+
+  serve::ScoreRequest single = f.mixed_traffic.front();
+  single.windows.resize(1);
+  records.push_back(time_windows("daemon_single_window_roundtrip", 400, 1, [&] {
+    benchmark::DoNotOptimize(client.score(single));
+  }));
+
+  const serve::ScoreRequest& batched = f.mixed_traffic.front();
+  records.push_back(time_windows("daemon_one_entity_batch_roundtrip", 50,
+                                 batched.windows.size(), [&] {
+    benchmark::DoNotOptimize(client.score(batched));
+  }));
+
+  daemon.stop();
+  const std::size_t n = records.size();
+  std::cout << "daemon round trip (windows/sec over the socket): single "
+            << records[n - 2].probes_per_sec << ", one-entity batch "
+            << records[n - 1].probes_per_sec << "\n";
+}
+
 void BM_ScoreSingleWindow(benchmark::State& state) {
   const Fixture& f = fixture();
   serve::ScoreRequest single = f.mixed_traffic.front();
@@ -283,6 +320,7 @@ int main(int argc, char** argv) {
   run_serving_modes(records);
   run_detector_batching(records);
   run_hot_swap(records);
+  run_daemon_roundtrip(records);
   bench::save_bench_json(records, "serving");
   return goodones::bench::run_microbenchmarks(argc, argv);
 }

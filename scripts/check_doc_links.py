@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in the repo's docs resolve.
+
+Scans README.md, ROADMAP.md, CHANGES.md and docs/*.md for inline links
+([text](target)), skips absolute URLs and pure in-page anchors, and fails
+(exit 1) listing every link whose target file does not exist relative to
+the linking file. Anchors on relative links are checked for file existence
+only. Run from anywhere: paths resolve against the repo root (this
+script's parent's parent).
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_GLOBS = ["README.md", "ROADMAP.md", "CHANGES.md", "docs/*.md"]
+# Inline links only; reference-style links are not used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain example-ish parens; still, only
+    # bracketed markdown links are matched, so false positives stay rare.
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            failures.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    return failures
+
+
+def main() -> int:
+    files: list[pathlib.Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(ROOT.glob(pattern)))
+    if not files:
+        print("check_doc_links: no documentation files found", file=sys.stderr)
+        return 1
+    failures = []
+    for path in files:
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"check_doc_links: {len(files)} files scanned, {len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

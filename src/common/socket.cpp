@@ -1,0 +1,168 @@
+#include "common/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace goodones::common {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* op) {
+  throw SocketError(std::string(op) + " failed: " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::filesystem::path& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  const std::string text = path.string();
+  if (text.size() >= sizeof(address.sun_path)) {
+    throw SocketError("unix socket path too long (" + std::to_string(text.size()) +
+                      " bytes, limit " + std::to_string(sizeof(address.sun_path) - 1) +
+                      "): " + text);
+  }
+  std::memcpy(address.sun_path, text.c_str(), text.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket::ReadResult Socket::read_exact(void* data, std::size_t n) {
+  if (fd_ < 0) throw SocketError("read on a closed socket");
+  auto* cursor = static_cast<char*>(data);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    const ssize_t got = ::recv(fd_, cursor, remaining, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (got == 0) {
+      return remaining == n ? ReadResult::kClosed : ReadResult::kTruncated;
+    }
+    cursor += got;
+    remaining -= static_cast<std::size_t>(got);
+  }
+  return ReadResult::kOk;
+}
+
+void Socket::write_all(const void* data, std::size_t n) {
+  if (fd_ < 0) throw SocketError("write on a closed socket");
+  const auto* cursor = static_cast<const char*>(data);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd_, cursor, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw SocketError("send timed out: peer stopped draining the socket");
+      }
+      throw_errno("send");
+    }
+    cursor += sent;
+    remaining -= static_cast<std::size_t>(sent);
+  }
+}
+
+void Socket::set_send_timeout_ms(int timeout_ms) {
+  if (fd_ < 0) throw SocketError("set_send_timeout_ms on a closed socket");
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
+  }
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_unix(const std::filesystem::path& path) {
+  const sockaddr_un address = make_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket socket(fd);
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    if (errno == EINTR) continue;
+    throw SocketError("connect to " + path.string() + " failed: " + std::strerror(errno));
+  }
+  return socket;
+}
+
+UnixListener::UnixListener(std::filesystem::path path) : path_(std::move(path)) {
+  const sockaddr_un address = make_address(path_);
+  // A stale file from a crashed daemon would make bind fail; a *live*
+  // daemon is indistinguishable from a stale file here, so ownership of
+  // the path is the deployment's contract (one daemon per socket path).
+  std::error_code ignored;
+  std::filesystem::remove(path_, ignored);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError("bind to " + path_.string() + " failed: " + std::strerror(saved));
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    close();
+    throw SocketError("listen on " + path_.string() + " failed: " + std::strerror(saved));
+  }
+}
+
+UnixListener::~UnixListener() { close(); }
+
+Socket UnixListener::accept(int timeout_ms) {
+  if (fd_ < 0) return Socket();
+  pollfd waiter{fd_, POLLIN, 0};
+  const int ready = ::poll(&waiter, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Socket();
+    throw_errno("poll");
+  }
+  if (ready == 0) return Socket();
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) return Socket();
+    throw_errno("accept");
+  }
+  return Socket(client);
+}
+
+void UnixListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+}
+
+}  // namespace goodones::common

@@ -1,0 +1,104 @@
+// RAII Unix-domain stream sockets for the serving daemon's IPC front end.
+//
+// Deliberately minimal: blocking sockets, exact-length reads/writes (the
+// wire layer above is length-prefixed, so partial-read bookkeeping lives
+// here and nowhere else), and a listener whose accept() polls with a
+// timeout so an accept loop can observe a stop flag without signals or a
+// self-pipe. Everything follows the library's error discipline: syscall
+// failures throw the typed SocketError; a clean EOF at a frame boundary is
+// a normal return, an EOF mid-buffer is the caller's (wire-layer) problem
+// and reported distinctly so it can become a SerializationError.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace goodones::common {
+
+/// Thrown on socket syscall failures (socket/bind/listen/connect/poll/
+/// send/recv). Malformed *content* on a healthy socket is the wire layer's
+/// domain and throws SerializationError there instead.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One connected stream socket (either end). Move-only; closes on destroy.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Result of read_exact: kOk (buffer filled), kClosed (EOF before the
+  /// first byte — the peer hung up cleanly between frames), kTruncated
+  /// (EOF after some bytes — the peer died mid-frame).
+  enum class ReadResult { kOk, kClosed, kTruncated };
+
+  /// Blocks until exactly `n` bytes arrive (retrying on EINTR / short
+  /// reads). Throws SocketError on syscall failure.
+  ReadResult read_exact(void* data, std::size_t n);
+
+  /// Blocks until all `n` bytes are sent (MSG_NOSIGNAL — a vanished peer
+  /// surfaces as SocketError, never SIGPIPE). When a send timeout is set
+  /// and the peer stops draining, throws SocketError instead of blocking
+  /// forever.
+  void write_all(const void* data, std::size_t n);
+
+  /// Bounds how long one send may block on a peer that stopped reading
+  /// (SO_SNDTIMEO). 0 = never time out (the default). A server sets this
+  /// so a stalled client cannot wedge its writer thread — and therefore
+  /// shutdown — indefinitely.
+  void set_send_timeout_ms(int timeout_ms);
+
+  /// Half-closes the read side so a peer thread blocked in read_exact
+  /// observes EOF after its in-flight frame; the write side stays open so
+  /// that thread can still flush its response. No-op on an empty socket.
+  void shutdown_read() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to a Unix-domain listener at `path`. Throws SocketError when
+/// nothing is listening (or the path exceeds the sockaddr_un limit).
+Socket connect_unix(const std::filesystem::path& path);
+
+/// A bound + listening Unix-domain socket. Removes a stale socket file on
+/// bind and unlinks its own file on destruction.
+class UnixListener {
+ public:
+  explicit UnixListener(std::filesystem::path path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Waits up to `timeout_ms` for a connection. Returns an empty Socket on
+  /// timeout or after close(); throws SocketError on poll/accept failure.
+  Socket accept(int timeout_ms);
+
+  /// Stops accepting (accept() returns empty from now on). Idempotent.
+  void close() noexcept;
+
+ private:
+  std::filesystem::path path_;
+  int fd_ = -1;
+};
+
+}  // namespace goodones::common

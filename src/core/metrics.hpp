@@ -4,7 +4,12 @@
 // negatives are lethal in safety-critical systems), precision (false
 // positives cost availability) and their harmonic mean (F1, Appendix C).
 // Observability: long-running attack campaigns report shard progress and
-// probe throughput through the process-wide counter registry.
+// probe throughput through the process-wide counter registry. The serving
+// stack reports into the same registry under dotted prefixes — "serve.*"
+// (ScoringService), "serve.adaptive.*" (AdaptiveController cadence,
+// refreshes, refresh_failures), "serve.daemon.*" (connections, frames,
+// scores, error/malformed frames) — and the daemon's Stats message serves
+// the whole snapshot over IPC.
 #pragma once
 
 #include <cstddef>

@@ -33,12 +33,25 @@ AdaptiveController::AdaptiveController(ScoringService& service,
     registry_->load_profiler(state_key(), profiler_);
     common::log_info("adaptive controller resumed profiler state from registry");
   }
+  if (config_.auto_refresh && config_.async_refresh) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
   service_.set_observer([this](const ScoreRequest& request, const ScoreResponse& response) {
     ingest(request, response);
   });
 }
 
-AdaptiveController::~AdaptiveController() { service_.set_observer(nullptr); }
+AdaptiveController::~AdaptiveController() {
+  service_.set_observer(nullptr);
+  if (worker_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(worker_mutex_);
+      worker_stop_ = true;
+    }
+    worker_cv_.notify_all();
+    worker_.join();
+  }
+}
 
 RegistryKey AdaptiveController::state_key() const {
   const std::shared_ptr<const ServingModel> model = service_.model();
@@ -68,13 +81,22 @@ void AdaptiveController::ingest(const ScoreRequest& /*request*/,
   }
   core::counters().add("serve.adaptive.windows_ingested", risks.size());
   // Refresh OUTSIDE the observation lock: the heavy rebuild must never
-  // stall concurrent scoring threads at the feedback tap. And a failed
-  // refresh (full disk, throwing rebuilder) must never abort the scoring
-  // request that happened to trip the cadence — its responses are already
-  // computed and valid; keep serving the current generation and surface
-  // the failure through counters/logs. maybe_refresh() still throws for
-  // callers who drive the loop explicitly.
+  // stall concurrent scoring threads at the feedback tap. On the default
+  // async path the tripping request only ENQUEUES for the refresh worker —
+  // its own latency never includes the rebuild. On either path a failed
+  // refresh (full disk, throwing rebuilder) must never abort a scoring
+  // request — keep serving the current generation and surface the failure
+  // through counters/logs. maybe_refresh() still throws for callers who
+  // drive the loop explicitly.
   if (!due) return;
+  if (worker_.joinable()) {
+    enqueue_refresh();
+  } else {
+    contained_refresh();
+  }
+}
+
+void AdaptiveController::contained_refresh() {
   try {
     (void)try_refresh();
   } catch (const std::exception& error) {
@@ -82,6 +104,37 @@ void AdaptiveController::ingest(const ScoreRequest& /*request*/,
     common::log_warn("adaptive refresh failed; serving continues on the current "
                      "generation: ", error.what());
   }
+}
+
+void AdaptiveController::enqueue_refresh() {
+  {
+    const std::lock_guard<std::mutex> lock(worker_mutex_);
+    if (refresh_queued_) return;  // coalesce: one queued rebuild covers all trips
+    refresh_queued_ = true;
+  }
+  core::counters().add("serve.adaptive.refreshes_enqueued", 1);
+  worker_cv_.notify_one();
+}
+
+void AdaptiveController::worker_loop() {
+  std::unique_lock<std::mutex> lock(worker_mutex_);
+  for (;;) {
+    worker_cv_.wait(lock, [this] { return refresh_queued_ || worker_stop_; });
+    if (worker_stop_) return;
+    refresh_queued_ = false;
+    worker_busy_ = true;
+    lock.unlock();
+    contained_refresh();
+    lock.lock();
+    worker_busy_ = false;
+    worker_cv_.notify_all();  // wake drain()ers
+  }
+}
+
+void AdaptiveController::drain() {
+  if (!worker_.joinable()) return;
+  std::unique_lock<std::mutex> lock(worker_mutex_);
+  worker_cv_.wait(lock, [this] { return !refresh_queued_ && !worker_busy_; });
 }
 
 bool AdaptiveController::maybe_refresh() { return try_refresh(); }

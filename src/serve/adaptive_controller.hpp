@@ -21,26 +21,31 @@
 //
 // Threading: ingest() (and therefore the hook) may be called from
 // concurrent score_batch threads; it takes only a short observation lock.
-// A refresh is single-flight and its heavy phase — rebuild, registry
-// persistence, hot swap — runs with that lock RELEASED, so scoring
-// traffic never blocks on a refresh already in flight on ANOTHER thread
-// (bundle publication itself is the service's lock-free-read hot-swap).
-// The ONE request that trips the cadence does pay the rebuild inline on
-// its own thread — a deliberate trade (no background-thread lifecycle);
-// deployments with expensive retraining rebuilders should set
-// auto_refresh = false and drive maybe_refresh() from a maintenance
-// thread instead. Auto-refresh failures (full disk, throwing rebuilder)
-// are contained: the scoring request still returns its computed
-// responses, the failure lands in the "serve.adaptive.refresh_failures"
-// counter and the log.
+// When the cadence trips, the tripping request ENQUEUES a refresh for the
+// controller's dedicated refresh worker and returns immediately — scoring
+// latency never includes a rebuild, even a detector-retraining one (the
+// daemon e2e test pins this with a latency bound). The worker reassesses,
+// rebuilds, persists and hot-swaps via the service's lock-free
+// atomic-snapshot publish; back-to-back trips while a rebuild is running
+// coalesce into one queued request. drain() blocks until the queue is
+// empty and the worker idle (tests, clean shutdown). Setting
+// async_refresh = false restores the legacy inline behavior (the tripping
+// scoring thread pays the rebuild) for hosts that must not own a
+// background thread. Auto-refresh failures (full disk, throwing
+// rebuilder) are contained on either path: scoring keeps serving the
+// current generation and the failure lands in the
+// "serve.adaptive.refresh_failures" counter and the log — under the async
+// worker the counter is the ONLY signal, so monitor it.
 // Stop traffic before destroying the controller (the hook captures `this`).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "core/strategy.hpp"
 #include "risk/online.hpp"
@@ -56,6 +61,12 @@ struct AdaptiveControllerConfig {
   /// Reassess (and possibly refresh) automatically from the feedback hook.
   /// With false, the loop is driven manually through maybe_refresh().
   bool auto_refresh = true;
+  /// Run auto-refreshes on a dedicated worker thread: the tripping scoring
+  /// request only enqueues and returns. With false, the tripping scoring
+  /// thread runs the rebuild inline (legacy behavior; only sensible when
+  /// rebuilds are cheap routing-only clones). Ignored when auto_refresh is
+  /// false — maybe_refresh() always runs on its caller's thread.
+  bool async_refresh = true;
 };
 
 class AdaptiveController {
@@ -94,6 +105,12 @@ class AdaptiveController {
   /// refresh is already in flight.
   bool maybe_refresh();
 
+  /// Blocks until the refresh worker has no queued and no in-flight work
+  /// (immediately when async_refresh is off). After drain() returns, every
+  /// cadence trip observed so far has either published or been resolved as
+  /// a no-op/failure.
+  void drain();
+
   /// Number of generations this controller has published.
   std::size_t refreshes() const;
 
@@ -125,6 +142,13 @@ class AdaptiveController {
   /// new generation was published; false when not ready, nothing moved,
   /// or another refresh is already in flight.
   bool try_refresh();
+  /// Runs try_refresh containing failures to the refresh_failures counter
+  /// and the log (the auto-refresh contract on both the worker and the
+  /// legacy inline path).
+  void contained_refresh();
+  /// Hands a refresh to the worker (coalescing with one already queued).
+  void enqueue_refresh();
+  void worker_loop();
   ServingModel routing_only_rebuild(const ServingModel& current,
                                     const core::VulnerabilityClusters& clusters,
                                     std::uint64_t generation) const;
@@ -140,6 +164,15 @@ class AdaptiveController {
   std::size_t windows_ingested_ = 0;
   std::atomic<bool> refresh_in_flight_{false};
   std::atomic<std::size_t> refreshes_{0};
+
+  // Refresh worker (async_refresh): its own mutex so enqueueing never
+  // contends with the observation lock beyond the cadence check itself.
+  mutable std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  bool refresh_queued_ = false;
+  bool worker_busy_ = false;
+  bool worker_stop_ = false;
+  std::thread worker_;
 };
 
 }  // namespace goodones::serve

@@ -1,0 +1,173 @@
+// The long-lived serving daemon: the IPC front end the ROADMAP names.
+//
+// A Daemon owns the full serving stack — a ModelRegistry (bundle +
+// profiler-state persistence), a ScoringService (lock-free hot-swappable
+// bundle snapshots) and an AdaptiveController (online risk profiling with
+// the dedicated refresh worker) — and exposes it over a Unix-domain socket
+// speaking the length-prefixed binary protocol in serve/wire.hpp:
+//
+//   Score     entity + raw windows -> per-window forecast/residual/verdict/
+//             risk, tagged with the bundle generation that produced them
+//             (every verdict is auditable to exactly one published bundle —
+//             adaptive defenses get probed, provenance is the answer)
+//   Stats     the core::metrics::counters() snapshot + daemon gauges
+//   Refresh   force a reassessment now (the admin sibling of the automatic
+//             cadence); replies whether a new generation was published
+//   Shutdown  stop accepting, drain in-flight connections, exit wait()
+//
+// Concurrency model: one accept loop thread, one handler thread per
+// connection (requests on one connection are served in order; independent
+// connections score concurrently and the ScoringService shards their
+// windows across its pool). Detector retraining never runs on a connection
+// thread: the controller's refresh worker rebuilds and hot-swaps in the
+// background while scores keep flowing (tests/serve_daemon_test.cpp pins a
+// latency bound on concurrent scores during a slow rebuild).
+//
+// Error containment: a malformed frame header (bad magic/version/length,
+// mid-frame EOF) gets a typed Error frame and the connection is closed —
+// after a corrupt header the stream offset cannot be trusted. An
+// undecodable payload inside a well-framed message gets an Error frame and
+// the connection STAYS open (frame boundaries are intact). Scoring
+// precondition failures (unknown entity, wrong channel count) are
+// BadRequest error frames; the daemon itself never crashes on client input.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "serve/adaptive_controller.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+#include "serve/wire.hpp"
+
+namespace goodones::serve {
+
+struct DaemonConfig {
+  /// Unix-domain socket path the daemon listens on. Must fit sockaddr_un
+  /// (~107 bytes); one daemon per path.
+  std::filesystem::path socket_path;
+  ScoringServiceConfig scoring;
+  /// Adaptive-loop tuning; async_refresh stays the default so rebuilds run
+  /// on the controller's worker, never a connection thread.
+  AdaptiveControllerConfig adaptive;
+  /// With false the daemon serves a frozen bundle (no profiling, no
+  /// refreshes; Refresh frames answer refreshed=false).
+  bool adaptive_enabled = true;
+  /// Registry root; empty = the default <artifacts>/models.
+  std::filesystem::path registry_root;
+  /// Accept-loop poll granularity (how quickly stop() is observed).
+  int accept_poll_ms = 100;
+  /// Per-connection send timeout: a client that stops reading its replies
+  /// gets its connection dropped after this long instead of wedging a
+  /// handler thread (and therefore shutdown) forever. 0 = no timeout.
+  int send_timeout_ms = 10000;
+};
+
+class Daemon {
+ public:
+  /// Takes ownership of the serving bundle. The bundle (and every
+  /// generation the adaptive loop later publishes) is persisted through
+  /// the daemon's registry, so any verdict's generation can be replayed.
+  /// `rebuilder` is handed to the AdaptiveController: empty = routing-only
+  /// refreshes; wrap build_serving_model(framework, kind, partition,
+  /// generation) for detector-retraining refreshes.
+  Daemon(ServingModel model, DaemonConfig config,
+         AdaptiveController::BundleRebuilder rebuilder = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and starts the accept loop. Throws
+  /// common::SocketError when the path cannot be bound.
+  void start();
+
+  /// Blocks until a Shutdown frame (or a concurrent stop()) ends the
+  /// serving loop, then tears down: stops accepting, waits for in-flight
+  /// requests to finish, joins every connection.
+  void wait();
+
+  /// Initiates and completes shutdown from the caller's thread. Safe to
+  /// call repeatedly; must not be called from a connection handler (a
+  /// Shutdown frame is the in-band way — it only *requests* the stop).
+  void stop();
+
+  bool running() const noexcept;
+  const std::filesystem::path& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+
+  ScoringService& service() noexcept { return service_; }
+  const ModelRegistry& registry() const noexcept { return registry_; }
+  /// nullptr when adaptive_enabled is false.
+  AdaptiveController* controller() noexcept {
+    return controller_ ? &*controller_ : nullptr;
+  }
+  std::uint64_t generation() const { return service_.generation(); }
+
+ private:
+  struct Connection {
+    std::shared_ptr<common::Socket> socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(Connection& connection);
+  /// Serves one frame; false = close the connection.
+  bool dispatch(common::Socket& socket, const wire::Frame& frame);
+  void send_error(common::Socket& socket, wire::ErrorCode code,
+                  const std::string& message) noexcept;
+  void request_stop();
+  void reap_finished_connections();
+
+  DaemonConfig config_;
+  ModelRegistry registry_;
+  ScoringService service_;
+  std::optional<AdaptiveController> controller_;
+
+  std::optional<common::UnixListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+
+  std::mutex state_mutex_;  // guards connections_ + stopped_ + wait/stop cv
+  std::condition_variable stop_cv_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  bool stopped_ = false;
+
+  std::mutex teardown_mutex_;  // serializes stop() callers
+  bool stopped_after_teardown_ = false;
+};
+
+/// Client side of the wire protocol: one connection, blocking round trips.
+/// Error frames surface as typed exceptions — BadRequest as
+/// common::PreconditionError, malformed/version as
+/// common::SerializationError, Internal as std::runtime_error.
+class DaemonClient {
+ public:
+  /// Connects immediately; throws common::SocketError when no daemon
+  /// listens at `socket_path`.
+  explicit DaemonClient(const std::filesystem::path& socket_path);
+
+  ScoreResponse score(const ScoreRequest& request);
+  wire::StatsSnapshot stats();
+  wire::RefreshReply refresh();
+  /// Asks the daemon to stop; returns once the daemon acknowledged.
+  void shutdown();
+
+ private:
+  wire::Frame roundtrip(wire::MessageType type, const std::string& payload,
+                        wire::MessageType expected_reply);
+
+  common::Socket socket_;
+};
+
+}  // namespace goodones::serve

@@ -1,0 +1,270 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/serialize.hpp"
+
+namespace goodones::serve::wire {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8;
+
+void put_u32(char* out, std::uint32_t v) { std::memcpy(out, &v, sizeof(v)); }
+void put_u64(char* out, std::uint64_t v) { std::memcpy(out, &v, sizeof(v)); }
+std::uint32_t get_u32(const char* in) {
+  std::uint32_t v;
+  std::memcpy(&v, in, sizeof(v));
+  return v;
+}
+std::uint64_t get_u64(const char* in) {
+  std::uint64_t v;
+  std::memcpy(&v, in, sizeof(v));
+  return v;
+}
+
+/// Reads a u32 that must fall in [0, max]; names `what` on violation.
+std::uint32_t read_bounded_u32(std::istream& in, std::uint32_t max, const char* what) {
+  const std::uint32_t value = nn::read_u32(in, what);
+  if (value > max) {
+    throw common::SerializationError(std::string("wire: ") + what + " out of range: " +
+                                     std::to_string(value));
+  }
+  return value;
+}
+
+/// All payloads must be consumed exactly; trailing bytes mean the peer and
+/// we disagree about the layout — corrupt, not ignorable.
+void expect_consumed(std::istream& in, const char* what) {
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw common::SerializationError(std::string("wire: trailing bytes after ") + what);
+  }
+}
+
+/// Guards attacker-controlled element counts before any reserve/allocation:
+/// every encoded element costs at least one payload byte, so a count
+/// exceeding the payload size is corrupt by construction (and must surface
+/// as the typed SerializationError, never std::length_error/bad_alloc).
+std::size_t checked_count(std::uint64_t count, const std::string& payload,
+                          const char* what) {
+  if (count > payload.size()) {
+    throw common::SerializationError(std::string("wire: ") + what + " count " +
+                                     std::to_string(count) +
+                                     " exceeds the payload size");
+  }
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace
+
+void send_frame(common::Socket& socket, MessageType type, std::string_view payload) {
+  std::string frame(kHeaderBytes + payload.size(), '\0');
+  put_u32(frame.data(), kMagic);
+  put_u32(frame.data() + 4, kVersion);
+  put_u32(frame.data() + 8, static_cast<std::uint32_t>(type));
+  put_u64(frame.data() + 12, payload.size());
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  }
+  socket.write_all(frame.data(), frame.size());
+}
+
+std::optional<Frame> recv_frame(common::Socket& socket) {
+  char header[kHeaderBytes];
+  switch (socket.read_exact(header, sizeof(header))) {
+    case common::Socket::ReadResult::kClosed:
+      return std::nullopt;
+    case common::Socket::ReadResult::kTruncated:
+      throw common::SerializationError("wire: connection closed mid-header");
+    case common::Socket::ReadResult::kOk:
+      break;
+  }
+  if (get_u32(header) != kMagic) {
+    throw common::SerializationError("wire: bad frame magic");
+  }
+  if (get_u32(header + 4) != kVersion) {
+    throw ProtocolVersionError("wire: unsupported protocol version " +
+                               std::to_string(get_u32(header + 4)));
+  }
+  // Any type value is accepted at this layer — the forward-compatibility
+  // rule: a well-framed unknown type must reach the dispatcher (which
+  // answers bad-request and keeps the connection), not read as corruption.
+  const std::uint32_t raw_type = get_u32(header + 8);
+  const std::uint64_t length = get_u64(header + 12);
+  if (length > kMaxPayloadBytes) {
+    throw common::SerializationError("wire: payload length " + std::to_string(length) +
+                                     " exceeds the frame limit");
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(raw_type);
+  frame.payload.resize(static_cast<std::size_t>(length));
+  if (length > 0 &&
+      socket.read_exact(frame.payload.data(), frame.payload.size()) !=
+          common::Socket::ReadResult::kOk) {
+    throw common::SerializationError("wire: connection closed mid-payload");
+  }
+  return frame;
+}
+
+std::string encode_score_request(const ScoreRequest& request) {
+  std::ostringstream out;
+  nn::write_string(out, request.entity);
+  nn::write_u64(out, request.windows.size());
+  for (const TelemetryWindow& window : request.windows) {
+    nn::write_u32(out, static_cast<std::uint32_t>(window.regime));
+    nn::write_matrix(out, window.features);
+  }
+  return std::move(out).str();
+}
+
+ScoreRequest decode_score_request(const std::string& payload) {
+  std::istringstream in(payload);
+  ScoreRequest request;
+  request.entity = nn::read_string(in, "score request entity");
+  const std::size_t count = checked_count(
+      nn::read_u64(in, "score request window count"), payload, "score request window");
+  request.windows.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    TelemetryWindow window;
+    window.regime = static_cast<data::Regime>(read_bounded_u32(in, 1, "window regime"));
+    window.features = nn::read_matrix(in);
+    request.windows.push_back(std::move(window));
+  }
+  expect_consumed(in, "score request");
+  return request;
+}
+
+std::string encode_score_response(const ScoreResponse& response) {
+  std::ostringstream out;
+  nn::write_u64(out, response.entity_index);
+  nn::write_u32(out, static_cast<std::uint32_t>(response.cluster));
+  nn::write_u64(out, response.generation);
+  nn::write_u64(out, response.windows.size());
+  for (const WindowScore& score : response.windows) {
+    nn::write_f64(out, score.forecast);
+    nn::write_f64(out, score.residual);
+    nn::write_u32(out, static_cast<std::uint32_t>(score.observed_state));
+    nn::write_u32(out, static_cast<std::uint32_t>(score.predicted_state));
+    nn::write_f64(out, score.anomaly_score);
+    nn::write_u32(out, score.flagged ? 1 : 0);
+    nn::write_f64(out, score.risk);
+  }
+  return std::move(out).str();
+}
+
+ScoreResponse decode_score_response(const std::string& payload) {
+  std::istringstream in(payload);
+  ScoreResponse response;
+  response.entity_index =
+      static_cast<std::size_t>(nn::read_u64(in, "score response entity index"));
+  response.cluster = static_cast<Cluster>(read_bounded_u32(in, 1, "response cluster"));
+  response.generation = nn::read_u64(in, "score response generation");
+  const std::size_t count =
+      checked_count(nn::read_u64(in, "score response window count"), payload,
+                    "score response window");
+  response.windows.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    WindowScore score;
+    score.forecast = nn::read_f64(in, "window forecast");
+    score.residual = nn::read_f64(in, "window residual");
+    score.observed_state =
+        static_cast<data::StateLabel>(read_bounded_u32(in, 2, "observed state"));
+    score.predicted_state =
+        static_cast<data::StateLabel>(read_bounded_u32(in, 2, "predicted state"));
+    score.anomaly_score = nn::read_f64(in, "window anomaly score");
+    score.flagged = read_bounded_u32(in, 1, "window flag") == 1;
+    score.risk = nn::read_f64(in, "window risk");
+    response.windows.push_back(score);
+  }
+  expect_consumed(in, "score response");
+  return response;
+}
+
+std::string encode_stats(const StatsSnapshot& stats) {
+  std::ostringstream out;
+  nn::write_u64(out, stats.size());
+  for (const auto& [name, value] : stats) {
+    nn::write_string(out, name);
+    nn::write_u64(out, value);
+  }
+  return std::move(out).str();
+}
+
+StatsSnapshot decode_stats(const std::string& payload) {
+  std::istringstream in(payload);
+  const std::size_t count =
+      checked_count(nn::read_u64(in, "stats count"), payload, "stats entry");
+  StatsSnapshot stats;
+  stats.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = nn::read_string(in, "stats counter name");
+    const std::uint64_t value = nn::read_u64(in, "stats counter value");
+    stats.emplace_back(std::move(name), value);
+  }
+  expect_consumed(in, "stats");
+  return stats;
+}
+
+std::string encode_refresh_reply(const RefreshReply& reply) {
+  std::ostringstream out;
+  nn::write_u32(out, reply.refreshed ? 1 : 0);
+  nn::write_u64(out, reply.generation);
+  return std::move(out).str();
+}
+
+RefreshReply decode_refresh_reply(const std::string& payload) {
+  std::istringstream in(payload);
+  RefreshReply reply;
+  reply.refreshed = read_bounded_u32(in, 1, "refresh flag") == 1;
+  reply.generation = nn::read_u64(in, "refresh generation");
+  expect_consumed(in, "refresh reply");
+  return reply;
+}
+
+std::string encode_error(const ErrorFrame& error) {
+  std::ostringstream out;
+  nn::write_u32(out, static_cast<std::uint32_t>(error.code));
+  nn::write_string(out, error.message);
+  return std::move(out).str();
+}
+
+ErrorFrame decode_error(const std::string& payload) {
+  std::istringstream in(payload);
+  ErrorFrame error;
+  const std::uint32_t code =
+      read_bounded_u32(in, static_cast<std::uint32_t>(ErrorCode::kInternal), "error code");
+  if (code == 0) throw common::SerializationError("wire: error code out of range: 0");
+  error.code = static_cast<ErrorCode>(code);
+  error.message = nn::read_string(in, "error message");
+  expect_consumed(in, "error frame");
+  return error;
+}
+
+const char* to_string(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kScore: return "Score";
+    case MessageType::kScoreReply: return "ScoreReply";
+    case MessageType::kStats: return "Stats";
+    case MessageType::kStatsReply: return "StatsReply";
+    case MessageType::kRefresh: return "Refresh";
+    case MessageType::kRefreshReply: return "RefreshReply";
+    case MessageType::kShutdown: return "Shutdown";
+    case MessageType::kShutdownReply: return "ShutdownReply";
+    case MessageType::kError: return "Error";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kMalformedFrame: return "malformed-frame";
+    case ErrorCode::kUnsupportedVersion: return "unsupported-version";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+}  // namespace goodones::serve::wire

@@ -1,0 +1,122 @@
+// The daemon's length-prefixed binary wire protocol.
+//
+// Every message on the socket is one frame:
+//
+//   u32 magic ("GOW1")  u32 version  u32 type  u64 payload_len  payload
+//
+// built from the same little-endian stream primitives every persisted
+// artifact in the repo uses (nn/serialize.hpp), so doubles cross the wire
+// bit-exactly: a daemon verdict is bitwise-identical to the in-process
+// ScoringService verdict for the same bundle generation — the property
+// tests/serve_daemon_test.cpp pins. Malformed input (bad magic, unsupported
+// version, oversized or truncated payload, undecodable payload bytes)
+// throws the typed common::SerializationError; the daemon answers with an
+// Error frame and, for framing-level corruption, closes the connection
+// (after a bad header the stream offset can no longer be trusted).
+//
+// Versioning rules (see docs/PROTOCOL.md): the magic never changes; any
+// change to the frame header or an existing payload layout bumps kVersion;
+// new message types may be added within a version (an old server answers an
+// unknown type with an Error frame, not a disconnect).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/socket.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace goodones::serve::wire {
+
+/// A frame header carrying a protocol version other than kVersion. Its own
+/// type (still a SerializationError) so the daemon can answer with the
+/// distinct UnsupportedVersion error code.
+class ProtocolVersionError : public common::SerializationError {
+ public:
+  using common::SerializationError::SerializationError;
+};
+
+inline constexpr std::uint32_t kMagic = 0x31574F47;  // "GOW1" little-endian
+inline constexpr std::uint32_t kVersion = 1;
+/// Upper bound on one frame's payload; anything larger is malformed by
+/// definition (a Score frame of even a large fleet backfill stays far under).
+inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+
+enum class MessageType : std::uint32_t {
+  kScore = 1,          ///< client -> daemon: ScoreRequest
+  kScoreReply = 2,     ///< daemon -> client: ScoreResponse
+  kStats = 3,          ///< client -> daemon: empty payload
+  kStatsReply = 4,     ///< daemon -> client: counter snapshot
+  kRefresh = 5,        ///< client -> daemon: empty payload, force a reassessment
+  kRefreshReply = 6,   ///< daemon -> client: RefreshReply
+  kShutdown = 7,       ///< client -> daemon: empty payload, stop the daemon
+  kShutdownReply = 8,  ///< daemon -> client: empty payload (acknowledged)
+  kError = 9,          ///< daemon -> client: ErrorFrame
+};
+
+enum class ErrorCode : std::uint32_t {
+  kMalformedFrame = 1,      ///< framing/payload corruption; connection closes
+  kUnsupportedVersion = 2,  ///< header version != kVersion; connection closes
+  kBadRequest = 3,          ///< well-formed but unservable (unknown entity, bad shape)
+  kInternal = 4,            ///< server-side failure (refresh rebuild threw, ...)
+};
+
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+struct RefreshReply {
+  bool refreshed = false;         ///< true when a new generation was published
+  std::uint64_t generation = 0;   ///< generation serving after the call
+};
+
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Counter snapshot as served by a Stats round trip.
+using StatsSnapshot = std::vector<std::pair<std::string, std::uint64_t>>;
+
+// --- frame I/O ---------------------------------------------------------------
+
+/// Writes one frame (header + payload) as a single send.
+void send_frame(common::Socket& socket, MessageType type, std::string_view payload);
+
+/// Reads one frame. nullopt on clean EOF at a frame boundary (the peer hung
+/// up between requests). Throws common::SerializationError on bad magic,
+/// unsupported version, oversized length, or EOF mid-frame;
+/// common::SocketError on transport failure. An UNKNOWN type value passes
+/// through (the forward-compatibility rule: the dispatcher answers it with
+/// bad-request instead of the connection dying as corrupt).
+std::optional<Frame> recv_frame(common::Socket& socket);
+
+// --- payload codecs ----------------------------------------------------------
+// Encoders produce the payload bytes (no header); decoders throw
+// common::SerializationError on truncated or out-of-range payloads.
+
+std::string encode_score_request(const ScoreRequest& request);
+ScoreRequest decode_score_request(const std::string& payload);
+
+std::string encode_score_response(const ScoreResponse& response);
+ScoreResponse decode_score_response(const std::string& payload);
+
+std::string encode_stats(const StatsSnapshot& stats);
+StatsSnapshot decode_stats(const std::string& payload);
+
+std::string encode_refresh_reply(const RefreshReply& reply);
+RefreshReply decode_refresh_reply(const std::string& payload);
+
+std::string encode_error(const ErrorFrame& error);
+ErrorFrame decode_error(const std::string& payload);
+
+const char* to_string(MessageType type) noexcept;
+const char* to_string(ErrorCode code) noexcept;
+
+}  // namespace goodones::serve::wire

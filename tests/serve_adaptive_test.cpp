@@ -163,11 +163,14 @@ TEST(AdaptiveServing, ConcurrentRefreshSwapsGenerationsAtomically) {
   };
 
   // Phase 1: concurrent traffic while the controller decides to refresh.
+  // The cadence trip only ENQUEUES for the refresh worker, so settle the
+  // queue before asserting on published generations.
   {
     std::vector<std::thread> threads;
     for (int t = 0; t < 3; ++t) threads.emplace_back(drive_traffic, 12, false);
     for (auto& thread : threads) thread.join();
   }
+  controller.drain();
   ASSERT_GE(controller.refreshes(), 1u) << "sustained pressure must force a refresh";
   const std::size_t phase1_refreshes = controller.refreshes();
 
@@ -198,11 +201,15 @@ TEST(AdaptiveServing, ConcurrentRefreshSwapsGenerationsAtomically) {
        ++iter) {
     drive_traffic(1, /*flip=*/true);
   }
+  controller.drain();  // the last trip may still be on the worker
   EXPECT_GT(controller.refreshes(), phase1_refreshes);
   // One more round so the newest generation also serves recorded traffic
   // (the batch that triggered the swap was still answered by its own
-  // snapshot — that is the point of the atomicity guarantee).
+  // snapshot — that is the point of the atomicity guarantee). Drain first
+  // so no further publish can land after we snapshot the generation set.
+  controller.drain();
   drive_traffic(1, /*flip=*/true);
+  controller.drain();
 
   // Every recorded response must be bitwise-reproducible against exactly
   // the generation it claims — scored again through a fresh service pinned
@@ -351,7 +358,8 @@ TEST(AdaptiveServing, AutoRefreshFailureDoesNotAbortScoring) {
       });
 
   // Pressure that forces a partition move -> the hook trips a refresh ->
-  // the rebuilder throws. The scoring calls must still return verdicts.
+  // the rebuilder throws (on the refresh worker). The scoring calls must
+  // still return verdicts on the current generation.
   const std::size_t n = service.model()->entity_names.size();
   for (std::size_t iter = 0; iter < 6; ++iter) {
     for (std::size_t e = 0; e < n; ++e) {
@@ -361,6 +369,7 @@ TEST(AdaptiveServing, AutoRefreshFailureDoesNotAbortScoring) {
       EXPECT_FALSE(response.windows.empty());
     }
   }
+  controller.drain();  // every worker attempt has failed and been contained
   EXPECT_EQ(controller.refreshes(), 0u);
   // The explicit path surfaces the failure to its caller.
   EXPECT_THROW((void)controller.maybe_refresh(), common::PreconditionError);

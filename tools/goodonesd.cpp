@@ -1,0 +1,122 @@
+// goodonesd — the long-lived serving daemon, runnable.
+//
+// Trains (first run) or loads (every later run) a miniature synthtel
+// serving bundle through the ModelRegistry, then serves it over a
+// Unix-domain socket until a Shutdown frame arrives. The adaptive loop is
+// live: scored traffic feeds the online risk profiler and partition moves
+// publish new bundle generations in the background (routing-only
+// refreshes — the daemon binary has no training framework to retrain
+// detectors with once the bundle is cached; embed serve::Daemon with a
+// rebuilder for that).
+//
+//   goodonesd --socket /tmp/goodones.sock [--entities 3] [--threads 0]
+//             [--detector knn|ocsvm|madgan] [--reassess 256]
+//
+// Pair with goodonesd_client (score / stats / refresh / shutdown).
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/framework.hpp"
+#include "domains/synthtel/adapter.hpp"
+#include "serve/daemon.hpp"
+
+using namespace goodones;
+
+namespace {
+
+core::FrameworkConfig mini_config(const core::DomainAdapter& domain) {
+  core::FrameworkConfig config = domain.prepare(core::FrameworkConfig::fast());
+  config.population.train_steps = 2000;
+  config.population.test_steps = 600;
+  config.registry.forecaster.hidden = 12;
+  config.registry.forecaster.epochs = 2;
+  config.registry.train_window_step = 6;
+  config.registry.aggregate_window_step = 40;
+  config.profiling_campaign.window_step = 8;
+  config.evaluation_campaign.window_step = 8;
+  config.detector_benign_stride = 8;
+  config.random_runs = 1;
+  return config;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --socket PATH [--entities N] [--threads N] "
+               "[--detector knn|ocsvm|madgan] [--reassess WINDOWS]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::size_t entities = 3;
+  std::size_t threads = 0;
+  std::size_t reassess = 256;
+  detect::DetectorKind kind = detect::DetectorKind::kKnn;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--entities") {
+      entities = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--reassess") {
+      reassess = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--detector") {
+      const std::string name = next();
+      if (name == "knn") kind = detect::DetectorKind::kKnn;
+      else if (name == "ocsvm") kind = detect::DetectorKind::kOcsvm;
+      else if (name == "madgan") kind = detect::DetectorKind::kMadGan;
+      else return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  const auto domain = std::make_shared<synthtel::SynthtelDomain>(entities);
+  core::RiskProfilingFramework framework(domain, mini_config(*domain));
+  const serve::ModelRegistry registry;
+  serve::RegistryKey key = serve::registry_key(framework, kind);
+
+  // Resume from the newest published generation when one exists (an
+  // earlier daemon's refreshes survive restarts); train once otherwise.
+  serve::ServingModel model = [&] {
+    if (const auto newest = registry.latest(key)) {
+      std::cout << "loading cached bundle (generation " << newest->generation << ")\n";
+      return registry.load(*newest);
+    }
+    std::cout << "no cached bundle; training the mini pipeline once...\n";
+    return serve::build_serving_model(framework, kind);
+  }();
+
+  serve::DaemonConfig config;
+  config.socket_path = socket_path;
+  config.scoring.threads = threads;
+  config.adaptive.reassess_every_windows = reassess;
+
+  serve::Daemon daemon(std::move(model), std::move(config));
+  daemon.start();
+  std::cout << "goodonesd: serving " << daemon.service().model()->entity_names.size()
+            << " entities (detector " << detect::to_string(kind) << ", generation "
+            << daemon.generation() << ") on " << socket_path << "\n"
+            << "score with: goodonesd_client " << socket_path
+            << " score <entity> <windows.csv>\n"
+            << "stop with:  goodonesd_client " << socket_path << " shutdown\n";
+  daemon.wait();
+  std::cout << "goodonesd: shut down cleanly (last generation " << daemon.generation()
+            << ")\n";
+  return 0;
+}

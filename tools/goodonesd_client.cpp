@@ -1,0 +1,141 @@
+// goodonesd_client — CLI client for the serving daemon's wire protocol.
+//
+//   goodonesd_client SOCKET score ENTITY WINDOWS.CSV [--regime 0|1]
+//   goodonesd_client SOCKET stats [PREFIX]
+//   goodonesd_client SOCKET refresh
+//   goodonesd_client SOCKET shutdown
+//
+// WINDOWS.CSV carries one or more telemetry windows: a "window" column
+// groups rows (timesteps) into windows, every other column is one raw
+// telemetry channel in the bundle's channel order:
+//
+//   window,reading,context0
+//   0,112.5,0
+//   0,114.1,0
+//   1,180.2,35
+//   ...
+//
+// Scores print one line per window — forecast, residual, anomaly score,
+// verdict, risk — plus the bundle generation that produced the verdicts
+// (the daemon's provenance tag; watch it change across a hot swap). Used
+// by tests/serve_daemon_test.cpp and the README daemon quickstart.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "serve/daemon.hpp"
+
+using namespace goodones;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " SOCKET score ENTITY WINDOWS.CSV [--regime 0|1]\n"
+            << "       " << argv0 << " SOCKET stats [PREFIX]\n"
+            << "       " << argv0 << " SOCKET refresh\n"
+            << "       " << argv0 << " SOCKET shutdown\n";
+  return 2;
+}
+
+/// Parses the windows CSV: rows grouped by the "window" column (in file
+/// order), remaining columns = channels in order.
+std::vector<serve::TelemetryWindow> load_windows(const std::string& path,
+                                                 data::Regime regime) {
+  const common::CsvTable table = common::CsvTable::read(path);
+  const std::size_t window_col = table.column_index("window");
+  const std::size_t channels = table.num_cols() - 1;
+  if (channels == 0) throw std::runtime_error("windows csv needs channel columns");
+
+  // Group rows by window id, preserving first-appearance order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<std::vector<double>>> grouped;
+  for (const auto& row : table.rows()) {
+    const std::string& id = row[window_col];
+    if (grouped.find(id) == grouped.end()) order.push_back(id);
+    std::vector<double> values;
+    values.reserve(channels);
+    for (std::size_t c = 0; c < table.num_cols(); ++c) {
+      if (c == window_col) continue;
+      values.push_back(std::stod(row[c]));
+    }
+    grouped[id].push_back(std::move(values));
+  }
+
+  std::vector<serve::TelemetryWindow> windows;
+  windows.reserve(order.size());
+  for (const std::string& id : order) {
+    const auto& rows = grouped[id];
+    serve::TelemetryWindow window;
+    window.regime = regime;
+    window.features = nn::Matrix(rows.size(), channels);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      for (std::size_t c = 0; c < channels; ++c) window.features(t, c) = rows[t][c];
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+int run_score(serve::DaemonClient& client, const std::string& entity,
+              const std::string& csv_path, data::Regime regime) {
+  serve::ScoreRequest request;
+  request.entity = entity;
+  request.windows = load_windows(csv_path, regime);
+  const serve::ScoreResponse response = client.score(request);
+
+  std::cout << "entity " << entity << ": cluster " << serve::to_string(response.cluster)
+            << ", generation " << response.generation << "\n";
+  for (std::size_t w = 0; w < response.windows.size(); ++w) {
+    const serve::WindowScore& score = response.windows[w];
+    std::cout << "  window " << w << ": forecast " << score.forecast << ", residual "
+              << score.residual << ", anomaly " << score.anomaly_score << ", "
+              << (score.flagged ? "FLAGGED" : "ok") << ", risk " << score.risk << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string socket_path = argv[1];
+  const std::string command = argv[2];
+  try {
+    serve::DaemonClient client(socket_path);
+    if (command == "score") {
+      if (argc < 5) return usage(argv[0]);
+      data::Regime regime = data::Regime::kBaseline;
+      if (argc >= 7 && std::string(argv[5]) == "--regime") {
+        regime = std::string(argv[6]) == "1" ? data::Regime::kActive
+                                             : data::Regime::kBaseline;
+      }
+      return run_score(client, argv[3], argv[4], regime);
+    }
+    if (command == "stats") {
+      const std::string prefix = argc >= 4 ? argv[3] : "";
+      for (const auto& [name, value] : client.stats()) {
+        if (name.rfind(prefix, 0) == 0) std::cout << name << " " << value << "\n";
+      }
+      return 0;
+    }
+    if (command == "refresh") {
+      const serve::wire::RefreshReply reply = client.refresh();
+      std::cout << (reply.refreshed ? "refreshed: new generation "
+                                    : "no partition move; still serving generation ")
+                << reply.generation << "\n";
+      return 0;
+    }
+    if (command == "shutdown") {
+      client.shutdown();
+      std::cout << "daemon acknowledged shutdown\n";
+      return 0;
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& error) {
+    std::cerr << "goodonesd_client: " << error.what() << "\n";
+    return 1;
+  }
+}
