@@ -2,8 +2,10 @@
 // reference: forecaster probes/sec for (a) per-candidate scalar predict()
 // calls, (b) predict_batch on unrelated windows (packed GEMMs, no shared
 // rows), and (c) predict_batch on probe batches with shared prefixes (the
-// greedy evasion shape), plus end-to-end greedy-campaign throughput with
-// batched probes off and on. Results land in BENCH_batched_inference.json
+// greedy evasion shape), plus end-to-end greedy-campaign throughput across
+// the execution modes: scalar probes, per-window batched, cross-window
+// lockstep (one predict_batch per shard round), and lockstep with
+// mixed-precision scoring. Results land in BENCH_batched_inference.json
 // (name, iters, ns/op, probes/sec) so the speedup is tracked across PRs.
 #include "bench_common.hpp"
 
@@ -17,6 +19,7 @@
 #include "data/window.hpp"
 #include "domains/bgms/cohort.hpp"
 #include "domains/bgms/patient.hpp"
+#include "nn/simd.hpp"
 #include "predict/bilstm_forecaster.hpp"
 
 namespace {
@@ -50,8 +53,8 @@ struct Fixture {
   }
 };
 
-const Fixture& fixture() {
-  static const Fixture f;
+Fixture& fixture() {
+  static Fixture f;  // non-const: the mixed-precision mode flips scoring precision
   return f;
 }
 
@@ -90,7 +93,7 @@ void run_probe_modes(std::vector<bench::BenchRecord>& records) {
   const auto& f = fixture();
   const nn::Matrix& base = f.windows.front().features;
   const std::size_t batch_size = 6;  // AttackConfig default value_candidates
-  const std::size_t reps = 400;
+  const std::size_t reps = bench::bench_reps(400);
 
   // (a) scalar: one predict() per candidate.
   const auto probes = probe_batch(base, base.rows() - 1, batch_size);
@@ -118,23 +121,34 @@ void run_probe_modes(std::vector<bench::BenchRecord>& records) {
   }));
 }
 
-/// End-to-end greedy evasion campaign, scalar vs batched probes.
+/// End-to-end greedy evasion campaign across the execution modes.
 void run_campaign_modes(std::vector<bench::BenchRecord>& records) {
-  const auto& f = fixture();
+  auto& f = fixture();
   common::ThreadPool pool(1);  // single-threaded: isolate the execution path
 
-  const auto run_mode = [&](const std::string& name, bool batched) {
+  struct Mode {
+    const char* name;
+    bool batched;
+    bool cross_window;
+    nn::Precision precision;
+  };
+
+  const auto run_mode = [&](const Mode& mode) {
     attack::CampaignConfig config;
     config.window_step = 2;
     config.attack.search = attack::SearchKind::kOrderedGreedy;
-    config.attack.batched_probes = batched;
+    config.attack.batched_probes = mode.batched;
+    config.cross_window_probes = mode.cross_window;
+    config.shard_size = 16;  // lockstep merges up to 16 windows' probes per round
+    f.model->set_scoring_precision(mode.precision);
     const auto start = Clock::now();
     const auto outcomes = attack::run_campaign(*f.model, f.windows, config, pool);
     const double seconds = seconds_since(start);
+    f.model->set_scoring_precision(nn::Precision::kDouble);
     std::size_t probes = 0;
     for (const auto& o : outcomes) probes += o.attack.probes;
     bench::BenchRecord record;
-    record.name = name;
+    record.name = mode.name;
     record.iters = outcomes.size();
     record.ns_per_op = seconds * 1e9 / static_cast<double>(probes);
     record.probes_per_sec = static_cast<double>(probes) / seconds;
@@ -142,18 +156,25 @@ void run_campaign_modes(std::vector<bench::BenchRecord>& records) {
     return record;
   };
 
-  const auto scalar = run_mode("greedy_campaign_scalar", /*batched=*/false);
-  const auto batched = run_mode("greedy_campaign_batched", /*batched=*/true);
+  const auto scalar =
+      run_mode({"greedy_campaign_scalar", false, false, nn::Precision::kDouble});
+  const auto batched =
+      run_mode({"greedy_campaign_batched", true, false, nn::Precision::kDouble});
+  const auto lockstep =
+      run_mode({"greedy_campaign_lockstep", true, true, nn::Precision::kDouble});
+  const auto mixed =
+      run_mode({"greedy_campaign_lockstep_mixed", true, true, nn::Precision::kMixed});
 
-  const double speedup = batched.probes_per_sec / scalar.probes_per_sec;
+  const double speedup = lockstep.probes_per_sec / scalar.probes_per_sec;
   bench::BenchRecord ratio;
   ratio.name = "greedy_campaign_speedup_x";
   ratio.iters = 1;
   ratio.probes_per_sec = speedup;
   records.push_back(ratio);
   std::cout << "greedy campaign probes/sec: scalar " << scalar.probes_per_sec
-            << ", batched " << batched.probes_per_sec << " -> " << speedup
-            << "x (target >= 3x)\n";
+            << ", batched " << batched.probes_per_sec << ", lockstep "
+            << lockstep.probes_per_sec << ", lockstep+mixed " << mixed.probes_per_sec
+            << " -> " << speedup << "x (target >= 10x)\n";
 }
 
 void BM_PredictScalar(benchmark::State& state) {

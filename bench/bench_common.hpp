@@ -14,6 +14,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -26,8 +28,28 @@
 #include "core/config.hpp"
 #include "core/framework.hpp"
 #include "domains/bgms/adapter.hpp"
+#include "nn/simd.hpp"
+
+// Baked in by CMake for bench targets: the repo root (BENCH_*.json is a
+// committed perf trail, so it lands next to the sources, not in the
+// artifacts dir) and the configure-time commit sha.
+#ifndef GOODONES_BENCH_OUTPUT_DIR
+#define GOODONES_BENCH_OUTPUT_DIR ""
+#endif
+#ifndef GOODONES_GIT_SHA
+#define GOODONES_GIT_SHA "unknown"
+#endif
 
 namespace goodones::bench {
+
+/// True when GOODONES_BENCH_SMOKE is set: hand-timed records shrink to one
+/// rep and the google-benchmark sweep is skipped. CI uses this to check the
+/// bench binaries run end to end and write their JSON without paying for
+/// real timings.
+inline bool smoke_run() { return std::getenv("GOODONES_BENCH_SMOKE") != nullptr; }
+
+/// Rep count for hand-timed records, honoring smoke mode.
+inline std::size_t bench_reps(std::size_t full) { return smoke_run() ? 1 : full; }
 
 /// Writes a reproduction CSV next to the console output.
 inline void save_artifact(const common::CsvTable& table, const std::string& name) {
@@ -44,17 +66,26 @@ struct BenchRecord {
   double probes_per_sec = 0.0;  ///< 0 when the bench has no probe notion
 };
 
-/// Persists timing records as BENCH_<name>.json under the artifacts dir so
-/// the perf trajectory stays machine-readable across PRs:
-///   {"benchmarks": [{"name", "iters", "ns_per_op", "probes_per_sec"}, ...]}
+/// Persists timing records as BENCH_<name>.json at the repo root (falling
+/// back to the artifacts dir when built without the output-dir definition)
+/// so the perf trajectory stays machine-readable across PRs:
+///   {"git_sha", "isa", "benchmarks": [{"name", "iters", "ns_per_op",
+///    "probes_per_sec"}, ...]}
+/// git_sha is the configure-time commit; isa is the SIMD lane the numbers
+/// were measured under (scalar / avx2 / neon, after the GOODONES_SIMD env
+/// override) — two runs are only comparable when both fields match.
 inline void save_bench_json(const std::vector<BenchRecord>& records, const std::string& name) {
-  const auto path = core::artifacts_dir() / ("BENCH_" + name + ".json");
+  const std::string output_dir = GOODONES_BENCH_OUTPUT_DIR;
+  const auto path = (output_dir.empty() ? core::artifacts_dir()
+                                        : std::filesystem::path(output_dir)) /
+                    ("BENCH_" + name + ".json");
   std::ofstream out(path);
   // Full double precision (cross-PR comparisons are the point of the file);
   // JSON has no NaN/inf, so non-finite values are written as 0.
   out.precision(17);
   const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
-  out << "{\n  \"benchmarks\": [";
+  out << "{\n  \"git_sha\": \"" << GOODONES_GIT_SHA << "\",\n  \"isa\": \""
+      << nn::simd::isa_name(nn::simd::active_isa()) << "\",\n  \"benchmarks\": [";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << r.name
@@ -81,8 +112,13 @@ inline core::FrameworkConfig announce_config() {
   return config;
 }
 
-/// Runs the registered google-benchmark microbenchmarks.
+/// Runs the registered google-benchmark microbenchmarks (skipped in smoke
+/// mode — the hand-timed records already exercised the measured paths).
 inline int run_microbenchmarks(int argc, char** argv) {
+  if (smoke_run()) {
+    std::cout << "[smoke] skipping google-benchmark sweep\n";
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,14 +1,21 @@
-// Kernel microbenchmarks across the substrate: LSTM forward/backward,
-// BiLSTM forecaster inference, glucose simulation, window extraction,
-// scaling and matrix multiplication. One place to watch for performance
-// regressions in the primitives every experiment depends on.
-#include <benchmark/benchmark.h>
+// Kernel microbenchmarks across the substrate: the nn::simd dispatch lanes
+// (scalar vs the best vector lane, per kernel), pack_step_major, LSTM
+// forward/backward, BiLSTM forecaster inference, glucose simulation, window
+// extraction, scaling and matrix multiplication. One place to watch for
+// performance regressions in the primitives every experiment depends on.
+// Lane-comparison records land in BENCH_kernels.json.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <span>
 
 #include "common/rng.hpp"
 #include "data/scaler.hpp"
 #include "data/timeseries.hpp"
 #include "data/window.hpp"
 #include "nn/lstm.hpp"
+#include "nn/matrix.hpp"
+#include "nn/simd.hpp"
 #include "predict/bilstm_forecaster.hpp"
 #include "domains/bgms/cohort.hpp"
 #include "domains/bgms/patient.hpp"
@@ -16,6 +23,7 @@
 namespace {
 
 using namespace goodones;
+using Clock = std::chrono::steady_clock;
 
 nn::Matrix random_matrix(std::size_t rows, std::size_t cols, common::Rng& rng) {
   nn::Matrix m(rows, cols);
@@ -134,6 +142,105 @@ void BM_ScalerTransform(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalerTransform)->Arg(1000);
 
+void BM_PackStepMajor(benchmark::State& state) {
+  common::Rng rng(17);
+  const auto blocks_n = static_cast<std::size_t>(state.range(0));
+  std::vector<nn::Matrix> blocks;
+  for (std::size_t i = 0; i < blocks_n; ++i) blocks.push_back(random_matrix(24, 4, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::pack_step_major(std::span<const nn::Matrix>(blocks), 0, 24));
+  }
+  state.SetItemsProcessed(state.iterations() * blocks_n * 24);
+}
+// Arg(1) hits the contiguous single-memcpy fast path; Arg(32) the
+// step-major interleave.
+BENCHMARK(BM_PackStepMajor)->Arg(1)->Arg(32);
+
+// --- dispatch-lane records (BENCH_kernels.json) ------------------------------
+//
+// Hand-timed scalar-vs-vector comparisons of the hot kernels on the shapes
+// the forecaster actually runs: the input projection GEMM (rows x 4 times
+// 4 x 4h), the recurrent GEMM (batch x h times h x 4h), and the per-row
+// LSTM gate math. One record per (kernel, lane) so the JSON trail shows the
+// lane speedup directly.
+
+template <typename Fn>
+bench::BenchRecord time_kernel(const std::string& name, std::size_t reps, Fn&& fn) {
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) fn();
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  bench::BenchRecord record;
+  record.name = name;
+  record.iters = reps;
+  record.ns_per_op = seconds * 1e9 / static_cast<double>(reps);
+  return record;
+}
+
+void record_kernel_lanes(std::vector<bench::BenchRecord>& records) {
+  namespace simd = nn::simd;
+  common::Rng rng(23);
+  constexpr std::size_t h = 24;      // forecaster hidden size
+  constexpr std::size_t rows = 128;  // packed batch*time rows
+  constexpr std::size_t batch = 8;
+  const nn::Matrix x = random_matrix(rows, 4, rng);
+  const nn::Matrix wx = random_matrix(4, 4 * h, rng);
+  const nn::Matrix hs = random_matrix(batch, h, rng);
+  const nn::Matrix wh = random_matrix(h, 4 * h, rng);
+  const nn::Matrix bias = random_matrix(1, 4 * h, rng);
+  const nn::Matrix pre = random_matrix(batch, 4 * h, rng);
+
+  std::vector<simd::Isa> lanes{simd::Isa::kScalar};
+  if (simd::active_isa() != simd::Isa::kScalar) lanes.push_back(simd::active_isa());
+
+  for (const simd::Isa isa : lanes) {
+    const simd::KernelTable& kt = *simd::table_for(isa);
+    const std::string lane = simd::isa_name(isa);
+    const std::size_t reps = bench::bench_reps(20000);
+
+    nn::Matrix proj(rows, 4 * h);
+    records.push_back(time_kernel("matmul_bias_128x4x96_" + lane, reps, [&] {
+      kt.matmul_bias(x.data(), wx.data(), bias.data(), proj.data(), rows, 4, 4 * h);
+      benchmark::DoNotOptimize(proj.data());
+    }));
+
+    nn::Matrix acc = pre;
+    records.push_back(time_kernel("matmul_acc_8x24x96_" + lane, reps, [&] {
+      kt.matmul_acc(hs.data(), wh.data(), acc.data(), batch, h, 4 * h);
+      benchmark::DoNotOptimize(acc.data());
+    }));
+
+    std::vector<double> gate_pre(pre.row(0).begin(), pre.row(0).end());
+    std::vector<double> cell(h, 0.1);
+    std::vector<double> hidden(h, 0.1);
+    records.push_back(time_kernel("lstm_gates_h24_" + lane, reps, [&] {
+      kt.lstm_gates(gate_pre.data(), h, cell.data(), hidden.data());
+      benchmark::DoNotOptimize(hidden.data());
+    }));
+  }
+
+  // pack_step_major: the contiguous single-block memcpy fast path vs the
+  // 32-way step-major interleave the batched forward uses.
+  common::Rng pack_rng(29);
+  std::vector<nn::Matrix> one{random_matrix(24, 4, pack_rng)};
+  std::vector<nn::Matrix> many;
+  for (std::size_t i = 0; i < 32; ++i) many.push_back(random_matrix(24, 4, pack_rng));
+  const std::size_t pack_reps = bench::bench_reps(20000);
+  records.push_back(time_kernel("pack_step_major_1x24x4_contiguous", pack_reps, [&] {
+    benchmark::DoNotOptimize(nn::pack_step_major(std::span<const nn::Matrix>(one), 0, 24));
+  }));
+  records.push_back(time_kernel("pack_step_major_32x24x4", pack_reps, [&] {
+    benchmark::DoNotOptimize(nn::pack_step_major(std::span<const nn::Matrix>(many), 0, 24));
+  }));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::cout << "goodones kernel bench — active SIMD lane: "
+            << nn::simd::isa_name(nn::simd::active_isa()) << "\n";
+  std::vector<bench::BenchRecord> records;
+  record_kernel_lanes(records);
+  goodones::bench::save_bench_json(records, "kernels");
+  return goodones::bench::run_microbenchmarks(argc, argv);
+}

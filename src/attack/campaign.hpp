@@ -32,6 +32,13 @@ struct CampaignConfig {
   /// Base seed of the per-shard RNG streams (reserved for stochastic attack
   /// variants; the current searches are deterministic per window).
   std::uint64_t seed = 0;
+  /// Advance a shard's greedy searches in lockstep and merge every active
+  /// window's candidate probes into ONE predict_batch call per round (the
+  /// model's batched path then spans several base windows' prefix clusters
+  /// with single packed GEMMs). Decisions are bitwise identical to the
+  /// per-window batched path; only throughput changes. Applies to the
+  /// position-ordered searches when attack.batched_probes is on.
+  bool cross_window_probes = true;
 };
 
 /// Attacks every `window_step`-th eligible window (true state normal or

@@ -51,29 +51,33 @@ std::vector<double> EvasionAttack::candidate_values(data::Regime regime,
   return values;
 }
 
+std::vector<std::size_t> EvasionAttack::step_order(const predict::Forecaster& model,
+                                                   const data::Window& window) const {
+  std::vector<std::size_t> order(window.features.rows());
+  if (config_.search == SearchKind::kGradientGuided) {
+    const nn::Matrix grad = model.input_gradient(window.features);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return std::abs(grad(a, config_.target_channel)) > std::abs(grad(b, config_.target_channel));
+    });
+  } else {
+    // Most recent samples influence the forecast most: edit back-to-front.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = window.features.rows() - 1 - i;
+    }
+  }
+  return order;
+}
+
 AttackResult EvasionAttack::attack_window(const predict::Forecaster& model,
                                           const data::Window& window) const {
   GO_EXPECTS(config_.target_channel < window.features.cols());
   GO_EXPECTS(window.features.rows() > 0);
 
   switch (config_.search) {
-    case SearchKind::kOrderedGreedy: {
-      // Most recent samples influence the forecast most: edit back-to-front.
-      std::vector<std::size_t> order(window.features.rows());
-      for (std::size_t i = 0; i < order.size(); ++i) {
-        order[i] = window.features.rows() - 1 - i;
-      }
-      return run_ordered_greedy(model, window, order);
-    }
-    case SearchKind::kGradientGuided: {
-      const nn::Matrix grad = model.input_gradient(window.features);
-      std::vector<std::size_t> order(window.features.rows());
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return std::abs(grad(a, config_.target_channel)) > std::abs(grad(b, config_.target_channel));
-      });
-      return run_ordered_greedy(model, window, order);
-    }
+    case SearchKind::kOrderedGreedy:
+    case SearchKind::kGradientGuided:
+      return run_ordered_greedy(model, window, step_order(model, window));
     case SearchKind::kGreedy:
       return run_greedy(model, window);
     case SearchKind::kBeam:
@@ -81,6 +85,98 @@ AttackResult EvasionAttack::attack_window(const predict::Forecaster& model,
   }
   GO_ENSURES(false);  // unreachable
   return {};
+}
+
+OrderedGreedySearch EvasionAttack::make_search(const predict::Forecaster& model,
+                                               const data::Window& window,
+                                               double benign_prediction) const {
+  GO_EXPECTS(config_.search == SearchKind::kOrderedGreedy ||
+             config_.search == SearchKind::kGradientGuided);
+  GO_EXPECTS(config_.target_channel < window.features.cols());
+  GO_EXPECTS(window.features.rows() > 0);
+  return OrderedGreedySearch(config_, window, step_order(model, window),
+                             candidate_values(window.regime, window_jitter(window)),
+                             benign_prediction);
+}
+
+OrderedGreedySearch::OrderedGreedySearch(const AttackConfig& config,
+                                         const data::Window& window,
+                                         std::vector<std::size_t> step_order,
+                                         std::vector<double> values,
+                                         double benign_prediction)
+    : target_channel_(config.target_channel),
+      stealth_fraction_(config.stealth_fraction),
+      threshold_(config.success_threshold(window.regime)),
+      order_(std::move(step_order)),
+      values_(std::move(values)),
+      budget_(std::min<std::size_t>(config.max_edits, order_.size())) {
+  result_.benign_prediction = benign_prediction;
+  result_.probes = 1;
+  result_.adversarial_features = window.features;
+  result_.adversarial_prediction = benign_prediction;
+  if (benign_prediction > threshold_) {
+    result_.success = true;  // the model already predicts past the harm level
+    done_ = true;
+  }
+}
+
+void OrderedGreedySearch::consume(std::span<const double> candidate_preds) {
+  GO_EXPECTS(!done_);
+  GO_EXPECTS(candidate_preds.size() == values_.size());
+  result_.probes += candidate_preds.size();
+  const std::size_t t = order_[k_];
+
+  // Stealth-first, as URET's minimal-perturbation search: if any candidate
+  // value at this timestep achieves the attacker's goal, take the *smallest*
+  // such value (it blends into the victim's benign abnormal range).
+  // Otherwise escalate — but stealthily: among the candidates that improve
+  // the forecast, take the smallest one that captures most of the
+  // achievable gain rather than always slamming the box maximum.
+  const double base_pred = result_.adversarial_prediction;
+  double best_pred = base_pred;
+  double best_value = result_.adversarial_features(t, target_channel_);
+  for (std::size_t vi = 0; vi < values_.size(); ++vi) {  // ascending
+    const double pred = candidate_preds[vi];
+    if (pred > threshold_) {
+      result_.adversarial_features(t, target_channel_) = values_[vi];
+      result_.adversarial_prediction = pred;
+      ++result_.edits;
+      result_.success = true;
+      done_ = true;
+      return;
+    }
+    if (pred > best_pred) {
+      best_pred = pred;
+      best_value = values_[vi];
+    }
+  }
+  if (best_pred > base_pred) {
+    // Goal-adaptive stealth (see AttackConfig::stealth_fraction): when a
+    // single edit can cover a substantial fraction of the remaining
+    // distance to the threshold, take the smallest candidate that does;
+    // otherwise escalate with the full best candidate.
+    double chosen_value = best_value;
+    double chosen_pred = best_pred;
+    if (stealth_fraction_ > 0.0) {
+      const double required = base_pred + stealth_fraction_ * (threshold_ - base_pred);
+      if (best_pred >= required) {
+        for (std::size_t vi = 0; vi < values_.size(); ++vi) {
+          if (candidate_preds[vi] >= required) {
+            chosen_value = values_[vi];
+            chosen_pred = candidate_preds[vi];
+            break;
+          }
+        }
+      }
+    }
+    result_.adversarial_features(t, target_channel_) = chosen_value;
+    result_.adversarial_prediction = chosen_pred;
+    ++result_.edits;
+  }
+  if (++k_ == budget_) {
+    result_.success = result_.adversarial_prediction > threshold_;
+    done_ = true;
+  }
 }
 
 std::vector<double> EvasionAttack::probe_position(const predict::Forecaster& model,
@@ -103,6 +199,29 @@ std::vector<double> EvasionAttack::probe_position(const predict::Forecaster& mod
 AttackResult EvasionAttack::run_ordered_greedy(const predict::Forecaster& model,
                                                const data::Window& window,
                                                const std::vector<std::size_t>& step_order) const {
+  if (config_.batched_probes) {
+    // The batched branch IS the lockstep state machine with a fleet of one:
+    // decisions live in OrderedGreedySearch::consume() only.
+    OrderedGreedySearch search(config_, window, step_order,
+                               candidate_values(window.regime, window_jitter(window)),
+                               model.predict(window.features));
+    // The probe matrices persist across rounds: same-shape copy-assignment
+    // reuses their buffers, so each round costs memcpys, not allocations.
+    std::vector<nn::Matrix> probes(search.values().size(), search.features());
+    while (!search.done()) {
+      const std::size_t t = search.pending_row();
+      const std::vector<double>& values = search.values();
+      for (std::size_t vi = 0; vi < values.size(); ++vi) {
+        probes[vi] = search.features();
+        probes[vi](t, config_.target_channel) = values[vi];
+      }
+      const std::vector<double> preds = model.predict_batch(probes);
+      search.consume(preds);
+    }
+    return search.take_result();
+  }
+
+  // Scalar reference path: one predict() per candidate, early exit mid-batch.
   AttackResult result;
   result.benign_prediction = model.predict(window.features);
   result.probes = 1;
@@ -129,20 +248,12 @@ AttackResult EvasionAttack::run_ordered_greedy(const predict::Forecaster& model,
     const double base_pred = result.adversarial_prediction;
     double best_pred = base_pred;
     double best_value = result.adversarial_features(t, config_.target_channel);
-    std::vector<double> candidate_preds;
-    nn::Matrix probe;  // scalar-path scratch only
-    if (config_.batched_probes) {
-      candidate_preds = probe_position(model, result.adversarial_features, t, values, result);
-    } else {
-      candidate_preds.assign(values.size(), 0.0);
-      probe = result.adversarial_features;
-    }
+    std::vector<double> candidate_preds(values.size(), 0.0);
+    nn::Matrix probe = result.adversarial_features;
     for (std::size_t vi = 0; vi < values.size(); ++vi) {  // ascending
-      if (!config_.batched_probes) {
-        probe(t, config_.target_channel) = values[vi];
-        candidate_preds[vi] = model.predict(probe);
-        ++result.probes;
-      }
+      probe(t, config_.target_channel) = values[vi];
+      candidate_preds[vi] = model.predict(probe);
+      ++result.probes;
       const double pred = candidate_preds[vi];
       if (pred > threshold) {
         result.adversarial_features(t, config_.target_channel) = values[vi];

@@ -3,6 +3,7 @@
 // the URET toolkit's greedy/beam input-transformation search.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "attack/config.hpp"
@@ -25,6 +26,45 @@ struct AttackResult {
   std::size_t probes = 0;
 };
 
+/// Stepwise state machine of one position-ordered greedy search (the
+/// kOrderedGreedy / kGradientGuided decision logic, extracted so a campaign
+/// can advance MANY windows' searches in lockstep and merge their candidate
+/// probes into one predict_batch call per round). The single source of truth
+/// for the batched decision path: EvasionAttack's own batched branch drives
+/// exactly this object, so lockstep and per-window runs decide identically.
+class OrderedGreedySearch {
+ public:
+  /// `step_order` is the edit-position order, `values` the ascending
+  /// candidate grid, `benign_prediction` the model output on the clean
+  /// window (already counted as one probe).
+  OrderedGreedySearch(const AttackConfig& config, const data::Window& window,
+                      std::vector<std::size_t> step_order, std::vector<double> values,
+                      double benign_prediction);
+
+  bool done() const noexcept { return done_; }
+  /// Timestep the next consume() call decides. Only valid while !done().
+  std::size_t pending_row() const noexcept { return order_[k_]; }
+  /// The current (partially edited) window candidate probes must copy.
+  const nn::Matrix& features() const noexcept { return result_.adversarial_features; }
+  const std::vector<double>& values() const noexcept { return values_; }
+  /// Applies one position's decision given the candidate predictions (in
+  /// values() order, one per candidate) and advances to the next position.
+  void consume(std::span<const double> candidate_preds);
+  /// The final outcome; only meaningful once done().
+  AttackResult take_result() { return std::move(result_); }
+
+ private:
+  std::size_t target_channel_;
+  double stealth_fraction_;
+  double threshold_;
+  std::vector<std::size_t> order_;
+  std::vector<double> values_;
+  std::size_t budget_;
+  std::size_t k_ = 0;
+  bool done_ = false;
+  AttackResult result_;
+};
+
 class EvasionAttack {
  public:
   explicit EvasionAttack(AttackConfig config);
@@ -36,7 +76,19 @@ class EvasionAttack {
   AttackResult attack_window(const predict::Forecaster& model,
                              const data::Window& window) const;
 
+  /// Builds the stepwise search state for this window (valid only for the
+  /// position-ordered searches, kOrderedGreedy / kGradientGuided). The
+  /// cross-window campaign driver constructs one per shard window and
+  /// advances them in lockstep.
+  OrderedGreedySearch make_search(const predict::Forecaster& model,
+                                  const data::Window& window,
+                                  double benign_prediction) const;
+
  private:
+  /// Edit-position order of the position-ordered searches: back-to-front
+  /// for kOrderedGreedy, |dPrediction/dInput|-sorted for kGradientGuided.
+  std::vector<std::size_t> step_order(const predict::Forecaster& model,
+                                      const data::Window& window) const;
   /// Candidate target values inside the box for the given regime. `jitter`
   /// in [0, 1) shifts the whole grid by a fraction of its spacing: derived
   /// deterministically per window, it prevents manipulated values from

@@ -35,6 +35,14 @@ std::size_t CampaignScheduler::shard_count(std::size_t items) const noexcept {
 
 ShardReport CampaignScheduler::run(
     std::size_t items, const std::function<void(std::size_t, common::Rng&)>& body) const {
+  return run_shards(items, [&body](std::size_t begin, std::size_t end, common::Rng& rng) {
+    for (std::size_t i = begin; i < end; ++i) body(i, rng);
+  });
+}
+
+ShardReport CampaignScheduler::run_shards(
+    std::size_t items,
+    const std::function<void(std::size_t, std::size_t, common::Rng&)>& body) const {
   ShardReport report;
   report.items = items;
   if (items == 0) return report;
@@ -62,7 +70,7 @@ ShardReport CampaignScheduler::run(
 
       const std::size_t begin = s * shard_size;
       const std::size_t end = std::min(items, begin + shard_size);
-      for (std::size_t i = begin; i < end; ++i) body(i, rng);
+      body(begin, end, rng);
       counters.add(items_key, end - begin);
       counters.add(shards_key, 1);
     } catch (...) {

@@ -58,6 +58,15 @@ class CampaignScheduler {
   ShardReport run(std::size_t items,
                   const std::function<void(std::size_t, common::Rng&)>& body) const;
 
+  /// Shard-granular variant: body(begin, end, shard_rng) runs once per shard
+  /// over its contiguous index range [begin, end). Same sharding, RNG
+  /// streams, counters and exception containment as run() — this is the
+  /// entry point for bodies that batch work ACROSS a shard's items (the
+  /// cross-window campaign driver) instead of item by item.
+  ShardReport run_shards(
+      std::size_t items,
+      const std::function<void(std::size_t, std::size_t, common::Rng&)>& body) const;
+
  private:
   std::size_t shard_size_for(std::size_t items) const noexcept;
 

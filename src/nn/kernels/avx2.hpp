@@ -1,0 +1,312 @@
+// AVX2 kernel lane. Included only by nn/simd.cpp.
+//
+// Compiled via per-function `target("avx2")` attributes so the rest of the
+// binary keeps the baseline ISA and the lane can be selected at runtime.
+// Bitwise parity with the scalar lane is a hard contract here:
+//   - multiplies and adds stay separate (_mm256_mul_pd + _mm256_add_pd,
+//     never _mm256_fmadd_pd),
+//   - every output element's partial sums arrive in the same order as the
+//     scalar loops (vector lanes only ever parallelize independent output
+//     elements),
+//   - exp/tanh go through scalar libm per lane; only the IEEE
+//     correctly-rounded surrounding arithmetic (div, mul, add) vectorizes.
+#pragma once
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(GOODONES_SIMD_NO_AVX2)
+#define GOODONES_SIMD_HAS_AVX2 1
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "nn/kernels/scalar.hpp"
+
+namespace goodones::nn::simd::avx2_kernels {
+
+#define GOODONES_AVX2 __attribute__((target("avx2")))
+
+/// 4-lane sigmoid matching the scalar sign-split form bit for bit: the exp
+/// argument is -|x| in both branches (identical to -x for x >= 0 and to x
+/// for x < 0), so one scalar-exp call per lane serves both, and the final
+/// select picks 1/(1+z) vs z/(1+z) exactly as the scalar branch does.
+GOODONES_AVX2 inline __m256d sigmoid4(__m256d x) noexcept {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, x);
+  alignas(32) double zbuf[4];
+  for (int l = 0; l < 4; ++l) zbuf[l] = std::exp(-std::fabs(lanes[l]));
+  const __m256d z = _mm256_load_pd(zbuf);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d denom = _mm256_add_pd(one, z);
+  const __m256d pos = _mm256_div_pd(one, denom);
+  const __m256d neg = _mm256_div_pd(z, denom);
+  const __m256d ge = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_GE_OQ);
+  return _mm256_blendv_pd(neg, pos, ge);
+}
+
+GOODONES_AVX2 inline __m256d tanh4(__m256d x) noexcept {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, x);
+  for (int l = 0; l < 4; ++l) lanes[l] = std::tanh(lanes[l]);
+  return _mm256_load_pd(lanes);
+}
+
+GOODONES_AVX2 inline void matmul_acc(const double* a, const double* b, double* out,
+                                     std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    // Register-blocked columns: four accumulators live across the whole k
+    // loop, so out traffic drops k-fold while each element still sums its
+    // products in ascending k order.
+    for (; j + 16 <= n; j += 16) {
+      __m256d acc0 = _mm256_loadu_pd(out_row + j);
+      __m256d acc1 = _mm256_loadu_pd(out_row + j + 4);
+      __m256d acc2 = _mm256_loadu_pd(out_row + j + 8);
+      __m256d acc3 = _mm256_loadu_pd(out_row + j + 12);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(a_row[kk]);
+        const double* b_row = b + kk * n + j;
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(va, _mm256_loadu_pd(b_row)));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(va, _mm256_loadu_pd(b_row + 4)));
+        acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(va, _mm256_loadu_pd(b_row + 8)));
+        acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(va, _mm256_loadu_pd(b_row + 12)));
+      }
+      _mm256_storeu_pd(out_row + j, acc0);
+      _mm256_storeu_pd(out_row + j + 4, acc1);
+      _mm256_storeu_pd(out_row + j + 8, acc2);
+      _mm256_storeu_pd(out_row + j + 12, acc3);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_loadu_pd(out_row + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(a_row[kk]);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, _mm256_loadu_pd(b + kk * n + j)));
+      }
+      _mm256_storeu_pd(out_row + j, acc);
+    }
+    for (; j < n; ++j) {
+      double sum = out_row[j];
+      for (std::size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b[kk * n + j];
+      out_row[j] = sum;
+    }
+  }
+}
+
+GOODONES_AVX2 inline void matmul_bias(const double* a, const double* b, const double* bias,
+                                      double* out, std::size_t m, std::size_t k,
+                                      std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(a_row[kk]);
+        const double* b_row = b + kk * n + j;
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(va, _mm256_loadu_pd(b_row)));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(va, _mm256_loadu_pd(b_row + 4)));
+        acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(va, _mm256_loadu_pd(b_row + 8)));
+        acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(va, _mm256_loadu_pd(b_row + 12)));
+      }
+      _mm256_storeu_pd(out_row + j, _mm256_add_pd(acc0, _mm256_loadu_pd(bias + j)));
+      _mm256_storeu_pd(out_row + j + 4, _mm256_add_pd(acc1, _mm256_loadu_pd(bias + j + 4)));
+      _mm256_storeu_pd(out_row + j + 8, _mm256_add_pd(acc2, _mm256_loadu_pd(bias + j + 8)));
+      _mm256_storeu_pd(out_row + j + 12, _mm256_add_pd(acc3, _mm256_loadu_pd(bias + j + 12)));
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(a_row[kk]);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, _mm256_loadu_pd(b + kk * n + j)));
+      }
+      _mm256_storeu_pd(out_row + j, _mm256_add_pd(acc, _mm256_loadu_pd(bias + j)));
+    }
+    for (; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b[kk * n + j];
+      out_row[j] = sum + bias[j];
+    }
+  }
+}
+
+GOODONES_AVX2 inline void matmul_ta_acc(const double* a, const double* b, double* out,
+                                        std::size_t r, std::size_t m, std::size_t n) {
+  for (std::size_t kk = 0; kk < r; ++kk) {
+    const double* a_row = a + kk * m;
+    const double* b_row = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const __m256d va = _mm256_set1_pd(a_row[i]);
+      double* out_row = out + i * n;
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(b_row + j));
+        _mm256_storeu_pd(out_row + j, _mm256_add_pd(_mm256_loadu_pd(out_row + j), prod));
+      }
+      for (; j < n; ++j) out_row[j] += a_row[i] * b_row[j];
+    }
+  }
+}
+
+GOODONES_AVX2 inline void matmul_tb_acc(const double* a, const double* b, double* out,
+                                        std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    // Four dot products at once, one per lane; each lane's sum still grows
+    // in ascending k order, exactly like one scalar dot product.
+    for (; j + 4 <= n; j += 4) {
+      const double* b0 = b + j * k;
+      const double* b1 = b + (j + 1) * k;
+      const double* b2 = b + (j + 2) * k;
+      const double* b3 = b + (j + 3) * k;
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(a_row[kk]);
+        const __m256d vb = _mm256_set_pd(b3[kk], b2[kk], b1[kk], b0[kk]);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+      }
+      _mm256_storeu_pd(out_row + j, _mm256_add_pd(_mm256_loadu_pd(out_row + j), acc));
+    }
+    for (; j < n; ++j) {
+      const double* b_row = b + j * k;
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b_row[kk];
+      out_row[j] += sum;
+    }
+  }
+}
+
+GOODONES_AVX2 inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+GOODONES_AVX2 inline void lstm_gates(const double* pre, std::size_t h, double* cell,
+                                     double* hidden) {
+  std::size_t j = 0;
+  for (; j + 4 <= h; j += 4) {
+    const __m256d gi = sigmoid4(_mm256_loadu_pd(pre + j));
+    const __m256d gf = sigmoid4(_mm256_loadu_pd(pre + h + j));
+    const __m256d gg = tanh4(_mm256_loadu_pd(pre + 2 * h + j));
+    const __m256d go = sigmoid4(_mm256_loadu_pd(pre + 3 * h + j));
+    const __m256d ct =
+        _mm256_add_pd(_mm256_mul_pd(gf, _mm256_loadu_pd(cell + j)), _mm256_mul_pd(gi, gg));
+    _mm256_storeu_pd(cell + j, ct);
+    _mm256_storeu_pd(hidden + j, _mm256_mul_pd(go, tanh4(ct)));
+  }
+  for (; j < h; ++j) {
+    const double gi = scalar_kernels::sigmoid(pre[j]);
+    const double gf = scalar_kernels::sigmoid(pre[h + j]);
+    const double gg = std::tanh(pre[2 * h + j]);
+    const double go = scalar_kernels::sigmoid(pre[3 * h + j]);
+    const double ct = gf * cell[j] + gi * gg;
+    cell[j] = ct;
+    hidden[j] = go * std::tanh(ct);
+  }
+}
+
+GOODONES_AVX2 inline void lstm_gates_cached(const double* pre, std::size_t h, double* gi,
+                                            double* gf, double* gg, double* go, double* ct,
+                                            double* ctt, double* ht, double* cs, double* hs) {
+  std::size_t j = 0;
+  for (; j + 4 <= h; j += 4) {
+    const __m256d vgi = sigmoid4(_mm256_loadu_pd(pre + j));
+    const __m256d vgf = sigmoid4(_mm256_loadu_pd(pre + h + j));
+    const __m256d vgg = tanh4(_mm256_loadu_pd(pre + 2 * h + j));
+    const __m256d vgo = sigmoid4(_mm256_loadu_pd(pre + 3 * h + j));
+    const __m256d vct =
+        _mm256_add_pd(_mm256_mul_pd(vgf, _mm256_loadu_pd(cs + j)), _mm256_mul_pd(vgi, vgg));
+    const __m256d vctt = tanh4(vct);
+    const __m256d vht = _mm256_mul_pd(vgo, vctt);
+    _mm256_storeu_pd(gi + j, vgi);
+    _mm256_storeu_pd(gf + j, vgf);
+    _mm256_storeu_pd(gg + j, vgg);
+    _mm256_storeu_pd(go + j, vgo);
+    _mm256_storeu_pd(ct + j, vct);
+    _mm256_storeu_pd(ctt + j, vctt);
+    _mm256_storeu_pd(ht + j, vht);
+    _mm256_storeu_pd(cs + j, vct);
+    _mm256_storeu_pd(hs + j, vht);
+  }
+  for (; j < h; ++j) {
+    gi[j] = scalar_kernels::sigmoid(pre[j]);
+    gf[j] = scalar_kernels::sigmoid(pre[h + j]);
+    gg[j] = std::tanh(pre[2 * h + j]);
+    go[j] = scalar_kernels::sigmoid(pre[3 * h + j]);
+    ct[j] = gf[j] * cs[j] + gi[j] * gg[j];
+    ctt[j] = std::tanh(ct[j]);
+    ht[j] = go[j] * ctt[j];
+    cs[j] = ct[j];
+    hs[j] = ht[j];
+  }
+}
+
+GOODONES_AVX2 inline void matmul_acc_f32w(const double* a, const float* b, double* out,
+                                          std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_loadu_pd(out_row + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(a_row[kk]);
+        const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + kk * n + j));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+      }
+      _mm256_storeu_pd(out_row + j, acc);
+    }
+    for (; j < n; ++j) {
+      double sum = out_row[j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += a_row[kk] * static_cast<double>(b[kk * n + j]);
+      }
+      out_row[j] = sum;
+    }
+  }
+}
+
+GOODONES_AVX2 inline void matmul_bias_f32w(const double* a, const float* b, const float* bias,
+                                           double* out, std::size_t m, std::size_t k,
+                                           std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(a_row[kk]);
+        const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + kk * n + j));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+      }
+      const __m256d vbias = _mm256_cvtps_pd(_mm_loadu_ps(bias + j));
+      _mm256_storeu_pd(out_row + j, _mm256_add_pd(acc, vbias));
+    }
+    for (; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += a_row[kk] * static_cast<double>(b[kk * n + j]);
+      }
+      out_row[j] = sum + static_cast<double>(bias[j]);
+    }
+  }
+}
+
+#undef GOODONES_AVX2
+
+}  // namespace goodones::nn::simd::avx2_kernels
+
+#endif  // x86-64 gcc/clang

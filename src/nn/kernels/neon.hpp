@@ -1,0 +1,269 @@
+// NEON (aarch64) kernel lane. Included only by nn/simd.cpp.
+//
+// Same bitwise-parity contract as the AVX2 lane: separate vmulq/vaddq (no
+// vfmaq fusion), per-output-element accumulation order identical to the
+// scalar loops, transcendentals through scalar libm. float64x2_t is the
+// widest double vector on aarch64, so this lane is 2-wide.
+#pragma once
+
+#if defined(__aarch64__) && defined(__ARM_NEON) && !defined(GOODONES_SIMD_NO_NEON)
+#define GOODONES_SIMD_HAS_NEON 1
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "nn/kernels/scalar.hpp"
+
+namespace goodones::nn::simd::neon_kernels {
+
+inline float64x2_t sigmoid2(float64x2_t x) noexcept {
+  double lanes[2];
+  vst1q_f64(lanes, x);
+  double zbuf[2];
+  for (int l = 0; l < 2; ++l) zbuf[l] = std::exp(-std::fabs(lanes[l]));
+  const float64x2_t z = vld1q_f64(zbuf);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t denom = vaddq_f64(one, z);
+  const float64x2_t pos = vdivq_f64(one, denom);
+  const float64x2_t neg = vdivq_f64(z, denom);
+  const uint64x2_t ge = vcgeq_f64(x, vdupq_n_f64(0.0));
+  return vbslq_f64(ge, pos, neg);
+}
+
+inline float64x2_t tanh2(float64x2_t x) noexcept {
+  double lanes[2];
+  vst1q_f64(lanes, x);
+  lanes[0] = std::tanh(lanes[0]);
+  lanes[1] = std::tanh(lanes[1]);
+  return vld1q_f64(lanes);
+}
+
+inline void matmul_acc(const double* a, const double* b, double* out, std::size_t m,
+                       std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      float64x2_t acc0 = vld1q_f64(out_row + j);
+      float64x2_t acc1 = vld1q_f64(out_row + j + 2);
+      float64x2_t acc2 = vld1q_f64(out_row + j + 4);
+      float64x2_t acc3 = vld1q_f64(out_row + j + 6);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float64x2_t va = vdupq_n_f64(a_row[kk]);
+        const double* b_row = b + kk * n + j;
+        acc0 = vaddq_f64(acc0, vmulq_f64(va, vld1q_f64(b_row)));
+        acc1 = vaddq_f64(acc1, vmulq_f64(va, vld1q_f64(b_row + 2)));
+        acc2 = vaddq_f64(acc2, vmulq_f64(va, vld1q_f64(b_row + 4)));
+        acc3 = vaddq_f64(acc3, vmulq_f64(va, vld1q_f64(b_row + 6)));
+      }
+      vst1q_f64(out_row + j, acc0);
+      vst1q_f64(out_row + j + 2, acc1);
+      vst1q_f64(out_row + j + 4, acc2);
+      vst1q_f64(out_row + j + 6, acc3);
+    }
+    for (; j + 2 <= n; j += 2) {
+      float64x2_t acc = vld1q_f64(out_row + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float64x2_t va = vdupq_n_f64(a_row[kk]);
+        acc = vaddq_f64(acc, vmulq_f64(va, vld1q_f64(b + kk * n + j)));
+      }
+      vst1q_f64(out_row + j, acc);
+    }
+    for (; j < n; ++j) {
+      double sum = out_row[j];
+      for (std::size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b[kk * n + j];
+      out_row[j] = sum;
+    }
+  }
+}
+
+inline void matmul_bias(const double* a, const double* b, const double* bias, double* out,
+                        std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      float64x2_t acc = vdupq_n_f64(0.0);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float64x2_t va = vdupq_n_f64(a_row[kk]);
+        acc = vaddq_f64(acc, vmulq_f64(va, vld1q_f64(b + kk * n + j)));
+      }
+      vst1q_f64(out_row + j, vaddq_f64(acc, vld1q_f64(bias + j)));
+    }
+    for (; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b[kk * n + j];
+      out_row[j] = sum + bias[j];
+    }
+  }
+}
+
+inline void matmul_ta_acc(const double* a, const double* b, double* out, std::size_t r,
+                          std::size_t m, std::size_t n) {
+  for (std::size_t kk = 0; kk < r; ++kk) {
+    const double* a_row = a + kk * m;
+    const double* b_row = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float64x2_t va = vdupq_n_f64(a_row[i]);
+      double* out_row = out + i * n;
+      std::size_t j = 0;
+      for (; j + 2 <= n; j += 2) {
+        const float64x2_t prod = vmulq_f64(va, vld1q_f64(b_row + j));
+        vst1q_f64(out_row + j, vaddq_f64(vld1q_f64(out_row + j), prod));
+      }
+      for (; j < n; ++j) out_row[j] += a_row[i] * b_row[j];
+    }
+  }
+}
+
+inline void matmul_tb_acc(const double* a, const double* b, double* out, std::size_t m,
+                          std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const double* b0 = b + j * k;
+      const double* b1 = b + (j + 1) * k;
+      float64x2_t acc = vdupq_n_f64(0.0);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float64x2_t va = vdupq_n_f64(a_row[kk]);
+        const double vb_lanes[2] = {b0[kk], b1[kk]};
+        acc = vaddq_f64(acc, vmulq_f64(va, vld1q_f64(vb_lanes)));
+      }
+      vst1q_f64(out_row + j, vaddq_f64(vld1q_f64(out_row + j), acc));
+    }
+    for (; j < n; ++j) {
+      const double* b_row = b + j * k;
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b_row[kk];
+      out_row[j] += sum;
+    }
+  }
+}
+
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + i));
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void lstm_gates(const double* pre, std::size_t h, double* cell, double* hidden) {
+  std::size_t j = 0;
+  for (; j + 2 <= h; j += 2) {
+    const float64x2_t gi = sigmoid2(vld1q_f64(pre + j));
+    const float64x2_t gf = sigmoid2(vld1q_f64(pre + h + j));
+    const float64x2_t gg = tanh2(vld1q_f64(pre + 2 * h + j));
+    const float64x2_t go = sigmoid2(vld1q_f64(pre + 3 * h + j));
+    const float64x2_t ct =
+        vaddq_f64(vmulq_f64(gf, vld1q_f64(cell + j)), vmulq_f64(gi, gg));
+    vst1q_f64(cell + j, ct);
+    vst1q_f64(hidden + j, vmulq_f64(go, tanh2(ct)));
+  }
+  for (; j < h; ++j) {
+    const double gi = scalar_kernels::sigmoid(pre[j]);
+    const double gf = scalar_kernels::sigmoid(pre[h + j]);
+    const double gg = std::tanh(pre[2 * h + j]);
+    const double go = scalar_kernels::sigmoid(pre[3 * h + j]);
+    const double ct = gf * cell[j] + gi * gg;
+    cell[j] = ct;
+    hidden[j] = go * std::tanh(ct);
+  }
+}
+
+inline void lstm_gates_cached(const double* pre, std::size_t h, double* gi, double* gf,
+                              double* gg, double* go, double* ct, double* ctt, double* ht,
+                              double* cs, double* hs) {
+  std::size_t j = 0;
+  for (; j + 2 <= h; j += 2) {
+    const float64x2_t vgi = sigmoid2(vld1q_f64(pre + j));
+    const float64x2_t vgf = sigmoid2(vld1q_f64(pre + h + j));
+    const float64x2_t vgg = tanh2(vld1q_f64(pre + 2 * h + j));
+    const float64x2_t vgo = sigmoid2(vld1q_f64(pre + 3 * h + j));
+    const float64x2_t vct = vaddq_f64(vmulq_f64(vgf, vld1q_f64(cs + j)), vmulq_f64(vgi, vgg));
+    const float64x2_t vctt = tanh2(vct);
+    const float64x2_t vht = vmulq_f64(vgo, vctt);
+    vst1q_f64(gi + j, vgi);
+    vst1q_f64(gf + j, vgf);
+    vst1q_f64(gg + j, vgg);
+    vst1q_f64(go + j, vgo);
+    vst1q_f64(ct + j, vct);
+    vst1q_f64(ctt + j, vctt);
+    vst1q_f64(ht + j, vht);
+    vst1q_f64(cs + j, vct);
+    vst1q_f64(hs + j, vht);
+  }
+  for (; j < h; ++j) {
+    gi[j] = scalar_kernels::sigmoid(pre[j]);
+    gf[j] = scalar_kernels::sigmoid(pre[h + j]);
+    gg[j] = std::tanh(pre[2 * h + j]);
+    go[j] = scalar_kernels::sigmoid(pre[3 * h + j]);
+    ct[j] = gf[j] * cs[j] + gi[j] * gg[j];
+    ctt[j] = std::tanh(ct[j]);
+    ht[j] = go[j] * ctt[j];
+    cs[j] = ct[j];
+    hs[j] = ht[j];
+  }
+}
+
+inline void matmul_acc_f32w(const double* a, const float* b, double* out, std::size_t m,
+                            std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      float64x2_t acc = vld1q_f64(out_row + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float64x2_t va = vdupq_n_f64(a_row[kk]);
+        const float64x2_t vb = vcvt_f64_f32(vld1_f32(b + kk * n + j));
+        acc = vaddq_f64(acc, vmulq_f64(va, vb));
+      }
+      vst1q_f64(out_row + j, acc);
+    }
+    for (; j < n; ++j) {
+      double sum = out_row[j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += a_row[kk] * static_cast<double>(b[kk * n + j]);
+      }
+      out_row[j] = sum;
+    }
+  }
+}
+
+inline void matmul_bias_f32w(const double* a, const float* b, const float* bias, double* out,
+                             std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      float64x2_t acc = vdupq_n_f64(0.0);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float64x2_t va = vdupq_n_f64(a_row[kk]);
+        const float64x2_t vb = vcvt_f64_f32(vld1_f32(b + kk * n + j));
+        acc = vaddq_f64(acc, vmulq_f64(va, vb));
+      }
+      vst1q_f64(out_row + j, vaddq_f64(acc, vcvt_f64_f32(vld1_f32(bias + j))));
+    }
+    for (; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += a_row[kk] * static_cast<double>(b[kk * n + j]);
+      }
+      out_row[j] = sum + static_cast<double>(bias[j]);
+    }
+  }
+}
+
+}  // namespace goodones::nn::simd::neon_kernels
+
+#endif  // aarch64 with NEON

@@ -1,0 +1,144 @@
+// Scalar reference kernels — the lane every vector lane must match bitwise.
+//
+// Included only by nn/simd.cpp, which is compiled with -ffp-contract=off so
+// these loops are plain IEEE mul/add even if a toolchain enables FMA
+// contraction globally. Accumulation is branchless (no zero-skip): adding an
+// exact-zero product can only flip the sign of a zero partial sum, which no
+// downstream comparison observes, and the straight-line loops are what lets
+// the compiler autovectorize this lane too.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace goodones::nn::simd::scalar_kernels {
+
+/// Same sign-split formulation as nn::sigmoid (activations.hpp): one shared
+/// definition keeps every lane's transcendental arguments identical.
+inline double sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+inline void matmul_acc(const double* a, const double* b, double* out, std::size_t m,
+                       std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a_row[kk];
+      const double* b_row = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+inline void matmul_bias(const double* a, const double* b, const double* bias, double* out,
+                        std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    for (std::size_t j = 0; j < n; ++j) out_row[j] = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a_row[kk];
+      const double* b_row = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+    // Bias lands after the row's full k-accumulation: bit-identical to the
+    // historical separate bias pass over a finished matmul.
+    for (std::size_t j = 0; j < n; ++j) out_row[j] += bias[j];
+  }
+}
+
+inline void matmul_ta_acc(const double* a, const double* b, double* out, std::size_t r,
+                          std::size_t m, std::size_t n) {
+  for (std::size_t kk = 0; kk < r; ++kk) {
+    const double* a_row = a + kk * m;
+    const double* b_row = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aki = a_row[i];
+      double* out_row = out + i * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+inline void matmul_tb_acc(const double* a, const double* b, double* out, std::size_t m,
+                          std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* b_row = b + j * k;
+      double sum = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b_row[kk];
+      out_row[j] += sum;
+    }
+  }
+}
+
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void lstm_gates(const double* pre, std::size_t h, double* cell, double* hidden) {
+  for (std::size_t j = 0; j < h; ++j) {
+    const double gi = sigmoid(pre[j]);
+    const double gf = sigmoid(pre[h + j]);
+    const double gg = std::tanh(pre[2 * h + j]);
+    const double go = sigmoid(pre[3 * h + j]);
+    const double ct = gf * cell[j] + gi * gg;
+    cell[j] = ct;
+    hidden[j] = go * std::tanh(ct);
+  }
+}
+
+inline void lstm_gates_cached(const double* pre, std::size_t h, double* gi, double* gf,
+                              double* gg, double* go, double* ct, double* ctt, double* ht,
+                              double* cs, double* hs) {
+  for (std::size_t j = 0; j < h; ++j) {
+    gi[j] = sigmoid(pre[j]);
+    gf[j] = sigmoid(pre[h + j]);
+    gg[j] = std::tanh(pre[2 * h + j]);
+    go[j] = sigmoid(pre[3 * h + j]);
+    ct[j] = gf[j] * cs[j] + gi[j] * gg[j];
+    ctt[j] = std::tanh(ct[j]);
+    ht[j] = go[j] * ctt[j];
+    cs[j] = ct[j];
+    hs[j] = ht[j];
+  }
+}
+
+inline void matmul_acc_f32w(const double* a, const float* b, double* out, std::size_t m,
+                            std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a_row[kk];
+      const float* b_row = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * static_cast<double>(b_row[j]);
+    }
+  }
+}
+
+inline void matmul_bias_f32w(const double* a, const float* b, const float* bias, double* out,
+                             std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a + i * k;
+    double* out_row = out + i * n;
+    for (std::size_t j = 0; j < n; ++j) out_row[j] = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a_row[kk];
+      const float* b_row = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * static_cast<double>(b_row[j]);
+    }
+    for (std::size_t j = 0; j < n; ++j) out_row[j] += static_cast<double>(bias[j]);
+  }
+}
+
+}  // namespace goodones::nn::simd::scalar_kernels

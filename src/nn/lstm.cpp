@@ -1,10 +1,12 @@
 #include "nn/lstm.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/error.hpp"
 #include "nn/activations.hpp"
+#include "nn/simd.hpp"
 
 namespace goodones::nn {
 
@@ -43,41 +45,24 @@ Matrix Lstm::forward_cached(const Matrix& x, Cache& cache) const {
 
   // Precompute x * Wx for all timesteps at once (the big matmul).
   const Matrix x_proj = matmul(x, w_x_.value);
+  const simd::KernelTable& kt = simd::active();
 
   std::vector<double> h_prev(h, 0.0);
   std::vector<double> c_prev(h, 0.0);
   std::vector<double> pre(4 * h);
 
   for (std::size_t t = 0; t < steps; ++t) {
-    // pre = x_proj[t] + h_prev * Wh + b
+    // pre = x_proj[t] + b + h_prev * Wh. The recurrent term is skipped on
+    // the first step (h_prev is zero), matching forward_batch_cached.
     const auto xp = x_proj.row(t);
     for (std::size_t j = 0; j < 4 * h; ++j) pre[j] = xp[j] + b_.value(0, j);
-    for (std::size_t k = 0; k < h; ++k) {
-      const double hk = h_prev[k];
-      if (hk == 0.0) continue;
-      const double* wh_row = w_h_.value.data() + k * 4 * h;
-      for (std::size_t j = 0; j < 4 * h; ++j) pre[j] += hk * wh_row[j];
-    }
+    if (t > 0) kt.matmul_acc(h_prev.data(), w_h_.value.data(), pre.data(), 1, h, 4 * h);
 
-    auto gi = cache.gate_i.row(t);
-    auto gf = cache.gate_f.row(t);
-    auto gg = cache.gate_g.row(t);
-    auto go = cache.gate_o.row(t);
-    auto ct = cache.cell.row(t);
-    auto ctt = cache.cell_tanh.row(t);
-    auto ht = cache.hidden.row(t);
-
-    for (std::size_t j = 0; j < h; ++j) {
-      gi[j] = sigmoid(pre[j]);
-      gf[j] = sigmoid(pre[h + j]);
-      gg[j] = tanh_act(pre[2 * h + j]);
-      go[j] = sigmoid(pre[3 * h + j]);
-      ct[j] = gf[j] * c_prev[j] + gi[j] * gg[j];
-      ctt[j] = tanh_act(ct[j]);
-      ht[j] = go[j] * ctt[j];
-      c_prev[j] = ct[j];
-      h_prev[j] = ht[j];
-    }
+    kt.lstm_gates_cached(pre.data(), h, cache.gate_i.row(t).data(),
+                         cache.gate_f.row(t).data(), cache.gate_g.row(t).data(),
+                         cache.gate_o.row(t).data(), cache.cell.row(t).data(),
+                         cache.cell_tanh.row(t).data(), cache.hidden.row(t).data(),
+                         c_prev.data(), h_prev.data());
   }
   return cache.hidden;
 }
@@ -89,11 +74,13 @@ Lstm::PrefixState Lstm::initial_state() const {
   return state;
 }
 
-void Lstm::advance(PrefixState& state, const Matrix& x) const {
+void Lstm::advance_impl(PrefixState& state, const Matrix& x,
+                        std::vector<PrefixState>* trail) const {
   GO_EXPECTS(x.cols() == input_dim_);
   GO_EXPECTS(state.hidden.size() == hidden_dim_ && state.cell.size() == hidden_dim_);
   if (x.rows() == 0) return;
   const std::size_t h = hidden_dim_;
+  const simd::KernelTable& kt = simd::active();
 
   // Same arithmetic and accumulation order as forward_cached, minus the
   // per-gate caches: the snapshot must be bit-identical to the scalar path.
@@ -102,80 +89,149 @@ void Lstm::advance(PrefixState& state, const Matrix& x) const {
   for (std::size_t t = 0; t < x.rows(); ++t) {
     const auto xp = x_proj.row(t);
     for (std::size_t j = 0; j < 4 * h; ++j) pre[j] = xp[j] + b_.value(0, j);
-    for (std::size_t k = 0; k < h; ++k) {
-      const double hk = state.hidden[k];
-      if (hk == 0.0) continue;
-      const double* wh_row = w_h_.value.data() + k * 4 * h;
-      for (std::size_t j = 0; j < 4 * h; ++j) pre[j] += hk * wh_row[j];
+    // A fresh state's first step has a zero hidden vector — skip its GEMM,
+    // like the batched paths do.
+    if (t > 0 || state.steps > 0) {
+      kt.matmul_acc(state.hidden.data(), w_h_.value.data(), pre.data(), 1, h, 4 * h);
     }
-    for (std::size_t j = 0; j < h; ++j) {
-      const double gi = sigmoid(pre[j]);
-      const double gf = sigmoid(pre[h + j]);
-      const double gg = tanh_act(pre[2 * h + j]);
-      const double go = sigmoid(pre[3 * h + j]);
-      const double ct = gf * state.cell[j] + gi * gg;
-      state.cell[j] = ct;
-      state.hidden[j] = go * tanh_act(ct);
+    kt.lstm_gates(pre.data(), h, state.cell.data(), state.hidden.data());
+    if (trail != nullptr) {
+      PrefixState snapshot;
+      snapshot.steps = state.steps + t + 1;
+      snapshot.hidden = state.hidden;
+      snapshot.cell = state.cell;
+      trail->push_back(std::move(snapshot));
     }
   }
   state.steps += x.rows();
 }
 
+void Lstm::advance(PrefixState& state, const Matrix& x) const {
+  advance_impl(state, x, nullptr);
+}
+
+void Lstm::advance_recording(PrefixState& state, const Matrix& x,
+                             std::vector<PrefixState>& trail) const {
+  advance_impl(state, x, &trail);
+}
+
 Matrix Lstm::run_batch(std::span<const Matrix> sequences, const PrefixState& start,
                        std::size_t first_row) const {
   GO_EXPECTS(!sequences.empty());
-  GO_EXPECTS(start.hidden.size() == hidden_dim_ && start.cell.size() == hidden_dim_);
+  // Every sequence resumes from the same snapshot: the single-cluster
+  // special case of run_batch_multi.
+  std::vector<const Matrix*> seq_ptrs;
+  seq_ptrs.reserve(sequences.size());
+  for (const Matrix& s : sequences) seq_ptrs.push_back(&s);
+  const std::vector<const PrefixState*> start_ptrs(sequences.size(), &start);
+  return run_batch_multi(seq_ptrs, start_ptrs, first_row);
+}
+
+Matrix Lstm::run_batch(std::span<const Matrix> sequences) const {
+  return run_batch(sequences, initial_state());
+}
+
+Matrix Lstm::run_batch_multi(std::span<const Matrix* const> sequences,
+                             std::span<const PrefixState* const> starts,
+                             std::size_t first_row, Precision precision) const {
+  GO_EXPECTS(!sequences.empty());
+  GO_EXPECTS(starts.size() == sequences.size());
   const std::size_t batch = sequences.size();
-  GO_EXPECTS(first_row <= sequences.front().rows());
-  const std::size_t steps = sequences.front().rows() - first_row;
-  for (const Matrix& s : sequences) {
-    GO_EXPECTS(s.rows() == first_row + steps && s.cols() == input_dim_);
+  GO_EXPECTS(first_row <= sequences.front()->rows());
+  const std::size_t steps = sequences.front()->rows() - first_row;
+  for (const Matrix* s : sequences) {
+    GO_EXPECTS(s->rows() == first_row + steps && s->cols() == input_dim_);
   }
   const std::size_t h = hidden_dim_;
+  const simd::KernelTable& kt = simd::active();
+  const bool mixed = precision == Precision::kMixed;
+  if (mixed) GO_EXPECTS(mixed_ready());
 
-  // Every sequence resumes from the same snapshot.
   Matrix h_state(batch, h);
   Matrix c_state(batch, h);
+  bool any_started = false;
   for (std::size_t i = 0; i < batch; ++i) {
+    const PrefixState& start = *starts[i];
+    GO_EXPECTS(start.hidden.size() == h && start.cell.size() == h);
     std::copy(start.hidden.begin(), start.hidden.end(), h_state.row(i).begin());
     std::copy(start.cell.begin(), start.cell.end(), c_state.row(i).begin());
+    any_started = any_started || start.steps > 0;
   }
   if (steps == 0) return h_state;
 
   // One packed GEMM projects every sequence's inputs (plus bias) at once;
   // rows [t*B, (t+1)*B) of the result are timestep t's batch block.
   const Matrix packed = pack_step_major(sequences, first_row, steps);
-  const Matrix pre_proj = matmul_bias(packed, w_x_.value, b_.value);
+  Matrix pre_proj(packed.rows(), 4 * h);
+  if (mixed) {
+    kt.matmul_bias_f32w(packed.data(), wx_f32_.data(), b_f32_.data(), pre_proj.data(),
+                        packed.rows(), input_dim_, 4 * h);
+  } else {
+    kt.matmul_bias(packed.data(), w_x_.value.data(), b_.value.data(), pre_proj.data(),
+                   packed.rows(), input_dim_, 4 * h);
+  }
 
   Matrix pre(batch, 4 * h);
   for (std::size_t t = 0; t < steps; ++t) {
-    for (std::size_t i = 0; i < batch; ++i) {
-      const auto src = pre_proj.row(t * batch + i);
-      std::copy(src.begin(), src.end(), pre.row(i).begin());
-    }
-    // pre += h_state * Wh: batched recurrent GEMM, identical accumulation
-    // order (k outer, j inner, zero-skip) to the scalar step.
-    matmul_accumulate(h_state, w_h_.value, pre);
-    for (std::size_t i = 0; i < batch; ++i) {
-      const auto p = pre.row(i);
-      auto hs = h_state.row(i);
-      auto cs = c_state.row(i);
-      for (std::size_t j = 0; j < h; ++j) {
-        const double gi = sigmoid(p[j]);
-        const double gf = sigmoid(p[h + j]);
-        const double gg = tanh_act(p[2 * h + j]);
-        const double go = sigmoid(p[3 * h + j]);
-        const double ct = gf * cs[j] + gi * gg;
-        cs[j] = ct;
-        hs[j] = go * tanh_act(ct);
+    // Timestep t's batch block is contiguous in the packed projection.
+    std::memcpy(pre.data(), pre_proj.data() + t * batch * 4 * h,
+                batch * 4 * h * sizeof(double));
+    // pre += h_state * Wh: batched recurrent GEMM. When every start is the
+    // fresh zero state the first step has nothing to add — same skip as the
+    // scalar step's t == 0.
+    if (t > 0 || any_started) {
+      if (mixed) {
+        kt.matmul_acc_f32w(h_state.data(), wh_f32_.data(), pre.data(), batch, h, 4 * h);
+      } else {
+        kt.matmul_acc(h_state.data(), w_h_.value.data(), pre.data(), batch, h, 4 * h);
       }
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      kt.lstm_gates(pre.row(i).data(), h, c_state.row(i).data(), h_state.row(i).data());
     }
   }
   return h_state;
 }
 
-Matrix Lstm::run_batch(std::span<const Matrix> sequences) const {
-  return run_batch(sequences, initial_state());
+Matrix Lstm::first_step_batch(const Matrix& rows, Precision precision) const {
+  GO_EXPECTS(rows.cols() == input_dim_);
+  const std::size_t n = rows.rows();
+  const std::size_t h = hidden_dim_;
+  const simd::KernelTable& kt = simd::active();
+  const bool mixed = precision == Precision::kMixed;
+  if (mixed) GO_EXPECTS(mixed_ready());
+
+  // From the zero state there is no recurrent term: one projection GEMM and
+  // one gate pass per row gives every sequence's first hidden state.
+  Matrix pre(n, 4 * h);
+  if (mixed) {
+    kt.matmul_bias_f32w(rows.data(), wx_f32_.data(), b_f32_.data(), pre.data(), n,
+                        input_dim_, 4 * h);
+  } else {
+    kt.matmul_bias(rows.data(), w_x_.value.data(), b_.value.data(), pre.data(), n,
+                   input_dim_, 4 * h);
+  }
+  Matrix h_state(n, h);
+  Matrix c_state(n, h);
+  for (std::size_t i = 0; i < n; ++i) {
+    kt.lstm_gates(pre.row(i).data(), h, c_state.row(i).data(), h_state.row(i).data());
+  }
+  return h_state;
+}
+
+void Lstm::sync_mixed_weights() {
+  const auto mirror = [](const Matrix& m, std::vector<float>& out) {
+    out.resize(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i) out[i] = static_cast<float>(m.data()[i]);
+  };
+  mirror(w_x_.value, wx_f32_);
+  mirror(w_h_.value, wh_f32_);
+  mirror(b_.value, b_f32_);
+}
+
+bool Lstm::mixed_ready() const noexcept {
+  return wx_f32_.size() == w_x_.value.size() && wh_f32_.size() == w_h_.value.size() &&
+         b_f32_.size() == b_.value.size() && !wx_f32_.empty();
 }
 
 void Lstm::forward_batch_cached(std::span<const Matrix> sequences,
@@ -211,39 +267,22 @@ void Lstm::forward_batch_cached(std::span<const Matrix> sequences,
   // every sequence's input projection, one recurrent GEMM per timestep.
   const Matrix packed = pack_step_major(sequences, 0, steps);
   const Matrix pre_proj = matmul_bias(packed, w_x_.value, b_.value);
+  const simd::KernelTable& kt = simd::active();
 
   Matrix h_state(batch, h);
   Matrix c_state(batch, h);
   Matrix pre(batch, 4 * h);
   for (std::size_t t = 0; t < steps; ++t) {
-    for (std::size_t i = 0; i < batch; ++i) {
-      const auto src = pre_proj.row(t * batch + i);
-      std::copy(src.begin(), src.end(), pre.row(i).begin());
-    }
+    std::memcpy(pre.data(), pre_proj.data() + t * batch * 4 * h,
+                batch * 4 * h * sizeof(double));
     if (t > 0) matmul_accumulate(h_state, w_h_.value, pre);
     for (std::size_t i = 0; i < batch; ++i) {
       Cache& cache = caches[i];
-      const auto p = pre.row(i);
-      auto hs = h_state.row(i);
-      auto cs = c_state.row(i);
-      auto gi = cache.gate_i.row(t);
-      auto gf = cache.gate_f.row(t);
-      auto gg = cache.gate_g.row(t);
-      auto go = cache.gate_o.row(t);
-      auto ct = cache.cell.row(t);
-      auto ctt = cache.cell_tanh.row(t);
-      auto ht = cache.hidden.row(t);
-      for (std::size_t j = 0; j < h; ++j) {
-        gi[j] = sigmoid(p[j]);
-        gf[j] = sigmoid(p[h + j]);
-        gg[j] = tanh_act(p[2 * h + j]);
-        go[j] = sigmoid(p[3 * h + j]);
-        ct[j] = gf[j] * (t > 0 ? cs[j] : 0.0) + gi[j] * gg[j];
-        ctt[j] = tanh_act(ct[j]);
-        ht[j] = go[j] * ctt[j];
-        cs[j] = ct[j];
-        hs[j] = ht[j];
-      }
+      kt.lstm_gates_cached(pre.row(i).data(), h, cache.gate_i.row(t).data(),
+                           cache.gate_f.row(t).data(), cache.gate_g.row(t).data(),
+                           cache.gate_o.row(t).data(), cache.cell.row(t).data(),
+                           cache.cell_tanh.row(t).data(), cache.hidden.row(t).data(),
+                           c_state.row(i).data(), h_state.row(i).data());
     }
   }
 }
@@ -256,6 +295,7 @@ Matrix Lstm::backward(const Matrix& grad_hidden, const Cache& cache) {
   Matrix grad_pre_all(steps, 4 * h);  // dLoss/d(pre-activations), all steps
   std::vector<double> dh_next(h, 0.0);
   std::vector<double> dc_next(h, 0.0);
+  const simd::KernelTable& kt = simd::active();
 
   for (std::size_t t = steps; t-- > 0;) {
     const auto gi = cache.gate_i.row(t);
@@ -284,13 +324,10 @@ Matrix Lstm::backward(const Matrix& grad_hidden, const Cache& cache) {
       dc_next[j] = dct * gf[j];
     }
 
-    // dh_next = dpre * Wh^T (contribution to the previous hidden state).
-    for (std::size_t k = 0; k < h; ++k) {
-      const double* wh_row = w_h_.value.data() + k * 4 * h;
-      double sum = 0.0;
-      for (std::size_t j = 0; j < 4 * h; ++j) sum += dpre[j] * wh_row[j];
-      dh_next[k] = sum;
-    }
+    // dh_next = dpre * Wh^T (contribution to the previous hidden state) —
+    // each element is the same ascending-j dot product as before.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0);
+    kt.matmul_tb_acc(dpre.data(), w_h_.value.data(), dh_next.data(), 1, 4 * h, h);
   }
 
   // Parameter gradients, batched over time:
@@ -301,14 +338,9 @@ Matrix Lstm::backward(const Matrix& grad_hidden, const Cache& cache) {
     axpy(1.0, grad_pre_all.row(t), b_.grad.row(0));
   }
   for (std::size_t t = 1; t < steps; ++t) {
-    const auto h_prev = cache.hidden.row(t - 1);
-    const auto dpre = grad_pre_all.row(t);
-    for (std::size_t k = 0; k < h; ++k) {
-      const double hk = h_prev[k];
-      if (hk == 0.0) continue;
-      double* wh_grad_row = w_h_.grad.data() + k * 4 * h;
-      for (std::size_t j = 0; j < 4 * h; ++j) wh_grad_row[j] += hk * dpre[j];
-    }
+    // Rank-1 update dWh += h_{t-1}^T * dpre_t, branchless.
+    kt.matmul_ta_acc(cache.hidden.row(t - 1).data(), grad_pre_all.row(t).data(),
+                     w_h_.grad.data(), 1, h, 4 * h);
   }
 
   // dX = dpre * Wx^T.

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "nn/matrix.hpp"
 #include "nn/param.hpp"
+#include "nn/simd.hpp"
 
 namespace goodones::nn {
 
@@ -59,6 +60,14 @@ class Lstm {
   /// Bit-identical to the corresponding steps of forward().
   void advance(PrefixState& state, const Matrix& x) const;
 
+  /// advance() that also appends a snapshot of the state after EVERY
+  /// consumed row to `trail` (x.rows() entries). The per-position prefix
+  /// cache in BiLstmForecaster replays greedy searches from these snapshots
+  /// instead of re-advancing the prefix per probe batch; each snapshot is
+  /// bit-identical to what advance() over that many rows produces.
+  void advance_recording(PrefixState& state, const Matrix& x,
+                         std::vector<PrefixState>& trail) const;
+
   /// Batched inference: B equal-length sequences, every one resuming from
   /// the same `start` snapshot at row `first_row` (rows before it are the
   /// shared prefix the snapshot already consumed). Per timestep the batch is
@@ -71,6 +80,34 @@ class Lstm {
 
   /// run_batch from the zero state (whole sequences, no shared prefix).
   Matrix run_batch(std::span<const Matrix> sequences) const;
+
+  /// Generalization of run_batch where sequence i resumes from its OWN
+  /// snapshot *starts[i] (all snapshots must have consumed `first_row`
+  /// steps... or be the zero state with first_row == 0 semantics handled by
+  /// the caller's plan). This is what lets one packed per-timestep GEMM span
+  /// several prefix clusters at once: a cross-window campaign batch merges
+  /// every cluster's tails into a single call. Bit-identical per sequence to
+  /// run_batch over that sequence's own cluster. Precision::kMixed runs the
+  /// projection/recurrent GEMMs against the float32 weight mirrors
+  /// (sync_mixed_weights() first) — an approximation lane, not bit-stable.
+  Matrix run_batch_multi(std::span<const Matrix* const> sequences,
+                         std::span<const PrefixState* const> starts, std::size_t first_row,
+                         Precision precision = Precision::kDouble) const;
+
+  /// One LSTM step from the zero state over each row of `rows` (N x D);
+  /// returns the (N x H) hidden states. Bit-identical to advance() over a
+  /// single-row matrix per row — this batches the backward cell's one-step
+  /// evaluation across every probe of a scoring batch.
+  Matrix first_step_batch(const Matrix& rows,
+                          Precision precision = Precision::kDouble) const;
+
+  /// Refreshes the float32 weight mirrors Precision::kMixed consumes. Must
+  /// be called after construction and again whenever the weights change
+  /// (training step, parameter load) before the next kMixed run.
+  void sync_mixed_weights();
+  /// True once sync_mixed_weights() has populated mirrors of the current
+  /// weight shapes.
+  bool mixed_ready() const noexcept;
 
   /// Batched forward over B equal-length sequences from the zero state that
   /// also fills one scalar-compatible Cache per sequence, so each sequence
@@ -109,12 +146,20 @@ class Lstm {
   const ParamBuffer& bias() const noexcept { return b_; }
 
  private:
+  /// Shared body of advance/advance_recording (`trail` optional).
+  void advance_impl(PrefixState& state, const Matrix& x,
+                    std::vector<PrefixState>* trail) const;
+
   std::size_t input_dim_;
   std::size_t hidden_dim_;
   // Gate order within the fused 4H dimension: [input, forget, cell, output].
   ParamBuffer w_x_;  // D x 4H
   ParamBuffer w_h_;  // H x 4H
   ParamBuffer b_;    // 1 x 4H
+  // float32 mirrors for Precision::kMixed (row-major, same layouts).
+  std::vector<float> wx_f32_;
+  std::vector<float> wh_f32_;
+  std::vector<float> b_f32_;
 };
 
 /// Bidirectional LSTM: forward and backward passes over the sequence with

@@ -1,8 +1,10 @@
 #include "nn/matrix.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "nn/simd.hpp"
 
 namespace goodones::nn {
 
@@ -92,59 +94,56 @@ Matrix matmul_trans_b(const Matrix& a, const Matrix& b) {
 void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   GO_EXPECTS(a.cols() == b.rows());
   GO_EXPECTS(out.rows() == a.rows() && out.cols() == b.cols());
-  // i-k-j order: streams through b and out rows contiguously.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* out_row = out.data() + i * out.cols();
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* b_row = b.data() + k * b.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  simd::active().matmul_acc(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols());
 }
 
 void matmul_trans_a_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   GO_EXPECTS(a.rows() == b.rows());
   GO_EXPECTS(out.rows() == a.cols() && out.cols() == b.cols());
-  // out(i,j) += sum_k a(k,i) * b(k,j); loop k outermost for contiguous rows.
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* a_row = a.data() + k * a.cols();
-    const double* b_row = b.data() + k * b.cols();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a_row[i];
-      if (aki == 0.0) continue;
-      double* out_row = out.data() + i * out.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
-    }
-  }
+  simd::active().matmul_ta_acc(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols());
 }
 
 void matmul_trans_b_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   GO_EXPECTS(a.cols() == b.cols());
   GO_EXPECTS(out.rows() == a.rows() && out.cols() == b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.data() + i * a.cols();
-    double* out_row = out.data() + i * out.cols();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* b_row = b.data() + j * b.cols();
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += a_row[k] * b_row[k];
-      out_row[j] += sum;
-    }
-  }
+  simd::active().matmul_tb_acc(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.rows());
 }
 
 Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias) {
+  GO_EXPECTS(a.cols() == b.rows());
   GO_EXPECTS(bias.rows() == 1 && bias.cols() == b.cols());
-  Matrix out = matmul(a, b);
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    const auto bias_row = bias.row(0);
-    auto out_row = out.row(r);
-    for (std::size_t j = 0; j < out_row.size(); ++j) out_row[j] += bias_row[j];
+  Matrix out(a.rows(), b.cols());
+  simd::active().matmul_bias(a.data(), b.data(), bias.data(), out.data(), a.rows(), a.cols(),
+                             b.cols());
+  return out;
+}
+
+namespace {
+
+Matrix pack_step_major_impl(std::size_t blocks, std::size_t cols,
+                            const double* (*block_data)(const void*, std::size_t),
+                            const void* ctx, std::size_t first_row, std::size_t num_rows) {
+  Matrix out(num_rows * blocks, cols);
+  if (num_rows == 0 || cols == 0) return out;
+  if (blocks == 1) {
+    // Single-sequence fast path: the packed layout IS the source row range.
+    std::memcpy(out.data(), block_data(ctx, 0) + first_row * cols,
+                num_rows * cols * sizeof(double));
+    return out;
+  }
+  // The destination is written front to back in one contiguous sweep; only
+  // the source pointer hops between blocks.
+  double* dst = out.data();
+  for (std::size_t t = 0; t < num_rows; ++t) {
+    for (std::size_t i = 0; i < blocks; ++i) {
+      std::memcpy(dst, block_data(ctx, i) + (first_row + t) * cols, cols * sizeof(double));
+      dst += cols;
+    }
   }
   return out;
 }
+
+}  // namespace
 
 Matrix pack_step_major(std::span<const Matrix> blocks, std::size_t first_row,
                        std::size_t num_rows) {
@@ -154,15 +153,24 @@ Matrix pack_step_major(std::span<const Matrix> blocks, std::size_t first_row,
     GO_EXPECTS(block.cols() == cols);
     GO_EXPECTS(first_row + num_rows <= block.rows());
   }
-  Matrix out(num_rows * blocks.size(), cols);
-  for (std::size_t t = 0; t < num_rows; ++t) {
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      const auto src = blocks[i].row(first_row + t);
-      auto dst = out.row(t * blocks.size() + i);
-      std::copy(src.begin(), src.end(), dst.begin());
-    }
+  const auto data_of = [](const void* ctx, std::size_t i) -> const double* {
+    return (*static_cast<const std::span<const Matrix>*>(ctx))[i].data();
+  };
+  return pack_step_major_impl(blocks.size(), cols, data_of, &blocks, first_row, num_rows);
+}
+
+Matrix pack_step_major(std::span<const Matrix* const> blocks, std::size_t first_row,
+                       std::size_t num_rows) {
+  GO_EXPECTS(!blocks.empty());
+  const std::size_t cols = blocks.front()->cols();
+  for (const Matrix* block : blocks) {
+    GO_EXPECTS(block->cols() == cols);
+    GO_EXPECTS(first_row + num_rows <= block->rows());
   }
-  return out;
+  const auto data_of = [](const void* ctx, std::size_t i) -> const double* {
+    return (*static_cast<const std::span<const Matrix* const>*>(ctx))[i]->data();
+  };
+  return pack_step_major_impl(blocks.size(), cols, data_of, &blocks, first_row, num_rows);
 }
 
 Matrix operator+(Matrix a, const Matrix& b) {
@@ -182,7 +190,7 @@ Matrix operator*(Matrix a, double scalar) {
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
   GO_EXPECTS(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  simd::active().axpy(a, x.data(), y.data(), x.size());
 }
 
 }  // namespace goodones::nn

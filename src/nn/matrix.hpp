@@ -1,10 +1,11 @@
 // Dense row-major matrix used by the neural-network substrate.
 //
 // This is deliberately a small, explicit linear-algebra core (no expression
-// templates, no BLAS dependency): sizes in this library are tiny (hidden
-// widths of a few dozen), so clarity and testability beat micro-optimized
-// kernels. The matmul variants needed by backpropagation (A*B, A^T*B, A*B^T)
-// are provided directly instead of materializing transposes.
+// templates, no BLAS dependency). The matmul variants needed by
+// backpropagation (A*B, A^T*B, A*B^T) are provided directly instead of
+// materializing transposes; their inner loops dispatch through the nn::simd
+// kernel table (see nn/simd.hpp), whose vector lanes are bitwise-identical
+// to the scalar lane, so callers never observe which lane ran.
 #pragma once
 
 #include <cstddef>
@@ -97,6 +98,12 @@ Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias);
 /// projects every sequence's inputs at once and per-step processing streams
 /// a contiguous (B x n) block.
 Matrix pack_step_major(std::span<const Matrix> blocks, std::size_t first_row,
+                       std::size_t num_rows);
+
+/// pack_step_major over non-contiguous sequences (pointer span): the packed
+/// batch of a prefix-cluster merge gathers members scattered across the
+/// caller's storage without copying them into a temporary vector first.
+Matrix pack_step_major(std::span<const Matrix* const> blocks, std::size_t first_row,
                        std::size_t num_rows);
 
 Matrix operator+(Matrix a, const Matrix& b);

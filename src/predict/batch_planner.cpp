@@ -55,6 +55,57 @@ BatchPlan plan_shared_rows(std::span<const nn::Matrix> windows) {
   return plan_indexed(windows, all);
 }
 
+std::vector<ProbeCluster> cluster_probes(std::span<const nn::Matrix> windows,
+                                         std::span<const std::size_t> indices) {
+  GO_EXPECTS(!indices.empty());
+  const nn::Matrix& head = windows[indices.front()];
+  for (const std::size_t i : indices) {
+    GO_EXPECTS(windows[i].rows() == head.rows() && windows[i].cols() == head.cols());
+  }
+
+  // Greedy pass: track each cluster's running common prefix so a joining
+  // window only shrinks it, never re-scans earlier members.
+  struct Building {
+    std::vector<std::size_t> members;
+    std::size_t common_prefix;  // shared leading rows among members so far
+  };
+  std::vector<Building> building;
+  for (const std::size_t i : indices) {
+    const nn::Matrix& w = windows[i];
+    bool placed = false;
+    for (Building& b : building) {
+      const nn::Matrix& rep = windows[b.members.front()];
+      std::size_t p = 0;
+      while (p < b.common_prefix && rows_equal(rep, w, p)) ++p;
+      if (p > 0) {
+        b.members.push_back(i);
+        b.common_prefix = p;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) building.push_back(Building{{i}, w.rows()});
+  }
+
+  // Singletons fold into one residual cluster; its exact plan (usually
+  // prefix 0) degrades to the packed whole-sequence path, which is what a
+  // planless batch would have run anyway.
+  std::vector<ProbeCluster> clusters;
+  std::vector<std::size_t> residual;
+  for (Building& b : building) {
+    if (b.members.size() > 1) {
+      clusters.push_back(ProbeCluster{std::move(b.members), {}});
+    } else {
+      residual.push_back(b.members.front());
+    }
+  }
+  if (!residual.empty()) clusters.push_back(ProbeCluster{std::move(residual), {}});
+  for (ProbeCluster& cluster : clusters) {
+    cluster.plan = plan_indexed(windows, cluster.indices);
+  }
+  return clusters;
+}
+
 std::vector<ProbeGroup> group_probes(std::span<const nn::Matrix> windows) {
   std::vector<ProbeGroup> groups;
   for (std::size_t i = 0; i < windows.size(); ++i) {

@@ -40,4 +40,24 @@ struct ProbeGroup {
 /// Groups appear in first-seen order; indices within a group stay ascending.
 std::vector<ProbeGroup> group_probes(std::span<const nn::Matrix> windows);
 
+/// One prefix cluster inside a shape group: members that share enough
+/// leading rows for a single PrefixState snapshot to cover them all.
+struct ProbeCluster {
+  std::vector<std::size_t> indices;  ///< positions in the original batch
+  BatchPlan plan;                    ///< exact shared rows among the members
+};
+
+/// Splits one shape group (`indices`, all same shape) into prefix clusters.
+/// A cross-window campaign batch merges probes of SEVERAL base windows: one
+/// global shared prefix is usually zero, but per base window the probes
+/// still share almost everything. Greedy pass: each window joins the first
+/// existing cluster it shares at least one leading row with (against the
+/// cluster's running common prefix), else starts its own; single-member
+/// clusters are then merged into one residual cluster (its exact plan —
+/// typically prefix 0 — makes the packed whole-sequence GEMM the fallback,
+/// i.e. exactly the pre-clustering behavior). Cluster order: multi-member
+/// clusters in first-seen order, residual last; member indices ascending.
+std::vector<ProbeCluster> cluster_probes(std::span<const nn::Matrix> windows,
+                                         std::span<const std::size_t> indices);
+
 }  // namespace goodones::predict

@@ -74,25 +74,206 @@ double BiLstmForecaster::predict(const nn::Matrix& raw_features) const {
 std::vector<double> BiLstmForecaster::predict_batch(
     std::span<const nn::Matrix> raw_windows) const {
   std::vector<double> out(raw_windows.size());
+  if (raw_windows.empty()) return out;
+
+  // Scale everything once. Identical raw rows scale to identical rows, so
+  // plans computed on the raw windows hold for the scaled ones.
+  std::vector<nn::Matrix> scaled;
+  scaled.reserve(raw_windows.size());
+  for (const nn::Matrix& w : raw_windows) {
+    GO_EXPECTS(w.cols() == scaler_.num_features());
+    scaled.push_back(scaler_.transform(w));
+  }
+
+  const std::size_t h = config_.hidden;
+  nn::Matrix states(raw_windows.size(), 2 * h);
+  const nn::Lstm& fwd_cell = lstm_.forward_cell();
+  const nn::Lstm& bwd_cell = lstm_.backward_cell();
+
   for (const ProbeGroup& group : group_probes(raw_windows)) {
-    std::vector<nn::Matrix> scaled;
-    scaled.reserve(group.indices.size());
-    for (const std::size_t idx : group.indices) {
-      GO_EXPECTS(raw_windows[idx].cols() == scaler_.num_features());
-      scaled.push_back(scaler_.transform(raw_windows[idx]));
+    const std::size_t steps = raw_windows[group.indices.front()].rows();
+    const std::vector<ProbeCluster> clusters = cluster_probes(raw_windows, group.indices);
+
+    // Forward cell: resolve each cluster's prefix snapshot from the trail
+    // cache, then merge all clusters with EQUAL prefix length into one
+    // packed tail batch (run_batch_multi takes per-sequence starts, so one
+    // GEMM spans several base windows' probe sets).
+    std::vector<nn::Lstm::PrefixState> cluster_starts;
+    cluster_starts.reserve(clusters.size());
+    for (const ProbeCluster& cluster : clusters) {
+      cluster_starts.push_back(
+          fwd_prefix_state(scaled[cluster.indices.front()], cluster.plan.shared_prefix));
     }
-    // Identical raw rows scale to identical rows, so the plan computed on
-    // the raw windows is valid for the scaled ones.
-    const nn::Matrix states = lstm_.final_states_batch(scaled, group.plan.shared_prefix,
-                                                       group.plan.shared_suffix);
-    const nn::Matrix h1 = head1_.forward(states);
-    const nn::Matrix preds = head2_.forward(h1);
-    for (std::size_t i = 0; i < group.indices.size(); ++i) {
-      out[group.indices[i]] =
-          scaler_.inverse_transform_value(preds(i, 0), config_.target_channel);
+    std::vector<bool> ran(clusters.size(), false);
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (ran[c]) continue;
+      const std::size_t prefix = clusters[c].plan.shared_prefix;
+      std::vector<const nn::Matrix*> seqs;
+      std::vector<const nn::Lstm::PrefixState*> starts;
+      std::vector<std::size_t> members;  // original batch index per packed row
+      for (std::size_t q = c; q < clusters.size(); ++q) {
+        if (ran[q] || clusters[q].plan.shared_prefix != prefix) continue;
+        ran[q] = true;
+        for (const std::size_t idx : clusters[q].indices) {
+          seqs.push_back(&scaled[idx]);
+          starts.push_back(&cluster_starts[q]);
+          members.push_back(idx);
+        }
+      }
+      const nn::Matrix h_fwd =
+          fwd_cell.run_batch_multi(seqs, starts, prefix, scoring_precision_);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        std::copy(h_fwd.row(i).begin(), h_fwd.row(i).end(),
+                  states.row(members[i]).begin());
+      }
+    }
+
+    // Backward cell: the scalar path's last aligned output row is the state
+    // after the FIRST reversed step, which consumes only the final row —
+    // one distinct row per suffix-sharing cluster, all fused into a single
+    // first-step batch.
+    std::size_t distinct = 0;
+    for (const ProbeCluster& cluster : clusters) {
+      distinct += cluster.plan.shared_suffix >= 1 ? 1 : cluster.indices.size();
+    }
+    nn::Matrix last_rows(distinct, scaled.front().cols());
+    std::vector<std::pair<std::size_t, std::size_t>> scatter;  // (batch idx, packed row)
+    scatter.reserve(group.indices.size());
+    std::size_t next_row = 0;
+    for (const ProbeCluster& cluster : clusters) {
+      if (cluster.plan.shared_suffix >= 1) {
+        const auto src = scaled[cluster.indices.front()].row(steps - 1);
+        std::copy(src.begin(), src.end(), last_rows.row(next_row).begin());
+        for (const std::size_t idx : cluster.indices) scatter.emplace_back(idx, next_row);
+        ++next_row;
+      } else {
+        for (const std::size_t idx : cluster.indices) {
+          const auto src = scaled[idx].row(steps - 1);
+          std::copy(src.begin(), src.end(), last_rows.row(next_row).begin());
+          scatter.emplace_back(idx, next_row);
+          ++next_row;
+        }
+      }
+    }
+    const nn::Matrix h_bwd = bwd_cell.first_step_batch(last_rows, scoring_precision_);
+    for (const auto& [idx, row] : scatter) {
+      std::copy(h_bwd.row(row).begin(), h_bwd.row(row).end(),
+                states.row(idx).begin() + static_cast<std::ptrdiff_t>(h));
     }
   }
+
+  // One dense-head pass over the whole batch (rows are independent, so this
+  // is bit-identical to per-group head calls).
+  const nn::Matrix h1 = head1_.forward(states);
+  const nn::Matrix preds = head2_.forward(h1);
+  for (std::size_t i = 0; i < raw_windows.size(); ++i) {
+    out[i] = scaler_.inverse_transform_value(preds(i, 0), config_.target_channel);
+  }
   return out;
+}
+
+nn::Lstm::PrefixState BiLstmForecaster::fwd_prefix_state(const nn::Matrix& scaled,
+                                                         std::size_t prefix_rows) const {
+  const nn::Lstm& cell = lstm_.forward_cell();
+  if (prefix_rows == 0) return cell.initial_state();
+  const std::size_t cols = scaled.cols();
+
+  const auto match_len = [&](const PrefixCache::Entry& entry) {
+    const std::size_t limit = std::min<std::size_t>(prefix_rows, entry.rows.rows());
+    std::size_t m = 0;
+    while (m < limit) {
+      const auto a = entry.rows.row(m);
+      const auto b = scaled.row(m);
+      if (!std::equal(a.begin(), a.end(), b.begin())) break;
+      ++m;
+    }
+    return m;
+  };
+
+  std::unique_lock lock(prefix_cache_.mu);
+  auto& entries = prefix_cache_.entries;
+  // Scan most-recent-first (MRU order, back of the vector) and stop at the
+  // first full hit: successive greedy rounds re-query a prefix published
+  // within the last few rounds, while stale same-window entries share long
+  // prefixes with the query and are expensive to deep-compare for no gain.
+  std::size_t best = entries.size();
+  std::size_t best_match = 0;
+  for (std::size_t e = entries.size(); e-- > 0;) {
+    const std::size_t m = match_len(entries[e]);
+    if (m > best_match) {
+      best_match = m;
+      best = e;
+      if (best_match == prefix_rows) break;
+    }
+  }
+  // Move a used entry to the MRU back slot; returns its new index.
+  const auto touch = [&entries](std::size_t e) {
+    if (e + 1 != entries.size()) {
+      std::rotate(entries.begin() + static_cast<std::ptrdiff_t>(e),
+                  entries.begin() + static_cast<std::ptrdiff_t>(e) + 1, entries.end());
+      e = entries.size() - 1;
+    }
+    return e;
+  };
+  if (best_match == prefix_rows) {
+    return entries[touch(best)].trail[prefix_rows];
+  }
+
+  // Partial (or no) hit: copy the matched trail head, advance the remaining
+  // rows outside the lock, then publish the longer trail as a new entry.
+  std::vector<nn::Lstm::PrefixState> trail;
+  trail.reserve(prefix_rows + 1);
+  if (best < entries.size()) {
+    const auto& src = entries[best].trail;
+    trail.assign(src.begin(),
+                 src.begin() + static_cast<std::ptrdiff_t>(best_match) + 1);
+    touch(best);
+  } else {
+    trail.push_back(cell.initial_state());
+  }
+  lock.unlock();
+
+  nn::Lstm::PrefixState state = trail.back();
+  nn::Matrix rest(prefix_rows - best_match, cols);
+  for (std::size_t t = 0; t < rest.rows(); ++t) {
+    const auto src = scaled.row(best_match + t);
+    std::copy(src.begin(), src.end(), rest.row(t).begin());
+  }
+  cell.advance_recording(state, rest, trail);
+
+  PrefixCache::Entry entry;
+  entry.rows = nn::Matrix(prefix_rows, cols);
+  for (std::size_t t = 0; t < prefix_rows; ++t) {
+    const auto src = scaled.row(t);
+    std::copy(src.begin(), src.end(), entry.rows.row(t).begin());
+  }
+  entry.trail = std::move(trail);
+
+  lock.lock();
+  if (entries.size() >= PrefixCache::kCapacity) {
+    entries.erase(entries.begin());  // MRU order: the front is the LRU victim
+  }
+  entries.push_back(std::move(entry));
+  return state;
+}
+
+void BiLstmForecaster::set_scoring_precision(nn::Precision precision) {
+  scoring_precision_ = precision;
+  if (precision == nn::Precision::kMixed) {
+    lstm_.forward_cell().sync_mixed_weights();
+    lstm_.backward_cell().sync_mixed_weights();
+  }
+}
+
+void BiLstmForecaster::invalidate_scoring_state() {
+  {
+    const std::lock_guard lock(prefix_cache_.mu);
+    prefix_cache_.entries.clear();
+  }
+  if (scoring_precision_ == nn::Precision::kMixed) {
+    lstm_.forward_cell().sync_mixed_weights();
+    lstm_.backward_cell().sync_mixed_weights();
+  }
 }
 
 nn::Matrix BiLstmForecaster::input_gradient(const nn::Matrix& raw_features) const {
@@ -189,6 +370,7 @@ double BiLstmForecaster::train(const std::vector<data::Window>& windows) {
     }
     final_epoch_loss = epoch_loss / static_cast<double>(order.size());
   }
+  invalidate_scoring_state();
   return final_epoch_loss;
 }
 
@@ -208,7 +390,9 @@ void BiLstmForecaster::save(const std::filesystem::path& path) const {
 }
 
 bool BiLstmForecaster::load(const std::filesystem::path& path) {
-  return nn::load_parameters(parameters(), path);
+  const bool loaded = nn::load_parameters(parameters(), path);
+  if (loaded) invalidate_scoring_state();
+  return loaded;
 }
 
 namespace {

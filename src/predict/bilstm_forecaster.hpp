@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <iosfwd>
+#include <mutex>
 #include <vector>
 
 #include "data/scaler.hpp"
@@ -46,11 +47,22 @@ class BiLstmForecaster final : public Forecaster {
 
   double predict(const nn::Matrix& raw_features) const override;
 
-  /// True batched inference path: probes are grouped by shape, rows shared
-  /// across a group are consumed once (the BiLSTM snapshots recurrent state
-  /// after the common prefix), and the remaining per-probe work runs as
-  /// packed batch GEMMs. Bit-compatible with the scalar predict() path.
+  /// True batched inference path: probes are grouped by shape, then split
+  /// into prefix clusters (a cross-window campaign batch merges probes of
+  /// several base windows, so one global prefix is useless but per-base
+  /// prefixes are long). Each cluster's shared rows are consumed once —
+  /// served from a trail cache that remembers the state after EVERY prefix
+  /// row — and all cluster tails with equal prefix length run as one packed
+  /// batch GEMM. Bit-compatible with the scalar predict() path under the
+  /// default double precision.
   std::vector<double> predict_batch(std::span<const nn::Matrix> raw_windows) const override;
+
+  /// Numeric mode of predict_batch's LSTM GEMMs. kMixed scores against
+  /// float32 weight mirrors with float64 activations/accumulation — an
+  /// opt-in throughput lane OUTSIDE the bitwise parity contract (predict(),
+  /// gradients and training always run full double).
+  void set_scoring_precision(nn::Precision precision);
+  nn::Precision scoring_precision() const noexcept { return scoring_precision_; }
 
   nn::Matrix input_gradient(const nn::Matrix& raw_features) const override;
 
@@ -83,6 +95,39 @@ class BiLstmForecaster final : public Forecaster {
                             nn::Dense::Cache& head1_cache,
                             nn::Dense::Cache& head2_cache) const;
 
+  /// Forward-cell recurrent state after `prefix_rows` rows of `scaled`,
+  /// served from (and recorded into) the prefix trail cache. Bit-identical
+  /// to advance() over those rows from the zero state.
+  nn::Lstm::PrefixState fwd_prefix_state(const nn::Matrix& scaled,
+                                         std::size_t prefix_rows) const;
+  /// Drops cached prefix trails and refreshes the mixed-precision weight
+  /// mirrors; must run after anything that mutates the weights.
+  void invalidate_scoring_state();
+
+  /// Memo of forward-cell prefix trails, content-addressed by the scaled
+  /// prefix rows. A greedy campaign probes the same base window at every
+  /// edit position; successive batches hit the trail (the state after EVERY
+  /// row) instead of re-advancing an ever-different prefix from scratch. A
+  /// hit is validated bitwise against the cached rows, so it returns exactly
+  /// the state advance() would recompute.
+  struct PrefixCache {
+    struct Entry {
+      nn::Matrix rows;                           ///< cached scaled prefix rows
+      std::vector<nn::Lstm::PrefixState> trail;  ///< trail[k] = state after k rows
+    };
+    static constexpr std::size_t kCapacity = 64;
+    std::mutex mu;
+    /// Kept in MRU order: most recently used at the back, eviction pops the
+    /// front. Lookups scan backward and stop at the first full hit.
+    std::vector<Entry> entries;
+
+    PrefixCache() = default;
+    // The cache is a memo, not model state: copies start cold (and the
+    // mutex is not copyable anyway — input_gradient copies the model).
+    PrefixCache(const PrefixCache&) {}
+    PrefixCache& operator=(const PrefixCache&) { return *this; }
+  };
+
   ForecasterConfig config_;
   data::MinMaxScaler scaler_;
   // Declared before the layers so member-initialization order guarantees a
@@ -91,6 +136,8 @@ class BiLstmForecaster final : public Forecaster {
   nn::BiLstm lstm_;
   nn::Dense head1_;
   nn::Dense head2_;
+  nn::Precision scoring_precision_ = nn::Precision::kDouble;
+  mutable PrefixCache prefix_cache_;
 };
 
 /// Fits the forecaster feature scaler on a training series, pinning the

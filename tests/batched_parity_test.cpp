@@ -149,6 +149,65 @@ TEST(BatchedParity, CampaignOutcomesIdenticalWithAndWithoutBatching) {
   }
 }
 
+TEST(BatchedParity, CrossWindowMergedBatchMatchesPerWindowBatches) {
+  // The lockstep campaign driver merges several base windows' probe sets
+  // into one predict_batch call. Every merged prediction must be bitwise
+  // identical to what the same probes produce in per-window calls.
+  const auto& f = fixture();
+  const std::size_t bases[] = {3, 9, 14};
+  const double values[] = {40.0, 120.0, 250.0, 380.0};
+
+  std::vector<std::vector<nn::Matrix>> per_window;
+  std::vector<nn::Matrix> merged;
+  for (const std::size_t b : bases) {
+    ASSERT_LT(b, f.windows.size());
+    const nn::Matrix& base = f.windows[b].features;
+    std::vector<nn::Matrix> probes;
+    for (std::size_t t = base.rows() - 3; t < base.rows(); ++t) {
+      for (const double value : values) {
+        probes.push_back(base);
+        probes.back()(t, 0) = value;
+      }
+    }
+    merged.insert(merged.end(), probes.begin(), probes.end());
+    per_window.push_back(std::move(probes));
+  }
+
+  const std::vector<double> merged_preds = f.model->predict_batch(merged);
+  ASSERT_EQ(merged_preds.size(), merged.size());
+  std::size_t offset = 0;
+  for (std::size_t w = 0; w < per_window.size(); ++w) {
+    const std::vector<double> solo = f.model->predict_batch(per_window[w]);
+    for (std::size_t vi = 0; vi < solo.size(); ++vi) {
+      EXPECT_EQ(merged_preds[offset + vi], solo[vi]) << "base=" << bases[w] << " vi=" << vi;
+    }
+    offset += solo.size();
+  }
+  EXPECT_EQ(offset, merged_preds.size());
+}
+
+TEST(BatchedParity, CampaignOutcomesIdenticalWithAndWithoutCrossWindowMerge) {
+  const auto& f = fixture();
+  attack::CampaignConfig merged_config;
+  merged_config.window_step = 2;
+  merged_config.attack.batched_probes = true;
+  merged_config.shard_size = 4;  // >= 2 windows per shard so lockstep engages
+  merged_config.cross_window_probes = true;
+  attack::CampaignConfig per_window_config = merged_config;
+  per_window_config.cross_window_probes = false;
+
+  common::ThreadPool pool(4);
+  const auto merged = attack::run_campaign(*f.model, f.windows, merged_config, pool);
+  const auto solo = attack::run_campaign(*f.model, f.windows, per_window_config, pool);
+  ASSERT_EQ(merged.size(), solo.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_same_decisions(solo[i].attack, merged[i].attack);
+    EXPECT_EQ(solo[i].attack.probes, merged[i].attack.probes) << "window " << i;
+    EXPECT_EQ(solo[i].true_state, merged[i].true_state);
+    EXPECT_EQ(solo[i].adversarial_predicted_state, merged[i].adversarial_predicted_state);
+  }
+}
+
 // --- randomized PrefixState property coverage -------------------------------
 //
 // The fixture tests above pin the batched path on realistic BGMS windows;

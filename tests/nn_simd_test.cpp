@@ -1,0 +1,294 @@
+// Pins the nn::simd dispatch layer: lane selection (env override semantics,
+// clean fallback for unrunnable lanes) and the BITWISE scalar-vs-vector
+// parity contract of every kernel, on randomized shapes including ragged
+// tails (sizes not divisible by the vector width) and exact-zero inputs.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/simd.hpp"
+
+namespace goodones::nn::simd {
+namespace {
+
+// --- lane selection ----------------------------------------------------------
+
+TEST(SimdDispatch, ScalarAlwaysCompiledAndRunnable) {
+  EXPECT_TRUE(isa_compiled(Isa::kScalar));
+  EXPECT_TRUE(isa_runnable(Isa::kScalar));
+  ASSERT_NE(table_for(Isa::kScalar), nullptr);
+  EXPECT_EQ(table_for(Isa::kScalar)->isa, Isa::kScalar);
+}
+
+TEST(SimdDispatch, ResolveHonorsScalarRequestAlways) {
+  EXPECT_EQ(resolve("scalar", true, true), Isa::kScalar);
+  EXPECT_EQ(resolve("scalar", false, false), Isa::kScalar);
+}
+
+TEST(SimdDispatch, ResolveHonorsRunnableVectorRequests) {
+  EXPECT_EQ(resolve("avx2", true, false), Isa::kAvx2);
+  EXPECT_EQ(resolve("avx2", true, true), Isa::kAvx2);
+  EXPECT_EQ(resolve("neon", false, true), Isa::kNeon);
+}
+
+TEST(SimdDispatch, ResolveFallsBackWhenRequestNotRunnable) {
+  // A lane this process cannot run falls back to the best runnable lane
+  // instead of failing.
+  EXPECT_EQ(resolve("avx2", false, true), Isa::kNeon);
+  EXPECT_EQ(resolve("avx2", false, false), Isa::kScalar);
+  EXPECT_EQ(resolve("neon", true, false), Isa::kAvx2);
+  EXPECT_EQ(resolve("neon", false, false), Isa::kScalar);
+}
+
+TEST(SimdDispatch, ResolveAutoPicksBestRunnableLane) {
+  for (const char* request : {static_cast<const char*>(nullptr), "", "bogus"}) {
+    EXPECT_EQ(resolve(request, true, true), Isa::kAvx2);
+    EXPECT_EQ(resolve(request, false, true), Isa::kNeon);
+    EXPECT_EQ(resolve(request, false, false), Isa::kScalar);
+  }
+}
+
+TEST(SimdDispatch, ActiveTableMatchesActiveIsa) {
+  const KernelTable& table = active();
+  EXPECT_EQ(table.isa, active_isa());
+  EXPECT_TRUE(isa_runnable(table.isa));
+}
+
+TEST(SimdDispatch, SetActiveForTestingRoundTrips) {
+  const Isa before = active_isa();
+  const Isa prev = set_active_for_testing(Isa::kScalar);
+  EXPECT_EQ(prev, before);
+  EXPECT_EQ(active_isa(), Isa::kScalar);
+  set_active_for_testing(before);
+  EXPECT_EQ(active_isa(), before);
+}
+
+TEST(SimdDispatch, IsaNamesAreStable) {
+  EXPECT_STREQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(isa_name(Isa::kNeon), "neon");
+}
+
+// --- bitwise scalar-vs-vector kernel parity ---------------------------------
+//
+// Every vector lane must be bitwise identical to the scalar lane — that is
+// the contract that lets the whole engine run under any lane without
+// perturbing a single pinned number. Shapes are randomized across vector
+// widths and ragged tails; inputs mix exact +0.0 / -0.0 with ordinary
+// values so branchless accumulation and sign-sensitive transcendental
+// splits get exercised.
+
+std::vector<double> random_values(std::size_t n, common::Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.10) {
+      x = 0.0;
+    } else if (roll < 0.15) {
+      x = -0.0;
+    } else {
+      x = rng.uniform(-2.5, 2.5);
+    }
+  }
+  return v;
+}
+
+std::vector<float> to_f32(const std::vector<double>& v) {
+  std::vector<float> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(v[i]);
+  return out;
+}
+
+void expect_bitwise(const std::vector<double>& scalar, const std::vector<double>& vec,
+                    const char* what, int trial) {
+  ASSERT_EQ(scalar.size(), vec.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(scalar[i]), std::bit_cast<std::uint64_t>(vec[i]))
+        << what << " trial=" << trial << " i=" << i << " scalar=" << scalar[i]
+        << " vector=" << vec[i];
+  }
+}
+
+/// The best runnable vector lane, or nullptr when this machine only has the
+/// scalar lane (parity tests then pass trivially — there is nothing to
+/// compare, which is itself the correct behavior of the fallback).
+const KernelTable* vector_table() {
+  if (isa_runnable(Isa::kAvx2)) return table_for(Isa::kAvx2);
+  if (isa_runnable(Isa::kNeon)) return table_for(Isa::kNeon);
+  return nullptr;
+}
+
+class SimdKernelParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vec_ = vector_table();
+    if (vec_ == nullptr) GTEST_SKIP() << "no vector lane runnable on this CPU";
+    scalar_ = table_for(Isa::kScalar);
+  }
+
+  const KernelTable* scalar_ = nullptr;
+  const KernelTable* vec_ = nullptr;
+};
+
+TEST_F(SimdKernelParity, MatmulAccBitwise) {
+  common::Rng rng(0x51D051D0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 17));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 37));
+    const auto a = random_values(m * k, rng);
+    const auto b = random_values(k * n, rng);
+    auto out_s = random_values(m * n, rng);
+    auto out_v = out_s;
+    scalar_->matmul_acc(a.data(), b.data(), out_s.data(), m, k, n);
+    vec_->matmul_acc(a.data(), b.data(), out_v.data(), m, k, n);
+    expect_bitwise(out_s, out_v, "matmul_acc", trial);
+  }
+}
+
+TEST_F(SimdKernelParity, MatmulBiasBitwise) {
+  common::Rng rng(0xB1A5B1A5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 17));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 37));
+    const auto a = random_values(m * k, rng);
+    const auto b = random_values(k * n, rng);
+    const auto bias = random_values(n, rng);
+    std::vector<double> out_s(m * n, 123.0);  // must be fully overwritten
+    std::vector<double> out_v(m * n, -77.0);
+    scalar_->matmul_bias(a.data(), b.data(), bias.data(), out_s.data(), m, k, n);
+    vec_->matmul_bias(a.data(), b.data(), bias.data(), out_v.data(), m, k, n);
+    expect_bitwise(out_s, out_v, "matmul_bias", trial);
+  }
+}
+
+TEST_F(SimdKernelParity, MatmulTaAccBitwise) {
+  common::Rng rng(0x7A7A7A);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto r = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 13));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 29));
+    const auto a = random_values(r * m, rng);
+    const auto b = random_values(r * n, rng);
+    auto out_s = random_values(m * n, rng);
+    auto out_v = out_s;
+    scalar_->matmul_ta_acc(a.data(), b.data(), out_s.data(), r, m, n);
+    vec_->matmul_ta_acc(a.data(), b.data(), out_v.data(), r, m, n);
+    expect_bitwise(out_s, out_v, "matmul_ta_acc", trial);
+  }
+}
+
+TEST_F(SimdKernelParity, MatmulTbAccBitwise) {
+  common::Rng rng(0x7B7B7B);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 33));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 13));
+    const auto a = random_values(m * k, rng);
+    const auto b = random_values(n * k, rng);
+    auto out_s = random_values(m * n, rng);
+    auto out_v = out_s;
+    scalar_->matmul_tb_acc(a.data(), b.data(), out_s.data(), m, k, n);
+    vec_->matmul_tb_acc(a.data(), b.data(), out_v.data(), m, k, n);
+    expect_bitwise(out_s, out_v, "matmul_tb_acc", trial);
+  }
+}
+
+TEST_F(SimdKernelParity, AxpyBitwise) {
+  common::Rng rng(0xA2B4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 41));
+    const double alpha = trial % 7 == 0 ? 0.0 : rng.uniform(-2.0, 2.0);
+    const auto x = random_values(n, rng);
+    auto y_s = random_values(n, rng);
+    auto y_v = y_s;
+    scalar_->axpy(alpha, x.data(), y_s.data(), n);
+    vec_->axpy(alpha, x.data(), y_v.data(), n);
+    expect_bitwise(y_s, y_v, "axpy", trial);
+  }
+}
+
+TEST_F(SimdKernelParity, LstmGatesBitwise) {
+  common::Rng rng(0x6A7E5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto h = static_cast<std::size_t>(rng.uniform_int(1, 19));
+    const auto pre = random_values(4 * h, rng);
+    auto cell_s = random_values(h, rng);
+    auto hidden_s = random_values(h, rng);
+    auto cell_v = cell_s;
+    auto hidden_v = hidden_s;
+    scalar_->lstm_gates(pre.data(), h, cell_s.data(), hidden_s.data());
+    vec_->lstm_gates(pre.data(), h, cell_v.data(), hidden_v.data());
+    expect_bitwise(cell_s, cell_v, "lstm_gates cell", trial);
+    expect_bitwise(hidden_s, hidden_v, "lstm_gates hidden", trial);
+  }
+}
+
+TEST_F(SimdKernelParity, LstmGatesCachedBitwise) {
+  common::Rng rng(0x6A7E5CAC);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto h = static_cast<std::size_t>(rng.uniform_int(1, 19));
+    const auto pre = random_values(4 * h, rng);
+    const auto cs0 = random_values(h, rng);
+    const auto hs0 = random_values(h, rng);
+
+    struct Out {
+      std::vector<double> gi, gf, gg, go, ct, ctt, ht, cs, hs;
+      explicit Out(std::size_t h, const std::vector<double>& cs0,
+                   const std::vector<double>& hs0)
+          : gi(h), gf(h), gg(h), go(h), ct(h), ctt(h), ht(h), cs(cs0), hs(hs0) {}
+    };
+    Out s(h, cs0, hs0);
+    Out v(h, cs0, hs0);
+    scalar_->lstm_gates_cached(pre.data(), h, s.gi.data(), s.gf.data(), s.gg.data(),
+                               s.go.data(), s.ct.data(), s.ctt.data(), s.ht.data(),
+                               s.cs.data(), s.hs.data());
+    vec_->lstm_gates_cached(pre.data(), h, v.gi.data(), v.gf.data(), v.gg.data(),
+                            v.go.data(), v.ct.data(), v.ctt.data(), v.ht.data(),
+                            v.cs.data(), v.hs.data());
+    expect_bitwise(s.gi, v.gi, "gates_cached gi", trial);
+    expect_bitwise(s.gf, v.gf, "gates_cached gf", trial);
+    expect_bitwise(s.gg, v.gg, "gates_cached gg", trial);
+    expect_bitwise(s.go, v.go, "gates_cached go", trial);
+    expect_bitwise(s.ct, v.ct, "gates_cached ct", trial);
+    expect_bitwise(s.ctt, v.ctt, "gates_cached ctt", trial);
+    expect_bitwise(s.ht, v.ht, "gates_cached ht", trial);
+    expect_bitwise(s.cs, v.cs, "gates_cached cs", trial);
+    expect_bitwise(s.hs, v.hs, "gates_cached hs", trial);
+  }
+}
+
+TEST_F(SimdKernelParity, MixedPrecisionKernelsBitwise) {
+  // The mixed lane is an approximation of the double kernels, but its
+  // scalar and vector implementations must still agree bitwise with each
+  // other — mixed-precision scoring must not additionally depend on the ISA.
+  common::Rng rng(0xF32F32);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 17));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 37));
+    const auto a = random_values(m * k, rng);
+    const auto b = to_f32(random_values(k * n, rng));
+    const auto bias = to_f32(random_values(n, rng));
+
+    auto acc_s = random_values(m * n, rng);
+    auto acc_v = acc_s;
+    scalar_->matmul_acc_f32w(a.data(), b.data(), acc_s.data(), m, k, n);
+    vec_->matmul_acc_f32w(a.data(), b.data(), acc_v.data(), m, k, n);
+    expect_bitwise(acc_s, acc_v, "matmul_acc_f32w", trial);
+
+    std::vector<double> bias_s(m * n, 5.0);
+    std::vector<double> bias_v(m * n, -5.0);
+    scalar_->matmul_bias_f32w(a.data(), b.data(), bias.data(), bias_s.data(), m, k, n);
+    vec_->matmul_bias_f32w(a.data(), b.data(), bias.data(), bias_v.data(), m, k, n);
+    expect_bitwise(bias_s, bias_v, "matmul_bias_f32w", trial);
+  }
+}
+
+}  // namespace
+}  // namespace goodones::nn::simd
