@@ -4,8 +4,10 @@
 // rows), and (c) predict_batch on probe batches with shared prefixes (the
 // greedy evasion shape), plus end-to-end greedy-campaign throughput across
 // the execution modes: scalar probes, per-window batched, cross-window
-// lockstep (one predict_batch per shard round), and lockstep with
-// mixed-precision scoring. Results land in BENCH_batched_inference.json
+// lockstep (one predict_batch per shard round), lockstep with
+// mixed-precision scoring, and lockstep with fast-math probes
+// (Precision::kFast polynomial gate transcendentals, final trajectories
+// re-verified exactly). Results land in BENCH_batched_inference.json
 // (name, iters, ns/op, probes/sec) so the speedup is tracked across PRs.
 #include "bench_common.hpp"
 
@@ -131,6 +133,10 @@ void run_campaign_modes(std::vector<bench::BenchRecord>& records) {
     bool batched;
     bool cross_window;
     nn::Precision precision;
+    /// Per-probe lane override (AttackConfig::probe_precision): unlike the
+    /// model-level `precision`, this keeps the final trajectories re-verified
+    /// through the exact model — the production fast-campaign shape.
+    std::optional<nn::Precision> probe_precision;
   };
 
   const auto run_mode = [&](const Mode& mode) {
@@ -138,6 +144,7 @@ void run_campaign_modes(std::vector<bench::BenchRecord>& records) {
     config.window_step = 2;
     config.attack.search = attack::SearchKind::kOrderedGreedy;
     config.attack.batched_probes = mode.batched;
+    config.attack.probe_precision = mode.probe_precision;
     config.cross_window_probes = mode.cross_window;
     config.shard_size = 16;  // lockstep merges up to 16 windows' probes per round
     f.model->set_scoring_precision(mode.precision);
@@ -157,13 +164,15 @@ void run_campaign_modes(std::vector<bench::BenchRecord>& records) {
   };
 
   const auto scalar =
-      run_mode({"greedy_campaign_scalar", false, false, nn::Precision::kDouble});
+      run_mode({"greedy_campaign_scalar", false, false, nn::Precision::kDouble, {}});
   const auto batched =
-      run_mode({"greedy_campaign_batched", true, false, nn::Precision::kDouble});
+      run_mode({"greedy_campaign_batched", true, false, nn::Precision::kDouble, {}});
   const auto lockstep =
-      run_mode({"greedy_campaign_lockstep", true, true, nn::Precision::kDouble});
+      run_mode({"greedy_campaign_lockstep", true, true, nn::Precision::kDouble, {}});
   const auto mixed =
-      run_mode({"greedy_campaign_lockstep_mixed", true, true, nn::Precision::kMixed});
+      run_mode({"greedy_campaign_lockstep_mixed", true, true, nn::Precision::kMixed, {}});
+  const auto fast = run_mode({"greedy_campaign_lockstep_fast", true, true,
+                              nn::Precision::kDouble, nn::Precision::kFast});
 
   const double speedup = lockstep.probes_per_sec / scalar.probes_per_sec;
   bench::BenchRecord ratio;
@@ -171,10 +180,17 @@ void run_campaign_modes(std::vector<bench::BenchRecord>& records) {
   ratio.iters = 1;
   ratio.probes_per_sec = speedup;
   records.push_back(ratio);
+  const double fast_speedup = fast.probes_per_sec / scalar.probes_per_sec;
+  bench::BenchRecord fast_ratio;
+  fast_ratio.name = "greedy_campaign_fast_speedup_x";
+  fast_ratio.iters = 1;
+  fast_ratio.probes_per_sec = fast_speedup;
+  records.push_back(fast_ratio);
   std::cout << "greedy campaign probes/sec: scalar " << scalar.probes_per_sec
             << ", batched " << batched.probes_per_sec << ", lockstep "
             << lockstep.probes_per_sec << ", lockstep+mixed " << mixed.probes_per_sec
-            << " -> " << speedup << "x (target >= 10x)\n";
+            << ", lockstep+fast " << fast.probes_per_sec << " -> " << speedup
+            << "x exact, " << fast_speedup << "x fast (target >= 10x)\n";
 }
 
 void BM_PredictScalar(benchmark::State& state) {

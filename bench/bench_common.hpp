@@ -66,15 +66,30 @@ struct BenchRecord {
   double probes_per_sec = 0.0;  ///< 0 when the bench has no probe notion
 };
 
+/// Human-readable name of a scoring precision for the bench JSON header.
+inline const char* precision_name(nn::Precision precision) {
+  switch (precision) {
+    case nn::Precision::kDouble: return "double";
+    case nn::Precision::kMixed: return "mixed";
+    case nn::Precision::kFast: return "fast";
+  }
+  return "unknown";
+}
+
 /// Persists timing records as BENCH_<name>.json at the repo root (falling
 /// back to the artifacts dir when built without the output-dir definition)
 /// so the perf trajectory stays machine-readable across PRs:
-///   {"git_sha", "isa", "benchmarks": [{"name", "iters", "ns_per_op",
-///    "probes_per_sec"}, ...]}
+///   {"git_sha", "isa", "precision", "benchmarks": [{"name", "iters",
+///    "ns_per_op", "probes_per_sec"}, ...]}
 /// git_sha is the configure-time commit; isa is the SIMD lane the numbers
 /// were measured under (scalar / avx2 / neon, after the GOODONES_SIMD env
-/// override) — two runs are only comparable when both fields match.
-inline void save_bench_json(const std::vector<BenchRecord>& records, const std::string& name) {
+/// override); precision is the DEFAULT scoring lane of the run ("double"
+/// unless the bench says otherwise — individual records may still cover
+/// other lanes, e.g. the *_mixed / *_fast campaign modes, which their names
+/// make explicit). Two runs are only comparable when all header fields
+/// match.
+inline void save_bench_json(const std::vector<BenchRecord>& records, const std::string& name,
+                            nn::Precision precision = nn::Precision::kDouble) {
   const std::string output_dir = GOODONES_BENCH_OUTPUT_DIR;
   const auto path = (output_dir.empty() ? core::artifacts_dir()
                                         : std::filesystem::path(output_dir)) /
@@ -85,7 +100,8 @@ inline void save_bench_json(const std::vector<BenchRecord>& records, const std::
   out.precision(17);
   const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
   out << "{\n  \"git_sha\": \"" << GOODONES_GIT_SHA << "\",\n  \"isa\": \""
-      << nn::simd::isa_name(nn::simd::active_isa()) << "\",\n  \"benchmarks\": [";
+      << nn::simd::isa_name(nn::simd::active_isa()) << "\",\n  \"precision\": \""
+      << precision_name(precision) << "\",\n  \"benchmarks\": [";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << r.name

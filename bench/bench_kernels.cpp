@@ -217,6 +217,43 @@ void record_kernel_lanes(std::vector<bench::BenchRecord>& records) {
       kt.lstm_gates(gate_pre.data(), h, cell.data(), hidden.data());
       benchmark::DoNotOptimize(hidden.data());
     }));
+
+    // The same fused gate row-step through the fast-math lane: this pair of
+    // records is the per-row-step cost the exp/tanh budget in
+    // docs/BENCHMARKS.md quotes.
+    records.push_back(time_kernel("lstm_gates_fast_h24_" + lane, reps, [&] {
+      kt.lstm_gates_fast(gate_pre.data(), h, cell.data(), hidden.data());
+      benchmark::DoNotOptimize(hidden.data());
+    }));
+
+    // Transcendental microbench over one gate row-step's worth of inputs
+    // (4h = 96 pre-activations): the vectorized polynomial kernels per lane.
+    std::vector<double> trans_out(4 * h);
+    records.push_back(time_kernel("fast_exp_96_" + lane, reps, [&] {
+      kt.fast_exp_n(gate_pre.data(), trans_out.data(), 4 * h);
+      benchmark::DoNotOptimize(trans_out.data());
+    }));
+    records.push_back(time_kernel("fast_tanh_96_" + lane, reps, [&] {
+      kt.fast_tanh_n(gate_pre.data(), trans_out.data(), 4 * h);
+      benchmark::DoNotOptimize(trans_out.data());
+    }));
+  }
+
+  // The glibc baseline the fast lane is measured against: scalar libm
+  // exp/tanh over the same 96 inputs (what every exact lane pays per gate
+  // row-step, since exact kernels always call scalar libm transcendentals).
+  {
+    const nn::Matrix pre_row = random_matrix(1, 4 * h, rng);
+    std::vector<double> out(4 * h);
+    const std::size_t reps = bench::bench_reps(20000);
+    records.push_back(time_kernel("exp_glibc_96", reps, [&] {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::exp(pre_row.data()[i]);
+      benchmark::DoNotOptimize(out.data());
+    }));
+    records.push_back(time_kernel("tanh_glibc_96", reps, [&] {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(pre_row.data()[i]);
+      benchmark::DoNotOptimize(out.data());
+    }));
   }
 
   // pack_step_major: the contiguous single-block memcpy fast path vs the

@@ -64,7 +64,7 @@ void attack_shard_lockstep(const predict::Forecaster& model, const EvasionAttack
     }
     if (active.empty()) break;
     const std::vector<double> preds =
-        model.predict_batch(std::span<const nn::Matrix>(probes.data(), used));
+        attack.probe_batch(model, std::span<const nn::Matrix>(probes.data(), used));
     std::size_t offset = 0;
     for (const std::size_t i : active) {
       const std::size_t count = searches[i].values().size();
@@ -73,6 +73,23 @@ void attack_shard_lockstep(const predict::Forecaster& model, const EvasionAttack
     }
   }
   for (std::size_t i = 0; i < n; ++i) results[i] = searches[i].take_result();
+
+  // Probes in an approximation lane only steered the searches; the numbers a
+  // campaign reports must be exact. Re-score every final trajectory as one
+  // exact batch and re-derive success (cheaper than per-window predict() —
+  // the shard's finals ride the same batched path the probes used).
+  if (attack.probes_need_verification()) {
+    std::vector<nn::Matrix> finals;
+    finals.reserve(n);
+    for (const AttackResult& r : results) finals.push_back(r.adversarial_features);
+    const std::vector<double> exact = model.predict_batch(finals);
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i].adversarial_prediction = exact[i];
+      ++results[i].probes;
+      results[i].success =
+          exact[i] > attack.config().success_threshold(windows[i]->regime);
+    }
+  }
 }
 
 }  // namespace

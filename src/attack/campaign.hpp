@@ -22,6 +22,11 @@ struct WindowOutcome {
 };
 
 struct CampaignConfig {
+  /// Per-window attack settings. attack.probe_precision also governs the
+  /// campaign's merged lockstep probes — with an approximation lane (e.g.
+  /// nn::Precision::kFast) every shard re-scores its final trajectories as
+  /// one exact batch before reporting, so summarize() and the risk profiler
+  /// only ever see full-double numbers.
   AttackConfig attack;
   /// Stride over the eligible windows (campaigns attack every n-th window;
   /// 1 attacks everything).

@@ -179,6 +179,26 @@ void OrderedGreedySearch::consume(std::span<const double> candidate_preds) {
   }
 }
 
+std::vector<double> EvasionAttack::probe_batch(const predict::Forecaster& model,
+                                               std::span<const nn::Matrix> probes) const {
+  return config_.probe_precision.has_value()
+             ? model.predict_batch(probes, *config_.probe_precision)
+             : model.predict_batch(probes);
+}
+
+bool EvasionAttack::probes_need_verification() const noexcept {
+  return config_.batched_probes && config_.probe_precision.has_value() &&
+         *config_.probe_precision != nn::Precision::kDouble;
+}
+
+void EvasionAttack::verify_result(const predict::Forecaster& model, data::Regime regime,
+                                  AttackResult& result) const {
+  if (!probes_need_verification()) return;
+  result.adversarial_prediction = model.predict(result.adversarial_features);
+  ++result.probes;
+  result.success = result.adversarial_prediction > config_.success_threshold(regime);
+}
+
 std::vector<double> EvasionAttack::probe_position(const predict::Forecaster& model,
                                                   const nn::Matrix& base,
                                                   std::size_t t,
@@ -193,7 +213,7 @@ std::vector<double> EvasionAttack::probe_position(const predict::Forecaster& mod
     probes[vi](t, config_.target_channel) = values[vi];
   }
   result.probes += probes.size();
-  return model.predict_batch(probes);
+  return probe_batch(model, probes);
 }
 
 AttackResult EvasionAttack::run_ordered_greedy(const predict::Forecaster& model,
@@ -215,10 +235,12 @@ AttackResult EvasionAttack::run_ordered_greedy(const predict::Forecaster& model,
         probes[vi] = search.features();
         probes[vi](t, config_.target_channel) = values[vi];
       }
-      const std::vector<double> preds = model.predict_batch(probes);
+      const std::vector<double> preds = probe_batch(model, probes);
       search.consume(preds);
     }
-    return search.take_result();
+    AttackResult result = search.take_result();
+    verify_result(model, window.regime, result);
+    return result;
   }
 
   // Scalar reference path: one predict() per candidate, early exit mid-batch.
@@ -348,10 +370,12 @@ AttackResult EvasionAttack::run_greedy(const predict::Forecaster& model,
     ++result.edits;
     if (best_pred > config_.success_threshold(window.regime)) {
       result.success = true;
+      verify_result(model, window.regime, result);
       return result;
     }
   }
   result.success = result.adversarial_prediction > config_.success_threshold(window.regime);
+  verify_result(model, window.regime, result);
   return result;
 }
 
@@ -418,10 +442,12 @@ AttackResult EvasionAttack::run_beam(const predict::Forecaster& model,
     }
     if (result.adversarial_prediction > config_.success_threshold(window.regime)) {
       result.success = true;
+      verify_result(model, window.regime, result);
       return result;
     }
   }
   result.success = result.adversarial_prediction > config_.success_threshold(window.regime);
+  verify_result(model, window.regime, result);
   return result;
 }
 

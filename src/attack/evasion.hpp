@@ -84,6 +84,24 @@ class EvasionAttack {
                                   const data::Window& window,
                                   double benign_prediction) const;
 
+  /// Evaluates probe windows in the configured probe lane: an explicit
+  /// predict_batch precision when config().probe_precision is set, the
+  /// model's own scoring mode otherwise. Every batched candidate probe —
+  /// per-window and campaign-lockstep alike — goes through here.
+  std::vector<double> probe_batch(const predict::Forecaster& model,
+                                  std::span<const nn::Matrix> probes) const;
+
+  /// True when batched probes run in an approximation lane, i.e. finished
+  /// searches must have their reported numbers re-verified through the
+  /// exact model.
+  bool probes_need_verification() const noexcept;
+
+  /// Exact re-verification of a finished search: recomputes the adversarial
+  /// prediction with predict() (always full double) and re-derives success
+  /// against the regime's threshold. No-op unless probes_need_verification().
+  void verify_result(const predict::Forecaster& model, data::Regime regime,
+                     AttackResult& result) const;
+
  private:
   /// Edit-position order of the position-ordered searches: back-to-front
   /// for kOrderedGreedy, |dPrediction/dInput|-sorted for kGradientGuided.

@@ -21,10 +21,16 @@
 #include <cstddef>
 
 #include "nn/kernels/scalar.hpp"
+#include "nn/kernels/transcendental.hpp"
 
 namespace goodones::nn::simd::avx2_kernels {
 
 #define GOODONES_AVX2 __attribute__((target("avx2")))
+// The fast-math lane is allowed (required, for cross-lane bitwise identity
+// with the scalar fast kernels' std::fma) to use fused multiply-add, so its
+// kernels carry the fma target on top of avx2. isa_runnable gates the whole
+// AVX2 table on both cpuid bits.
+#define GOODONES_AVX2_FMA __attribute__((target("avx2,fma")))
 
 /// 4-lane sigmoid matching the scalar sign-split form bit for bit: the exp
 /// argument is -|x| in both branches (identical to -x for x >= 0 and to x
@@ -34,7 +40,7 @@ GOODONES_AVX2 inline __m256d sigmoid4(__m256d x) noexcept {
   alignas(32) double lanes[4];
   _mm256_store_pd(lanes, x);
   alignas(32) double zbuf[4];
-  for (int l = 0; l < 4; ++l) zbuf[l] = std::exp(-std::fabs(lanes[l]));
+  tmath::libm_exp_neg_abs(lanes, zbuf, 4);
   const __m256d z = _mm256_load_pd(zbuf);
   const __m256d one = _mm256_set1_pd(1.0);
   const __m256d denom = _mm256_add_pd(one, z);
@@ -47,7 +53,7 @@ GOODONES_AVX2 inline __m256d sigmoid4(__m256d x) noexcept {
 GOODONES_AVX2 inline __m256d tanh4(__m256d x) noexcept {
   alignas(32) double lanes[4];
   _mm256_store_pd(lanes, x);
-  for (int l = 0; l < 4; ++l) lanes[l] = std::tanh(lanes[l]);
+  tmath::libm_tanh_inplace(lanes, 4);
   return _mm256_load_pd(lanes);
 }
 
@@ -206,15 +212,7 @@ GOODONES_AVX2 inline void lstm_gates(const double* pre, std::size_t h, double* c
     _mm256_storeu_pd(cell + j, ct);
     _mm256_storeu_pd(hidden + j, _mm256_mul_pd(go, tanh4(ct)));
   }
-  for (; j < h; ++j) {
-    const double gi = scalar_kernels::sigmoid(pre[j]);
-    const double gf = scalar_kernels::sigmoid(pre[h + j]);
-    const double gg = std::tanh(pre[2 * h + j]);
-    const double go = scalar_kernels::sigmoid(pre[3 * h + j]);
-    const double ct = gf * cell[j] + gi * gg;
-    cell[j] = ct;
-    hidden[j] = go * std::tanh(ct);
-  }
+  tmath::lstm_gates_range(pre, h, j, cell, hidden);
 }
 
 GOODONES_AVX2 inline void lstm_gates_cached(const double* pre, std::size_t h, double* gi,
@@ -240,17 +238,7 @@ GOODONES_AVX2 inline void lstm_gates_cached(const double* pre, std::size_t h, do
     _mm256_storeu_pd(cs + j, vct);
     _mm256_storeu_pd(hs + j, vht);
   }
-  for (; j < h; ++j) {
-    gi[j] = scalar_kernels::sigmoid(pre[j]);
-    gf[j] = scalar_kernels::sigmoid(pre[h + j]);
-    gg[j] = std::tanh(pre[2 * h + j]);
-    go[j] = scalar_kernels::sigmoid(pre[3 * h + j]);
-    ct[j] = gf[j] * cs[j] + gi[j] * gg[j];
-    ctt[j] = std::tanh(ct[j]);
-    ht[j] = go[j] * ctt[j];
-    cs[j] = ct[j];
-    hs[j] = ht[j];
-  }
+  tmath::lstm_gates_cached_range(pre, h, j, gi, gf, gg, go, ct, ctt, ht, cs, hs);
 }
 
 GOODONES_AVX2 inline void matmul_acc_f32w(const double* a, const float* b, double* out,
@@ -305,7 +293,140 @@ GOODONES_AVX2 inline void matmul_bias_f32w(const double* a, const float* b, cons
   }
 }
 
+// --- fast lane (Precision::kFast): 4-wide polynomial transcendentals -------
+//
+// Same operation sequence as tmath::fast_exp/fast_tanh/fast_sigmoid — clamp,
+// shifter-trick reduction, Horner-with-fma core, two-step 2^n scaling, then
+// overflow/underflow/NaN selects in that order — so the four lanes land
+// bitwise identical to the scalar fast lane.
+
+GOODONES_AVX2_FMA inline __m256d fast_exp4(__m256d x) noexcept {
+  __m256d xc = _mm256_min_pd(x, _mm256_set1_pd(tmath::kFastExpHiClamp));
+  xc = _mm256_max_pd(xc, _mm256_set1_pd(tmath::kFastExpLoClamp));
+  const __m256d shifter = _mm256_set1_pd(tmath::kFastExpShifter);
+  const __m256d nd = _mm256_sub_pd(
+      _mm256_fmadd_pd(xc, _mm256_set1_pd(tmath::kFastExpLog2e), shifter), shifter);
+  __m256d r = _mm256_fmadd_pd(nd, _mm256_set1_pd(-tmath::kFastExpLn2Hi), xc);
+  r = _mm256_fmadd_pd(nd, _mm256_set1_pd(-tmath::kFastExpLn2Lo), r);
+  __m256d p = _mm256_set1_pd(tmath::kFastExpPoly[0]);
+  for (std::size_t i = 1; i < sizeof(tmath::kFastExpPoly) / sizeof(double); ++i) {
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(tmath::kFastExpPoly[i]));
+  }
+  // Two-step 2^n from the (exact-integer) nd: n fits in int32 after the
+  // clamp, and the halves' floor division matches the scalar n >> 1.
+  const __m128i n32 = _mm256_cvtpd_epi32(nd);
+  const __m128i n1 = _mm_srai_epi32(n32, 1);
+  const __m128i n2 = _mm_sub_epi32(n32, n1);
+  const __m256i bias = _mm256_set1_epi64x(1023);
+  const __m256d scale1 = _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(_mm256_cvtepi32_epi64(n1), bias), 52));
+  const __m256d scale2 = _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(_mm256_cvtepi32_epi64(n2), bias), 52));
+  __m256d result = _mm256_mul_pd(_mm256_mul_pd(p, scale1), scale2);
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  result = _mm256_blendv_pd(
+      result, inf, _mm256_cmp_pd(x, _mm256_set1_pd(tmath::kFastExpOverflow), _CMP_GT_OQ));
+  result = _mm256_blendv_pd(
+      result, _mm256_setzero_pd(),
+      _mm256_cmp_pd(x, _mm256_set1_pd(tmath::kFastExpUnderflow), _CMP_LT_OQ));
+  result = _mm256_blendv_pd(result, x, _mm256_cmp_pd(x, x, _CMP_UNORD_Q));
+  return result;
+}
+
+GOODONES_AVX2_FMA inline __m256d fast_tanh4(__m256d x) noexcept {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d ax = _mm256_andnot_pd(sign_mask, x);
+  const __m256d u = _mm256_add_pd(ax, ax);
+  __m256d q = _mm256_set1_pd(tmath::kFastExpm1Poly[0]);
+  for (std::size_t i = 1; i < sizeof(tmath::kFastExpm1Poly) / sizeof(double); ++i) {
+    q = _mm256_fmadd_pd(q, u, _mm256_set1_pd(tmath::kFastExpm1Poly[i]));
+  }
+  const __m256d p_small = _mm256_mul_pd(u, q);
+  const __m256d p_big = _mm256_sub_pd(fast_exp4(u), _mm256_set1_pd(1.0));
+  const __m256d small =
+      _mm256_cmp_pd(ax, _mm256_set1_pd(tmath::kFastTanhSmall), _CMP_LT_OQ);
+  const __m256d p = _mm256_blendv_pd(p_big, p_small, small);
+  __m256d r = _mm256_div_pd(p, _mm256_add_pd(p, _mm256_set1_pd(2.0)));
+  r = _mm256_blendv_pd(
+      r, _mm256_set1_pd(1.0),
+      _mm256_cmp_pd(ax, _mm256_set1_pd(tmath::kFastTanhSaturate), _CMP_GE_OQ));
+  r = _mm256_or_pd(r, _mm256_and_pd(sign_mask, x));  // r >= 0: OR == copysign
+  r = _mm256_blendv_pd(r, x, _mm256_cmp_pd(x, x, _CMP_UNORD_Q));
+  return r;
+}
+
+GOODONES_AVX2_FMA inline __m256d fast_sigmoid4(__m256d x) noexcept {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d z = fast_exp4(_mm256_or_pd(_mm256_andnot_pd(sign_mask, x), sign_mask));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d denom = _mm256_add_pd(one, z);
+  const __m256d pos = _mm256_div_pd(one, denom);
+  const __m256d neg = _mm256_div_pd(z, denom);
+  const __m256d ge = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_GE_OQ);
+  return _mm256_blendv_pd(neg, pos, ge);
+}
+
+GOODONES_AVX2_FMA inline void lstm_gates_fast(const double* pre, std::size_t h, double* cell,
+                                              double* hidden) {
+  std::size_t j = 0;
+  for (; j + 4 <= h; j += 4) {
+    const __m256d gi = fast_sigmoid4(_mm256_loadu_pd(pre + j));
+    const __m256d gf = fast_sigmoid4(_mm256_loadu_pd(pre + h + j));
+    const __m256d gg = fast_tanh4(_mm256_loadu_pd(pre + 2 * h + j));
+    const __m256d go = fast_sigmoid4(_mm256_loadu_pd(pre + 3 * h + j));
+    const __m256d ct = _mm256_fmadd_pd(gf, _mm256_loadu_pd(cell + j), _mm256_mul_pd(gi, gg));
+    _mm256_storeu_pd(cell + j, ct);
+    _mm256_storeu_pd(hidden + j, _mm256_mul_pd(go, fast_tanh4(ct)));
+  }
+  tmath::lstm_gates_fast_range(pre, h, j, cell, hidden);
+}
+
+GOODONES_AVX2_FMA inline void lstm_gates_cached_fast(const double* pre, std::size_t h,
+                                                     double* gi, double* gf, double* gg,
+                                                     double* go, double* ct, double* ctt,
+                                                     double* ht, double* cs, double* hs) {
+  std::size_t j = 0;
+  for (; j + 4 <= h; j += 4) {
+    const __m256d vgi = fast_sigmoid4(_mm256_loadu_pd(pre + j));
+    const __m256d vgf = fast_sigmoid4(_mm256_loadu_pd(pre + h + j));
+    const __m256d vgg = fast_tanh4(_mm256_loadu_pd(pre + 2 * h + j));
+    const __m256d vgo = fast_sigmoid4(_mm256_loadu_pd(pre + 3 * h + j));
+    const __m256d vct = _mm256_fmadd_pd(vgf, _mm256_loadu_pd(cs + j), _mm256_mul_pd(vgi, vgg));
+    const __m256d vctt = fast_tanh4(vct);
+    const __m256d vht = _mm256_mul_pd(vgo, vctt);
+    _mm256_storeu_pd(gi + j, vgi);
+    _mm256_storeu_pd(gf + j, vgf);
+    _mm256_storeu_pd(gg + j, vgg);
+    _mm256_storeu_pd(go + j, vgo);
+    _mm256_storeu_pd(ct + j, vct);
+    _mm256_storeu_pd(ctt + j, vctt);
+    _mm256_storeu_pd(ht + j, vht);
+    _mm256_storeu_pd(cs + j, vct);
+    _mm256_storeu_pd(hs + j, vht);
+  }
+  tmath::lstm_gates_cached_fast_range(pre, h, j, gi, gf, gg, go, ct, ctt, ht, cs, hs);
+}
+
+GOODONES_AVX2_FMA inline void fast_exp_n(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_pd(out + i, fast_exp4(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = tmath::fast_exp(x[i]);
+}
+
+GOODONES_AVX2_FMA inline void fast_tanh_n(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_pd(out + i, fast_tanh4(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = tmath::fast_tanh(x[i]);
+}
+
+GOODONES_AVX2_FMA inline void fast_sigmoid_n(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_pd(out + i, fast_sigmoid4(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = tmath::fast_sigmoid(x[i]);
+}
+
 #undef GOODONES_AVX2
+#undef GOODONES_AVX2_FMA
 
 }  // namespace goodones::nn::simd::avx2_kernels
 

@@ -11,18 +11,14 @@
 #include <cmath>
 #include <cstddef>
 
+#include "nn/kernels/transcendental.hpp"
+
 namespace goodones::nn::simd::scalar_kernels {
 
 /// Same sign-split formulation as nn::sigmoid (activations.hpp): one shared
-/// definition keeps every lane's transcendental arguments identical.
-inline double sigmoid(double x) noexcept {
-  if (x >= 0.0) {
-    const double z = std::exp(-x);
-    return 1.0 / (1.0 + z);
-  }
-  const double z = std::exp(x);
-  return z / (1.0 + z);
-}
+/// definition (tmath::libm_sigmoid) keeps every lane's transcendental
+/// arguments identical.
+inline double sigmoid(double x) noexcept { return tmath::libm_sigmoid(x); }
 
 inline void matmul_acc(const double* a, const double* b, double* out, std::size_t m,
                        std::size_t k, std::size_t n) {
@@ -86,31 +82,37 @@ inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
 }
 
 inline void lstm_gates(const double* pre, std::size_t h, double* cell, double* hidden) {
-  for (std::size_t j = 0; j < h; ++j) {
-    const double gi = sigmoid(pre[j]);
-    const double gf = sigmoid(pre[h + j]);
-    const double gg = std::tanh(pre[2 * h + j]);
-    const double go = sigmoid(pre[3 * h + j]);
-    const double ct = gf * cell[j] + gi * gg;
-    cell[j] = ct;
-    hidden[j] = go * std::tanh(ct);
-  }
+  tmath::lstm_gates_range(pre, h, 0, cell, hidden);
 }
 
 inline void lstm_gates_cached(const double* pre, std::size_t h, double* gi, double* gf,
                               double* gg, double* go, double* ct, double* ctt, double* ht,
                               double* cs, double* hs) {
-  for (std::size_t j = 0; j < h; ++j) {
-    gi[j] = sigmoid(pre[j]);
-    gf[j] = sigmoid(pre[h + j]);
-    gg[j] = std::tanh(pre[2 * h + j]);
-    go[j] = sigmoid(pre[3 * h + j]);
-    ct[j] = gf[j] * cs[j] + gi[j] * gg[j];
-    ctt[j] = std::tanh(ct[j]);
-    ht[j] = go[j] * ctt[j];
-    cs[j] = ct[j];
-    hs[j] = ht[j];
-  }
+  tmath::lstm_gates_cached_range(pre, h, 0, gi, gf, gg, go, ct, ctt, ht, cs, hs);
+}
+
+// --- fast lane (Precision::kFast): polynomial transcendentals ---------------
+
+inline void lstm_gates_fast(const double* pre, std::size_t h, double* cell, double* hidden) {
+  tmath::lstm_gates_fast_range(pre, h, 0, cell, hidden);
+}
+
+inline void lstm_gates_cached_fast(const double* pre, std::size_t h, double* gi, double* gf,
+                                   double* gg, double* go, double* ct, double* ctt, double* ht,
+                                   double* cs, double* hs) {
+  tmath::lstm_gates_cached_fast_range(pre, h, 0, gi, gf, gg, go, ct, ctt, ht, cs, hs);
+}
+
+inline void fast_exp_n(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmath::fast_exp(x[i]);
+}
+
+inline void fast_tanh_n(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmath::fast_tanh(x[i]);
+}
+
+inline void fast_sigmoid_n(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmath::fast_sigmoid(x[i]);
 }
 
 inline void matmul_acc_f32w(const double* a, const float* b, double* out, std::size_t m,

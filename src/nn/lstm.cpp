@@ -116,7 +116,7 @@ void Lstm::advance_recording(PrefixState& state, const Matrix& x,
 }
 
 Matrix Lstm::run_batch(std::span<const Matrix> sequences, const PrefixState& start,
-                       std::size_t first_row) const {
+                       std::size_t first_row, Precision precision) const {
   GO_EXPECTS(!sequences.empty());
   // Every sequence resumes from the same snapshot: the single-cluster
   // special case of run_batch_multi.
@@ -124,7 +124,7 @@ Matrix Lstm::run_batch(std::span<const Matrix> sequences, const PrefixState& sta
   seq_ptrs.reserve(sequences.size());
   for (const Matrix& s : sequences) seq_ptrs.push_back(&s);
   const std::vector<const PrefixState*> start_ptrs(sequences.size(), &start);
-  return run_batch_multi(seq_ptrs, start_ptrs, first_row);
+  return run_batch_multi(seq_ptrs, start_ptrs, first_row, precision);
 }
 
 Matrix Lstm::run_batch(std::span<const Matrix> sequences) const {
@@ -146,6 +146,8 @@ Matrix Lstm::run_batch_multi(std::span<const Matrix* const> sequences,
   const simd::KernelTable& kt = simd::active();
   const bool mixed = precision == Precision::kMixed;
   if (mixed) GO_EXPECTS(mixed_ready());
+  // kFast keeps the double GEMMs and swaps only the gate transcendentals.
+  const auto gates = precision == Precision::kFast ? kt.lstm_gates_fast : kt.lstm_gates;
 
   Matrix h_state(batch, h);
   Matrix c_state(batch, h);
@@ -187,7 +189,7 @@ Matrix Lstm::run_batch_multi(std::span<const Matrix* const> sequences,
       }
     }
     for (std::size_t i = 0; i < batch; ++i) {
-      kt.lstm_gates(pre.row(i).data(), h, c_state.row(i).data(), h_state.row(i).data());
+      gates(pre.row(i).data(), h, c_state.row(i).data(), h_state.row(i).data());
     }
   }
   return h_state;
@@ -200,6 +202,7 @@ Matrix Lstm::first_step_batch(const Matrix& rows, Precision precision) const {
   const simd::KernelTable& kt = simd::active();
   const bool mixed = precision == Precision::kMixed;
   if (mixed) GO_EXPECTS(mixed_ready());
+  const auto gates = precision == Precision::kFast ? kt.lstm_gates_fast : kt.lstm_gates;
 
   // From the zero state there is no recurrent term: one projection GEMM and
   // one gate pass per row gives every sequence's first hidden state.
@@ -214,7 +217,7 @@ Matrix Lstm::first_step_batch(const Matrix& rows, Precision precision) const {
   Matrix h_state(n, h);
   Matrix c_state(n, h);
   for (std::size_t i = 0; i < n; ++i) {
-    kt.lstm_gates(pre.row(i).data(), h, c_state.row(i).data(), h_state.row(i).data());
+    gates(pre.row(i).data(), h, c_state.row(i).data(), h_state.row(i).data());
   }
   return h_state;
 }
@@ -234,9 +237,10 @@ bool Lstm::mixed_ready() const noexcept {
          b_f32_.size() == b_.value.size() && !wx_f32_.empty();
 }
 
-void Lstm::forward_batch_cached(std::span<const Matrix> sequences,
-                                std::vector<Cache>& caches) const {
+void Lstm::forward_batch_cached(std::span<const Matrix> sequences, std::vector<Cache>& caches,
+                                Precision precision) const {
   GO_EXPECTS(!sequences.empty());
+  GO_EXPECTS(precision != Precision::kMixed);  // no f32w path for cached forwards
   const std::size_t batch = sequences.size();
   const std::size_t steps = sequences.front().rows();
   GO_EXPECTS(steps > 0);
@@ -268,6 +272,8 @@ void Lstm::forward_batch_cached(std::span<const Matrix> sequences,
   const Matrix packed = pack_step_major(sequences, 0, steps);
   const Matrix pre_proj = matmul_bias(packed, w_x_.value, b_.value);
   const simd::KernelTable& kt = simd::active();
+  const auto gates_cached =
+      precision == Precision::kFast ? kt.lstm_gates_cached_fast : kt.lstm_gates_cached;
 
   Matrix h_state(batch, h);
   Matrix c_state(batch, h);
@@ -278,11 +284,11 @@ void Lstm::forward_batch_cached(std::span<const Matrix> sequences,
     if (t > 0) matmul_accumulate(h_state, w_h_.value, pre);
     for (std::size_t i = 0; i < batch; ++i) {
       Cache& cache = caches[i];
-      kt.lstm_gates_cached(pre.row(i).data(), h, cache.gate_i.row(t).data(),
-                           cache.gate_f.row(t).data(), cache.gate_g.row(t).data(),
-                           cache.gate_o.row(t).data(), cache.cell.row(t).data(),
-                           cache.cell_tanh.row(t).data(), cache.hidden.row(t).data(),
-                           c_state.row(i).data(), h_state.row(i).data());
+      gates_cached(pre.row(i).data(), h, cache.gate_i.row(t).data(),
+                   cache.gate_f.row(t).data(), cache.gate_g.row(t).data(),
+                   cache.gate_o.row(t).data(), cache.cell.row(t).data(),
+                   cache.cell_tanh.row(t).data(), cache.hidden.row(t).data(),
+                   c_state.row(i).data(), h_state.row(i).data());
     }
   }
 }

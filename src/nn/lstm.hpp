@@ -75,8 +75,11 @@ class Lstm {
   /// hidden state of each sequence as rows of a (B x H) matrix —
   /// bit-identical to running forward() over each full sequence and taking
   /// the last row. first_row == rows() returns the snapshot replicated.
+  /// Non-default `precision` selects an approximation lane (see
+  /// run_batch_multi); the default stays bit-exact.
   Matrix run_batch(std::span<const Matrix> sequences, const PrefixState& start,
-                   std::size_t first_row = 0) const;
+                   std::size_t first_row = 0,
+                   Precision precision = Precision::kDouble) const;
 
   /// run_batch from the zero state (whole sequences, no shared prefix).
   Matrix run_batch(std::span<const Matrix> sequences) const;
@@ -89,7 +92,10 @@ class Lstm {
   /// every cluster's tails into a single call. Bit-identical per sequence to
   /// run_batch over that sequence's own cluster. Precision::kMixed runs the
   /// projection/recurrent GEMMs against the float32 weight mirrors
-  /// (sync_mixed_weights() first) — an approximation lane, not bit-stable.
+  /// (sync_mixed_weights() first); Precision::kFast keeps the double GEMMs
+  /// and swaps the gate transcendentals for the vectorized polynomial
+  /// kernels (no weight mirrors needed). Both are approximation lanes, not
+  /// bit-stable against the kDouble reference.
   Matrix run_batch_multi(std::span<const Matrix* const> sequences,
                          std::span<const PrefixState* const> starts, std::size_t first_row,
                          Precision precision = Precision::kDouble) const;
@@ -116,9 +122,11 @@ class Lstm {
   /// recurrent step as one (B x 4H) GEMM per timestep. Outputs and caches
   /// are bit-identical to calling forward_cached() per sequence — this is
   /// what lets MAD-GAN batch its latent inversion across a request's
-  /// windows without perturbing a single score.
-  void forward_batch_cached(std::span<const Matrix> sequences,
-                            std::vector<Cache>& caches) const;
+  /// windows without perturbing a single score. Precision::kFast swaps the
+  /// gate transcendentals for the polynomial kernels (scoring-only callers;
+  /// kMixed is not supported here).
+  void forward_batch_cached(std::span<const Matrix> sequences, std::vector<Cache>& caches,
+                            Precision precision = Precision::kDouble) const;
 
   /// Backpropagation through time. `grad_hidden` holds dLoss/dh_t for every
   /// timestep (T x hidden_dim; rows may be zero when only some steps feed

@@ -24,6 +24,11 @@ constexpr KernelTable kScalarTable = {
     &scalar_kernels::lstm_gates_cached,
     &scalar_kernels::matmul_acc_f32w,
     &scalar_kernels::matmul_bias_f32w,
+    &scalar_kernels::lstm_gates_fast,
+    &scalar_kernels::lstm_gates_cached_fast,
+    &scalar_kernels::fast_exp_n,
+    &scalar_kernels::fast_tanh_n,
+    &scalar_kernels::fast_sigmoid_n,
 };
 
 #ifdef GOODONES_SIMD_HAS_AVX2
@@ -38,6 +43,11 @@ constexpr KernelTable kAvx2Table = {
     &avx2_kernels::lstm_gates_cached,
     &avx2_kernels::matmul_acc_f32w,
     &avx2_kernels::matmul_bias_f32w,
+    &avx2_kernels::lstm_gates_fast,
+    &avx2_kernels::lstm_gates_cached_fast,
+    &avx2_kernels::fast_exp_n,
+    &avx2_kernels::fast_tanh_n,
+    &avx2_kernels::fast_sigmoid_n,
 };
 #endif
 
@@ -53,6 +63,11 @@ constexpr KernelTable kNeonTable = {
     &neon_kernels::lstm_gates_cached,
     &neon_kernels::matmul_acc_f32w,
     &neon_kernels::matmul_bias_f32w,
+    &neon_kernels::lstm_gates_fast,
+    &neon_kernels::lstm_gates_cached_fast,
+    &neon_kernels::fast_exp_n,
+    &neon_kernels::fast_tanh_n,
+    &neon_kernels::fast_sigmoid_n,
 };
 #endif
 
@@ -104,7 +119,9 @@ bool isa_runnable(Isa isa) noexcept {
       return true;
     case Isa::kAvx2:
 #ifdef GOODONES_SIMD_HAS_AVX2
-      return __builtin_cpu_supports("avx2") != 0;
+      // The fast-math table entries use FMA; every AVX2-capable CPU in
+      // practice has it, but gate on both cpuid bits to be exact.
+      return __builtin_cpu_supports("avx2") != 0 && __builtin_cpu_supports("fma") != 0;
 #else
       return false;
 #endif

@@ -15,10 +15,13 @@
 
 namespace goodones::nn {
 
-/// Numeric mode of batched scoring GEMMs. kMixed keeps float32 mirrors of
-/// the weights and accumulates in float64 — an opt-in approximation lane
-/// (excluded from parity guarantees) for throughput-bound scoring.
-enum class Precision { kDouble, kMixed };
+/// Numeric mode of batched scoring. kMixed keeps float32 mirrors of the
+/// weights and accumulates in float64 — an opt-in approximation lane
+/// (excluded from parity guarantees) for throughput-bound scoring. kFast
+/// keeps the double GEMMs but swaps the gate-row transcendentals for
+/// vectorized range-reduced polynomials (FMA allowed, few-ulp accuracy) —
+/// also opt-in, also outside the parity contract, never used in training.
+enum class Precision { kDouble, kMixed, kFast };
 
 namespace simd {
 
@@ -69,6 +72,22 @@ struct KernelTable {
                           std::size_t k, std::size_t n);
   void (*matmul_bias_f32w)(const double* a, const float* b, const float* bias, double* out,
                            std::size_t m, std::size_t k, std::size_t n);
+
+  /// Fast-math (Precision::kFast) gate variants: the same fused gate math
+  /// but with range-reduced polynomial exp/tanh/sigmoid and FMA, staying in
+  /// vector registers for the whole row-step. Outside the scalar-libm
+  /// parity contract; the fast lanes instead agree bitwise with EACH OTHER
+  /// across ISAs (identical correctly-rounded op sequence, shared fma).
+  void (*lstm_gates_fast)(const double* pre, std::size_t h, double* cell, double* hidden);
+  void (*lstm_gates_cached_fast)(const double* pre, std::size_t h, double* gi, double* gf,
+                                 double* gg, double* go, double* ct, double* ctt, double* ht,
+                                 double* cs, double* hs);
+
+  /// Batch-apply fast transcendentals — the accuracy-sweep and microbench
+  /// surface of the kFast lane (out[i] = f(x[i]) over n elements).
+  void (*fast_exp_n)(const double* x, double* out, std::size_t n);
+  void (*fast_tanh_n)(const double* x, double* out, std::size_t n);
+  void (*fast_sigmoid_n)(const double* x, double* out, std::size_t n);
 };
 
 /// Whether a lane was compiled into this binary (NEON lanes exist only on

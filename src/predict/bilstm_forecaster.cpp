@@ -73,6 +73,17 @@ double BiLstmForecaster::predict(const nn::Matrix& raw_features) const {
 
 std::vector<double> BiLstmForecaster::predict_batch(
     std::span<const nn::Matrix> raw_windows) const {
+  return predict_batch(raw_windows, scoring_precision_);
+}
+
+std::vector<double> BiLstmForecaster::predict_batch(
+    std::span<const nn::Matrix> raw_windows, nn::Precision precision) const {
+  // kMixed consumes the float32 weight mirrors, which only
+  // set_scoring_precision(kMixed) / invalidate_scoring_state() refresh — a
+  // per-call kMixed request is only valid on a model already configured for
+  // it. kFast needs no mirrors and can be requested on any model.
+  GO_EXPECTS(precision != nn::Precision::kMixed ||
+             scoring_precision_ == nn::Precision::kMixed);
   std::vector<double> out(raw_windows.size());
   if (raw_windows.empty()) return out;
 
@@ -120,8 +131,7 @@ std::vector<double> BiLstmForecaster::predict_batch(
           members.push_back(idx);
         }
       }
-      const nn::Matrix h_fwd =
-          fwd_cell.run_batch_multi(seqs, starts, prefix, scoring_precision_);
+      const nn::Matrix h_fwd = fwd_cell.run_batch_multi(seqs, starts, prefix, precision);
       for (std::size_t i = 0; i < members.size(); ++i) {
         std::copy(h_fwd.row(i).begin(), h_fwd.row(i).end(),
                   states.row(members[i]).begin());
@@ -155,7 +165,7 @@ std::vector<double> BiLstmForecaster::predict_batch(
         }
       }
     }
-    const nn::Matrix h_bwd = bwd_cell.first_step_batch(last_rows, scoring_precision_);
+    const nn::Matrix h_bwd = bwd_cell.first_step_batch(last_rows, precision);
     for (const auto& [idx, row] : scatter) {
       std::copy(h_bwd.row(row).begin(), h_bwd.row(row).end(),
                 states.row(idx).begin() + static_cast<std::ptrdiff_t>(h));

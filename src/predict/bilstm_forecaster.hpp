@@ -57,10 +57,19 @@ class BiLstmForecaster final : public Forecaster {
   /// default double precision.
   std::vector<double> predict_batch(std::span<const nn::Matrix> raw_windows) const override;
 
-  /// Numeric mode of predict_batch's LSTM GEMMs. kMixed scores against
-  /// float32 weight mirrors with float64 activations/accumulation — an
-  /// opt-in throughput lane OUTSIDE the bitwise parity contract (predict(),
-  /// gradients and training always run full double).
+  /// Per-call precision override: identical batching, but the LSTM tails run
+  /// in the requested lane regardless of the configured scoring precision.
+  /// Campaign probes pass nn::Precision::kFast here while exact verification
+  /// keeps using predict()/predict_batch() on the same shared const model.
+  std::vector<double> predict_batch(std::span<const nn::Matrix> raw_windows,
+                                    nn::Precision precision) const override;
+
+  /// Numeric mode of predict_batch's LSTM tail math. kMixed scores against
+  /// float32 weight mirrors with float64 activations/accumulation; kFast
+  /// keeps double GEMMs but swaps the gate transcendentals for vectorized
+  /// polynomials. Both are opt-in throughput lanes OUTSIDE the bitwise
+  /// parity contract (predict(), gradients and training always run full
+  /// double).
   void set_scoring_precision(nn::Precision precision);
   nn::Precision scoring_precision() const noexcept { return scoring_precision_; }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "nn/simd.hpp"
 
 namespace goodones::predict {
 
@@ -34,6 +35,17 @@ class Forecaster {
     out.reserve(raw_windows.size());
     for (const nn::Matrix& w : raw_windows) out.push_back(predict(w));
     return out;
+  }
+
+  /// predict_batch with an explicit per-call numeric lane. Models that
+  /// support approximation lanes (kMixed / kFast) honor `precision` for this
+  /// call only, independent of any model-level scoring mode; the base
+  /// default ignores it and runs the exact loop. Callers that probe in a
+  /// fast lane re-verify their final answers through predict() /
+  /// predict_batch(), which always stay exact.
+  virtual std::vector<double> predict_batch(std::span<const nn::Matrix> raw_windows,
+                                            nn::Precision /*precision*/) const {
+    return predict_batch(raw_windows);
   }
 
   /// Gradient of the prediction w.r.t. each raw input feature

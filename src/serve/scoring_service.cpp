@@ -33,7 +33,9 @@ ScoringService::Snapshot::Snapshot(ServingModel m) : model(std::move(m)) {
 }
 
 ScoringService::ScoringService(ServingModel model, ScoringServiceConfig config)
-    : pool_(std::make_unique<common::ThreadPool>(config.threads)) {
+    : pool_(std::make_unique<common::ThreadPool>(config.threads)),
+      precision_(config.precision) {
+  GO_EXPECTS(config.precision != nn::Precision::kMixed);
   snapshot_.store(std::make_shared<const Snapshot>(std::move(model)),
                   std::memory_order_release);
 }
@@ -132,7 +134,7 @@ std::vector<ScoreResponse> ScoringService::score_batch(
     for (const WindowRef& ref : refs) {
       batch.push_back(requests[ref.request].windows[ref.window].features);
     }
-    const std::vector<double> forecasts = forecaster.predict_batch(batch);
+    const std::vector<double> forecasts = forecaster.predict_batch(batch, precision_);
 
     // One detector call for the whole (entity, request-batch) group.
     std::vector<nn::Matrix> detector_inputs;

@@ -39,6 +39,7 @@
 #include "common/thread_pool.hpp"
 #include "data/labels.hpp"
 #include "nn/matrix.hpp"
+#include "nn/simd.hpp"
 #include "serve/model_registry.hpp"
 
 namespace goodones::serve {
@@ -81,6 +82,14 @@ struct ScoreResponse {
 struct ScoringServiceConfig {
   /// Worker threads for cross-entity sharding (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Numeric lane of the forecast batches. kDouble (the default) keeps the
+  /// bitwise-exact serving path; kFast swaps the LSTM gate transcendentals
+  /// for the vectorized polynomial kernels (few-ulp forecasts, see
+  /// docs/BENCHMARKS.md for measured detection-metric deltas). Detector
+  /// scoring and thresholds are unaffected — only the forecaster lane
+  /// changes. kMixed is not supported here (it needs per-model mirror
+  /// state the service does not manage).
+  nn::Precision precision = nn::Precision::kDouble;
 };
 
 class ScoringService {
@@ -145,6 +154,7 @@ class ScoringService {
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
   std::atomic<std::shared_ptr<const ScoreObserver>> observer_;
   std::unique_ptr<common::ThreadPool> pool_;
+  nn::Precision precision_ = nn::Precision::kDouble;
 };
 
 }  // namespace goodones::serve

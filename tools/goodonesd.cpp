@@ -10,7 +10,11 @@
 // rebuilder for that).
 //
 //   goodonesd --socket /tmp/goodones.sock [--entities 3] [--threads 0]
-//             [--detector knn|ocsvm|madgan] [--reassess 256]
+//             [--detector knn|ocsvm|madgan] [--reassess 256] [--fast-scoring]
+//
+// --fast-scoring serves forecasts through the polynomial fast-math lane
+// (nn::Precision::kFast): few-ulp accuracy, highest throughput. Off by
+// default — the exact lane is the reference serving mode.
 //
 // Pair with goodonesd_client (score / stats / refresh / shutdown).
 #include <cstdlib>
@@ -44,7 +48,7 @@ core::FrameworkConfig mini_config(const core::DomainAdapter& domain) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --socket PATH [--entities N] [--threads N] "
-               "[--detector knn|ocsvm|madgan] [--reassess WINDOWS]\n";
+               "[--detector knn|ocsvm|madgan] [--reassess WINDOWS] [--fast-scoring]\n";
   return 2;
 }
 
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   std::size_t entities = 3;
   std::size_t threads = 0;
   std::size_t reassess = 256;
+  bool fast_scoring = false;
   detect::DetectorKind kind = detect::DetectorKind::kKnn;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--reassess") {
       reassess = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--fast-scoring") {
+      fast_scoring = true;
     } else if (arg == "--detector") {
       const std::string name = next();
       if (name == "knn") kind = detect::DetectorKind::kKnn;
@@ -105,12 +112,14 @@ int main(int argc, char** argv) {
   serve::DaemonConfig config;
   config.socket_path = socket_path;
   config.scoring.threads = threads;
+  if (fast_scoring) config.scoring.precision = nn::Precision::kFast;
   config.adaptive.reassess_every_windows = reassess;
 
   serve::Daemon daemon(std::move(model), std::move(config));
   daemon.start();
   std::cout << "goodonesd: serving " << daemon.service().model()->entity_names.size()
-            << " entities (detector " << detect::to_string(kind) << ", generation "
+            << " entities (detector " << detect::to_string(kind)
+            << (fast_scoring ? ", fast scoring" : "") << ", generation "
             << daemon.generation() << ") on " << socket_path << "\n"
             << "score with: goodonesd_client " << socket_path
             << " score <entity> <windows.csv>\n"
