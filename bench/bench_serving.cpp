@@ -263,13 +263,15 @@ void run_hot_swap(std::vector<bench::BenchRecord>& records) {
 void run_daemon_roundtrip(std::vector<bench::BenchRecord>& records) {
   const Fixture& f = fixture();
   serve::DaemonConfig config;
-  config.socket_path = std::filesystem::temp_directory_path() /
-                       ("goodones_bench_daemon_" + std::to_string(::getpid()) + ".sock");
+  const std::filesystem::path socket_path =
+      std::filesystem::temp_directory_path() /
+      ("goodones_bench_daemon_" + std::to_string(::getpid()) + ".sock");
+  config.listen = common::Endpoint::unix_socket(socket_path);
   config.registry_root = core::artifacts_dir() / "bench_models";
   config.adaptive_enabled = false;  // measure the wire, not the profiler
   serve::Daemon daemon(serve::clone_serving_model(*f.service->model()), config);
   daemon.start();
-  serve::DaemonClient client(config.socket_path);
+  serve::DaemonClient client(socket_path);
 
   serve::ScoreRequest single = f.mixed_traffic.front();
   single.windows.resize(1);

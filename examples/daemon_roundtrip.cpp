@@ -57,20 +57,22 @@ int main() {
   const auto gen0_routing = model.entity_cluster;
 
   serve::DaemonConfig config;
-  config.socket_path = std::filesystem::temp_directory_path() /
-                       ("goodones_daemon_demo_" + std::to_string(::getpid()) + ".sock");
+  const std::filesystem::path socket_path =
+      std::filesystem::temp_directory_path() /
+      ("goodones_daemon_demo_" + std::to_string(::getpid()) + ".sock");
+  config.listen = common::Endpoint::unix_socket(socket_path);
   config.adaptive.reassess_every_windows = 16;
   config.adaptive.profiler.decay = 0.6;
   serve::Daemon daemon(std::move(model), config);
   daemon.start();
-  std::cout << "daemon up on " << config.socket_path.string() << "\n";
+  std::cout << "daemon up on " << socket_path.string() << "\n";
 
   // Live traffic: each entity's held-out windows; entities the offline
   // pipeline trusted most get adversarial pressure (reading pinned to the
   // attack-box ceiling) so the online partition must eventually move.
   data::WindowConfig window_config = framework.config().window;
   window_config.step = 30;
-  serve::DaemonClient client(config.socket_path);
+  serve::DaemonClient client(socket_path);
   const std::uint64_t first_generation = daemon.generation();
   for (int round = 0; round < 60 && daemon.generation() == first_generation; ++round) {
     for (std::size_t e = 0; e < entities.size(); ++e) {

@@ -1,6 +1,5 @@
 #include "serve/daemon.hpp"
 
-#include <chrono>
 #include <exception>
 #include <string>
 #include <utility>
@@ -29,15 +28,23 @@ ServingModel persist_initial(const ModelRegistry& registry, ServingModel model) 
   return model;
 }
 
+FrameServerConfig server_config_of(const DaemonConfig& config) {
+  FrameServerConfig server;
+  server.listen = config.listen;
+  server.accept_poll_ms = config.accept_poll_ms;
+  server.send_timeout_ms = config.send_timeout_ms;
+  server.counter_prefix = "serve.daemon";
+  return server;
+}
+
 }  // namespace
 
 Daemon::Daemon(ServingModel model, DaemonConfig config,
                AdaptiveController::BundleRebuilder rebuilder)
-    : config_(std::move(config)),
+    : FrameServer(server_config_of(config)),
+      config_(std::move(config)),
       registry_(make_registry(config_.registry_root)),
       service_(persist_initial(registry_, std::move(model)), config_.scoring) {
-  GO_EXPECTS(!config_.socket_path.empty());
-  GO_EXPECTS(config_.accept_poll_ms > 0);
   if (config_.adaptive_enabled) {
     controller_.emplace(service_, config_.adaptive, std::move(rebuilder), &registry_);
   }
@@ -45,142 +52,15 @@ Daemon::Daemon(ServingModel model, DaemonConfig config,
 
 Daemon::~Daemon() { stop(); }
 
-void Daemon::start() {
-  GO_EXPECTS(!running_.load());
-  GO_EXPECTS(!accept_thread_.joinable());
-  {
-    // A Daemon serves one lifecycle: restarting after stop() would leave
-    // the teardown latch set and every later stop() a no-op.
-    const std::lock_guard<std::mutex> teardown(teardown_mutex_);
-    GO_EXPECTS(!stopped_after_teardown_);
-  }
-  listener_.emplace(config_.socket_path);
-  running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  common::log_info("daemon listening on ", config_.socket_path.string(),
-                   " (generation ", service_.generation(), ")");
+void Daemon::on_started() {
+  common::log_info("daemon listening on ", endpoint().to_string(), " (generation ",
+                   service_.generation(), ")");
 }
 
-bool Daemon::running() const noexcept { return running_.load(); }
-
-void Daemon::request_stop() {
-  {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
-    stop_requested_.store(true);
-  }
-  stop_cv_.notify_all();
-}
-
-void Daemon::wait() {
-  {
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    stop_cv_.wait(lock, [this] { return stop_requested_.load() || stopped_; });
-  }
-  stop();
-}
-
-void Daemon::stop() {
-  request_stop();
-  // Serialize teardown (wait() and an explicit stop() may race).
-  const std::lock_guard<std::mutex> teardown(teardown_mutex_);
-  if (stopped_after_teardown_) return;
-  stopped_after_teardown_ = true;
-
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listener_) listener_->close();
-  // Drain: half-close each live connection's read side. A handler busy
-  // scoring finishes and flushes its in-flight response (writes still
-  // flow), then observes EOF on its next read and exits.
-  // After the accept thread joined, nothing mutates connections_.
-  for (auto& connection : connections_) connection->socket->shutdown_read();
-  for (auto& connection : connections_) {
-    if (connection->thread.joinable()) connection->thread.join();
-  }
-  connections_.clear();
+void Daemon::on_stopping() {
+  // Runs after every connection handler joined: no more observations can
+  // arrive, so the refresh worker can settle its queue and park.
   if (controller_) controller_->drain();
-  running_.store(false);
-  {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
-    stopped_ = true;
-  }
-  stop_cv_.notify_all();
-  common::log_info("daemon stopped (", config_.socket_path.string(), ")");
-}
-
-void Daemon::accept_loop() {
-  while (!stop_requested_.load()) {
-    common::Socket socket;
-    try {
-      socket = listener_->accept(config_.accept_poll_ms);
-      if (socket.valid() && config_.send_timeout_ms > 0) {
-        socket.set_send_timeout_ms(config_.send_timeout_ms);
-      }
-    } catch (const std::exception& error) {
-      // Transient accept failures (fd exhaustion above all) must never
-      // escape the thread (std::terminate); back off and keep serving the
-      // connections that already exist.
-      core::counters().add("serve.daemon.accept_failures", 1);
-      common::log_warn("daemon accept failed (backing off): ", error.what());
-      std::this_thread::sleep_for(std::chrono::milliseconds(config_.accept_poll_ms));
-      reap_finished_connections();
-      continue;
-    }
-    reap_finished_connections();
-    if (!socket.valid()) continue;
-    core::counters().add("serve.daemon.connections", 1);
-    auto connection = std::make_unique<Connection>();
-    connection->socket = std::make_shared<common::Socket>(std::move(socket));
-    Connection& ref = *connection;
-    {
-      const std::lock_guard<std::mutex> lock(state_mutex_);
-      connections_.push_back(std::move(connection));
-    }
-    ref.thread = std::thread([this, &ref] { handle_connection(ref); });
-  }
-}
-
-void Daemon::reap_finished_connections() {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load()) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Daemon::handle_connection(Connection& connection) {
-  common::Socket& socket = *connection.socket;
-  try {
-    for (;;) {
-      std::optional<wire::Frame> frame;
-      try {
-        frame = wire::recv_frame(socket);
-      } catch (const wire::ProtocolVersionError& error) {
-        core::counters().add("serve.daemon.malformed_frames", 1);
-        send_error(socket, wire::ErrorCode::kUnsupportedVersion, error.what());
-        break;  // the peer speaks a different protocol revision
-      } catch (const common::SerializationError& error) {
-        core::counters().add("serve.daemon.malformed_frames", 1);
-        send_error(socket, wire::ErrorCode::kMalformedFrame, error.what());
-        break;  // after a corrupt header the stream offset is untrustworthy
-      }
-      if (!frame) break;  // clean EOF between frames
-      core::counters().add("serve.daemon.frames", 1);
-      if (!dispatch(socket, *frame)) break;
-    }
-  } catch (const common::SocketError& error) {
-    common::log_debug("daemon connection dropped: ", error.what());
-  } catch (const std::exception& error) {
-    common::log_warn("daemon connection handler failed: ", error.what());
-  }
-  // The socket is NOT closed here: stop() may call shutdown_read() on it
-  // concurrently, and Socket::fd_ is unsynchronized. The fd closes when the
-  // connection is reaped (next accept tick) or at teardown — both after
-  // this thread is joined.
-  connection.done.store(true);
 }
 
 bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
@@ -219,6 +99,16 @@ bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
       wire::send_frame(socket, wire::MessageType::kStatsReply, wire::encode_stats(stats));
       return true;
     }
+    case wire::MessageType::kHealth: {
+      // Deliberately cheap: no counter snapshot, no allocation beyond the
+      // reply — this is what a router polls every few hundred ms per shard.
+      wire::HealthReply reply;
+      reply.draining = false;
+      reply.generation = service_.generation();
+      wire::send_frame(socket, wire::MessageType::kHealthReply,
+                       wire::encode_health_reply(reply));
+      return true;
+    }
     case wire::MessageType::kRefresh: {
       wire::RefreshReply reply;
       if (controller_) {
@@ -244,8 +134,9 @@ bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
       return false;
     }
     default:
-      // Reply-typed frames arriving at the server: a confused peer, not a
-      // corrupt stream — answer and keep the connection.
+      // Reply-typed frames (and the router-only Drain) arriving at a
+      // shard: a confused peer, not a corrupt stream — answer and keep
+      // the connection.
       send_error(socket, wire::ErrorCode::kBadRequest,
                  std::string("unexpected message type on the server side: ") +
                      wire::to_string(frame.type));
@@ -253,33 +144,37 @@ bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
   }
 }
 
-void Daemon::send_error(common::Socket& socket, wire::ErrorCode code,
-                        const std::string& message) noexcept {
-  core::counters().add("serve.daemon.error_frames", 1);
-  try {
-    wire::ErrorFrame error;
-    error.code = code;
-    error.message = message;
-    wire::send_frame(socket, wire::MessageType::kError, wire::encode_error(error));
-  } catch (const std::exception&) {
-    // Best-effort: the peer may already be gone.
-  }
-}
-
 // --- client ------------------------------------------------------------------
 
+namespace {
+
+/// The pre-mesh constructor's policy: dial once, never reconnect.
+DaemonClientConfig fail_fast_config() {
+  DaemonClientConfig config;
+  config.channel.reconnect = false;
+  config.channel.backoff.max_attempts = 1;
+  return config;
+}
+
+}  // namespace
+
+DaemonClient::DaemonClient(common::Endpoint endpoint, DaemonClientConfig config)
+    : endpoint_(std::move(endpoint)),
+      pool_(endpoint_, config.channel, config.pool_size) {
+  // Fail fast on a dead endpoint instead of on the first request: dial one
+  // channel now (it returns to the pool immediately).
+  pool_.acquire()->ensure_connected();
+}
+
 DaemonClient::DaemonClient(const std::filesystem::path& socket_path)
-    : socket_(common::connect_unix(socket_path)) {}
+    : DaemonClient(common::Endpoint::unix_socket(socket_path), fail_fast_config()) {}
 
 wire::Frame DaemonClient::roundtrip(wire::MessageType type, const std::string& payload,
-                                    wire::MessageType expected_reply) {
-  wire::send_frame(socket_, type, payload);
-  std::optional<wire::Frame> reply = wire::recv_frame(socket_);
-  if (!reply) {
-    throw common::SocketError("daemon closed the connection before replying");
-  }
-  if (reply->type == wire::MessageType::kError) {
-    const wire::ErrorFrame error = wire::decode_error(reply->payload);
+                                    wire::MessageType expected_reply, bool retryable) {
+  wire::ChannelPool::Lease channel = pool_.acquire();
+  wire::Frame reply = channel->roundtrip(type, payload, retryable);
+  if (reply.type == wire::MessageType::kError) {
+    const wire::ErrorFrame error = wire::decode_error(reply.payload);
     const std::string what = std::string("daemon error (") + wire::to_string(error.code) +
                              "): " + error.message;
     switch (error.code) {
@@ -289,39 +184,57 @@ wire::Frame DaemonClient::roundtrip(wire::MessageType type, const std::string& p
       case wire::ErrorCode::kUnsupportedVersion:
         throw common::SerializationError(what);
       case wire::ErrorCode::kInternal:
+      case wire::ErrorCode::kUnavailable:
         break;
     }
     throw std::runtime_error(what);
   }
-  if (reply->type != expected_reply) {
+  if (reply.type != expected_reply) {
     throw common::SerializationError(
         std::string("wire: expected ") + wire::to_string(expected_reply) + ", got " +
-        wire::to_string(reply->type));
+        wire::to_string(reply.type));
   }
-  return std::move(*reply);
+  return reply;
 }
 
 ScoreResponse DaemonClient::score(const ScoreRequest& request) {
-  const wire::Frame reply = roundtrip(wire::MessageType::kScore,
-                                      wire::encode_score_request(request),
-                                      wire::MessageType::kScoreReply);
+  const wire::Frame reply =
+      roundtrip(wire::MessageType::kScore, wire::encode_score_request(request),
+                wire::MessageType::kScoreReply, /*retryable=*/true);
   return wire::decode_score_response(reply.payload);
 }
 
 wire::StatsSnapshot DaemonClient::stats() {
-  const wire::Frame reply =
-      roundtrip(wire::MessageType::kStats, {}, wire::MessageType::kStatsReply);
+  const wire::Frame reply = roundtrip(wire::MessageType::kStats, {},
+                                      wire::MessageType::kStatsReply, /*retryable=*/true);
   return wire::decode_stats(reply.payload);
+}
+
+wire::HealthReply DaemonClient::health() {
+  const wire::Frame reply = roundtrip(wire::MessageType::kHealth, {},
+                                      wire::MessageType::kHealthReply, /*retryable=*/true);
+  return wire::decode_health_reply(reply.payload);
 }
 
 wire::RefreshReply DaemonClient::refresh() {
   const wire::Frame reply =
-      roundtrip(wire::MessageType::kRefresh, {}, wire::MessageType::kRefreshReply);
+      roundtrip(wire::MessageType::kRefresh, {}, wire::MessageType::kRefreshReply,
+                /*retryable=*/true);
   return wire::decode_refresh_reply(reply.payload);
 }
 
+wire::DrainReply DaemonClient::drain(const std::string& shard) {
+  wire::DrainRequest request;
+  request.shard = shard;
+  const wire::Frame reply =
+      roundtrip(wire::MessageType::kDrain, wire::encode_drain_request(request),
+                wire::MessageType::kDrainReply, /*retryable=*/false);
+  return wire::decode_drain_reply(reply.payload);
+}
+
 void DaemonClient::shutdown() {
-  (void)roundtrip(wire::MessageType::kShutdown, {}, wire::MessageType::kShutdownReply);
+  (void)roundtrip(wire::MessageType::kShutdown, {}, wire::MessageType::kShutdownReply,
+                  /*retryable=*/false);
 }
 
 }  // namespace goodones::serve

@@ -1,48 +1,41 @@
-// The long-lived serving daemon: the IPC front end the ROADMAP names.
+// The long-lived serving daemon: one scoring shard of the mesh.
 //
 // A Daemon owns the full serving stack — a ModelRegistry (bundle +
 // profiler-state persistence), a ScoringService (lock-free hot-swappable
 // bundle snapshots) and an AdaptiveController (online risk profiling with
-// the dedicated refresh worker) — and exposes it over a Unix-domain socket
-// speaking the length-prefixed binary protocol in serve/wire.hpp:
+// the dedicated refresh worker) — and exposes it over any transport the
+// common::Endpoint seam names (unix:<path> for single-host IPC,
+// tcp:<host>:<port> for the mesh), speaking the length-prefixed binary
+// protocol in serve/wire.hpp:
 //
 //   Score     entity + raw windows -> per-window forecast/residual/verdict/
 //             risk, tagged with the bundle generation that produced them
 //             (every verdict is auditable to exactly one published bundle —
 //             adaptive defenses get probed, provenance is the answer)
 //   Stats     the core::metrics::counters() snapshot + daemon gauges
+//   Health    cheap liveness probe (no counter snapshot): serving
+//             generation + draining flag — what the router's prober polls
 //   Refresh   force a reassessment now (the admin sibling of the automatic
 //             cadence); replies whether a new generation was published
 //   Shutdown  stop accepting, drain in-flight connections, exit wait()
 //
-// Concurrency model: one accept loop thread, one handler thread per
-// connection (requests on one connection are served in order; independent
-// connections score concurrently and the ScoringService shards their
-// windows across its pool). Detector retraining never runs on a connection
-// thread: the controller's refresh worker rebuilds and hot-swaps in the
-// background while scores keep flowing (tests/serve_daemon_test.cpp pins a
-// latency bound on concurrent scores during a slow rebuild).
-//
-// Error containment: a malformed frame header (bad magic/version/length,
-// mid-frame EOF) gets a typed Error frame and the connection is closed —
-// after a corrupt header the stream offset cannot be trusted. An
-// undecodable payload inside a well-framed message gets an Error frame and
-// the connection STAYS open (frame boundaries are intact). Scoring
-// precondition failures (unknown entity, wrong channel count) are
-// BadRequest error frames; the daemon itself never crashes on client input.
+// Lifecycle, concurrency and protocol-error containment live in the
+// FrameServer base (shared with serve::Router): one accept loop, one
+// handler thread per connection, typed Error frames instead of crashes.
+// Detector retraining never runs on a connection thread: the controller's
+// refresh worker rebuilds and hot-swaps in the background while scores
+// keep flowing (tests/serve_daemon_test.cpp pins a latency bound on
+// concurrent scores during a slow rebuild).
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
+#include <string>
 
 #include "serve/adaptive_controller.hpp"
+#include "serve/frame_server.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/scoring_service.hpp"
 #include "serve/wire.hpp"
@@ -50,9 +43,10 @@
 namespace goodones::serve {
 
 struct DaemonConfig {
-  /// Unix-domain socket path the daemon listens on. Must fit sockaddr_un
-  /// (~107 bytes); one daemon per path.
-  std::filesystem::path socket_path;
+  /// Where the daemon listens: unix:<path> (one daemon per path, must fit
+  /// sockaddr_un ~107 bytes) or tcp:<host>:<port> (port 0 = ephemeral;
+  /// Daemon::endpoint() reports the resolved port after start()).
+  common::Endpoint listen;
   ScoringServiceConfig scoring;
   /// Adaptive-loop tuning; async_refresh stays the default so rebuilds run
   /// on the controller's worker, never a connection thread.
@@ -70,7 +64,7 @@ struct DaemonConfig {
   int send_timeout_ms = 10000;
 };
 
-class Daemon {
+class Daemon final : public FrameServer {
  public:
   /// Takes ownership of the serving bundle. The bundle (and every
   /// generation the adaptive loop later publishes) is persisted through
@@ -80,29 +74,7 @@ class Daemon {
   /// generation) for detector-retraining refreshes.
   Daemon(ServingModel model, DaemonConfig config,
          AdaptiveController::BundleRebuilder rebuilder = {});
-  ~Daemon();
-
-  Daemon(const Daemon&) = delete;
-  Daemon& operator=(const Daemon&) = delete;
-
-  /// Binds the socket and starts the accept loop. Throws
-  /// common::SocketError when the path cannot be bound.
-  void start();
-
-  /// Blocks until a Shutdown frame (or a concurrent stop()) ends the
-  /// serving loop, then tears down: stops accepting, waits for in-flight
-  /// requests to finish, joins every connection.
-  void wait();
-
-  /// Initiates and completes shutdown from the caller's thread. Safe to
-  /// call repeatedly; must not be called from a connection handler (a
-  /// Shutdown frame is the in-band way — it only *requests* the stop).
-  void stop();
-
-  bool running() const noexcept;
-  const std::filesystem::path& socket_path() const noexcept {
-    return config_.socket_path;
-  }
+  ~Daemon() override;
 
   ScoringService& service() noexcept { return service_; }
   const ModelRegistry& registry() const noexcept { return registry_; }
@@ -112,62 +84,71 @@ class Daemon {
   }
   std::uint64_t generation() const { return service_.generation(); }
 
+ protected:
+  bool dispatch(common::Socket& socket, const wire::Frame& frame) override;
+  void on_started() override;
+  void on_stopping() override;
+
  private:
-  struct Connection {
-    std::shared_ptr<common::Socket> socket;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
-  void accept_loop();
-  void handle_connection(Connection& connection);
-  /// Serves one frame; false = close the connection.
-  bool dispatch(common::Socket& socket, const wire::Frame& frame);
-  void send_error(common::Socket& socket, wire::ErrorCode code,
-                  const std::string& message) noexcept;
-  void request_stop();
-  void reap_finished_connections();
-
   DaemonConfig config_;
   ModelRegistry registry_;
   ScoringService service_;
   std::optional<AdaptiveController> controller_;
-
-  std::optional<common::UnixListener> listener_;
-  std::thread accept_thread_;
-  std::atomic<bool> stop_requested_{false};
-  std::atomic<bool> running_{false};
-
-  std::mutex state_mutex_;  // guards connections_ + stopped_ + wait/stop cv
-  std::condition_variable stop_cv_;
-  std::list<std::unique_ptr<Connection>> connections_;
-  bool stopped_ = false;
-
-  std::mutex teardown_mutex_;  // serializes stop() callers
-  bool stopped_after_teardown_ = false;
 };
 
-/// Client side of the wire protocol: one connection, blocking round trips.
-/// Error frames surface as typed exceptions — BadRequest as
-/// common::PreconditionError, malformed/version as
-/// common::SerializationError, Internal as std::runtime_error.
+/// Reconnection/pooling policy of a DaemonClient.
+struct DaemonClientConfig {
+  /// Concurrent wire connections (requests beyond this block until one
+  /// frees up). Each connection is one wire::FrameChannel.
+  std::size_t pool_size = 1;
+  /// Per-connection dial/reconnect/retry policy. The default reconnects
+  /// with bounded exponential backoff and retries idempotent round trips
+  /// (Score/Stats/Health/Refresh) on a fresh connection — a shard restart
+  /// mid-stream costs latency, not errors. Set channel.reconnect = false
+  /// for fail-fast semantics.
+  wire::FrameChannelConfig channel;
+};
+
+/// Client side of the wire protocol, transport-agnostic and (optionally)
+/// restart-transparent. Error frames surface as typed exceptions —
+/// BadRequest as common::PreconditionError, malformed/version as
+/// common::SerializationError, Internal/Unavailable as std::runtime_error.
+/// Thread-safe: concurrent calls lease distinct pooled connections.
 class DaemonClient {
  public:
-  /// Connects immediately; throws common::SocketError when no daemon
-  /// listens at `socket_path`.
+  /// Connects one pooled channel immediately to fail fast; throws
+  /// common::SocketError when the endpoint stays unreachable through the
+  /// configured backoff schedule.
+  explicit DaemonClient(common::Endpoint endpoint, DaemonClientConfig config = {});
+
+  /// Unix-path convenience (the pre-mesh constructor): single connection,
+  /// NO reconnect — dead-transport errors surface immediately, exactly the
+  /// old single-socket behavior.
   explicit DaemonClient(const std::filesystem::path& socket_path);
+
+  const common::Endpoint& endpoint() const noexcept { return endpoint_; }
 
   ScoreResponse score(const ScoreRequest& request);
   wire::StatsSnapshot stats();
+  wire::HealthReply health();
   wire::RefreshReply refresh();
-  /// Asks the daemon to stop; returns once the daemon acknowledged.
+  /// Router admin: drain shard `shard` out of the ring (see wire::DrainRequest).
+  wire::DrainReply drain(const std::string& shard);
+  /// Asks the server to stop; returns once it acknowledged. Never
+  /// auto-retried: a connection that dies after the send may mean the
+  /// shutdown was already accepted.
   void shutdown();
+
+  /// Total reconnects across the pool — how often the client survived a
+  /// server restart (fault-injection tests assert this moved).
+  std::uint64_t reconnects() const { return pool_.reconnects(); }
 
  private:
   wire::Frame roundtrip(wire::MessageType type, const std::string& payload,
-                        wire::MessageType expected_reply);
+                        wire::MessageType expected_reply, bool retryable);
 
-  common::Socket socket_;
+  common::Endpoint endpoint_;
+  wire::ChannelPool pool_;
 };
 
 }  // namespace goodones::serve

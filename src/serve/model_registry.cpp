@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -331,6 +332,60 @@ ServingModel clone_serving_model(const ServingModel& model) {
   write_bundle(buffer, model);
   buffer.seekg(0);
   return read_bundle(buffer);
+}
+
+ServingModel slice_serving_model(const ServingModel& model,
+                                 const std::vector<std::string>& entities) {
+  GO_EXPECTS(!entities.empty());
+  // Validate the member set up front: entity_index throws on unknowns, the
+  // keep-count comparison catches duplicates (two requests for one entity
+  // would keep it once and desync the counts).
+  std::vector<bool> keep(model.entity_names.size(), false);
+  for (const auto& name : entities) {
+    const std::size_t index = model.entity_index(name);
+    if (keep[index]) {
+      throw common::PreconditionError("slice_serving_model: duplicate entity: " + name);
+    }
+    keep[index] = true;
+  }
+
+  ServingModel slice = clone_serving_model(model);
+  // Filter the per-entity columns in TRAINING order (stable regardless of
+  // the order the caller listed the members in).
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (!keep[i]) continue;
+    if (write != i) {
+      slice.entity_names[write] = std::move(slice.entity_names[i]);
+      slice.entity_cluster[write] = slice.entity_cluster[i];
+      slice.forecasters[write] = std::move(slice.forecasters[i]);
+    }
+    ++write;
+  }
+  slice.entity_names.resize(write);
+  slice.entity_cluster.resize(write);
+  // erase, not resize: BiLstmForecaster has no default constructor.
+  slice.forecasters.erase(
+      slice.forecasters.begin() + static_cast<std::ptrdiff_t>(write),
+      slice.forecasters.end());
+
+  // A deterministic member-set tag (insertion-order independent: hashes of
+  // the kept names XOR-combined) keeps the slice's registry identity apart
+  // from the full bundle's and from differently-sliced siblings.
+  std::uint64_t tag = 0x736c696365ull;  // "slice"
+  for (const auto& name : slice.entity_names) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    tag ^= h;
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "#slice-%016llx",
+                static_cast<unsigned long long>(tag));
+  slice.domain_key += suffix;
+  return slice;
 }
 
 ModelRegistry::ModelRegistry() : root_(core::artifacts_dir() / "models") {

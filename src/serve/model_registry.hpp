@@ -115,6 +115,17 @@ ServingModel build_serving_model(core::RiskProfilingFramework& framework,
 /// bitwise-identically — this is what routing-only refreshes build on.
 ServingModel clone_serving_model(const ServingModel& model);
 
+/// A mesh shard's bundle: the model restricted to `entities` (a subset of
+/// entity_names, kept in TRAINING order regardless of the order given).
+/// Forecasters, cluster routing and detectors carry over untouched, so a
+/// slice scores its entities bitwise-identically to the full bundle — only
+/// ServingModel::entity_index values are slice-local. The slice's
+/// domain_key gains a deterministic "#slice-<hash of member set>" suffix so
+/// slices and the full bundle never collide in a shared ModelRegistry.
+/// Throws common::PreconditionError on an empty, unknown or duplicate name.
+ServingModel slice_serving_model(const ServingModel& model,
+                                 const std::vector<std::string>& entities);
+
 /// Addresses one persisted serving bundle.
 struct RegistryKey {
   std::string domain_key;

@@ -1,0 +1,352 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "core/metrics.hpp"
+
+namespace goodones::serve {
+
+namespace {
+
+FrameServerConfig server_config_of(const RouterConfig& config) {
+  FrameServerConfig server;
+  server.listen = config.listen;
+  server.accept_poll_ms = config.accept_poll_ms;
+  server.send_timeout_ms = config.send_timeout_ms;
+  server.counter_prefix = "serve.router";
+  return server;
+}
+
+wire::FrameChannelConfig probe_config_of(const RouterConfig& config) {
+  // The prober must FAIL fast, not mask outages: one dial attempt, no
+  // reconnect-and-replay, and a bounded receive timeout so a wedged shard
+  // (accepting but silent) flips unhealthy instead of wedging the prober.
+  wire::FrameChannelConfig probe;
+  probe.reconnect = false;
+  probe.backoff.max_attempts = 1;
+  probe.recv_timeout_ms = config.health_timeout_ms;
+  return probe;
+}
+
+}  // namespace
+
+Router::Backend::Backend(const RouterBackendSpec& spec,
+                         const wire::FrameChannelConfig& forward, std::size_t pool_size,
+                         const wire::FrameChannelConfig& probe_config)
+    : name(spec.name),
+      endpoint(spec.endpoint),
+      pool(spec.endpoint, forward, pool_size),
+      probe(spec.endpoint, probe_config) {}
+
+class Router::InFlightGuard {
+ public:
+  InFlightGuard(Router& router, Backend& backend) : router_(router), backend_(backend) {}
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+  ~InFlightGuard() {
+    if (backend_.in_flight.fetch_sub(1) == 1 && backend_.draining.load()) {
+      // A drain may be blocked on us; the lock pairs with its wait so the
+      // notify cannot slip between its predicate check and its sleep.
+      const std::lock_guard<std::mutex> lock(router_.drain_mutex_);
+      router_.drain_cv_.notify_all();
+    }
+  }
+
+ private:
+  Router& router_;
+  Backend& backend_;
+};
+
+Router::Router(RouterConfig config)
+    : FrameServer(server_config_of(config)),
+      config_(std::move(config)),
+      ring_(config_.vnodes) {
+  GO_EXPECTS(!config_.backends.empty());
+  const wire::FrameChannelConfig probe = probe_config_of(config_);
+  for (const RouterBackendSpec& spec : config_.backends) {
+    GO_EXPECTS(!spec.name.empty());
+    GO_EXPECTS(!spec.endpoint.empty());
+    ring_.add(spec.name);  // throws PreconditionError on duplicate names
+    backends_.push_back(
+        std::make_unique<Backend>(spec, config_.forward, config_.pool_size, probe));
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::on_started() {
+  common::log_info("router listening on ", endpoint().to_string(), " (",
+                   backends_.size(), " shards, ", config_.vnodes, " vnodes)");
+  if (config_.health_interval_ms > 0) {
+    {
+      const std::lock_guard<std::mutex> lock(prober_mutex_);
+      prober_stop_ = false;
+    }
+    prober_ = std::thread([this] { probe_loop(); });
+  }
+}
+
+void Router::on_stopping() {
+  {
+    const std::lock_guard<std::mutex> lock(prober_mutex_);
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+std::string Router::shard_for(std::string_view entity) const {
+  const std::lock_guard<std::mutex> lock(ring_mutex_);
+  return ring_.owner(entity);
+}
+
+std::vector<ShardStatus> Router::shards() const {
+  std::vector<ShardStatus> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    ShardStatus status;
+    status.name = backend->name;
+    status.endpoint = backend->endpoint;
+    status.healthy = backend->healthy.load();
+    status.draining = backend->draining.load();
+    status.generation = backend->generation.load();
+    status.in_flight = backend->in_flight.load();
+    status.reconnects = backend->pool.reconnects();
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+Router::Backend* Router::acquire_backend(std::string_view entity, std::string& owner_out) {
+  // Owner lookup and in_flight++ must be one atomic step against drain():
+  // drain removes the shard from the ring under this same mutex BEFORE
+  // waiting for in-flight forwards, so either this request incremented
+  // first (drain waits for it) or the removed shard can no longer be
+  // picked. No forward ever runs on a shard whose pool a drain is closing.
+  const std::lock_guard<std::mutex> lock(ring_mutex_);
+  owner_out = ring_.owner(entity);
+  for (const auto& backend : backends_) {
+    if (backend->name == owner_out) {
+      backend->in_flight.fetch_add(1);
+      return backend.get();
+    }
+  }
+  throw common::PreconditionError("router: ring names unknown shard: " + owner_out);
+}
+
+bool Router::drain(const std::string& shard) {
+  Backend* backend = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    if (!ring_.remove(shard)) return false;
+    for (const auto& candidate : backends_) {
+      if (candidate->name == shard) {
+        backend = candidate.get();
+        break;
+      }
+    }
+  }
+  GO_EXPECTS(backend != nullptr);  // ring names are a subset of backends_
+  backend->draining.store(true);
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [backend] { return backend->in_flight.load() == 0; });
+  }
+  backend->pool.close_connections();
+  core::counters().add("serve.router.drains", 1);
+  common::log_info("router drained shard ", shard);
+  return true;
+}
+
+void Router::handle_score(common::Socket& socket, const wire::Frame& frame) {
+  std::string entity;
+  try {
+    entity = wire::peek_score_entity(frame.payload);
+  } catch (const common::SerializationError& error) {
+    core::counters().add("serve.router.malformed_frames", 1);
+    send_error(socket, wire::ErrorCode::kMalformedFrame, error.what());
+    return;
+  }
+  std::string owner;
+  Backend* backend = nullptr;
+  try {
+    backend = acquire_backend(entity, owner);
+  } catch (const common::PreconditionError& error) {
+    // Empty ring (everything drained) — nothing can own this entity.
+    send_error(socket, wire::ErrorCode::kUnavailable, error.what());
+    return;
+  }
+  const InFlightGuard guard(*this, *backend);
+  wire::Frame reply;
+  try {
+    const wire::ChannelPool::Lease channel = backend->pool.acquire();
+    reply = channel->roundtrip(wire::MessageType::kScore, frame.payload,
+                               /*retryable=*/true);
+  } catch (const common::SocketError& error) {
+    // The owner stayed unreachable through every reconnect round. Its
+    // entities have no other home (shards own their slices), so this is a
+    // typed Unavailable to the client — who may simply retry later.
+    core::counters().add("serve.router.forward_failures", 1);
+    backend->healthy.store(false);
+    send_error(socket, wire::ErrorCode::kUnavailable,
+               "shard '" + owner + "' unreachable: " + error.what());
+    return;
+  }
+  // Relay verbatim — kScoreReply bytes untouched (the bitwise guarantee),
+  // and a shard-side Error frame passes through as-is too.
+  wire::send_frame(socket, reply.type, reply.payload);
+  core::counters().add("serve.router.forwards", 1);
+}
+
+void Router::handle_stats(common::Socket& socket) {
+  wire::StatsSnapshot stats = core::counters().snapshot();
+  std::uint64_t on_ring = 0;
+  for (const auto& backend : backends_) {
+    const std::string prefix = "serve.router.shard." + backend->name + ".";
+    const bool draining = backend->draining.load();
+    if (!draining) ++on_ring;
+    stats.emplace_back(prefix + "healthy", backend->healthy.load() ? 1 : 0);
+    stats.emplace_back(prefix + "draining", draining ? 1 : 0);
+    stats.emplace_back(prefix + "generation", backend->generation.load());
+    stats.emplace_back(prefix + "in_flight", backend->in_flight.load());
+    stats.emplace_back(prefix + "reconnects", backend->pool.reconnects());
+  }
+  stats.emplace_back("serve.router.shards", on_ring);
+  wire::send_frame(socket, wire::MessageType::kStatsReply, wire::encode_stats(stats));
+}
+
+void Router::handle_health(common::Socket& socket) {
+  // The router is healthy iff it can answer; its generation is the max a
+  // healthy shard serves (what the last probe/refresh learned).
+  wire::HealthReply reply;
+  for (const auto& backend : backends_) {
+    if (backend->healthy.load() && !backend->draining.load()) {
+      reply.generation = std::max(reply.generation, backend->generation.load());
+    }
+  }
+  wire::send_frame(socket, wire::MessageType::kHealthReply,
+                   wire::encode_health_reply(reply));
+}
+
+void Router::handle_refresh(common::Socket& socket) {
+  // Broadcast, best-effort per shard: a refresh must not fail wholesale
+  // because one shard is mid-restart. Reply aggregates the successes.
+  wire::RefreshReply aggregate;
+  std::size_t reached = 0;
+  std::size_t attempted = 0;
+  for (const auto& backend : backends_) {
+    if (backend->draining.load()) continue;
+    ++attempted;
+    try {
+      const wire::ChannelPool::Lease channel = backend->pool.acquire();
+      const wire::Frame reply =
+          channel->roundtrip(wire::MessageType::kRefresh, {}, /*retryable=*/true);
+      if (reply.type != wire::MessageType::kRefreshReply) continue;
+      const wire::RefreshReply decoded = wire::decode_refresh_reply(reply.payload);
+      aggregate.refreshed = aggregate.refreshed || decoded.refreshed;
+      aggregate.generation = std::max(aggregate.generation, decoded.generation);
+      backend->generation.store(decoded.generation);
+      ++reached;
+    } catch (const std::exception& error) {
+      core::counters().add("serve.router.refresh_failures", 1);
+      common::log_warn("router: refresh of shard ", backend->name,
+                       " failed: ", error.what());
+    }
+  }
+  if (reached == 0 && attempted > 0) {
+    send_error(socket, wire::ErrorCode::kUnavailable,
+               "refresh reached no shard (all unreachable)");
+    return;
+  }
+  wire::send_frame(socket, wire::MessageType::kRefreshReply,
+                   wire::encode_refresh_reply(aggregate));
+}
+
+void Router::handle_drain(common::Socket& socket, const wire::Frame& frame) {
+  wire::DrainRequest request;
+  try {
+    request = wire::decode_drain_request(frame.payload);
+  } catch (const common::SerializationError& error) {
+    core::counters().add("serve.router.malformed_frames", 1);
+    send_error(socket, wire::ErrorCode::kMalformedFrame, error.what());
+    return;
+  }
+  wire::DrainReply reply;
+  reply.drained = drain(request.shard);
+  reply.message = reply.drained ? "shard '" + request.shard + "' drained"
+                                : "no shard '" + request.shard + "' on the ring";
+  wire::send_frame(socket, wire::MessageType::kDrainReply,
+                   wire::encode_drain_reply(reply));
+}
+
+bool Router::dispatch(common::Socket& socket, const wire::Frame& frame) {
+  switch (frame.type) {
+    case wire::MessageType::kScore:
+      handle_score(socket, frame);
+      return true;
+    case wire::MessageType::kStats:
+      handle_stats(socket);
+      return true;
+    case wire::MessageType::kHealth:
+      handle_health(socket);
+      return true;
+    case wire::MessageType::kRefresh:
+      handle_refresh(socket);
+      return true;
+    case wire::MessageType::kDrain:
+      handle_drain(socket, frame);
+      return true;
+    case wire::MessageType::kShutdown:
+      wire::send_frame(socket, wire::MessageType::kShutdownReply, {});
+      request_stop();
+      return false;
+    default:
+      send_error(socket, wire::ErrorCode::kBadRequest,
+                 std::string("unexpected message type at the router: ") +
+                     wire::to_string(frame.type));
+      return true;
+  }
+}
+
+void Router::probe_loop() {
+  const auto interval = std::chrono::milliseconds(config_.health_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(prober_mutex_);
+      if (prober_cv_.wait_for(lock, interval, [this] { return prober_stop_; })) return;
+    }
+    for (const auto& backend : backends_) {
+      if (backend->draining.load()) continue;
+      const bool was_healthy = backend->healthy.load();
+      try {
+        const wire::Frame reply =
+            backend->probe.roundtrip(wire::MessageType::kHealth, {}, /*retryable=*/false);
+        if (reply.type != wire::MessageType::kHealthReply) {
+          throw common::SerializationError(
+              std::string("probe got ") + wire::to_string(reply.type));
+        }
+        const wire::HealthReply health = wire::decode_health_reply(reply.payload);
+        backend->generation.store(health.generation);
+        backend->healthy.store(true);
+        if (!was_healthy) {
+          common::log_info("router: shard ", backend->name, " healthy (generation ",
+                           health.generation, ")");
+        }
+      } catch (const std::exception& error) {
+        backend->probe.close();
+        backend->healthy.store(false);
+        core::counters().add("serve.router.probe_failures", 1);
+        if (was_healthy) {
+          common::log_warn("router: shard ", backend->name, " unhealthy: ", error.what());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace goodones::serve

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "nn/serialize.hpp"
@@ -233,13 +234,67 @@ std::string encode_error(const ErrorFrame& error) {
 ErrorFrame decode_error(const std::string& payload) {
   std::istringstream in(payload);
   ErrorFrame error;
-  const std::uint32_t code =
-      read_bounded_u32(in, static_cast<std::uint32_t>(ErrorCode::kInternal), "error code");
+  const std::uint32_t code = read_bounded_u32(
+      in, static_cast<std::uint32_t>(ErrorCode::kUnavailable), "error code");
   if (code == 0) throw common::SerializationError("wire: error code out of range: 0");
   error.code = static_cast<ErrorCode>(code);
   error.message = nn::read_string(in, "error message");
   expect_consumed(in, "error frame");
   return error;
+}
+
+std::string encode_health_reply(const HealthReply& reply) {
+  std::ostringstream out;
+  nn::write_u32(out, reply.draining ? 1 : 0);
+  nn::write_u64(out, reply.generation);
+  return std::move(out).str();
+}
+
+HealthReply decode_health_reply(const std::string& payload) {
+  std::istringstream in(payload);
+  HealthReply reply;
+  reply.draining = read_bounded_u32(in, 1, "health draining flag") == 1;
+  reply.generation = nn::read_u64(in, "health generation");
+  expect_consumed(in, "health reply");
+  return reply;
+}
+
+std::string encode_drain_request(const DrainRequest& request) {
+  std::ostringstream out;
+  nn::write_string(out, request.shard);
+  return std::move(out).str();
+}
+
+DrainRequest decode_drain_request(const std::string& payload) {
+  std::istringstream in(payload);
+  DrainRequest request;
+  request.shard = nn::read_string(in, "drain shard name");
+  expect_consumed(in, "drain request");
+  return request;
+}
+
+std::string encode_drain_reply(const DrainReply& reply) {
+  std::ostringstream out;
+  nn::write_u32(out, reply.drained ? 1 : 0);
+  nn::write_string(out, reply.message);
+  return std::move(out).str();
+}
+
+DrainReply decode_drain_reply(const std::string& payload) {
+  std::istringstream in(payload);
+  DrainReply reply;
+  reply.drained = read_bounded_u32(in, 1, "drain flag") == 1;
+  reply.message = nn::read_string(in, "drain message");
+  expect_consumed(in, "drain reply");
+  return reply;
+}
+
+std::string peek_score_entity(const std::string& payload) {
+  std::istringstream in(payload);
+  // Deliberately no expect_consumed: the windows after the name are the
+  // backend's to validate — the router routes on the name alone and
+  // forwards the payload bytes untouched.
+  return nn::read_string(in, "score request entity");
 }
 
 const char* to_string(MessageType type) noexcept {
@@ -253,6 +308,10 @@ const char* to_string(MessageType type) noexcept {
     case MessageType::kShutdown: return "Shutdown";
     case MessageType::kShutdownReply: return "ShutdownReply";
     case MessageType::kError: return "Error";
+    case MessageType::kHealth: return "Health";
+    case MessageType::kHealthReply: return "HealthReply";
+    case MessageType::kDrain: return "Drain";
+    case MessageType::kDrainReply: return "DrainReply";
   }
   return "?";
 }
@@ -263,8 +322,101 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kUnsupportedVersion: return "unsupported-version";
     case ErrorCode::kBadRequest: return "bad-request";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "?";
+}
+
+// --- FrameChannel ------------------------------------------------------------
+
+FrameChannel::FrameChannel(common::Endpoint endpoint, FrameChannelConfig config)
+    : endpoint_(std::move(endpoint)), config_(std::move(config)) {}
+
+void FrameChannel::ensure_connected() {
+  if (socket_.valid()) return;
+  socket_ = common::connect_with_backoff(endpoint_, config_.backoff);
+  if (config_.recv_timeout_ms > 0) socket_.set_recv_timeout_ms(config_.recv_timeout_ms);
+  if (was_connected_) ++reconnects_;
+  was_connected_ = true;
+}
+
+Frame FrameChannel::roundtrip(MessageType type, std::string_view payload, bool retryable) {
+  const std::size_t rounds = (retryable && config_.reconnect) ? config_.retry_rounds : 1;
+  for (std::size_t round = 1;; ++round) {
+    try {
+      ensure_connected();
+      send_frame(socket_, type, payload);
+      std::optional<Frame> reply = recv_frame(socket_);
+      if (!reply) {
+        // The server closed cleanly before answering: a restarting shard
+        // draining its listener looks exactly like this, so it follows
+        // the same retry rules as a torn connection.
+        throw common::SocketError("server closed the connection before replying");
+      }
+      return std::move(*reply);
+    } catch (const common::SocketError&) {
+      // The connection is unusable (dial failed after its backoff budget,
+      // or it died mid-exchange); the NEXT round starts from a fresh dial.
+      socket_.close();
+      if (round >= rounds) throw;
+    }
+    // Content-level SerializationErrors propagate immediately: the bytes
+    // arrived fine, retrying would just replay the disagreement.
+  }
+}
+
+void FrameChannel::close() noexcept { socket_.close(); }
+
+// --- ChannelPool -------------------------------------------------------------
+
+ChannelPool::ChannelPool(common::Endpoint endpoint, FrameChannelConfig config,
+                         std::size_t capacity)
+    : endpoint_(std::move(endpoint)),
+      config_(std::move(config)),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+ChannelPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      channel_(std::exchange(other.channel_, nullptr)) {}
+
+ChannelPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->release(channel_);
+}
+
+ChannelPool::Lease ChannelPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!free_.empty()) {
+      FrameChannel* channel = free_.back();
+      free_.pop_back();
+      return Lease(this, channel);
+    }
+    if (channels_.size() < capacity_) {
+      channels_.push_back(std::make_unique<FrameChannel>(endpoint_, config_));
+      return Lease(this, channels_.back().get());
+    }
+    available_.wait(lock);
+  }
+}
+
+void ChannelPool::release(FrameChannel* channel) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(channel);
+  }
+  available_.notify_one();
+}
+
+void ChannelPool::close_connections() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (FrameChannel* channel : free_) channel->close();
+}
+
+std::uint64_t ChannelPool::reconnects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& channel : channels_) total += channel->reconnects();
+  return total;
 }
 
 }  // namespace goodones::serve::wire

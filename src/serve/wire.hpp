@@ -20,7 +20,10 @@
 // unknown type with an Error frame, not a disconnect).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -57,6 +60,10 @@ enum class MessageType : std::uint32_t {
   kShutdown = 7,       ///< client -> daemon: empty payload, stop the daemon
   kShutdownReply = 8,  ///< daemon -> client: empty payload (acknowledged)
   kError = 9,          ///< daemon -> client: ErrorFrame
+  kHealth = 10,        ///< client -> server: empty payload, cheap liveness probe
+  kHealthReply = 11,   ///< server -> client: HealthReply
+  kDrain = 12,         ///< client -> ROUTER: DrainRequest (remove + drain a shard)
+  kDrainReply = 13,    ///< router -> client: DrainReply
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -64,6 +71,7 @@ enum class ErrorCode : std::uint32_t {
   kUnsupportedVersion = 2,  ///< header version != kVersion; connection closes
   kBadRequest = 3,          ///< well-formed but unservable (unknown entity, bad shape)
   kInternal = 4,            ///< server-side failure (refresh rebuild threw, ...)
+  kUnavailable = 5,         ///< the shard owning the request is unreachable (mesh)
 };
 
 struct Frame {
@@ -78,6 +86,28 @@ struct RefreshReply {
 
 struct ErrorFrame {
   ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Liveness probe answer. A backend daemon reports its own serving
+/// generation; a router reports the max generation across its healthy
+/// shards. `draining` is reserved for a server winding down (a router
+/// never sets it today; a backend mid-drain would).
+struct HealthReply {
+  bool draining = false;
+  std::uint64_t generation = 0;
+};
+
+/// Router admin: remove shard `shard` from the ring and drain it — new
+/// requests reroute immediately, in-flight forwards finish, the shard's
+/// pooled connections close. Addressed by shard NAME (the ring identity),
+/// not endpoint — a shard keeps its identity across restarts/readdressing.
+struct DrainRequest {
+  std::string shard;
+};
+
+struct DrainReply {
+  bool drained = false;  ///< false = no shard by that name was in the ring
   std::string message;
 };
 
@@ -116,7 +146,133 @@ RefreshReply decode_refresh_reply(const std::string& payload);
 std::string encode_error(const ErrorFrame& error);
 ErrorFrame decode_error(const std::string& payload);
 
+std::string encode_health_reply(const HealthReply& reply);
+HealthReply decode_health_reply(const std::string& payload);
+
+std::string encode_drain_request(const DrainRequest& request);
+DrainRequest decode_drain_request(const std::string& payload);
+
+std::string encode_drain_reply(const DrainReply& reply);
+DrainReply decode_drain_reply(const std::string& payload);
+
+/// Reads ONLY the leading entity name out of a Score payload — all a
+/// router needs to pick the owning shard. The rest of the payload is
+/// forwarded byte-for-byte untouched, which is what keeps mesh verdicts
+/// bitwise-identical to direct ones for free. Throws
+/// common::SerializationError when even the name is truncated.
+std::string peek_score_entity(const std::string& payload);
+
 const char* to_string(MessageType type) noexcept;
 const char* to_string(ErrorCode code) noexcept;
+
+// --- client-side channels ----------------------------------------------------
+
+/// Reconnection policy of a FrameChannel.
+struct FrameChannelConfig {
+  /// Dial policy — both for the first connect and for every reconnect.
+  common::BackoffConfig backoff;
+  /// With true, a transport failure mid-round-trip tears the connection
+  /// down and retries the SAME request on a fresh one (idempotent
+  /// round trips only — the caller declares that per call). With false a
+  /// dead transport surfaces immediately as common::SocketError.
+  bool reconnect = true;
+  /// How many fresh connections one retryable round trip may burn before
+  /// the transport error propagates (each reconnect itself runs the full
+  /// backoff schedule, so the worst-case wall clock is
+  /// retry_rounds x backoff worst case — bounded by construction).
+  std::size_t retry_rounds = 3;
+  /// Per-socket receive timeout (0 = none). Health probes set this so a
+  /// hung peer surfaces as SocketError instead of wedging the prober.
+  int recv_timeout_ms = 0;
+};
+
+/// One logical request/reply stream to a wire-protocol server, surviving
+/// the server's restarts: connects lazily, reconnects with bounded
+/// exponential backoff + jitter, and (for round trips the caller marks
+/// retryable) replays the request on a fresh connection when the transport
+/// dies mid-exchange. This is the client half of the mesh's fault model —
+/// serve::DaemonClient pools these, and the router's per-shard forwarding
+/// channels are the same class.
+///
+/// NOT thread-safe: one channel serves one round trip at a time (pool
+/// channels via ChannelPool for concurrency).
+class FrameChannel {
+ public:
+  explicit FrameChannel(common::Endpoint endpoint, FrameChannelConfig config = {});
+
+  const common::Endpoint& endpoint() const noexcept { return endpoint_; }
+  bool connected() const noexcept { return socket_.valid(); }
+
+  /// Dials now (with the configured backoff) instead of on first use.
+  void ensure_connected();
+
+  /// Sends one request frame and reads the reply frame. An Error frame IS
+  /// a reply (returned, never retried). nullopt never escapes: a clean
+  /// server-side close before the reply is a transport failure here and
+  /// follows the retry rules above.
+  Frame roundtrip(MessageType type, std::string_view payload, bool retryable);
+
+  /// Drops the connection (the next round trip redials).
+  void close() noexcept;
+
+  /// How many times the channel re-established a connection after having
+  /// been connected before — the fault-injection tests' probe that
+  /// reconnect-with-backoff actually happened.
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+
+ private:
+  common::Endpoint endpoint_;
+  FrameChannelConfig config_;
+  common::Socket socket_;
+  bool was_connected_ = false;
+  std::uint64_t reconnects_ = 0;
+};
+
+/// A lazily-grown, bounded pool of FrameChannels to one endpoint.
+/// acquire() hands out an exclusive lease (RAII — returns the channel on
+/// destruction) and blocks when all `capacity` channels are leased.
+class ChannelPool {
+ public:
+  ChannelPool(common::Endpoint endpoint, FrameChannelConfig config, std::size_t capacity);
+
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    ~Lease();
+    FrameChannel& operator*() const noexcept { return *channel_; }
+    FrameChannel* operator->() const noexcept { return channel_; }
+
+   private:
+    friend class ChannelPool;
+    Lease(ChannelPool* pool, FrameChannel* channel) : pool_(pool), channel_(channel) {}
+    ChannelPool* pool_;
+    FrameChannel* channel_;
+  };
+
+  Lease acquire();
+
+  const common::Endpoint& endpoint() const noexcept { return endpoint_; }
+
+  /// Closes every currently-unleased connection. The pool stays usable —
+  /// channels redial on next use — so a drain pairs this with an external
+  /// "stop routing here" flag and waits for outstanding leases first.
+  void close_connections();
+
+  /// Total reconnects across all channels (see FrameChannel::reconnects).
+  std::uint64_t reconnects() const;
+
+ private:
+  void release(FrameChannel* channel);
+
+  common::Endpoint endpoint_;
+  FrameChannelConfig config_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<FrameChannel>> channels_;  ///< all ever created
+  std::vector<FrameChannel*> free_;
+};
 
 }  // namespace goodones::serve::wire

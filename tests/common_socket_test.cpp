@@ -1,0 +1,212 @@
+// Unit tests for the transport seam (common/socket.hpp): Endpoint parsing,
+// the TCP listener (ephemeral-port resolution, byte round trips, receive
+// timeouts) and connect_with_backoff — a dial that starts before the
+// listener exists must succeed once the listener appears, and one whose
+// peer never appears must fail after exactly the configured attempt budget.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/socket.hpp"
+
+namespace goodones::common {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Endpoint, ParsesBothTransportsAndRoundTrips) {
+  const Endpoint unix_ep = Endpoint::parse("unix:/run/goodones.sock");
+  EXPECT_EQ(unix_ep.kind(), Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_ep.path(), "/run/goodones.sock");
+  EXPECT_EQ(unix_ep.to_string(), "unix:/run/goodones.sock");
+  EXPECT_EQ(Endpoint::parse(unix_ep.to_string()), unix_ep);
+
+  const Endpoint tcp_ep = Endpoint::parse("tcp:127.0.0.1:7461");
+  EXPECT_EQ(tcp_ep.kind(), Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp_ep.host(), "127.0.0.1");
+  EXPECT_EQ(tcp_ep.port(), 7461);
+  EXPECT_EQ(Endpoint::parse(tcp_ep.to_string()), tcp_ep);
+
+  // The pre-mesh CLI shorthand: a bare path is a unix endpoint.
+  const Endpoint bare = Endpoint::parse("/tmp/bare.sock");
+  EXPECT_EQ(bare.kind(), Endpoint::Kind::kUnix);
+  EXPECT_EQ(bare.path(), "/tmp/bare.sock");
+
+  EXPECT_TRUE(Endpoint().empty());
+  EXPECT_FALSE(tcp_ep.empty());
+}
+
+TEST(Endpoint, RejectsMalformedText) {
+  EXPECT_THROW((void)Endpoint::parse(""), SocketError);
+  EXPECT_THROW((void)Endpoint::parse("unix:"), SocketError);
+  EXPECT_THROW((void)Endpoint::parse("tcp:127.0.0.1"), SocketError);       // no port
+  EXPECT_THROW((void)Endpoint::parse("tcp:host:notaport"), SocketError);
+  EXPECT_THROW((void)Endpoint::parse("tcp:host:65536"), SocketError);      // > u16
+  EXPECT_THROW((void)Endpoint::parse("tcp::7461"), SocketError);           // no host
+}
+
+TEST(TcpListener, EphemeralPortResolvesAndBytesRoundTrip) {
+  // Port 0: the kernel picks; the listener must report the real port.
+  TcpListener listener("127.0.0.1", 0);
+  const Endpoint& bound = listener.endpoint();
+  ASSERT_EQ(bound.kind(), Endpoint::Kind::kTcp);
+  ASSERT_GT(bound.port(), 0) << "ephemeral port must be resolved after bind";
+
+  Socket client = connect_tcp(bound.host(), bound.port());
+  Socket server = listener.accept(/*timeout_ms=*/2000);
+  ASSERT_TRUE(client.valid());
+  ASSERT_TRUE(server.valid());
+
+  const std::string message = "mesh bytes, either direction";
+  client.write_all(message.data(), message.size());
+  std::string echoed(message.size(), '\0');
+  ASSERT_EQ(server.read_exact(echoed.data(), echoed.size()), Socket::ReadResult::kOk);
+  EXPECT_EQ(echoed, message);
+
+  server.write_all(echoed.data(), echoed.size());
+  std::string back(message.size(), '\0');
+  ASSERT_EQ(client.read_exact(back.data(), back.size()), Socket::ReadResult::kOk);
+  EXPECT_EQ(back, message);
+
+  // Clean close is a kClosed read, not an error.
+  client.close();
+  char byte;
+  EXPECT_EQ(server.read_exact(&byte, 1), Socket::ReadResult::kClosed);
+}
+
+TEST(TcpListener, AcceptTimesOutWhenNobodyDials) {
+  TcpListener listener("127.0.0.1", 0);
+  const auto start = std::chrono::steady_clock::now();
+  Socket socket = listener.accept(/*timeout_ms=*/50);
+  EXPECT_FALSE(socket.valid());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 40ms);
+}
+
+TEST(Socket, RecvTimeoutSurfacesAsSocketError) {
+  TcpListener listener("127.0.0.1", 0);
+  Socket client = connect_tcp("127.0.0.1", listener.endpoint().port());
+  Socket server = listener.accept(2000);
+  ASSERT_TRUE(server.valid());
+
+  client.set_recv_timeout_ms(80);
+  char byte;
+  // The peer stays silent (but connected): the timeout must throw, not wedge.
+  EXPECT_THROW((void)client.read_exact(&byte, 1), SocketError);
+}
+
+TEST(ConnectWithBackoff, SucceedsWhenTheListenerAppearsLate) {
+  // Reserve a port, then close the listener so the first dials fail.
+  Endpoint target;
+  {
+    TcpListener reserve("127.0.0.1", 0);
+    target = reserve.endpoint();
+  }
+
+  BackoffConfig backoff;
+  backoff.initial_delay_ms = 25;
+  backoff.max_delay_ms = 100;
+  backoff.max_attempts = 40;  // plenty: the listener appears ~120ms in
+  backoff.seed = 7;
+
+  std::thread late_listener([&] {
+    std::this_thread::sleep_for(120ms);
+    TcpListener listener(target.host(), target.port());
+    Socket accepted = listener.accept(/*timeout_ms=*/5000);
+    EXPECT_TRUE(accepted.valid());
+    const char ack = '!';
+    accepted.write_all(&ack, 1);
+  });
+
+  Socket socket = connect_with_backoff(target, backoff);
+  ASSERT_TRUE(socket.valid());
+  char ack = '\0';
+  EXPECT_EQ(socket.read_exact(&ack, 1), Socket::ReadResult::kOk);
+  EXPECT_EQ(ack, '!');
+  late_listener.join();
+}
+
+TEST(ConnectWithBackoff, ExhaustsItsBoundedAttemptBudget) {
+  Endpoint target;
+  {
+    TcpListener reserve("127.0.0.1", 0);
+    target = reserve.endpoint();
+  }
+
+  BackoffConfig backoff;
+  backoff.initial_delay_ms = 5;
+  backoff.max_delay_ms = 10;
+  backoff.max_attempts = 3;
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)connect_with_backoff(target, backoff);
+    FAIL() << "nothing listens there; the dial must throw";
+  } catch (const SocketError& error) {
+    // The error names the attempt budget it burned (operator-facing).
+    EXPECT_NE(std::string(error.what()).find("3 attempts"), std::string::npos)
+        << error.what();
+  }
+  // Bounded: two sleeps of <= 10ms plus connect overhead, not an unbounded
+  // retry loop.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+}
+
+TEST(ConnectWithBackoff, JitterIsDeterministicPerSeed) {
+  // Same (endpoint, seed) => same schedule => same total elapsed order of
+  // magnitude; different seeds must not break the attempt budget either.
+  Endpoint target;
+  {
+    TcpListener reserve("127.0.0.1", 0);
+    target = reserve.endpoint();
+  }
+  for (const std::uint64_t seed : {0ull, 1ull, 0xdeadbeefull}) {
+    BackoffConfig backoff;
+    backoff.initial_delay_ms = 1;
+    backoff.max_delay_ms = 2;
+    backoff.max_attempts = 2;
+    backoff.seed = seed;
+    EXPECT_THROW((void)connect_with_backoff(target, backoff), SocketError);
+  }
+}
+
+TEST(UnixListener, RemovesSocketFileOnDestruction) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("go_sock_unit_" + std::to_string(::getpid()) + ".sock");
+  {
+    UnixListener listener(path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    Socket client = connect_unix(path);
+    Socket server = listener.accept(2000);
+    ASSERT_TRUE(server.valid());
+    const char byte = 'x';
+    client.write_all(&byte, 1);
+    char got = '\0';
+    ASSERT_EQ(server.read_exact(&got, 1), Socket::ReadResult::kOk);
+    EXPECT_EQ(got, 'x');
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(MakeListener, PicksTheTransportFromTheEndpoint) {
+  const auto tcp_listener = make_listener(Endpoint::tcp("127.0.0.1", 0));
+  EXPECT_EQ(tcp_listener->endpoint().kind(), Endpoint::Kind::kTcp);
+  EXPECT_GT(tcp_listener->endpoint().port(), 0);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("go_sock_seam_" + std::to_string(::getpid()) + ".sock");
+  const auto unix_listener = make_listener(Endpoint::unix_socket(path));
+  EXPECT_EQ(unix_listener->endpoint().kind(), Endpoint::Kind::kUnix);
+
+  EXPECT_THROW((void)make_listener(Endpoint()), SocketError);
+}
+
+}  // namespace
+}  // namespace goodones::common

@@ -1,0 +1,323 @@
+// Protocol fuzz for the wire layer — the acceptance gate behind the
+// FrameServer error-containment contract, driven at BOTH transports:
+//
+//   * A seeded corpus of VALID frames (Score with real windows, Stats,
+//     Health, Refresh, Drain, unknown types) is mutated byte-wise —
+//     bit flips, truncation, random extension, and deliberate lies in the
+//     length field — and thrown at a LIVE daemon over a Unix-domain and a
+//     TCP listener. The server may answer with typed Error frames, answer
+//     normally (some mutations stay valid), or close the connection; it
+//     must never crash, never emit a malformed frame of its own, and never
+//     wedge (the test side reads with a receive timeout; the daemon must
+//     still serve a clean round trip after the whole barrage).
+//   * The payload codecs are fuzzed directly: a mutated payload may decode
+//     (mutation hit don't-care bytes) or throw the typed
+//     common::SerializationError — anything else (length_error, bad_alloc,
+//     a crash) fails the suite.
+//
+// Mutations are generated from a fixed splitmix64 seed: every CI run and
+// every local repro fuzzes the exact same byte streams. The suite runs in
+// the sanitizer lane (ASan+UBSan) in CI, where "no crash" also means no
+// heap overflow and no UB on any of these paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/socket.hpp"
+#include "core/framework.hpp"
+#include "data/window.hpp"
+#include "domains/synthtel/adapter.hpp"
+#include "serve/daemon.hpp"
+
+namespace goodones::serve {
+namespace {
+
+std::shared_ptr<const core::DomainAdapter> mini_fleet() {
+  static const auto domain = std::make_shared<synthtel::SynthtelDomain>(2);
+  return domain;
+}
+
+core::FrameworkConfig mini_config() {
+  core::FrameworkConfig config = mini_fleet()->prepare(core::FrameworkConfig::fast());
+  config.population.train_steps = 1200;
+  config.population.test_steps = 400;
+  config.population.seed = 23;
+  config.registry.forecaster.hidden = 8;
+  config.registry.forecaster.head_hidden = 6;
+  config.registry.forecaster.epochs = 2;
+  config.registry.train_window_step = 8;
+  config.registry.aggregate_window_step = 50;
+  config.profiling_campaign.window_step = 10;
+  config.evaluation_campaign.window_step = 10;
+  config.detector_benign_stride = 10;
+  config.detectors.knn.max_points_per_class = 400;
+  config.random_runs = 1;
+  config.random_victims = 2;
+  config.seed = 555;
+  return config;
+}
+
+core::RiskProfilingFramework& framework() {
+  static core::RiskProfilingFramework instance(mini_fleet(), mini_config());
+  return instance;
+}
+
+std::filesystem::path unique_path(const char* stem, const char* suffix) {
+  return std::filesystem::temp_directory_path() /
+         (std::string(stem) + "_" + std::to_string(::getpid()) + suffix);
+}
+
+std::string frame_bytes(wire::MessageType type, const std::string& payload) {
+  std::string bytes(20, '\0');
+  const std::uint32_t magic = wire::kMagic;
+  const std::uint32_t version = wire::kVersion;
+  const std::uint32_t type_value = static_cast<std::uint32_t>(type);
+  const std::uint64_t length = payload.size();
+  std::memcpy(bytes.data(), &magic, 4);
+  std::memcpy(bytes.data() + 4, &version, 4);
+  std::memcpy(bytes.data() + 8, &type_value, 4);
+  std::memcpy(bytes.data() + 12, &length, 8);
+  return bytes + payload;
+}
+
+/// A real Score request against the served bundle (mutations of this one
+/// exercise the deepest decode path: strings, u64 counts, matrices).
+ScoreRequest real_request() {
+  auto& fw = framework();
+  const auto& entity = fw.entities().front();
+  data::WindowConfig window_config = fw.config().window;
+  window_config.step = 30;
+  ScoreRequest request;
+  request.entity = entity.name;
+  const auto windows = data::make_windows(entity.test, window_config);
+  for (std::size_t i = 0; i < windows.size() && i < 2; ++i) {
+    request.windows.push_back({windows[i].features, windows[i].regime});
+  }
+  return request;
+}
+
+/// The seeded corpus of well-formed frames the mutator starts from.
+std::vector<std::string> build_corpus() {
+  std::vector<std::string> corpus;
+  corpus.push_back(frame_bytes(wire::MessageType::kScore,
+                               wire::encode_score_request(real_request())));
+  corpus.push_back(frame_bytes(wire::MessageType::kStats, {}));
+  corpus.push_back(frame_bytes(wire::MessageType::kHealth, {}));
+  corpus.push_back(frame_bytes(wire::MessageType::kRefresh, {}));
+  wire::DrainRequest drain;
+  drain.shard = "shard-a";
+  corpus.push_back(
+      frame_bytes(wire::MessageType::kDrain, wire::encode_drain_request(drain)));
+  // A reply type a client should never send, and a type far outside the enum.
+  corpus.push_back(frame_bytes(wire::MessageType::kScoreReply, "unexpected"));
+  corpus.push_back(frame_bytes(static_cast<wire::MessageType>(0x7eadbeef), "future"));
+  return corpus;
+}
+
+/// One deterministic mutation of `original` (never returns it unchanged).
+std::string mutate(const std::string& original, std::uint64_t& rng) {
+  std::string bytes = original;
+  switch (common::splitmix64_next(rng) % 4) {
+    case 0: {  // flip 1..8 random bytes
+      const std::size_t flips = 1 + common::splitmix64_next(rng) % 8;
+      for (std::size_t f = 0; f < flips && !bytes.empty(); ++f) {
+        const std::size_t at = common::splitmix64_next(rng) % bytes.size();
+        bytes[at] = static_cast<char>(bytes[at] ^
+                                      (1u << (common::splitmix64_next(rng) % 8)));
+      }
+      break;
+    }
+    case 1: {  // truncate (possibly mid-header, possibly mid-payload)
+      const std::size_t keep = common::splitmix64_next(rng) % bytes.size();
+      bytes.resize(keep);
+      break;
+    }
+    case 2: {  // extend with random garbage
+      const std::size_t extra = 1 + common::splitmix64_next(rng) % 64;
+      for (std::size_t e = 0; e < extra; ++e) {
+        bytes.push_back(static_cast<char>(common::splitmix64_next(rng) & 0xff));
+      }
+      break;
+    }
+    default: {  // lie in the length field (small lie, huge lie, zero)
+      std::uint64_t lie = 0;
+      switch (common::splitmix64_next(rng) % 3) {
+        case 0: lie = common::splitmix64_next(rng) % 4096; break;
+        case 1: lie = common::splitmix64_next(rng); break;  // absurd
+        default: lie = 0; break;
+      }
+      if (bytes.size() >= 20) std::memcpy(bytes.data() + 12, &lie, 8);
+      break;
+    }
+  }
+  if (bytes == original) bytes.push_back('\0');  // guarantee a real mutation
+  return bytes;
+}
+
+/// Sends one mutated byte stream and drains the server's answer. The ONLY
+/// acceptable outcomes: well-formed reply frames (typed Error included),
+/// a clean close, a transport reset, or the server waiting for more bytes
+/// (our receive timeout fires; the close that follows unblocks it).
+void drive_mutation(const common::Endpoint& endpoint, const std::string& bytes) {
+  common::Socket socket = common::connect_endpoint(endpoint);
+  // Backstop only: the write half-close below means a healthy server
+  // always answers or closes promptly; hitting this timeout IS the wedge
+  // the suite exists to catch.
+  socket.set_recv_timeout_ms(2000);
+  try {
+    socket.write_all(bytes.data(), bytes.size());
+  } catch (const common::SocketError&) {
+    return;  // server already closed on us mid-write — a clean rejection
+  }
+  // Half-close: a server mid-frame (truncation/length lie) observes EOF
+  // NOW instead of waiting out a timeout, so the whole barrage stays fast.
+  socket.shutdown_write();
+  try {
+    for (int frames = 0; frames < 4; ++frames) {
+      // recv_frame validates the SERVER's framing: a malformed reply frame
+      // throws SerializationError here and fails the test below.
+      const std::optional<wire::Frame> reply = wire::recv_frame(socket);
+      if (!reply.has_value()) return;  // clean close
+    }
+  } catch (const common::SocketError& error) {
+    // A reset is a legal close (our junk may still sit unread in the
+    // server's buffer when it closes). A receive TIMEOUT is not: after the
+    // half-close the server has everything it will ever get — silence
+    // means a wedged handler.
+    if (std::string_view(error.what()).find("timed out") != std::string_view::npos) {
+      ADD_FAILURE() << "server went silent on a mutated stream: " << error.what();
+    }
+  } catch (const common::SerializationError& error) {
+    ADD_FAILURE() << "server emitted a malformed frame: " << error.what();
+  }
+}
+
+void fuzz_transport(const common::Endpoint& endpoint, std::uint64_t seed) {
+  const std::vector<std::string> corpus = build_corpus();
+  std::uint64_t rng = seed;
+  for (const std::string& original : corpus) {
+    for (int round = 0; round < 40; ++round) {
+      drive_mutation(endpoint, mutate(original, rng));
+    }
+  }
+  // Multi-frame streams: a valid frame, junk after it on the same
+  // connection — the first must be answered before the junk kills the
+  // stream.
+  for (int round = 0; round < 10; ++round) {
+    const std::string valid = frame_bytes(wire::MessageType::kStats, {});
+    drive_mutation(endpoint, valid + mutate(corpus[round % corpus.size()], rng));
+  }
+}
+
+TEST(WireFuzz, MutatedFramesNeverCrashOrWedgeEitherTransport) {
+  auto& fw = framework();
+  ServingModel bundle = build_serving_model(fw, detect::DetectorKind::kKnn);
+
+  DaemonConfig unix_config;
+  unix_config.listen = common::Endpoint::unix_socket(unique_path("go_fuzz", ".sock"));
+  unix_config.registry_root = unique_path("go_fuzz", "_reg");
+  unix_config.adaptive_enabled = false;
+  // Finished connections close at the accept loop's reap tick; hundreds of
+  // short-lived fuzz connections wait on it, so poll fast.
+  unix_config.accept_poll_ms = 5;
+  std::filesystem::remove_all(unix_config.registry_root);
+  Daemon unix_daemon(clone_serving_model(bundle), unix_config);
+  unix_daemon.start();
+
+  DaemonConfig tcp_config;
+  tcp_config.listen = common::Endpoint::tcp("127.0.0.1", 0);
+  tcp_config.registry_root = unix_config.registry_root;
+  tcp_config.adaptive_enabled = false;
+  tcp_config.accept_poll_ms = 5;
+  Daemon tcp_daemon(std::move(bundle), tcp_config);
+  tcp_daemon.start();
+
+  fuzz_transport(unix_daemon.endpoint(), /*seed=*/0x600d0e5f);
+  fuzz_transport(tcp_daemon.endpoint(), /*seed=*/0x600d0e5f ^ 0x7c9);
+
+  // The survival gate: after the barrage both daemons still serve clean
+  // round trips — no crash, no wedged accept loop, no leaked-broken state.
+  for (Daemon* daemon : {&unix_daemon, &tcp_daemon}) {
+    EXPECT_TRUE(daemon->running());
+    DaemonClient client(daemon->endpoint());
+    const ScoreResponse response = client.score(real_request());
+    EXPECT_FALSE(response.windows.empty());
+    EXPECT_FALSE(client.stats().empty());
+  }
+
+  unix_daemon.stop();
+  tcp_daemon.stop();
+  std::filesystem::remove_all(unix_config.registry_root);
+}
+
+TEST(WireFuzz, PayloadCodecsThrowOnlyTypedErrors) {
+  const ScoreRequest request = real_request();
+  ScoreResponse response;
+  response.entity_index = 0;
+  response.cluster = Cluster::kLessVulnerable;
+  response.generation = 3;
+  response.windows.push_back(
+      {1.0, 2.0, data::StateLabel::kHigh, data::StateLabel::kNormal, 0.5, true, 0.25});
+
+  wire::StatsSnapshot stats{{"serve.daemon.scores", 41}, {"serve.router.shards", 2}};
+  wire::RefreshReply refresh{true, 7};
+  wire::ErrorFrame error{wire::ErrorCode::kUnavailable, "shard down"};
+  wire::HealthReply health{false, 9};
+  wire::DrainRequest drain_request{"shard-b"};
+  wire::DrainReply drain_reply{true, "drained"};
+
+  struct Case {
+    std::string name;
+    std::string payload;
+    std::function<void(const std::string&)> decode;
+  };
+  const std::vector<Case> cases = {
+      {"score_request", wire::encode_score_request(request),
+       [](const std::string& p) { (void)wire::decode_score_request(p); }},
+      {"score_response", wire::encode_score_response(response),
+       [](const std::string& p) { (void)wire::decode_score_response(p); }},
+      {"stats", wire::encode_stats(stats),
+       [](const std::string& p) { (void)wire::decode_stats(p); }},
+      {"refresh_reply", wire::encode_refresh_reply(refresh),
+       [](const std::string& p) { (void)wire::decode_refresh_reply(p); }},
+      {"error", wire::encode_error(error),
+       [](const std::string& p) { (void)wire::decode_error(p); }},
+      {"health_reply", wire::encode_health_reply(health),
+       [](const std::string& p) { (void)wire::decode_health_reply(p); }},
+      {"drain_request", wire::encode_drain_request(drain_request),
+       [](const std::string& p) { (void)wire::decode_drain_request(p); }},
+      {"drain_reply", wire::encode_drain_reply(drain_reply),
+       [](const std::string& p) { (void)wire::decode_drain_reply(p); }},
+      {"peek_score_entity", wire::encode_score_request(request),
+       [](const std::string& p) { (void)wire::peek_score_entity(p); }},
+  };
+
+  std::uint64_t rng = 0xfeedc0de;
+  for (const Case& codec : cases) {
+    // Round-trip sanity first: the unmutated payload must decode.
+    ASSERT_NO_THROW(codec.decode(codec.payload)) << codec.name;
+    for (int round = 0; round < 300; ++round) {
+      const std::string mutated = mutate(codec.payload, rng);
+      try {
+        codec.decode(mutated);  // decoding fine means the mutation was benign
+      } catch (const common::SerializationError&) {
+        // the typed rejection — the only acceptable throw
+      } catch (const std::exception& other) {
+        ADD_FAILURE() << codec.name << " threw " << other.what()
+                      << " instead of SerializationError";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace goodones::serve

@@ -1,15 +1,17 @@
 // goodonesd — the long-lived serving daemon, runnable.
 //
 // Trains (first run) or loads (every later run) a miniature synthtel
-// serving bundle through the ModelRegistry, then serves it over a
-// Unix-domain socket until a Shutdown frame arrives. The adaptive loop is
-// live: scored traffic feeds the online risk profiler and partition moves
-// publish new bundle generations in the background (routing-only
-// refreshes — the daemon binary has no training framework to retrain
-// detectors with once the bundle is cached; embed serve::Daemon with a
-// rebuilder for that).
+// serving bundle through the ModelRegistry, then serves it over any
+// transport the endpoint seam names until a Shutdown frame arrives. The
+// adaptive loop is live: scored traffic feeds the online risk profiler and
+// partition moves publish new bundle generations in the background
+// (routing-only refreshes — the daemon binary has no training framework to
+// retrain detectors with once the bundle is cached; embed serve::Daemon
+// with a rebuilder for that).
 //
-//   goodonesd --socket /tmp/goodones.sock [--entities 3] [--threads 0]
+//   goodonesd --listen unix:/tmp/goodones.sock [--entities 3] [--threads 0]
+//   goodonesd --listen tcp:127.0.0.1:7401 ...       # a mesh shard
+//   goodonesd --socket /tmp/goodones.sock ...       # unix shorthand
 //             [--detector knn|ocsvm|madgan] [--reassess 256] [--fast-scoring]
 //
 // --fast-scoring serves forecasts through the polynomial fast-math lane
@@ -22,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "common/socket.hpp"
 #include "core/framework.hpp"
 #include "domains/synthtel/adapter.hpp"
 #include "serve/daemon.hpp"
@@ -47,15 +50,16 @@ core::FrameworkConfig mini_config(const core::DomainAdapter& domain) {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --socket PATH [--entities N] [--threads N] "
-               "[--detector knn|ocsvm|madgan] [--reassess WINDOWS] [--fast-scoring]\n";
+            << " --listen ENDPOINT | --socket PATH [--entities N] [--threads N] "
+               "[--detector knn|ocsvm|madgan] [--reassess WINDOWS] [--fast-scoring]\n"
+               "ENDPOINT: unix:/path/to.sock or tcp:host:port (port 0 = ephemeral)\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
+  common::Endpoint listen;
   std::size_t entities = 3;
   std::size_t threads = 0;
   std::size_t reassess = 256;
@@ -72,7 +76,9 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--socket") {
-      socket_path = next();
+      listen = common::Endpoint::unix_socket(next());
+    } else if (arg == "--listen") {
+      listen = common::Endpoint::parse(next());
     } else if (arg == "--entities") {
       entities = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--threads") {
@@ -91,7 +97,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (socket_path.empty()) return usage(argv[0]);
+  if (listen.empty()) return usage(argv[0]);
 
   const auto domain = std::make_shared<synthtel::SynthtelDomain>(entities);
   core::RiskProfilingFramework framework(domain, mini_config(*domain));
@@ -110,20 +116,22 @@ int main(int argc, char** argv) {
   }();
 
   serve::DaemonConfig config;
-  config.socket_path = socket_path;
+  config.listen = listen;
   config.scoring.threads = threads;
   if (fast_scoring) config.scoring.precision = nn::Precision::kFast;
   config.adaptive.reassess_every_windows = reassess;
 
   serve::Daemon daemon(std::move(model), std::move(config));
   daemon.start();
+  // endpoint() is the RESOLVED endpoint (tcp port 0 becomes the real port).
+  const std::string where = daemon.endpoint().to_string();
   std::cout << "goodonesd: serving " << daemon.service().model()->entity_names.size()
             << " entities (detector " << detect::to_string(kind)
             << (fast_scoring ? ", fast scoring" : "") << ", generation "
-            << daemon.generation() << ") on " << socket_path << "\n"
-            << "score with: goodonesd_client " << socket_path
+            << daemon.generation() << ") on " << where << "\n"
+            << "score with: goodonesd_client " << where
             << " score <entity> <windows.csv>\n"
-            << "stop with:  goodonesd_client " << socket_path << " shutdown\n";
+            << "stop with:  goodonesd_client " << where << " shutdown\n";
   daemon.wait();
   std::cout << "goodonesd: shut down cleanly (last generation " << daemon.generation()
             << ")\n";

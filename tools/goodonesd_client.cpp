@@ -1,9 +1,15 @@
-// goodonesd_client — CLI client for the serving daemon's wire protocol.
+// goodonesd_client — CLI client for the serving wire protocol (daemon or
+// router: both ends of the mesh speak the same frames).
 //
-//   goodonesd_client SOCKET score ENTITY WINDOWS.CSV [--regime 0|1]
-//   goodonesd_client SOCKET stats [PREFIX]
-//   goodonesd_client SOCKET refresh
-//   goodonesd_client SOCKET shutdown
+//   goodonesd_client ENDPOINT score ENTITY WINDOWS.CSV [--regime 0|1]
+//   goodonesd_client ENDPOINT stats [PREFIX]
+//   goodonesd_client ENDPOINT health
+//   goodonesd_client ENDPOINT refresh
+//   goodonesd_client ENDPOINT drain SHARD      (router only)
+//   goodonesd_client ENDPOINT shutdown
+//
+// ENDPOINT is unix:/path/to.sock, tcp:host:port, or a bare path (unix
+// shorthand — the pre-mesh invocation keeps working).
 //
 // WINDOWS.CSV carries one or more telemetry windows: a "window" column
 // groups rows (timesteps) into windows, every other column is one raw
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/socket.hpp"
 #include "serve/daemon.hpp"
 
 using namespace goodones;
@@ -33,10 +40,13 @@ using namespace goodones;
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " SOCKET score ENTITY WINDOWS.CSV [--regime 0|1]\n"
-            << "       " << argv0 << " SOCKET stats [PREFIX]\n"
-            << "       " << argv0 << " SOCKET refresh\n"
-            << "       " << argv0 << " SOCKET shutdown\n";
+  std::cerr << "usage: " << argv0 << " ENDPOINT score ENTITY WINDOWS.CSV [--regime 0|1]\n"
+            << "       " << argv0 << " ENDPOINT stats [PREFIX]\n"
+            << "       " << argv0 << " ENDPOINT health\n"
+            << "       " << argv0 << " ENDPOINT refresh\n"
+            << "       " << argv0 << " ENDPOINT drain SHARD\n"
+            << "       " << argv0 << " ENDPOINT shutdown\n"
+            << "ENDPOINT: unix:/path, tcp:host:port, or a bare unix path\n";
   return 2;
 }
 
@@ -101,10 +111,15 @@ int run_score(serve::DaemonClient& client, const std::string& entity,
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
-  const std::string socket_path = argv[1];
+  const std::string endpoint_text = argv[1];
   const std::string command = argv[2];
   try {
-    serve::DaemonClient client(socket_path);
+    // Endpoint::parse treats a bare path as unix shorthand; fail-fast
+    // client config (no silent reconnect loops from a CLI).
+    serve::DaemonClientConfig client_config;
+    client_config.channel.reconnect = false;
+    client_config.channel.backoff.max_attempts = 1;
+    serve::DaemonClient client(common::Endpoint::parse(endpoint_text), client_config);
     if (command == "score") {
       if (argc < 5) return usage(argv[0]);
       data::Regime regime = data::Regime::kBaseline;
@@ -120,6 +135,18 @@ int main(int argc, char** argv) {
         if (name.rfind(prefix, 0) == 0) std::cout << name << " " << value << "\n";
       }
       return 0;
+    }
+    if (command == "health") {
+      const serve::wire::HealthReply reply = client.health();
+      std::cout << (reply.draining ? "draining" : "serving") << ", generation "
+                << reply.generation << "\n";
+      return 0;
+    }
+    if (command == "drain") {
+      if (argc < 4) return usage(argv[0]);
+      const serve::wire::DrainReply reply = client.drain(argv[3]);
+      std::cout << reply.message << "\n";
+      return reply.drained ? 0 : 1;
     }
     if (command == "refresh") {
       const serve::wire::RefreshReply reply = client.refresh();
