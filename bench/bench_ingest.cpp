@@ -1,0 +1,345 @@
+// Measures the ingest/replay path the column store unlocks: a recorded
+// synthtel fleet trace is streamed into a persisted data::ColumnStore once,
+// then re-scored three ways on the SAME stride-1 window set —
+//
+//   replay_mmap_score_views      zero-copy WindowViews straight off the
+//                                mmapped store into score_views (the
+//                                backfill shape: window assembly, not the
+//                                LSTM, is on the critical path)
+//   replay_materialized_score    the same windows copied into ScoreRequests
+//                                first (what replay cost before the store)
+//   daemon_score_roundtrip       the per-request legacy baseline: one
+//                                Score round trip per window over the
+//                                socket, windows re-sent every time
+//   daemon_score_latest          Ingest once, then ScoreLatest batches —
+//                                no window bytes on the wire at all
+//
+// plus the wire-byte accounting behind the protocol change: bytes/window
+// for streaming ticks once (Ingest) vs re-sending every window (Score).
+// For the wire_bytes_* records ns_per_op carries BYTES PER SCORED WINDOW
+// (there is no time axis), and wire_bytes_reduction carries the ratio.
+// Results land in BENCH_ingest.json; the acceptance floor is replay ≥ 2×
+// the per-request round trip and a ≥ 10× wire-byte reduction.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "data/column_store.hpp"
+#include "data/window.hpp"
+#include "domains/synthtel/adapter.hpp"
+#include "serve/daemon.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+using namespace goodones;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One entity's recorded trace: the raw ticks the store ingests and the
+/// stride-1 window set every scoring mode below replays.
+struct Trace {
+  std::string entity;
+  nn::Matrix ticks;
+  std::vector<data::Regime> regimes;
+};
+
+struct Fixture {
+  std::shared_ptr<const core::DomainAdapter> domain;
+  std::unique_ptr<core::RiskProfilingFramework> framework;
+  std::unique_ptr<serve::ScoringService> service;
+  std::vector<Trace> traces;
+  std::filesystem::path store_root;
+  std::size_t seq_len = data::kDefaultSeqLen;
+  std::size_t total_windows = 0;
+
+  Fixture() {
+    domain = std::make_shared<synthtel::SynthtelDomain>(3);
+    core::FrameworkConfig config = domain->prepare(core::FrameworkConfig::fast());
+    config.population.train_steps = 2000;
+    config.population.test_steps = 600;
+    config.population.seed = 11;
+    config.registry.forecaster.hidden = 12;
+    config.registry.forecaster.head_hidden = 8;
+    config.registry.forecaster.epochs = 2;
+    config.registry.train_window_step = 6;
+    config.registry.aggregate_window_step = 40;
+    config.profiling_campaign.window_step = 8;
+    config.evaluation_campaign.window_step = 8;
+    config.detector_benign_stride = 8;
+    config.random_runs = 1;
+    config.seed = 77;
+    framework = std::make_unique<core::RiskProfilingFramework>(domain, config);
+
+    service = std::make_unique<serve::ScoringService>(
+        serve::build_serving_model(*framework, detect::DetectorKind::kKnn));
+
+    // The recorded fleet trace: every entity's held-out test series,
+    // persisted once — replay reopens it mmap-backed.
+    store_root = std::filesystem::temp_directory_path() /
+                 ("goodones_bench_ingest_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(store_root);
+    data::ColumnStoreConfig store_config;
+    store_config.root = store_root;
+    data::ColumnStore store(store_config, domain->spec().num_channels);
+    for (const auto& entity : framework->entities()) {
+      store.append_block(entity.name, entity.test.values, entity.test.regimes);
+      traces.push_back({entity.name, entity.test.values, entity.test.regimes});
+      total_windows += entity.test.steps() - seq_len + 1;
+    }
+    store.flush();
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+bench::BenchRecord windows_record(const std::string& name, std::size_t reps,
+                                  std::size_t windows_per_rep, double seconds) {
+  const double total = static_cast<double>(reps * windows_per_rep);
+  bench::BenchRecord record;
+  record.name = name;
+  record.iters = reps;
+  record.ns_per_op = seconds * 1e9 / total;
+  record.probes_per_sec = total / seconds;
+  return record;
+}
+
+/// Cuts the full stride-1 window set of one entity as zero-copy views.
+std::vector<data::WindowView> cut_views(const data::ColumnStore& store,
+                                        const std::string& entity, std::size_t seq_len) {
+  std::vector<data::WindowView> views;
+  const std::uint64_t ticks = store.ticks(entity);
+  for (std::uint64_t end = seq_len - 1; end < ticks; ++end) {
+    views.push_back(store.window_at(entity, end, seq_len));
+  }
+  return views;
+}
+
+/// (a) + (b): the in-process replay pair — mmapped views vs materialized
+/// copies, identical windows, identical scoring core.
+void run_replay(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  data::ColumnStoreConfig config;
+  config.root = f.store_root;
+  const data::ColumnStore store(config, f.domain->spec().num_channels);
+
+  const std::size_t reps = bench::bench_reps(5);
+  auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const Trace& trace : f.traces) {
+      const std::vector<data::WindowView> views = cut_views(store, trace.entity, f.seq_len);
+      benchmark::DoNotOptimize(f.service->score_views(
+          trace.entity, std::span<const data::WindowView>(views)));
+    }
+  }
+  records.push_back(
+      windows_record("replay_mmap_score_views", reps, f.total_windows, seconds_since(start)));
+
+  start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const Trace& trace : f.traces) {
+      serve::ScoreRequest request;
+      request.entity = trace.entity;
+      for (const data::WindowView& view : cut_views(store, trace.entity, f.seq_len)) {
+        request.windows.push_back({view.materialize(), view.regime()});
+      }
+      benchmark::DoNotOptimize(f.service->score(request));
+    }
+  }
+  records.push_back(windows_record("replay_materialized_score", reps, f.total_windows,
+                                   seconds_since(start)));
+
+  const std::size_t n = records.size();
+  std::cout << "in-process replay (windows/sec): mmap views "
+            << records[n - 2].probes_per_sec << " vs materialized "
+            << records[n - 1].probes_per_sec << "\n";
+}
+
+/// (c) + (d): over the socket — the per-request legacy baseline vs the
+/// ingest-once/score-latest protocol, against one daemon.
+void run_daemon_modes(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  serve::DaemonConfig config;
+  const std::filesystem::path socket_path =
+      std::filesystem::temp_directory_path() /
+      ("goodones_bench_ingest_" + std::to_string(::getpid()) + ".sock");
+  config.listen = common::Endpoint::unix_socket(socket_path);
+  config.registry_root = core::artifacts_dir() / "bench_models";
+  config.adaptive_enabled = false;  // measure the wire, not the profiler
+  serve::Daemon daemon(serve::clone_serving_model(*f.service->model()), config);
+  daemon.start();
+  serve::DaemonClient client(socket_path);
+
+  // Legacy baseline: one Score round trip per window, window bytes re-sent
+  // every time. Single rep — the trace is the workload.
+  const std::size_t reps = 1;
+  auto start = Clock::now();
+  for (const Trace& trace : f.traces) {
+    const std::size_t windows = trace.ticks.rows() - f.seq_len + 1;
+    for (std::size_t w = 0; w < windows; ++w) {
+      serve::ScoreRequest request;
+      request.entity = trace.entity;
+      serve::TelemetryWindow window;
+      window.regime = trace.regimes[w + f.seq_len - 1];
+      window.features = nn::Matrix(f.seq_len, trace.ticks.cols());
+      for (std::size_t t = 0; t < f.seq_len; ++t) {
+        for (std::size_t c = 0; c < trace.ticks.cols(); ++c) {
+          window.features(t, c) = trace.ticks(w + t, c);
+        }
+      }
+      request.windows.push_back(std::move(window));
+      benchmark::DoNotOptimize(client.score(request));
+    }
+  }
+  records.push_back(windows_record("daemon_score_roundtrip_per_window", reps,
+                                   f.total_windows, seconds_since(start)));
+
+  // Ingest-once: stream every trace into the daemon's store...
+  start = Clock::now();
+  for (const Trace& trace : f.traces) {
+    serve::wire::IngestRequest request;
+    request.entity = trace.entity;
+    request.ticks = trace.ticks;
+    request.regimes = trace.regimes;
+    benchmark::DoNotOptimize(client.ingest(request));
+  }
+  const double ingest_seconds = seconds_since(start);
+
+  // ... then ScoreLatest batches: zero window bytes on the wire.
+  constexpr std::size_t kLatestBatch = 64;
+  std::size_t latest_windows = 0;
+  start = Clock::now();
+  for (const Trace& trace : f.traces) {
+    serve::wire::ScoreLatestRequest request;
+    request.entity = trace.entity;
+    request.count = kLatestBatch;
+    const serve::ScoreResponse response = client.score_latest(request);
+    latest_windows += response.windows.size();
+  }
+  const double latest_seconds = seconds_since(start);
+  records.push_back(
+      windows_record("daemon_score_latest_batch", 1, latest_windows, latest_seconds));
+
+  bench::BenchRecord ingest_record;
+  ingest_record.name = "daemon_ingest_ticks_per_sec";
+  ingest_record.iters = 1;
+  std::size_t total_ticks = 0;
+  for (const Trace& trace : f.traces) total_ticks += trace.ticks.rows();
+  ingest_record.ns_per_op = ingest_seconds * 1e9 / static_cast<double>(total_ticks);
+  ingest_record.probes_per_sec = static_cast<double>(total_ticks) / ingest_seconds;
+  records.push_back(ingest_record);
+
+  daemon.stop();
+  const std::size_t n = records.size();
+  std::cout << "daemon (windows/sec): per-request Score "
+            << records[n - 3].probes_per_sec << ", ScoreLatest batch "
+            << records[n - 2].probes_per_sec << "; ingest "
+            << records[n - 1].probes_per_sec << " ticks/sec\n";
+}
+
+/// The protocol's byte accounting: what crosses the wire per scored window
+/// when history streams once (Ingest) vs when every window is re-sent
+/// (per-request Score on the same stride-1 window set).
+void run_wire_bytes(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  std::size_t ingest_bytes = 0;
+  std::size_t score_bytes = 0;
+  for (const Trace& trace : f.traces) {
+    serve::wire::IngestRequest ingest;
+    ingest.entity = trace.entity;
+    ingest.ticks = trace.ticks;
+    ingest.regimes = trace.regimes;
+    ingest_bytes += serve::wire::encode_ingest_request(ingest).size();
+
+    const std::size_t windows = trace.ticks.rows() - f.seq_len + 1;
+    for (std::size_t w = 0; w < windows; ++w) {
+      serve::ScoreRequest request;
+      request.entity = trace.entity;
+      serve::TelemetryWindow window;
+      window.regime = trace.regimes[w + f.seq_len - 1];
+      window.features = nn::Matrix(f.seq_len, trace.ticks.cols());
+      for (std::size_t t = 0; t < f.seq_len; ++t) {
+        for (std::size_t c = 0; c < trace.ticks.cols(); ++c) {
+          window.features(t, c) = trace.ticks(w + t, c);
+        }
+      }
+      request.windows.push_back(std::move(window));
+      score_bytes += serve::wire::encode_score_request(request).size();
+    }
+  }
+
+  const double per_window_ingest =
+      static_cast<double>(ingest_bytes) / static_cast<double>(f.total_windows);
+  const double per_window_score =
+      static_cast<double>(score_bytes) / static_cast<double>(f.total_windows);
+
+  bench::BenchRecord ingest_record;
+  ingest_record.name = "wire_bytes_ingest_per_window";
+  ingest_record.iters = f.total_windows;
+  ingest_record.ns_per_op = per_window_ingest;  // bytes, not ns — see header
+  records.push_back(ingest_record);
+  bench::BenchRecord score_record;
+  score_record.name = "wire_bytes_score_per_window";
+  score_record.iters = f.total_windows;
+  score_record.ns_per_op = per_window_score;
+  records.push_back(score_record);
+  bench::BenchRecord ratio_record;
+  ratio_record.name = "wire_bytes_reduction";
+  ratio_record.iters = f.total_windows;
+  ratio_record.ns_per_op = per_window_score / per_window_ingest;
+  records.push_back(ratio_record);
+
+  std::cout << "wire bytes per scored window: ingest " << per_window_ingest
+            << " vs re-sent Score " << per_window_score << " (x"
+            << per_window_score / per_window_ingest << " reduction)\n";
+}
+
+void BM_WindowViewGather(benchmark::State& state) {
+  const Fixture& f = fixture();
+  data::ColumnStoreConfig config;
+  config.root = f.store_root;
+  const data::ColumnStore store(config, f.domain->spec().num_channels);
+  const std::vector<data::WindowView> views =
+      cut_views(store, f.traces.front().entity, f.seq_len);
+  nn::Matrix out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    views[i % views.size()].gather(out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowViewGather);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "goodones ingest/replay bench (synthtel mini fleet, stride-1 "
+               "windows over a persisted column store)\n";
+  std::vector<bench::BenchRecord> records;
+  run_replay(records);
+  run_daemon_modes(records);
+  run_wire_bytes(records);
+  bench::save_bench_json(records, "ingest");
+  const int rc = goodones::bench::run_microbenchmarks(argc, argv);
+  std::filesystem::remove_all(fixture().store_root);
+  return rc;
+}

@@ -4,7 +4,9 @@
 # Boots two goodonesd shards and a goodones_router in front of them, then
 # drives the whole admin + scoring surface through goodonesd_client exactly
 # as an operator would: health, score (mixed entities, through the router),
-# stats (per-shard gauges), drain, shutdown. Everything runs as separate
+# ingest + score-latest (tick stream into the shard-owned column store,
+# then verdicts by entity name), stats (per-shard gauges), drain,
+# shutdown. Everything runs as separate
 # OS processes over fixed localhost TCP ports — the process/transport
 # topology the in-binary e2e tests cannot cover.
 #
@@ -80,6 +82,29 @@ for entity in SA_0 SA_1 SB_0 SB_1; do
   "$BUILD_DIR/goodonesd_client" "$ROUTER" score "$entity" "$WORK/windows.csv" \
     | grep -q "generation" || { echo "mesh_smoke: score of $entity failed" >&2; exit 1; }
 done
+
+echo "== ingest a trace, then score-latest, through the router"
+# 20 raw ticks of the same schema, no window column: each row is one tick.
+# The router routes Ingest and ScoreLatest by the same entity hash as
+# Score, so an entity's history lands on the shard that scores it.
+{
+  echo "reading,load,event"
+  for t in $(seq 0 19); do
+    echo "6$((t % 10)).25,0.5,0"
+  done
+} > "$WORK/ticks.csv"
+for entity in SA_0 SA_1 SB_0 SB_1; do
+  "$BUILD_DIR/goodonesd_client" "$ROUTER" ingest "$entity" "$WORK/ticks.csv" \
+    | grep -q "ingested 20 ticks" \
+    || { echo "mesh_smoke: ingest of $entity failed" >&2; exit 1; }
+  "$BUILD_DIR/goodonesd_client" "$ROUTER" score-latest "$entity" 2 \
+    | grep -q "generation" \
+    || { echo "mesh_smoke: score-latest of $entity failed" >&2; exit 1; }
+done
+# The store gauges aggregate per shard; through the router we see each
+# shard's own Stats only via the backend endpoints.
+"$BUILD_DIR/goodonesd_client" "$SHARD_A" stats serve.store | grep -q "serve.store.ticks" \
+  || { echo "mesh_smoke: shard A reports no store gauges" >&2; exit 1; }
 
 echo "== per-shard gauges visible in one stats round trip"
 # The healthy gauge flips on the router's first probe pass; give the

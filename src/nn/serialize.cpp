@@ -1,5 +1,6 @@
 #include "nn/serialize.hpp"
 
+#include <array>
 #include <fstream>
 #include <limits>
 
@@ -114,6 +115,27 @@ std::vector<std::uint8_t> read_u8_vector(std::istream& in, const char* what) {
   in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(size));
   if (!in) fail_truncated(what);
   return v;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) noexcept {
+  // Table generated once, lazily, from the reflected IEEE 802.3 polynomial.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 void expect_u32(std::istream& in, std::uint32_t expected, const char* what) {

@@ -45,6 +45,13 @@ std::vector<std::uint8_t> read_u8_vector(std::istream& in, const char* what = "u
 /// SerializationError naming `what` (magic/version/kind-tag guards).
 void expect_u32(std::istream& in, std::uint32_t expected, const char* what);
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+/// Chainable: feed the previous call's result as `seed` to checksum a file
+/// in pieces. Artifact writers that frame whole blobs (the columnar
+/// telemetry segments) append this over everything before the checksum
+/// field so truncation and bit rot surface as typed SerializationErrors.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0) noexcept;
+
 // --- matrices and parameter sets --------------------------------------------
 
 /// Writes one matrix (dims + row-major doubles, little-endian host order).

@@ -28,6 +28,10 @@ struct BatchPlan {
 /// Computes the shared-row plan of a batch of same-shape windows. A batch of
 /// one window is fully shared (prefix == rows, suffix == 0).
 BatchPlan plan_shared_rows(std::span<const nn::Matrix> windows);
+/// Pointer-span variant: windows scattered across caller-owned storage
+/// (request groups, column-store gathers) plan without being copied into a
+/// contiguous vector first. Plans are identical to the value-span overload.
+BatchPlan plan_shared_rows(std::span<const nn::Matrix* const> windows);
 
 /// One shape-homogeneous slice of a heterogeneous probe batch.
 struct ProbeGroup {
@@ -39,6 +43,8 @@ struct ProbeGroup {
 /// needs equal sequence lengths — and computes each group's shared-row plan.
 /// Groups appear in first-seen order; indices within a group stay ascending.
 std::vector<ProbeGroup> group_probes(std::span<const nn::Matrix> windows);
+/// Pointer-span variant (same grouping, same plans).
+std::vector<ProbeGroup> group_probes(std::span<const nn::Matrix* const> windows);
 
 /// One prefix cluster inside a shape group: members that share enough
 /// leading rows for a single PrefixState snapshot to cover them all.
@@ -58,6 +64,9 @@ struct ProbeCluster {
 /// i.e. exactly the pre-clustering behavior). Cluster order: multi-member
 /// clusters in first-seen order, residual last; member indices ascending.
 std::vector<ProbeCluster> cluster_probes(std::span<const nn::Matrix> windows,
+                                         std::span<const std::size_t> indices);
+/// Pointer-span variant (same clustering, same plans).
+std::vector<ProbeCluster> cluster_probes(std::span<const nn::Matrix* const> windows,
                                          std::span<const std::size_t> indices);
 
 }  // namespace goodones::predict

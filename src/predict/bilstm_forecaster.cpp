@@ -78,6 +78,22 @@ std::vector<double> BiLstmForecaster::predict_batch(
 
 std::vector<double> BiLstmForecaster::predict_batch(
     std::span<const nn::Matrix> raw_windows, nn::Precision precision) const {
+  // Delegate to the pointer-span primary: one pointer per window is noise
+  // next to the GEMMs, and a single implementation keeps all entry points
+  // bitwise-identical.
+  std::vector<const nn::Matrix*> ptrs;
+  ptrs.reserve(raw_windows.size());
+  for (const nn::Matrix& w : raw_windows) ptrs.push_back(&w);
+  return predict_batch(std::span<const nn::Matrix* const>(ptrs), precision);
+}
+
+std::vector<double> BiLstmForecaster::predict_batch(
+    std::span<const nn::Matrix* const> raw_windows) const {
+  return predict_batch(raw_windows, scoring_precision_);
+}
+
+std::vector<double> BiLstmForecaster::predict_batch(
+    std::span<const nn::Matrix* const> raw_windows, nn::Precision precision) const {
   // kMixed consumes the float32 weight mirrors, which only
   // set_scoring_precision(kMixed) / invalidate_scoring_state() refresh — a
   // per-call kMixed request is only valid on a model already configured for
@@ -91,9 +107,9 @@ std::vector<double> BiLstmForecaster::predict_batch(
   // plans computed on the raw windows hold for the scaled ones.
   std::vector<nn::Matrix> scaled;
   scaled.reserve(raw_windows.size());
-  for (const nn::Matrix& w : raw_windows) {
-    GO_EXPECTS(w.cols() == scaler_.num_features());
-    scaled.push_back(scaler_.transform(w));
+  for (const nn::Matrix* w : raw_windows) {
+    GO_EXPECTS(w->cols() == scaler_.num_features());
+    scaled.push_back(scaler_.transform(*w));
   }
 
   const std::size_t h = config_.hidden;
@@ -102,7 +118,7 @@ std::vector<double> BiLstmForecaster::predict_batch(
   const nn::Lstm& bwd_cell = lstm_.backward_cell();
 
   for (const ProbeGroup& group : group_probes(raw_windows)) {
-    const std::size_t steps = raw_windows[group.indices.front()].rows();
+    const std::size_t steps = raw_windows[group.indices.front()]->rows();
     const std::vector<ProbeCluster> clusters = cluster_probes(raw_windows, group.indices);
 
     // Forward cell: resolve each cluster's prefix snapshot from the trail

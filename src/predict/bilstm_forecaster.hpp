@@ -64,6 +64,15 @@ class BiLstmForecaster final : public Forecaster {
   std::vector<double> predict_batch(std::span<const nn::Matrix> raw_windows,
                                     nn::Precision precision) const override;
 
+  /// Zero-copy entry points: the batch arrives as pointers into caller-owned
+  /// storage (scoring-service request groups, column-store gathers). These
+  /// are the primary implementation — the value-span overloads delegate here
+  /// — so results are bitwise-identical across all four entry points.
+  std::vector<double> predict_batch(
+      std::span<const nn::Matrix* const> raw_windows) const override;
+  std::vector<double> predict_batch(std::span<const nn::Matrix* const> raw_windows,
+                                    nn::Precision precision) const override;
+
   /// Numeric mode of predict_batch's LSTM tail math. kMixed scores against
   /// float32 weight mirrors with float64 activations/accumulation; kFast
   /// keeps double GEMMs but swaps the gate transcendentals for vectorized

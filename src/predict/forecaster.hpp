@@ -48,6 +48,27 @@ class Forecaster {
     return predict_batch(raw_windows);
   }
 
+  /// Zero-copy batched inference: the same contract as the value-span
+  /// overloads, but the batch arrives as pointers into caller-owned storage
+  /// (scoring-service request groups, column-store window gathers). Element
+  /// i corresponds to *raw_windows[i]; results must match the scalar path.
+  /// The default loops predict(); models with a real batch path override
+  /// this alongside the value-span overloads.
+  virtual std::vector<double> predict_batch(
+      std::span<const nn::Matrix* const> raw_windows) const {
+    std::vector<double> out;
+    out.reserve(raw_windows.size());
+    for (const nn::Matrix* w : raw_windows) out.push_back(predict(*w));
+    return out;
+  }
+
+  /// Pointer-span batch with an explicit per-call numeric lane (see the
+  /// value-span precision overload for lane semantics).
+  virtual std::vector<double> predict_batch(std::span<const nn::Matrix* const> raw_windows,
+                                            nn::Precision /*precision*/) const {
+    return predict_batch(raw_windows);
+  }
+
   /// Gradient of the prediction w.r.t. each raw input feature
   /// (seq_len x channels). Drives the gradient-guided attack variant.
   virtual nn::Matrix input_gradient(const nn::Matrix& raw_features) const = 0;

@@ -37,6 +37,14 @@ FrameServerConfig server_config_of(const DaemonConfig& config) {
   return server;
 }
 
+data::ColumnStoreConfig store_config_of(const DaemonConfig& config) {
+  data::ColumnStoreConfig store;
+  store.root = config.store_root;
+  store.segment_capacity = config.store_segment_capacity;
+  store.mmap_reads = config.store_mmap;
+  return store;
+}
+
 }  // namespace
 
 Daemon::Daemon(ServingModel model, DaemonConfig config,
@@ -44,13 +52,25 @@ Daemon::Daemon(ServingModel model, DaemonConfig config,
     : FrameServer(server_config_of(config)),
       config_(std::move(config)),
       registry_(make_registry(config_.registry_root)),
-      service_(persist_initial(registry_, std::move(model)), config_.scoring) {
+      service_(persist_initial(registry_, std::move(model)), config_.scoring),
+      store_(store_config_of(config_), service_.model()->spec.num_channels) {
+  const std::shared_ptr<const ServingModel> bundle = service_.model();
+  roster_.insert(bundle->entity_names.begin(), bundle->entity_names.end());
   if (config_.adaptive_enabled) {
     controller_.emplace(service_, config_.adaptive, std::move(rebuilder), &registry_);
   }
 }
 
-Daemon::~Daemon() { stop(); }
+Daemon::~Daemon() {
+  stop();
+  // Persist partial trailing segments so a restarted daemon resumes the
+  // exact tick history (memory-only stores make this a no-op).
+  try {
+    store_.flush();
+  } catch (const std::exception& error) {
+    common::log_error("store flush on shutdown failed: ", error.what());
+  }
+}
 
 void Daemon::on_started() {
   common::log_info("daemon listening on ", endpoint().to_string(), " (generation ",
@@ -92,10 +112,86 @@ bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
       }
       return true;
     }
+    case wire::MessageType::kIngest: {
+      wire::IngestRequest request;
+      try {
+        request = wire::decode_ingest_request(frame.payload);
+      } catch (const common::SerializationError& error) {
+        core::counters().add("serve.daemon.malformed_frames", 1);
+        send_error(socket, wire::ErrorCode::kMalformedFrame, error.what());
+        return true;
+      }
+      try {
+        if (!roster_.contains(request.entity)) {
+          throw common::PreconditionError("unknown entity in ingest request: " +
+                                          request.entity);
+        }
+        if (!request.ticks.empty() && request.ticks.cols() != store_.num_channels()) {
+          throw common::PreconditionError(
+              "ingest tick width " + std::to_string(request.ticks.cols()) +
+              " disagrees with the domain's " + std::to_string(store_.num_channels()) +
+              " channels");
+        }
+        store_.append_block(request.entity, request.ticks, request.regimes);
+        wire::IngestReply reply;
+        reply.accepted = request.ticks.rows();
+        reply.total_ticks = store_.ticks(request.entity);
+        wire::send_frame(socket, wire::MessageType::kIngestReply,
+                         wire::encode_ingest_reply(reply));
+        core::counters().add("serve.daemon.ingests", 1);
+        core::counters().add("serve.daemon.ticks_ingested", request.ticks.rows());
+      } catch (const common::SocketError&) {
+        throw;
+      } catch (const common::PreconditionError& error) {
+        send_error(socket, wire::ErrorCode::kBadRequest, error.what());
+      } catch (const std::exception& error) {
+        send_error(socket, wire::ErrorCode::kInternal, error.what());
+      }
+      return true;
+    }
+    case wire::MessageType::kScoreLatest: {
+      wire::ScoreLatestRequest request;
+      try {
+        request = wire::decode_score_latest_request(frame.payload);
+      } catch (const common::SerializationError& error) {
+        core::counters().add("serve.daemon.malformed_frames", 1);
+        send_error(socket, wire::ErrorCode::kMalformedFrame, error.what());
+        return true;
+      }
+      try {
+        if (request.count == 0) {
+          throw common::PreconditionError("score-latest window count must be >= 1");
+        }
+        const std::size_t seq_len = request.seq_len != 0
+                                        ? static_cast<std::size_t>(request.seq_len)
+                                        : config_.store_seq_len;
+        // Windows are zero-copy views over the store; unknown entities and
+        // too-short histories surface as PreconditionError -> BadRequest.
+        const std::vector<data::WindowView> views = store_.latest_windows(
+            request.entity, seq_len, static_cast<std::size_t>(request.count));
+        const ScoreResponse response = service_.score_views(request.entity, views);
+        wire::send_frame(socket, wire::MessageType::kScoreLatestReply,
+                         wire::encode_score_response(response));
+        core::counters().add("serve.daemon.scores", 1);
+        core::counters().add("serve.daemon.windows_scored", views.size());
+      } catch (const common::SocketError&) {
+        throw;
+      } catch (const common::PreconditionError& error) {
+        send_error(socket, wire::ErrorCode::kBadRequest, error.what());
+      } catch (const std::exception& error) {
+        send_error(socket, wire::ErrorCode::kInternal, error.what());
+      }
+      return true;
+    }
     case wire::MessageType::kStats: {
       wire::StatsSnapshot stats = core::counters().snapshot();
       stats.emplace_back("serve.daemon.generation", service_.generation());
       stats.emplace_back("serve.daemon.adaptive_enabled", controller_ ? 1 : 0);
+      const data::ColumnStore::Stats store_stats = store_.stats();
+      stats.emplace_back("serve.store.entities", store_stats.entities);
+      stats.emplace_back("serve.store.ticks", store_stats.ticks);
+      stats.emplace_back("serve.store.segments", store_stats.segments);
+      stats.emplace_back("serve.store.bytes_mapped", store_stats.bytes_mapped);
       wire::send_frame(socket, wire::MessageType::kStatsReply, wire::encode_stats(stats));
       return true;
     }
@@ -201,6 +297,23 @@ ScoreResponse DaemonClient::score(const ScoreRequest& request) {
   const wire::Frame reply =
       roundtrip(wire::MessageType::kScore, wire::encode_score_request(request),
                 wire::MessageType::kScoreReply, /*retryable=*/true);
+  return wire::decode_score_response(reply.payload);
+}
+
+wire::IngestReply DaemonClient::ingest(const wire::IngestRequest& request) {
+  // retryable=false: an append replayed on a fresh connection would be
+  // double-counted — see the header contract.
+  const wire::Frame reply =
+      roundtrip(wire::MessageType::kIngest, wire::encode_ingest_request(request),
+                wire::MessageType::kIngestReply, /*retryable=*/false);
+  return wire::decode_ingest_reply(reply.payload);
+}
+
+ScoreResponse DaemonClient::score_latest(const wire::ScoreLatestRequest& request) {
+  const wire::Frame reply = roundtrip(wire::MessageType::kScoreLatest,
+                                      wire::encode_score_latest_request(request),
+                                      wire::MessageType::kScoreLatestReply,
+                                      /*retryable=*/true);
   return wire::decode_score_response(reply.payload);
 }
 

@@ -12,7 +12,14 @@
 //             risk, tagged with the bundle generation that produced them
 //             (every verdict is auditable to exactly one published bundle —
 //             adaptive defenses get probed, provenance is the answer)
+//   Ingest    entity + raw ticks -> appended to the daemon-owned
+//             data::ColumnStore (clients stream history once instead of
+//             re-sending seq_len rows per window)
+//   ScoreLatest  "score entity X now": windows are cut as zero-copy views
+//             over the store and scored through the same core as Score —
+//             verdicts are bitwise-identical for the same window bytes
 //   Stats     the core::metrics::counters() snapshot + daemon gauges
+//             (including serve.store.* store gauges)
 //   Health    cheap liveness probe (no counter snapshot): serving
 //             generation + draining flag — what the router's prober polls
 //   Refresh   force a reassessment now (the admin sibling of the automatic
@@ -33,7 +40,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
+#include "data/column_store.hpp"
+#include "data/window.hpp"
 #include "serve/adaptive_controller.hpp"
 #include "serve/frame_server.hpp"
 #include "serve/model_registry.hpp"
@@ -62,6 +72,17 @@ struct DaemonConfig {
   /// gets its connection dropped after this long instead of wedging a
   /// handler thread (and therefore shutdown) forever. 0 = no timeout.
   int send_timeout_ms = 10000;
+  /// Root directory of the daemon-owned telemetry store (Ingest /
+  /// ScoreLatest). Empty = memory-only: history lives for the daemon's
+  /// lifetime but is never persisted.
+  std::filesystem::path store_root;
+  /// Ticks per store segment; segments seal (and persist, with a root) at
+  /// exactly this boundary.
+  std::size_t store_segment_capacity = 4096;
+  /// mmap sealed segments on read (false = whole-file read fallback).
+  bool store_mmap = true;
+  /// Window geometry served by ScoreLatest frames that leave seq_len at 0.
+  std::size_t store_seq_len = data::kDefaultSeqLen;
 };
 
 class Daemon final : public FrameServer {
@@ -77,6 +98,8 @@ class Daemon final : public FrameServer {
   ~Daemon() override;
 
   ScoringService& service() noexcept { return service_; }
+  /// The daemon-owned telemetry store behind Ingest/ScoreLatest.
+  data::ColumnStore& store() noexcept { return store_; }
   const ModelRegistry& registry() const noexcept { return registry_; }
   /// nullptr when adaptive_enabled is false.
   AdaptiveController* controller() noexcept {
@@ -93,6 +116,13 @@ class Daemon final : public FrameServer {
   DaemonConfig config_;
   ModelRegistry registry_;
   ScoringService service_;
+  /// Declared after service_: its channel count comes from the served
+  /// bundle's domain spec.
+  data::ColumnStore store_;
+  /// The bundle roster is fixed for the daemon's lifetime (swap_model
+  /// enforces an identical entity set), so Ingest validates entities
+  /// against this O(1) index instead of the snapshot's vector.
+  std::unordered_set<std::string> roster_;
   std::optional<AdaptiveController> controller_;
 };
 
@@ -129,6 +159,12 @@ class DaemonClient {
   const common::Endpoint& endpoint() const noexcept { return endpoint_; }
 
   ScoreResponse score(const ScoreRequest& request);
+  /// Streams raw ticks into the daemon's store. NEVER auto-retried, even
+  /// over a reconnecting channel: an append is not idempotent, and a torn
+  /// connection cannot tell "lost before the append" from "lost after".
+  wire::IngestReply ingest(const wire::IngestRequest& request);
+  /// Scores the entity's most recent stored windows (server-side cut).
+  ScoreResponse score_latest(const wire::ScoreLatestRequest& request);
   wire::StatsSnapshot stats();
   wire::HealthReply health();
   wire::RefreshReply refresh();

@@ -163,7 +163,8 @@ bool Router::drain(const std::string& shard) {
   return true;
 }
 
-void Router::handle_score(common::Socket& socket, const wire::Frame& frame) {
+void Router::handle_entity_forward(common::Socket& socket, const wire::Frame& frame,
+                                   bool retryable) {
   std::string entity;
   try {
     entity = wire::peek_score_entity(frame.payload);
@@ -185,8 +186,7 @@ void Router::handle_score(common::Socket& socket, const wire::Frame& frame) {
   wire::Frame reply;
   try {
     const wire::ChannelPool::Lease channel = backend->pool.acquire();
-    reply = channel->roundtrip(wire::MessageType::kScore, frame.payload,
-                               /*retryable=*/true);
+    reply = channel->roundtrip(frame.type, frame.payload, retryable);
   } catch (const common::SocketError& error) {
     // The owner stayed unreachable through every reconnect round. Its
     // entities have no other home (shards own their slices), so this is a
@@ -197,8 +197,9 @@ void Router::handle_score(common::Socket& socket, const wire::Frame& frame) {
                "shard '" + owner + "' unreachable: " + error.what());
     return;
   }
-  // Relay verbatim — kScoreReply bytes untouched (the bitwise guarantee),
-  // and a shard-side Error frame passes through as-is too.
+  // Relay verbatim — reply bytes untouched (the bitwise guarantee for
+  // kScoreReply/kScoreLatestReply), and a shard-side Error frame passes
+  // through as-is too.
   wire::send_frame(socket, reply.type, reply.payload);
   core::counters().add("serve.router.forwards", 1);
 }
@@ -287,7 +288,12 @@ void Router::handle_drain(common::Socket& socket, const wire::Frame& frame) {
 bool Router::dispatch(common::Socket& socket, const wire::Frame& frame) {
   switch (frame.type) {
     case wire::MessageType::kScore:
-      handle_score(socket, frame);
+    case wire::MessageType::kScoreLatest:
+      handle_entity_forward(socket, frame, /*retryable=*/true);
+      return true;
+    case wire::MessageType::kIngest:
+      // Appends are not idempotent — never replayed by the forward channel.
+      handle_entity_forward(socket, frame, /*retryable=*/false);
       return true;
     case wire::MessageType::kStats:
       handle_stats(socket);

@@ -1,12 +1,16 @@
 // The mesh front end: consistent-hash routing over backend scoring shards.
 //
 // A Router speaks the same framed protocol as a Daemon (FrameServer base)
-// but owns no models: it maps every Score request's entity name onto the
-// HashRing of shard NAMES and forwards the payload byte-for-byte to the
-// owning shard over a pooled, reconnecting wire::FrameChannel. Because the
-// payload is never re-encoded, a verdict served through the mesh is
-// bitwise-identical to one served by the shard directly — the property
-// tests/serve_mesh_test.cpp pins against an in-process ScoringService.
+// but owns no models: it maps every entity-keyed request's entity name
+// (Score, Ingest, ScoreLatest — all three payloads lead with the entity)
+// onto the HashRing of shard NAMES and forwards the payload byte-for-byte
+// to the owning shard over a pooled, reconnecting wire::FrameChannel.
+// Because the payload is never re-encoded, a verdict served through the
+// mesh is bitwise-identical to one served by the shard directly — the
+// property tests/serve_mesh_test.cpp pins against an in-process
+// ScoringService. Entity-keyed routing also means an entity's Ingest
+// stream and its ScoreLatest requests land on the SAME shard that scores
+// it — the store is sharded exactly like the scoring work.
 //
 // Fault model (docs/MESH.md):
 //   * Shards OWN their entity slices — there is no cross-shard failover.
@@ -124,7 +128,14 @@ class Router final : public FrameServer {
   class InFlightGuard;
 
   Backend* acquire_backend(std::string_view entity, std::string& owner_out);
-  void handle_score(common::Socket& socket, const wire::Frame& frame);
+  /// Entity-keyed forwarding shared by Score, Ingest and ScoreLatest: peek
+  /// the entity (every such payload leads with it), pick the owning shard,
+  /// relay the payload byte-for-byte. `retryable` is per-verb: Score and
+  /// ScoreLatest replay safely on a fresh connection, Ingest must NOT (an
+  /// append is not idempotent — a torn connection cannot tell "lost before
+  /// the append" from "lost after", so the failure surfaces to the client).
+  void handle_entity_forward(common::Socket& socket, const wire::Frame& frame,
+                             bool retryable);
   void handle_stats(common::Socket& socket);
   void handle_health(common::Socket& socket);
   void handle_refresh(common::Socket& socket);

@@ -18,6 +18,56 @@ struct WindowRef {
   std::size_t window = 0;
 };
 
+/// The per-entity scoring core shared by score_batch (legacy Score frames)
+/// and score_views (column-store windows): one predict_batch, one detector
+/// score_batch, then the per-window verdict math. Consumes POINTERS into
+/// caller-owned feature storage — the hot path copies no window bytes.
+/// Result i corresponds to features[i]/regimes[i].
+std::vector<WindowScore> score_entity_windows(const ServingModel& model,
+                                              std::size_t entity,
+                                              std::span<const nn::Matrix* const> features,
+                                              std::span<const data::Regime> regimes,
+                                              nn::Precision precision) {
+  const core::DomainSpec& spec = model.spec;
+  const predict::Forecaster& forecaster = model.forecasters[entity];
+  const detect::AnomalyDetector& detector = model.detector_for(entity);
+  const bool sample_level =
+      detector.granularity() == detect::InputGranularity::kSample;
+
+  const std::vector<double> forecasts = forecaster.predict_batch(features, precision);
+
+  // One detector call for the whole (entity, batch) group. The detector
+  // transforms are real computations (sample extraction / scaling), not
+  // window copies.
+  std::vector<nn::Matrix> detector_inputs;
+  detector_inputs.reserve(features.size());
+  for (const nn::Matrix* w : features) {
+    detector_inputs.push_back(sample_level
+                                  ? core::window_sample(spec, model.detector_scaler, *w)
+                                  : model.detector_scaler.transform(*w));
+  }
+  const std::vector<double> anomaly_scores =
+      detector.score_batch(std::span<const nn::Matrix>(detector_inputs));
+
+  std::vector<WindowScore> scores(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const nn::Matrix& window = *features[i];
+    WindowScore& score = scores[i];
+
+    score.forecast = forecasts[i];
+    const double last_observed = window(window.rows() - 1, spec.target_channel);
+    score.residual = score.forecast - last_observed;
+    score.observed_state = spec.thresholds.classify(last_observed, regimes[i]);
+    score.predicted_state = spec.thresholds.classify(score.forecast, regimes[i]);
+    score.risk = spec.severity.coefficient(score.observed_state, score.predicted_state) *
+                 risk::deviation_magnitude(last_observed, score.forecast);
+
+    score.anomaly_score = anomaly_scores[i];
+    score.flagged = detector.flags_from_score(detector_inputs[i], score.anomaly_score);
+  }
+  return scores;
+}
+
 }  // namespace
 
 ScoringService::Snapshot::Snapshot(ServingModel m) : model(std::move(m)) {
@@ -124,46 +174,23 @@ std::vector<ScoreResponse> ScoringService::score_batch(
   common::parallel_for(*pool_, active.size(), [&](std::size_t a) {
     const std::size_t entity = active[a]->first;
     const std::vector<WindowRef>& refs = active[a]->second;
-    const predict::Forecaster& forecaster = model.forecasters[entity];
-    const detect::AnomalyDetector& detector = model.detector_for(entity);
-    const bool sample_level =
-        detector.granularity() == detect::InputGranularity::kSample;
 
-    std::vector<nn::Matrix> batch;
-    batch.reserve(refs.size());
+    // Zero-copy regroup: the group is a pointer/regime view straight into
+    // the request storage — no window bytes move on the serve hot path.
+    std::vector<const nn::Matrix*> features;
+    std::vector<data::Regime> regimes;
+    features.reserve(refs.size());
+    regimes.reserve(refs.size());
     for (const WindowRef& ref : refs) {
-      batch.push_back(requests[ref.request].windows[ref.window].features);
-    }
-    const std::vector<double> forecasts = forecaster.predict_batch(batch, precision_);
-
-    // One detector call for the whole (entity, request-batch) group.
-    std::vector<nn::Matrix> detector_inputs;
-    detector_inputs.reserve(refs.size());
-    for (const WindowRef& ref : refs) {
-      const nn::Matrix& features = requests[ref.request].windows[ref.window].features;
-      detector_inputs.push_back(
-          sample_level ? core::window_sample(spec, model.detector_scaler, features)
-                       : model.detector_scaler.transform(features));
-    }
-    const std::vector<double> anomaly_scores =
-        detector.score_batch(std::span<const nn::Matrix>(detector_inputs));
-
-    for (std::size_t i = 0; i < refs.size(); ++i) {
-      const WindowRef& ref = refs[i];
       const TelemetryWindow& window = requests[ref.request].windows[ref.window];
-      WindowScore& score = responses[ref.request].windows[ref.window];
+      features.push_back(&window.features);
+      regimes.push_back(window.regime);
+    }
 
-      score.forecast = forecasts[i];
-      const double last_observed =
-          window.features(window.features.rows() - 1, spec.target_channel);
-      score.residual = score.forecast - last_observed;
-      score.observed_state = spec.thresholds.classify(last_observed, window.regime);
-      score.predicted_state = spec.thresholds.classify(score.forecast, window.regime);
-      score.risk = spec.severity.coefficient(score.observed_state, score.predicted_state) *
-                   risk::deviation_magnitude(last_observed, score.forecast);
-
-      score.anomaly_score = anomaly_scores[i];
-      score.flagged = detector.flags_from_score(detector_inputs[i], score.anomaly_score);
+    const std::vector<WindowScore> scores =
+        score_entity_windows(model, entity, features, regimes, precision_);
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      responses[refs[i].request].windows[refs[i].window] = scores[i];
     }
   });
 
@@ -181,6 +208,55 @@ std::vector<ScoreResponse> ScoringService::score_batch(
     }
   }
   return responses;
+}
+
+ScoreResponse ScoringService::score_views(const std::string& entity,
+                                          std::span<const data::WindowView> views) const {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const ServingModel& model = snap->model;
+
+  const auto found = snap->entity_lookup.find(entity);
+  if (found == snap->entity_lookup.end()) {
+    throw common::PreconditionError("unknown entity in score request: " + entity);
+  }
+  const std::size_t index = found->second;
+
+  ScoreResponse response;
+  response.entity_index = index;
+  response.cluster = model.entity_cluster[index];
+  response.generation = model.generation;
+
+  if (!views.empty()) {
+    // Gather each view exactly once — the single copy on this path; the
+    // store segments themselves are never duplicated.
+    std::vector<nn::Matrix> gathered(views.size());
+    std::vector<const nn::Matrix*> features(views.size());
+    std::vector<data::Regime> regimes(views.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      GO_EXPECTS(views[i].rows() >= 1);
+      GO_EXPECTS(views[i].cols() == model.spec.num_channels);
+      views[i].gather(gathered[i]);
+      features[i] = &gathered[i];
+      regimes[i] = views[i].regime();
+    }
+    response.windows = score_entity_windows(model, index, features, regimes, precision_);
+  }
+
+  auto& counters = core::counters();
+  counters.add("serve.requests", 1);
+  counters.add("serve.windows", views.size());
+  counters.add("serve.entity_batches", views.empty() ? 0 : 1);
+
+  if (const std::shared_ptr<const ScoreObserver> observer =
+          observer_.load(std::memory_order_acquire)) {
+    // The observer contract hands over the finished response plus a request
+    // naming the entity; window bytes stay in the store (the adaptive
+    // controller's feedback tap consumes only the response).
+    ScoreRequest observed;
+    observed.entity = entity;
+    (*observer)(observed, response);
+  }
+  return response;
 }
 
 }  // namespace goodones::serve

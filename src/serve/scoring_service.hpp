@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "data/column_store.hpp"
 #include "data/labels.hpp"
 #include "nn/matrix.hpp"
 #include "nn/simd.hpp"
@@ -137,6 +138,18 @@ class ScoringService {
   /// consumes fixed-seq_len windows; sample-level detectors accept any
   /// length >= 1).
   std::vector<ScoreResponse> score_batch(std::span<const ScoreRequest> requests) const;
+
+  /// Scores zero-copy column-store windows for one entity (the ScoreLatest
+  /// path: the daemon cuts WindowViews over its ColumnStore and scores them
+  /// without ever materializing data::Window copies upstream). Each view is
+  /// gathered exactly once into a scratch matrix — the single copy on this
+  /// path — then runs the same scoring core as score()/score_batch(), so
+  /// verdicts are bitwise-identical to a Score request carrying the same
+  /// window bytes. The observer (if any) sees a request with the entity
+  /// name and NO windows: the store owns the bytes, and the adaptive
+  /// controller's feedback tap only consumes the response.
+  ScoreResponse score_views(const std::string& entity,
+                            std::span<const data::WindowView> views) const;
 
  private:
   /// One published bundle generation: the model plus its O(1) routing index,

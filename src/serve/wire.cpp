@@ -289,6 +289,88 @@ DrainReply decode_drain_reply(const std::string& payload) {
   return reply;
 }
 
+std::string encode_ingest_request(const IngestRequest& request) {
+  std::ostringstream out;
+  nn::write_string(out, request.entity);
+  nn::write_matrix(out, request.ticks);
+  std::vector<std::uint8_t> regimes;
+  regimes.reserve(request.regimes.size());
+  for (const data::Regime r : request.regimes) {
+    regimes.push_back(static_cast<std::uint8_t>(r));
+  }
+  nn::write_u8_vector(out, regimes);
+  return std::move(out).str();
+}
+
+IngestRequest decode_ingest_request(const std::string& payload) {
+  std::istringstream in(payload);
+  IngestRequest request;
+  request.entity = nn::read_string(in, "ingest entity");
+  request.ticks = nn::read_matrix(in);
+  const std::vector<std::uint8_t> regimes = nn::read_u8_vector(in, "ingest regimes");
+  if (regimes.size() != request.ticks.rows()) {
+    throw common::SerializationError(
+        "wire: ingest regime count " + std::to_string(regimes.size()) +
+        " disagrees with tick count " + std::to_string(request.ticks.rows()));
+  }
+  request.regimes.reserve(regimes.size());
+  for (const std::uint8_t r : regimes) {
+    if (r > static_cast<std::uint8_t>(data::Regime::kActive)) {
+      throw common::SerializationError("wire: ingest regime out of range: " +
+                                       std::to_string(r));
+    }
+    request.regimes.push_back(static_cast<data::Regime>(r));
+  }
+  expect_consumed(in, "ingest request");
+  return request;
+}
+
+std::string encode_ingest_reply(const IngestReply& reply) {
+  std::ostringstream out;
+  nn::write_u64(out, reply.accepted);
+  nn::write_u64(out, reply.total_ticks);
+  return std::move(out).str();
+}
+
+IngestReply decode_ingest_reply(const std::string& payload) {
+  std::istringstream in(payload);
+  IngestReply reply;
+  reply.accepted = nn::read_u64(in, "ingest accepted count");
+  reply.total_ticks = nn::read_u64(in, "ingest total ticks");
+  expect_consumed(in, "ingest reply");
+  return reply;
+}
+
+std::string encode_score_latest_request(const ScoreLatestRequest& request) {
+  std::ostringstream out;
+  nn::write_string(out, request.entity);
+  nn::write_u64(out, request.count);
+  nn::write_u64(out, request.seq_len);
+  return std::move(out).str();
+}
+
+ScoreLatestRequest decode_score_latest_request(const std::string& payload) {
+  std::istringstream in(payload);
+  ScoreLatestRequest request;
+  request.entity = nn::read_string(in, "score-latest entity");
+  // Protocol-level caps (2^20): a count or geometry beyond them cannot be a
+  // legitimate request, and bounding here keeps a hostile frame from
+  // driving giant downstream allocations.
+  constexpr std::uint64_t kMax = 1ull << 20;
+  request.count = nn::read_u64(in, "score-latest window count");
+  if (request.count > kMax) {
+    throw common::SerializationError("wire: score-latest window count out of range: " +
+                                     std::to_string(request.count));
+  }
+  request.seq_len = nn::read_u64(in, "score-latest seq_len");
+  if (request.seq_len > kMax) {
+    throw common::SerializationError("wire: score-latest seq_len out of range: " +
+                                     std::to_string(request.seq_len));
+  }
+  expect_consumed(in, "score-latest request");
+  return request;
+}
+
 std::string peek_score_entity(const std::string& payload) {
   std::istringstream in(payload);
   // Deliberately no expect_consumed: the windows after the name are the
@@ -312,6 +394,10 @@ const char* to_string(MessageType type) noexcept {
     case MessageType::kHealthReply: return "HealthReply";
     case MessageType::kDrain: return "Drain";
     case MessageType::kDrainReply: return "DrainReply";
+    case MessageType::kIngest: return "Ingest";
+    case MessageType::kIngestReply: return "IngestReply";
+    case MessageType::kScoreLatest: return "ScoreLatest";
+    case MessageType::kScoreLatestReply: return "ScoreLatestReply";
   }
   return "?";
 }

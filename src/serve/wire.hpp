@@ -64,6 +64,10 @@ enum class MessageType : std::uint32_t {
   kHealthReply = 11,   ///< server -> client: HealthReply
   kDrain = 12,         ///< client -> ROUTER: DrainRequest (remove + drain a shard)
   kDrainReply = 13,    ///< router -> client: DrainReply
+  kIngest = 14,        ///< client -> daemon: IngestRequest (stream raw ticks)
+  kIngestReply = 15,   ///< daemon -> client: IngestReply
+  kScoreLatest = 16,      ///< client -> daemon: ScoreLatestRequest
+  kScoreLatestReply = 17, ///< daemon -> client: ScoreResponse (same payload as kScoreReply)
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -111,6 +115,38 @@ struct DrainReply {
   std::string message;
 };
 
+/// Streamed raw ticks for one entity: the daemon appends them to its
+/// ColumnStore, so later ScoreLatest requests cut windows server-side
+/// instead of the client re-sending seq_len rows of history per window.
+/// The payload leads with the entity name, so a router routes Ingest with
+/// the same peek it uses for Score. NOT idempotent: replaying an Ingest
+/// appends the ticks twice, so clients must not auto-retry it on a torn
+/// connection (DaemonClient marks the round trip non-retryable).
+struct IngestRequest {
+  std::string entity;
+  /// (num_ticks x num_channels) raw readings, one row per tick.
+  nn::Matrix ticks;
+  /// Operating regime per tick (same length as ticks has rows).
+  std::vector<data::Regime> regimes;
+};
+
+struct IngestReply {
+  std::uint64_t accepted = 0;     ///< ticks appended by this request
+  std::uint64_t total_ticks = 0;  ///< entity's stored history after the append
+};
+
+/// "Score entity X now": the daemon cuts the `count` most recent windows of
+/// `seq_len` ticks from its store and scores them — the reply payload is a
+/// ScoreResponse, bitwise-identical to a Score frame carrying the same
+/// window bytes. seq_len 0 selects the daemon's configured default
+/// geometry. Both fields are capped at 2^20 on the wire (larger values are
+/// malformed by definition).
+struct ScoreLatestRequest {
+  std::string entity;
+  std::uint64_t count = 1;
+  std::uint64_t seq_len = 0;
+};
+
 /// Counter snapshot as served by a Stats round trip.
 using StatsSnapshot = std::vector<std::pair<std::string, std::uint64_t>>;
 
@@ -155,7 +191,17 @@ DrainRequest decode_drain_request(const std::string& payload);
 std::string encode_drain_reply(const DrainReply& reply);
 DrainReply decode_drain_reply(const std::string& payload);
 
-/// Reads ONLY the leading entity name out of a Score payload — all a
+std::string encode_ingest_request(const IngestRequest& request);
+IngestRequest decode_ingest_request(const std::string& payload);
+
+std::string encode_ingest_reply(const IngestReply& reply);
+IngestReply decode_ingest_reply(const std::string& payload);
+
+std::string encode_score_latest_request(const ScoreLatestRequest& request);
+ScoreLatestRequest decode_score_latest_request(const std::string& payload);
+
+/// Reads ONLY the leading entity name out of a Score, Ingest or
+/// ScoreLatest payload (all three lead with the entity string) — all a
 /// router needs to pick the owning shard. The rest of the payload is
 /// forwarded byte-for-byte untouched, which is what keeps mesh verdicts
 /// bitwise-identical to direct ones for free. Throws

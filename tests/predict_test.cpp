@@ -218,7 +218,9 @@ TEST(PredictBatch, DefaultImplementationLoopsOverPredict) {
 
 TEST(PredictBatch, DefaultImplementationHandlesEmptyBatch) {
   const SumModel model;
-  EXPECT_TRUE(model.predict_batch({}).empty());
+  // Spelled out: `{}` would be ambiguous between the value-span and the
+  // zero-copy pointer-span overloads.
+  EXPECT_TRUE(model.predict_batch(std::span<const nn::Matrix>{}).empty());
 }
 
 TEST(PredictBatch, BiLstmParityOnRandomWindows) {

@@ -274,6 +274,17 @@ TEST(WireFuzz, PayloadCodecsThrowOnlyTypedErrors) {
   wire::HealthReply health{false, 9};
   wire::DrainRequest drain_request{"shard-b"};
   wire::DrainReply drain_reply{true, "drained"};
+  wire::IngestRequest ingest_request;
+  ingest_request.entity = request.entity;
+  ingest_request.ticks = nn::Matrix(5, request.windows.front().features.cols());
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t c = 0; c < ingest_request.ticks.cols(); ++c) {
+      ingest_request.ticks(t, c) = request.windows.front().features(0, c) + t;
+    }
+  }
+  ingest_request.regimes.assign(5, data::Regime::kActive);
+  wire::IngestReply ingest_reply{5, 25};
+  wire::ScoreLatestRequest latest_request{request.entity, 3, 12};
 
   struct Case {
     std::string name;
@@ -297,7 +308,17 @@ TEST(WireFuzz, PayloadCodecsThrowOnlyTypedErrors) {
        [](const std::string& p) { (void)wire::decode_drain_request(p); }},
       {"drain_reply", wire::encode_drain_reply(drain_reply),
        [](const std::string& p) { (void)wire::decode_drain_reply(p); }},
+      {"ingest_request", wire::encode_ingest_request(ingest_request),
+       [](const std::string& p) { (void)wire::decode_ingest_request(p); }},
+      {"ingest_reply", wire::encode_ingest_reply(ingest_reply),
+       [](const std::string& p) { (void)wire::decode_ingest_reply(p); }},
+      {"score_latest_request", wire::encode_score_latest_request(latest_request),
+       [](const std::string& p) { (void)wire::decode_score_latest_request(p); }},
       {"peek_score_entity", wire::encode_score_request(request),
+       [](const std::string& p) { (void)wire::peek_score_entity(p); }},
+      {"peek_ingest_entity", wire::encode_ingest_request(ingest_request),
+       [](const std::string& p) { (void)wire::peek_score_entity(p); }},
+      {"peek_score_latest_entity", wire::encode_score_latest_request(latest_request),
        [](const std::string& p) { (void)wire::peek_score_entity(p); }},
   };
 

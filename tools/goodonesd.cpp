@@ -13,13 +13,19 @@
 //   goodonesd --listen tcp:127.0.0.1:7401 ...       # a mesh shard
 //   goodonesd --socket /tmp/goodones.sock ...       # unix shorthand
 //             [--detector knn|ocsvm|madgan] [--reassess 256] [--fast-scoring]
+//             [--store-root DIR] [--store-capacity 4096] [--no-store-mmap]
 //
 // --fast-scoring serves forecasts through the polynomial fast-math lane
 // (nn::Precision::kFast): few-ulp accuracy, highest throughput. Off by
 // default — the exact lane is the reference serving mode.
 //
+// --store-root persists the daemon-owned telemetry store (Ingest /
+// ScoreLatest frames) under DIR; without it the store is memory-only and
+// history dies with the process.
+//
 // Pair with goodonesd_client (score / stats / refresh / shutdown).
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -51,7 +57,8 @@ core::FrameworkConfig mini_config(const core::DomainAdapter& domain) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --listen ENDPOINT | --socket PATH [--entities N] [--threads N] "
-               "[--detector knn|ocsvm|madgan] [--reassess WINDOWS] [--fast-scoring]\n"
+               "[--detector knn|ocsvm|madgan] [--reassess WINDOWS] [--fast-scoring] "
+               "[--store-root DIR] [--store-capacity TICKS] [--no-store-mmap]\n"
                "ENDPOINT: unix:/path/to.sock or tcp:host:port (port 0 = ephemeral)\n";
   return 2;
 }
@@ -65,6 +72,9 @@ int main(int argc, char** argv) {
   std::size_t reassess = 256;
   bool fast_scoring = false;
   detect::DetectorKind kind = detect::DetectorKind::kKnn;
+  std::filesystem::path store_root;
+  std::size_t store_capacity = 4096;
+  bool store_mmap = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,6 +97,12 @@ int main(int argc, char** argv) {
       reassess = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--fast-scoring") {
       fast_scoring = true;
+    } else if (arg == "--store-root") {
+      store_root = next();
+    } else if (arg == "--store-capacity") {
+      store_capacity = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--no-store-mmap") {
+      store_mmap = false;
     } else if (arg == "--detector") {
       const std::string name = next();
       if (name == "knn") kind = detect::DetectorKind::kKnn;
@@ -120,6 +136,9 @@ int main(int argc, char** argv) {
   config.scoring.threads = threads;
   if (fast_scoring) config.scoring.precision = nn::Precision::kFast;
   config.adaptive.reassess_every_windows = reassess;
+  config.store_root = store_root;
+  config.store_segment_capacity = store_capacity;
+  config.store_mmap = store_mmap;
 
   serve::Daemon daemon(std::move(model), std::move(config));
   daemon.start();

@@ -2,6 +2,8 @@
 // router: both ends of the mesh speak the same frames).
 //
 //   goodonesd_client ENDPOINT score ENTITY WINDOWS.CSV [--regime 0|1]
+//   goodonesd_client ENDPOINT ingest ENTITY TICKS.CSV [--regime 0|1]
+//   goodonesd_client ENDPOINT score-latest ENTITY [COUNT] [--seq-len N]
 //   goodonesd_client ENDPOINT stats [PREFIX]
 //   goodonesd_client ENDPOINT health
 //   goodonesd_client ENDPOINT refresh
@@ -21,6 +23,13 @@
 //   1,180.2,35
 //   ...
 //
+// TICKS.CSV streams raw history into the daemon's column store: every
+// column is one telemetry channel in the bundle's channel order, every row
+// one tick (a "window" column, if present, is ignored — the same CSV a
+// score command consumes replays as a contiguous tick stream). After
+// ingesting, `score-latest ENTITY [COUNT]` scores the COUNT most recent
+// stored windows server-side — no window bytes cross the wire at all.
+//
 // Scores print one line per window — forecast, residual, anomaly score,
 // verdict, risk — plus the bundle generation that produced the verdicts
 // (the daemon's provenance tag; watch it change across a hot swap). Used
@@ -29,6 +38,8 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
@@ -41,6 +52,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " ENDPOINT score ENTITY WINDOWS.CSV [--regime 0|1]\n"
+            << "       " << argv0 << " ENDPOINT ingest ENTITY TICKS.CSV [--regime 0|1]\n"
+            << "       " << argv0 << " ENDPOINT score-latest ENTITY [COUNT] [--seq-len N]\n"
             << "       " << argv0 << " ENDPOINT stats [PREFIX]\n"
             << "       " << argv0 << " ENDPOINT health\n"
             << "       " << argv0 << " ENDPOINT refresh\n"
@@ -89,13 +102,31 @@ std::vector<serve::TelemetryWindow> load_windows(const std::string& path,
   return windows;
 }
 
-int run_score(serve::DaemonClient& client, const std::string& entity,
-              const std::string& csv_path, data::Regime regime) {
-  serve::ScoreRequest request;
-  request.entity = entity;
-  request.windows = load_windows(csv_path, regime);
-  const serve::ScoreResponse response = client.score(request);
+/// Parses a ticks CSV: every column one channel in bundle order, every row
+/// one tick; a "window" column (the score-CSV grouping key) is ignored so
+/// the same file serves both verbs.
+std::pair<nn::Matrix, std::vector<data::Regime>> load_ticks(const std::string& path,
+                                                            data::Regime regime) {
+  const common::CsvTable table = common::CsvTable::read(path);
+  std::size_t window_col = table.num_cols();  // sentinel: no window column
+  for (std::size_t c = 0; c < table.num_cols(); ++c) {
+    if (table.header()[c] == "window") window_col = c;
+  }
+  const std::size_t channels = table.num_cols() - (window_col < table.num_cols() ? 1 : 0);
+  if (channels == 0) throw std::runtime_error("ticks csv needs channel columns");
 
+  nn::Matrix ticks(table.num_rows(), channels);
+  for (std::size_t t = 0; t < table.num_rows(); ++t) {
+    std::size_t out = 0;
+    for (std::size_t c = 0; c < table.num_cols(); ++c) {
+      if (c == window_col) continue;
+      ticks(t, out++) = std::stod(table.rows()[t][c]);
+    }
+  }
+  return {std::move(ticks), std::vector<data::Regime>(table.num_rows(), regime)};
+}
+
+void print_response(const std::string& entity, const serve::ScoreResponse& response) {
   std::cout << "entity " << entity << ": cluster " << serve::to_string(response.cluster)
             << ", generation " << response.generation << "\n";
   for (std::size_t w = 0; w < response.windows.size(); ++w) {
@@ -104,6 +135,37 @@ int run_score(serve::DaemonClient& client, const std::string& entity,
               << score.residual << ", anomaly " << score.anomaly_score << ", "
               << (score.flagged ? "FLAGGED" : "ok") << ", risk " << score.risk << "\n";
   }
+}
+
+int run_score(serve::DaemonClient& client, const std::string& entity,
+              const std::string& csv_path, data::Regime regime) {
+  serve::ScoreRequest request;
+  request.entity = entity;
+  request.windows = load_windows(csv_path, regime);
+  const serve::ScoreResponse response = client.score(request);
+  print_response(entity, response);
+  return 0;
+}
+
+int run_ingest(serve::DaemonClient& client, const std::string& entity,
+               const std::string& csv_path, data::Regime regime) {
+  serve::wire::IngestRequest request;
+  request.entity = entity;
+  std::tie(request.ticks, request.regimes) = load_ticks(csv_path, regime);
+  const serve::wire::IngestReply reply = client.ingest(request);
+  std::cout << "entity " << entity << ": ingested " << reply.accepted << " ticks ("
+            << reply.total_ticks << " stored)\n";
+  return 0;
+}
+
+int run_score_latest(serve::DaemonClient& client, const std::string& entity,
+                     std::size_t count, std::size_t seq_len) {
+  serve::wire::ScoreLatestRequest request;
+  request.entity = entity;
+  request.count = count;
+  request.seq_len = seq_len;  // 0 = the daemon's configured window length
+  const serve::ScoreResponse response = client.score_latest(request);
+  print_response(entity, response);
   return 0;
 }
 
@@ -128,6 +190,28 @@ int main(int argc, char** argv) {
                                              : data::Regime::kBaseline;
       }
       return run_score(client, argv[3], argv[4], regime);
+    }
+    if (command == "ingest") {
+      if (argc < 5) return usage(argv[0]);
+      data::Regime regime = data::Regime::kBaseline;
+      if (argc >= 7 && std::string(argv[5]) == "--regime") {
+        regime = std::string(argv[6]) == "1" ? data::Regime::kActive
+                                             : data::Regime::kBaseline;
+      }
+      return run_ingest(client, argv[3], argv[4], regime);
+    }
+    if (command == "score-latest") {
+      if (argc < 4) return usage(argv[0]);
+      std::size_t count = 1;
+      std::size_t seq_len = 0;
+      int i = 4;
+      if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
+        count = static_cast<std::size_t>(std::stoul(argv[i++]));
+      }
+      if (i + 1 < argc && std::string(argv[i]) == "--seq-len") {
+        seq_len = static_cast<std::size_t>(std::stoul(argv[i + 1]));
+      }
+      return run_score_latest(client, argv[3], count, seq_len);
     }
     if (command == "stats") {
       const std::string prefix = argc >= 4 ? argv[3] : "";
