@@ -227,6 +227,38 @@ void run_detector_batching(std::vector<bench::BenchRecord>& records) {
             << " vs batched " << records[records.size() - 1].probes_per_sec << "\n";
 }
 
+/// Mirroring overhead: the same mixed-fleet shape as run_serving_modes,
+/// but with a canary candidate staged. At the default 10% sample rate the
+/// primary path should stay within ~10% of the canary-off number (the
+/// BENCHMARKS.md target); the full-mirror row bounds the worst case.
+void run_canary_overhead(std::vector<bench::BenchRecord>& records) {
+  const Fixture& f = fixture();
+  std::size_t total_windows = 0;
+  for (const auto& request : f.mixed_traffic) total_windows += request.windows.size();
+
+  const auto canaried_run = [&](const char* name, std::uint64_t sample_ppm) {
+    serve::ScoringServiceConfig config;
+    config.canary.sample_per_million = sample_ppm;
+    config.canary.auto_decide = false;  // measure mirroring, not promotion
+    serve::ScoringService service(serve::clone_serving_model(*f.service->model()),
+                                  config);
+    serve::ServingModel candidate = serve::clone_serving_model(*service.model());
+    candidate.generation = 1;
+    service.install_candidate(std::move(candidate));
+    records.push_back(time_windows(name, 30, total_windows, [&] {
+      benchmark::DoNotOptimize(
+          service.score_batch(std::span<const serve::ScoreRequest>(f.mixed_traffic)));
+    }));
+  };
+  canaried_run("serve_mixed_fleet_canary_10pct", 100000);
+  canaried_run("serve_mixed_fleet_canary_full_mirror", 1000000);
+
+  const std::size_t n = records.size();
+  std::cout << "canary mirroring (windows/sec): 10% sample "
+            << records[n - 2].probes_per_sec << ", full mirror "
+            << records[n - 1].probes_per_sec << "\n";
+}
+
 /// Latency of the adaptive loop's atomic bundle publication: clone N
 /// generations up front, then time swap_model alone (what a refresh adds on
 /// top of its rebuild).
@@ -321,6 +353,7 @@ int main(int argc, char** argv) {
   std::vector<bench::BenchRecord> records;
   run_serving_modes(records);
   run_detector_batching(records);
+  run_canary_overhead(records);
   run_hot_swap(records);
   run_daemon_roundtrip(records);
   bench::save_bench_json(records, "serving");

@@ -5,8 +5,9 @@
 # drives the whole admin + scoring surface through goodonesd_client exactly
 # as an operator would: health, score (mixed entities, through the router),
 # ingest + score-latest (tick stream into the shard-owned column store,
-# then verdicts by entity name), stats (per-shard gauges), drain,
-# shutdown. Everything runs as separate
+# then verdicts by entity name), stats (per-shard gauges), canary
+# (stage a rebuild on shard A, check the gauges, promote through the
+# router's broadcast), drain, shutdown. Everything runs as separate
 # OS processes over fixed localhost TCP ports — the process/transport
 # topology the in-binary e2e tests cannot cover.
 #
@@ -52,8 +53,12 @@ wait_healthy() { # endpoint what
   exit 1
 }
 
-echo "== shard A (trains the bundle on first run)"
-"$BUILD_DIR/goodonesd" --listen "$SHARD_A" --entities 2 > "$WORK/shard_a.log" 2>&1 &
+echo "== shard A (trains the bundle on first run; canary mode)"
+# Full-sample mirroring with the auto-decision off: the staged candidate
+# waits for the explicit promote below, so the lifecycle is deterministic.
+"$BUILD_DIR/goodonesd" --listen "$SHARD_A" --entities 2 \
+  --canary --canary-sample-ppm 1000000 --no-canary-auto \
+  > "$WORK/shard_a.log" 2>&1 &
 PIDS+=($!)
 wait_healthy "$SHARD_A" "shard A"
 
@@ -124,6 +129,39 @@ for attempt in $(seq 1 50); do
 done
 echo "$STATS"
 grep -q "serve.router.shards 2" <<<"$STATS"
+
+echo "== canary: stage a rebuild on shard A, then promote through the router"
+# Feed shard A directly so its online profiler has evidence, then Refresh:
+# in canary mode a forced rebuild is STAGED as a candidate, not published.
+for entity in SA_0 SA_1 SB_0 SB_1; do
+  "$BUILD_DIR/goodonesd_client" "$SHARD_A" score "$entity" "$WORK/windows.csv" >/dev/null \
+    || { echo "mesh_smoke: canary warmup score of $entity failed" >&2; exit 1; }
+done
+"$BUILD_DIR/goodonesd_client" "$SHARD_A" refresh | grep -q "refreshed" \
+  || { echo "mesh_smoke: canary refresh failed" >&2; exit 1; }
+"$BUILD_DIR/goodonesd_client" "$SHARD_A" canary-status \
+  | grep -q "serve.canary.candidate_generation 1" \
+  || { echo "mesh_smoke: shard A staged no canary candidate" >&2; exit 1; }
+# Mirror some traffic against the candidate before promoting it.
+for entity in SA_0 SB_1; do
+  "$BUILD_DIR/goodonesd_client" "$SHARD_A" score "$entity" "$WORK/windows.csv" >/dev/null
+done
+"$BUILD_DIR/goodonesd_client" "$SHARD_A" canary-status \
+  | grep -Eq "serve\.canary\.window_total [1-9]" \
+  || { echo "mesh_smoke: shard A mirrored no windows" >&2; exit 1; }
+# Promote through the ROUTER: the frame broadcasts to every live shard.
+# Shard B has nothing staged and refuses; shard A applies — the aggregate
+# reply reports applied with the new primary generation.
+"$BUILD_DIR/goodonesd_client" "$ROUTER" promote \
+  | grep -q "promoted: primary is now generation 1" \
+  || { echo "mesh_smoke: router promote did not apply" >&2; exit 1; }
+"$BUILD_DIR/goodonesd_client" "$SHARD_A" stats serve.daemon \
+  | grep -q "serve.daemon.generation 1" \
+  || { echo "mesh_smoke: shard A did not publish generation 1" >&2; exit 1; }
+# The promoted bundle serves the same surface.
+"$BUILD_DIR/goodonesd_client" "$SHARD_A" score SA_0 "$WORK/windows.csv" \
+  | grep -q "generation 1" \
+  || { echo "mesh_smoke: post-promote score not on generation 1" >&2; exit 1; }
 
 echo "== drain shard-b, survivors keep serving"
 "$BUILD_DIR/goodonesd_client" "$ROUTER" drain shard-b

@@ -48,6 +48,36 @@ RiskProfile build_profile(std::string name,
   return profile;
 }
 
+double distribution_distance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Sweep the merged sample points left to right, integrating the gap
+  // between the two empirical CDFs over each inter-sample interval.
+  const double step_a = 1.0 / static_cast<double>(a.size());
+  const double step_b = 1.0 / static_cast<double>(b.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double cdf_a = 0.0;
+  double cdf_b = 0.0;
+  double prev = std::min(a.front(), b.front());
+  double distance = 0.0;
+  while (ia < a.size() || ib < b.size()) {
+    const double next = (ib == b.size() || (ia < a.size() && a[ia] <= b[ib])) ? a[ia] : b[ib];
+    distance += std::abs(cdf_a - cdf_b) * (next - prev);
+    while (ia < a.size() && a[ia] == next) {
+      cdf_a += step_a;
+      ++ia;
+    }
+    while (ib < b.size() && b[ib] == next) {
+      cdf_b += step_b;
+      ++ib;
+    }
+    prev = next;
+  }
+  return distance;
+}
+
 std::vector<RiskProfile> align_profiles(std::vector<RiskProfile> profiles) {
   GO_EXPECTS(!profiles.empty());
   std::size_t min_len = profiles.front().values.size();

@@ -45,4 +45,11 @@ RiskProfile build_profile(std::string name,
 /// matrix for distance computation. Requires non-empty, non-degenerate input.
 std::vector<RiskProfile> align_profiles(std::vector<RiskProfile> profiles);
 
+/// Empirical 1-D Wasserstein-1 distance between two risk-sample sets:
+/// the integral of |F_a - F_b| over the merged support. Order-insensitive
+/// (both inputs are sorted internally), so concurrent accumulation of the
+/// same samples yields the same distance bitwise as a serial pass. Either
+/// side empty -> 0.0. Takes copies by value because it must sort.
+double distribution_distance(std::vector<double> a, std::vector<double> b);
+
 }  // namespace goodones::risk

@@ -137,9 +137,9 @@ void AdaptiveController::drain() {
   worker_cv_.wait(lock, [this] { return !refresh_queued_ && !worker_busy_; });
 }
 
-bool AdaptiveController::maybe_refresh() { return try_refresh(); }
+bool AdaptiveController::maybe_refresh(bool force) { return try_refresh(force); }
 
-bool AdaptiveController::try_refresh() {
+bool AdaptiveController::try_refresh(bool force) {
   // Single-flight: while one thread rebuilds, others keep scoring (their
   // ingest() only takes the short observation lock above) and simply skip.
   if (refresh_in_flight_.exchange(true, std::memory_order_acq_rel)) return false;
@@ -147,6 +147,13 @@ bool AdaptiveController::try_refresh() {
     std::atomic<bool>& flag;
     ~FlagGuard() { flag.store(false, std::memory_order_release); }
   } guard{refresh_in_flight_};
+
+  // One canary at a time: while a candidate is still being measured, keep
+  // accumulating evidence and let the staged canary resolve first.
+  if (config_.canary && service_.candidate_generation() != 0) {
+    core::counters().add("serve.canary.refresh_deferred", 1);
+    return false;
+  }
 
   // Phase 1 (under the lock, cheap): readiness check, reassessment, and
   // the routing comparison. The profiler is copied out so persistence can
@@ -179,7 +186,7 @@ bool AdaptiveController::try_refresh() {
       next_routing[p] = Cluster::kMoreVulnerable;
     }
     core::counters().add("serve.adaptive.reassessments", 1);
-    if (next_routing == current->entity_cluster) return false;
+    if (next_routing == current->entity_cluster && !force) return false;
     profiler_copy = std::make_unique<risk::OnlineRiskProfiler>(profiler_);
   }
 
@@ -189,9 +196,23 @@ bool AdaptiveController::try_refresh() {
                                  : routing_only_rebuild(*current, clusters, generation);
   next.generation = generation;  // the stamp is the controller's contract
 
+  // Persist BEFORE publication on either path: a generation must exist in
+  // the registry the moment any verdict (served or mirrored) can name it,
+  // so replay-by-generation never dangles.
   if (registry_ != nullptr) {
     registry_->save(next);
     registry_->save_profiler(state_key(), *profiler_copy);
+  }
+  if (config_.canary) {
+    // Measured rollout: the rebuild enters as candidate; the canary policy
+    // (or an operator Promote/Rollback) decides whether it becomes primary.
+    service_.install_candidate(std::move(next));
+    refreshes_.fetch_add(1, std::memory_order_acq_rel);
+    core::counters().add("serve.adaptive.refreshes", 1);
+    common::log_info("adaptive refresh staged generation ", generation,
+                     " as canary candidate (", clusters.more_vulnerable.size(),
+                     " entities more-vulnerable)");
+    return true;
   }
   service_.swap_model(std::move(next));
   refreshes_.fetch_add(1, std::memory_order_acq_rel);

@@ -67,6 +67,14 @@ struct AdaptiveControllerConfig {
   /// rebuilds are cheap routing-only clones). Ignored when auto_refresh is
   /// false — maybe_refresh() always runs on its caller's thread.
   bool async_refresh = true;
+  /// Stop hot-swapping blindly: publish rebuilt bundles as canary
+  /// CANDIDATES (ScoringService::install_candidate) instead of swapping
+  /// them straight in. The service's CanaryPolicy then auto-promotes or
+  /// auto-rollbacks on mirrored evidence, with Promote/Rollback frames as
+  /// the manual override. While a candidate is staged, further refreshes
+  /// are deferred (the "serve.canary.refresh_deferred" counter) so only
+  /// one canary is ever in flight.
+  bool canary = false;
 };
 
 class AdaptiveController {
@@ -100,10 +108,14 @@ class AdaptiveController {
 
   /// Forces a reassessment now (regardless of the window cadence) and
   /// refreshes the served bundle if the partition moved. Returns true when
-  /// a new generation was published. No-op (false) until every entity has
-  /// contributed at least one observation batch, or while another
-  /// refresh is already in flight.
-  bool maybe_refresh();
+  /// a new generation was published (canary mode: staged as candidate).
+  /// No-op (false) until every entity has contributed at least one
+  /// observation batch, or while another refresh is already in flight.
+  /// With `force`, a rebuild is published even when the reassessed
+  /// partition equals the served routing — the canary-mode operator path
+  /// ("stage a candidate now and let the mirror measure it"), and why the
+  /// daemon forces manual Refresh frames when canary mode is on.
+  bool maybe_refresh(bool force = false);
 
   /// Blocks until the refresh worker has no queued and no in-flight work
   /// (immediately when async_refresh is off). After drain() returns, every
@@ -141,7 +153,7 @@ class AdaptiveController {
   /// scoring threads never stall at the feedback tap. Returns true when a
   /// new generation was published; false when not ready, nothing moved,
   /// or another refresh is already in flight.
-  bool try_refresh();
+  bool try_refresh(bool force = false);
   /// Runs try_refresh containing failures to the refresh_failures counter
   /// and the log (the auto-refresh contract on both the worker and the
   /// legacy inline path).

@@ -1,5 +1,6 @@
 #include "serve/daemon.hpp"
 
+#include <cmath>
 #include <exception>
 #include <string>
 #include <utility>
@@ -56,6 +57,42 @@ Daemon::Daemon(ServingModel model, DaemonConfig config,
       store_(store_config_of(config_), service_.model()->spec.num_channels) {
   const std::shared_ptr<const ServingModel> bundle = service_.model();
   roster_.insert(bundle->entity_names.begin(), bundle->entity_names.end());
+  // Lineage tap: every canary transition (automatic or manual) is recorded
+  // in the registry before the daemon answers anything else about it, so
+  // which generation was primary when survives restarts. A lineage write
+  // failure never breaks serving — it is counted and logged.
+  service_.set_canary_observer([this](const CanaryEvent& event) {
+    LineageEvent record;
+    record.generation = event.candidate_generation;
+    record.primary_generation = event.primary_generation;
+    record.action = event.action == CanaryEvent::Action::kInstalled
+                        ? LineageAction::kInstalled
+                        : (event.action == CanaryEvent::Action::kPromoted
+                               ? LineageAction::kPromoted
+                               : LineageAction::kRolledBack);
+    record.mirrored_windows = event.mirrored_windows;
+    try {
+      const std::shared_ptr<const ServingModel> model = service_.model();
+      RegistryKey key;
+      key.domain_key = model->domain_key;
+      key.fingerprint = model->fingerprint;
+      key.detector_kind = model->detector_kind;
+      registry_.append_lineage(key, record);
+    } catch (const std::exception& error) {
+      core::counters().add("serve.canary.lineage_failures", 1);
+      common::log_warn("canary lineage write failed: ", error.what());
+    }
+    common::log_info("canary ",
+                     record.action == LineageAction::kInstalled
+                         ? "candidate installed: generation "
+                         : (record.action == LineageAction::kPromoted
+                                ? "promoted: generation "
+                                : "rolled back: generation "),
+                     event.candidate_generation, " (primary ",
+                     event.primary_generation, ", ", event.mirrored_windows,
+                     " mirrored windows, ", event.automatic ? "policy" : "manual",
+                     ")");
+  });
   if (config_.adaptive_enabled) {
     controller_.emplace(service_, config_.adaptive, std::move(rebuilder), &registry_);
   }
@@ -63,6 +100,7 @@ Daemon::Daemon(ServingModel model, DaemonConfig config,
 
 Daemon::~Daemon() {
   stop();
+  service_.set_canary_observer(nullptr);
   // Persist partial trailing segments so a restarted daemon resumes the
   // exact tick history (memory-only stores make this a no-op).
   try {
@@ -192,6 +230,36 @@ bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
       stats.emplace_back("serve.store.ticks", store_stats.ticks);
       stats.emplace_back("serve.store.segments", store_stats.segments);
       stats.emplace_back("serve.store.bytes_mapped", store_stats.bytes_mapped);
+      // Canary gauges: the tracker's exact counters plus the derived rates
+      // scaled to integer ppm/micro units (the wire's stats values are u64).
+      const CanaryMetrics canary = service_.canary_metrics();
+      const auto scaled_micro = [](double value) -> std::uint64_t {
+        const double micro = std::abs(value) * 1e6;
+        if (micro >= 9.0e18) return 9000000000000000000ULL;
+        return static_cast<std::uint64_t>(micro);
+      };
+      stats.emplace_back("serve.canary.mirroring",
+                         canary.state == CanaryState::kMirroring ? 1 : 0);
+      stats.emplace_back("serve.canary.epoch", canary.epoch);
+      stats.emplace_back("serve.canary.candidate_generation",
+                         service_.candidate_generation());
+      stats.emplace_back("serve.canary.window_total", canary.mirrored_windows);
+      stats.emplace_back("serve.canary.request_total", canary.mirrored_requests);
+      stats.emplace_back("serve.canary.evaluations", canary.evaluations);
+      stats.emplace_back("serve.canary.breach_streak", canary.breach_streak);
+      for (std::size_t c = 0; c < canary.clusters.size(); ++c) {
+        const CanaryClusterMetrics& cluster = canary.clusters[c];
+        const std::string prefix =
+            std::string("serve.canary.") + to_string(static_cast<Cluster>(c));
+        stats.emplace_back(prefix + ".windows", cluster.mirrored_windows);
+        stats.emplace_back(prefix + ".primary_flags", cluster.primary_flags);
+        stats.emplace_back(prefix + ".candidate_flags", cluster.candidate_flags);
+        stats.emplace_back(prefix + ".state_flips", cluster.state_flips);
+        stats.emplace_back(prefix + ".flag_delta_ppm",
+                           scaled_micro(cluster.flag_rate_delta()));
+        stats.emplace_back(prefix + ".risk_distance_micro",
+                           scaled_micro(cluster.risk_distance()));
+      }
       wire::send_frame(socket, wire::MessageType::kStatsReply, wire::encode_stats(stats));
       return true;
     }
@@ -210,9 +278,13 @@ bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
       if (controller_) {
         try {
           // Let any in-flight automatic refresh settle first so the reply
-          // is deterministic about what is being served afterwards.
+          // is deterministic about what is being served afterwards. In
+          // canary mode a manual Refresh always FORCES a rebuild: staging
+          // a candidate is safe by construction (the mirror measures it
+          // before anything changes), so the operator verb means "start a
+          // canary now", not "maybe, if the partition moved".
           controller_->drain();
-          reply.refreshed = controller_->maybe_refresh();
+          reply.refreshed = controller_->maybe_refresh(config_.adaptive.canary);
         } catch (const std::exception& error) {
           core::counters().add("serve.adaptive.refresh_failures", 1);
           send_error(socket, wire::ErrorCode::kInternal, error.what());
@@ -222,6 +294,76 @@ bool Daemon::dispatch(common::Socket& socket, const wire::Frame& frame) {
       reply.generation = service_.generation();
       wire::send_frame(socket, wire::MessageType::kRefreshReply,
                        wire::encode_refresh_reply(reply));
+      return true;
+    }
+    case wire::MessageType::kPromote: {
+      wire::PromoteRequest request;
+      try {
+        request = wire::decode_promote_request(frame.payload);
+      } catch (const common::SerializationError& error) {
+        core::counters().add("serve.daemon.malformed_frames", 1);
+        send_error(socket, wire::ErrorCode::kMalformedFrame, error.what());
+        return true;
+      }
+      try {
+        wire::PromoteReply reply;
+        // Throws PreconditionError when a DIFFERENT candidate is staged.
+        reply.applied = service_.promote_candidate(request.generation);
+        if (!reply.applied) {
+          // Nothing staged. A repeat of a promote that already landed
+          // (explicit generation == the serving primary) is idempotent
+          // success; anything else names an unknown generation.
+          if (request.generation == 0 ||
+              service_.generation() != request.generation) {
+            throw common::PreconditionError(
+                request.generation == 0
+                    ? "no canary candidate staged"
+                    : "promote names unknown generation " +
+                          std::to_string(request.generation));
+          }
+        }
+        reply.generation = service_.generation();
+        wire::send_frame(socket, wire::MessageType::kPromoteReply,
+                         wire::encode_promote_reply(reply));
+        core::counters().add("serve.daemon.promotes", 1);
+      } catch (const common::SocketError&) {
+        throw;
+      } catch (const common::PreconditionError& error) {
+        send_error(socket, wire::ErrorCode::kBadRequest, error.what());
+      } catch (const std::exception& error) {
+        send_error(socket, wire::ErrorCode::kInternal, error.what());
+      }
+      return true;
+    }
+    case wire::MessageType::kRollback: {
+      wire::RollbackRequest request;
+      try {
+        request = wire::decode_rollback_request(frame.payload);
+      } catch (const common::SerializationError& error) {
+        core::counters().add("serve.daemon.malformed_frames", 1);
+        send_error(socket, wire::ErrorCode::kMalformedFrame, error.what());
+        return true;
+      }
+      try {
+        wire::RollbackReply reply;
+        reply.applied = service_.rollback_candidate(request.generation);
+        // A repeat rollback (explicit generation, nothing staged) is
+        // idempotent success — the candidate is gone either way. Only the
+        // bare form must name SOMETHING to roll back.
+        if (!reply.applied && request.generation == 0) {
+          throw common::PreconditionError("no canary candidate staged");
+        }
+        reply.generation = service_.generation();
+        wire::send_frame(socket, wire::MessageType::kRollbackReply,
+                         wire::encode_rollback_reply(reply));
+        core::counters().add("serve.daemon.rollbacks", 1);
+      } catch (const common::SocketError&) {
+        throw;
+      } catch (const common::PreconditionError& error) {
+        send_error(socket, wire::ErrorCode::kBadRequest, error.what());
+      } catch (const std::exception& error) {
+        send_error(socket, wire::ErrorCode::kInternal, error.what());
+      }
       return true;
     }
     case wire::MessageType::kShutdown: {
@@ -334,6 +476,24 @@ wire::RefreshReply DaemonClient::refresh() {
       roundtrip(wire::MessageType::kRefresh, {}, wire::MessageType::kRefreshReply,
                 /*retryable=*/true);
   return wire::decode_refresh_reply(reply.payload);
+}
+
+wire::PromoteReply DaemonClient::promote(std::uint64_t generation) {
+  wire::PromoteRequest request;
+  request.generation = generation;
+  const wire::Frame reply =
+      roundtrip(wire::MessageType::kPromote, wire::encode_promote_request(request),
+                wire::MessageType::kPromoteReply, /*retryable=*/true);
+  return wire::decode_promote_reply(reply.payload);
+}
+
+wire::RollbackReply DaemonClient::rollback(std::uint64_t generation) {
+  wire::RollbackRequest request;
+  request.generation = generation;
+  const wire::Frame reply =
+      roundtrip(wire::MessageType::kRollback, wire::encode_rollback_request(request),
+                wire::MessageType::kRollbackReply, /*retryable=*/true);
+  return wire::decode_rollback_reply(reply.payload);
 }
 
 wire::DrainReply DaemonClient::drain(const std::string& shard) {

@@ -23,8 +23,19 @@
 //   Health    cheap liveness probe (no counter snapshot): serving
 //             generation + draining flag — what the router's prober polls
 //   Refresh   force a reassessment now (the admin sibling of the automatic
-//             cadence); replies whether a new generation was published
+//             cadence); replies whether a new generation was published. In
+//             canary mode (adaptive.canary) the rebuild is FORCED and
+//             staged as a candidate — promotion is measured, not assumed
+//   Promote   make the staged canary candidate the primary (by generation;
+//             0 = whatever is staged). Unknown generations answer a typed
+//             BadRequest; duplicates answer applied=false (retry-safe)
+//   Rollback  drop the staged candidate, primary untouched (same contract)
 //   Shutdown  stop accepting, drain in-flight connections, exit wait()
+//
+// Canary lifecycle events (install/promote/rollback, automatic or manual)
+// are appended to the registry's promotion lineage, so the audit trail of
+// which generation was primary when — and why it changed — survives
+// restarts alongside the bundles themselves.
 //
 // Lifecycle, concurrency and protocol-error containment live in the
 // FrameServer base (shared with serve::Router): one accept loop, one
@@ -168,6 +179,12 @@ class DaemonClient {
   wire::StatsSnapshot stats();
   wire::HealthReply health();
   wire::RefreshReply refresh();
+  /// Promotes the daemon's staged canary candidate (0 = whatever is
+  /// staged). Auto-retried on a torn connection: address an explicit
+  /// generation for exactly-once semantics across retries.
+  wire::PromoteReply promote(std::uint64_t generation = 0);
+  /// Drops the staged canary candidate (same addressing as promote()).
+  wire::RollbackReply rollback(std::uint64_t generation = 0);
   /// Router admin: drain shard `shard` out of the ring (see wire::DrainRequest).
   wire::DrainReply drain(const std::string& shard);
   /// Asks the server to stop; returns once it acknowledged. Never

@@ -28,6 +28,9 @@ constexpr std::uint32_t kBundleEnd = 0x454E4442;  // "ENDB"
 constexpr std::uint32_t kProfilerMagic = 0x474F5250;  // "GORP"
 constexpr std::uint32_t kProfilerVersion = 1;
 
+constexpr std::uint32_t kLineageMagic = 0x474F4C4E;  // "GOLN"
+constexpr std::uint32_t kLineageVersion = 1;
+
 using common::SerializationError;
 
 /// Reads a u32 element count and sanity-bounds it before any reserve():
@@ -546,6 +549,82 @@ void ModelRegistry::load_profiler(const RegistryKey& key,
     throw SerializationError("profiler artifact detector kind mismatch: " + path.string());
   }
   profiler.load(in);
+}
+
+std::filesystem::path ModelRegistry::lineage_path_for(const RegistryKey& key) const {
+  std::ostringstream name;
+  name << "lineage_" << key.domain_key << "_" << std::hex << key.fingerprint << "_"
+       << kind_token(key.detector_kind) << ".bin";
+  return root_ / name.str();
+}
+
+void ModelRegistry::append_lineage(const RegistryKey& key,
+                                   const LineageEvent& event) const {
+  // Events are rare (one per install/promote/rollback), so append is a
+  // read-extend-rewrite through the same atomic_write every other artifact
+  // uses — readers never observe a half-written lineage file.
+  std::vector<LineageEvent> events;
+  if (contains_lineage(key)) events = load_lineage(key);
+  events.push_back(event);
+  atomic_write(lineage_path_for(key), [&](std::ostream& out) {
+    nn::write_u32(out, kLineageMagic);
+    nn::write_u32(out, kLineageVersion);
+    nn::write_string(out, key.domain_key);
+    nn::write_u64(out, key.fingerprint);
+    nn::write_u32(out, static_cast<std::uint32_t>(key.detector_kind));
+    nn::write_u64(out, events.size());
+    for (const LineageEvent& e : events) {
+      nn::write_u64(out, e.generation);
+      nn::write_u64(out, e.primary_generation);
+      nn::write_u32(out, static_cast<std::uint32_t>(e.action));
+      nn::write_u64(out, e.mirrored_windows);
+    }
+  });
+}
+
+bool ModelRegistry::contains_lineage(const RegistryKey& key) const {
+  return std::filesystem::exists(lineage_path_for(key));
+}
+
+std::vector<LineageEvent> ModelRegistry::load_lineage(const RegistryKey& key) const {
+  const std::filesystem::path path = lineage_path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("no lineage for key (domain " + key.domain_key +
+                             "): " + path.string());
+  }
+  nn::expect_u32(in, kLineageMagic, "lineage artifact magic");
+  nn::expect_u32(in, kLineageVersion, "lineage artifact version");
+  if (nn::read_string(in, "lineage artifact domain key") != key.domain_key) {
+    throw SerializationError("lineage artifact domain mismatch: " + path.string());
+  }
+  if (nn::read_u64(in, "lineage artifact fingerprint") != key.fingerprint) {
+    throw SerializationError("stale lineage artifact: fingerprint mismatch for " +
+                             path.string());
+  }
+  if (static_cast<detect::DetectorKind>(nn::read_u32(in, "lineage artifact kind")) !=
+      key.detector_kind) {
+    throw SerializationError("lineage artifact detector kind mismatch: " + path.string());
+  }
+  const std::uint64_t count = nn::read_u64(in, "lineage event count");
+  // A count beyond any plausible promotion history means a corrupt file,
+  // not a big one — refuse before allocating.
+  if (count > (1ull << 20)) {
+    throw SerializationError("lineage event count out of range: " + std::to_string(count));
+  }
+  std::vector<LineageEvent> events(count);
+  for (LineageEvent& e : events) {
+    e.generation = nn::read_u64(in, "lineage event generation");
+    e.primary_generation = nn::read_u64(in, "lineage event primary generation");
+    const std::uint32_t action = nn::read_u32(in, "lineage event action");
+    if (action > static_cast<std::uint32_t>(LineageAction::kRolledBack)) {
+      throw SerializationError("lineage event action out of range: " +
+                               std::to_string(action));
+    }
+    e.action = static_cast<LineageAction>(action);
+    e.mirrored_windows = nn::read_u64(in, "lineage event mirrored windows");
+  }
+  return events;
 }
 
 std::vector<std::filesystem::path> ModelRegistry::list() const {

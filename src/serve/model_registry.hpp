@@ -139,6 +139,24 @@ struct RegistryKey {
 RegistryKey registry_key(const core::RiskProfilingFramework& framework,
                          detect::DetectorKind kind);
 
+/// One promotion-lineage record: what happened to a candidate generation
+/// and which primary it was measured against. The lineage file is the
+/// audit trail that keeps every served verdict bitwise-replayable — it
+/// names, for any point in time, exactly which persisted generation was
+/// primary and how the transitions between generations were decided.
+enum class LineageAction : std::uint32_t {
+  kInstalled = 0,   ///< entered as canary candidate
+  kPromoted = 1,    ///< became the primary
+  kRolledBack = 2,  ///< dropped; the primary kept serving
+};
+
+struct LineageEvent {
+  std::uint64_t generation = 0;          ///< the candidate generation
+  std::uint64_t primary_generation = 0;  ///< primary at the time of the event
+  LineageAction action = LineageAction::kInstalled;
+  std::uint64_t mirrored_windows = 0;    ///< canary evidence behind the event
+};
+
 class ModelRegistry {
  public:
   /// `root` defaults to <artifacts>/models (see core::artifacts_dir()).
@@ -189,8 +207,23 @@ class ModelRegistry {
   /// missing/corrupt artifact or roster mismatch.
   void load_profiler(const RegistryKey& key, risk::OnlineRiskProfiler& profiler) const;
 
+  // --- promotion lineage ----------------------------------------------------
+
+  /// Appends one lineage event for `key`'s (domain, fingerprint, kind) —
+  /// generation-agnostic like the profiler state, since lineage spans
+  /// generations by definition. Atomic rewrite of the lineage artifact.
+  void append_lineage(const RegistryKey& key, const LineageEvent& event) const;
+
+  /// True when lineage has been recorded for `key`.
+  bool contains_lineage(const RegistryKey& key) const;
+
+  /// All lineage events for `key` in append order. Throws
+  /// common::SerializationError on a missing or corrupt artifact.
+  std::vector<LineageEvent> load_lineage(const RegistryKey& key) const;
+
  private:
   std::filesystem::path profiler_path_for(const RegistryKey& key) const;
+  std::filesystem::path lineage_path_for(const RegistryKey& key) const;
   void sweep_orphaned_tmp_files() const;
 
   std::filesystem::path root_;

@@ -268,6 +268,86 @@ void Router::handle_refresh(common::Socket& socket) {
                    wire::encode_refresh_reply(aggregate));
 }
 
+void Router::handle_canary_admin(common::Socket& socket, const wire::Frame& frame) {
+  const bool promote = frame.type == wire::MessageType::kPromote;
+  const wire::MessageType reply_type =
+      promote ? wire::MessageType::kPromoteReply : wire::MessageType::kRollbackReply;
+  // Broadcast like Refresh: canary staging happens per shard, and the
+  // operator addressing the mesh means "resolve the canary wherever one is
+  // staged". The payload is relayed verbatim so an explicit generation
+  // keeps its exactly-once meaning end to end.
+  bool applied = false;
+  std::uint64_t generation = 0;
+  std::size_t reached = 0;
+  std::size_t attempted = 0;
+  std::string refusal;
+  for (const auto& backend : backends_) {
+    if (backend->draining.load()) continue;
+    ++attempted;
+    try {
+      const wire::ChannelPool::Lease channel = backend->pool.acquire();
+      const wire::Frame reply =
+          channel->roundtrip(frame.type, frame.payload, /*retryable=*/true);
+      if (reply.type == wire::MessageType::kError) {
+        // A shard with no (or a different) staged candidate refuses with a
+        // typed BadRequest — expected under broadcast; remember the reason
+        // in case EVERY shard refuses.
+        const wire::ErrorFrame error = wire::decode_error(reply.payload);
+        refusal = "shard '" + backend->name + "': " + error.message;
+        ++reached;
+        continue;
+      }
+      if (reply.type != reply_type) continue;
+      bool shard_applied = false;
+      std::uint64_t shard_generation = 0;
+      if (promote) {
+        const wire::PromoteReply decoded = wire::decode_promote_reply(reply.payload);
+        shard_applied = decoded.applied;
+        shard_generation = decoded.generation;
+      } else {
+        const wire::RollbackReply decoded = wire::decode_rollback_reply(reply.payload);
+        shard_applied = decoded.applied;
+        shard_generation = decoded.generation;
+      }
+      applied = applied || shard_applied;
+      generation = std::max(generation, shard_generation);
+      backend->generation.store(shard_generation);
+      ++reached;
+    } catch (const std::exception& error) {
+      core::counters().add(promote ? "serve.router.promote_failures"
+                                   : "serve.router.rollback_failures",
+                           1);
+      common::log_warn("router: ", promote ? "promote" : "rollback", " of shard ",
+                       backend->name, " failed: ", error.what());
+    }
+  }
+  if (reached == 0 && attempted > 0) {
+    send_error(socket, wire::ErrorCode::kUnavailable,
+               std::string(promote ? "promote" : "rollback") +
+                   " reached no shard (all unreachable)");
+    return;
+  }
+  if (!applied && !refusal.empty()) {
+    // Every reachable shard refused — surface the last refusal typed, so a
+    // mistyped generation fails loudly instead of reading as a silent no-op.
+    send_error(socket, wire::ErrorCode::kBadRequest, refusal);
+    return;
+  }
+  if (promote) {
+    wire::PromoteReply aggregate;
+    aggregate.applied = applied;
+    aggregate.generation = generation;
+    wire::send_frame(socket, wire::MessageType::kPromoteReply,
+                     wire::encode_promote_reply(aggregate));
+  } else {
+    wire::RollbackReply aggregate;
+    aggregate.applied = applied;
+    aggregate.generation = generation;
+    wire::send_frame(socket, wire::MessageType::kRollbackReply,
+                     wire::encode_rollback_reply(aggregate));
+  }
+}
+
 void Router::handle_drain(common::Socket& socket, const wire::Frame& frame) {
   wire::DrainRequest request;
   try {
@@ -303,6 +383,10 @@ bool Router::dispatch(common::Socket& socket, const wire::Frame& frame) {
       return true;
     case wire::MessageType::kRefresh:
       handle_refresh(socket);
+      return true;
+    case wire::MessageType::kPromote:
+    case wire::MessageType::kRollback:
+      handle_canary_admin(socket, frame);
       return true;
     case wire::MessageType::kDrain:
       handle_drain(socket, frame);

@@ -139,6 +139,12 @@ class Router final : public FrameServer {
   void handle_stats(common::Socket& socket);
   void handle_health(common::Socket& socket);
   void handle_refresh(common::Socket& socket);
+  /// Promote/Rollback broadcast: forwarded to every non-draining shard
+  /// verbatim. Shards without a matching staged candidate answer a typed
+  /// BadRequest, which the aggregate skips — "applied" means at least one
+  /// shard resolved its canary. All-refused relays the refusal; nothing
+  /// reachable stays kUnavailable.
+  void handle_canary_admin(common::Socket& socket, const wire::Frame& frame);
   void handle_drain(common::Socket& socket, const wire::Frame& frame);
   void probe_loop();
 

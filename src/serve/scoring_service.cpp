@@ -83,7 +83,8 @@ ScoringService::Snapshot::Snapshot(ServingModel m) : model(std::move(m)) {
 }
 
 ScoringService::ScoringService(ServingModel model, ScoringServiceConfig config)
-    : pool_(std::make_unique<common::ThreadPool>(config.threads)),
+    : tracker_(config.canary),
+      pool_(std::make_unique<common::ThreadPool>(config.threads)),
       precision_(config.precision) {
   GO_EXPECTS(config.precision != nn::Precision::kMixed);
   snapshot_.store(std::make_shared<const Snapshot>(std::move(model)),
@@ -119,6 +120,172 @@ void ScoringService::set_observer(ScoreObserver observer) {
                     std::memory_order_release);
   } else {
     observer_.store(nullptr, std::memory_order_release);
+  }
+}
+
+void ScoringService::set_canary_observer(CanaryObserver observer) {
+  if (observer) {
+    canary_observer_.store(
+        std::make_shared<const CanaryObserver>(std::move(observer)),
+        std::memory_order_release);
+  } else {
+    canary_observer_.store(nullptr, std::memory_order_release);
+  }
+}
+
+void ScoringService::emit_canary_event(const CanaryEvent& event) const {
+  if (const std::shared_ptr<const CanaryObserver> observer =
+          canary_observer_.load(std::memory_order_acquire)) {
+    (*observer)(event);
+  }
+}
+
+void ScoringService::install_candidate(ServingModel model) {
+  const std::lock_guard<std::mutex> lock(canary_mutex_);
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  // Same roster contract as swap_model: the candidate must be able to take
+  // over the primary's traffic the instant it is promoted.
+  GO_EXPECTS(model.entity_names == current->model.entity_names);
+  auto staged = std::make_shared<const Snapshot>(std::move(model));
+  const std::uint64_t candidate_gen = staged->model.generation;
+  candidate_.store(std::move(staged), std::memory_order_release);
+  tracker_.install(candidate_gen);
+  core::counters().add("serve.canary.installs", 1);
+
+  CanaryEvent event;
+  event.action = CanaryEvent::Action::kInstalled;
+  event.candidate_generation = candidate_gen;
+  event.primary_generation = current->model.generation;
+  emit_canary_event(event);
+}
+
+std::uint64_t ScoringService::candidate_generation() const {
+  const std::shared_ptr<const Snapshot> candidate =
+      candidate_.load(std::memory_order_acquire);
+  return candidate ? candidate->model.generation : 0;
+}
+
+bool ScoringService::promote_candidate(std::uint64_t generation) {
+  return resolve_candidate(/*promote=*/true, generation, std::nullopt,
+                           /*automatic=*/false);
+}
+
+bool ScoringService::rollback_candidate(std::uint64_t generation) {
+  return resolve_candidate(/*promote=*/false, generation, std::nullopt,
+                           /*automatic=*/false);
+}
+
+CanaryMetrics ScoringService::canary_metrics() const {
+  return tracker_.metrics();
+}
+
+bool ScoringService::resolve_candidate(bool promote, std::uint64_t generation,
+                                       std::optional<std::uint64_t> epoch,
+                                       bool automatic) {
+  const std::lock_guard<std::mutex> lock(canary_mutex_);
+  const std::shared_ptr<const Snapshot> candidate =
+      candidate_.load(std::memory_order_acquire);
+  if (!candidate) return false;
+  if (generation != 0 && candidate->model.generation != generation) {
+    throw common::PreconditionError(
+        std::string(promote ? "promote" : "rollback") +
+        " names generation " + std::to_string(generation) +
+        " but the staged candidate is generation " +
+        std::to_string(candidate->model.generation));
+  }
+  // Exactly-once: the first resolver (manual frame or tracker decision)
+  // wins; a stale auto decision from an abandoned epoch never fires.
+  if (!tracker_.finish(epoch.value_or(tracker_.epoch()))) return false;
+  const CanaryMetrics final_metrics = tracker_.metrics();
+
+  CanaryEvent event;
+  event.candidate_generation = candidate->model.generation;
+  event.primary_generation = snapshot()->model.generation;
+  event.mirrored_windows = final_metrics.mirrored_windows;
+  event.automatic = automatic;
+
+  auto& counters = core::counters();
+  if (promote) {
+    snapshot_.store(candidate, std::memory_order_release);
+    event.action = CanaryEvent::Action::kPromoted;
+    counters.add("serve.canary.promotions", 1);
+    counters.add(automatic ? "serve.canary.auto_promotions"
+                           : "serve.canary.manual_promotions",
+                 1);
+  } else {
+    event.action = CanaryEvent::Action::kRolledBack;
+    counters.add("serve.canary.rollbacks", 1);
+    counters.add(automatic ? "serve.canary.auto_rollbacks"
+                           : "serve.canary.manual_rollbacks",
+                 1);
+  }
+  candidate_.store(nullptr, std::memory_order_release);
+  emit_canary_event(event);
+  return true;
+}
+
+void ScoringService::mirror_one(const std::string& entity,
+                                std::span<const nn::Matrix* const> features,
+                                std::span<const data::Regime> regimes,
+                                const ScoreResponse& primary) const {
+  if (!tracker_.armed()) return;
+  const std::optional<std::uint64_t> epoch = tracker_.begin_mirror(entity);
+  if (!epoch) return;
+  const std::shared_ptr<const Snapshot> candidate =
+      candidate_.load(std::memory_order_acquire);
+  if (!candidate) return;
+  try {
+    const auto found = candidate->entity_lookup.find(entity);
+    if (found == candidate->entity_lookup.end()) return;
+    const std::vector<WindowScore> shadow = score_entity_windows(
+        candidate->model, found->second, features, regimes, precision_);
+
+    std::vector<WindowDelta> deltas(shadow.size());
+    for (std::size_t i = 0; i < shadow.size(); ++i) {
+      deltas[i].cluster = primary.cluster;
+      deltas[i].primary_flagged = primary.windows[i].flagged;
+      deltas[i].candidate_flagged = shadow[i].flagged;
+      deltas[i].state_flip =
+          shadow[i].predicted_state != primary.windows[i].predicted_state;
+      deltas[i].primary_risk = primary.windows[i].risk;
+      deltas[i].candidate_risk = shadow[i].risk;
+    }
+    auto& counters = core::counters();
+    counters.add("serve.canary.mirrored_requests", 1);
+    counters.add("serve.canary.mirrored_windows", deltas.size());
+
+    const CanaryTracker::AccumulateResult result =
+        tracker_.accumulate(*epoch, deltas);
+    if (result.accepted && result.decision) {
+      // The scoring thread applies the tracker's verdict; resolve_candidate
+      // only mutates the candidate/primary atomics, so the const scoring
+      // path stays logically const for every observable response.
+      const_cast<ScoringService*>(this)->resolve_candidate(
+          *result.decision == CanaryDecision::kPromote, 0, epoch,
+          /*automatic=*/true);
+    }
+  } catch (const std::exception&) {
+    // The primary already answered; a broken candidate must surface as a
+    // metric, never as a serving failure.
+    core::counters().add("serve.canary.mirror_failures", 1);
+  }
+}
+
+void ScoringService::mirror_scored(std::span<const ScoreRequest> requests,
+                                   std::span<const ScoreResponse> responses) const {
+  if (!tracker_.armed()) return;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const ScoreRequest& request = requests[r];
+    if (request.windows.empty()) continue;
+    std::vector<const nn::Matrix*> features;
+    std::vector<data::Regime> regimes;
+    features.reserve(request.windows.size());
+    regimes.reserve(request.windows.size());
+    for (const TelemetryWindow& window : request.windows) {
+      features.push_back(&window.features);
+      regimes.push_back(window.regime);
+    }
+    mirror_one(request.entity, features, regimes, responses[r]);
   }
 }
 
@@ -207,6 +374,10 @@ std::vector<ScoreResponse> ScoringService::score_batch(
       (*observer)(requests[r], responses[r]);
     }
   }
+
+  // Canary mirroring runs strictly after the responses are final: the
+  // candidate can only read the primary's verdicts, never shape them.
+  mirror_scored(requests, responses);
   return responses;
 }
 
@@ -240,6 +411,10 @@ ScoreResponse ScoringService::score_views(const std::string& entity,
       regimes[i] = views[i].regime();
     }
     response.windows = score_entity_windows(model, index, features, regimes, precision_);
+
+    // Mirror while the gathered scratch matrices are still alive — the
+    // candidate scores the exact same bytes the primary just scored.
+    mirror_one(entity, features, regimes, response);
   }
 
   auto& counters = core::counters();

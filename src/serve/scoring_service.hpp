@@ -25,12 +25,25 @@
 // old/new fleet — each ScoreResponse names the generation that served it.
 // This is what lets serve::AdaptiveController refresh routing online (the
 // paper's Appendix-D iterative reassessment) under live load.
+//
+// Canary: next to the primary snapshot the service can hold ONE candidate
+// generation. The primary alone produces every response byte; after a
+// response is assembled, a deterministic sample of traffic (CanaryTracker's
+// splitmix draw over entity + request sequence) is re-scored against the
+// candidate off the reply path and the verdict deltas accumulate in the
+// tracker. When the tracker's policy decides — or an operator sends
+// Promote/Rollback — the candidate either becomes the primary atomically
+// (the same swap_model publication path) or is dropped. Either way the
+// primary's verdicts are bitwise-identical to a service that never had a
+// candidate at all.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -41,6 +54,7 @@
 #include "data/labels.hpp"
 #include "nn/matrix.hpp"
 #include "nn/simd.hpp"
+#include "serve/canary.hpp"
 #include "serve/model_registry.hpp"
 
 namespace goodones::serve {
@@ -91,6 +105,23 @@ struct ScoringServiceConfig {
   /// changes. kMixed is not supported here (it needs per-model mirror
   /// state the service does not manage).
   nn::Precision precision = nn::Precision::kDouble;
+  /// Sampling rate and promote/rollback policy for candidate generations.
+  /// Inert until install_candidate() arms a canary.
+  CanaryPolicy canary;
+};
+
+/// Emitted whenever the canary lifecycle transitions: a candidate is
+/// installed, promoted to primary, or rolled back. `automatic` separates
+/// tracker-policy decisions from operator Promote/Rollback frames.
+struct CanaryEvent {
+  enum class Action : std::uint8_t { kInstalled = 0, kPromoted = 1, kRolledBack = 2 };
+  Action action = Action::kInstalled;
+  std::uint64_t candidate_generation = 0;
+  /// The primary generation the candidate was (or was being) measured
+  /// against — for kPromoted this is the generation that just stepped down.
+  std::uint64_t primary_generation = 0;
+  std::uint64_t mirrored_windows = 0;
+  bool automatic = false;
 };
 
 class ScoringService {
@@ -124,6 +155,35 @@ class ScoringService {
 
   /// Installs (or clears, with nullptr) the feedback observer.
   void set_observer(ScoreObserver observer);
+
+  /// Observes canary lifecycle transitions (install/promote/rollback) —
+  /// the daemon's lineage-recording tap. Invoked with the canary lock
+  /// held; it must not call back into the canary API.
+  using CanaryObserver = std::function<void(const CanaryEvent&)>;
+  void set_canary_observer(CanaryObserver observer);
+
+  /// Stages `model` as the candidate generation and arms mirroring under
+  /// the configured CanaryPolicy. The candidate must describe the same
+  /// entity roster as the primary. Replaces (abandons) any previous
+  /// candidate. The primary response path is unaffected.
+  void install_candidate(ServingModel model);
+
+  /// Generation of the staged candidate, or 0 when none is staged.
+  std::uint64_t candidate_generation() const;
+
+  /// Promotes the candidate to primary (the atomic swap_model publication).
+  /// `generation` 0 targets whatever candidate is staged; a non-zero
+  /// generation must match the staged candidate (PreconditionError when a
+  /// different candidate is staged). Returns false — retry-safely — when
+  /// no candidate is staged (e.g. a duplicate Promote after success).
+  bool promote_candidate(std::uint64_t generation = 0);
+
+  /// Drops the candidate without touching the primary. Same generation
+  /// addressing and idempotency contract as promote_candidate().
+  bool rollback_candidate(std::uint64_t generation = 0);
+
+  /// Snapshot of the canary tracker's metrics (Stats gauges, tests).
+  CanaryMetrics canary_metrics() const;
 
   /// Scores one request (all its windows batch through one predict_batch
   /// and one detector score_batch).
@@ -164,8 +224,33 @@ class ScoringService {
     return snapshot_.load(std::memory_order_acquire);
   }
 
+  /// Shadow-scores one already-scored entity batch against the candidate
+  /// and folds the verdict deltas into the tracker; applies any resulting
+  /// policy decision. No-op when no canary is armed. Never throws — a
+  /// candidate failure is counted, the primary response is already final.
+  void mirror_one(const std::string& entity,
+                  std::span<const nn::Matrix* const> features,
+                  std::span<const data::Regime> regimes,
+                  const ScoreResponse& primary) const;
+  void mirror_scored(std::span<const ScoreRequest> requests,
+                     std::span<const ScoreResponse> responses) const;
+
+  /// Shared promote/rollback resolution (manual frames and tracker
+  /// decisions). `epoch` pins a tracker decision to the epoch it was made
+  /// in so a stale auto decision can never fire after a manual override.
+  bool resolve_candidate(bool promote, std::uint64_t generation,
+                         std::optional<std::uint64_t> epoch, bool automatic);
+
+  void emit_canary_event(const CanaryEvent& event) const;
+
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  std::atomic<std::shared_ptr<const Snapshot>> candidate_;
   std::atomic<std::shared_ptr<const ScoreObserver>> observer_;
+  std::atomic<std::shared_ptr<const CanaryObserver>> canary_observer_;
+  /// Serializes candidate lifecycle transitions (install/promote/rollback).
+  /// Scoring and mirroring never take it.
+  mutable std::mutex canary_mutex_;
+  mutable CanaryTracker tracker_;
   std::unique_ptr<common::ThreadPool> pool_;
   nn::Precision precision_ = nn::Precision::kDouble;
 };

@@ -371,6 +371,66 @@ ScoreLatestRequest decode_score_latest_request(const std::string& payload) {
   return request;
 }
 
+std::string encode_promote_request(const PromoteRequest& request) {
+  std::ostringstream out;
+  nn::write_u64(out, request.generation);
+  return std::move(out).str();
+}
+
+PromoteRequest decode_promote_request(const std::string& payload) {
+  std::istringstream in(payload);
+  PromoteRequest request;
+  request.generation = nn::read_u64(in, "promote generation");
+  expect_consumed(in, "promote request");
+  return request;
+}
+
+std::string encode_promote_reply(const PromoteReply& reply) {
+  std::ostringstream out;
+  nn::write_u32(out, reply.applied ? 1 : 0);
+  nn::write_u64(out, reply.generation);
+  return std::move(out).str();
+}
+
+PromoteReply decode_promote_reply(const std::string& payload) {
+  std::istringstream in(payload);
+  PromoteReply reply;
+  reply.applied = read_bounded_u32(in, 1, "promote applied flag") == 1;
+  reply.generation = nn::read_u64(in, "promote reply generation");
+  expect_consumed(in, "promote reply");
+  return reply;
+}
+
+std::string encode_rollback_request(const RollbackRequest& request) {
+  std::ostringstream out;
+  nn::write_u64(out, request.generation);
+  return std::move(out).str();
+}
+
+RollbackRequest decode_rollback_request(const std::string& payload) {
+  std::istringstream in(payload);
+  RollbackRequest request;
+  request.generation = nn::read_u64(in, "rollback generation");
+  expect_consumed(in, "rollback request");
+  return request;
+}
+
+std::string encode_rollback_reply(const RollbackReply& reply) {
+  std::ostringstream out;
+  nn::write_u32(out, reply.applied ? 1 : 0);
+  nn::write_u64(out, reply.generation);
+  return std::move(out).str();
+}
+
+RollbackReply decode_rollback_reply(const std::string& payload) {
+  std::istringstream in(payload);
+  RollbackReply reply;
+  reply.applied = read_bounded_u32(in, 1, "rollback applied flag") == 1;
+  reply.generation = nn::read_u64(in, "rollback reply generation");
+  expect_consumed(in, "rollback reply");
+  return reply;
+}
+
 std::string peek_score_entity(const std::string& payload) {
   std::istringstream in(payload);
   // Deliberately no expect_consumed: the windows after the name are the
@@ -398,6 +458,10 @@ const char* to_string(MessageType type) noexcept {
     case MessageType::kIngestReply: return "IngestReply";
     case MessageType::kScoreLatest: return "ScoreLatest";
     case MessageType::kScoreLatestReply: return "ScoreLatestReply";
+    case MessageType::kPromote: return "Promote";
+    case MessageType::kPromoteReply: return "PromoteReply";
+    case MessageType::kRollback: return "Rollback";
+    case MessageType::kRollbackReply: return "RollbackReply";
   }
   return "?";
 }

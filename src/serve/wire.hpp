@@ -68,6 +68,10 @@ enum class MessageType : std::uint32_t {
   kIngestReply = 15,   ///< daemon -> client: IngestReply
   kScoreLatest = 16,      ///< client -> daemon: ScoreLatestRequest
   kScoreLatestReply = 17, ///< daemon -> client: ScoreResponse (same payload as kScoreReply)
+  kPromote = 18,          ///< client -> daemon: PromoteRequest (canary -> primary)
+  kPromoteReply = 19,     ///< daemon -> client: PromoteReply
+  kRollback = 20,         ///< client -> daemon: RollbackRequest (drop the canary)
+  kRollbackReply = 21,    ///< daemon -> client: RollbackReply
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -147,6 +151,34 @@ struct ScoreLatestRequest {
   std::uint64_t seq_len = 0;
 };
 
+/// Operator override of the canary policy: make the staged candidate the
+/// primary now. `generation` 0 addresses whatever candidate is staged; a
+/// non-zero generation must name the staged candidate (an unknown
+/// generation is answered with a BadRequest error frame). IDEMPOTENT and
+/// retry-safe: repeating a Promote that already succeeded answers
+/// applied = false with the (unchanged) serving generation, so
+/// DaemonClient auto-retries it on a torn connection.
+struct PromoteRequest {
+  std::uint64_t generation = 0;
+};
+
+struct PromoteReply {
+  bool applied = false;          ///< true when THIS call performed the swap
+  std::uint64_t generation = 0;  ///< primary generation after the call
+};
+
+/// Operator override: drop the staged candidate without touching the
+/// primary. Same addressing and idempotency contract as PromoteRequest
+/// (a repeat answers applied = false; retry-safe).
+struct RollbackRequest {
+  std::uint64_t generation = 0;
+};
+
+struct RollbackReply {
+  bool applied = false;          ///< true when THIS call dropped a candidate
+  std::uint64_t generation = 0;  ///< primary generation after the call
+};
+
 /// Counter snapshot as served by a Stats round trip.
 using StatsSnapshot = std::vector<std::pair<std::string, std::uint64_t>>;
 
@@ -199,6 +231,18 @@ IngestReply decode_ingest_reply(const std::string& payload);
 
 std::string encode_score_latest_request(const ScoreLatestRequest& request);
 ScoreLatestRequest decode_score_latest_request(const std::string& payload);
+
+std::string encode_promote_request(const PromoteRequest& request);
+PromoteRequest decode_promote_request(const std::string& payload);
+
+std::string encode_promote_reply(const PromoteReply& reply);
+PromoteReply decode_promote_reply(const std::string& payload);
+
+std::string encode_rollback_request(const RollbackRequest& request);
+RollbackRequest decode_rollback_request(const std::string& payload);
+
+std::string encode_rollback_reply(const RollbackReply& reply);
+RollbackReply decode_rollback_reply(const std::string& payload);
 
 /// Reads ONLY the leading entity name out of a Score, Ingest or
 /// ScoreLatest payload (all three lead with the entity string) — all a

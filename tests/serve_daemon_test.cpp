@@ -408,6 +408,39 @@ TEST(ServeDaemon, MalformedFramesGetTypedErrorFramesNeverACrash) {
   std::filesystem::remove_all(config.registry_root);
 }
 
+TEST(ServeDaemon, UnknownGenerationPromoteIsTypedBadRequestAndServingContinues) {
+  auto& fw = framework();
+  DaemonConfig config;
+  const std::filesystem::path socket_path = unique_path("go_d_promote", ".sock");
+  config.listen = common::Endpoint::unix_socket(socket_path);
+  config.registry_root = unique_path("go_d_promote", "_reg");
+  config.adaptive_enabled = false;  // no canary staged, ever
+  std::filesystem::remove_all(config.registry_root);
+  Daemon daemon(build_serving_model(fw, detect::DetectorKind::kKnn), config);
+  daemon.start();
+
+  DaemonClient client(socket_path);
+  // No candidate staged: the bare form and an unknown generation are both
+  // typed BadRequest (PreconditionError through the client), never a crash.
+  EXPECT_THROW((void)client.promote(), common::PreconditionError);
+  EXPECT_THROW((void)client.promote(424242), common::PreconditionError);
+  EXPECT_THROW((void)client.rollback(), common::PreconditionError);
+  // The retry-safe form answers applied=false instead of erroring: a
+  // rollback naming an explicit generation is a no-op when the candidate is
+  // already gone (the duplicate-promote half lives in serve_canary_test,
+  // where a promote actually lands first).
+  const wire::RollbackReply gone = client.rollback(424242);
+  EXPECT_FALSE(gone.applied);
+  EXPECT_EQ(gone.generation, daemon.generation());
+
+  // The SAME connection keeps scoring after every refusal.
+  const ScoreResponse good = client.score(entity_request(0, false));
+  EXPECT_FALSE(good.windows.empty());
+
+  daemon.stop();
+  std::filesystem::remove_all(config.registry_root);
+}
+
 TEST(ServeDaemon, CleanShutdownDrainsConnections) {
   auto& fw = framework();
   DaemonConfig config;

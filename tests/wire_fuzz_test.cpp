@@ -117,6 +117,13 @@ std::vector<std::string> build_corpus() {
   drain.shard = "shard-a";
   corpus.push_back(
       frame_bytes(wire::MessageType::kDrain, wire::encode_drain_request(drain)));
+  wire::PromoteRequest promote;
+  promote.generation = 7;
+  corpus.push_back(
+      frame_bytes(wire::MessageType::kPromote, wire::encode_promote_request(promote)));
+  wire::RollbackRequest rollback;  // bare form: whatever is staged
+  corpus.push_back(
+      frame_bytes(wire::MessageType::kRollback, wire::encode_rollback_request(rollback)));
   // A reply type a client should never send, and a type far outside the enum.
   corpus.push_back(frame_bytes(wire::MessageType::kScoreReply, "unexpected"));
   corpus.push_back(frame_bytes(static_cast<wire::MessageType>(0x7eadbeef), "future"));
@@ -285,6 +292,10 @@ TEST(WireFuzz, PayloadCodecsThrowOnlyTypedErrors) {
   ingest_request.regimes.assign(5, data::Regime::kActive);
   wire::IngestReply ingest_reply{5, 25};
   wire::ScoreLatestRequest latest_request{request.entity, 3, 12};
+  wire::PromoteRequest promote_request{11};
+  wire::PromoteReply promote_reply{true, 11};
+  wire::RollbackRequest rollback_request{0};
+  wire::RollbackReply rollback_reply{false, 4};
 
   struct Case {
     std::string name;
@@ -314,6 +325,14 @@ TEST(WireFuzz, PayloadCodecsThrowOnlyTypedErrors) {
        [](const std::string& p) { (void)wire::decode_ingest_reply(p); }},
       {"score_latest_request", wire::encode_score_latest_request(latest_request),
        [](const std::string& p) { (void)wire::decode_score_latest_request(p); }},
+      {"promote_request", wire::encode_promote_request(promote_request),
+       [](const std::string& p) { (void)wire::decode_promote_request(p); }},
+      {"promote_reply", wire::encode_promote_reply(promote_reply),
+       [](const std::string& p) { (void)wire::decode_promote_reply(p); }},
+      {"rollback_request", wire::encode_rollback_request(rollback_request),
+       [](const std::string& p) { (void)wire::decode_rollback_request(p); }},
+      {"rollback_reply", wire::encode_rollback_reply(rollback_reply),
+       [](const std::string& p) { (void)wire::decode_rollback_reply(p); }},
       {"peek_score_entity", wire::encode_score_request(request),
        [](const std::string& p) { (void)wire::peek_score_entity(p); }},
       {"peek_ingest_entity", wire::encode_ingest_request(ingest_request),

@@ -14,6 +14,14 @@
 //   goodonesd --socket /tmp/goodones.sock ...       # unix shorthand
 //             [--detector knn|ocsvm|madgan] [--reassess 256] [--fast-scoring]
 //             [--store-root DIR] [--store-capacity 4096] [--no-store-mmap]
+//             [--canary] [--canary-sample-ppm 100000] [--canary-min-windows 256]
+//             [--canary-max-flag-delta 0.1] [--no-canary-auto]
+//
+// --canary turns on measured rollouts: Refresh rebuilds are STAGED as
+// candidates and mirrored against sampled traffic; the canary policy (or
+// goodonesd_client promote/rollback) decides whether they become primary.
+// --no-canary-auto disables the policy's auto-decision — candidates wait
+// for an operator verdict while the mirror keeps accumulating evidence.
 //
 // --fast-scoring serves forecasts through the polynomial fast-math lane
 // (nn::Precision::kFast): few-ulp accuracy, highest throughput. Off by
@@ -24,6 +32,7 @@
 // history dies with the process.
 //
 // Pair with goodonesd_client (score / stats / refresh / shutdown).
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -58,7 +67,9 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --listen ENDPOINT | --socket PATH [--entities N] [--threads N] "
                "[--detector knn|ocsvm|madgan] [--reassess WINDOWS] [--fast-scoring] "
-               "[--store-root DIR] [--store-capacity TICKS] [--no-store-mmap]\n"
+               "[--store-root DIR] [--store-capacity TICKS] [--no-store-mmap] "
+               "[--canary] [--canary-sample-ppm PPM] [--canary-min-windows N] "
+               "[--canary-max-flag-delta D] [--no-canary-auto]\n"
                "ENDPOINT: unix:/path/to.sock or tcp:host:port (port 0 = ephemeral)\n";
   return 2;
 }
@@ -75,6 +86,8 @@ int main(int argc, char** argv) {
   std::filesystem::path store_root;
   std::size_t store_capacity = 4096;
   bool store_mmap = true;
+  bool canary = false;
+  serve::CanaryPolicy canary_policy;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,6 +116,16 @@ int main(int argc, char** argv) {
       store_capacity = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--no-store-mmap") {
       store_mmap = false;
+    } else if (arg == "--canary") {
+      canary = true;
+    } else if (arg == "--canary-sample-ppm") {
+      canary_policy.sample_per_million = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--canary-min-windows") {
+      canary_policy.min_mirrored_windows = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--canary-max-flag-delta") {
+      canary_policy.max_flag_rate_delta = std::stod(next());
+    } else if (arg == "--no-canary-auto") {
+      canary_policy.auto_decide = false;
     } else if (arg == "--detector") {
       const std::string name = next();
       if (name == "knn") kind = detect::DetectorKind::kKnn;
@@ -136,6 +159,8 @@ int main(int argc, char** argv) {
   config.scoring.threads = threads;
   if (fast_scoring) config.scoring.precision = nn::Precision::kFast;
   config.adaptive.reassess_every_windows = reassess;
+  config.adaptive.canary = canary;
+  config.scoring.canary = canary_policy;
   config.store_root = store_root;
   config.store_segment_capacity = store_capacity;
   config.store_mmap = store_mmap;

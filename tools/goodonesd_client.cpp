@@ -7,8 +7,17 @@
 //   goodonesd_client ENDPOINT stats [PREFIX]
 //   goodonesd_client ENDPOINT health
 //   goodonesd_client ENDPOINT refresh
+//   goodonesd_client ENDPOINT promote [GENERATION]
+//   goodonesd_client ENDPOINT rollback [GENERATION]
+//   goodonesd_client ENDPOINT canary-status
 //   goodonesd_client ENDPOINT drain SHARD      (router only)
 //   goodonesd_client ENDPOINT shutdown
+//
+// promote/rollback resolve a staged canary candidate (canary-mode daemons
+// stage Refresh rebuilds instead of hot-swapping them). Bare form addresses
+// whatever is staged; an explicit GENERATION is exactly-once across
+// retries. canary-status is `stats serve.canary` spelled as a verb — the
+// mirrored-evidence gauges the promotion policy is judging.
 //
 // ENDPOINT is unix:/path/to.sock, tcp:host:port, or a bare path (unix
 // shorthand — the pre-mesh invocation keeps working).
@@ -34,6 +43,7 @@
 // verdict, risk — plus the bundle generation that produced the verdicts
 // (the daemon's provenance tag; watch it change across a hot swap). Used
 // by tests/serve_daemon_test.cpp and the README daemon quickstart.
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -57,6 +67,9 @@ int usage(const char* argv0) {
             << "       " << argv0 << " ENDPOINT stats [PREFIX]\n"
             << "       " << argv0 << " ENDPOINT health\n"
             << "       " << argv0 << " ENDPOINT refresh\n"
+            << "       " << argv0 << " ENDPOINT promote [GENERATION]\n"
+            << "       " << argv0 << " ENDPOINT rollback [GENERATION]\n"
+            << "       " << argv0 << " ENDPOINT canary-status\n"
             << "       " << argv0 << " ENDPOINT drain SHARD\n"
             << "       " << argv0 << " ENDPOINT shutdown\n"
             << "ENDPOINT: unix:/path, tcp:host:port, or a bare unix path\n";
@@ -237,6 +250,28 @@ int main(int argc, char** argv) {
       std::cout << (reply.refreshed ? "refreshed: new generation "
                                     : "no partition move; still serving generation ")
                 << reply.generation << "\n";
+      return 0;
+    }
+    if (command == "promote") {
+      const std::uint64_t generation = argc >= 4 ? std::stoull(argv[3]) : 0;
+      const serve::wire::PromoteReply reply = client.promote(generation);
+      std::cout << (reply.applied ? "promoted: primary is now generation "
+                                  : "nothing to apply; primary is generation ")
+                << reply.generation << "\n";
+      return 0;
+    }
+    if (command == "rollback") {
+      const std::uint64_t generation = argc >= 4 ? std::stoull(argv[3]) : 0;
+      const serve::wire::RollbackReply reply = client.rollback(generation);
+      std::cout << (reply.applied ? "rolled back: candidate dropped, primary stays generation "
+                                  : "nothing to apply; primary is generation ")
+                << reply.generation << "\n";
+      return 0;
+    }
+    if (command == "canary-status") {
+      for (const auto& [name, value] : client.stats()) {
+        if (name.rfind("serve.canary", 0) == 0) std::cout << name << " " << value << "\n";
+      }
       return 0;
     }
     if (command == "shutdown") {
